@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"kamel/internal/eval"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	r := eval.NewRunner(eval.DefaultOptions())
+	defer r.Close()
+	_, err := run(r, "fig99")
+	if err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	// The error must enumerate the valid ids so the operator can recover.
+	for _, id := range []string{"fig9", "fig12-ablation", "fig3d", "models"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error does not mention %q: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kamel/internal/core"
+	"kamel/internal/geo"
+	"kamel/internal/trajgen"
+	"kamel/internal/trajio"
+)
+
+// runDatagen synthesizes a dataset from one of the built-in profiles.
+func runDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
+	profile := fs.String("profile", "porto-like", "dataset profile: porto-like | jakarta-like")
+	scale := fs.Float64("scale", 1, "trip-count scale factor")
+	out := fs.String("out", "", "output JSONL file (default stdout)")
+	fs.Parse(args)
+
+	var p trajgen.Profile
+	switch *profile {
+	case "porto-like":
+		p = trajgen.PortoLike(*scale)
+	case "jakarta-like":
+		p = trajgen.JakartaLike(*scale)
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	_, _, trajs, err := p.Materialize()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trajio.Write(w, trajs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d trajectories (%s profile)\n", len(trajs), p.Name)
+	return nil
+}
+
+// systemConfig assembles a core.Config from shared CLI flags.
+func systemConfig(work string, steps int, strategy string, noPart, noConst, noMulti bool) core.Config {
+	cfg := core.DefaultConfig(work)
+	if steps > 0 {
+		cfg.Train.Steps = steps
+	}
+	if strategy != "" {
+		cfg.Strategy = core.Strategy(strategy)
+	}
+	cfg.PyramidH = 1
+	cfg.PyramidL = 2
+	cfg.ThresholdK = 300
+	cfg.DisablePartitioning = noPart
+	cfg.DisableConstraints = noConst
+	cfg.DisableMultipoint = noMulti
+	return cfg
+}
+
+// runTrain ingests a training file and persists the resulting models.
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	work := fs.String("work", "", "working directory (required)")
+	in := fs.String("in", "", "training JSONL file (default stdin)")
+	steps := fs.Int("steps", 0, "BERT training steps (default config)")
+	noPart := fs.Bool("no-partitioning", false, "ablation: one global model")
+	fs.Parse(args)
+	if *work == "" {
+		return fmt.Errorf("train: -work is required")
+	}
+	trajs, err := readTrajs(*in)
+	if err != nil {
+		return err
+	}
+	sys, err := core.New(systemConfig(*work, *steps, "", *noPart, false, false))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if err := sys.Train(trajs); err != nil {
+		return err
+	}
+	if !*noPart {
+		if err := sys.SaveModels(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "train: %+v\n", sys.SystemStats())
+	return nil
+}
+
+// runImpute loads persisted models and imputes a sparse trajectory file.
+func runImpute(args []string) error {
+	fs := flag.NewFlagSet("impute", flag.ExitOnError)
+	work := fs.String("work", "", "working directory with trained models (required)")
+	in := fs.String("in", "", "sparse JSONL file (default stdin)")
+	out := fs.String("out", "", "dense JSONL output (default stdout)")
+	strategy := fs.String("strategy", "", "beam | iterative")
+	fs.Parse(args)
+	if *work == "" {
+		return fmt.Errorf("impute: -work is required")
+	}
+	sparse, err := readTrajs(*in)
+	if err != nil {
+		return err
+	}
+	sys, err := core.New(systemConfig(*work, 0, *strategy, false, false, false))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if err := sys.LoadModels(); err != nil {
+		return fmt.Errorf("loading models (run `kamel train` first): %w", err)
+	}
+	var dense []geo.Trajectory
+	segments, failures := 0, 0
+	for _, tr := range sparse {
+		d, st, err := sys.Impute(tr)
+		if err != nil {
+			return err
+		}
+		segments += st.Segments
+		failures += st.Failures
+		dense = append(dense, d)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trajio.Write(w, dense); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "impute: %d trajectories, %d segments, %d failures\n", len(dense), segments, failures)
+	return nil
+}
+
+// runTune runs the cell-size auto-tuner over a training file.
+func runTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	work := fs.String("work", "", "scratch directory (required)")
+	in := fs.String("in", "", "training JSONL file (default stdin)")
+	sparse := fs.Float64("sparse", 1000, "evaluation sparseness in meters")
+	delta := fs.Float64("delta", 50, "accuracy threshold δ in meters")
+	fs.Parse(args)
+	if *work == "" {
+		return fmt.Errorf("tune: -work is required")
+	}
+	trajs, err := readTrajs(*in)
+	if err != nil {
+		return err
+	}
+	cfg := systemConfig(*work, 300, "", true, false, false)
+	sys, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	sizes := []float64{25, 50, 75, 125, 200, 300}
+	best, results, err := sys.TuneCellSize(trajs, sizes, *sparse, *delta)
+	if err != nil {
+		return err
+	}
+	fmt.Println("cell_edge_m  recall  precision")
+	for _, r := range results {
+		fmt.Printf("%10.0f  %.3f  %.3f\n", r.CellEdgeM, r.Recall, r.Precision)
+	}
+	fmt.Printf("best: %.0f m\n", best)
+	return nil
+}
+
+// readTrajs loads a JSONL file, or stdin when path is empty.
+func readTrajs(path string) ([]geo.Trajectory, error) {
+	if path == "" {
+		return trajio.Read(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trajio.Read(f)
+}

@@ -1,0 +1,60 @@
+// Command kamel is the command-line front end of the KAMEL trajectory
+// imputation system:
+//
+//	kamel datagen  -profile porto-like -out data.jsonl     synthesize a dataset
+//	kamel train    -work DIR -in train.jsonl               train / enrich models
+//	kamel impute   -work DIR -in sparse.jsonl -out dense.jsonl
+//	kamel tune     -work DIR -in train.jsonl               auto-tune the cell size (§3.2)
+//	kamel serve    -work DIR -addr :8080                   demo HTTP API (SIGMOD demo)
+//
+// Trajectories travel as JSON Lines: {"id": "...", "points": [[lat,lng,t], ...]}.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datagen":
+		err = runDatagen(os.Args[2:])
+	case "train":
+		err = runTrain(os.Args[2:])
+	case "impute":
+		err = runImpute(os.Args[2:])
+	case "tune":
+		err = runTune(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kamel: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kamel:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: kamel <command> [flags]
+
+commands:
+  datagen   generate a synthetic city trajectory dataset
+  train     train KAMEL models from a trajectory file
+  impute    impute sparse trajectories with trained models
+  tune      auto-tune the tokenization cell size (paper §3.2)
+  serve     run the demonstration HTTP API
+
+run "kamel <command> -h" for command flags
+`)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+	"kamel/internal/trajio"
+)
+
+func TestWireConversionRoundTrip(t *testing.T) {
+	in := wireTraj{ID: "x", Points: [][3]float64{{41.1, -8.6, 1}, {41.2, -8.5, 2}}}
+	trajs := fromWire([]wireTraj{in})
+	if len(trajs) != 1 || len(trajs[0].Points) != 2 {
+		t.Fatal("fromWire wrong")
+	}
+	out := toWire(trajs[0])
+	if out.ID != in.ID || out.Points[1] != in.Points[1] {
+		t.Error("wire round trip lost data")
+	}
+}
+
+func TestSystemConfigFlags(t *testing.T) {
+	cfg := systemConfig("/tmp/x", 123, "iterative", true, true, true)
+	if cfg.Train.Steps != 123 || string(cfg.Strategy) != "iterative" {
+		t.Errorf("flags not applied: %+v", cfg)
+	}
+	if !cfg.DisablePartitioning || !cfg.DisableConstraints || !cfg.DisableMultipoint {
+		t.Error("ablation flags not applied")
+	}
+}
+
+// TestDatagenTrainImputePipeline exercises the CLI code paths end to end
+// through their Go entry points (no subprocesses).
+func TestDatagenTrainImputePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+
+	// datagen equivalent: write a small dataset file.
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 1500, 1500
+	net := roadnet.GenerateCity(city)
+	proj := geo.NewProjection(41.15, -8.61)
+	trajs, err := trajgen.Generate(net, proj, trajgen.DefaultConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(dir, "data.jsonl")
+	f, _ := os.Create(dataPath)
+	if err := trajio.Write(f, trajs[:25]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sparsePath := filepath.Join(dir, "sparse.jsonl")
+	f, _ = os.Create(sparsePath)
+	if err := trajio.Write(f, []geo.Trajectory{trajs[25].Sparsify(800)}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	work := filepath.Join(dir, "work")
+	if err := runTrain([]string{"-work", work, "-in", dataPath, "-steps", "90"}); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "dense.jsonl")
+	if err := runImpute([]string{"-work", work, "-in", sparsePath, "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	dense, err := trajio.Read(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense) != 1 || len(dense[0].Points) <= 3 {
+		t.Fatalf("imputation output suspicious: %d trajectories", len(dense))
+	}
+}
+
+func TestCommandsValidateFlags(t *testing.T) {
+	if err := runTrain([]string{"-in", "/nonexistent"}); err == nil {
+		t.Error("train without -work must fail")
+	}
+	if err := runImpute([]string{"-in", "/nonexistent"}); err == nil {
+		t.Error("impute without -work must fail")
+	}
+	if err := runTune([]string{"-in", "/nonexistent"}); err == nil {
+		t.Error("tune without -work must fail")
+	}
+	if err := runDatagen([]string{"-profile", "atlantis"}); err == nil {
+		t.Error("unknown profile must fail")
+	}
+}

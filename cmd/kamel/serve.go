@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"kamel/internal/core"
+	"kamel/internal/geo"
+)
+
+// runServe exposes the demonstration HTTP API of the SIGMOD demo paper: a
+// train endpoint that enriches the models, an impute endpoint that fills
+// gaps, and a stats endpoint for the dashboard.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	work := fs.String("work", "", "working directory (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	steps := fs.Int("steps", 0, "BERT training steps")
+	fs.Parse(args)
+	if *work == "" {
+		return fmt.Errorf("serve: -work is required")
+	}
+	sys, err := core.New(systemConfig(*work, *steps, "", false, false, false))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	// Best effort: load previously persisted models so a restart can serve
+	// imputations immediately.
+	if err := sys.LoadModels(); err == nil {
+		fmt.Fprintln(os.Stderr, "serve: loaded persisted models")
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/train", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var trajs []wireTraj
+		if err := json.NewDecoder(r.Body).Decode(&trajs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := sys.Train(fromWire(trajs)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, sys.SystemStats())
+	})
+	mux.HandleFunc("/api/impute", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var tr wireTraj
+		if err := json.NewDecoder(r.Body).Decode(&tr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		dense, stats, err := sys.Impute(fromWire([]wireTraj{tr})[0])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]interface{}{
+			"trajectory": toWire(dense),
+			"segments":   stats.Segments,
+			"failures":   stats.Failures,
+		})
+	})
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, sys.SystemStats())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, demoPage)
+	})
+
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+	return http.ListenAndServe(*addr, mux)
+}
+
+// wireTraj is the HTTP JSON form of a trajectory.
+type wireTraj struct {
+	ID     string       `json:"id"`
+	Points [][3]float64 `json:"points"` // [lat, lng, unixSeconds]
+}
+
+func fromWire(in []wireTraj) []geo.Trajectory {
+	out := make([]geo.Trajectory, len(in))
+	for i, tr := range in {
+		out[i] = geo.Trajectory{ID: tr.ID}
+		for _, p := range tr.Points {
+			out[i].Points = append(out[i].Points, geo.Point{Lat: p[0], Lng: p[1], T: p[2]})
+		}
+	}
+	return out
+}
+
+func toWire(tr geo.Trajectory) wireTraj {
+	out := wireTraj{ID: tr.ID}
+	for _, p := range tr.Points {
+		out.Points = append(out.Points, [3]float64{p.Lat, p.Lng, p.T})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// demoPage is a minimal self-contained demo console.
+const demoPage = `<!doctype html>
+<title>KAMEL demo</title>
+<h1>KAMEL trajectory imputation</h1>
+<p>POST <code>/api/train</code> a JSON array of {id, points:[[lat,lng,t],...]} to train.</p>
+<p>POST <code>/api/impute</code> one such object to impute; GET <code>/api/stats</code> for system state.</p>
+<pre id="stats">loading stats…</pre>
+<script>
+fetch('/api/stats').then(r => r.json()).then(s => {
+  document.getElementById('stats').textContent = JSON.stringify(s, null, 2);
+});
+</script>`

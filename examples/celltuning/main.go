@@ -1,0 +1,70 @@
+// Cell tuning: reproduces the accuracy-vs-cell-size trade-off of the
+// paper's Figure 3(d) using the §3.2 auto-tuning module.  Both very small
+// and very large hexagons hurt accuracy; the tuner finds the interior
+// optimum for this dataset.
+//
+//	go run ./examples/celltuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"kamel"
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 2000, 2000
+	net := roadnet.GenerateCity(city)
+	proj := geo.NewProjection(41.15, -8.61)
+	trajs, err := trajgen.Generate(net, proj, trajgen.DefaultConfig(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	workdir, err := os.MkdirTemp("", "kamel-tune-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workdir)
+	cfg := kamel.DefaultConfig(workdir)
+	cfg.Train.Steps = 300 // throwaway trial models
+	sys, err := kamel.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sizes := []float64{25, 50, 75, 125, 200, 300}
+	log.Printf("tuning over cell sizes %v (this trains %d trial models)…", sizes, len(sizes))
+	best, curve, err := sys.TuneCellSize(toPublic(trajs), sizes, 1000, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncell edge (m)   recall   precision")
+	for _, r := range curve {
+		bar := strings.Repeat("█", int(r.Recall*40))
+		fmt.Printf("%12.0f    %.3f    %.3f  %s\n", r.CellEdgeM, r.Recall, r.Precision, bar)
+	}
+	fmt.Printf("\nauto-tuned cell size: %.0f m (paper's tuned default: 75 m)\n", best)
+}
+
+func toPublic(trs []geo.Trajectory) []kamel.Trajectory {
+	out := make([]kamel.Trajectory, len(trs))
+	for i, tr := range trs {
+		out[i] = kamel.Trajectory{ID: tr.ID}
+		for _, p := range tr.Points {
+			out[i].Points = append(out[i].Points, kamel.Point{Lat: p.Lat, Lng: p.Lng, Time: p.T})
+		}
+	}
+	return out
+}

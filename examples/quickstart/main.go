@@ -1,0 +1,98 @@
+// Quickstart: train KAMEL on a small synthetic city and impute one sparse
+// trajectory, printing the before/after point counts and the recovered
+// shape.  Real deployments would feed their own GPS data; the synthetic city
+// stands in for it (see DESIGN.md).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kamel"
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Synthesize a small city's traffic: 80 taxi-like trips with GPS noise.
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 2000, 2000
+	net := roadnet.GenerateCity(city)
+	proj := geo.NewProjection(41.15, -8.61)
+	gen := trajgen.DefaultConfig(80)
+	trajs, err := trajgen.Generate(net, proj, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := trajgen.SplitTrainTest(trajs, 0.9, 1)
+
+	// Open a KAMEL system and train it.  Training is the offline phase: it
+	// tokenizes trajectories onto the hexagonal grid, stores them, and
+	// fits BERT models (paper §2).
+	workdir, err := os.MkdirTemp("", "kamel-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workdir)
+
+	cfg := kamel.DefaultConfig(workdir)
+	cfg.DisablePartitioning = true // one model: fastest to train
+	cfg.Train.Steps = 500
+	sys, err := kamel.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	log.Printf("training on %d trajectories…", len(train))
+	if err := sys.Train(toPublic(train)); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	log.Printf("trained: %d models over %d tokens (inferred speed limit %.1f m/s)",
+		st.SingleModels+st.NeighborModels, st.Tokens, st.MaxSpeedMPS)
+
+	// Sparsify a held-out trajectory to 1 km gaps — the paper's default
+	// evaluation protocol — and impute it.
+	truth := test[0]
+	sparse := truth.Sparsify(1000)
+	dense, stats, err := sys.Impute(toPublicOne(sparse))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nground truth: %4d points over %.1f km\n", len(truth.Points), truth.LengthMeters()/1000)
+	fmt.Printf("sparse input: %4d points (%d gaps)\n", len(sparse.Points), stats.Segments)
+	fmt.Printf("imputed:      %4d points (%d/%d gaps failed to a straight line)\n",
+		len(dense.Points), stats.Failures, stats.Segments)
+	fmt.Println("\nfirst imputed points (lat, lng):")
+	for i, p := range dense.Points {
+		if i >= 8 {
+			fmt.Println("  …")
+			break
+		}
+		fmt.Printf("  %.5f, %.5f\n", p.Lat, p.Lng)
+	}
+}
+
+func toPublicOne(tr geo.Trajectory) kamel.Trajectory {
+	out := kamel.Trajectory{ID: tr.ID}
+	for _, p := range tr.Points {
+		out.Points = append(out.Points, kamel.Point{Lat: p.Lat, Lng: p.Lng, Time: p.T})
+	}
+	return out
+}
+
+func toPublic(trs []geo.Trajectory) []kamel.Trajectory {
+	out := make([]kamel.Trajectory, len(trs))
+	for i, tr := range trs {
+		out[i] = toPublicOne(tr)
+	}
+	return out
+}

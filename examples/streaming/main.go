@@ -1,0 +1,92 @@
+// Streaming: KAMEL's online mode (paper §1 feature 4).  A producer feeds
+// sparse trajectories into a channel as they "arrive"; a pool of workers
+// imputes them concurrently and results stream out as they complete.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"kamel"
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 2000, 2000
+	net := roadnet.GenerateCity(city)
+	proj := geo.NewProjection(41.15, -8.61)
+	trajs, err := trajgen.Generate(net, proj, trajgen.DefaultConfig(70))
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, incoming := trajgen.SplitTrainTest(trajs, 0.8, 1)
+
+	workdir, err := os.MkdirTemp("", "kamel-stream-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workdir)
+	cfg := kamel.DefaultConfig(workdir)
+	cfg.DisablePartitioning = true
+	cfg.Train.Steps = 400
+	sys, err := kamel.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	log.Printf("training on %d trajectories…", len(train))
+	if err := sys.Train(toPublic(train)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Producer: sparse trajectories trickle in.
+	in := make(chan kamel.Trajectory)
+	go func() {
+		defer close(in)
+		for _, truth := range incoming {
+			in <- toPublicOne(truth.Sparsify(1000))
+			time.Sleep(50 * time.Millisecond) // simulated arrival pacing
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	start := time.Now()
+	done := 0
+	for res := range sys.ImputeStream(ctx, in, 2) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		done++
+		fmt.Printf("[%6.2fs] %s: %3d points imputed, %d/%d gaps failed\n",
+			time.Since(start).Seconds(), res.Trajectory.ID,
+			len(res.Trajectory.Points), res.Stats.Failures, res.Stats.Segments)
+	}
+	fmt.Printf("\nstream drained: %d trajectories imputed online\n", done)
+}
+
+func toPublicOne(tr geo.Trajectory) kamel.Trajectory {
+	out := kamel.Trajectory{ID: tr.ID}
+	for _, p := range tr.Points {
+		out.Points = append(out.Points, kamel.Point{Lat: p.Lat, Lng: p.Lng, Time: p.T})
+	}
+	return out
+}
+
+func toPublic(trs []geo.Trajectory) []kamel.Trajectory {
+	out := make([]kamel.Trajectory, len(trs))
+	for i, tr := range trs {
+		out[i] = toPublicOne(tr)
+	}
+	return out
+}

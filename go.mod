@@ -1,0 +1,3 @@
+module kamel
+
+go 1.22

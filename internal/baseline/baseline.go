@@ -1,0 +1,62 @@
+// Package baseline implements the comparison methods of the paper's
+// evaluation (§8): linear interpolation (the floor every technique must
+// beat), TrImpute [20] (the state-of-the-art network-free imputer and
+// KAMEL's direct competitor), and HMM map matching with shortest-path
+// imputation (the reference that IS allowed to read the road network).
+package baseline
+
+import "kamel/internal/geo"
+
+// Stats reports per-trajectory imputation accounting.  A segment "fails"
+// when the method fell back to inserting a straight line between its end
+// points — the paper's failure-rate definition (§8).
+type Stats struct {
+	Segments int // gaps attempted
+	Failures int // gaps imputed as a straight line
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Segments += other.Segments
+	s.Failures += other.Failures
+}
+
+// FailureRate returns Failures/Segments, or 0 for no segments.
+func (s Stats) FailureRate() float64 {
+	if s.Segments == 0 {
+		return 0
+	}
+	return float64(s.Failures) / float64(s.Segments)
+}
+
+// Imputer fills the gaps of a sparse trajectory with additional points.
+// KAMEL's core system and every baseline implement it.
+type Imputer interface {
+	Name() string
+	Impute(tr geo.Trajectory) (geo.Trajectory, Stats, error)
+}
+
+// interpolateTimes assigns timestamps to a run of imputed planar points
+// between two endpoint times, proportionally to arc length.
+func interpolateTimes(points []geo.XY, t0, t1 float64) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	total := geo.PolylineLength(points)
+	if total == 0 {
+		for i := range out {
+			out[i] = t0
+		}
+		return out
+	}
+	var acc float64
+	for i := range points {
+		if i > 0 {
+			acc += points[i-1].Dist(points[i])
+		}
+		out[i] = t0 + (t1-t0)*acc/total
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+func fixture(t *testing.T) (*roadnet.Network, *geo.Projection, []geo.Trajectory) {
+	t.Helper()
+	cfg := roadnet.DefaultCityConfig()
+	cfg.Width, cfg.Height = 1500, 1500
+	net := roadnet.GenerateCity(cfg)
+	proj := geo.NewProjection(41.15, -8.61)
+	gen := trajgen.DefaultConfig(30)
+	gen.GPSNoiseMeters = 3
+	trajs, err := trajgen.Generate(net, proj, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, proj, trajs
+}
+
+func TestStats(t *testing.T) {
+	s := Stats{Segments: 4, Failures: 1}
+	s.Add(Stats{Segments: 6, Failures: 2})
+	if s.Segments != 10 || s.Failures != 3 {
+		t.Errorf("Add wrong: %+v", s)
+	}
+	if got := s.FailureRate(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("FailureRate = %f", got)
+	}
+	if (Stats{}).FailureRate() != 0 {
+		t.Error("empty stats failure rate must be 0")
+	}
+}
+
+func TestLinearImpute(t *testing.T) {
+	_, proj, trajs := fixture(t)
+	sparse := trajs[0].Sparsify(500)
+	l := &Linear{Proj: proj, StepMeters: 100}
+	dense, stats, err := l.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments != len(sparse.Points)-1 {
+		t.Errorf("segments = %d, want %d", stats.Segments, len(sparse.Points)-1)
+	}
+	if stats.Failures != stats.Segments {
+		t.Error("linear interpolation must have a 100% failure rate by definition")
+	}
+	if len(dense.Points) <= len(sparse.Points) {
+		t.Error("imputation must add points")
+	}
+	// No two consecutive output points further apart than the step (+slack).
+	for i := 1; i < len(dense.Points); i++ {
+		if d := geo.HaversineMeters(dense.Points[i-1], dense.Points[i]); d > 130 {
+			t.Errorf("output gap %d is %fm", i, d)
+		}
+	}
+	// Endpoints preserved.
+	if dense.Points[0] != sparse.Points[0] || dense.Points[len(dense.Points)-1] != sparse.Points[len(sparse.Points)-1] {
+		t.Error("imputation must preserve the original endpoints")
+	}
+	// Timestamps monotone.
+	for i := 1; i < len(dense.Points); i++ {
+		if dense.Points[i].T < dense.Points[i-1].T {
+			t.Error("timestamps must be non-decreasing")
+		}
+	}
+}
+
+func TestLinearShortTrajectories(t *testing.T) {
+	_, proj, _ := fixture(t)
+	l := &Linear{Proj: proj, StepMeters: 100}
+	one := geo.Trajectory{ID: "x", Points: []geo.Point{{Lat: 41.15, Lng: -8.61}}}
+	out, stats, err := l.Impute(one)
+	if err != nil || len(out.Points) != 1 || stats.Segments != 0 {
+		t.Error("single-point trajectory must pass through unchanged")
+	}
+}
+
+func TestTrImputeFollowsRoads(t *testing.T) {
+	net, proj, trajs := fixture(t)
+	tr := NewTrImpute(proj)
+	tr.Train(trajs[:25])
+
+	sparse := trajs[25].Sparsify(500)
+	dense, stats, err := tr.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments == 0 {
+		t.Fatal("no segments processed")
+	}
+	if stats.FailureRate() > 0.7 {
+		t.Errorf("failure rate %f too high with dense history", stats.FailureRate())
+	}
+	// Imputed points should hug the road network reasonably well.
+	var off int
+	for _, p := range dense.Points {
+		if _, d, ok := net.NearestEdge(proj.ToXY(p)); !ok || d > 60 {
+			off++
+		}
+	}
+	if frac := float64(off) / float64(len(dense.Points)); frac > 0.35 {
+		t.Errorf("%f of TrImpute points far from roads", frac)
+	}
+}
+
+func TestTrImputeUntrainedFails(t *testing.T) {
+	_, proj, trajs := fixture(t)
+	tr := NewTrImpute(proj)
+	sparse := trajs[0].Sparsify(500)
+	_, stats, err := tr.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failures != stats.Segments {
+		t.Error("untrained TrImpute must fail every segment")
+	}
+}
+
+func TestTrImputeDegradesWithSparseHistory(t *testing.T) {
+	_, proj, trajs := fixture(t)
+	dense := NewTrImpute(proj)
+	dense.Train(trajs[:25])
+	sparse := NewTrImpute(proj)
+	sparse.Train(trajs[:2]) // almost no history
+
+	probe := trajs[25].Sparsify(600)
+	_, denseStats, _ := dense.Impute(probe)
+	_, sparseStats, _ := sparse.Impute(probe)
+	if sparseStats.FailureRate() < denseStats.FailureRate() {
+		t.Errorf("sparse history (%f) should fail at least as much as dense (%f)",
+			sparseStats.FailureRate(), denseStats.FailureRate())
+	}
+}
+
+func TestMapMatchReconstructsPath(t *testing.T) {
+	net, proj, trajs := fixture(t)
+	mm := NewMapMatch(proj, net)
+	sparse := trajs[0].Sparsify(500)
+	dense, stats, err := mm.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments == 0 {
+		t.Fatal("no segments processed")
+	}
+	if stats.FailureRate() > 0.1 {
+		t.Errorf("map matching with the true network should rarely fail: %f", stats.FailureRate())
+	}
+	// Every imputed point must lie on the network (it follows roads).
+	for _, p := range dense.Points {
+		if _, d, ok := net.NearestEdge(proj.ToXY(p)); !ok || d > 25 {
+			t.Errorf("map-matched point %fm from any road", d)
+		}
+	}
+	// The imputed path must recover most of the ground truth: compare
+	// against the original dense trajectory via mean point distance.
+	truth := trajs[0].XYs(proj)
+	var worst float64
+	for _, p := range truth {
+		d := geo.PointPolylineDist(p, dense.XYs(proj))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 120 {
+		t.Errorf("worst ground-truth deviation %fm; matching went astray", worst)
+	}
+}
+
+func TestMapMatchShortTrajectory(t *testing.T) {
+	net, proj, _ := fixture(t)
+	mm := NewMapMatch(proj, net)
+	one := geo.Trajectory{ID: "x", Points: []geo.Point{{Lat: 41.15, Lng: -8.61}}}
+	out, _, err := mm.Impute(one)
+	if err != nil || len(out.Points) != 1 {
+		t.Error("single-point trajectory must pass through unchanged")
+	}
+}
+
+func TestInterpolateTimes(t *testing.T) {
+	pts := []geo.XY{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 30, Y: 0}}
+	times := interpolateTimes(pts, 100, 130)
+	want := []float64{100, 110, 130}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-9 {
+			t.Errorf("time %d = %f, want %f", i, times[i], want[i])
+		}
+	}
+	// Degenerate: all points identical.
+	same := []geo.XY{{X: 5, Y: 5}, {X: 5, Y: 5}}
+	times = interpolateTimes(same, 7, 9)
+	if times[0] != 7 || times[1] != 7 {
+		t.Error("zero-length polyline must pin times to t0")
+	}
+	if got := interpolateTimes(nil, 0, 1); len(got) != 0 {
+		t.Error("empty input must give empty output")
+	}
+}

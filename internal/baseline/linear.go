@@ -1,0 +1,41 @@
+package baseline
+
+import (
+	"kamel/internal/geo"
+)
+
+// Linear imputes every gap with points placed on the straight line between
+// the gap's end points, one every StepMeters.  By the paper's definition its
+// failure rate is 100%: every segment is a linear fill.
+type Linear struct {
+	Proj       *geo.Projection
+	StepMeters float64 // spacing of inserted points (the harness uses max_gap)
+}
+
+// Name implements Imputer.
+func (l *Linear) Name() string { return "Linear" }
+
+// Impute implements Imputer.
+func (l *Linear) Impute(tr geo.Trajectory) (geo.Trajectory, Stats, error) {
+	var stats Stats
+	if len(tr.Points) < 2 {
+		return tr.Clone(), stats, nil
+	}
+	out := geo.Trajectory{ID: tr.ID}
+	for i := 0; i+1 < len(tr.Points); i++ {
+		a, b := tr.Points[i], tr.Points[i+1]
+		stats.Segments++
+		stats.Failures++ // linear by definition
+		xa, xb := l.Proj.ToXY(a), l.Proj.ToXY(b)
+		line := geo.ResamplePolyline([]geo.XY{xa, xb}, l.StepMeters)
+		times := interpolateTimes(line, a.T, b.T)
+		// Emit a..interior; b is emitted as the next segment's a (or below).
+		for j := 0; j < len(line)-1; j++ {
+			p := l.Proj.ToLatLng(line[j])
+			p.T = times[j]
+			out.Points = append(out.Points, p)
+		}
+	}
+	out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
+	return out, stats, nil
+}

@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+)
+
+// MapMatch is the reference method that, unlike KAMEL and its competitors,
+// reads the true road network (paper §8: "we do not consider map matching as
+// a competitor").  It HMM-matches each sparse point to candidate road nodes
+// (Viterbi over Gaussian emissions and route-vs-straight-line transitions,
+// after Yang & Gidófalvi [74]) and imputes each gap with the road-network
+// shortest path between the matched nodes.
+type MapMatch struct {
+	Proj       *geo.Projection
+	Net        *roadnet.Network
+	StepMeters float64 // output point spacing
+	SigmaM     float64 // GPS noise scale for emissions (default 15)
+	BetaM      float64 // route-deviation scale for transitions (default 200)
+	Candidates int     // candidate nodes per point (default 3)
+}
+
+// NewMapMatch returns a matcher over the given true network.
+func NewMapMatch(proj *geo.Projection, net *roadnet.Network) *MapMatch {
+	return &MapMatch{
+		Proj:       proj,
+		Net:        net,
+		StepMeters: 100,
+		SigmaM:     15,
+		BetaM:      200,
+		Candidates: 3,
+	}
+}
+
+// Name implements Imputer.
+func (m *MapMatch) Name() string { return "MapMatch" }
+
+// Impute implements Imputer.
+func (m *MapMatch) Impute(tr geo.Trajectory) (geo.Trajectory, Stats, error) {
+	var stats Stats
+	if len(tr.Points) < 2 {
+		return tr.Clone(), stats, nil
+	}
+	xys := tr.XYs(m.Proj)
+	matched, err := m.viterbi(xys)
+	if err != nil {
+		return geo.Trajectory{}, stats, err
+	}
+	out := geo.Trajectory{ID: tr.ID}
+	for i := 0; i+1 < len(tr.Points); i++ {
+		stats.Segments++
+		var line []geo.XY
+		path, _, ok := m.Net.ShortestPath(matched[i], matched[i+1])
+		if ok && len(path) >= 1 {
+			line = m.Net.PathPolyline(path)
+			// Anchor the ends at the observed points for fair metrics.
+			line = append([]geo.XY{xys[i]}, line...)
+			line = append(line, xys[i+1])
+		} else {
+			stats.Failures++
+			line = []geo.XY{xys[i], xys[i+1]}
+		}
+		resampled := geo.ResamplePolyline(line, m.StepMeters)
+		times := interpolateTimes(resampled, tr.Points[i].T, tr.Points[i+1].T)
+		for j := 0; j < len(resampled)-1; j++ {
+			p := m.Proj.ToLatLng(resampled[j])
+			p.T = times[j]
+			out.Points = append(out.Points, p)
+		}
+	}
+	out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
+	return out, stats, nil
+}
+
+// candidateNodes returns the k nearest network nodes to p.
+func (m *MapMatch) candidateNodes(p geo.XY) []int {
+	// Gather nodes from nearby edges, then rank by distance.
+	set := map[int]bool{}
+	for _, e := range m.Net.EdgesNear(p, 300) {
+		set[e.A] = true
+		set[e.B] = true
+	}
+	if len(set) == 0 {
+		if n := m.Net.NearestNode(p); n >= 0 {
+			set[n] = true
+		}
+	}
+	nodes := make([]int, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return m.Net.Pos[nodes[i]].Dist(p) < m.Net.Pos[nodes[j]].Dist(p)
+	})
+	if len(nodes) > m.Candidates {
+		nodes = nodes[:m.Candidates]
+	}
+	return nodes
+}
+
+// viterbi assigns one network node per GPS point maximizing the HMM joint
+// probability.
+func (m *MapMatch) viterbi(xys []geo.XY) ([]int, error) {
+	n := len(xys)
+	cands := make([][]int, n)
+	for i, p := range xys {
+		cands[i] = m.candidateNodes(p)
+		if len(cands[i]) == 0 {
+			return nil, fmt.Errorf("baseline: no map-match candidates for point %d", i)
+		}
+	}
+	// logProb[i][j]: best log-likelihood ending at candidate j of point i.
+	logProb := make([][]float64, n)
+	back := make([][]int, n)
+	emit := func(p geo.XY, node int) float64 {
+		d := m.Net.Pos[node].Dist(p)
+		return -d * d / (2 * m.SigmaM * m.SigmaM)
+	}
+	logProb[0] = make([]float64, len(cands[0]))
+	back[0] = make([]int, len(cands[0]))
+	for j, node := range cands[0] {
+		logProb[0][j] = emit(xys[0], node)
+	}
+	for i := 1; i < n; i++ {
+		logProb[i] = make([]float64, len(cands[i]))
+		back[i] = make([]int, len(cands[i]))
+		straight := xys[i-1].Dist(xys[i])
+		for j, node := range cands[i] {
+			best := math.Inf(-1)
+			arg := 0
+			for k, prev := range cands[i-1] {
+				_, route, ok := m.Net.ShortestPath(prev, node)
+				trans := math.Inf(-1)
+				if ok {
+					trans = -math.Abs(route-straight) / m.BetaM
+				}
+				if v := logProb[i-1][k] + trans; v > best {
+					best = v
+					arg = k
+				}
+			}
+			logProb[i][j] = best + emit(xys[i], node)
+			back[i][j] = arg
+		}
+	}
+	// Backtrack.
+	out := make([]int, n)
+	bestJ := 0
+	for j := range logProb[n-1] {
+		if logProb[n-1][j] > logProb[n-1][bestJ] {
+			bestJ = j
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		out[i] = cands[i][bestJ]
+		bestJ = back[i][bestJ]
+	}
+	return out, nil
+}

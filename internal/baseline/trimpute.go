@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// TrImpute reimplements the crowd-wisdom imputer of Elshrif et al. [20], the
+// paper's direct competitor: historical GPS points are bucketed into a fine
+// grid; to impute a gap the walker starts at S and repeatedly steps to the
+// neighboring cell whose historical traffic best agrees with both the
+// observed local headings and the direction towards D.  When the walker
+// strands — no historical support nearby, the hallmark failure of the method
+// on sparse history that §8.1 reports — the gap falls back to a straight
+// line.
+type TrImpute struct {
+	Proj       *geo.Projection
+	CellMeters float64 // fine-grid resolution (default 25 m)
+	StepMeters float64 // output point spacing
+	MaxSteps   int     // walker budget per gap
+
+	g       *grid.Square
+	traffic map[grid.Cell][]float64 // cell -> historical headings (radians)
+	trained bool
+}
+
+// NewTrImpute returns an untrained TrImpute with the defaults used in the
+// harness.
+func NewTrImpute(proj *geo.Projection) *TrImpute {
+	return &TrImpute{
+		Proj:       proj,
+		CellMeters: 25,
+		StepMeters: 100,
+		MaxSteps:   400,
+	}
+}
+
+// Train ingests historical trajectories, recording per-cell heading samples.
+// TrImpute's "training" is exactly this statistics pass — which is why its
+// training time is orders of magnitude below KAMEL's (paper §8.3, Fig 11a).
+func (t *TrImpute) Train(trajs []geo.Trajectory) {
+	t.g = grid.NewSquare(t.CellMeters)
+	t.traffic = make(map[grid.Cell][]float64)
+	for _, tr := range trajs {
+		xys := make([]geo.XY, len(tr.Points))
+		for i, p := range tr.Points {
+			xys[i] = t.Proj.ToXY(p)
+		}
+		for i := 0; i+1 < len(xys); i++ {
+			h := xys[i+1].Sub(xys[i]).Heading()
+			c := t.g.CellAt(xys[i])
+			t.traffic[c] = append(t.traffic[c], h)
+		}
+	}
+	t.trained = true
+}
+
+// Name implements Imputer.
+func (t *TrImpute) Name() string { return "TrImpute" }
+
+// Impute implements Imputer.
+func (t *TrImpute) Impute(tr geo.Trajectory) (geo.Trajectory, Stats, error) {
+	var stats Stats
+	if len(tr.Points) < 2 {
+		return tr.Clone(), stats, nil
+	}
+	out := geo.Trajectory{ID: tr.ID}
+	for i := 0; i+1 < len(tr.Points); i++ {
+		a, b := tr.Points[i], tr.Points[i+1]
+		stats.Segments++
+		xa, xb := t.Proj.ToXY(a), t.Proj.ToXY(b)
+		path, ok := t.walk(xa, xb)
+		if !ok {
+			stats.Failures++
+			path = []geo.XY{xa, xb}
+		}
+		line := geo.ResamplePolyline(path, t.StepMeters)
+		times := interpolateTimes(line, a.T, b.T)
+		for j := 0; j < len(line)-1; j++ {
+			p := t.Proj.ToLatLng(line[j])
+			p.T = times[j]
+			out.Points = append(out.Points, p)
+		}
+	}
+	out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
+	return out, stats, nil
+}
+
+// walk advances cell by cell from S towards D, steered by the crowd's
+// headings.  Fails when no historically supported step exists or the budget
+// runs out.
+func (t *TrImpute) walk(s, d geo.XY) ([]geo.XY, bool) {
+	if !t.trained {
+		return nil, false
+	}
+	cur := s
+	path := []geo.XY{s}
+	visited := make(map[grid.Cell]int)
+	for step := 0; step < t.MaxSteps; step++ {
+		if cur.Dist(d) <= 2*t.CellMeters {
+			path = append(path, d)
+			return path, true
+		}
+		cell := t.g.CellAt(cur)
+		visited[cell]++
+		if visited[cell] > 3 {
+			return nil, false // spinning in place
+		}
+		toD := d.Sub(cur).Heading()
+		bestScore := math.Inf(-1)
+		var bestNext geo.XY
+		found := false
+		// Candidate steps: toward each 8-neighborhood direction with
+		// historical support in the local cell or its ring.
+		for _, c := range t.g.Disk(cell, 1) {
+			headings := t.traffic[c]
+			if len(headings) == 0 {
+				continue
+			}
+			for _, h := range headings {
+				// Crowd vote: the heading must roughly agree with the
+				// direction to the destination.
+				align := math.Cos(geo.AngleDiff(h, toD))
+				if align < 0.2 {
+					continue
+				}
+				score := align + 0.02*math.Min(float64(len(headings)), 25)
+				if score > bestScore {
+					bestScore = score
+					bestNext = geo.XY{
+						X: cur.X + t.CellMeters*1.2*math.Cos(h),
+						Y: cur.Y + t.CellMeters*1.2*math.Sin(h),
+					}
+					found = true
+				}
+			}
+		}
+		if !found {
+			return nil, false
+		}
+		cur = bestNext
+		path = append(path, cur)
+	}
+	return nil, false
+}

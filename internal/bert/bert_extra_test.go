@@ -1,0 +1,120 @@
+package bert
+
+import (
+	"sync"
+	"testing"
+
+	"kamel/internal/vocab"
+)
+
+// TestConcurrentInference: a trained model must serve predictions from many
+// goroutines (the streaming mode depends on this).  Run with -race.
+func TestConcurrentInference(t *testing.T) {
+	m, _ := New(tinyConfig())
+	tokens := []int{vocab.CLS, 5, vocab.MASK, 7, vocab.SEP}
+	want, err := m.PredictMasked(tokens, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, err := m.PredictMasked(tokens, 2, 3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Error("concurrent predictions diverged")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTrainOnStepCallback verifies the progress hook fires once per step
+// with a finite loss.
+func TestTrainOnStepCallback(t *testing.T) {
+	m, _ := New(tinyConfig())
+	var steps int
+	tc := TrainConfig{Steps: 7, Batch: 4, LR: 1e-3, MaskProb: 0.2, Seed: 1,
+		OnStep: func(step int, loss float64) {
+			if step != steps {
+				t.Errorf("step %d out of order (want %d)", step, steps)
+			}
+			if loss < 0 {
+				t.Errorf("negative loss %f", loss)
+			}
+			steps++
+		}}
+	if _, err := m.Train([][]int{{5, 6, 7, 8}}, tc); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 7 {
+		t.Errorf("callback fired %d times, want 7", steps)
+	}
+}
+
+// TestTrainingReducesLoss: loss at the end must be below loss at the start
+// on a learnable corpus.
+func TestTrainingReducesLoss(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Hidden, cfg.FFN = 16, 64
+	m, _ := New(cfg)
+	var first, last float64
+	tc := TrainConfig{Steps: 150, Batch: 8, LR: 3e-3, Warmup: 10, MaskProb: 0.2, Seed: 2,
+		OnStep: func(step int, loss float64) {
+			if step == 0 {
+				first = loss
+			}
+			last = loss
+		}}
+	seqs := [][]int{{5, 6, 7, 8, 9}, {5, 6, 7, 8, 9}, {9, 8, 7, 6, 5}}
+	if _, err := m.Train(seqs, tc); err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: first %f, last %f", first, last)
+	}
+}
+
+// TestWindowedPrediction: sequences longer than MaxSeqLen must still be
+// predictable after external windowing, and the model rejects raw overlong
+// input.
+func TestWindowedPrediction(t *testing.T) {
+	m, _ := New(tinyConfig()) // MaxSeqLen 10
+	long := make([]int, 15)
+	for i := range long {
+		long[i] = 5 + i%5
+	}
+	if _, err := m.PredictMasked(long, 3, 1); err == nil {
+		t.Error("overlong sequence must be rejected")
+	}
+	window := long[:10]
+	window[5] = vocab.MASK
+	if _, err := m.PredictMasked(window, 5, 1); err != nil {
+		t.Errorf("windowed sequence rejected: %v", err)
+	}
+}
+
+// TestChunkShortSequence: a minimal 1-token sequence still yields a window.
+func TestChunkShortSequence(t *testing.T) {
+	m, _ := New(tinyConfig())
+	windows := m.chunk([][]int{{7}})
+	if len(windows) != 1 {
+		t.Fatalf("got %d windows", len(windows))
+	}
+	if len(windows[0]) != 3 {
+		t.Errorf("window = %v, want [CLS 7 SEP]", windows[0])
+	}
+	if got := m.chunk([][]int{{}}); len(got) != 0 {
+		t.Error("empty sequence must produce no windows")
+	}
+}

@@ -1,0 +1,342 @@
+package bert
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"kamel/internal/tensor"
+	"kamel/internal/vocab"
+)
+
+func tinyConfig() Config {
+	return Config{
+		VocabSize: 12,
+		Hidden:    8,
+		Layers:    2,
+		Heads:     2,
+		FFN:       16,
+		MaxSeqLen: 10,
+		Seed:      42,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tinyConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.VocabSize = 0 },
+		func(c *Config) { c.Hidden = -1 },
+		func(c *Config) { c.Layers = 0 },
+		func(c *Config) { c.Heads = 0 },
+		func(c *Config) { c.Heads = 3 }, // 8 % 3 != 0
+		func(c *Config) { c.FFN = 0 },
+		func(c *Config) { c.MaxSeqLen = 2 },
+	}
+	for i, mut := range bads {
+		c := tinyConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNumParamsMatchesLiveModel(t *testing.T) {
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.NumParams(), cfg.NumParams(); got != want {
+		t.Errorf("live params %d != config params %d", got, want)
+	}
+}
+
+func TestPaperConfigSize(t *testing.T) {
+	// The paper reports ~165M trainable parameters at a ~80K vocabulary (§8).
+	n := PaperConfig(80000).NumParams()
+	if n < 140e6 || n > 190e6 {
+		t.Errorf("paper config has %d params, expected ~165M", n)
+	}
+}
+
+func TestForwardShapesAndDeterminism(t *testing.T) {
+	m, _ := New(tinyConfig())
+	tokens := []int{vocab.CLS, 5, vocab.MASK, 7, vocab.SEP}
+	c1, err := m.PredictMasked(tokens, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != 5 {
+		t.Fatalf("got %d candidates, want 5", len(c1))
+	}
+	var sum float64
+	all, _ := m.PredictMasked(tokens, 2, 0)
+	for _, c := range all {
+		sum += c.Prob
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Errorf("probabilities sum to %f", sum)
+	}
+	for i := 1; i < len(c1); i++ {
+		if c1[i].Prob > c1[i-1].Prob {
+			t.Error("candidates not sorted by probability")
+		}
+	}
+	// Same model, same input => identical output.
+	c2, _ := m.PredictMasked(tokens, 2, 5)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Error("forward pass is not deterministic")
+		}
+	}
+}
+
+func TestPredictMaskedErrors(t *testing.T) {
+	m, _ := New(tinyConfig())
+	if _, err := m.PredictMasked(nil, 0, 1); err == nil {
+		t.Error("empty sequence must error")
+	}
+	if _, err := m.PredictMasked([]int{1, 2}, 5, 1); err == nil {
+		t.Error("out-of-range mask position must error")
+	}
+	if _, err := m.PredictMasked([]int{1, 99}, 0, 1); err == nil {
+		t.Error("out-of-vocab token must error")
+	}
+	long := make([]int, 11)
+	if _, err := m.PredictMasked(long, 0, 1); err == nil {
+		t.Error("over-length sequence must error")
+	}
+}
+
+// TestGradientsNumerically validates the entire manual backward pass —
+// attention, layer norms, GELU, residuals, embeddings, tied MLM head —
+// against central finite differences on a tiny model.
+func TestGradientsNumerically(t *testing.T) {
+	m, _ := New(tinyConfig())
+	tokens := []int{vocab.CLS, 6, vocab.MASK, 9, 7, vocab.SEP}
+	positions := []int{2, 4}
+	targets := []int{8, 5}
+
+	loss := func() float64 {
+		c := m.encode(tokens)
+		logits, _, _, _, _, _ := m.headForward(c, positions)
+		var l float64
+		for i := range positions {
+			row := logits.Row(i)
+			l += tensor.LogSumExp(row) - float64(row[targets[i]])
+		}
+		return l / float64(len(positions))
+	}
+
+	gm := m.newGradHolder()
+	c := m.encode(tokens)
+	analytic := m.lossAndBackward(c, positions, targets, gm)
+	if math.IsNaN(analytic) || analytic <= 0 {
+		t.Fatalf("suspicious loss %f", analytic)
+	}
+
+	params := m.Params()
+	const h = 1e-2
+	checked := 0
+	for pi, p := range params {
+		// Sample a few coordinates per parameter to keep the test fast.
+		idxs := []int{0, len(p.A) / 2, len(p.A) - 1}
+		for _, i := range idxs {
+			orig := p.A[i]
+			p.A[i] = orig + h
+			up := loss()
+			p.A[i] = orig - h
+			down := loss()
+			p.A[i] = orig
+			num := (up - down) / (2 * h)
+			ana := float64(gm[pi].A[i])
+			// float32 finite differences are noisy; accept absolute 2e-2 or
+			// relative 10%.
+			if math.Abs(num-ana) > 2e-2 && math.Abs(num-ana) > 0.1*math.Abs(num) {
+				t.Errorf("param %d coord %d: analytic %f vs numeric %f", pi, i, ana, num)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d gradient coordinates checked", checked)
+	}
+}
+
+func TestTrainLearnsDeterministicPattern(t *testing.T) {
+	// A corpus with a rigid grammar: token sequences cycle 5→6→7→8→9→5…
+	// After training, masking any interior position must put the correct
+	// token on top.
+	cfg := tinyConfig()
+	cfg.Hidden = 16
+	cfg.FFN = 64
+	cfg.Seed = 7
+	m, _ := New(cfg)
+	var seqs [][]int
+	for s := 0; s < 5; s++ {
+		seq := make([]int, 7)
+		for i := range seq {
+			seq[i] = 5 + (s+i)%5
+		}
+		seqs = append(seqs, seq)
+	}
+	tc := TrainConfig{Steps: 300, Batch: 8, LR: 3e-3, Warmup: 20, MaskProb: 0.2, Seed: 3}
+	stats, err := m.Train(seqs, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalLoss > 0.9 {
+		t.Fatalf("final loss %f too high; model failed to learn", stats.FinalLoss)
+	}
+	// Probe: [CLS] 5 6 [MASK] 8 9 [SEP] → token 7.
+	probe := []int{vocab.CLS, 5, 6, vocab.MASK, 8, 9, vocab.SEP}
+	cands, err := m.PredictMasked(probe, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Token != 7 {
+		t.Errorf("top prediction = %d (p=%.3f), want 7", cands[0].Token, cands[0].Prob)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m, _ := New(tinyConfig())
+	if _, err := m.Train(nil, DefaultTrainConfig()); err == nil {
+		t.Error("empty corpus must error")
+	}
+	if _, err := m.Train([][]int{{5, 6, 7}}, TrainConfig{Steps: 0, Batch: 1, MaskProb: 0.15}); err == nil {
+		t.Error("zero steps must error")
+	}
+	if _, err := m.Train([][]int{{5, 6, 7}}, TrainConfig{Steps: 1, Batch: 1, MaskProb: 0}); err == nil {
+		t.Error("zero mask prob must error")
+	}
+}
+
+func TestChunkLongSequences(t *testing.T) {
+	m, _ := New(tinyConfig()) // MaxSeqLen 10 => body 8, stride 4
+	long := make([]int, 30)
+	for i := range long {
+		long[i] = 5 + i%5
+	}
+	windows := m.chunk([][]int{long})
+	if len(windows) < 3 {
+		t.Fatalf("long sequence produced only %d windows", len(windows))
+	}
+	for _, w := range windows {
+		if len(w) > m.Cfg.MaxSeqLen {
+			t.Errorf("window of length %d exceeds MaxSeqLen", len(w))
+		}
+		if w[0] != vocab.CLS || w[len(w)-1] != vocab.SEP {
+			t.Error("window must be framed by CLS/SEP")
+		}
+	}
+}
+
+func TestMaskSequenceProcedure(t *testing.T) {
+	m, _ := New(tinyConfig())
+	rng := tensor.NewRNG(5)
+	seq := []int{vocab.CLS, 5, 6, 7, 8, 9, vocab.SEP}
+	sawMask := false
+	for trial := 0; trial < 200; trial++ {
+		masked, positions, targets := m.maskSequence(seq, 0.3, rng)
+		if len(positions) == 0 {
+			t.Fatal("must mask at least one position")
+		}
+		if len(positions) != len(targets) {
+			t.Fatal("positions/targets length mismatch")
+		}
+		if masked[0] != vocab.CLS || masked[len(masked)-1] != vocab.SEP {
+			t.Fatal("CLS/SEP must never be masked")
+		}
+		for i, p := range positions {
+			if p <= 0 || p >= len(seq)-1 {
+				t.Fatalf("masked position %d outside interior", p)
+			}
+			if targets[i] != seq[p] {
+				t.Fatal("target must be the original token")
+			}
+			if masked[p] == vocab.MASK {
+				sawMask = true
+			}
+		}
+	}
+	if !sawMask {
+		t.Error("80%% of masked positions should become [MASK]; saw none in 200 trials")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	m, _ := New(tinyConfig())
+	// Perturb weights so we are not round-tripping fresh init by luck.
+	rng := tensor.NewRNG(9)
+	for _, p := range m.Params() {
+		for i := range p.A {
+			p.A[i] += float32(rng.NormFloat64() * 0.01)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cfg != m.Cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", m2.Cfg, m.Cfg)
+	}
+	p1, p2 := m.Params(), m2.Params()
+	for i := range p1 {
+		for j := range p1[i].A {
+			if p1[i].A[j] != p2[i].A[j] {
+				t.Fatalf("param %d coord %d differs", i, j)
+			}
+		}
+	}
+	// Behavioral equivalence.
+	tokens := []int{vocab.CLS, 5, vocab.MASK, 7, vocab.SEP}
+	c1, _ := m.PredictMasked(tokens, 2, 3)
+	c2, _ := m2.PredictMasked(tokens, 2, 3)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Error("deserialized model predicts differently")
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic must be rejected")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream must be rejected")
+	}
+	// Truncated stream: serialize then cut.
+	m, _ := New(tinyConfig())
+	var buf bytes.Buffer
+	m.WriteTo(&buf)
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated stream must be rejected")
+	}
+}
+
+func TestTopKCandidates(t *testing.T) {
+	probs := []float32{0.1, 0.5, 0.05, 0.3, 0.05}
+	top := topKCandidates(probs, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d", len(top))
+	}
+	if top[0].Token != 1 || top[1].Token != 3 || top[2].Token != 0 {
+		t.Errorf("wrong order: %+v", top)
+	}
+	if got := topKCandidates(probs, 0); len(got) != len(probs) {
+		t.Error("k<=0 must return all")
+	}
+	if got := topKCandidates(probs, 100); len(got) != len(probs) {
+		t.Error("k>len must return all")
+	}
+}

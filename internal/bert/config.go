@@ -1,0 +1,94 @@
+// Package bert implements, from scratch and on the stdlib only, the
+// masked-language-model transformer encoder that sits at the core of KAMEL
+// (paper §1-§2): learned token and position embeddings, multi-head
+// self-attention, GELU feed-forward blocks, layer normalization, and a tied
+// MLM head, together with manual backpropagation, an Adam training loop with
+// BERT's 80/10/10 masking procedure, top-k masked-token prediction, and
+// binary weight serialization.
+//
+// KAMEL treats BERT as a black box that answers "given this token sequence
+// with a hole at position i, what token fills the hole and with what
+// probability?" (paper Figure 1).  This package is that black box.  The
+// architecture follows Devlin et al. [19] with one deliberate deviation:
+// blocks are pre-layer-norm rather than post-layer-norm, which trains stably
+// without a warmup schedule at the small scales a CPU-only reproduction can
+// afford.  The paper's 768/12/12 configuration is expressible via Config but
+// is not the default.
+package bert
+
+import "fmt"
+
+// Config describes a model architecture.  All fields must be positive and
+// Hidden must be divisible by Heads.
+type Config struct {
+	VocabSize int    // token IDs in [0, VocabSize)
+	Hidden    int    // model width d
+	Layers    int    // transformer blocks
+	Heads     int    // attention heads; Hidden % Heads == 0
+	FFN       int    // feed-forward inner width (BERT uses 4×Hidden)
+	MaxSeqLen int    // longest sequence, including [CLS]/[SEP]
+	Seed      uint64 // weight-init and masking seed
+}
+
+// DefaultConfig returns a laptop-scale architecture for the given vocabulary:
+// 64 wide, 2 layers, 4 heads — small enough to train on one CPU core in
+// seconds-to-minutes, large enough to learn city transition structure.
+func DefaultConfig(vocabSize int) Config {
+	return Config{
+		VocabSize: vocabSize,
+		Hidden:    64,
+		Layers:    2,
+		Heads:     4,
+		FFN:       256,
+		MaxSeqLen: 64,
+		Seed:      1,
+	}
+}
+
+// PaperConfig returns the architecture the paper reports (§8): 768 hidden
+// dimensions, 12 heads, 12 layers.  At the paper's ~80K vocabulary this is
+// ~165M parameters; it exists so the configuration is expressible, not
+// because a CPU reproduction can train it.
+func PaperConfig(vocabSize int) Config {
+	return Config{
+		VocabSize: vocabSize,
+		Hidden:    768,
+		Layers:    12,
+		Heads:     12,
+		FFN:       3072,
+		MaxSeqLen: 512,
+		Seed:      1,
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.VocabSize <= 0:
+		return fmt.Errorf("bert: VocabSize %d must be positive", c.VocabSize)
+	case c.Hidden <= 0:
+		return fmt.Errorf("bert: Hidden %d must be positive", c.Hidden)
+	case c.Layers <= 0:
+		return fmt.Errorf("bert: Layers %d must be positive", c.Layers)
+	case c.Heads <= 0:
+		return fmt.Errorf("bert: Heads %d must be positive", c.Heads)
+	case c.Hidden%c.Heads != 0:
+		return fmt.Errorf("bert: Hidden %d not divisible by Heads %d", c.Hidden, c.Heads)
+	case c.FFN <= 0:
+		return fmt.Errorf("bert: FFN %d must be positive", c.FFN)
+	case c.MaxSeqLen < 3:
+		return fmt.Errorf("bert: MaxSeqLen %d must be at least 3", c.MaxSeqLen)
+	}
+	return nil
+}
+
+// NumParams returns the total number of trainable scalars.
+func (c Config) NumParams() int {
+	d, f, v, l := c.Hidden, c.FFN, c.VocabSize, c.MaxSeqLen
+	emb := v*d + l*d + 2*d        // token, position, embedding LN
+	perBlock := 4*(d*d+d) + 2*d + // attention + LN1
+		d*f + f + f*d + d + 2*d // FFN + LN2
+	head := d*d + d + 2*d + v // transform + LN + output bias (output proj tied)
+	fin := 2 * d              // final LN
+	return emb + c.Layers*perBlock + head + fin
+}

@@ -1,0 +1,151 @@
+package bert
+
+import (
+	"fmt"
+
+	"kamel/internal/tensor"
+)
+
+// Block holds the parameters of one pre-LN transformer encoder block.
+type Block struct {
+	Wq, Wk, Wv, Wo *tensor.Mat // d×d projections
+	Bq, Bk, Bv, Bo *tensor.Mat // 1×d biases
+	LN1g, LN1b     *tensor.Mat // 1×d attention layer-norm
+	W1             *tensor.Mat // d×f
+	B1             *tensor.Mat // 1×f
+	W2             *tensor.Mat // f×d
+	B2             *tensor.Mat // 1×d
+	LN2g, LN2b     *tensor.Mat // 1×d feed-forward layer-norm
+}
+
+// Model is a BERT-style masked-language model.  Weights are plain matrices;
+// the model is safe for concurrent *inference* once training has finished
+// (forward passes allocate their own activation buffers).
+type Model struct {
+	Cfg Config
+
+	TokEmb *tensor.Mat // V×d token embeddings (tied with the output projection)
+	PosEmb *tensor.Mat // MaxSeqLen×d learned position embeddings
+	EmbLNg *tensor.Mat // 1×d embedding layer-norm gain
+	EmbLNb *tensor.Mat // 1×d embedding layer-norm bias
+
+	Blocks []*Block
+
+	FinLNg *tensor.Mat // 1×d final layer-norm gain
+	FinLNb *tensor.Mat // 1×d final layer-norm bias
+
+	HeadW   *tensor.Mat // d×d MLM transform
+	HeadB   *tensor.Mat // 1×d
+	HeadLNg *tensor.Mat // 1×d MLM layer-norm gain
+	HeadLNb *tensor.Mat // 1×d
+	OutBias *tensor.Mat // 1×V output bias (projection itself is TokEmbᵀ)
+}
+
+const lnEps = 1e-5
+
+// New constructs a model with randomly initialized weights.  Layer-norm
+// gains start at 1, everything else per BERT convention (N(0, 0.02) for
+// embeddings, Xavier for projections, zero biases).
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	d, f, v := cfg.Hidden, cfg.FFN, cfg.VocabSize
+
+	m := &Model{Cfg: cfg}
+	m.TokEmb = tensor.NewMat(v, d)
+	tensor.NormalInit(m.TokEmb, 0.02, rng)
+	m.PosEmb = tensor.NewMat(cfg.MaxSeqLen, d)
+	tensor.NormalInit(m.PosEmb, 0.02, rng)
+	m.EmbLNg = ones(1, d)
+	m.EmbLNb = tensor.NewMat(1, d)
+
+	for i := 0; i < cfg.Layers; i++ {
+		b := &Block{
+			Wq: xavier(d, d, rng), Wk: xavier(d, d, rng),
+			Wv: xavier(d, d, rng), Wo: xavier(d, d, rng),
+			Bq: tensor.NewMat(1, d), Bk: tensor.NewMat(1, d),
+			Bv: tensor.NewMat(1, d), Bo: tensor.NewMat(1, d),
+			LN1g: ones(1, d), LN1b: tensor.NewMat(1, d),
+			W1: xavier(d, f, rng), B1: tensor.NewMat(1, f),
+			W2: xavier(f, d, rng), B2: tensor.NewMat(1, d),
+			LN2g: ones(1, d), LN2b: tensor.NewMat(1, d),
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+
+	m.FinLNg = ones(1, d)
+	m.FinLNb = tensor.NewMat(1, d)
+	m.HeadW = xavier(d, d, rng)
+	m.HeadB = tensor.NewMat(1, d)
+	m.HeadLNg = ones(1, d)
+	m.HeadLNb = tensor.NewMat(1, d)
+	m.OutBias = tensor.NewMat(1, v)
+	return m, nil
+}
+
+func xavier(r, c int, rng *tensor.RNG) *tensor.Mat {
+	m := tensor.NewMat(r, c)
+	tensor.XavierInit(m, rng)
+	return m
+}
+
+func ones(r, c int) *tensor.Mat {
+	m := tensor.NewMat(r, c)
+	for i := range m.A {
+		m.A[i] = 1
+	}
+	return m
+}
+
+// Params returns every trainable matrix in a fixed, documented order.  The
+// same order is used by gradient accumulators and the serializer, so the
+// three always agree.
+func (m *Model) Params() []*tensor.Mat {
+	out := []*tensor.Mat{m.TokEmb, m.PosEmb, m.EmbLNg, m.EmbLNb}
+	for _, b := range m.Blocks {
+		out = append(out,
+			b.Wq, b.Bq, b.Wk, b.Bk, b.Wv, b.Bv, b.Wo, b.Bo,
+			b.LN1g, b.LN1b, b.W1, b.B1, b.W2, b.B2, b.LN2g, b.LN2b,
+		)
+	}
+	out = append(out, m.FinLNg, m.FinLNb, m.HeadW, m.HeadB, m.HeadLNg, m.HeadLNb, m.OutBias)
+	return out
+}
+
+// NumParams returns the number of trainable scalars in the live model.
+func (m *Model) NumParams() int {
+	var n int
+	for _, p := range m.Params() {
+		n += len(p.A)
+	}
+	return n
+}
+
+// newGradHolder allocates zero matrices shaped like every parameter, in
+// Params order.
+func (m *Model) newGradHolder() []*tensor.Mat {
+	ps := m.Params()
+	out := make([]*tensor.Mat, len(ps))
+	for i, p := range ps {
+		out[i] = tensor.NewMat(p.R, p.C)
+	}
+	return out
+}
+
+// checkTokens validates a token sequence for forward passes.
+func (m *Model) checkTokens(tokens []int) error {
+	if len(tokens) == 0 {
+		return fmt.Errorf("bert: empty token sequence")
+	}
+	if len(tokens) > m.Cfg.MaxSeqLen {
+		return fmt.Errorf("bert: sequence length %d exceeds MaxSeqLen %d", len(tokens), m.Cfg.MaxSeqLen)
+	}
+	for i, t := range tokens {
+		if t < 0 || t >= m.Cfg.VocabSize {
+			return fmt.Errorf("bert: token %d at position %d outside vocabulary of size %d", t, i, m.Cfg.VocabSize)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package bert
+
+import (
+	"fmt"
+	"sort"
+
+	"kamel/internal/tensor"
+)
+
+// Candidate is one masked-token prediction: a token ID and its softmax
+// probability.  The Partitioning module forwards candidate lists to the
+// Spatial Constraints module (paper Figure 1).
+type Candidate struct {
+	Token int
+	Prob  float64
+}
+
+// PredictMasked runs the model over tokens (which must already contain
+// exactly the sequence to score, including any [CLS]/[SEP]/[MASK]) and
+// returns the topK candidates at position maskPos, most probable first.
+// It is safe for concurrent use on a model that is no longer training.
+func (m *Model) PredictMasked(tokens []int, maskPos int, topK int) ([]Candidate, error) {
+	if err := m.checkTokens(tokens); err != nil {
+		return nil, err
+	}
+	if maskPos < 0 || maskPos >= len(tokens) {
+		return nil, fmt.Errorf("bert: mask position %d out of range for sequence of length %d", maskPos, len(tokens))
+	}
+	c := m.encode(tokens)
+	logits, _, _, _, _, _ := m.headForward(c, []int{maskPos})
+	row := logits.Row(0)
+	tensor.SoftmaxInPlace(row)
+	return topKCandidates(row, topK), nil
+}
+
+// topKCandidates extracts the k highest-probability tokens from a softmax
+// row.  For small k it does a partial selection rather than a full sort.
+func topKCandidates(probs []float32, k int) []Candidate {
+	if k <= 0 || k > len(probs) {
+		k = len(probs)
+	}
+	out := make([]Candidate, 0, k)
+	for tok, p := range probs {
+		c := Candidate{Token: tok, Prob: float64(p)}
+		if len(out) < k {
+			out = append(out, c)
+			if len(out) == k {
+				sort.Slice(out, func(i, j int) bool { return out[i].Prob > out[j].Prob })
+			}
+			continue
+		}
+		if c.Prob <= out[k-1].Prob {
+			continue
+		}
+		// Insert in order, dropping the smallest.
+		i := sort.Search(k, func(i int) bool { return out[i].Prob < c.Prob })
+		copy(out[i+1:], out[i:k-1])
+		out[i] = c
+	}
+	if len(out) < k {
+		sort.Slice(out, func(i, j int) bool { return out[i].Prob > out[j].Prob })
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package bert
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary model format, little-endian:
+//
+//	magic "KBRT" | u32 version
+//	u32 ×7: VocabSize Hidden Layers Heads FFN MaxSeqLen (Seed lo32, Seed hi32 as two u32)
+//	for each parameter in Params() order: u32 rows, u32 cols, rows*cols × f32
+//
+// The Params() order is part of the format; changing it requires bumping the
+// version.
+const (
+	modelMagic   = "KBRT"
+	modelVersion = 1
+)
+
+// WriteTo serializes the model weights and configuration.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		bw.Write(b[:])
+		written += 4
+	}
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return written, err
+	}
+	written += 4
+	put32(modelVersion)
+	put32(uint32(m.Cfg.VocabSize))
+	put32(uint32(m.Cfg.Hidden))
+	put32(uint32(m.Cfg.Layers))
+	put32(uint32(m.Cfg.Heads))
+	put32(uint32(m.Cfg.FFN))
+	put32(uint32(m.Cfg.MaxSeqLen))
+	put32(uint32(m.Cfg.Seed & 0xffffffff))
+	put32(uint32(m.Cfg.Seed >> 32))
+
+	buf := make([]byte, 4)
+	for _, p := range m.Params() {
+		put32(uint32(p.R))
+		put32(uint32(p.C))
+		for _, v := range p.A {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return written, err
+			}
+			written += 4
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a model previously written by WriteTo.
+func Read(r io.Reader) (*Model, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("bert: reading magic: %w", err)
+	}
+	if string(head) != modelMagic {
+		return nil, fmt.Errorf("bert: bad magic %q", head)
+	}
+	get32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	ver, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("bert: reading version: %w", err)
+	}
+	if ver != modelVersion {
+		return nil, fmt.Errorf("bert: unsupported model version %d", ver)
+	}
+	var fields [8]uint32
+	for i := range fields {
+		if fields[i], err = get32(); err != nil {
+			return nil, fmt.Errorf("bert: reading config: %w", err)
+		}
+	}
+	cfg := Config{
+		VocabSize: int(fields[0]),
+		Hidden:    int(fields[1]),
+		Layers:    int(fields[2]),
+		Heads:     int(fields[3]),
+		FFN:       int(fields[4]),
+		MaxSeqLen: int(fields[5]),
+		Seed:      uint64(fields[6]) | uint64(fields[7])<<32,
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bert: deserialized config invalid: %w", err)
+	}
+	buf := make([]byte, 4)
+	for pi, p := range m.Params() {
+		rows, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("bert: reading param %d shape: %w", pi, err)
+		}
+		cols, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("bert: reading param %d shape: %w", pi, err)
+		}
+		if int(rows) != p.R || int(cols) != p.C {
+			return nil, fmt.Errorf("bert: param %d shape %dx%d does not match config (%dx%d)", pi, rows, cols, p.R, p.C)
+		}
+		for i := range p.A {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("bert: reading param %d data: %w", pi, err)
+			}
+			p.A[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+	}
+	return m, nil
+}

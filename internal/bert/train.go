@@ -1,0 +1,190 @@
+package bert
+
+import (
+	"fmt"
+
+	"kamel/internal/vocab"
+
+	"kamel/internal/tensor"
+)
+
+// TrainConfig controls the masked-language-model training loop.
+type TrainConfig struct {
+	Steps    int                          // optimizer steps
+	Batch    int                          // sequences per step
+	LR       float64                      // peak learning rate
+	Warmup   int                          // linear LR warmup steps (0 disables)
+	MaskProb float64                      // fraction of tokens masked per sequence (BERT uses 0.15)
+	Seed     uint64                       // masking/shuffling seed
+	OnStep   func(step int, loss float64) // optional progress callback
+}
+
+// DefaultTrainConfig returns the training settings the experiment harness
+// uses at reproduction scale.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Steps:    800,
+		Batch:    16,
+		LR:       3e-3,
+		Warmup:   40,
+		MaskProb: 0.15,
+		Seed:     1,
+	}
+}
+
+// TrainStats summarizes a completed training run.
+type TrainStats struct {
+	Steps     int
+	FinalLoss float64 // mean loss over the last 10% of steps
+	Sequences int     // training windows after chunking
+}
+
+// Train fits the model on the tokenized trajectories with BERT's masking
+// objective.  Each input sequence is wrapped with [CLS]/[SEP] and chunked
+// into overlapping windows of MaxSeqLen.  Per window, MaskProb of the
+// interior tokens are selected; of those, 80% are replaced by [MASK], 10% by
+// a random token, 10% left intact — exactly the original BERT procedure —
+// and the model is trained to recover the originals.
+func (m *Model) Train(sequences [][]int, tc TrainConfig) (TrainStats, error) {
+	if tc.Steps <= 0 || tc.Batch <= 0 {
+		return TrainStats{}, fmt.Errorf("bert: Steps and Batch must be positive")
+	}
+	if tc.MaskProb <= 0 || tc.MaskProb >= 1 {
+		return TrainStats{}, fmt.Errorf("bert: MaskProb %f out of (0,1)", tc.MaskProb)
+	}
+	windows := m.chunk(sequences)
+	if len(windows) == 0 {
+		return TrainStats{}, fmt.Errorf("bert: no usable training sequences (need at least 3 tokens each)")
+	}
+
+	rng := tensor.NewRNG(tc.Seed)
+	opt := tensor.NewAdam(tc.LR)
+	gm := m.newGradHolder()
+
+	var tail []float64
+	tailFrom := tc.Steps - tc.Steps/10
+	if tailFrom == tc.Steps {
+		tailFrom = tc.Steps - 1
+	}
+
+	for step := 0; step < tc.Steps; step++ {
+		if tc.Warmup > 0 && step < tc.Warmup {
+			opt.LR = tc.LR * float64(step+1) / float64(tc.Warmup)
+		} else {
+			opt.LR = tc.LR
+		}
+		for _, g := range gm {
+			g.Zero()
+		}
+		var batchLoss float64
+		for b := 0; b < tc.Batch; b++ {
+			seq := windows[rng.Intn(len(windows))]
+			masked, positions, targets := m.maskSequence(seq, tc.MaskProb, rng)
+			if len(positions) == 0 {
+				continue
+			}
+			c := m.encode(masked)
+			batchLoss += m.lossAndBackward(c, positions, targets, gm)
+		}
+		batchLoss /= float64(tc.Batch)
+		// Average gradients over the batch.
+		inv := float32(1 / float64(tc.Batch))
+		for _, g := range gm {
+			g.Scale(inv)
+		}
+		opt.Step(m.Params(), gm)
+
+		if step >= tailFrom {
+			tail = append(tail, batchLoss)
+		}
+		if tc.OnStep != nil {
+			tc.OnStep(step, batchLoss)
+		}
+	}
+
+	var final float64
+	for _, l := range tail {
+		final += l
+	}
+	if len(tail) > 0 {
+		final /= float64(len(tail))
+	}
+	return TrainStats{Steps: tc.Steps, FinalLoss: final, Sequences: len(windows)}, nil
+}
+
+// chunk wraps each sequence with [CLS]/[SEP] and splits long ones into
+// windows of MaxSeqLen with 50% overlap so that every local context is seen.
+// Sequences shorter than 3 tokens (one real token) are dropped.
+func (m *Model) chunk(sequences [][]int) [][]int {
+	maxBody := m.Cfg.MaxSeqLen - 2
+	stride := maxBody / 2
+	if stride == 0 {
+		stride = 1
+	}
+	var out [][]int
+	for _, seq := range sequences {
+		if len(seq) == 0 {
+			continue
+		}
+		for start := 0; ; start += stride {
+			end := start + maxBody
+			if end > len(seq) {
+				end = len(seq)
+			}
+			body := seq[start:end]
+			if len(body) >= 1 {
+				w := make([]int, 0, len(body)+2)
+				w = append(w, vocab.CLS)
+				w = append(w, body...)
+				w = append(w, vocab.SEP)
+				if len(w) >= 3 {
+					out = append(out, w)
+				}
+			}
+			if end == len(seq) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// maskSequence applies BERT's 80/10/10 masking to the interior of a window
+// (never the [CLS]/[SEP] frame), guaranteeing at least one masked position.
+func (m *Model) maskSequence(seq []int, prob float64, rng *tensor.RNG) (masked []int, positions, targets []int) {
+	masked = make([]int, len(seq))
+	copy(masked, seq)
+	interior := len(seq) - 2
+	if interior <= 0 {
+		return masked, nil, nil
+	}
+	for i := 1; i <= interior; i++ {
+		if rng.Float64() >= prob {
+			continue
+		}
+		positions = append(positions, i)
+		targets = append(targets, seq[i])
+		switch r := rng.Float64(); {
+		case r < 0.8:
+			masked[i] = vocab.MASK
+		case r < 0.9:
+			masked[i] = vocab.NumSpecial + rng.Intn(maxInt(1, m.Cfg.VocabSize-vocab.NumSpecial))
+		default:
+			// keep the original token
+		}
+	}
+	if len(positions) == 0 {
+		i := 1 + rng.Intn(interior)
+		positions = append(positions, i)
+		targets = append(targets, seq[i])
+		masked[i] = vocab.MASK
+	}
+	return masked, positions, targets
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

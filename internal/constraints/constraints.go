@@ -1,0 +1,190 @@
+// Package constraints implements KAMEL's Spatial Constraints module (paper
+// §5).  BERT's candidate tokens are filtered against the physics of movement
+// — a speed ellipse between the segment endpoints and direction cones away
+// from where the trajectory came from and where it heads next — and imputed
+// sequences are rejected when they repeat, preventing the cycles multi-point
+// imputation can otherwise fall into (§5.2).
+package constraints
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// Checker evaluates spatial constraints over a tokenization grid.  The zero
+// value is not usable; construct with NewChecker.
+type Checker struct {
+	g grid.Grid
+
+	// MaxSpeedMPS bounds travel speed for the ellipse area (paper §5.1);
+	// KAMEL infers it from training data.
+	MaxSpeedMPS float64
+	// ConeAngleRad is the direction-constraint half-angle (default 45°).
+	ConeAngleRad float64
+	// CycleLen is the maximum repeated-suffix length checked (default 6).
+	CycleLen int
+	// SlackMeters loosens the ellipse so that endpoint timestamps quantized
+	// to the grid never exclude the direct path itself.
+	SlackMeters float64
+	// PathKappa bounds the imputed path length to κ × the direct distance
+	// when no timing information is available (default 3).
+	PathKappa float64
+	// Disabled turns the module into a pass-through, for the paper's
+	// "No Const." ablation (§8.7).
+	Disabled bool
+}
+
+// NewChecker returns a checker with the paper's defaults: a 45° cone and
+// cycle window 6, with the given speed limit.
+func NewChecker(g grid.Grid, maxSpeedMPS float64) *Checker {
+	return &Checker{
+		g:            g,
+		MaxSpeedMPS:  maxSpeedMPS,
+		ConeAngleRad: 45 * math.Pi / 180,
+		CycleLen:     6,
+		SlackMeters:  2 * g.EdgeMeters(),
+		PathKappa:    3,
+	}
+}
+
+// MaxPathMeters returns the upper bound on the driven length of an imputed
+// segment, derived from the speed constraint (§5.1): a vehicle covering the
+// gap in TimeDiff seconds cannot have driven further than speed × time.
+// Without timing information the bound falls back to PathKappa × the direct
+// distance.  The direct distance plus slack is always admissible.
+func (c *Checker) MaxPathMeters(seg Segment) float64 {
+	if c.Disabled {
+		return math.Inf(1)
+	}
+	direct := c.g.Centroid(seg.S).Dist(c.g.Centroid(seg.D))
+	floor := direct + c.SlackMeters + 2*c.g.StepMeters()
+	var bound float64
+	if seg.TimeDiff > 0 && c.MaxSpeedMPS > 0 {
+		bound = c.MaxSpeedMPS * seg.TimeDiff
+	} else {
+		kappa := c.PathKappa
+		if kappa <= 0 {
+			kappa = 3
+		}
+		bound = kappa * direct
+	}
+	if bound < floor {
+		bound = floor
+	}
+	return bound
+}
+
+// Segment describes the gap being imputed: end tokens S and D, the optional
+// tokens just before S and just after D (t1 and t2 in the paper's Figure 5),
+// and the timestamp difference between S and D in seconds (0 when unknown,
+// which disables the speed constraint).
+type Segment struct {
+	S, D     grid.Cell
+	Prev     *grid.Cell
+	Next     *grid.Cell
+	TimeDiff float64
+}
+
+// AllowedArea reports whether the token satisfies both the speed-ellipse and
+// the direction-cone constraints for the segment.
+func (c *Checker) AllowedArea(t grid.Cell, seg Segment) bool {
+	if c.Disabled {
+		return true
+	}
+	return c.insideSpeedEllipse(t, seg) && !c.inRejectedCone(t, seg)
+}
+
+// insideSpeedEllipse implements the blue dashed area of Figure 5: the token
+// centroid must lie within the ellipse whose foci are the centroids of S and
+// D and whose major axis is MaxSpeed × TimeDiff.
+func (c *Checker) insideSpeedEllipse(t grid.Cell, seg Segment) bool {
+	if seg.TimeDiff <= 0 || c.MaxSpeedMPS <= 0 {
+		return true // no timing information: constraint vacuous
+	}
+	fs := c.g.Centroid(seg.S)
+	fd := c.g.Centroid(seg.D)
+	limit := c.MaxSpeedMPS * seg.TimeDiff
+	// The direct path must always be admissible even with grid quantization.
+	if floor := fs.Dist(fd) + c.SlackMeters; limit < floor {
+		limit = floor
+	}
+	return geo.InsideEllipse(c.g.Centroid(t), fs, fd, limit)
+}
+
+// inRejectedCone implements the red token area of Figure 5: tokens deviating
+// less than the cone angle from the direction S→Prev (doubling back) or
+// D→Next (jumping ahead) are rejected.
+func (c *Checker) inRejectedCone(t grid.Cell, seg Segment) bool {
+	tc := c.g.Centroid(t)
+	if seg.Prev != nil {
+		s := c.g.Centroid(seg.S)
+		back := c.g.Centroid(*seg.Prev).Sub(s).Heading()
+		if tc.Dist(s) > 1e-9 {
+			if geo.AngleDiff(tc.Sub(s).Heading(), back) < c.ConeAngleRad {
+				return true
+			}
+		}
+	}
+	if seg.Next != nil {
+		d := c.g.Centroid(seg.D)
+		ahead := c.g.Centroid(*seg.Next).Sub(d).Heading()
+		if tc.Dist(d) > 1e-9 {
+			if geo.AngleDiff(tc.Sub(d).Heading(), ahead) < c.ConeAngleRad {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Candidate pairs a token with its model probability; the type mirrors what
+// the Partitioning module hands to this module (paper Figure 1).
+type Candidate struct {
+	Cell grid.Cell
+	Prob float64
+}
+
+// Filter returns the candidates that satisfy the area constraints, in their
+// original order.  The trivial-cycle rule (§5.2, x=1) is also applied here:
+// a candidate equal to either gap endpoint is dropped.
+func (c *Checker) Filter(cands []Candidate, seg Segment) []Candidate {
+	out := cands[:0:0]
+	for _, cand := range cands {
+		if cand.Cell == seg.S || cand.Cell == seg.D {
+			continue
+		}
+		if c.Disabled || c.AllowedArea(cand.Cell, seg) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether the token sequence ends in a repeated run: for
+// any x in [1, CycleLen], the last x tokens equal the x tokens before them
+// (paper §5.2).  The overpass case of Figure 5(d) — a token appearing twice
+// without a repeated *sequence* — is, correctly, not a cycle.
+func (c *Checker) HasCycle(tokens []grid.Cell) bool {
+	maxX := c.CycleLen
+	if maxX <= 0 {
+		maxX = 6
+	}
+	for x := 1; x <= maxX; x++ {
+		if len(tokens) < 2*x {
+			break
+		}
+		match := true
+		for i := 0; i < x; i++ {
+			if tokens[len(tokens)-1-i] != tokens[len(tokens)-1-x-i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package constraints
+
+import (
+	"math"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+func setup() (*Checker, grid.Grid) {
+	g := grid.NewHex(75)
+	return NewChecker(g, 30), g
+}
+
+func TestSpeedEllipse(t *testing.T) {
+	c, g := setup()
+	s := g.CellAt(geo.XY{X: 0, Y: 0})
+	d := g.CellAt(geo.XY{X: 1000, Y: 0})
+	// 30 m/s over 60 s → ellipse major axis 1800 m.
+	seg := Segment{S: s, D: d, TimeDiff: 60}
+
+	// A token on the direct path is allowed.
+	mid := g.CellAt(geo.XY{X: 500, Y: 0})
+	if !c.AllowedArea(mid, seg) {
+		t.Error("midpoint must satisfy the speed ellipse")
+	}
+	// A token requiring a huge detour is rejected: sum of distances
+	// ≈ 2×sqrt(500² + 2000²) ≈ 4123 > 1800.
+	far := g.CellAt(geo.XY{X: 500, Y: 2000})
+	if c.AllowedArea(far, seg) {
+		t.Error("far detour must violate the speed ellipse")
+	}
+	// With no timing info the constraint is vacuous.
+	segNoTime := Segment{S: s, D: d}
+	if !c.AllowedArea(far, segNoTime) {
+		t.Error("no-timestamp segment must not apply the ellipse")
+	}
+}
+
+func TestSpeedEllipseFloor(t *testing.T) {
+	c, g := setup()
+	s := g.CellAt(geo.XY{X: 0, Y: 0})
+	d := g.CellAt(geo.XY{X: 1000, Y: 0})
+	// Absurdly tight timing (1 s for 1 km) must still admit the direct path
+	// thanks to the slack floor.
+	seg := Segment{S: s, D: d, TimeDiff: 1}
+	mid := g.CellAt(geo.XY{X: 500, Y: 0})
+	if !c.AllowedArea(mid, seg) {
+		t.Error("direct path must remain admissible under tight timing")
+	}
+}
+
+func TestDirectionCones(t *testing.T) {
+	c, g := setup()
+	// Trajectory heading east: prev ← S → ... → D → next, all on the X axis.
+	prev := g.CellAt(geo.XY{X: -500, Y: 0})
+	s := g.CellAt(geo.XY{X: 0, Y: 0})
+	d := g.CellAt(geo.XY{X: 1000, Y: 0})
+	next := g.CellAt(geo.XY{X: 1500, Y: 0})
+	seg := Segment{S: s, D: d, Prev: &prev, Next: &next}
+
+	// A token behind S (towards prev) is rejected.
+	behind := g.CellAt(geo.XY{X: -300, Y: 20})
+	if c.AllowedArea(behind, seg) {
+		t.Error("token behind S must be rejected by the S→prev cone")
+	}
+	// A token beyond D (towards next) is rejected.
+	beyond := g.CellAt(geo.XY{X: 1300, Y: 20})
+	if c.AllowedArea(beyond, seg) {
+		t.Error("token beyond D must be rejected by the D→next cone")
+	}
+	// A token between them is fine.
+	mid := g.CellAt(geo.XY{X: 500, Y: 100})
+	if !c.AllowedArea(mid, seg) {
+		t.Error("interior token must be allowed")
+	}
+	// Without prev/next there are no cones.
+	segBare := Segment{S: s, D: d}
+	if !c.AllowedArea(behind, segBare) {
+		t.Error("no-context segment must not apply cones")
+	}
+}
+
+func TestConeAngleBoundary(t *testing.T) {
+	c, g := setup()
+	prev := g.CellAt(geo.XY{X: -500, Y: 0})
+	s := g.CellAt(geo.XY{X: 0, Y: 0})
+	d := g.CellAt(geo.XY{X: 1000, Y: 0})
+	seg := Segment{S: s, D: d, Prev: &prev}
+	// 60° off the back direction: outside the default 45° cone.
+	a := 120 * math.Pi / 180 // measured from +X; back direction is 180°
+	tok := g.CellAt(geo.XY{X: 400 * math.Cos(a), Y: 400 * math.Sin(a)})
+	if !c.AllowedArea(tok, seg) {
+		t.Error("60° off the back direction must be allowed")
+	}
+	// 20° off the back direction: inside the cone.
+	a = 160 * math.Pi / 180
+	tok = g.CellAt(geo.XY{X: 400 * math.Cos(a), Y: 400 * math.Sin(a)})
+	if c.AllowedArea(tok, seg) {
+		t.Error("20° off the back direction must be rejected")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c, g := setup()
+	s := g.CellAt(geo.XY{X: 0, Y: 0})
+	d := g.CellAt(geo.XY{X: 600, Y: 0})
+	seg := Segment{S: s, D: d, TimeDiff: 60}
+	cands := []Candidate{
+		{Cell: g.CellAt(geo.XY{X: 300, Y: 0}), Prob: 0.5},
+		{Cell: s, Prob: 0.3},                                 // trivial cycle: equals S
+		{Cell: g.CellAt(geo.XY{X: 300, Y: 5000}), Prob: 0.2}, // outside ellipse
+	}
+	got := c.Filter(cands, seg)
+	if len(got) != 1 || got[0].Prob != 0.5 {
+		t.Fatalf("Filter returned %+v, want only the 0.5 candidate", got)
+	}
+	// Filter must not mutate the input slice.
+	if cands[1].Cell != s {
+		t.Error("input slice mutated")
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	c, _ := setup()
+	mk := func(ids ...int) []grid.Cell {
+		out := make([]grid.Cell, len(ids))
+		for i, v := range ids {
+			out[i] = grid.Cell(v)
+		}
+		return out
+	}
+	tests := []struct {
+		name   string
+		tokens []grid.Cell
+		want   bool
+	}{
+		{"empty", nil, false},
+		{"trivial x=1", mk(1, 2, 3, 3), true},
+		{"x=2", mk(9, 1, 2, 1, 2), true},
+		{"x=3", mk(7, 1, 2, 3, 1, 2, 3), true},
+		{"no cycle", mk(1, 2, 3, 4, 5), false},
+		{"overpass: repeated token, no repeated sequence", mk(3, 6, 7, 8, 3, 9), false},
+		{"too short for x=2", mk(1, 2), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := c.HasCycle(tc.tokens); got != tc.want {
+				t.Errorf("HasCycle(%v) = %v, want %v", tc.tokens, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHasCycleRespectsWindow(t *testing.T) {
+	c, _ := setup()
+	c.CycleLen = 2
+	long := []grid.Cell{1, 2, 3, 1, 2, 3} // x=3 cycle, beyond window 2
+	if c.HasCycle(long) {
+		t.Error("cycle longer than the window must not be detected")
+	}
+	c.CycleLen = 3
+	if !c.HasCycle(long) {
+		t.Error("x=3 cycle must be detected with window 3")
+	}
+}

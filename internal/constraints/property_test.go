@@ -1,0 +1,104 @@
+package constraints
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// TestFilterSubsetProperty: Filter output is always an order-preserving
+// subset of its input, never containing S or D.
+func TestFilterSubsetProperty(t *testing.T) {
+	g := grid.NewHex(75)
+	c, _ := setupLike(g)
+	f := func(coords []int16, timeDiff float64) bool {
+		s := g.CellAt(geo.XY{X: 0, Y: 0})
+		d := g.CellAt(geo.XY{X: 900, Y: 0})
+		seg := Segment{S: s, D: d, TimeDiff: math.Mod(math.Abs(timeDiff), 300)}
+		var cands []Candidate
+		for i := 0; i+1 < len(coords); i += 2 {
+			cell := g.CellAt(geo.XY{X: float64(coords[i]), Y: float64(coords[i+1])})
+			cands = append(cands, Candidate{Cell: cell, Prob: 0.1})
+		}
+		out := c.Filter(cands, seg)
+		if len(out) > len(cands) {
+			return false
+		}
+		// Order preserved: out must be a subsequence of cands.
+		j := 0
+		for _, o := range out {
+			found := false
+			for ; j < len(cands); j++ {
+				if cands[j].Cell == o.Cell {
+					found = true
+					j++
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+			if o.Cell == s || o.Cell == d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func setupLike(g grid.Grid) (*Checker, grid.Grid) {
+	return NewChecker(g, 30), g
+}
+
+// TestDisabledCheckerPassesEverything: the No-Const ablation accepts any
+// candidate except exact gap endpoints, and never bounds path length.
+func TestDisabledCheckerPassesEverything(t *testing.T) {
+	g := grid.NewHex(75)
+	c := NewChecker(g, 30)
+	c.Disabled = true
+	s := g.CellAt(geo.XY{X: 0, Y: 0})
+	d := g.CellAt(geo.XY{X: 500, Y: 0})
+	prev := g.CellAt(geo.XY{X: -500, Y: 0})
+	seg := Segment{S: s, D: d, Prev: &prev, TimeDiff: 1} // absurdly tight timing
+	farAndBehind := []Candidate{
+		{Cell: g.CellAt(geo.XY{X: -400, Y: 0}), Prob: 0.5}, // in the back cone
+		{Cell: g.CellAt(geo.XY{X: 0, Y: 9e5}), Prob: 0.5},  // far outside any ellipse
+	}
+	if got := c.Filter(farAndBehind, seg); len(got) != 2 {
+		t.Errorf("disabled checker filtered %d of 2 candidates", 2-len(got))
+	}
+	if !math.IsInf(c.MaxPathMeters(seg), 1) {
+		t.Error("disabled checker must not bound path length")
+	}
+}
+
+// TestMaxPathMeters covers the three regimes of the path bound.
+func TestMaxPathMeters(t *testing.T) {
+	g := grid.NewHex(75)
+	c := NewChecker(g, 20)
+	s := g.CellAt(geo.XY{X: 0, Y: 0})
+	d := g.CellAt(geo.XY{X: 1000, Y: 0})
+
+	// Timed: speed × Δt.
+	timed := c.MaxPathMeters(Segment{S: s, D: d, TimeDiff: 100})
+	if math.Abs(timed-2000) > 1 {
+		t.Errorf("timed bound %f, want 2000", timed)
+	}
+	// Untimed: κ × direct.
+	direct := g.Centroid(s).Dist(g.Centroid(d))
+	untimed := c.MaxPathMeters(Segment{S: s, D: d})
+	if math.Abs(untimed-3*direct) > 1 {
+		t.Errorf("untimed bound %f, want %f", untimed, 3*direct)
+	}
+	// Floor: even absurd timing admits the direct path plus slack.
+	floor := c.MaxPathMeters(Segment{S: s, D: d, TimeDiff: 0.001})
+	if floor < direct {
+		t.Errorf("floor %f below direct distance %f", floor, direct)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"kamel/internal/bert"
+	"kamel/internal/pyramid"
+	"kamel/internal/vocab"
+)
+
+// bundleCodec persists modelBundles for the pyramid's disk repository: the
+// vocabulary followed by the BERT weights, both in their own binary formats.
+type bundleCodec struct{}
+
+// Encode implements pyramid.Codec.
+func (bundleCodec) Encode(w io.Writer, h pyramid.Handle) error {
+	b, ok := h.(*modelBundle)
+	if !ok {
+		return fmt.Errorf("core: cannot encode handle of type %T", h)
+	}
+	if _, err := b.vocab.WriteTo(w); err != nil {
+		return fmt.Errorf("core: writing vocabulary: %w", err)
+	}
+	if _, err := b.model.WriteTo(w); err != nil {
+		return fmt.Errorf("core: writing model: %w", err)
+	}
+	return nil
+}
+
+// Decode implements pyramid.Codec.  Both sections buffer their reads, so the
+// stream is materialized once and split by the vocabulary's consumed-byte
+// count.
+func (bundleCodec) Decode(r io.Reader) (pyramid.Handle, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model bundle: %w", err)
+	}
+	v := vocab.New()
+	n, err := v.ReadFrom(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading vocabulary: %w", err)
+	}
+	if n < 0 || n > int64(len(data)) {
+		return nil, fmt.Errorf("core: vocabulary section size %d out of range", n)
+	}
+	m, err := bert.Read(bytes.NewReader(data[n:]))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model: %w", err)
+	}
+	return &modelBundle{model: m, vocab: v}, nil
+}
+
+// SaveModels persists the model repository under the system's Workdir so a
+// later process can impute without retraining — the paper's offline-train /
+// online-impute split (§4).
+func (s *System) SaveModels() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.repo == nil {
+		return fmt.Errorf("core: nothing to save (no repository; global-model mode is not persisted)")
+	}
+	return s.repo.Save(s.modelsDir(), bundleCodec{})
+}
+
+// LoadModels restores a repository persisted by SaveModels.  The trajectory
+// store (and therefore detokenization clusters and the speed estimate) is
+// rebuilt from the Workdir store automatically.
+func (s *System) LoadModels() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.proj == nil {
+		// A fresh process: restore the projection persisted at training
+		// time and replay the trajectory store.
+		if err := s.loadMeta(); err != nil {
+			return fmt.Errorf("core: no persisted system in %s: %w", s.cfg.Workdir, err)
+		}
+		if err := s.initStorage(); err != nil {
+			return err
+		}
+	}
+	repo, err := pyramid.Load(s.modelsDir(), bundleCodec{})
+	if err != nil {
+		return err
+	}
+	s.repo = repo
+	if s.st != nil && s.st.Len() > 0 {
+		s.refreshSpeedEstimate()
+		s.refreshChecker()
+		s.rebuildDetok()
+	}
+	return nil
+}
+
+func (s *System) modelsDir() string { return s.cfg.Workdir + "/models" }

@@ -1,0 +1,175 @@
+// Package core wires KAMEL's five modules into the system of the paper's
+// Figure 1: Tokenization (internal/grid + internal/vocab), Partitioning
+// (internal/store + internal/pyramid + internal/bert), Spatial Constraints
+// (internal/constraints), Multipoint Imputation (internal/impute) and
+// Detokenization (internal/detok).  It exposes offline bulk training and
+// imputation, an online streaming mode, the cell-size auto-tuner of §3.2,
+// and the ablation switches the paper evaluates in §8.7.
+package core
+
+import (
+	"fmt"
+
+	"kamel/internal/bert"
+	"kamel/internal/geo"
+)
+
+// Strategy selects the multipoint-imputation algorithm (paper §6).
+type Strategy string
+
+const (
+	// StrategyBeam is the bidirectional beam search (Algorithm 2), the
+	// default: §6.2 shows it dominating the greedy approach.
+	StrategyBeam Strategy = "beam"
+	// StrategyIterative is greedy iterative BERT calling (Algorithm 1).
+	StrategyIterative Strategy = "iterative"
+)
+
+// Config collects every tunable of the system.  Zero values are filled with
+// the paper's defaults by Normalize.
+type Config struct {
+	// Workdir is where the trajectory store and model repository live.
+	Workdir string
+
+	// Tokenization (§3).
+	GridKind    string  // "hex" (default) or "square" (§8.5 comparison)
+	CellEdgeM   float64 // hexagon edge length (default 75, the paper's tuned value)
+	SquareEdgeM float64 // square edge when GridKind=="square" (default: area-matched)
+
+	// Partitioning (§4).
+	Region     geo.Rect // deployment region; empty = derived from first training batch
+	PyramidH   int      // pyramid height (paper default 10; repro default 3)
+	PyramidL   int      // maintained levels (paper default 3)
+	ThresholdK int      // model threshold base k (paper default 20000; repro default lower)
+
+	// BERT architecture and training.
+	Hidden, Layers, Heads, FFN, MaxSeqLen int
+	Train                                 bert.TrainConfig
+
+	// Multipoint imputation (§6) and constraints (§5).
+	Strategy     Strategy
+	MaxGapM      float64 // max_gap (default 100)
+	Beam         int     // beam width B (default 10)
+	TopK         int     // candidates per BERT call
+	MaxCalls     int     // BERT call budget per gap
+	Alpha        float64 // length-normalization strength (default 1)
+	MaxSpeedMPS  float64 // 0 = inferred from training data (§5.1)
+	ConeAngleDeg float64 // direction-constraint angle (default 45)
+	CycleLen     int     // cycle-detection window x (default 6)
+
+	// Ablation switches (§8.7, Fig 12-VI).
+	DisablePartitioning bool // "No Part.": one global model
+	DisableConstraints  bool // "No Const.": accept any BERT prediction
+	DisableMultipoint   bool // "No Multi.": one BERT call per gap
+
+	Seed uint64
+}
+
+// DefaultConfig returns the reproduction-scale defaults: the paper's
+// tokenization/imputation parameters with a laptop-scale BERT.
+func DefaultConfig(workdir string) Config {
+	return Config{
+		Workdir:      workdir,
+		GridKind:     "hex",
+		CellEdgeM:    75,
+		PyramidH:     3,
+		PyramidL:     3,
+		ThresholdK:   2000,
+		Hidden:       64,
+		Layers:       2,
+		Heads:        4,
+		FFN:          256,
+		MaxSeqLen:    64,
+		Train:        bert.DefaultTrainConfig(),
+		Strategy:     StrategyBeam,
+		MaxGapM:      100,
+		Beam:         6,
+		TopK:         60,
+		MaxCalls:     400,
+		Alpha:        1,
+		ConeAngleDeg: 45,
+		CycleLen:     6,
+		Seed:         1,
+	}
+}
+
+// Normalize fills zero fields with defaults and validates the result.
+func (c *Config) Normalize() error {
+	d := DefaultConfig(c.Workdir)
+	if c.GridKind == "" {
+		c.GridKind = d.GridKind
+	}
+	if c.GridKind != "hex" && c.GridKind != "square" {
+		return fmt.Errorf("core: unknown grid kind %q", c.GridKind)
+	}
+	if c.CellEdgeM <= 0 {
+		c.CellEdgeM = d.CellEdgeM
+	}
+	if c.PyramidH <= 0 {
+		c.PyramidH = d.PyramidH
+	}
+	if c.PyramidL <= 0 {
+		c.PyramidL = d.PyramidL
+	}
+	if c.PyramidL > c.PyramidH+1 {
+		return fmt.Errorf("core: PyramidL %d exceeds PyramidH+1", c.PyramidL)
+	}
+	if c.ThresholdK <= 0 {
+		c.ThresholdK = d.ThresholdK
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = d.Hidden
+	}
+	if c.Layers <= 0 {
+		c.Layers = d.Layers
+	}
+	if c.Heads <= 0 {
+		c.Heads = d.Heads
+	}
+	if c.Hidden%c.Heads != 0 {
+		return fmt.Errorf("core: Hidden %d not divisible by Heads %d", c.Hidden, c.Heads)
+	}
+	if c.FFN <= 0 {
+		c.FFN = d.FFN
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = d.MaxSeqLen
+	}
+	if c.Train.Steps <= 0 {
+		c.Train = d.Train
+	}
+	if c.Strategy == "" {
+		c.Strategy = d.Strategy
+	}
+	if c.Strategy != StrategyBeam && c.Strategy != StrategyIterative {
+		return fmt.Errorf("core: unknown strategy %q", c.Strategy)
+	}
+	if c.MaxGapM <= 0 {
+		c.MaxGapM = d.MaxGapM
+	}
+	if c.Beam <= 0 {
+		c.Beam = d.Beam
+	}
+	if c.TopK <= 0 {
+		c.TopK = d.TopK
+	}
+	if c.MaxCalls <= 0 {
+		c.MaxCalls = d.MaxCalls
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: Alpha %f outside [0,1]", c.Alpha)
+	}
+	if c.ConeAngleDeg <= 0 {
+		c.ConeAngleDeg = d.ConeAngleDeg
+	}
+	if c.CycleLen <= 0 {
+		c.CycleLen = d.CycleLen
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Workdir == "" {
+		return fmt.Errorf("core: Workdir is required")
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"kamel/internal/baseline"
+	"kamel/internal/geo"
+	"kamel/internal/metrics"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+// testFixture builds a small city, simulated traffic, and a KAMEL config
+// scaled for unit tests (tiny model, short training).
+type testFixture struct {
+	net   *roadnet.Network
+	proj  *geo.Projection
+	train []geo.Trajectory
+	test  []geo.Trajectory
+	cfg   Config
+}
+
+func newFixture(t *testing.T, mutate func(*Config)) *testFixture {
+	t.Helper()
+	cityCfg := roadnet.DefaultCityConfig()
+	cityCfg.Width, cityCfg.Height = 1500, 1500
+	cityCfg.BlockSpacing = 250
+	net := roadnet.GenerateCity(cityCfg)
+	proj := geo.NewProjection(41.15, -8.61)
+	gen := trajgen.DefaultConfig(60)
+	gen.GPSNoiseMeters = 3
+	trajs, err := trajgen.Generate(net, proj, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := trajgen.SplitTrainTest(trajs, 0.8, 1)
+
+	cfg := DefaultConfig(t.TempDir())
+	cfg.DisablePartitioning = true // cheap global model for most tests
+	cfg.Hidden, cfg.FFN = 32, 128
+	cfg.Heads = 4
+	cfg.Train.Steps = 220
+	cfg.Train.Batch = 12
+	cfg.Beam = 6
+	cfg.TopK = 40
+	cfg.MaxCalls = 150
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return &testFixture{net: net, proj: proj, train: train, test: test, cfg: cfg}
+}
+
+func trainedSystem(t *testing.T, f *testFixture) *System {
+	t.Helper()
+	sys, err := NewWithProjection(f.cfg, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if err := sys.Train(f.train); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{Workdir: "x"}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CellEdgeM != 75 || c.Strategy != StrategyBeam || c.MaxGapM != 100 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	bad := Config{}
+	if bad.Normalize() == nil {
+		t.Error("missing Workdir must be rejected")
+	}
+	bad = Config{Workdir: "x", GridKind: "triangle"}
+	if bad.Normalize() == nil {
+		t.Error("unknown grid kind must be rejected")
+	}
+	bad = Config{Workdir: "x", Hidden: 10, Heads: 3}
+	if bad.Normalize() == nil {
+		t.Error("indivisible heads must be rejected")
+	}
+	bad = Config{Workdir: "x", Strategy: "magic"}
+	if bad.Normalize() == nil {
+		t.Error("unknown strategy must be rejected")
+	}
+}
+
+func TestTrainThenImputeBeatsNothing(t *testing.T) {
+	f := newFixture(t, nil)
+	sys := trainedSystem(t, f)
+
+	st := sys.SystemStats()
+	if st.Trajectories != len(f.train) {
+		t.Errorf("stored %d trajectories, want %d", st.Trajectories, len(f.train))
+	}
+	if st.SingleModels == 0 {
+		t.Fatal("no model trained")
+	}
+	if st.MaxSpeedMPS < 5 || st.MaxSpeedMPS > 40 {
+		t.Errorf("implausible speed estimate %f", st.MaxSpeedMPS)
+	}
+
+	truth := f.test[0]
+	sparse := truth.Sparsify(700)
+	dense, stats, err := sys.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Points) <= len(sparse.Points) {
+		t.Error("imputation must add points")
+	}
+	if stats.Segments == 0 {
+		t.Error("no segments counted")
+	}
+	// Endpoints preserved, timestamps monotone.
+	if dense.Points[0] != sparse.Points[0] {
+		t.Error("first point must be preserved")
+	}
+	for i := 1; i < len(dense.Points); i++ {
+		if dense.Points[i].T < dense.Points[i-1].T-1e-9 {
+			t.Fatal("timestamps must be non-decreasing")
+		}
+	}
+}
+
+func TestImputeAccuracyAboveLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	f := newFixture(t, func(c *Config) { c.Train.Steps = 350 })
+	sys := trainedSystem(t, f)
+	lin := &baseline.Linear{Proj: f.proj, StepMeters: 100}
+
+	var kamel, linear metrics.Accumulator
+	n := 6
+	if n > len(f.test) {
+		n = len(f.test)
+	}
+	for _, truth := range f.test[:n] {
+		sparse := truth.Sparsify(700)
+		dk, _, err := sys.Impute(sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kamel.Add(metrics.Evaluate(f.proj, truth, dk, 100, 50))
+		dl, _, _ := lin.Impute(sparse)
+		linear.Add(metrics.Evaluate(f.proj, truth, dl, 100, 50))
+	}
+	t.Logf("KAMEL recall=%.3f linear recall=%.3f", kamel.Recall(), linear.Recall())
+	if kamel.Recall() < linear.Recall() {
+		t.Errorf("KAMEL recall %.3f below linear %.3f", kamel.Recall(), linear.Recall())
+	}
+}
+
+func TestImputeRequiresTraining(t *testing.T) {
+	cfg := DefaultConfig(t.TempDir())
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Impute(geo.Trajectory{}); err == nil {
+		t.Error("imputing before training must error")
+	}
+	if err := sys.Train(nil); err == nil {
+		t.Error("empty training batch must error")
+	}
+}
+
+func TestShortTrajectoryPassThrough(t *testing.T) {
+	f := newFixture(t, nil)
+	sys := trainedSystem(t, f)
+	one := geo.Trajectory{ID: "x", Points: f.test[0].Points[:1]}
+	out, stats, err := sys.Impute(one)
+	if err != nil || len(out.Points) != 1 || stats.Segments != 0 {
+		t.Error("single-point trajectory must pass through unchanged")
+	}
+}
+
+func TestPyramidModeBuildsModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.DisablePartitioning = false
+		c.PyramidH = 1
+		c.PyramidL = 2 // maintain root and level 1
+		c.ThresholdK = 200
+		c.Train.Steps = 120
+	})
+	sys := trainedSystem(t, f)
+	st := sys.SystemStats()
+	if st.SingleModels == 0 {
+		t.Fatal("pyramid built no models")
+	}
+	if sys.Repo() == nil {
+		t.Fatal("repository missing")
+	}
+	// Imputation must find models via the repository.
+	sparse := f.test[0].Sparsify(700)
+	_, stats, err := sys.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments == 0 {
+		t.Error("no segments processed")
+	}
+}
+
+func TestSaveLoadModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.DisablePartitioning = false
+		c.PyramidH = 1
+		c.PyramidL = 2
+		c.ThresholdK = 200
+		c.Train.Steps = 100
+	})
+	sys := trainedSystem(t, f)
+	if err := sys.SaveModels(); err != nil {
+		t.Fatal(err)
+	}
+	sparse := f.test[0].Sparsify(700)
+	before, _, err := sys.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh system over the same workdir must impute identically after
+	// loading, without retraining.
+	sys2, err := NewWithProjection(f.cfg, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if err := sys2.LoadModels(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := sys2.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Points) != len(after.Points) {
+		t.Fatalf("imputation changed after reload: %d vs %d points", len(before.Points), len(after.Points))
+	}
+	for i := range before.Points {
+		if math.Abs(before.Points[i].Lat-after.Points[i].Lat) > 1e-12 {
+			t.Fatal("points differ after reload")
+		}
+	}
+}
+
+func TestImputeStream(t *testing.T) {
+	f := newFixture(t, nil)
+	sys := trainedSystem(t, f)
+
+	in := make(chan geo.Trajectory)
+	go func() {
+		for _, truth := range f.test[:4] {
+			in <- truth.Sparsify(700)
+		}
+		close(in)
+	}()
+	out := sys.ImputeStream(context.Background(), in, 2)
+	got := map[string]bool{}
+	for res := range out {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		got[res.Trajectory.ID] = true
+	}
+	if len(got) != 4 {
+		t.Errorf("stream returned %d results, want 4", len(got))
+	}
+}
+
+func TestImputeStreamCancellation(t *testing.T) {
+	f := newFixture(t, nil)
+	sys := trainedSystem(t, f)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan geo.Trajectory) // never closed, never fed
+	out := sys.ImputeStream(ctx, in, 1)
+	cancel()
+	if _, ok := <-out; ok {
+		// Drain until closed; cancellation must close the stream.
+		for range out {
+		}
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	// No Multi: at most one imputed point per gap.
+	f := newFixture(t, func(c *Config) { c.DisableMultipoint = true })
+	sys := trainedSystem(t, f)
+	sparse := f.test[0].Sparsify(700)
+	dense, _, err := sys.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one point per gap, output size is bounded by 2×sparse.
+	if len(dense.Points) > 2*len(sparse.Points) {
+		t.Errorf("No-Multi imputed too many points: %d for %d sparse", len(dense.Points), len(sparse.Points))
+	}
+
+	// No Const: system still runs end to end.
+	f2 := newFixture(t, func(c *Config) { c.DisableConstraints = true })
+	sys2 := trainedSystem(t, f2)
+	if _, _, err := sys2.Impute(sparse); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareGridMode(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.GridKind = "square" })
+	sys := trainedSystem(t, f)
+	if sys.Grid().Kind() != "square" {
+		t.Fatal("square grid not selected")
+	}
+	if _, _, err := sys.Impute(f.test[0].Sparsify(700)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceOfDedup(t *testing.T) {
+	f := newFixture(t, nil)
+	sys, err := NewWithProjection(f.cfg, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rec := sys.tokenize(f.train[0])
+	seq := sequenceOf(rec)
+	if len(seq) == 0 {
+		t.Fatal("empty sequence")
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == seq[i-1] {
+			t.Fatal("consecutive duplicates must be collapsed")
+		}
+	}
+	if len(seq) >= len(rec.Tokens) {
+		t.Error("dedup should shrink dense trajectories")
+	}
+}
+
+func TestNameImplementsImputer(t *testing.T) {
+	var _ baseline.Imputer = (*System)(nil)
+	f := newFixture(t, nil)
+	sys, _ := NewWithProjection(f.cfg, f.proj)
+	defer sys.Close()
+	if sys.Name() != "KAMEL" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"kamel/internal/baseline"
+	"kamel/internal/constraints"
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/impute"
+)
+
+// Name implements baseline.Imputer, letting the evaluation harness treat
+// KAMEL uniformly with its competitors.
+func (s *System) Name() string { return "KAMEL" }
+
+// Impute fills the gaps of one sparse trajectory (paper Figure 1, right
+// input) and returns the dense trajectory.  Each gap between consecutive
+// input points is (1) routed to the best pyramid model for its extent,
+// (2) imputed as a token sequence by the configured multipoint algorithm
+// under the spatial constraints, and (3) detokenized to GPS points.  Gaps no
+// model covers are imputed by a straight line and counted as failures, per
+// §4.1.
+func (s *System) Impute(tr geo.Trajectory) (geo.Trajectory, baseline.Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var stats baseline.Stats
+	if s.st == nil || (s.repo == nil && s.global == nil) {
+		return geo.Trajectory{}, stats, fmt.Errorf("core: system has not been trained")
+	}
+	if len(tr.Points) < 2 {
+		return tr.Clone(), stats, nil
+	}
+
+	out := geo.Trajectory{ID: tr.ID}
+	cells := make([]grid.Cell, len(tr.Points))
+	xys := make([]geo.XY, len(tr.Points))
+	for i, p := range tr.Points {
+		xys[i] = s.proj.ToXY(p)
+		cells[i] = s.g.CellAt(xys[i])
+	}
+
+	for i := 0; i+1 < len(tr.Points); i++ {
+		a, b := tr.Points[i], tr.Points[i+1]
+		out.Points = append(out.Points, a)
+		if xys[i].Dist(xys[i+1]) <= s.cfg.MaxGapM {
+			continue // already dense
+		}
+		stats.Segments++
+
+		res, ok := s.imputeGap(cells, xys, i, b.T-a.T)
+		if !ok || res.Failed {
+			stats.Failures++
+			// Straight-line fill (§4.1 / §6 failure behaviour).
+			line := geo.ResamplePolyline([]geo.XY{xys[i], xys[i+1]}, s.cfg.MaxGapM)
+			s.emit(&out, line[1:len(line)-1], a.T, b.T, xys[i], xys[i+1])
+			continue
+		}
+		// Detokenize the interior tokens (endpoints stay at the observed
+		// GPS points, which are more precise than any cell centroid).
+		pts := s.detokTab.Detokenize(res.Tokens)
+		if len(pts) > 2 {
+			s.emit(&out, pts[1:len(pts)-1], a.T, b.T, xys[i], xys[i+1])
+		}
+	}
+	out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
+	return out, stats, nil
+}
+
+// emit appends interior planar points with timestamps interpolated between
+// the two endpoint times, proportional to arc position between the anchors.
+func (s *System) emit(out *geo.Trajectory, interior []geo.XY, t0, t1 float64, a, b geo.XY) {
+	full := make([]geo.XY, 0, len(interior)+2)
+	full = append(full, a)
+	full = append(full, interior...)
+	full = append(full, b)
+	total := geo.PolylineLength(full)
+	var acc float64
+	for i, q := range interior {
+		acc += full[i].Dist(full[i+1])
+		p := s.proj.ToLatLng(q)
+		if total > 0 {
+			p.T = t0 + (t1-t0)*acc/total
+		} else {
+			p.T = t0
+		}
+		out.Points = append(out.Points, p)
+	}
+}
+
+// imputeGap runs the Partitioning lookup and the multipoint algorithm for
+// the gap between sparse points i and i+1, whose timestamps differ by dt
+// seconds.  ok=false means no model covers the gap.
+func (s *System) imputeGap(cells []grid.Cell, xys []geo.XY, i int, dt float64) (impute.Result, bool) {
+	bundle := s.global
+	if bundle == nil {
+		mbr := geo.EmptyRect().ExtendXY(xys[i]).ExtendXY(xys[i+1])
+		h, _, ok := s.repo.Lookup(mbr)
+		if !ok {
+			return impute.Result{}, false
+		}
+		bundle = h.(*modelBundle)
+	}
+
+	req := impute.Request{S: cells[i], D: cells[i+1], TimeDiff: dt}
+	if i > 0 {
+		prev := cells[i-1]
+		req.Prev = &prev
+	}
+	if i+2 < len(cells) {
+		next := cells[i+2]
+		req.Next = &next
+	}
+
+	cfg := impute.Config{
+		Grid:         s.g,
+		Checker:      s.checker,
+		MaxGapMeters: s.cfg.MaxGapM,
+		MaxCalls:     s.cfg.MaxCalls,
+		TopK:         s.cfg.TopK,
+		Beam:         s.cfg.Beam,
+		Alpha:        s.cfg.Alpha,
+	}
+	p := bundlePredictor{b: bundle}
+
+	if s.cfg.DisableMultipoint {
+		return s.singleShot(p, cfg, req)
+	}
+	var res impute.Result
+	var err error
+	switch s.cfg.Strategy {
+	case StrategyIterative:
+		res, err = impute.Iterative(p, cfg, req)
+	default:
+		res, err = impute.Beam(p, cfg, req)
+	}
+	if err != nil {
+		return impute.Result{Failed: true}, true
+	}
+	return res, true
+}
+
+// singleShot implements the "No Multi." ablation (§8.7): exactly one BERT
+// call per gap, inserting only the top valid candidate.
+func (s *System) singleShot(p impute.Predictor, cfg impute.Config, req impute.Request) (impute.Result, bool) {
+	cands, err := p.Predict([]grid.Cell{req.S, req.D}, 0, cfg.TopK)
+	if err != nil {
+		return impute.Result{Failed: true}, true
+	}
+	seg := constraints.Segment{S: req.S, D: req.D, Prev: req.Prev, Next: req.Next, TimeDiff: req.TimeDiff}
+	cands = cfg.Checker.Filter(cands, seg)
+	if len(cands) == 0 {
+		return impute.Result{Failed: true}, true
+	}
+	return impute.Result{
+		Tokens: []grid.Cell{req.S, cands[0].Cell, req.D},
+		Prob:   cands[0].Prob,
+		Calls:  1,
+	}, true
+}

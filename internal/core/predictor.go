@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"kamel/internal/grid"
+	"kamel/internal/impute"
+	"kamel/internal/vocab"
+)
+
+// bundlePredictor adapts a trained modelBundle to the impute.Predictor
+// interface: the "Call BERT" arrow of Figure 1.  A gap query becomes a
+// masked-token prediction: [CLS] …prefix… S [MASK] D …suffix… [SEP], with
+// the window recentered around the mask when the segment outgrows the
+// model's sequence length.
+type bundlePredictor struct {
+	b *modelBundle
+}
+
+// Predict implements impute.Predictor.
+func (p bundlePredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([]impute.Candidate, error) {
+	if gapPos < 0 || gapPos+1 >= len(segment) {
+		return nil, fmt.Errorf("core: gap position %d out of range for segment of %d tokens", gapPos, len(segment))
+	}
+	maxBody := p.b.model.Cfg.MaxSeqLen - 2
+	// Sequence body: segment tokens with MASK inserted after gapPos.
+	body := make([]int, 0, len(segment)+1)
+	maskIdx := -1
+	for i, c := range segment {
+		body = append(body, p.b.vocab.ID(c))
+		if i == gapPos {
+			maskIdx = len(body)
+			body = append(body, vocab.MASK)
+		}
+	}
+	// Window the body around the mask when too long.
+	if len(body) > maxBody {
+		start := maskIdx - maxBody/2
+		if start < 0 {
+			start = 0
+		}
+		if start+maxBody > len(body) {
+			start = len(body) - maxBody
+		}
+		body = body[start : start+maxBody]
+		maskIdx -= start
+	}
+	ids := make([]int, 0, len(body)+2)
+	ids = append(ids, vocab.CLS)
+	ids = append(ids, body...)
+	ids = append(ids, vocab.SEP)
+	maskIdx++ // account for CLS
+
+	// Ask for extra candidates: specials and unknown cells are dropped.
+	raw, err := p.b.model.PredictMasked(ids, maskIdx, topK+vocab.NumSpecial+8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]impute.Candidate, 0, topK)
+	for _, c := range raw {
+		cell, ok := p.b.vocab.Cell(c.Token)
+		if !ok {
+			continue // special token: not a place
+		}
+		out = append(out, impute.Candidate{Cell: cell, Prob: c.Prob})
+		if len(out) == topK {
+			break
+		}
+	}
+	return out, nil
+}

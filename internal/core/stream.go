@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"kamel/internal/baseline"
+	"kamel/internal/geo"
+)
+
+// StreamResult is one imputed trajectory from the online mode, paired with
+// its per-trajectory statistics or the error that prevented imputation.
+type StreamResult struct {
+	Trajectory geo.Trajectory
+	Stats      baseline.Stats
+	Err        error
+}
+
+// ImputeStream runs KAMEL's online mode (paper §1 feature 4): trajectories
+// arriving on `in` are imputed concurrently by `workers` goroutines and
+// emitted on the returned channel, which closes once `in` is drained or the
+// context is cancelled.  Output order is not guaranteed — the ID identifies
+// each result.  Training may not run concurrently with an open stream.
+func (s *System) ImputeStream(ctx context.Context, in <-chan geo.Trajectory, workers int) <-chan StreamResult {
+	if workers <= 0 {
+		workers = 1
+	}
+	out := make(chan StreamResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case tr, ok := <-in:
+					if !ok {
+						return
+					}
+					dense, stats, err := s.Impute(tr)
+					select {
+					case out <- StreamResult{Trajectory: dense, Stats: stats, Err: err}:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"kamel/internal/bert"
+	"kamel/internal/constraints"
+	"kamel/internal/detok"
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/pyramid"
+	"kamel/internal/store"
+	"kamel/internal/vocab"
+)
+
+// modelBundle is what the pyramid stores per model: a trained BERT plus the
+// vocabulary that maps its token IDs to grid cells.
+type modelBundle struct {
+	model *bert.Model
+	vocab *vocab.Vocab
+}
+
+// System is a deployed KAMEL instance.  Train and Impute may be called from
+// multiple goroutines; training serializes internally, and imputation is
+// read-only over trained state.
+type System struct {
+	cfg  Config
+	g    grid.Grid
+	proj *geo.Projection
+
+	mu        sync.RWMutex
+	st        *store.Store
+	repo      *pyramid.Repo
+	global    *modelBundle // used when DisablePartitioning is set
+	detokTab  *detok.Table
+	checker   *constraints.Checker
+	speedMPS  float64 // inferred max speed (§5.1)
+	trainTime float64 // cumulative seconds spent training
+}
+
+// New creates a KAMEL system.  The projection is fixed lazily by the first
+// training batch unless cfg.Region plus an explicit projection are provided
+// via NewWithProjection.
+func New(cfg Config) (*System, error) {
+	return NewWithProjection(cfg, nil)
+}
+
+// NewWithProjection creates a system with a pre-chosen projection (useful
+// when the deployment region is known up front).
+func NewWithProjection(cfg Config, proj *geo.Projection) (*System, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, proj: proj}
+	switch cfg.GridKind {
+	case "hex":
+		s.g = grid.NewHex(cfg.CellEdgeM)
+	case "square":
+		edge := cfg.SquareEdgeM
+		if edge <= 0 {
+			edge = grid.SquareEdgeForHexArea(cfg.CellEdgeM)
+		}
+		s.g = grid.NewSquare(edge)
+	}
+	if proj != nil {
+		if err := s.initStorage(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// initStorage opens the trajectory store once a projection is known and
+// persists the projection origin so later processes can reopen it.
+func (s *System) initStorage() error {
+	st, err := store.Open(filepath.Join(s.cfg.Workdir, "store"), s.proj)
+	if err != nil {
+		return err
+	}
+	s.st = st
+	return s.saveMeta()
+}
+
+// Config returns the (normalized) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Grid returns the tokenization grid.
+func (s *System) Grid() grid.Grid { return s.g }
+
+// Projection returns the planar projection, or nil before any training.
+func (s *System) Projection() *geo.Projection {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proj
+}
+
+// Close releases the underlying store.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st == nil {
+		return nil
+	}
+	err := s.st.Close()
+	s.st = nil
+	return err
+}
+
+// Stats summarizes the trained state for dashboards and the demo API.
+type Stats struct {
+	Trajectories   int     `json:"trajectories"`
+	Tokens         int     `json:"tokens"`
+	SingleModels   int     `json:"single_models"`
+	NeighborModels int     `json:"neighbor_models"`
+	DetokTokens    int     `json:"detok_tokens"`
+	MaxSpeedMPS    float64 `json:"max_speed_mps"`
+	TrainSeconds   float64 `json:"train_seconds"`
+}
+
+// SystemStats reports the current state.
+func (s *System) SystemStats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := Stats{MaxSpeedMPS: s.speedMPS, TrainSeconds: s.trainTime}
+	if s.st != nil {
+		out.Trajectories = s.st.Len()
+		out.Tokens = s.st.TotalTokens()
+	}
+	if s.repo != nil {
+		out.SingleModels, out.NeighborModels = s.repo.NumModels()
+	}
+	if s.global != nil {
+		out.SingleModels++
+	}
+	if s.detokTab != nil {
+		out.DetokTokens = s.detokTab.NumTokens()
+	}
+	return out
+}
+
+// WithAblation returns a read-only view of the trained system with the
+// Spatial Constraints and/or Multipoint Imputation modules toggled (paper
+// §8.7).  Both switches act purely at imputation time, so the trained models
+// are shared with the receiver — the returned system must not be trained or
+// closed, and the receiver must outlive it.
+func (s *System) WithAblation(disableConstraints, disableMultipoint bool) *System {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	clone := &System{
+		cfg:      s.cfg,
+		g:        s.g,
+		proj:     s.proj,
+		st:       s.st,
+		repo:     s.repo,
+		global:   s.global,
+		detokTab: s.detokTab,
+		speedMPS: s.speedMPS,
+	}
+	clone.cfg.DisableConstraints = disableConstraints
+	clone.cfg.DisableMultipoint = disableMultipoint
+	clone.refreshChecker()
+	return clone
+}
+
+// Repo exposes the model repository for inspection (experiment E13).
+func (s *System) Repo() *pyramid.Repo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.repo
+}
+
+// tokenize converts a trajectory to a store record: one grid token per point.
+func (s *System) tokenize(tr geo.Trajectory) store.Traj {
+	rec := store.Traj{ID: tr.ID, Points: tr.Points}
+	rec.Tokens = make([]grid.Cell, len(tr.Points))
+	for i, p := range tr.Points {
+		rec.Tokens[i] = s.g.CellAt(s.proj.ToXY(p))
+	}
+	return rec
+}
+
+// sequenceOf collapses a record's tokens into the deduplicated sequence BERT
+// trains on: consecutive identical tokens become one, mirroring how a
+// sentence does not repeat a word for every acoustic frame.
+func sequenceOf(rec store.Traj) []grid.Cell {
+	var out []grid.Cell
+	for _, c := range rec.Tokens {
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ensureProjection fixes the projection (and storage) from the first batch.
+func (s *System) ensureProjection(trajs []geo.Trajectory) error {
+	if s.proj != nil {
+		if s.st == nil {
+			return s.initStorage()
+		}
+		return nil
+	}
+	for _, tr := range trajs {
+		if len(tr.Points) > 0 {
+			p := tr.Points[0]
+			s.proj = geo.NewProjection(p.Lat, p.Lng)
+			return s.initStorage()
+		}
+	}
+	return fmt.Errorf("core: cannot fix projection from an empty batch")
+}
+
+// metaPath is the workdir file that persists the projection origin, so a
+// fresh process can reopen the store and models without retraining.
+func (s *System) metaPath() string { return filepath.Join(s.cfg.Workdir, "meta.json") }
+
+// saveMeta persists the projection origin.
+func (s *System) saveMeta() error {
+	lat, lng := s.proj.Origin()
+	buf, err := json.Marshal(map[string]float64{"origin_lat": lat, "origin_lng": lng})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.metaPath(), buf, 0o644)
+}
+
+// loadMeta restores the projection origin if previously saved.
+func (s *System) loadMeta() error {
+	buf, err := os.ReadFile(s.metaPath())
+	if err != nil {
+		return err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return fmt.Errorf("core: parsing %s: %w", s.metaPath(), err)
+	}
+	s.proj = geo.NewProjection(m["origin_lat"], m["origin_lng"])
+	return nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kamel/internal/bert"
+	"kamel/internal/constraints"
+	"kamel/internal/detok"
+	"kamel/internal/geo"
+	"kamel/internal/pyramid"
+	"kamel/internal/store"
+	"kamel/internal/vocab"
+)
+
+// Train ingests a batch of training trajectories (paper Figure 1, left
+// input): tokenizes them, appends them to the trajectory store, infers the
+// speed limit for the constraints module, rebuilds the detokenization
+// clusters, and runs the model-repository maintenance that trains BERT
+// models wherever thresholds allow.  Training produces no imputation output;
+// it only enriches the system's models.
+func (s *System) Train(trajs []geo.Trajectory) error {
+	if len(trajs) == 0 {
+		return fmt.Errorf("core: empty training batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	started := time.Now()
+
+	if err := s.ensureProjection(trajs); err != nil {
+		return err
+	}
+
+	batch := make([]store.Traj, 0, len(trajs))
+	for _, tr := range trajs {
+		if len(tr.Points) == 0 {
+			continue
+		}
+		rec := s.tokenize(tr)
+		if err := s.st.Append(rec); err != nil {
+			return fmt.Errorf("core: storing trajectory %q: %w", tr.ID, err)
+		}
+		batch = append(batch, rec)
+	}
+	if len(batch) == 0 {
+		return fmt.Errorf("core: training batch had no non-empty trajectories")
+	}
+
+	s.refreshSpeedEstimate()
+	s.refreshChecker()
+	s.rebuildDetok()
+
+	if s.cfg.DisablePartitioning {
+		// Ablation "No Part.": one model over everything (§8.7).
+		var all []store.Traj
+		s.st.All(func(tr store.Traj) bool { all = append(all, tr); return true })
+		bundle, _, err := s.buildModel(all)
+		if err != nil {
+			return err
+		}
+		s.global = bundle
+		s.trainTime += time.Since(started).Seconds()
+		return nil
+	}
+
+	if err := s.ensureRepo(); err != nil {
+		return err
+	}
+	err := s.repo.Ingest(s.st, batch, func(region geo.Rect, rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
+		bundle, meta, err := s.buildModel(rs)
+		if err != nil {
+			return nil, pyramid.ModelMeta{}, err
+		}
+		return bundle, meta, nil
+	})
+	if err != nil {
+		return err
+	}
+	s.trainTime += time.Since(started).Seconds()
+	return nil
+}
+
+// ensureRepo creates the pyramid once the deployment region is known.
+func (s *System) ensureRepo() error {
+	if s.repo != nil {
+		return nil
+	}
+	region := s.cfg.Region
+	if region.IsEmpty() || region == (geo.Rect{}) {
+		// Derive from stored data with generous margins so later batches
+		// nearby stay inside.
+		region = s.st.Bounds().Expand(0.25*s.st.Bounds().Width() + 500)
+	}
+	repo, err := pyramid.New(pyramid.Config{
+		Root: region,
+		H:    s.cfg.PyramidH,
+		L:    s.cfg.PyramidL,
+		K:    s.cfg.ThresholdK,
+	})
+	if err != nil {
+		return err
+	}
+	s.repo = repo
+	return nil
+}
+
+// buildModel trains one BERT model over the given trajectories: builds the
+// per-model vocabulary, converts trajectories to token-ID sequences, and
+// runs the MLM training loop.
+func (s *System) buildModel(rs []store.Traj) (*modelBundle, pyramid.ModelMeta, error) {
+	v := vocab.New()
+	var seqs [][]int
+	var tokenTotal int
+	for _, rec := range rs {
+		cells := sequenceOf(rec)
+		ids := make([]int, len(cells))
+		for i, c := range cells {
+			ids[i] = v.Add(c)
+		}
+		tokenTotal += len(ids)
+		if len(ids) >= 2 {
+			seqs = append(seqs, ids)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, pyramid.ModelMeta{}, fmt.Errorf("core: no usable training sequences")
+	}
+	// Decline regions whose *fully enclosed* corpus is too thin to train a
+	// useful model (the cell's raw token count can clear the paper's
+	// threshold while very few whole trajectories fit inside it).  A weak
+	// per-cell model would shadow a stronger ancestor at lookup time.
+	if !s.cfg.DisablePartitioning && (len(seqs) < 10 || tokenTotal < 600) {
+		return nil, pyramid.ModelMeta{}, pyramid.ErrSkip
+	}
+	cfg := bert.Config{
+		VocabSize: v.Size(),
+		Hidden:    s.cfg.Hidden,
+		Layers:    s.cfg.Layers,
+		Heads:     s.cfg.Heads,
+		FFN:       s.cfg.FFN,
+		MaxSeqLen: s.cfg.MaxSeqLen,
+		Seed:      s.cfg.Seed,
+	}
+	m, err := bert.New(cfg)
+	if err != nil {
+		return nil, pyramid.ModelMeta{}, err
+	}
+	tc := s.cfg.Train
+	tc.Seed = s.cfg.Seed
+	// Scale the step budget to the corpus: a per-cell model over a handful
+	// of trajectories converges in far fewer steps than the configured
+	// maximum, which keeps pyramid maintenance affordable (training is
+	// offline but not free, §4).
+	if scaled := 150 + 8*len(seqs); scaled < tc.Steps {
+		tc.Steps = scaled
+	}
+	if tc.Warmup > tc.Steps/4 {
+		tc.Warmup = tc.Steps / 4
+	}
+	stats, err := m.Train(seqs, tc)
+	if err != nil {
+		return nil, pyramid.ModelMeta{}, err
+	}
+	meta := pyramid.ModelMeta{
+		Tokens:    tokenTotal,
+		Sequences: stats.Sequences,
+		FinalLoss: stats.FinalLoss,
+	}
+	return &modelBundle{model: m, vocab: v}, meta, nil
+}
+
+// refreshSpeedEstimate infers the constraint speed limit from stored data
+// (§5.1: "KAMEL currently uses a fixed speed inferred from its training
+// trajectory data").  The 95th percentile of observed point-to-point speeds
+// is padded by 50%.
+func (s *System) refreshSpeedEstimate() {
+	if s.cfg.MaxSpeedMPS > 0 {
+		s.speedMPS = s.cfg.MaxSpeedMPS
+		return
+	}
+	// Whole-trajectory speeds (length over duration) are robust to GPS
+	// noise, which wildly inflates point-to-point speeds at high sampling
+	// rates.
+	var speeds []float64
+	s.st.All(func(tr store.Traj) bool {
+		t := geo.Trajectory{Points: tr.Points}
+		if dur := t.Duration(); dur > 0 {
+			speeds = append(speeds, t.LengthMeters()/dur)
+		}
+		return len(speeds) < 100000
+	})
+	if len(speeds) == 0 {
+		s.speedMPS = 40 // conservative urban fallback
+		return
+	}
+	sort.Float64s(speeds)
+	s.speedMPS = speeds[len(speeds)*95/100] * 1.3
+}
+
+// refreshChecker rebuilds the constraints checker against the current grid
+// and speed estimate.  The "No Const." ablation swaps in a vacuous checker.
+func (s *System) refreshChecker() {
+	ch := constraints.NewChecker(s.g, s.speedMPS)
+	ch.ConeAngleRad = s.cfg.ConeAngleDeg * degToRad
+	ch.CycleLen = s.cfg.CycleLen
+	if s.cfg.DisableConstraints {
+		// Accept any BERT prediction (§8.7).  Cycle detection stays at the
+		// trivial x=1 window, which would otherwise hang iterative
+		// imputation forever.
+		ch.Disabled = true
+		ch.CycleLen = 1
+	}
+	s.checker = ch
+}
+
+const degToRad = 3.14159265358979323846 / 180
+
+// rebuildDetok recomputes the per-token cluster table over everything
+// stored (§7 offline operation).
+func (s *System) rebuildDetok() {
+	var all []store.Traj
+	s.st.All(func(tr store.Traj) bool { all = append(all, tr); return true })
+	s.detokTab = detok.Build(s.g, s.proj, all, detok.DefaultParams())
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"kamel/internal/geo"
+	"kamel/internal/metrics"
+	"kamel/internal/tensor"
+)
+
+// TuneResult reports the auto-tuner's evaluation of one candidate cell size.
+type TuneResult struct {
+	CellEdgeM float64
+	Recall    float64
+	Precision float64
+}
+
+// TuneCellSize implements the auto-tuning module of §3.2: sample the
+// training dataset, train a throwaway model per candidate cell size, impute
+// a held-out sample sparsified at sparseDist, and return the size with the
+// highest recall (ties broken by precision), along with the whole curve —
+// which is the unimodal accuracy-vs-cell-size trade-off of Figure 3(d).
+//
+// The tuner runs on temporary copies; the receiver system is not modified.
+func (s *System) TuneCellSize(trajs []geo.Trajectory, sizes []float64, sparseDist, delta float64) (float64, []TuneResult, error) {
+	if len(sizes) == 0 {
+		return 0, nil, fmt.Errorf("core: no candidate sizes")
+	}
+	if len(trajs) < 4 {
+		return 0, nil, fmt.Errorf("core: need at least 4 trajectories to tune, got %d", len(trajs))
+	}
+	// Deterministic 75/25 sample split.
+	rng := tensor.NewRNG(s.cfg.Seed)
+	perm := rng.Perm(len(trajs))
+	cut := len(trajs) * 3 / 4
+	var train, test []geo.Trajectory
+	for i, pi := range perm {
+		if i < cut {
+			train = append(train, trajs[pi])
+		} else {
+			test = append(test, trajs[pi])
+		}
+	}
+
+	var results []TuneResult
+	best := TuneResult{CellEdgeM: sizes[0], Recall: -1}
+	for _, size := range sizes {
+		if size <= 0 {
+			return 0, nil, fmt.Errorf("core: non-positive candidate size %f", size)
+		}
+		dir, err := os.MkdirTemp(s.cfg.Workdir, "tune-*")
+		if err != nil {
+			return 0, nil, err
+		}
+		cfg := s.cfg
+		cfg.Workdir = dir
+		cfg.CellEdgeM = size
+		// One global model keeps the trial cheap and isolates the cell-size
+		// effect from partitioning thresholds.
+		cfg.DisablePartitioning = true
+		trial, err := New(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := trial.Train(train); err != nil {
+			trial.Close()
+			return 0, nil, fmt.Errorf("core: tuning at %gm: %w", size, err)
+		}
+		var acc metrics.Accumulator
+		for _, truth := range test {
+			sparse := truth.Sparsify(sparseDist)
+			dense, _, err := trial.Impute(sparse)
+			if err != nil {
+				continue
+			}
+			acc.Add(metrics.Evaluate(trial.Projection(), truth, dense, s.cfg.MaxGapM, delta))
+		}
+		trial.Close()
+		os.RemoveAll(dir)
+		res := TuneResult{CellEdgeM: size, Recall: acc.Recall(), Precision: acc.Precision()}
+		results = append(results, res)
+		if res.Recall > best.Recall || (res.Recall == best.Recall && res.Precision > best.Precision) {
+			best = res
+		}
+	}
+	return best.CellEdgeM, results, nil
+}

@@ -1,0 +1,82 @@
+// Package detok implements KAMEL's Detokenization module (paper §7).
+// Offline, the training points inside every token are clustered with DBSCAN
+// on their travel direction, capturing where the (unknown) roads run through
+// the cell; online, each imputed token is replaced by the centroid of the
+// cluster whose direction best matches the local trajectory direction,
+// falling back to the all-points centroid and finally the hexagon centroid
+// (the three cases of the paper's Figure 8).
+package detok
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+)
+
+// dbpoint is a clustering sample: a planar position and a heading.
+type dbpoint struct {
+	pos     geo.XY
+	heading float64 // radians
+}
+
+// dbscanDirections clusters points by angular proximity of their headings:
+// two points are neighbors when their headings differ by less than epsRad.
+// Returns a cluster label per point; -1 labels noise.  This is the classical
+// DBSCAN of Ester et al. [21] with an angular metric, which is what "cluster
+// the contents of each token based on each point's direction" (§7) needs.
+func dbscanDirections(pts []dbpoint, epsRad float64, minPts int) []int {
+	labels := make([]int, len(pts))
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		for j := range pts {
+			if geo.AngleDiff(pts[i].heading, pts[j].heading) <= epsRad {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	cluster := -1
+	for i := range pts {
+		if labels[i] != -2 {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			labels[i] = -1 // noise (may be claimed by a cluster later)
+			continue
+		}
+		cluster++
+		labels[i] = cluster
+		// Expand the cluster with a work queue.
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == -1 {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != -2 {
+				continue
+			}
+			labels[j] = cluster
+			jn := neighbors(j)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+	return labels
+}
+
+// meanAngle returns the circular mean of a set of angles.
+func meanAngle(angles []float64) float64 {
+	var sx, sy float64
+	for _, a := range angles {
+		sx += math.Cos(a)
+		sy += math.Sin(a)
+	}
+	return math.Atan2(sy, sx)
+}

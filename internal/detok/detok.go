@@ -1,0 +1,179 @@
+package detok
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/store"
+)
+
+// Cluster is one directional cluster of training points within a token.
+type Cluster struct {
+	Centroid  geo.XY  // mean position of the cluster's points
+	Direction float64 // circular mean heading, radians
+	Size      int
+}
+
+// Table holds per-token cluster metadata, the offline product of §7 that the
+// online path reads.
+type Table struct {
+	g        grid.Grid
+	clusters map[grid.Cell][]Cluster
+	centroid map[grid.Cell]geo.XY // all-points centroid (Figure 8(b) fallback)
+}
+
+// Params controls the offline clustering.
+type Params struct {
+	EpsRad float64 // DBSCAN angular neighborhood (default 30°)
+	MinPts int     // DBSCAN density threshold (default 4)
+}
+
+// DefaultParams returns the clustering defaults.
+func DefaultParams() Params {
+	return Params{EpsRad: 30 * math.Pi / 180, MinPts: 4}
+}
+
+// Build runs the offline operation of §7: for every token with training
+// points, cluster the points by direction and record cluster centroids and
+// mean directions.  Headings are taken between consecutive points of each
+// trajectory.
+func Build(g grid.Grid, proj *geo.Projection, trajs []store.Traj, p Params) *Table {
+	if p.EpsRad <= 0 {
+		p.EpsRad = DefaultParams().EpsRad
+	}
+	if p.MinPts <= 0 {
+		p.MinPts = DefaultParams().MinPts
+	}
+	byToken := make(map[grid.Cell][]dbpoint)
+	for _, tr := range trajs {
+		xys := make([]geo.XY, len(tr.Points))
+		for i, pt := range tr.Points {
+			xys[i] = proj.ToXY(pt)
+		}
+		for i := range tr.Points {
+			// Heading at point i: direction to the next point, or from the
+			// previous one for the last point.
+			var h float64
+			switch {
+			case i+1 < len(xys):
+				h = xys[i+1].Sub(xys[i]).Heading()
+			case i > 0:
+				h = xys[i].Sub(xys[i-1]).Heading()
+			default:
+				continue // single isolated point: no direction
+			}
+			tok := tr.Tokens[i]
+			byToken[tok] = append(byToken[tok], dbpoint{pos: xys[i], heading: h})
+		}
+	}
+
+	t := &Table{
+		g:        g,
+		clusters: make(map[grid.Cell][]Cluster, len(byToken)),
+		centroid: make(map[grid.Cell]geo.XY, len(byToken)),
+	}
+	for tok, pts := range byToken {
+		// All-points centroid (the Figure 8(b) case).
+		var cx, cy float64
+		for _, p := range pts {
+			cx += p.pos.X
+			cy += p.pos.Y
+		}
+		t.centroid[tok] = geo.XY{X: cx / float64(len(pts)), Y: cy / float64(len(pts))}
+
+		labels := dbscanDirections(pts, p.EpsRad, p.MinPts)
+		groups := make(map[int][]dbpoint)
+		for i, l := range labels {
+			if l >= 0 {
+				groups[l] = append(groups[l], pts[i])
+			}
+		}
+		for _, g := range groups {
+			var sx, sy float64
+			angles := make([]float64, len(g))
+			for i, p := range g {
+				sx += p.pos.X
+				sy += p.pos.Y
+				angles[i] = p.heading
+			}
+			t.clusters[tok] = append(t.clusters[tok], Cluster{
+				Centroid:  geo.XY{X: sx / float64(len(g)), Y: sy / float64(len(g))},
+				Direction: meanAngle(angles),
+				Size:      len(g),
+			})
+		}
+	}
+	return t
+}
+
+// Clusters returns the clusters recorded for a token (nil if none).
+func (t *Table) Clusters(tok grid.Cell) []Cluster { return t.clusters[tok] }
+
+// NumTokens returns how many tokens carry metadata.
+func (t *Table) NumTokens() int { return len(t.centroid) }
+
+// Detokenize converts an imputed token sequence to planar points (§7 online
+// operation).  For each token the direction angle is the average of the
+// incoming and outgoing directions relative to its neighbor tokens; the
+// cluster with the nearest direction wins.  Tokens without clusters fall
+// back to the data centroid, and tokens never seen in training to the cell
+// centroid.
+func (t *Table) Detokenize(tokens []grid.Cell) []geo.XY {
+	out := make([]geo.XY, len(tokens))
+	for i, tok := range tokens {
+		out[i] = t.resolve(tokens, i, tok)
+	}
+	return out
+}
+
+func (t *Table) resolve(tokens []grid.Cell, i int, tok grid.Cell) geo.XY {
+	cl := t.clusters[tok]
+	if len(cl) == 0 {
+		if c, ok := t.centroid[tok]; ok {
+			return c // Figure 8(b): one de-facto cluster / sparse data
+		}
+		return t.g.Centroid(tok) // Figure 8(c): never seen in training
+	}
+	if len(cl) == 1 {
+		return cl[0].Centroid
+	}
+	// Figure 8(a): multiple clusters — pick by token direction angle.
+	dir, ok := t.tokenDirection(tokens, i)
+	if !ok {
+		// No neighbors to derive a direction from: biggest cluster wins.
+		best := cl[0]
+		for _, c := range cl[1:] {
+			if c.Size > best.Size {
+				best = c
+			}
+		}
+		return best.Centroid
+	}
+	best := cl[0]
+	bestDiff := geo.AngleDiff(dir, cl[0].Direction)
+	for _, c := range cl[1:] {
+		if d := geo.AngleDiff(dir, c.Direction); d < bestDiff {
+			bestDiff = d
+			best = c
+		}
+	}
+	return best.Centroid
+}
+
+// tokenDirection averages the incoming and outgoing angles of token i within
+// the sequence, per §7.
+func (t *Table) tokenDirection(tokens []grid.Cell, i int) (float64, bool) {
+	here := t.g.Centroid(tokens[i])
+	var angles []float64
+	if i > 0 {
+		angles = append(angles, here.Sub(t.g.Centroid(tokens[i-1])).Heading())
+	}
+	if i+1 < len(tokens) {
+		angles = append(angles, t.g.Centroid(tokens[i+1]).Sub(here).Heading())
+	}
+	if len(angles) == 0 {
+		return 0, false
+	}
+	return meanAngle(angles), true
+}

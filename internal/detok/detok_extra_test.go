@@ -1,0 +1,90 @@
+package detok
+
+import (
+	"math"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/store"
+)
+
+// TestBuildParamsDefaults: zero params are replaced with defaults rather
+// than producing a degenerate clustering.
+func TestBuildParamsDefaults(t *testing.T) {
+	g := grid.NewHex(75)
+	proj := geo.NewProjection(41.15, -8.61)
+	tr := store.Traj{ID: "a"}
+	for i := 0; i < 10; i++ {
+		xy := geo.XY{X: float64(i) * 20, Y: 0}
+		p := proj.ToLatLng(xy)
+		tr.Points = append(tr.Points, p)
+		tr.Tokens = append(tr.Tokens, g.CellAt(xy))
+	}
+	table := Build(g, proj, []store.Traj{tr}, Params{}) // zero params
+	if table.NumTokens() == 0 {
+		t.Fatal("zero params must fall back to defaults, not produce nothing")
+	}
+}
+
+// TestDetokenizeSingleTokenNoDirection: a lone token with multiple clusters
+// falls back to the biggest cluster when there are no neighbors to derive a
+// direction from.
+func TestDetokenizeSingleTokenNoDirection(t *testing.T) {
+	g := grid.NewHex(75)
+	proj := geo.NewProjection(41.15, -8.61)
+	center := g.Centroid(g.CellAt(geo.XY{X: 500, Y: 500}))
+	tok := g.CellAt(center)
+
+	var trajs []store.Traj
+	mk := func(id string, pts []geo.XY) store.Traj {
+		tr := store.Traj{ID: id}
+		for i, xy := range pts {
+			p := proj.ToLatLng(xy)
+			p.T = float64(i)
+			tr.Points = append(tr.Points, p)
+			tr.Tokens = append(tr.Tokens, g.CellAt(xy))
+		}
+		return tr
+	}
+	// Big eastbound cluster (10 passes), small northbound cluster (5).
+	for k := 0; k < 10; k++ {
+		var pts []geo.XY
+		for s := -4; s <= 4; s++ {
+			pts = append(pts, geo.XY{X: center.X + float64(s)*20, Y: center.Y - 10})
+		}
+		trajs = append(trajs, mk("ew", pts))
+	}
+	for k := 0; k < 5; k++ {
+		var pts []geo.XY
+		for s := -4; s <= 4; s++ {
+			pts = append(pts, geo.XY{X: center.X + 10, Y: center.Y + float64(s)*20})
+		}
+		trajs = append(trajs, mk("ns", pts))
+	}
+	table := Build(g, proj, trajs, DefaultParams())
+	if len(table.Clusters(tok)) < 2 {
+		t.Skip("clustering merged the streets; direction fallback untestable here")
+	}
+	got := table.Detokenize([]grid.Cell{tok})[0]
+	// The bigger (eastbound) cluster sits ~10m south of the centroid.
+	if got.Y >= center.Y {
+		t.Errorf("lone token resolved to %v; expected the dominant southern cluster", got)
+	}
+}
+
+// TestClusterDirectionsAreCircularMeans: recorded directions stay within
+// the data's angular spread.
+func TestClusterDirectionsAreCircularMeans(t *testing.T) {
+	table, _, _, tok := buildCrossroads(t)
+	for _, c := range table.Clusters(tok) {
+		d0 := geo.AngleDiff(c.Direction, 0)
+		d90 := geo.AngleDiff(c.Direction, math.Pi/2)
+		if math.Min(d0, d90) > 0.3 {
+			t.Errorf("cluster direction %f matches neither street axis", c.Direction)
+		}
+		if c.Size < 3 {
+			t.Errorf("cluster of size %d should not have formed with MinPts=4", c.Size)
+		}
+	}
+}

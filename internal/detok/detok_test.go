@@ -1,0 +1,188 @@
+package detok
+
+import (
+	"math"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/store"
+)
+
+func TestDBSCANSeparatesDirections(t *testing.T) {
+	var pts []dbpoint
+	// 10 points heading east, 10 heading north.
+	for i := 0; i < 10; i++ {
+		pts = append(pts, dbpoint{heading: 0.02 * float64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, dbpoint{heading: math.Pi/2 + 0.02*float64(i)})
+	}
+	labels := dbscanDirections(pts, 20*math.Pi/180, 4)
+	clusters := map[int]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			clusters[l] = true
+		}
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2: %v", len(clusters), labels)
+	}
+	// The east points must all share one label and the north points another.
+	if labels[0] != labels[9] || labels[10] != labels[19] || labels[0] == labels[10] {
+		t.Errorf("directional groups not separated: %v", labels)
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	pts := []dbpoint{
+		{heading: 0}, {heading: 0.01}, {heading: 0.02}, {heading: 0.03}, {heading: 0.04},
+		{heading: math.Pi}, // lone opposite point
+	}
+	labels := dbscanDirections(pts, 10*math.Pi/180, 4)
+	if labels[5] != -1 {
+		t.Errorf("isolated point labeled %d, want noise (-1)", labels[5])
+	}
+	for i := 0; i < 5; i++ {
+		if labels[i] != 0 {
+			t.Errorf("dense point %d labeled %d, want 0", i, labels[i])
+		}
+	}
+}
+
+func TestDBSCANWraparound(t *testing.T) {
+	// Headings straddling ±π are the same direction and must cluster
+	// together.
+	var pts []dbpoint
+	for i := -3; i <= 3; i++ {
+		pts = append(pts, dbpoint{heading: math.Pi + 0.05*float64(i)})
+	}
+	labels := dbscanDirections(pts, 20*math.Pi/180, 4)
+	for i := range labels {
+		if labels[i] != 0 {
+			t.Fatalf("wraparound headings split: %v", labels)
+		}
+	}
+}
+
+func TestMeanAngle(t *testing.T) {
+	if got := meanAngle([]float64{0.1, -0.1}); math.Abs(got) > 1e-9 {
+		t.Errorf("meanAngle = %f, want 0", got)
+	}
+	// Wraparound mean of ±(π−0.1) is π, not 0.
+	got := meanAngle([]float64{math.Pi - 0.1, -math.Pi + 0.1})
+	if geo.AngleDiff(got, math.Pi) > 1e-9 {
+		t.Errorf("wraparound meanAngle = %f, want ±π", got)
+	}
+}
+
+// buildCrossroads creates training data through one token where two streets
+// cross: east-west traffic along y=yEW and north-south along x=xNS, plus the
+// detok table over a 75m hex grid.
+func buildCrossroads(t *testing.T) (*Table, grid.Grid, *geo.Projection, grid.Cell) {
+	t.Helper()
+	g := grid.NewHex(75)
+	proj := geo.NewProjection(41.15, -8.61)
+	center := g.Centroid(g.CellAt(geo.XY{X: 1000, Y: 1000}))
+	tok := g.CellAt(center)
+
+	var trajs []store.Traj
+	mk := func(id string, pts []geo.XY) store.Traj {
+		tr := store.Traj{ID: id}
+		for i, xy := range pts {
+			p := proj.ToLatLng(xy)
+			p.T = float64(i)
+			tr.Points = append(tr.Points, p)
+			tr.Tokens = append(tr.Tokens, g.CellAt(xy))
+		}
+		return tr
+	}
+	// East-west trips pass slightly south of the centroid; north-south trips
+	// slightly east, so the two clusters have distinct centroids.
+	for k := 0; k < 6; k++ {
+		var ew, ns []geo.XY
+		for s := -5; s <= 5; s++ {
+			ew = append(ew, geo.XY{X: center.X + float64(s)*20, Y: center.Y - 15 + float64(k)})
+			ns = append(ns, geo.XY{X: center.X + 15 + float64(k), Y: center.Y + float64(s)*20})
+		}
+		trajs = append(trajs, mk("ew", ew), mk("ns", ns))
+	}
+	return Build(g, proj, trajs, DefaultParams()), g, proj, tok
+}
+
+func TestBuildFindsTwoClusters(t *testing.T) {
+	table, _, _, tok := buildCrossroads(t)
+	cl := table.Clusters(tok)
+	if len(cl) != 2 {
+		t.Fatalf("crossroads token has %d clusters, want 2", len(cl))
+	}
+	// One cluster heads ~east (0), the other ~north (π/2).
+	dirs := []float64{geo.AngleDiff(cl[0].Direction, 0), geo.AngleDiff(cl[0].Direction, math.Pi/2)}
+	if math.Min(dirs[0], dirs[1]) > 0.2 {
+		t.Errorf("cluster direction %f matches neither street", cl[0].Direction)
+	}
+}
+
+func TestDetokenizePicksDirectionalCluster(t *testing.T) {
+	table, g, _, tok := buildCrossroads(t)
+	center := g.Centroid(tok)
+	// A token sequence passing through tok heading east must resolve to the
+	// east-west cluster (slightly south of the centroid).
+	west := g.CellAt(geo.XY{X: center.X - 200, Y: center.Y})
+	east := g.CellAt(geo.XY{X: center.X + 200, Y: center.Y})
+	pts := table.Detokenize([]grid.Cell{west, tok, east})
+	if dy := pts[1].Y - center.Y; dy > -5 {
+		t.Errorf("eastbound pass resolved %.1fm from centroid in Y, want the southern (EW) cluster", dy)
+	}
+	// Heading north instead must pick the north-south cluster (east of
+	// centroid).
+	south := g.CellAt(geo.XY{X: center.X, Y: center.Y - 200})
+	north := g.CellAt(geo.XY{X: center.X, Y: center.Y + 200})
+	pts = table.Detokenize([]grid.Cell{south, tok, north})
+	if dx := pts[1].X - center.X; dx < 5 {
+		t.Errorf("northbound pass resolved %.1fm from centroid in X, want the eastern (NS) cluster", dx)
+	}
+}
+
+func TestDetokenizeFallbacks(t *testing.T) {
+	g := grid.NewHex(75)
+	proj := geo.NewProjection(41.15, -8.61)
+	// One short trajectory: too few points for DBSCAN clusters.
+	tr := store.Traj{ID: "sparse"}
+	var xys []geo.XY
+	for i := 0; i < 3; i++ {
+		xy := geo.XY{X: float64(i) * 10, Y: 5}
+		xys = append(xys, xy)
+		p := proj.ToLatLng(xy)
+		tr.Points = append(tr.Points, p)
+		tr.Tokens = append(tr.Tokens, g.CellAt(xy))
+	}
+	table := Build(g, proj, []store.Traj{tr}, DefaultParams())
+
+	// Seen token without clusters: data centroid (Figure 8(b)).
+	tok := tr.Tokens[0]
+	got := table.Detokenize([]grid.Cell{tok})[0]
+	if got == g.Centroid(tok) {
+		t.Error("seen token must use the data centroid, not the cell centroid")
+	}
+	// Never-seen token: cell centroid (Figure 8(c)).
+	unseen := g.CellAt(geo.XY{X: 9999, Y: 9999})
+	got = table.Detokenize([]grid.Cell{unseen})[0]
+	if got != g.Centroid(unseen) {
+		t.Error("unseen token must fall back to the cell centroid")
+	}
+}
+
+func TestBuildIgnoresIsolatedPoints(t *testing.T) {
+	g := grid.NewHex(75)
+	proj := geo.NewProjection(41.15, -8.61)
+	tr := store.Traj{
+		ID:     "single",
+		Points: []geo.Point{proj.ToLatLng(geo.XY{X: 1, Y: 1})},
+		Tokens: []grid.Cell{g.CellAt(geo.XY{X: 1, Y: 1})},
+	}
+	table := Build(g, proj, []store.Traj{tr}, DefaultParams())
+	if table.NumTokens() != 0 {
+		t.Error("a single point has no direction and must be skipped")
+	}
+}

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyRunner returns a runner scaled for CI: tiny workload, tiny training.
+func tinyRunner(t *testing.T) *Runner {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workdir = t.TempDir()
+	opts.Scale = 0.25
+	opts.TestN = 2
+	opts.TrainSteps = 90
+	r := NewRunner(opts)
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestNewScenario(t *testing.T) {
+	sc, err := NewScenario(ScenarioSpec{Name: "porto-like", Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Train) == 0 || len(sc.Test) == 0 {
+		t.Fatal("empty scenario split")
+	}
+	if float64(len(sc.Train)) < 3*float64(len(sc.Test)) {
+		t.Errorf("split not ~80/20: %d/%d", len(sc.Train), len(sc.Test))
+	}
+	if _, err := NewScenario(ScenarioSpec{Name: "mars"}); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
+func TestRunSparsenessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	r := tinyRunner(t)
+	rows, err := r.RunSparseness([]string{"porto-like"}, []float64{800, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sweep values × 4 methods.
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	byMethod := map[string][]Row{}
+	for _, row := range rows {
+		byMethod[row.Method] = append(byMethod[row.Method], row)
+		if row.Recall < 0 || row.Recall > 1 || row.Precision < 0 || row.Precision > 1 {
+			t.Errorf("metric out of range: %+v", row)
+		}
+	}
+	for _, m := range []string{"KAMEL", "TrImpute", "Linear", "MapMatch"} {
+		if len(byMethod[m]) != 2 {
+			t.Errorf("method %s has %d rows", m, len(byMethod[m]))
+		}
+	}
+	// Linear has 100% failure by definition.
+	for _, row := range byMethod["Linear"] {
+		if row.FailRate != 1 {
+			t.Errorf("linear fail rate %f, want 1", row.FailRate)
+		}
+	}
+}
+
+func TestRunThresholdMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	r := tinyRunner(t)
+	rows, err := r.RunThreshold([]string{"porto-like"}, []float64{10, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every method, recall must be non-decreasing in δ (the same
+	// imputed trajectory scored under looser thresholds).
+	byMethod := map[string][]Row{}
+	for _, row := range rows {
+		byMethod[row.Method] = append(byMethod[row.Method], row)
+	}
+	for m, series := range byMethod {
+		for i := 1; i < len(series); i++ {
+			if series[i].X > series[i-1].X && series[i].Recall < series[i-1].Recall-1e-9 {
+				t.Errorf("%s recall decreased with looser δ: %+v", m, series)
+			}
+		}
+	}
+}
+
+func TestRunTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	r := tinyRunner(t)
+	rows, err := r.RunTiming([]string{"porto-like"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kamelTrain, trTrain float64
+	for _, row := range rows {
+		if row.Experiment == "fig11-train" {
+			switch row.Method {
+			case "KAMEL":
+				kamelTrain = row.Seconds
+			case "TrImpute":
+				trTrain = row.Seconds
+			}
+		}
+	}
+	// The paper's Fig 11(a) shape: KAMEL trains orders of magnitude slower
+	// than TrImpute's statistics pass.
+	if kamelTrain < 10*trTrain {
+		t.Errorf("KAMEL train %.3fs vs TrImpute %.3fs: expected ≫", kamelTrain, trTrain)
+	}
+}
+
+func TestReporters(t *testing.T) {
+	rows := []Row{
+		{Experiment: "fig9", Dataset: "porto-like", Method: "KAMEL", XLabel: "sparseness_m", X: 1000, Recall: 0.8, Precision: 0.7, FailRate: 0.01},
+		{Experiment: "fig9", Dataset: "porto-like", Method: "Linear", XLabel: "sparseness_m", X: 1000, Recall: 0.4, Precision: 0.5, FailRate: 1},
+	}
+	var tbl bytes.Buffer
+	if err := WriteTable(&tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "fig9 / porto-like") || !strings.Contains(out, "KAMEL") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("CSV has %d lines, want header+2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "experiment,dataset,method") {
+		t.Errorf("CSV header wrong: %s", lines[0])
+	}
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	r := NewRunner(Options{})
+	if r.Opts.TestN != 8 || r.Opts.TrainSteps != 700 || r.Opts.MaxGapM != 100 {
+		t.Errorf("defaults not applied: %+v", r.Opts)
+	}
+	if r.delta("porto-like") != 50 || r.delta("jakarta-like") != 25 {
+		t.Error("paper δ defaults missing")
+	}
+	if r.delta("unknown") != 50 {
+		t.Error("unknown dataset must default to 50")
+	}
+}

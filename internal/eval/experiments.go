@@ -1,0 +1,502 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"kamel/internal/baseline"
+	"kamel/internal/core"
+	"kamel/internal/geo"
+	"kamel/internal/metrics"
+	"kamel/internal/pyramid"
+)
+
+// SparsenessValues is the paper's Fig 9 sweep (meters).
+var SparsenessValues = []float64{500, 1000, 1500, 2000, 2500, 3000, 3500, 4000}
+
+// ThresholdValues is the paper's Fig 10 sweep of δ (meters).
+var ThresholdValues = []float64{5, 10, 25, 50, 75, 100}
+
+// RunSparseness reproduces Fig 9(a-f): recall, precision, and failure rate
+// versus Sparse_distance for KAMEL, TrImpute, linear interpolation, and the
+// map-matching reference, on both datasets.
+func (r *Runner) RunSparseness(datasets []string, sweep []float64) ([]Row, error) {
+	if len(sweep) == 0 {
+		sweep = SparsenessValues
+	}
+	var rows []Row
+	for _, ds := range datasets {
+		ts, sc, err := r.kamelFor(ds)
+		if err != nil {
+			return nil, err
+		}
+		tr, _ := trimputeFor(sc)
+		methods := []baseline.Imputer{
+			ts.sys,
+			tr,
+			&baseline.Linear{Proj: sc.Proj, StepMeters: r.Opts.MaxGapM},
+			baseline.NewMapMatch(sc.Proj, sc.Net),
+		}
+		tests := r.testSlice(sc)
+		delta := r.delta(ds)
+		for _, sparse := range sweep {
+			for _, m := range methods {
+				acc, stats, secs, err := r.measure(sc, m, tests, sparse, delta)
+				if err != nil {
+					return nil, err
+				}
+				r.logf("fig9 %s %s sparse=%.0f: recall=%.3f precision=%.3f fail=%.3f (%.1fs)",
+					ds, m.Name(), sparse, acc.Recall(), acc.Precision(), stats.FailureRate(), secs)
+				rows = append(rows, Row{
+					Experiment: "fig9", Dataset: ds, Method: m.Name(),
+					XLabel: "sparseness_m", X: sparse,
+					Recall: acc.Recall(), Precision: acc.Precision(),
+					FailRate: stats.FailureRate(), Seconds: secs,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RunThreshold reproduces Fig 10(a-d): recall and precision versus the
+// accuracy threshold δ at the paper's default sparseness (1 km).  Each
+// method imputes once; only the metric threshold varies.
+func (r *Runner) RunThreshold(datasets []string, sweep []float64) ([]Row, error) {
+	if len(sweep) == 0 {
+		sweep = ThresholdValues
+	}
+	const sparse = 1000
+	var rows []Row
+	for _, ds := range datasets {
+		ts, sc, err := r.kamelFor(ds)
+		if err != nil {
+			return nil, err
+		}
+		tr, _ := trimputeFor(sc)
+		methods := []baseline.Imputer{
+			ts.sys,
+			tr,
+			&baseline.Linear{Proj: sc.Proj, StepMeters: r.Opts.MaxGapM},
+			baseline.NewMapMatch(sc.Proj, sc.Net),
+		}
+		tests := r.testSlice(sc)
+		for _, m := range methods {
+			// Impute once per method, evaluate at every δ.
+			type pair struct{ truth, dense geo.Trajectory }
+			var imputed []pair
+			var stats baseline.Stats
+			for _, truth := range tests {
+				dense, st, err := m.Impute(truth.Sparsify(sparse))
+				if err != nil {
+					return nil, err
+				}
+				stats.Add(st)
+				imputed = append(imputed, pair{truth, dense})
+			}
+			for _, delta := range sweep {
+				var acc metrics.Accumulator
+				for _, p := range imputed {
+					acc.Add(metrics.Evaluate(sc.Proj, p.truth, p.dense, r.Opts.MaxGapM, delta))
+				}
+				rows = append(rows, Row{
+					Experiment: "fig10", Dataset: ds, Method: m.Name(),
+					XLabel: "delta_m", X: delta,
+					Recall: acc.Recall(), Precision: acc.Precision(),
+					FailRate: stats.FailureRate(),
+				})
+			}
+			r.logf("fig10 %s %s done", ds, m.Name())
+		}
+	}
+	return rows, nil
+}
+
+// RunTiming reproduces Fig 11: training time and per-trajectory imputation
+// time for KAMEL and TrImpute (map matching included for imputation).
+func (r *Runner) RunTiming(datasets []string) ([]Row, error) {
+	const sparse = 1000
+	var rows []Row
+	for _, ds := range datasets {
+		ts, sc, err := r.kamelFor(ds)
+		if err != nil {
+			return nil, err
+		}
+		tr, trTrainSecs := trimputeFor(sc)
+		rows = append(rows,
+			Row{Experiment: "fig11-train", Dataset: ds, Method: "KAMEL", XLabel: "phase", Seconds: ts.trainSeconds},
+			Row{Experiment: "fig11-train", Dataset: ds, Method: "TrImpute", XLabel: "phase", Seconds: trTrainSecs},
+		)
+		tests := r.testSlice(sc)
+		for _, m := range []baseline.Imputer{ts.sys, tr, baseline.NewMapMatch(sc.Proj, sc.Net)} {
+			t0 := time.Now()
+			for _, truth := range tests {
+				if _, _, err := m.Impute(truth.Sparsify(sparse)); err != nil {
+					return nil, err
+				}
+			}
+			per := time.Since(t0).Seconds() / float64(len(tests))
+			rows = append(rows, Row{
+				Experiment: "fig11-impute", Dataset: ds, Method: m.Name(),
+				XLabel: "phase", Seconds: per,
+			})
+			r.logf("fig11 %s %s: %.3fs/trajectory", ds, m.Name(), per)
+		}
+	}
+	return rows, nil
+}
+
+// RunRoadType reproduces Fig 12-I/II: the sparseness and threshold sweeps
+// restricted to straight versus curved segments (§8.4), on the jakarta-like
+// dataset as in the paper.
+func (r *Runner) RunRoadType(dataset string, sweep []float64) ([]Row, error) {
+	if len(sweep) == 0 {
+		sweep = []float64{500, 1000, 2000, 3000}
+	}
+	ts, sc, err := r.kamelFor(dataset)
+	if err != nil {
+		return nil, err
+	}
+	tr, _ := trimputeFor(sc)
+	methods := []baseline.Imputer{
+		ts.sys,
+		tr,
+		&baseline.Linear{Proj: sc.Proj, StepMeters: r.Opts.MaxGapM},
+	}
+	tests := r.testSlice(sc)
+	delta := r.delta(dataset)
+	var rows []Row
+	for _, sparse := range sweep {
+		// Build per-gap sub-cases with their ground-truth slices, bucketed
+		// by the §8.4 classifier.
+		type gapCase struct {
+			truth  geo.Trajectory // dense ground truth of the gap
+			sparse geo.Trajectory // the two gap endpoints
+		}
+		buckets := map[metrics.SegmentKind][]gapCase{}
+		for _, truth := range tests {
+			idx := truth.SparsifyIndices(sparse)
+			for j := 0; j+1 < len(idx); j++ {
+				a, b := idx[j], idx[j+1]
+				kind, err := metrics.ClassifySegment(sc.Net,
+					sc.Proj.ToXY(truth.Points[a]), sc.Proj.ToXY(truth.Points[b]), 5)
+				if err != nil {
+					continue
+				}
+				buckets[kind] = append(buckets[kind], gapCase{
+					truth:  geo.Trajectory{ID: truth.ID, Points: truth.Points[a : b+1]},
+					sparse: geo.Trajectory{ID: truth.ID, Points: []geo.Point{truth.Points[a], truth.Points[b]}},
+				})
+			}
+		}
+		for kind, cases := range buckets {
+			kindName := "straight"
+			if kind == metrics.Curved {
+				kindName = "curved"
+			}
+			for _, m := range methods {
+				var acc metrics.Accumulator
+				var stats baseline.Stats
+				for _, gc := range cases {
+					dense, st, err := m.Impute(gc.sparse)
+					if err != nil {
+						return nil, err
+					}
+					stats.Add(st)
+					acc.Add(metrics.Evaluate(sc.Proj, gc.truth, dense, r.Opts.MaxGapM, delta))
+				}
+				rows = append(rows, Row{
+					Experiment: "fig12-road-" + kindName, Dataset: dataset, Method: m.Name(),
+					XLabel: "sparseness_m", X: sparse,
+					Recall: acc.Recall(), Precision: acc.Precision(), FailRate: stats.FailureRate(),
+				})
+			}
+			r.logf("fig12-road %s sparse=%.0f %s: %d gaps", dataset, sparse, kindName, len(cases))
+		}
+	}
+	return rows, nil
+}
+
+// RunGridType reproduces Fig 12-III: hexagonal (H3-style) versus
+// area-matched square (S2-style) tokenization, all else equal.
+func (r *Runner) RunGridType(dataset string, sweep []float64) ([]Row, error) {
+	if len(sweep) == 0 {
+		sweep = []float64{500, 1000, 2000, 3000}
+	}
+	sc, err := r.scenario(dataset)
+	if err != nil {
+		return nil, err
+	}
+	delta := r.delta(dataset)
+	tests := r.testSlice(sc)
+	var rows []Row
+	for _, kind := range []string{"hex", "square"} {
+		dir, err := r.workdir(dataset + "-grid-" + kind)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.kamelConfig(dir, sc)
+		cfg.GridKind = kind
+		cfg.DisablePartitioning = true // isolate the grid effect
+		sys, err := core.NewWithProjection(cfg, sc.Proj)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("fig12-grid training %s grid", kind)
+		if err := sys.Train(sc.Train); err != nil {
+			return nil, err
+		}
+		name := "Hexagons(H3)"
+		if kind == "square" {
+			name = "Squares(S2)"
+		}
+		for _, sparse := range sweep {
+			acc, stats, _, err := r.measure(sc, sys, tests, sparse, delta)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Experiment: "fig12-grid", Dataset: dataset, Method: name,
+				XLabel: "sparseness_m", X: sparse,
+				Recall: acc.Recall(), Precision: acc.Precision(), FailRate: stats.FailureRate(),
+			})
+		}
+		sys.Close()
+	}
+	return rows, nil
+}
+
+// RunTrainSize reproduces Fig 12-IV: KAMEL trained on 25/50/75/100% of the
+// training trajectories.
+func (r *Runner) RunTrainSize(dataset string, sweep []float64) ([]Row, error) {
+	if len(sweep) == 0 {
+		sweep = []float64{500, 1000, 2000, 3000}
+	}
+	sc, err := r.scenario(dataset)
+	if err != nil {
+		return nil, err
+	}
+	delta := r.delta(dataset)
+	tests := r.testSlice(sc)
+	var rows []Row
+	for _, frac := range []float64{1.0, 0.75, 0.5, 0.25} {
+		n := int(frac * float64(len(sc.Train)))
+		if n < 1 {
+			n = 1
+		}
+		dir, err := r.workdir(fmt.Sprintf("%s-size-%d", dataset, int(frac*100)))
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.kamelConfig(dir, sc)
+		cfg.DisablePartitioning = true
+		sys, err := core.NewWithProjection(cfg, sc.Proj)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("fig12-size training on %d%% (%d trajectories)", int(frac*100), n)
+		if err := sys.Train(sc.Train[:n]); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%d%%", int(frac*100))
+		for _, sparse := range sweep {
+			acc, stats, _, err := r.measure(sc, sys, tests, sparse, delta)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Experiment: "fig12-size", Dataset: dataset, Method: name,
+				XLabel: "sparseness_m", X: sparse,
+				Recall: acc.Recall(), Precision: acc.Precision(), FailRate: stats.FailureRate(),
+			})
+		}
+		sys.Close()
+	}
+	return rows, nil
+}
+
+// RunDensity reproduces Fig 12-V: KAMEL trained on the same trajectories
+// sampled at 1/15/30/60 second periods.
+func (r *Runner) RunDensity(dataset string, sweep []float64) ([]Row, error) {
+	if len(sweep) == 0 {
+		sweep = []float64{500, 1000, 2000, 3000}
+	}
+	sc, err := r.scenario(dataset)
+	if err != nil {
+		return nil, err
+	}
+	delta := r.delta(dataset)
+	tests := r.testSlice(sc)
+	var rows []Row
+	for _, period := range []float64{1, 15, 30, 60} {
+		training := make([]geo.Trajectory, len(sc.Train))
+		for i, tr := range sc.Train {
+			training[i] = tr.SampleEvery(period)
+		}
+		dir, err := r.workdir(fmt.Sprintf("%s-density-%d", dataset, int(period)))
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.kamelConfig(dir, sc)
+		cfg.DisablePartitioning = true
+		sys, err := core.NewWithProjection(cfg, sc.Proj)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("fig12-density training at %.0fs sampling", period)
+		if err := sys.Train(training); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%.0f Sec.", period)
+		for _, sparse := range sweep {
+			acc, stats, _, err := r.measure(sc, sys, tests, sparse, delta)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Experiment: "fig12-density", Dataset: dataset, Method: name,
+				XLabel: "sparseness_m", X: sparse,
+				Recall: acc.Recall(), Precision: acc.Precision(), FailRate: stats.FailureRate(),
+			})
+		}
+		sys.Close()
+	}
+	return rows, nil
+}
+
+// RunAblation reproduces Fig 12-VI: the full system versus No Partitioning,
+// No Constraints, and No Multipoint (§8.7).  The constraint and multipoint
+// switches reuse the trained full system; No Partitioning retrains with one
+// global model.
+func (r *Runner) RunAblation(dataset string, sweep []float64) ([]Row, error) {
+	if len(sweep) == 0 {
+		sweep = []float64{500, 1000, 2000, 3000}
+	}
+	ts, sc, err := r.kamelFor(dataset)
+	if err != nil {
+		return nil, err
+	}
+	delta := r.delta(dataset)
+	tests := r.testSlice(sc)
+
+	dir, err := r.workdir(dataset + "-nopart")
+	if err != nil {
+		return nil, err
+	}
+	noPartCfg := r.kamelConfig(dir, sc)
+	noPartCfg.DisablePartitioning = true
+	noPart, err := core.NewWithProjection(noPartCfg, sc.Proj)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("fig12-ablation training No Part. variant")
+	if err := noPart.Train(sc.Train); err != nil {
+		return nil, err
+	}
+	defer noPart.Close()
+
+	variants := []struct {
+		name string
+		imp  baseline.Imputer
+	}{
+		{"KAMEL", ts.sys},
+		{"No Part.", noPart},
+		{"No Const.", ts.sys.WithAblation(true, false)},
+		{"No Multi.", ts.sys.WithAblation(false, true)},
+	}
+	var rows []Row
+	for _, sparse := range sweep {
+		for _, v := range variants {
+			acc, stats, _, err := r.measure(sc, v.imp, tests, sparse, delta)
+			if err != nil {
+				return nil, err
+			}
+			r.logf("fig12-ablation %s sparse=%.0f: recall=%.3f precision=%.3f fail=%.3f",
+				v.name, sparse, acc.Recall(), acc.Precision(), stats.FailureRate())
+			rows = append(rows, Row{
+				Experiment: "fig12-ablation", Dataset: dataset, Method: v.name,
+				XLabel: "sparseness_m", X: sparse,
+				Recall: acc.Recall(), Precision: acc.Precision(), FailRate: stats.FailureRate(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RunCellSize reproduces Fig 3(d): imputation accuracy versus hexagon cell
+// size via the §3.2 auto-tuner.
+func (r *Runner) RunCellSize(dataset string, sizes []float64) ([]Row, error) {
+	if len(sizes) == 0 {
+		sizes = []float64{25, 50, 75, 125, 200, 300}
+	}
+	sc, err := r.scenario(dataset)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := r.workdir(dataset + "-tune")
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.kamelConfig(dir, sc)
+	cfg.Train.Steps = r.Opts.TrainSteps / 2 // throwaway trial models
+	sys, err := core.NewWithProjection(cfg, sc.Proj)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	sample := sc.Train
+	if len(sample) > 48 {
+		sample = sample[:48]
+	}
+	r.logf("fig3d tuning cell size over %v", sizes)
+	best, results, err := sys.TuneCellSize(sample, sizes, 1000, r.delta(dataset))
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, res := range results {
+		rows = append(rows, Row{
+			Experiment: "fig3d", Dataset: dataset, Method: "KAMEL",
+			XLabel: "cell_edge_m", X: res.CellEdgeM,
+			Recall: res.Recall, Precision: res.Precision,
+		})
+	}
+	r.logf("fig3d best cell size: %.0fm", best)
+	return rows, nil
+}
+
+// ModelInventory reports the per-level model counts of a trained scenario's
+// repository (experiment E13, mirroring the paper's §8 model counts).
+func (r *Runner) ModelInventory(dataset string) ([]Row, error) {
+	ts, _, err := r.kamelFor(dataset)
+	if err != nil {
+		return nil, err
+	}
+	repo := ts.sys.Repo()
+	if repo == nil {
+		return nil, fmt.Errorf("eval: %s has no repository (global mode)", dataset)
+	}
+	perLevel := map[int]*Row{}
+	repo.Entries(func(e *pyramid.Entry) {
+		row, ok := perLevel[e.Key.Level]
+		if !ok {
+			row = &Row{Experiment: "models", Dataset: dataset, XLabel: "level", X: float64(e.Key.Level)}
+			perLevel[e.Key.Level] = row
+		}
+		if e.Single != nil {
+			row.Recall++ // single-cell model count
+		}
+		if e.East != nil {
+			row.Precision++ // neighbor-cell model count
+		}
+		if e.South != nil {
+			row.Precision++
+		}
+	})
+	var rows []Row
+	for _, row := range perLevel {
+		row.Method = fmt.Sprintf("single=%d neighbor=%d", int(row.Recall), int(row.Precision))
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}

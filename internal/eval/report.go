@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Close releases every cached trained system.
+func (r *Runner) Close() {
+	for _, ts := range r.systems {
+		ts.sys.Close()
+	}
+	r.systems = make(map[string]*trainedSystem)
+}
+
+// WriteTable renders rows as an aligned text table, grouped by experiment
+// and dataset, in the spirit of the paper's figure series.
+func WriteTable(w io.Writer, rows []Row) error {
+	sorted := append([]Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Dataset != b.Dataset {
+			return a.Dataset < b.Dataset
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Method < b.Method
+	})
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	var lastHeader string
+	for _, row := range sorted {
+		header := row.Experiment + " / " + row.Dataset
+		if header != lastHeader {
+			if lastHeader != "" {
+				fmt.Fprintln(tw)
+			}
+			fmt.Fprintf(tw, "== %s ==\n", header)
+			fmt.Fprintf(tw, "%s\tmethod\trecall\tprecision\tfail_rate\tseconds\n", row.XLabel)
+			lastHeader = header
+		}
+		fmt.Fprintf(tw, "%g\t%s\t%.3f\t%.3f\t%.3f\t%.2f\n",
+			row.X, row.Method, row.Recall, row.Precision, row.FailRate, row.Seconds)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders rows as CSV with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "dataset", "method", "x_label", "x", "recall", "precision", "fail_rate", "seconds"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Experiment, r.Dataset, r.Method, r.XLabel, f(r.X), f(r.Recall), f(r.Precision), f(r.FailRate), f(r.Seconds)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

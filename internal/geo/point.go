@@ -1,0 +1,125 @@
+// Package geo provides the geodetic and planar-geometry primitives that every
+// other KAMEL package builds on: GPS points, local metric projections,
+// bounding rectangles, trajectories, and point/polyline distance kernels.
+//
+// KAMEL (paper §3-§7) reasons about trajectories in meters.  All spherical
+// coordinates are converted once, through a Projection anchored near the
+// dataset, into a local planar frame where Euclidean math is accurate to well
+// under the hexagon edge lengths the system uses (tens to hundreds of meters
+// over city-scale extents).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the spherical formulas.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a single GPS reading: a WGS84 coordinate plus a timestamp in Unix
+// seconds.  The timestamp participates in KAMEL's speed constraints (paper
+// §5.1); zero means "no timestamp known".
+type Point struct {
+	Lat float64 // degrees, positive north
+	Lng float64 // degrees, positive east
+	T   float64 // Unix seconds; 0 when unknown
+}
+
+// String renders the point for logs and error messages.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f,%.6f@%.1f)", p.Lat, p.Lng, p.T)
+}
+
+// HaversineMeters returns the great-circle distance between two points.
+func HaversineMeters(a, b Point) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLng := (b.Lng - a.Lng) * math.Pi / 180
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLng / 2)
+	h := s1*s1 + math.Cos(la1)*math.Cos(la2)*s2*s2
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// XY is a point in a local planar frame, in meters.
+type XY struct {
+	X float64
+	Y float64
+}
+
+// Sub returns a - b.
+func (a XY) Sub(b XY) XY { return XY{a.X - b.X, a.Y - b.Y} }
+
+// Add returns a + b.
+func (a XY) Add(b XY) XY { return XY{a.X + b.X, a.Y + b.Y} }
+
+// Scale returns a scaled by f.
+func (a XY) Scale(f float64) XY { return XY{a.X * f, a.Y * f} }
+
+// Dot returns the dot product of a and b.
+func (a XY) Dot(b XY) float64 { return a.X*b.X + a.Y*b.Y }
+
+// Norm returns the Euclidean length of the vector a.
+func (a XY) Norm() float64 { return math.Hypot(a.X, a.Y) }
+
+// Dist returns the Euclidean distance between a and b.
+func (a XY) Dist(b XY) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+// Heading returns the direction of the vector a in radians in (-pi, pi],
+// measured counterclockwise from the +X axis.
+func (a XY) Heading() float64 { return math.Atan2(a.Y, a.X) }
+
+// Projection is a local equirectangular projection anchored at an origin.
+// Within city-scale extents (tens of kilometers) its distance error is
+// negligible relative to KAMEL's grid cell sizes.
+type Projection struct {
+	originLat float64
+	originLng float64
+	cosLat    float64
+}
+
+// NewProjection returns a projection anchored at the given origin.
+func NewProjection(originLat, originLng float64) *Projection {
+	return &Projection{
+		originLat: originLat,
+		originLng: originLng,
+		cosLat:    math.Cos(originLat * math.Pi / 180),
+	}
+}
+
+// Origin returns the anchor of the projection.
+func (pr *Projection) Origin() (lat, lng float64) { return pr.originLat, pr.originLng }
+
+// ToXY converts a WGS84 point to local planar meters.
+func (pr *Projection) ToXY(p Point) XY {
+	const degToMeters = EarthRadiusMeters * math.Pi / 180
+	return XY{
+		X: (p.Lng - pr.originLng) * degToMeters * pr.cosLat,
+		Y: (p.Lat - pr.originLat) * degToMeters,
+	}
+}
+
+// ToLatLng converts local planar meters back to a WGS84 point.  The returned
+// point carries a zero timestamp.
+func (pr *Projection) ToLatLng(q XY) Point {
+	const metersToDeg = 180 / (EarthRadiusMeters * math.Pi)
+	return Point{
+		Lat: pr.originLat + q.Y*metersToDeg,
+		Lng: pr.originLng + q.X*metersToDeg/pr.cosLat,
+	}
+}
+
+// AngleDiff returns the absolute difference between two angles in radians,
+// normalized into [0, pi].
+func AngleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}

@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64
+	}{
+		{"same point", Point{Lat: 41.15, Lng: -8.61}, Point{Lat: 41.15, Lng: -8.61}, 0, 1e-6},
+		{"one degree latitude", Point{Lat: 0, Lng: 0}, Point{Lat: 1, Lng: 0}, 111195, 50},
+		{"one degree longitude at equator", Point{Lat: 0, Lng: 0}, Point{Lat: 0, Lng: 1}, 111195, 50},
+		{"porto to lisbon", Point{Lat: 41.1579, Lng: -8.6291}, Point{Lat: 38.7223, Lng: -9.1393}, 274000, 5000},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := HaversineMeters(tc.a, tc.b)
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Errorf("HaversineMeters(%v,%v) = %f, want %f±%f", tc.a, tc.b, got, tc.want, tc.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	f := func(lat1, lng1, lat2, lng2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lng: clampLng(lng1)}
+		b := Point{Lat: clampLat(lat2), Lng: clampLng(lng2)}
+		d1 := HaversineMeters(a, b)
+		d2 := HaversineMeters(b, a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampLat(v float64) float64 { return math.Mod(math.Abs(v), 80) }
+func clampLng(v float64) float64 { return math.Mod(v, 179) }
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(41.15, -8.61)
+	f := func(dx, dy float64) bool {
+		// Stay within a ~50km box around the origin.
+		q := XY{X: math.Mod(dx, 50000), Y: math.Mod(dy, 50000)}
+		p := pr.ToLatLng(q)
+		back := pr.ToXY(p)
+		return back.Dist(q) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionMatchesHaversine(t *testing.T) {
+	// Over a city-scale extent the planar distance must agree with the
+	// spherical distance to well under a hexagon edge length.
+	pr := NewProjection(41.15, -8.61)
+	a := Point{Lat: 41.16, Lng: -8.62}
+	b := Point{Lat: 41.12, Lng: -8.58}
+	planar := pr.ToXY(a).Dist(pr.ToXY(b))
+	sphere := HaversineMeters(a, b)
+	if math.Abs(planar-sphere) > 0.01*sphere {
+		t.Errorf("planar %f vs haversine %f differ by more than 1%%", planar, sphere)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{0, math.Pi / 2, math.Pi / 2},
+		{-math.Pi + 0.1, math.Pi - 0.1, 0.2},
+		{0, math.Pi, math.Pi},
+		{3 * math.Pi, 0, math.Pi},
+	}
+	for _, tc := range tests {
+		if got := AngleDiff(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("AngleDiff(%f,%f) = %f, want %f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAngleDiffProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		d := AngleDiff(a, b)
+		return d >= 0 && d <= math.Pi+1e-9 && math.Abs(d-AngleDiff(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXYVectorOps(t *testing.T) {
+	a := XY{3, 4}
+	b := XY{1, -2}
+	if got := a.Sub(b); got != (XY{2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Add(b); got != (XY{4, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(2); got != (XY{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := (XY{0, 1}).Heading(); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("Heading = %v", got)
+	}
+}

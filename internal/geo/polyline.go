@@ -1,0 +1,87 @@
+package geo
+
+import "math"
+
+// PointSegmentDist returns the Euclidean distance from p to the closed segment
+// [a, b] in the local planar frame.
+func PointSegmentDist(p, a, b XY) float64 {
+	ab := b.Sub(a)
+	len2 := ab.Dot(ab)
+	if len2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / len2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// PointPolylineDist returns the minimum distance from p to the polyline.  It
+// returns +Inf for an empty polyline and the point distance for a single
+// vertex.
+func PointPolylineDist(p XY, line []XY) float64 {
+	switch len(line) {
+	case 0:
+		return math.Inf(1)
+	case 1:
+		return p.Dist(line[0])
+	}
+	best := math.Inf(1)
+	for i := 0; i+1 < len(line); i++ {
+		if d := PointSegmentDist(p, line[i], line[i+1]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// PolylineLength returns the total length of the polyline in meters.
+func PolylineLength(line []XY) float64 {
+	var sum float64
+	for i := 0; i+1 < len(line); i++ {
+		sum += line[i].Dist(line[i+1])
+	}
+	return sum
+}
+
+// ResamplePolyline walks the polyline and emits one point every `step` meters
+// of arc length, starting at the first vertex and always including the last
+// vertex.  It is the discretization the paper's recall/precision metrics use
+// ("placing points P as one point every max_gap distance", §8).  A polyline
+// with fewer than two vertices is returned unchanged (copied).
+func ResamplePolyline(line []XY, step float64) []XY {
+	if len(line) < 2 || step <= 0 {
+		out := make([]XY, len(line))
+		copy(out, line)
+		return out
+	}
+	out := []XY{line[0]}
+	carry := step // distance remaining until the next emission
+	for i := 0; i+1 < len(line); i++ {
+		a, b := line[i], line[i+1]
+		segLen := a.Dist(b)
+		pos := 0.0
+		for segLen-pos >= carry {
+			pos += carry
+			t := pos / segLen
+			out = append(out, a.Add(b.Sub(a).Scale(t)))
+			carry = step
+		}
+		carry -= segLen - pos
+	}
+	last := line[len(line)-1]
+	if out[len(out)-1].Dist(last) > 1e-9 {
+		out = append(out, last)
+	}
+	return out
+}
+
+// InsideEllipse reports whether p lies inside (or on) the ellipse whose foci
+// are f1 and f2 and whose major-axis length (the maximum total distance from
+// the foci) is sum.  This is the speed-constraint area of paper §5.1.
+func InsideEllipse(p, f1, f2 XY, sum float64) bool {
+	return p.Dist(f1)+p.Dist(f2) <= sum
+}

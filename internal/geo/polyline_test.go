@@ -1,0 +1,130 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointSegmentDist(t *testing.T) {
+	a, b := XY{0, 0}, XY{10, 0}
+	tests := []struct {
+		p    XY
+		want float64
+	}{
+		{XY{5, 3}, 3},      // projects inside the segment
+		{XY{-4, 3}, 5},     // clamps to a
+		{XY{13, 4}, 5},     // clamps to b
+		{XY{0, 0}, 0},      // endpoint
+		{XY{10, 0}, 0},     // endpoint
+		{XY{5, 0}, 0},      // on the segment
+		{XY{5, -2.5}, 2.5}, // below
+	}
+	for _, tc := range tests {
+		if got := PointSegmentDist(tc.p, a, b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PointSegmentDist(%v) = %f, want %f", tc.p, got, tc.want)
+		}
+	}
+	// Degenerate segment.
+	if got := PointSegmentDist(XY{3, 4}, XY{0, 0}, XY{0, 0}); got != 5 {
+		t.Errorf("degenerate segment dist = %f, want 5", got)
+	}
+}
+
+func TestPointPolylineDist(t *testing.T) {
+	line := []XY{{0, 0}, {10, 0}, {10, 10}}
+	if got := PointPolylineDist(XY{5, 1}, line); got != 1 {
+		t.Errorf("dist = %f, want 1", got)
+	}
+	if got := PointPolylineDist(XY{12, 5}, line); got != 2 {
+		t.Errorf("dist = %f, want 2", got)
+	}
+	if !math.IsInf(PointPolylineDist(XY{0, 0}, nil), 1) {
+		t.Error("empty polyline must be infinitely far")
+	}
+	if got := PointPolylineDist(XY{3, 4}, []XY{{0, 0}}); got != 5 {
+		t.Errorf("single-vertex dist = %f, want 5", got)
+	}
+}
+
+func TestResamplePolyline(t *testing.T) {
+	line := []XY{{0, 0}, {10, 0}}
+	got := ResamplePolyline(line, 2.5)
+	want := []XY{{0, 0}, {2.5, 0}, {5, 0}, {7.5, 0}, {10, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d points, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].Dist(want[i]) > 1e-9 {
+			t.Errorf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResamplePolylineAcrossVertices(t *testing.T) {
+	// Arc length accumulates across vertices: a bend must not reset the step.
+	line := []XY{{0, 0}, {3, 0}, {3, 4}}
+	got := ResamplePolyline(line, 2)
+	// Total length is 7, so emissions at arc lengths 0,2,4,6 plus the end.
+	if len(got) != 5 {
+		t.Fatalf("got %d points %v, want 5", len(got), got)
+	}
+	// The point at arc length 4 is one unit up the vertical leg.
+	if got[2].Dist(XY{3, 1}) > 1e-9 {
+		t.Errorf("arc-4 point = %v, want (3,1)", got[2])
+	}
+	if got[len(got)-1].Dist(XY{3, 4}) > 1e-9 {
+		t.Errorf("last point = %v, want endpoint", got[len(got)-1])
+	}
+}
+
+func TestResamplePolylineProperties(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3 float64) bool {
+		line := []XY{
+			{math.Mod(x1, 1000), math.Mod(y1, 1000)},
+			{math.Mod(x2, 1000), math.Mod(y2, 1000)},
+			{math.Mod(x3, 1000), math.Mod(y3, 1000)},
+		}
+		out := ResamplePolyline(line, 50)
+		if len(out) < 2 {
+			return false
+		}
+		// Every resampled point lies on the original polyline.
+		for _, p := range out {
+			if PointPolylineDist(p, line) > 1e-6 {
+				return false
+			}
+		}
+		// First and last points are preserved.
+		return out[0] == line[0] && out[len(out)-1].Dist(line[2]) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	if got := PolylineLength([]XY{{0, 0}, {3, 0}, {3, 4}}); got != 7 {
+		t.Errorf("length = %f, want 7", got)
+	}
+	if got := PolylineLength([]XY{{1, 1}}); got != 0 {
+		t.Errorf("single point length = %f, want 0", got)
+	}
+}
+
+func TestInsideEllipse(t *testing.T) {
+	f1, f2 := XY{-3, 0}, XY{3, 0}
+	// Major axis 10 => semi-major 5, semi-minor 4.
+	if !InsideEllipse(XY{0, 4}, f1, f2, 10) {
+		t.Error("co-vertex must be inside")
+	}
+	if !InsideEllipse(XY{5, 0}, f1, f2, 10) {
+		t.Error("vertex must be inside")
+	}
+	if InsideEllipse(XY{0, 4.01}, f1, f2, 10) {
+		t.Error("point beyond co-vertex must be outside")
+	}
+	if InsideEllipse(XY{5.01, 0}, f1, f2, 10) {
+		t.Error("point beyond vertex must be outside")
+	}
+}

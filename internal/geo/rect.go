@@ -1,0 +1,102 @@
+package geo
+
+import "math"
+
+// Rect is an axis-aligned rectangle in the local planar frame (meters).
+// It is the minimum-bounding-rectangle currency of the trajectory store and
+// the pyramid model repository (paper §4).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns the identity element for Union: a rectangle that contains
+// nothing and leaves any rectangle unchanged when united with it.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// IsEmpty reports whether the rectangle contains no points.
+func (r Rect) IsEmpty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the X extent of the rectangle, or 0 if empty.
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxX - r.MinX
+}
+
+// Height returns the Y extent of the rectangle, or 0 if empty.
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxY - r.MinY
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() XY { return XY{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2} }
+
+// ContainsXY reports whether the point q lies inside r (borders inclusive).
+func (r Rect) ContainsXY(q XY) bool {
+	return q.X >= r.MinX && q.X <= r.MaxX && q.Y >= r.MinY && q.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies fully inside r (borders inclusive).
+// An empty s is contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// ExtendXY returns the smallest rectangle containing both r and the point q.
+func (r Rect) ExtendXY(q XY) Rect {
+	return r.Union(Rect{MinX: q.X, MinY: q.Y, MaxX: q.X, MaxY: q.Y})
+}
+
+// Expand grows the rectangle by m meters on every side.  Negative m shrinks
+// it; shrinking past empty yields an empty rectangle.
+func (r Rect) Expand(m float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	return Rect{MinX: r.MinX - m, MinY: r.MinY - m, MaxX: r.MaxX + m, MaxY: r.MaxY + m}
+}
+
+// BoundXY returns the MBR of a set of planar points.
+func BoundXY(pts []XY) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.ExtendXY(p)
+	}
+	return r
+}

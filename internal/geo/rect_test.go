@@ -1,0 +1,104 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect is not empty")
+	}
+	if e.Width() != 0 || e.Height() != 0 {
+		t.Error("empty rect must have zero extent")
+	}
+	if e.ContainsXY(XY{0, 0}) {
+		t.Error("empty rect must contain nothing")
+	}
+	r := Rect{0, 0, 1, 1}
+	if got := e.Union(r); got != r {
+		t.Errorf("EmptyRect.Union(r) = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r.Union(EmptyRect) = %v, want %v", got, r)
+	}
+}
+
+func TestRectContainment(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	tests := []struct {
+		p    XY
+		want bool
+	}{
+		{XY{5, 5}, true},
+		{XY{0, 0}, true},   // border inclusive
+		{XY{10, 10}, true}, // border inclusive
+		{XY{-0.1, 5}, false},
+		{XY{5, 10.1}, false},
+	}
+	for _, tc := range tests {
+		if got := r.ContainsXY(tc.p); got != tc.want {
+			t.Errorf("ContainsXY(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !r.ContainsRect(Rect{1, 1, 9, 9}) {
+		t.Error("inner rect should be contained")
+	}
+	if r.ContainsRect(Rect{1, 1, 11, 9}) {
+		t.Error("overflowing rect should not be contained")
+	}
+	if !r.ContainsRect(EmptyRect()) {
+		t.Error("empty rect is contained in everything")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Intersects(Rect{5, 5, 15, 15}) {
+		t.Error("overlapping rects must intersect")
+	}
+	if !r.Intersects(Rect{10, 10, 20, 20}) {
+		t.Error("touching rects must intersect (closed rectangles)")
+	}
+	if r.Intersects(Rect{11, 11, 20, 20}) {
+		t.Error("disjoint rects must not intersect")
+	}
+	if r.Intersects(EmptyRect()) {
+		t.Error("nothing intersects the empty rect")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{0, 0, 10, 10}.Expand(5)
+	if r != (Rect{-5, -5, 15, 15}) {
+		t.Errorf("Expand(5) = %v", r)
+	}
+	if EmptyRect().Expand(100).IsEmpty() != true {
+		t.Error("expanding an empty rect must keep it empty")
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		r := BoundXY([]XY{{ax, ay}, {bx, by}})
+		s := BoundXY([]XY{{cx, cy}, {dx, dy}})
+		u := r.Union(s)
+		// Union contains both operands and is commutative.
+		return u.ContainsRect(r) && u.ContainsRect(s) && u == s.Union(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundXY(t *testing.T) {
+	r := BoundXY([]XY{{1, 2}, {-3, 7}, {4, -1}})
+	want := Rect{-3, -1, 4, 7}
+	if r != want {
+		t.Errorf("BoundXY = %v, want %v", r, want)
+	}
+	if !BoundXY(nil).IsEmpty() {
+		t.Error("BoundXY(nil) must be empty")
+	}
+}

@@ -1,0 +1,57 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSparsifyIndicesMatchesSparsify(t *testing.T) {
+	tr := eastwardTrajectory(80, 25)
+	for _, d := range []float64{0, 100, 300, 1e6} {
+		idx := tr.SparsifyIndices(d)
+		sp := tr.Sparsify(d)
+		if len(idx) != len(sp.Points) {
+			t.Fatalf("d=%f: %d indices vs %d points", d, len(idx), len(sp.Points))
+		}
+		for i, j := range idx {
+			if tr.Points[j] != sp.Points[i] {
+				t.Fatalf("d=%f: index %d mismatch", d, i)
+			}
+		}
+	}
+}
+
+func TestSparsifyIndicesProperties(t *testing.T) {
+	tr := eastwardTrajectory(60, 30)
+	f := func(raw uint16) bool {
+		d := float64(raw%3000) + 1
+		idx := tr.SparsifyIndices(d)
+		if len(idx) < 2 {
+			return false
+		}
+		// Strictly increasing, starts at 0, ends at last.
+		if idx[0] != 0 || idx[len(idx)-1] != len(tr.Points)-1 {
+			return false
+		}
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparsifyIndicesEmpty(t *testing.T) {
+	var tr Trajectory
+	if got := tr.SparsifyIndices(100); got != nil {
+		t.Errorf("empty trajectory must give nil indices, got %v", got)
+	}
+	one := Trajectory{Points: []Point{{Lat: 1}}}
+	if got := one.SparsifyIndices(100); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single point must keep itself: %v", got)
+	}
+}

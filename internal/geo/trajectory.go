@@ -1,0 +1,118 @@
+package geo
+
+// Trajectory is an ordered sequence of GPS points produced by one moving
+// object.  It is the unit of input and output of every KAMEL stage: raw
+// trajectories enter Tokenization, and imputed trajectories leave
+// Detokenization (paper §2).
+type Trajectory struct {
+	ID     string
+	Points []Point
+}
+
+// Clone returns a deep copy of the trajectory.
+func (t Trajectory) Clone() Trajectory {
+	pts := make([]Point, len(t.Points))
+	copy(pts, t.Points)
+	return Trajectory{ID: t.ID, Points: pts}
+}
+
+// XYs projects every point of the trajectory into the local planar frame.
+func (t Trajectory) XYs(pr *Projection) []XY {
+	out := make([]XY, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = pr.ToXY(p)
+	}
+	return out
+}
+
+// MBR returns the minimum bounding rectangle of the trajectory in the local
+// planar frame.
+func (t Trajectory) MBR(pr *Projection) Rect {
+	r := EmptyRect()
+	for _, p := range t.Points {
+		r = r.ExtendXY(pr.ToXY(p))
+	}
+	return r
+}
+
+// LengthMeters returns the driven length of the trajectory, using spherical
+// distances between consecutive points.
+func (t Trajectory) LengthMeters() float64 {
+	var sum float64
+	for i := 0; i+1 < len(t.Points); i++ {
+		sum += HaversineMeters(t.Points[i], t.Points[i+1])
+	}
+	return sum
+}
+
+// Duration returns the elapsed time between the first and last points in
+// seconds, or 0 when the trajectory has fewer than two points.
+func (t Trajectory) Duration() float64 {
+	if len(t.Points) < 2 {
+		return 0
+	}
+	return t.Points[len(t.Points)-1].T - t.Points[0].T
+}
+
+// Sparsify applies the paper's §8 sparsification protocol: keep the first
+// point, then drop every point within `sparseDist` meters (along the
+// trajectory's driven path) of the last kept point, keep the next one, and so
+// on.  The final point is always kept so that the last gap is bounded.
+func (t Trajectory) Sparsify(sparseDist float64) Trajectory {
+	idx := t.SparsifyIndices(sparseDist)
+	kept := make([]Point, len(idx))
+	for i, j := range idx {
+		kept[i] = t.Points[j]
+	}
+	return Trajectory{ID: t.ID, Points: kept}
+}
+
+// SparsifyIndices returns the indices Sparsify would keep.  The evaluation
+// harness uses them to slice the dense ground truth per sparse gap (§8.4).
+func (t Trajectory) SparsifyIndices(sparseDist float64) []int {
+	if len(t.Points) == 0 {
+		return nil
+	}
+	if sparseDist <= 0 {
+		idx := make([]int, len(t.Points))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := []int{0}
+	var acc float64
+	for i := 1; i < len(t.Points); i++ {
+		acc += HaversineMeters(t.Points[i-1], t.Points[i])
+		if acc >= sparseDist {
+			idx = append(idx, i)
+			acc = 0
+		}
+	}
+	if last := len(t.Points) - 1; idx[len(idx)-1] != last {
+		idx = append(idx, last)
+	}
+	return idx
+}
+
+// SampleEvery keeps one point per `period` seconds of trajectory time,
+// emulating a device with a lower sampling rate.  It always keeps the first
+// and last points.  Used by the training-density experiment (paper §8.6).
+func (t Trajectory) SampleEvery(period float64) Trajectory {
+	if len(t.Points) == 0 || period <= 0 {
+		return t.Clone()
+	}
+	kept := []Point{t.Points[0]}
+	nextT := t.Points[0].T + period
+	for i := 1; i < len(t.Points); i++ {
+		if t.Points[i].T >= nextT {
+			kept = append(kept, t.Points[i])
+			nextT = t.Points[i].T + period
+		}
+	}
+	last := t.Points[len(t.Points)-1]
+	if kept[len(kept)-1] != last {
+		kept = append(kept, last)
+	}
+	return Trajectory{ID: t.ID, Points: kept}
+}

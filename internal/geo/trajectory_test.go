@@ -1,0 +1,110 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// eastwardTrajectory builds a straight trajectory heading east with one point
+// every stepMeters, one per second.
+func eastwardTrajectory(n int, stepMeters float64) Trajectory {
+	pr := NewProjection(41.15, -8.61)
+	pts := make([]Point, n)
+	for i := range pts {
+		p := pr.ToLatLng(XY{X: float64(i) * stepMeters, Y: 0})
+		p.T = float64(i)
+		pts[i] = p
+	}
+	return Trajectory{ID: "east", Points: pts}
+}
+
+func TestTrajectoryLengthAndDuration(t *testing.T) {
+	tr := eastwardTrajectory(11, 100)
+	if got := tr.LengthMeters(); math.Abs(got-1000) > 1 {
+		t.Errorf("LengthMeters = %f, want ~1000", got)
+	}
+	if got := tr.Duration(); got != 10 {
+		t.Errorf("Duration = %f, want 10", got)
+	}
+	if (Trajectory{}).Duration() != 0 {
+		t.Error("empty trajectory duration must be 0")
+	}
+}
+
+func TestSparsify(t *testing.T) {
+	tr := eastwardTrajectory(101, 10) // 1km long, points every 10m
+	sp := tr.Sparsify(250)
+	// Expect kept points roughly every 250m plus the forced final point.
+	if len(sp.Points) < 5 || len(sp.Points) > 6 {
+		t.Fatalf("Sparsify kept %d points, want 5 or 6", len(sp.Points))
+	}
+	if sp.Points[0] != tr.Points[0] {
+		t.Error("first point must be kept")
+	}
+	if sp.Points[len(sp.Points)-1] != tr.Points[len(tr.Points)-1] {
+		t.Error("last point must be kept")
+	}
+	// Every gap except the forced final one must honor the sparse distance.
+	for i := 1; i < len(sp.Points)-1; i++ {
+		d := HaversineMeters(sp.Points[i-1], sp.Points[i])
+		if d < 249 {
+			t.Errorf("gap %d is %fm, want >= 250m", i, d)
+		}
+	}
+}
+
+func TestSparsifyNoopCases(t *testing.T) {
+	tr := eastwardTrajectory(5, 10)
+	if got := tr.Sparsify(0); len(got.Points) != 5 {
+		t.Error("sparseDist<=0 must be a no-op")
+	}
+	empty := Trajectory{ID: "e"}
+	if got := empty.Sparsify(100); len(got.Points) != 0 {
+		t.Error("empty trajectory must stay empty")
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	tr := eastwardTrajectory(61, 10) // one point per second, 60s long
+	s := tr.SampleEvery(15)
+	// Keep t=0,15,30,45,60 => 5 points.
+	if len(s.Points) != 5 {
+		t.Fatalf("SampleEvery kept %d points, want 5: %v", len(s.Points), s.Points)
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if dt := s.Points[i].T - s.Points[i-1].T; dt < 15 {
+			t.Errorf("interval %d is %fs, want >= 15s", i, dt)
+		}
+	}
+	if s.Points[len(s.Points)-1].T != 60 {
+		t.Error("last point must be kept")
+	}
+}
+
+func TestTrajectoryMBRAndXYs(t *testing.T) {
+	pr := NewProjection(41.15, -8.61)
+	tr := eastwardTrajectory(11, 100)
+	r := tr.MBR(pr)
+	if math.Abs(r.Width()-1000) > 1 {
+		t.Errorf("MBR width = %f, want ~1000", r.Width())
+	}
+	if r.Height() > 1 {
+		t.Errorf("MBR height = %f, want ~0", r.Height())
+	}
+	xys := tr.XYs(pr)
+	if len(xys) != 11 {
+		t.Fatalf("XYs returned %d points", len(xys))
+	}
+	if math.Abs(xys[10].X-1000) > 1 {
+		t.Errorf("last X = %f, want ~1000", xys[10].X)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := eastwardTrajectory(3, 10)
+	cl := tr.Clone()
+	cl.Points[0].Lat = 0
+	if tr.Points[0].Lat == 0 {
+		t.Error("Clone must not share backing storage")
+	}
+}

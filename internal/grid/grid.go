@@ -1,0 +1,63 @@
+// Package grid implements the space-tokenization substrates of KAMEL's
+// Tokenization module (paper §3): a flat hexagonal grid in the spirit of
+// Uber's H3 index, and a square grid in the spirit of Google's S2 cells,
+// which the paper compares against in its grid-type experiment (§8.5,
+// Fig 12-III).
+//
+// Both grids tessellate the local planar frame (meters) produced by
+// geo.Projection.  A grid maps points to fixed-size cells; the cell identifier
+// is the "token" that KAMEL's BERT model is trained on.  Unlike H3, no
+// hierarchy is provided — the paper explicitly notes KAMEL does not need one
+// (§3.1): cells exist only to tokenize points and detokenize cells.
+package grid
+
+import "kamel/internal/geo"
+
+// Cell is a packed grid-cell identifier.  For hexagonal grids it packs axial
+// coordinates (q, r); for square grids it packs integer column and row.  The
+// packing is stable across runs, making Cell suitable as a persisted token.
+type Cell int64
+
+// pack combines two 32-bit signed coordinates into one Cell.
+func pack(a, b int32) Cell {
+	return Cell(int64(a)<<32 | int64(uint32(b)))
+}
+
+// unpack splits a Cell into its two 32-bit signed coordinates.
+func unpack(c Cell) (int32, int32) {
+	return int32(int64(c) >> 32), int32(uint32(int64(c) & 0xffffffff))
+}
+
+// Grid is the tokenization substrate interface.  Implementations must be
+// safe for concurrent use (they are stateless after construction).
+type Grid interface {
+	// Kind identifies the tessellation ("hex" or "square").
+	Kind() string
+	// EdgeMeters returns the cell edge length in meters.
+	EdgeMeters() float64
+	// StepMeters returns the maximum centroid distance between two cells at
+	// grid distance 1.  Consumers clamp meter-valued gap thresholds to at
+	// least this, since no two distinct cells can be closer (the paper's
+	// Figure 6 measures max_gap in token steps for the same reason).
+	StepMeters() float64
+	// CellAreaM2 returns the area of one cell in square meters.
+	CellAreaM2() float64
+	// CellAt returns the cell containing the planar point p.
+	CellAt(p geo.XY) Cell
+	// Centroid returns the center of the cell in the planar frame.
+	Centroid(c Cell) geo.XY
+	// Neighbors returns the cells sharing an edge with c, in a fixed order.
+	Neighbors(c Cell) []Cell
+	// Distance returns the minimum number of neighbor steps between a and b.
+	Distance(a, b Cell) int
+	// Line returns the cells crossed by the straight segment from a to b,
+	// inclusive of both endpoints, in order.
+	Line(a, b Cell) []Cell
+	// Disk returns all cells within grid distance k of c (including c).
+	Disk(c Cell, k int) []Cell
+}
+
+// CentroidDistance returns the planar distance between two cell centers.
+func CentroidDistance(g Grid, a, b Cell) float64 {
+	return g.Centroid(a).Dist(g.Centroid(b))
+}

@@ -1,0 +1,101 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kamel/internal/geo"
+)
+
+// TestLineContinuityProperty: for both grids, Line between any two cells
+// starts at a, ends at b, and every step moves grid distance exactly 1.
+func TestLineContinuityProperty(t *testing.T) {
+	grids := []Grid{NewHex(60), NewSquare(80)}
+	for _, g := range grids {
+		g := g
+		f := func(x1, y1, x2, y2 float64) bool {
+			a := g.CellAt(geo.XY{X: math.Mod(x1, 8000), Y: math.Mod(y1, 8000)})
+			b := g.CellAt(geo.XY{X: math.Mod(x2, 8000), Y: math.Mod(y2, 8000)})
+			line := g.Line(a, b)
+			if line[0] != a || line[len(line)-1] != b {
+				return false
+			}
+			for i := 1; i < len(line); i++ {
+				if g.Distance(line[i-1], line[i]) != 1 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", g.Kind(), err)
+		}
+	}
+}
+
+// TestDiskContainsLine: any cell on the line between a and b lies within
+// Disk(a, Distance(a,b)).
+func TestDiskContainsLine(t *testing.T) {
+	g := NewHex(75)
+	a := g.CellAt(geo.XY{X: 0, Y: 0})
+	b := g.CellAt(geo.XY{X: 700, Y: 400})
+	disk := map[Cell]bool{}
+	for _, c := range g.Disk(a, g.Distance(a, b)) {
+		disk[c] = true
+	}
+	for _, c := range g.Line(a, b) {
+		if !disk[c] {
+			t.Errorf("line cell %v outside disk", c)
+		}
+	}
+}
+
+// TestStepMetersIsNeighborMax: StepMeters equals the max centroid distance
+// over distance-1 cells.
+func TestStepMetersIsNeighborMax(t *testing.T) {
+	hex := NewHex(75)
+	c := hex.CellAt(geo.XY{X: 123, Y: 456})
+	var maxD float64
+	for _, n := range hex.Neighbors(c) {
+		if d := CentroidDistance(hex, c, n); d > maxD {
+			maxD = d
+		}
+	}
+	if math.Abs(maxD-hex.StepMeters()) > 1e-6 {
+		t.Errorf("hex StepMeters %f vs neighbor max %f", hex.StepMeters(), maxD)
+	}
+
+	sq := NewSquare(100)
+	c = sq.CellAt(geo.XY{X: 123, Y: 456})
+	maxD = 0
+	// Chebyshev-distance-1 cells form the 8-neighborhood.
+	for _, n := range sq.Disk(c, 1) {
+		if n == c {
+			continue
+		}
+		if d := CentroidDistance(sq, c, n); d > maxD {
+			maxD = d
+		}
+	}
+	if math.Abs(maxD-sq.StepMeters()) > 1e-6 {
+		t.Errorf("square StepMeters %f vs neighbor max %f", sq.StepMeters(), maxD)
+	}
+}
+
+// TestHexTessellation: no planar point maps to two cells, and nearby points
+// map to nearby cells.
+func TestHexTessellation(t *testing.T) {
+	g := NewHex(75)
+	f := func(x, y float64) bool {
+		p := geo.XY{X: math.Mod(x, 1e4), Y: math.Mod(y, 1e4)}
+		c := g.CellAt(p)
+		// A point 1 meter away lands in the same cell or a neighbor.
+		q := geo.XY{X: p.X + 1, Y: p.Y}
+		d := g.Distance(c, g.CellAt(q))
+		return d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

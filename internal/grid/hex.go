@@ -1,0 +1,167 @@
+package grid
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+)
+
+// Hex is a flat-top hexagonal grid with a configurable edge length, the
+// default tokenization scheme of KAMEL (paper §3.1).  Every cell has exactly
+// six neighbors, all at the same centroid distance and sharing borders of the
+// same length — the property the paper argues makes transitions between
+// tokens uniform and easier for BERT to learn.
+//
+// Cells are addressed by axial coordinates (q, r) with the standard cube
+// constraint q + r + s = 0.
+type Hex struct {
+	edge float64
+}
+
+// NewHex returns a hexagonal grid whose cells have the given edge length in
+// meters.  It panics if edge is not positive — a zero-size tessellation is a
+// programming error, not a runtime condition.
+func NewHex(edgeMeters float64) *Hex {
+	if edgeMeters <= 0 {
+		panic("grid: hex edge length must be positive")
+	}
+	return &Hex{edge: edgeMeters}
+}
+
+// Kind implements Grid.
+func (h *Hex) Kind() string { return "hex" }
+
+// EdgeMeters implements Grid.
+func (h *Hex) EdgeMeters() float64 { return h.edge }
+
+// CellAreaM2 implements Grid.  A regular hexagon with edge a has area
+// (3*sqrt(3)/2) * a^2.
+func (h *Hex) CellAreaM2() float64 { return 3 * math.Sqrt(3) / 2 * h.edge * h.edge }
+
+// StepMeters implements Grid: all six neighbors sit exactly sqrt(3)·edge
+// from the cell centroid.
+func (h *Hex) StepMeters() float64 { return math.Sqrt(3) * h.edge }
+
+// axialDirs are the six edge-neighbor offsets of a hexagonal cell, starting
+// east and proceeding counterclockwise.
+var axialDirs = [6][2]int32{
+	{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1},
+}
+
+// CellAt implements Grid using the exact fractional axial transform followed
+// by cube rounding.
+func (h *Hex) CellAt(p geo.XY) Cell {
+	// Flat-top hexagon: x = edge * 3/2 * q ; y = edge * sqrt(3) * (r + q/2).
+	qf := (2.0 / 3.0) * p.X / h.edge
+	rf := (-1.0/3.0*p.X + math.Sqrt(3)/3.0*p.Y) / h.edge
+	q, r := cubeRound(qf, rf)
+	return pack(q, r)
+}
+
+// Centroid implements Grid.
+func (h *Hex) Centroid(c Cell) geo.XY {
+	q, r := unpack(c)
+	return geo.XY{
+		X: h.edge * 1.5 * float64(q),
+		Y: h.edge * math.Sqrt(3) * (float64(r) + float64(q)/2),
+	}
+}
+
+// Neighbors implements Grid; the six neighbors are returned starting east,
+// counterclockwise.
+func (h *Hex) Neighbors(c Cell) []Cell {
+	q, r := unpack(c)
+	out := make([]Cell, 6)
+	for i, d := range axialDirs {
+		out[i] = pack(q+d[0], r+d[1])
+	}
+	return out
+}
+
+// Distance implements Grid using cube distance.
+func (h *Hex) Distance(a, b Cell) int {
+	aq, ar := unpack(a)
+	bq, br := unpack(b)
+	dq := int(aq) - int(bq)
+	dr := int(ar) - int(br)
+	ds := -dq - dr
+	return (abs(dq) + abs(dr) + abs(ds)) / 2
+}
+
+// Line implements Grid by sampling the cube-space line between the two cell
+// centers and rounding each sample, the standard hex line-drawing algorithm.
+func (h *Hex) Line(a, b Cell) []Cell {
+	n := h.Distance(a, b)
+	if n == 0 {
+		return []Cell{a}
+	}
+	aq, ar := unpack(a)
+	bq, br := unpack(b)
+	out := make([]Cell, 0, n+1)
+	var prev Cell
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		qf := float64(aq) + (float64(bq)-float64(aq))*t
+		rf := float64(ar) + (float64(br)-float64(ar))*t
+		q, r := cubeRound(qf, rf)
+		c := pack(q, r)
+		if i == 0 || c != prev {
+			out = append(out, c)
+			prev = c
+		}
+	}
+	return out
+}
+
+// Disk implements Grid with the standard spiral-ring traversal.
+func (h *Hex) Disk(c Cell, k int) []Cell {
+	q0, r0 := unpack(c)
+	out := make([]Cell, 0, 1+3*k*(k+1))
+	for dq := -k; dq <= k; dq++ {
+		lo := max(-k, -dq-k)
+		hi := min(k, -dq+k)
+		for dr := lo; dr <= hi; dr++ {
+			out = append(out, pack(q0+int32(dq), r0+int32(dr)))
+		}
+	}
+	return out
+}
+
+// cubeRound rounds fractional axial coordinates to the nearest cell.
+func cubeRound(qf, rf float64) (int32, int32) {
+	sf := -qf - rf
+	q := math.Round(qf)
+	r := math.Round(rf)
+	s := math.Round(sf)
+	dq := math.Abs(q - qf)
+	dr := math.Abs(r - rf)
+	ds := math.Abs(s - sf)
+	switch {
+	case dq > dr && dq > ds:
+		q = -r - s
+	case dr > ds:
+		r = -q - s
+	}
+	return int32(q), int32(r)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

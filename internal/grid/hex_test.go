@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kamel/internal/geo"
+)
+
+func TestHexCellAtCentroidRoundTrip(t *testing.T) {
+	h := NewHex(75)
+	f := func(x, y float64) bool {
+		p := geo.XY{X: math.Mod(x, 5e4), Y: math.Mod(y, 5e4)}
+		c := h.CellAt(p)
+		// The point must be within the circumradius (= edge) of its centroid.
+		if h.Centroid(c).Dist(p) > h.EdgeMeters()+1e-6 {
+			return false
+		}
+		// The centroid must map back to the same cell.
+		return h.CellAt(h.Centroid(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexNeighborsUniformity(t *testing.T) {
+	// The paper's core argument for hexagons (§3.1): all six neighbors sit at
+	// the same centroid distance.
+	h := NewHex(75)
+	c := h.CellAt(geo.XY{X: 1234, Y: 5678})
+	nb := h.Neighbors(c)
+	if len(nb) != 6 {
+		t.Fatalf("hex cell has %d neighbors, want 6", len(nb))
+	}
+	want := math.Sqrt(3) * 75 // center-to-center distance for edge 75
+	seen := map[Cell]bool{c: true}
+	for _, n := range nb {
+		if seen[n] {
+			t.Errorf("duplicate or self neighbor %v", n)
+		}
+		seen[n] = true
+		got := CentroidDistance(h, c, n)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("neighbor distance %f, want %f", got, want)
+		}
+		if h.Distance(c, n) != 1 {
+			t.Errorf("grid distance to neighbor = %d, want 1", h.Distance(c, n))
+		}
+	}
+}
+
+func TestHexDistanceProperties(t *testing.T) {
+	h := NewHex(50)
+	f := func(x1, y1, x2, y2 float64) bool {
+		a := h.CellAt(geo.XY{X: math.Mod(x1, 2e4), Y: math.Mod(y1, 2e4)})
+		b := h.CellAt(geo.XY{X: math.Mod(x2, 2e4), Y: math.Mod(y2, 2e4)})
+		d := h.Distance(a, b)
+		if d < 0 || d != h.Distance(b, a) {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		// Grid distance is consistent with Euclidean distance: d hops cover
+		// at most d * centroidSpacing meters.
+		spacing := math.Sqrt(3) * h.EdgeMeters()
+		eu := CentroidDistance(h, a, b)
+		return eu <= float64(d)*spacing+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexLine(t *testing.T) {
+	h := NewHex(75)
+	a := h.CellAt(geo.XY{X: 0, Y: 0})
+	b := h.CellAt(geo.XY{X: 3000, Y: 1700})
+	line := h.Line(a, b)
+	if line[0] != a || line[len(line)-1] != b {
+		t.Fatal("line must start at a and end at b")
+	}
+	for i := 1; i < len(line); i++ {
+		if h.Distance(line[i-1], line[i]) != 1 {
+			t.Errorf("line step %d jumps distance %d", i, h.Distance(line[i-1], line[i]))
+		}
+	}
+	if got := h.Line(a, a); len(got) != 1 || got[0] != a {
+		t.Error("degenerate line must be the single cell")
+	}
+}
+
+func TestHexDisk(t *testing.T) {
+	h := NewHex(75)
+	c := h.CellAt(geo.XY{X: 500, Y: 500})
+	for k := 0; k <= 3; k++ {
+		disk := h.Disk(c, k)
+		want := 1 + 3*k*(k+1) // centered hexagonal number
+		if len(disk) != want {
+			t.Errorf("Disk(k=%d) has %d cells, want %d", k, len(disk), want)
+		}
+		seen := map[Cell]bool{}
+		for _, d := range disk {
+			if seen[d] {
+				t.Errorf("Disk(k=%d) returned duplicate %v", k, d)
+			}
+			seen[d] = true
+			if h.Distance(c, d) > k {
+				t.Errorf("Disk(k=%d) returned cell at distance %d", k, h.Distance(c, d))
+			}
+		}
+	}
+}
+
+func TestHexArea(t *testing.T) {
+	h := NewHex(75)
+	want := 3 * math.Sqrt(3) / 2 * 75 * 75
+	if math.Abs(h.CellAreaM2()-want) > 1e-9 {
+		t.Errorf("area = %f, want %f", h.CellAreaM2(), want)
+	}
+}
+
+func TestNewHexPanicsOnBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHex(0) must panic")
+		}
+	}()
+	NewHex(0)
+}
+
+func TestCellPackUnpack(t *testing.T) {
+	f := func(a, b int32) bool {
+		q, r := unpack(pack(a, b))
+		return q == a && r == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

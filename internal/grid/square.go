@@ -1,0 +1,115 @@
+package grid
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+)
+
+// Square is an axis-aligned square grid in the spirit of Google S2 cells,
+// implemented for the paper's grid-type comparison (§8.5, Fig 12-III).  The
+// paper sets the square edge so that the cell area approximately matches the
+// hexagon area (a 120 m square vs a 75 m hexagon edge).
+//
+// As the paper observes, squares have a non-uniform neighborhood: four edge
+// neighbors and four corner neighbors with different centroid distances and
+// shared-border lengths.  Neighbors here returns the four edge neighbors;
+// Distance is Chebyshev distance so that diagonal movement is representable,
+// mirroring how vehicles cross cell corners.
+type Square struct {
+	edge float64
+}
+
+// NewSquare returns a square grid with the given edge length in meters.  It
+// panics if edge is not positive.
+func NewSquare(edgeMeters float64) *Square {
+	if edgeMeters <= 0 {
+		panic("grid: square edge length must be positive")
+	}
+	return &Square{edge: edgeMeters}
+}
+
+// SquareEdgeForHexArea returns the square edge length whose cell area equals
+// that of a hexagon with the given edge length, used to make the Fig 12-III
+// comparison area-fair.
+func SquareEdgeForHexArea(hexEdgeMeters float64) float64 {
+	return math.Sqrt(3 * math.Sqrt(3) / 2 * hexEdgeMeters * hexEdgeMeters)
+}
+
+// Kind implements Grid.
+func (s *Square) Kind() string { return "square" }
+
+// EdgeMeters implements Grid.
+func (s *Square) EdgeMeters() float64 { return s.edge }
+
+// CellAreaM2 implements Grid.
+func (s *Square) CellAreaM2() float64 { return s.edge * s.edge }
+
+// StepMeters implements Grid: under Chebyshev distance the farthest
+// distance-1 neighbor is the diagonal one, sqrt(2)·edge away.
+func (s *Square) StepMeters() float64 { return math.Sqrt2 * s.edge }
+
+// CellAt implements Grid.
+func (s *Square) CellAt(p geo.XY) Cell {
+	ix := int32(math.Floor(p.X / s.edge))
+	iy := int32(math.Floor(p.Y / s.edge))
+	return pack(ix, iy)
+}
+
+// Centroid implements Grid.
+func (s *Square) Centroid(c Cell) geo.XY {
+	ix, iy := unpack(c)
+	return geo.XY{
+		X: (float64(ix) + 0.5) * s.edge,
+		Y: (float64(iy) + 0.5) * s.edge,
+	}
+}
+
+// Neighbors implements Grid, returning the four edge neighbors east, north,
+// west, south.
+func (s *Square) Neighbors(c Cell) []Cell {
+	ix, iy := unpack(c)
+	return []Cell{
+		pack(ix+1, iy), pack(ix, iy+1), pack(ix-1, iy), pack(ix, iy-1),
+	}
+}
+
+// Distance implements Grid using Chebyshev distance.
+func (s *Square) Distance(a, b Cell) int {
+	ax, ay := unpack(a)
+	bx, by := unpack(b)
+	return max(abs(int(ax)-int(bx)), abs(int(ay)-int(by)))
+}
+
+// Line implements Grid by uniformly sampling the segment between the two cell
+// centers, one sample per Chebyshev step.
+func (s *Square) Line(a, b Cell) []Cell {
+	n := s.Distance(a, b)
+	if n == 0 {
+		return []Cell{a}
+	}
+	ca, cb := s.Centroid(a), s.Centroid(b)
+	out := make([]Cell, 0, n+1)
+	var prev Cell
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		c := s.CellAt(ca.Add(cb.Sub(ca).Scale(t)))
+		if i == 0 || c != prev {
+			out = append(out, c)
+			prev = c
+		}
+	}
+	return out
+}
+
+// Disk implements Grid: all cells within Chebyshev distance k.
+func (s *Square) Disk(c Cell, k int) []Cell {
+	ix, iy := unpack(c)
+	out := make([]Cell, 0, (2*k+1)*(2*k+1))
+	for dx := -k; dx <= k; dx++ {
+		for dy := -k; dy <= k; dy++ {
+			out = append(out, pack(ix+int32(dx), iy+int32(dy)))
+		}
+	}
+	return out
+}

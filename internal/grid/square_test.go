@@ -1,0 +1,119 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kamel/internal/geo"
+)
+
+func TestSquareCellAtCentroidRoundTrip(t *testing.T) {
+	s := NewSquare(120)
+	f := func(x, y float64) bool {
+		p := geo.XY{X: math.Mod(x, 5e4), Y: math.Mod(y, 5e4)}
+		c := s.CellAt(p)
+		ctr := s.Centroid(c)
+		// The point must be within the half-diagonal of its centroid.
+		if ctr.Dist(p) > 120*math.Sqrt2/2+1e-6 {
+			return false
+		}
+		return s.CellAt(ctr) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquareNeighbors(t *testing.T) {
+	s := NewSquare(120)
+	c := s.CellAt(geo.XY{X: 1000, Y: 2000})
+	nb := s.Neighbors(c)
+	if len(nb) != 4 {
+		t.Fatalf("square cell has %d neighbors, want 4", len(nb))
+	}
+	for _, n := range nb {
+		if got := CentroidDistance(s, c, n); math.Abs(got-120) > 1e-9 {
+			t.Errorf("edge-neighbor distance %f, want 120", got)
+		}
+	}
+}
+
+func TestSquareDistanceChebyshev(t *testing.T) {
+	s := NewSquare(100)
+	a := s.CellAt(geo.XY{X: 50, Y: 50})   // (0,0)
+	b := s.CellAt(geo.XY{X: 350, Y: 150}) // (3,1)
+	if got := s.Distance(a, b); got != 3 {
+		t.Errorf("Distance = %d, want 3", got)
+	}
+	if got := s.Distance(a, a); got != 0 {
+		t.Errorf("self distance = %d, want 0", got)
+	}
+}
+
+func TestSquareLine(t *testing.T) {
+	s := NewSquare(100)
+	a := s.CellAt(geo.XY{X: 50, Y: 50})
+	b := s.CellAt(geo.XY{X: 1050, Y: 550})
+	line := s.Line(a, b)
+	if line[0] != a || line[len(line)-1] != b {
+		t.Fatal("line must start at a and end at b")
+	}
+	for i := 1; i < len(line); i++ {
+		if s.Distance(line[i-1], line[i]) > 1 {
+			t.Errorf("line step %d jumps Chebyshev distance %d", i, s.Distance(line[i-1], line[i]))
+		}
+	}
+}
+
+func TestSquareDisk(t *testing.T) {
+	s := NewSquare(100)
+	c := s.CellAt(geo.XY{X: 0, Y: 0})
+	for k := 0; k <= 3; k++ {
+		disk := s.Disk(c, k)
+		want := (2*k + 1) * (2*k + 1)
+		if len(disk) != want {
+			t.Errorf("Disk(k=%d) has %d cells, want %d", k, len(disk), want)
+		}
+	}
+}
+
+func TestSquareEdgeForHexArea(t *testing.T) {
+	// The paper's area matching: a hexagon with edge 75m has nearly the same
+	// area as a square with edge ~120m (§8.5).
+	e := SquareEdgeForHexArea(75)
+	if e < 115 || e > 125 {
+		t.Errorf("SquareEdgeForHexArea(75) = %f, want ~120", e)
+	}
+	h := NewHex(75)
+	s := NewSquare(e)
+	if math.Abs(h.CellAreaM2()-s.CellAreaM2()) > 1e-6 {
+		t.Errorf("areas differ: hex %f vs square %f", h.CellAreaM2(), s.CellAreaM2())
+	}
+}
+
+func TestNewSquarePanicsOnBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSquare(-1) must panic")
+		}
+	}()
+	NewSquare(-1)
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	// Cells must be well-defined for negative planar coordinates (west/south
+	// of the projection origin).
+	s := NewSquare(100)
+	h := NewHex(75)
+	p := geo.XY{X: -12345, Y: -678}
+	if s.CellAt(p) == s.CellAt(geo.XY{X: 12345, Y: 678}) {
+		t.Error("mirrored points must not share a square cell")
+	}
+	if h.CellAt(p) == h.CellAt(geo.XY{X: 12345, Y: 678}) {
+		t.Error("mirrored points must not share a hex cell")
+	}
+	if got := s.Centroid(s.CellAt(p)).Dist(p); got > 100*math.Sqrt2/2+1e-9 {
+		t.Errorf("negative-coordinate centroid too far: %f", got)
+	}
+}

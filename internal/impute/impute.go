@@ -1,0 +1,363 @@
+// Package impute implements KAMEL's Multipoint Imputation module (paper §6):
+// filling a trajectory gap between two tokens with a *sequence* of tokens,
+// which BERT alone — designed to predict one missing word — cannot do.  Two
+// strategies are provided: iterative BERT calling (Algorithm 1), the greedy
+// approach, and bidirectional beam search (Algorithm 2), which tracks the B
+// most probable partial segments across all gaps and normalizes sequence
+// probabilities by length (P × |S|^α) so longer imputations are not unfairly
+// penalized.
+package impute
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kamel/internal/constraints"
+	"kamel/internal/grid"
+)
+
+// Candidate is one predicted gap filler.
+type Candidate = constraints.Candidate
+
+// Predictor abstracts the BERT call of Figure 1: given a token segment and a
+// gap position (a token is to be inserted between segment[gapPos] and
+// segment[gapPos+1]), return up to topK candidate tokens with probabilities.
+// KAMEL's core wires a trained BERT model behind this; tests use synthetic
+// predictors.
+type Predictor interface {
+	Predict(segment []grid.Cell, gapPos int, topK int) ([]Candidate, error)
+}
+
+// Config parameterizes both imputation algorithms.
+type Config struct {
+	Grid         grid.Grid
+	Checker      *constraints.Checker
+	MaxGapMeters float64 // max_gap: adjacent output tokens must be closer than this
+	MaxCalls     int     // hard budget of Predictor calls per segment (paper §6)
+	TopK         int     // candidates requested per call
+	Beam         int     // beam width B (Algorithm 2)
+	Alpha        float64 // length-normalization strength α in [0,1]
+}
+
+// DefaultConfig returns the paper's defaults: max_gap 100 m, beam 10, α=1.
+func DefaultConfig(g grid.Grid, ch *constraints.Checker) Config {
+	return Config{
+		Grid:         g,
+		Checker:      ch,
+		MaxGapMeters: 100,
+		MaxCalls:     300,
+		TopK:         20,
+		Beam:         10,
+		Alpha:        1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Grid == nil:
+		return fmt.Errorf("impute: nil grid")
+	case c.Checker == nil:
+		return fmt.Errorf("impute: nil checker")
+	case c.MaxGapMeters <= 0:
+		return fmt.Errorf("impute: MaxGapMeters must be positive")
+	case c.MaxCalls <= 0:
+		return fmt.Errorf("impute: MaxCalls must be positive")
+	case c.TopK <= 0:
+		return fmt.Errorf("impute: TopK must be positive")
+	case c.Beam <= 0:
+		return fmt.Errorf("impute: Beam must be positive")
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("impute: Alpha %f outside [0,1]", c.Alpha)
+	}
+	return nil
+}
+
+// Request describes one gap to impute: the segment end tokens, optional
+// context tokens outside the gap, and the end-to-end time difference.
+type Request struct {
+	S, D     grid.Cell
+	Prev     *grid.Cell
+	Next     *grid.Cell
+	TimeDiff float64
+}
+
+func (r Request) segment() constraints.Segment {
+	return constraints.Segment{S: r.S, D: r.D, Prev: r.Prev, Next: r.Next, TimeDiff: r.TimeDiff}
+}
+
+// Result is a completed imputation.
+type Result struct {
+	Tokens []grid.Cell // S ... D inclusive
+	Prob   float64     // normalized sequence probability (1 for trivial/failed)
+	Calls  int         // Predictor calls consumed
+	Failed bool        // true when the algorithm fell back to a straight line
+	Reason string      // how the run ended: "ok", "budget", "dead-end"
+}
+
+// effectiveMaxGap clamps the configured meter threshold to the grid's
+// neighbor step: two adjacent cells can never be closer than StepMeters, so
+// a smaller threshold would make every gap unfillable (the paper's Figure 6
+// measures max_gap in token steps for the same reason).
+func (c Config) effectiveMaxGap() float64 {
+	step := c.Grid.StepMeters() * 1.001
+	if c.MaxGapMeters > step {
+		return c.MaxGapMeters
+	}
+	return step
+}
+
+// findFirstGap returns the first index i such that tokens i and i+1 are more
+// than maxGap apart, or -1 when no gap remains (Algorithm 1's FindFirstGap).
+func findFirstGap(g grid.Grid, tokens []grid.Cell, maxGap float64) int {
+	for i := 0; i+1 < len(tokens); i++ {
+		if grid.CentroidDistance(g, tokens[i], tokens[i+1]) > maxGap {
+			return i
+		}
+	}
+	return -1
+}
+
+// findGaps returns every gap index (Algorithm 2's FindGaps).
+func findGaps(g grid.Grid, tokens []grid.Cell, maxGap float64) []int {
+	var out []int
+	for i := 0; i+1 < len(tokens); i++ {
+		if grid.CentroidDistance(g, tokens[i], tokens[i+1]) > maxGap {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// lineFallback imputes the segment with a straight line of tokens — the
+// failure behaviour the paper mandates when the call budget is exhausted.
+func lineFallback(cfg Config, req Request, reason string) Result {
+	return Result{
+		Tokens: cfg.Grid.Line(req.S, req.D),
+		Prob:   0,
+		Failed: true,
+		Reason: reason,
+	}
+}
+
+// Iterative implements Algorithm 1: repeatedly insert the single most
+// probable valid token into the first remaining gap until no gap exceeds
+// max_gap.
+func Iterative(p Predictor, cfg Config, req Request) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if req.S == req.D {
+		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
+	}
+	seg := []grid.Cell{req.S, req.D}
+	sc := req.segment()
+	maxGap := cfg.effectiveMaxGap()
+	maxPath := cfg.Checker.MaxPathMeters(sc)
+	calls := 0
+	prob := 1.0
+
+	for {
+		gap := findFirstGap(cfg.Grid, seg, maxGap)
+		if gap < 0 {
+			res := Result{Tokens: seg, Prob: normalize(prob, len(seg)-2, cfg.Alpha), Calls: calls, Reason: "ok"}
+			return res, nil
+		}
+		if calls >= cfg.MaxCalls {
+			r := lineFallback(cfg, req, "budget")
+			r.Calls = calls
+			return r, nil
+		}
+		cands, err := p.Predict(seg, gap, cfg.TopK)
+		if err != nil {
+			return Result{}, fmt.Errorf("impute: predictor: %w", err)
+		}
+		calls++
+		cands = cfg.Checker.Filter(cands, sc)
+		inserted := false
+		for _, cand := range cands {
+			if cand.Cell == seg[gap] || cand.Cell == seg[gap+1] {
+				continue // trivial cycle with a gap endpoint (§5.2, x=1)
+			}
+			next := insertAt(seg, gap+1, cand.Cell)
+			if cfg.Checker.HasCycle(next[:gap+2]) {
+				continue // §5.2: reject outcomes that close a cycle
+			}
+			if pathLen(cfg.Grid, next) > maxPath {
+				continue // §5.1: would exceed the physically drivable length
+			}
+			seg = next
+			prob *= cand.Prob
+			inserted = true
+			break
+		}
+		if !inserted {
+			r := lineFallback(cfg, req, "dead-end")
+			r.Calls = calls
+			return r, nil
+		}
+	}
+}
+
+// pathLen returns the summed centroid distance along a token sequence.
+func pathLen(g grid.Grid, tokens []grid.Cell) float64 {
+	var sum float64
+	for i := 0; i+1 < len(tokens); i++ {
+		sum += grid.CentroidDistance(g, tokens[i], tokens[i+1])
+	}
+	return sum
+}
+
+// insertAt returns a copy of tokens with c inserted at index i.
+func insertAt(tokens []grid.Cell, i int, c grid.Cell) []grid.Cell {
+	out := make([]grid.Cell, 0, len(tokens)+1)
+	out = append(out, tokens[:i]...)
+	out = append(out, c)
+	out = append(out, tokens[i:]...)
+	return out
+}
+
+// normalize applies the paper's length normalization P × |S|^α, where |S| is
+// the number of imputed tokens.
+func normalize(prob float64, imputed int, alpha float64) float64 {
+	if imputed <= 0 {
+		return prob
+	}
+	return prob * math.Pow(float64(imputed), alpha)
+}
+
+// segKey renders a token sequence as a map key for deduplication.
+func segKey(tokens []grid.Cell) string {
+	b := make([]byte, 0, len(tokens)*8)
+	for _, c := range tokens {
+		v := uint64(c)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// beamSeg is one partial imputation tracked by the beam.
+type beamSeg struct {
+	tokens []grid.Cell
+	prob   float64 // raw product of token probabilities
+}
+
+// Beam implements Algorithm 2: bidirectional beam search over partial
+// segments.  Each iteration expands every remaining gap of every beam
+// segment with the top-B valid candidates, keeps the best B new segments,
+// concludes the gap-free ones into the answer set with normalized scores,
+// and prunes anything scoring below the best concluded answer.
+func Beam(p Predictor, cfg Config, req Request) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if req.S == req.D {
+		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
+	}
+	sc := req.segment()
+	maxGap := cfg.effectiveMaxGap()
+	maxPath := cfg.Checker.MaxPathMeters(sc)
+	calls := 0
+
+	start := beamSeg{tokens: []grid.Cell{req.S, req.D}, prob: 1}
+	if findFirstGap(cfg.Grid, start.tokens, maxGap) < 0 {
+		return Result{Tokens: start.tokens, Prob: 1}, nil
+	}
+
+	type answer struct {
+		tokens []grid.Cell
+		score  float64
+	}
+	var best *answer
+	probLimit := 0.0 // lower bound on normalized score, per the §6.2 example
+
+	live := []beamSeg{start}
+	for len(live) > 0 {
+		var fresh []beamSeg
+		for _, bs := range live {
+			for _, gap := range findGaps(cfg.Grid, bs.tokens, maxGap) {
+				if calls >= cfg.MaxCalls {
+					// Budget exhausted: return the best concluded answer, or
+					// fail to a straight line.
+					if best != nil {
+						return Result{Tokens: best.tokens, Prob: best.score, Calls: calls, Reason: "ok"}, nil
+					}
+					r := lineFallback(cfg, req, "budget")
+					r.Calls = calls
+					return r, nil
+				}
+				cands, err := p.Predict(bs.tokens, gap, cfg.TopK)
+				if err != nil {
+					return Result{}, fmt.Errorf("impute: predictor: %w", err)
+				}
+				calls++
+				cands = cfg.Checker.Filter(cands, sc)
+				n := 0
+				for _, cand := range cands {
+					if n >= cfg.Beam {
+						break
+					}
+					if cand.Cell == bs.tokens[gap] || cand.Cell == bs.tokens[gap+1] {
+						continue // trivial cycle with a gap endpoint (§5.2, x=1)
+					}
+					next := insertAt(bs.tokens, gap+1, cand.Cell)
+					if cfg.Checker.HasCycle(next[:gap+2]) {
+						continue
+					}
+					if pathLen(cfg.Grid, next) > maxPath {
+						continue // §5.1: exceeds the drivable length bound
+					}
+					fresh = append(fresh, beamSeg{tokens: next, prob: bs.prob * cand.Prob})
+					n++
+				}
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		// Deduplicate segments reachable via different insertion orders,
+		// keeping the most probable, then TopB with the probability lower
+		// bound (Algorithm 2 line 13).
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i].prob > fresh[j].prob })
+		seen := make(map[string]bool, len(fresh))
+		dedup := fresh[:0]
+		for _, bs := range fresh {
+			k := segKey(bs.tokens)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, bs)
+		}
+		fresh = dedup
+		if len(fresh) > cfg.Beam {
+			fresh = fresh[:cfg.Beam]
+		}
+		live = live[:0]
+		for _, bs := range fresh {
+			imputed := len(bs.tokens) - 2
+			score := normalize(bs.prob, imputed, cfg.Alpha)
+			if best != nil && score < probLimit {
+				continue // pruned: cannot beat a concluded answer
+			}
+			if len(findGaps(cfg.Grid, bs.tokens, maxGap)) == 0 {
+				if best == nil || score > best.score {
+					best = &answer{tokens: bs.tokens, score: score}
+					if score > probLimit {
+						probLimit = score
+					}
+				}
+				continue
+			}
+			live = append(live, bs)
+		}
+	}
+
+	if best == nil {
+		r := lineFallback(cfg, req, "dead-end")
+		r.Calls = calls
+		return r, nil
+	}
+	return Result{Tokens: best.tokens, Prob: best.score, Calls: calls, Reason: "ok"}, nil
+}

@@ -1,0 +1,141 @@
+// Package metrics implements the paper's performance metrics (§8): recall
+// and precision of imputed trajectories against ground truth under an
+// accuracy threshold δ, plus the straight/curved segment classification of
+// §8.4.  Failure rate lives with the imputers themselves (baseline.Stats);
+// timing is measured by the harness.
+package metrics
+
+import (
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+)
+
+// RecallPrecision holds the two accuracy metrics for one comparison.
+type RecallPrecision struct {
+	Recall    float64
+	Precision float64
+	// Supports record how many discretized points each ratio is over.
+	RecallSupport    int
+	PrecisionSupport int
+}
+
+// Evaluate computes the paper's recall and precision between a ground-truth
+// trajectory and an imputed one:
+//
+//   - Recall: discretize the ground truth every maxGap meters; the fraction
+//     of those points within δ of the imputed polyline.
+//   - Precision: discretize the imputed trajectory every maxGap meters; the
+//     fraction of those points within δ of the ground-truth polyline.
+func Evaluate(proj *geo.Projection, truth, imputed geo.Trajectory, maxGap, delta float64) RecallPrecision {
+	truthLine := truth.XYs(proj)
+	impLine := imputed.XYs(proj)
+	var out RecallPrecision
+
+	truthPts := geo.ResamplePolyline(truthLine, maxGap)
+	out.RecallSupport = len(truthPts)
+	if len(truthPts) > 0 {
+		hit := 0
+		for _, p := range truthPts {
+			if geo.PointPolylineDist(p, impLine) <= delta {
+				hit++
+			}
+		}
+		out.Recall = float64(hit) / float64(len(truthPts))
+	}
+
+	impPts := geo.ResamplePolyline(impLine, maxGap)
+	out.PrecisionSupport = len(impPts)
+	if len(impPts) > 0 {
+		hit := 0
+		for _, p := range impPts {
+			if geo.PointPolylineDist(p, truthLine) <= delta {
+				hit++
+			}
+		}
+		out.Precision = float64(hit) / float64(len(impPts))
+	}
+	return out
+}
+
+// Accumulator aggregates RecallPrecision over many trajectories, weighting
+// by support so long trajectories count proportionally.
+type Accumulator struct {
+	recallHits, recallTotal       float64
+	precisionHits, precisionTotal float64
+}
+
+// Add folds one evaluation into the accumulator.
+func (a *Accumulator) Add(rp RecallPrecision) {
+	a.recallHits += rp.Recall * float64(rp.RecallSupport)
+	a.recallTotal += float64(rp.RecallSupport)
+	a.precisionHits += rp.Precision * float64(rp.PrecisionSupport)
+	a.precisionTotal += float64(rp.PrecisionSupport)
+}
+
+// Recall returns the aggregate recall (0 when nothing was added).
+func (a *Accumulator) Recall() float64 {
+	if a.recallTotal == 0 {
+		return 0
+	}
+	return a.recallHits / a.recallTotal
+}
+
+// Precision returns the aggregate precision.
+func (a *Accumulator) Precision() float64 {
+	if a.precisionTotal == 0 {
+		return 0
+	}
+	return a.precisionHits / a.precisionTotal
+}
+
+// SegmentKind classifies one ground-truth segment per §8.4.
+type SegmentKind int
+
+const (
+	// Straight segments: Euclidean ≈ road-network distance (within tol).
+	Straight SegmentKind = iota
+	// Curved segments: the road meanders between the end points.
+	Curved
+)
+
+// ClassifySegment labels the segment between two planar points using the
+// true road network (evaluation-only knowledge): straight when the network
+// distance exceeds the Euclidean distance by at most tol meters (paper
+// default 5 m).
+func ClassifySegment(net *roadnet.Network, a, b geo.XY, tol float64) (SegmentKind, error) {
+	nd, err := net.NetworkDistance(a, b)
+	if err != nil {
+		return Straight, err
+	}
+	if nd-a.Dist(b) <= tol {
+		return Straight, nil
+	}
+	return Curved, nil
+}
+
+// SplitByRoadType partitions a sparse trajectory's segments by kind and
+// returns two trajectories containing only the points that bound segments of
+// each kind.  Because recall/precision are computed per gap via the dense
+// ground truth, the harness instead uses per-segment sub-trajectories: each
+// consecutive point pair becomes a 2-point trajectory in the corresponding
+// bucket.
+func SplitByRoadType(net *roadnet.Network, proj *geo.Projection, sparse geo.Trajectory, tol float64) (straight, curved []geo.Trajectory, err error) {
+	for i := 0; i+1 < len(sparse.Points); i++ {
+		a := proj.ToXY(sparse.Points[i])
+		b := proj.ToXY(sparse.Points[i+1])
+		kind, cerr := ClassifySegment(net, a, b, tol)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		seg := geo.Trajectory{
+			ID:     sparse.ID,
+			Points: []geo.Point{sparse.Points[i], sparse.Points[i+1]},
+		}
+		if kind == Straight {
+			straight = append(straight, seg)
+		} else {
+			curved = append(curved, seg)
+		}
+	}
+	return straight, curved, nil
+}

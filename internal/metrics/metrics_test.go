@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+)
+
+func proj() *geo.Projection { return geo.NewProjection(41.15, -8.61) }
+
+// lineTraj builds a trajectory along given planar points.
+func lineTraj(id string, pts ...geo.XY) geo.Trajectory {
+	pr := proj()
+	tr := geo.Trajectory{ID: id}
+	for i, q := range pts {
+		p := pr.ToLatLng(q)
+		p.T = float64(i)
+		tr.Points = append(tr.Points, p)
+	}
+	return tr
+}
+
+func TestEvaluatePerfectImputation(t *testing.T) {
+	truth := lineTraj("t", geo.XY{X: 0, Y: 0}, geo.XY{X: 1000, Y: 0})
+	rp := Evaluate(proj(), truth, truth, 100, 50)
+	if rp.Recall != 1 || rp.Precision != 1 {
+		t.Errorf("identical trajectories must score 1/1, got %f/%f", rp.Recall, rp.Precision)
+	}
+	if rp.RecallSupport < 10 {
+		t.Errorf("support %d too low for a 1km trajectory at 100m", rp.RecallSupport)
+	}
+}
+
+func TestEvaluateOffsetImputation(t *testing.T) {
+	truth := lineTraj("t", geo.XY{X: 0, Y: 0}, geo.XY{X: 1000, Y: 0})
+	// Imputed 60m north: outside δ=50 everywhere, inside δ=75 everywhere.
+	shifted := lineTraj("s", geo.XY{X: 0, Y: 60}, geo.XY{X: 1000, Y: 60})
+	tight := Evaluate(proj(), truth, shifted, 100, 50)
+	if tight.Recall > 0.01 || tight.Precision > 0.01 {
+		t.Errorf("60m offset at δ=50 must score ~0, got %f/%f", tight.Recall, tight.Precision)
+	}
+	loose := Evaluate(proj(), truth, shifted, 100, 75)
+	if loose.Recall < 0.99 || loose.Precision < 0.99 {
+		t.Errorf("60m offset at δ=75 must score ~1, got %f/%f", loose.Recall, loose.Precision)
+	}
+}
+
+func TestEvaluateAsymmetry(t *testing.T) {
+	// Imputed covers only half the truth: recall ~0.5, precision ~1.
+	truth := lineTraj("t", geo.XY{X: 0, Y: 0}, geo.XY{X: 1000, Y: 0})
+	half := lineTraj("h", geo.XY{X: 0, Y: 0}, geo.XY{X: 500, Y: 0})
+	rp := Evaluate(proj(), truth, half, 100, 25)
+	if math.Abs(rp.Recall-0.5) > 0.15 {
+		t.Errorf("half coverage recall = %f, want ~0.5", rp.Recall)
+	}
+	if rp.Precision < 0.99 {
+		t.Errorf("half coverage precision = %f, want 1", rp.Precision)
+	}
+	// And the reverse: imputed overshoots far beyond the truth.
+	double := lineTraj("d", geo.XY{X: 0, Y: 0}, geo.XY{X: 2000, Y: 0})
+	rp = Evaluate(proj(), truth, double, 100, 25)
+	if rp.Recall < 0.99 {
+		t.Errorf("overshoot recall = %f, want 1", rp.Recall)
+	}
+	if math.Abs(rp.Precision-0.5) > 0.15 {
+		t.Errorf("overshoot precision = %f, want ~0.5", rp.Precision)
+	}
+}
+
+func TestAccumulatorWeighting(t *testing.T) {
+	var acc Accumulator
+	acc.Add(RecallPrecision{Recall: 1, RecallSupport: 90, Precision: 1, PrecisionSupport: 90})
+	acc.Add(RecallPrecision{Recall: 0, RecallSupport: 10, Precision: 0, PrecisionSupport: 10})
+	if got := acc.Recall(); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("weighted recall = %f, want 0.9", got)
+	}
+	if got := acc.Precision(); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("weighted precision = %f, want 0.9", got)
+	}
+	var empty Accumulator
+	if empty.Recall() != 0 || empty.Precision() != 0 {
+		t.Error("empty accumulator must report 0")
+	}
+}
+
+func TestClassifySegment(t *testing.T) {
+	cfg := roadnet.DefaultCityConfig()
+	cfg.Width, cfg.Height = 1200, 1200
+	cfg.CurvedRoads = 0
+	cfg.Roundabouts = 0
+	cfg.Overpasses = 0
+	net := roadnet.GenerateCity(cfg)
+
+	// Along one street: straight.
+	kind, err := ClassifySegment(net, geo.XY{X: 100, Y: 300}, geo.XY{X: 700, Y: 300}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != Straight {
+		t.Error("same-street segment must classify straight")
+	}
+	// Diagonal across blocks: curved (network detours around the block).
+	kind, err = ClassifySegment(net, geo.XY{X: 100, Y: 300}, geo.XY{X: 700, Y: 900}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != Curved {
+		t.Error("cross-block segment must classify curved")
+	}
+}
+
+func TestSplitByRoadType(t *testing.T) {
+	cfg := roadnet.DefaultCityConfig()
+	cfg.Width, cfg.Height = 1200, 1200
+	cfg.CurvedRoads = 0
+	cfg.Roundabouts = 0
+	cfg.Overpasses = 0
+	net := roadnet.GenerateCity(cfg)
+	pr := proj()
+	sparse := lineTraj("s",
+		geo.XY{X: 100, Y: 300}, geo.XY{X: 700, Y: 300}, // straight leg
+		geo.XY{X: 700, Y: 900}, // L-shaped leg => curved
+	)
+	straight, curved, err := SplitByRoadType(net, pr, sparse, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(straight) != 1 || len(curved) != 1 {
+		t.Fatalf("split %d/%d, want 1/1", len(straight), len(curved))
+	}
+	if len(straight[0].Points) != 2 {
+		t.Error("split segments must be point pairs")
+	}
+}

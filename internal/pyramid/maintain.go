@@ -1,0 +1,189 @@
+package pyramid
+
+import (
+	"errors"
+	"fmt"
+
+	"kamel/internal/geo"
+	"kamel/internal/store"
+)
+
+// ErrSkip may be returned by a BuildFunc to decline building a model — for
+// example when too few trajectories are fully enclosed in the region to
+// train anything useful.  The cell is left without that model and
+// maintenance continues.
+var ErrSkip = errors.New("pyramid: builder declined to build a model")
+
+// Ingest runs the paper's four-step repository maintenance (§4.2) for a
+// batch of training trajectories that the caller has already appended to the
+// trajectory store:
+//
+//  1. If the batch's smallest enclosing cell C holds enough tokens, build
+//     (or rebuild) a single-cell model at C.
+//  2. For each of C's four neighbors, build a neighbor-cell model when the
+//     combined token count clears the doubled threshold.
+//  3. Recursively consider C's ancestors up to the shallowest maintained
+//     level.
+//  4. Recursively consider C's descendants while they still clear their
+//     thresholds.
+//
+// The batch is enriched with every stored trajectory enclosed in the region
+// being modeled, per the paper.  Ingest is idempotent for a cell within one
+// call: each cell is built at most once.
+func (r *Repo) Ingest(st *store.Store, batch []store.Traj, build BuildFunc) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	mbr := geo.EmptyRect()
+	for _, tr := range batch {
+		for _, p := range tr.Points {
+			mbr = mbr.ExtendXY(stProj(st).ToXY(p))
+		}
+	}
+	c, ok := r.SmallestEnclosing(mbr, r.cfg.H)
+	if !ok {
+		return fmt.Errorf("pyramid: batch MBR %+v outside root region %+v", mbr, r.cfg.Root)
+	}
+
+	done := &buildTracker{singles: make(map[CellKey]bool), pairs: make(map[pairKey]bool)}
+
+	// Steps 1 and 2 at C itself.
+	if err := r.considerCell(st, c, build, done); err != nil {
+		return err
+	}
+
+	// Step 3: ancestors up to the shallowest maintained level.
+	for k := c; k.Level > 0; {
+		k = CellKey{Level: k.Level - 1, IX: k.IX / 2, IY: k.IY / 2}
+		if !r.Maintained(k.Level) {
+			break
+		}
+		if err := r.considerCell(st, k, build, done); err != nil {
+			return err
+		}
+	}
+
+	// Step 4: descendants while thresholds hold.
+	if err := r.considerChildren(st, c, build, done); err != nil {
+		return err
+	}
+	return nil
+}
+
+// pairKey identifies a neighbor-cell model by its storage cell and
+// orientation.
+type pairKey struct {
+	at    CellKey
+	horiz bool
+}
+
+// buildTracker dedupes model builds within one Ingest call.
+type buildTracker struct {
+	singles map[CellKey]bool
+	pairs   map[pairKey]bool
+}
+
+// considerCell refreshes a cell's token count and builds its single-cell and
+// neighbor-cell models where thresholds allow (steps 1-2).
+func (r *Repo) considerCell(st *store.Store, k CellKey, build BuildFunc, done *buildTracker) error {
+	rect := r.CellRect(k)
+	tokens := st.TokensInRect(rect)
+	e := r.entry(k)
+	e.TokenCount = tokens
+	if !r.Maintained(k.Level) {
+		return nil
+	}
+
+	if tokens >= r.Threshold(k.Level) && !done.singles[k] {
+		trajs := st.QueryEnclosed(rect)
+		if len(trajs) > 0 {
+			h, meta, err := build(rect, trajs)
+			switch {
+			case errors.Is(err, ErrSkip):
+				done.singles[k] = true // don't re-ask within this ingest
+			case err != nil:
+				return fmt.Errorf("pyramid: building single-cell model at %s: %w", k, err)
+			default:
+				meta.Version = e.SingleMeta.Version + 1
+				e.Single, e.SingleMeta = h, meta
+				done.singles[k] = true
+			}
+		}
+	}
+
+	// Neighbor-cell models with the four edge neighbors (paper §4.2 step 2).
+	n := 1 << k.Level
+	for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		nk := CellKey{Level: k.Level, IX: k.IX + d[0], IY: k.IY + d[1]}
+		if nk.IX < 0 || nk.IY < 0 || nk.IX >= n || nk.IY >= n {
+			continue
+		}
+		nRect := r.CellRect(nk)
+		pairTokens := tokens + st.TokensInRect(nRect)
+		if pairTokens < 2*r.Threshold(k.Level) {
+			continue
+		}
+		// Storage cell: the west cell of a horizontal pair, the north cell
+		// (larger IY) of a vertical pair (paper §4.1).
+		horiz := d[0] != 0
+		storeAt := k
+		if d[0] == -1 || d[1] == 1 {
+			storeAt = nk
+		}
+		pk := pairKey{at: storeAt, horiz: horiz}
+		if done.pairs[pk] {
+			continue
+		}
+		union := rect.Union(nRect)
+		trajs := st.QueryEnclosed(union)
+		if len(trajs) == 0 {
+			continue
+		}
+		h, meta, err := build(union, trajs)
+		if errors.Is(err, ErrSkip) {
+			done.pairs[pk] = true
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("pyramid: building neighbor-cell model at %s: %w", storeAt, err)
+		}
+		se := r.entry(storeAt)
+		if horiz {
+			meta.Version = se.EastMeta.Version + 1
+			se.East, se.EastMeta = h, meta
+		} else {
+			meta.Version = se.SouthMeta.Version + 1
+			se.South, se.SouthMeta = h, meta
+		}
+		done.pairs[pk] = true
+	}
+	return nil
+}
+
+// considerChildren implements step 4: descend while children clear their
+// thresholds.
+func (r *Repo) considerChildren(st *store.Store, k CellKey, build BuildFunc, done *buildTracker) error {
+	if k.Level >= r.cfg.H {
+		return nil
+	}
+	for dx := 0; dx < 2; dx++ {
+		for dy := 0; dy < 2; dy++ {
+			ch := CellKey{Level: k.Level + 1, IX: k.IX*2 + dx, IY: k.IY*2 + dy}
+			tokens := st.TokensInRect(r.CellRect(ch))
+			if tokens < r.Threshold(ch.Level) {
+				continue
+			}
+			if err := r.considerCell(st, ch, build, done); err != nil {
+				return err
+			}
+			if err := r.considerChildren(st, ch, build, done); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stProj exposes the store's projection for MBR computation.  The store
+// keeps records in WGS84; the pyramid lives in the planar frame.
+func stProj(st *store.Store) *geo.Projection { return st.Projection() }

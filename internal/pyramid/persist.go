@@ -1,0 +1,153 @@
+package pyramid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Codec serializes model handles.  KAMEL's core provides one that writes the
+// BERT weights and vocabulary; the pyramid package stays model-agnostic.
+type Codec interface {
+	Encode(w io.Writer, h Handle) error
+	Decode(r io.Reader) (Handle, error)
+}
+
+// manifest is the on-disk description of the repository.
+type manifest struct {
+	Version  int             `json:"version"`
+	RootMinX float64         `json:"root_min_x"`
+	RootMinY float64         `json:"root_min_y"`
+	RootMaxX float64         `json:"root_max_x"`
+	RootMaxY float64         `json:"root_max_y"`
+	H        int             `json:"h"`
+	L        int             `json:"l"`
+	K        int             `json:"k"`
+	Cells    []manifestEntry `json:"cells"`
+}
+
+type manifestEntry struct {
+	Level      int       `json:"level"`
+	IX         int       `json:"ix"`
+	IY         int       `json:"iy"`
+	TokenCount int       `json:"token_count"`
+	Single     string    `json:"single,omitempty"` // model file name
+	SingleMeta ModelMeta `json:"single_meta,omitempty"`
+	East       string    `json:"east,omitempty"`
+	EastMeta   ModelMeta `json:"east_meta,omitempty"`
+	South      string    `json:"south,omitempty"`
+	SouthMeta  ModelMeta `json:"south_meta,omitempty"`
+}
+
+// Save persists the repository to dir: a manifest.json plus one binary file
+// per model, encoded via the codec.  The paper keeps its repository on disk
+// for the same reason (§4): models are built offline and only read at
+// imputation time.
+func (r *Repo) Save(dir string, codec Codec) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pyramid: creating %s: %w", dir, err)
+	}
+	man := manifest{
+		Version:  1,
+		RootMinX: r.cfg.Root.MinX, RootMinY: r.cfg.Root.MinY,
+		RootMaxX: r.cfg.Root.MaxX, RootMaxY: r.cfg.Root.MaxY,
+		H: r.cfg.H, L: r.cfg.L, K: r.cfg.K,
+	}
+	writeModel := func(name string, h Handle) (string, error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		if err := codec.Encode(f, h); err != nil {
+			return "", err
+		}
+		return name, f.Sync()
+	}
+	for _, e := range r.cells {
+		me := manifestEntry{Level: e.Key.Level, IX: e.Key.IX, IY: e.Key.IY, TokenCount: e.TokenCount}
+		var err error
+		if e.Single != nil {
+			me.Single, err = writeModel(fmt.Sprintf("model-%d-%d-%d-single.bin", e.Key.Level, e.Key.IX, e.Key.IY), e.Single)
+			if err != nil {
+				return fmt.Errorf("pyramid: saving %s single model: %w", e.Key, err)
+			}
+			me.SingleMeta = e.SingleMeta
+		}
+		if e.East != nil {
+			me.East, err = writeModel(fmt.Sprintf("model-%d-%d-%d-east.bin", e.Key.Level, e.Key.IX, e.Key.IY), e.East)
+			if err != nil {
+				return fmt.Errorf("pyramid: saving %s east model: %w", e.Key, err)
+			}
+			me.EastMeta = e.EastMeta
+		}
+		if e.South != nil {
+			me.South, err = writeModel(fmt.Sprintf("model-%d-%d-%d-south.bin", e.Key.Level, e.Key.IX, e.Key.IY), e.South)
+			if err != nil {
+				return fmt.Errorf("pyramid: saving %s south model: %w", e.Key, err)
+			}
+			me.SouthMeta = e.SouthMeta
+		}
+		man.Cells = append(man.Cells, me)
+	}
+	buf, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), buf, 0o644)
+}
+
+// Load restores a repository persisted by Save.
+func Load(dir string, codec Codec) (*Repo, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("pyramid: reading manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, fmt.Errorf("pyramid: parsing manifest: %w", err)
+	}
+	if man.Version != 1 {
+		return nil, fmt.Errorf("pyramid: unsupported manifest version %d", man.Version)
+	}
+	cfg := Config{H: man.H, L: man.L, K: man.K}
+	cfg.Root.MinX, cfg.Root.MinY = man.RootMinX, man.RootMinY
+	cfg.Root.MaxX, cfg.Root.MaxY = man.RootMaxX, man.RootMaxY
+	r, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	readModel := func(name string) (Handle, error) {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return codec.Decode(f)
+	}
+	for _, me := range man.Cells {
+		e := r.entry(CellKey{Level: me.Level, IX: me.IX, IY: me.IY})
+		e.TokenCount = me.TokenCount
+		if me.Single != "" {
+			if e.Single, err = readModel(me.Single); err != nil {
+				return nil, fmt.Errorf("pyramid: loading %s: %w", me.Single, err)
+			}
+			e.SingleMeta = me.SingleMeta
+		}
+		if me.East != "" {
+			if e.East, err = readModel(me.East); err != nil {
+				return nil, fmt.Errorf("pyramid: loading %s: %w", me.East, err)
+			}
+			e.EastMeta = me.EastMeta
+		}
+		if me.South != "" {
+			if e.South, err = readModel(me.South); err != nil {
+				return nil, fmt.Errorf("pyramid: loading %s: %w", me.South, err)
+			}
+			e.SouthMeta = me.SouthMeta
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,239 @@
+// Package pyramid implements KAMEL's model repository (paper §4): a pyramid
+// of square cells over the deployment region, where each maintained cell may
+// hold a single-cell BERT model and up to two neighbor-cell models (shared
+// with its east and south neighbors).  The repository decides *where* models
+// exist — via the paper's token-count thresholds k×4^(H−l) — and *which*
+// model serves an imputation request (the smallest cell or neighbor pair
+// fully enclosing the trajectory's MBR), while the actual model construction
+// is delegated to a build callback so the package stays independent of the
+// model implementation.
+package pyramid
+
+import (
+	"fmt"
+
+	"kamel/internal/geo"
+	"kamel/internal/store"
+)
+
+// CellKey identifies a pyramid cell: level 0 is the single root cell covering
+// the whole region; level l is a 2^l × 2^l grid.
+type CellKey struct {
+	Level  int
+	IX, IY int
+}
+
+// String renders the key for logs and manifests.
+func (k CellKey) String() string { return fmt.Sprintf("L%d(%d,%d)", k.Level, k.IX, k.IY) }
+
+// Handle is an opaque model reference owned by the caller (KAMEL's core
+// wires a trained BERT model plus its vocabulary behind it).
+type Handle interface{}
+
+// ModelMeta is the bookkeeping the paper attaches to every stored model.
+type ModelMeta struct {
+	Tokens    int     // training tokens the model was built over
+	Sequences int     // training sequences
+	FinalLoss float64 // training loss at completion
+	Version   int     // bumped on every rebuild ("last update" stand-in)
+}
+
+// Entry is the repository state of one pyramid cell.
+type Entry struct {
+	Key        CellKey
+	TokenCount int // tokens in the trajectory store within this cell
+
+	Single     Handle // single-cell model, if built
+	SingleMeta ModelMeta
+
+	// Neighbor-cell models are stored in the west cell of a horizontal pair
+	// and the north cell of a vertical pair (paper §4.1); the other member
+	// holds an implicit pointer, which Lookup resolves.
+	East      Handle // model over this cell ∪ its east neighbor
+	EastMeta  ModelMeta
+	South     Handle // model over this cell ∪ its south neighbor
+	SouthMeta ModelMeta
+}
+
+// Config sizes the pyramid.
+type Config struct {
+	Root geo.Rect // the deployment region (root cell); must be non-empty
+	H    int      // pyramid height; leaf cells are at level H
+	L    int      // number of lowest (deepest) levels maintained
+	K    int      // model threshold base: a leaf model needs K tokens
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Root.IsEmpty():
+		return fmt.Errorf("pyramid: empty root region")
+	case c.H < 1:
+		return fmt.Errorf("pyramid: H %d must be >= 1", c.H)
+	case c.L < 1 || c.L > c.H+1:
+		return fmt.Errorf("pyramid: L %d must be in [1, H+1]", c.L)
+	case c.K < 1:
+		return fmt.Errorf("pyramid: K %d must be >= 1", c.K)
+	}
+	return nil
+}
+
+// BuildFunc constructs a model over the given region from the given training
+// trajectories.  It returns the handle plus metadata to record.
+type BuildFunc func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error)
+
+// Repo is the model repository.  It is not safe for concurrent mutation;
+// KAMEL performs maintenance as a single background process (paper §4.2).
+type Repo struct {
+	cfg   Config
+	cells map[CellKey]*Entry
+}
+
+// New creates an empty repository.
+func New(cfg Config) (*Repo, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Repo{cfg: cfg, cells: make(map[CellKey]*Entry)}, nil
+}
+
+// Config returns the repository configuration.
+func (r *Repo) Config() Config { return r.cfg }
+
+// CellRect returns the planar rectangle of a cell.
+func (r *Repo) CellRect(k CellKey) geo.Rect {
+	n := 1 << k.Level
+	w := r.cfg.Root.Width() / float64(n)
+	h := r.cfg.Root.Height() / float64(n)
+	return geo.Rect{
+		MinX: r.cfg.Root.MinX + float64(k.IX)*w,
+		MinY: r.cfg.Root.MinY + float64(k.IY)*h,
+		MaxX: r.cfg.Root.MinX + float64(k.IX+1)*w,
+		MaxY: r.cfg.Root.MinY + float64(k.IY+1)*h,
+	}
+}
+
+// Maintained reports whether models are kept at this level: the L deepest
+// levels of the pyramid (paper Figure 4).
+func (r *Repo) Maintained(level int) bool {
+	return level >= r.cfg.H-r.cfg.L+1 && level <= r.cfg.H
+}
+
+// Threshold returns the minimum token count for a single-cell model at the
+// level: k × 4^(H−l) (paper §4.1).  Neighbor-cell models double it.
+func (r *Repo) Threshold(level int) int {
+	t := r.cfg.K
+	for i := level; i < r.cfg.H; i++ {
+		t *= 4
+	}
+	return t
+}
+
+// entry returns (creating if needed) the entry for a cell.
+func (r *Repo) entry(k CellKey) *Entry {
+	e, ok := r.cells[k]
+	if !ok {
+		e = &Entry{Key: k}
+		r.cells[k] = e
+	}
+	return e
+}
+
+// Entry returns the entry for a cell if it exists.
+func (r *Repo) Entry(k CellKey) (*Entry, bool) {
+	e, ok := r.cells[k]
+	return e, ok
+}
+
+// Entries invokes fn for every cell with repository state.
+func (r *Repo) Entries(fn func(*Entry)) {
+	for _, e := range r.cells {
+		fn(e)
+	}
+}
+
+// NumModels returns the count of single-cell and neighbor-cell models.
+func (r *Repo) NumModels() (single, neighbor int) {
+	for _, e := range r.cells {
+		if e.Single != nil {
+			single++
+		}
+		if e.East != nil {
+			neighbor++
+		}
+		if e.South != nil {
+			neighbor++
+		}
+	}
+	return single, neighbor
+}
+
+// cellOf returns the cell containing p at the given level, clamped to the
+// grid.
+func (r *Repo) cellOf(p geo.XY, level int) CellKey {
+	n := 1 << level
+	fx := (p.X - r.cfg.Root.MinX) / r.cfg.Root.Width() * float64(n)
+	fy := (p.Y - r.cfg.Root.MinY) / r.cfg.Root.Height() * float64(n)
+	return CellKey{Level: level, IX: clamp(int(fx), 0, n-1), IY: clamp(int(fy), 0, n-1)}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SmallestEnclosing returns the deepest cell (highest level ≤ maxLevel) that
+// fully contains the rectangle, and false when the rectangle is not inside
+// the root region at all.
+func (r *Repo) SmallestEnclosing(mbr geo.Rect, maxLevel int) (CellKey, bool) {
+	if mbr.IsEmpty() || !r.cfg.Root.ContainsRect(mbr) {
+		return CellKey{}, false
+	}
+	best := CellKey{Level: 0}
+	for l := 1; l <= maxLevel; l++ {
+		lo := r.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
+		hi := r.cellOf(geo.XY{X: mbr.MaxX, Y: mbr.MaxY}, l)
+		if lo != hi {
+			break
+		}
+		best = lo
+	}
+	return best, true
+}
+
+// Lookup finds the model best suited for imputing a trajectory with the
+// given MBR (paper §4.1): the single-cell or neighbor-cell model with the
+// smallest coverage fully enclosing the MBR.  Returns ok=false when no model
+// covers it.
+func (r *Repo) Lookup(mbr geo.Rect) (Handle, geo.Rect, bool) {
+	if mbr.IsEmpty() || !r.cfg.Root.ContainsRect(mbr) {
+		return nil, geo.Rect{}, false
+	}
+	for l := r.cfg.H; l >= 0; l-- {
+		lo := r.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
+		hi := r.cellOf(geo.XY{X: mbr.MaxX, Y: mbr.MaxY}, l)
+		dx, dy := hi.IX-lo.IX, hi.IY-lo.IY
+		switch {
+		case dx == 0 && dy == 0:
+			if e, ok := r.cells[lo]; ok && e.Single != nil {
+				return e.Single, r.CellRect(lo), true
+			}
+		case dx == 1 && dy == 0:
+			// Horizontal pair; the model lives in the west cell's East slot.
+			if e, ok := r.cells[lo]; ok && e.East != nil {
+				return e.East, r.CellRect(lo).Union(r.CellRect(hi)), true
+			}
+		case dx == 0 && dy == 1:
+			// Vertical pair; the model lives in the north cell's South slot.
+			if e, ok := r.cells[hi]; ok && e.South != nil {
+				return e.South, r.CellRect(lo).Union(r.CellRect(hi)), true
+			}
+		}
+	}
+	return nil, geo.Rect{}, false
+}

@@ -1,0 +1,313 @@
+package pyramid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/store"
+)
+
+func testConfig() Config {
+	return Config{
+		Root: geo.Rect{MinX: 0, MinY: 0, MaxX: 4000, MaxY: 4000},
+		H:    3,
+		L:    3,
+		K:    10,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig()
+	bad.Root = geo.EmptyRect()
+	if bad.Validate() == nil {
+		t.Error("empty root must be rejected")
+	}
+	bad = testConfig()
+	bad.L = 5 // > H+1
+	if bad.Validate() == nil {
+		t.Error("L > H+1 must be rejected")
+	}
+	bad = testConfig()
+	bad.K = 0
+	if bad.Validate() == nil {
+		t.Error("K 0 must be rejected")
+	}
+}
+
+func TestCellRectGeometry(t *testing.T) {
+	r, _ := New(testConfig())
+	root := r.CellRect(CellKey{Level: 0})
+	if root != r.Config().Root {
+		t.Errorf("root cell %v != root region", root)
+	}
+	// Level 1: 2×2 grid of 2000m cells.
+	c := r.CellRect(CellKey{Level: 1, IX: 1, IY: 0})
+	want := geo.Rect{MinX: 2000, MinY: 0, MaxX: 4000, MaxY: 2000}
+	if c != want {
+		t.Errorf("cell rect %v, want %v", c, want)
+	}
+	// Children tile the parent exactly.
+	parent := r.CellRect(CellKey{Level: 1, IX: 0, IY: 0})
+	union := geo.EmptyRect()
+	for dx := 0; dx < 2; dx++ {
+		for dy := 0; dy < 2; dy++ {
+			union = union.Union(r.CellRect(CellKey{Level: 2, IX: dx, IY: dy}))
+		}
+	}
+	if union != parent {
+		t.Errorf("children union %v != parent %v", union, parent)
+	}
+}
+
+func TestMaintainedLevels(t *testing.T) {
+	r, _ := New(testConfig()) // H=3, L=3 → maintained 1,2,3
+	for level, want := range map[int]bool{0: false, 1: true, 2: true, 3: true} {
+		if got := r.Maintained(level); got != want {
+			t.Errorf("Maintained(%d) = %v, want %v", level, got, want)
+		}
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	r, _ := New(testConfig()) // K=10, H=3
+	wants := map[int]int{3: 10, 2: 40, 1: 160, 0: 640}
+	for level, want := range wants {
+		if got := r.Threshold(level); got != want {
+			t.Errorf("Threshold(%d) = %d, want %d", level, got, want)
+		}
+	}
+}
+
+func TestSmallestEnclosing(t *testing.T) {
+	r, _ := New(testConfig())
+	// A small rect well inside one leaf cell.
+	k, ok := r.SmallestEnclosing(geo.Rect{MinX: 100, MinY: 100, MaxX: 200, MaxY: 200}, 3)
+	if !ok || k.Level != 3 || k.IX != 0 || k.IY != 0 {
+		t.Errorf("got %v ok=%v, want leaf (0,0)", k, ok)
+	}
+	// A rect straddling the vertical midline fits only at level 0.
+	k, ok = r.SmallestEnclosing(geo.Rect{MinX: 1900, MinY: 100, MaxX: 2100, MaxY: 200}, 3)
+	if !ok || k.Level != 0 {
+		t.Errorf("straddling rect resolved to %v, want root", k)
+	}
+	// Outside the root region.
+	if _, ok := r.SmallestEnclosing(geo.Rect{MinX: -10, MinY: 0, MaxX: 10, MaxY: 10}, 3); ok {
+		t.Error("rect outside root must not resolve")
+	}
+}
+
+// fakeHandle is a trivially serializable model stand-in.
+type fakeHandle struct{ id int32 }
+
+type fakeCodec struct{}
+
+func (fakeCodec) Encode(w io.Writer, h Handle) error {
+	return binary.Write(w, binary.LittleEndian, h.(*fakeHandle).id)
+}
+func (fakeCodec) Decode(r io.Reader) (Handle, error) {
+	var id int32
+	if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+		return nil, err
+	}
+	return &fakeHandle{id: id}, nil
+}
+
+// fill populates a store with east-walking trajectories around (x, y).
+func fill(t *testing.T, st *store.Store, x, y float64, count, pts int) {
+	t.Helper()
+	pr := st.Projection()
+	g := grid.NewHex(75)
+	for i := 0; i < count; i++ {
+		tr := store.Traj{ID: fmt.Sprintf("f%f-%f-%d", x, y, i)}
+		for j := 0; j < pts; j++ {
+			xy := geo.XY{X: x + float64(j)*20, Y: y + float64(i)}
+			p := pr.ToLatLng(xy)
+			p.T = float64(j)
+			tr.Points = append(tr.Points, p)
+			tr.Tokens = append(tr.Tokens, g.CellAt(xy))
+		}
+		if err := st.Append(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIngestBuildsLeafModel(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	defer st.Close()
+	r, _ := New(testConfig())
+
+	// 5 trajectories × 10 points = 50 tokens in leaf (0,0): above K=10.
+	fill(t, st, 100, 100, 5, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+
+	var builds int
+	err := r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		builds++
+		return &fakeHandle{id: int32(builds)}, ModelMeta{Tokens: len(trajs) * 10}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds == 0 {
+		t.Fatal("no models built")
+	}
+	single, _ := r.NumModels()
+	if single == 0 {
+		t.Fatal("no single-cell models recorded")
+	}
+	// Lookup for a trajectory inside leaf (0,0) must find a model.
+	h, cover, ok := r.Lookup(geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110})
+	if !ok {
+		t.Fatal("lookup failed for covered region")
+	}
+	if _, isFake := h.(*fakeHandle); !isFake {
+		t.Error("wrong handle type")
+	}
+	if !cover.ContainsRect(geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110}) {
+		t.Error("coverage does not contain query")
+	}
+}
+
+func TestIngestPropagatesToAncestors(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	defer st.Close()
+	r, _ := New(testConfig())
+
+	// Enough tokens to clear level-2 threshold (40) and level-1 (160).
+	fill(t, st, 100, 100, 20, 10) // 200 tokens in leaf (0,0)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+
+	err := r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		return &fakeHandle{id: 1}, ModelMeta{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []int{1, 2, 3} {
+		e, ok := r.Entry(CellKey{Level: level, IX: 0, IY: 0})
+		if !ok || e.Single == nil {
+			t.Errorf("level %d cell (0,0) has no model", level)
+		}
+	}
+	// Level 0 is not maintained: no model there even though tokens suffice.
+	if e, ok := r.Entry(CellKey{Level: 0}); ok && e.Single != nil {
+		t.Error("unmaintained root must not hold a model")
+	}
+}
+
+func TestIngestNeighborModels(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	defer st.Close()
+	r, _ := New(testConfig())
+
+	// Two leaf cells side by side at level 3 (cells are 500m): data at
+	// x≈100 (cell 0) and x≈600 (cell 1), each with 15 tokens: individually
+	// above K=10, and 30 combined ≥ 2K=20 → neighbor model too.
+	fill(t, st, 100, 100, 3, 5)
+	fill(t, st, 600, 100, 3, 5)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+
+	err := r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		return &fakeHandle{id: 7}, ModelMeta{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, neighbor := r.NumModels()
+	if neighbor == 0 {
+		t.Fatal("no neighbor-cell models built")
+	}
+	// A trajectory spanning the two leaf cells must resolve to the
+	// neighbor model at leaf level, not a coarser single-cell model.
+	h, cover, ok := r.Lookup(geo.Rect{MinX: 150, MinY: 100, MaxX: 650, MaxY: 120})
+	if !ok || h == nil {
+		t.Fatal("lookup across pair failed")
+	}
+	if cover.Width() > 1100 {
+		t.Errorf("expected a leaf pair coverage (~1000m), got %v", cover)
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	r, _ := New(testConfig())
+	if _, _, ok := r.Lookup(geo.Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}); ok {
+		t.Error("empty repo must not resolve")
+	}
+	if _, _, ok := r.Lookup(geo.EmptyRect()); ok {
+		t.Error("empty rect must not resolve")
+	}
+	if _, _, ok := r.Lookup(geo.Rect{MinX: -100, MinY: 0, MaxX: 10, MaxY: 10}); ok {
+		t.Error("out-of-region rect must not resolve")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	defer st.Close()
+	r, _ := New(testConfig())
+	fill(t, st, 100, 100, 20, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+	var next int32
+	r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		next++
+		return &fakeHandle{id: next}, ModelMeta{Tokens: 200}, nil
+	})
+
+	dir := t.TempDir()
+	if err := r.Save(dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(dir, fakeCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Config() != r.Config() {
+		t.Errorf("config mismatch: %+v vs %+v", r2.Config(), r.Config())
+	}
+	s1, n1 := r.NumModels()
+	s2, n2 := r2.NumModels()
+	if s1 != s2 || n1 != n2 {
+		t.Errorf("model counts differ: %d/%d vs %d/%d", s1, n1, s2, n2)
+	}
+	// A lookup that worked before must work after.
+	q := geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110}
+	if _, _, ok := r2.Lookup(q); !ok {
+		t.Error("loaded repo misses a lookup the original served")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir(), fakeCodec{}); err == nil {
+		t.Error("missing manifest must fail")
+	}
+}
+
+func TestIngestVersionBumps(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	defer st.Close()
+	r, _ := New(testConfig())
+	fill(t, st, 100, 100, 5, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+	build := func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		return &fakeHandle{}, ModelMeta{}, nil
+	}
+	r.Ingest(st, batch, build)
+	r.Ingest(st, batch, build) // re-ingest same batch => rebuild
+	e, _ := r.Entry(CellKey{Level: 3, IX: 0, IY: 0})
+	if e.SingleMeta.Version != 2 {
+		t.Errorf("version = %d, want 2 after rebuild", e.SingleMeta.Version)
+	}
+}

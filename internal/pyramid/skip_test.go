@@ -1,0 +1,72 @@
+package pyramid
+
+import (
+	"fmt"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/store"
+)
+
+// TestIngestRespectsErrSkip: a builder that declines must leave the cell
+// model-less without aborting maintenance, and the decline must not be
+// retried within the same ingest.
+func TestIngestRespectsErrSkip(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	defer st.Close()
+	r, _ := New(testConfig())
+	fill(t, st, 100, 100, 20, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+
+	asked := map[string]int{}
+	err := r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		key := fmt.Sprintf("%v", region)
+		asked[key]++
+		return nil, ModelMeta{}, ErrSkip
+	})
+	if err != nil {
+		t.Fatalf("ErrSkip must not abort ingest: %v", err)
+	}
+	single, neighbor := r.NumModels()
+	if single != 0 || neighbor != 0 {
+		t.Errorf("declined builds still produced models: %d/%d", single, neighbor)
+	}
+	for key, n := range asked {
+		if n > 1 {
+			t.Errorf("region %s asked %d times within one ingest", key, n)
+		}
+	}
+	// Lookups must miss cleanly.
+	if _, _, ok := r.Lookup(geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110}); ok {
+		t.Error("lookup hit despite universal decline")
+	}
+}
+
+// TestIngestMixedSkip: declining deep cells must not prevent an ancestor
+// from building.
+func TestIngestMixedSkip(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	defer st.Close()
+	r, _ := New(testConfig())
+	fill(t, st, 100, 100, 20, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+
+	err := r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		// Decline anything smaller than a level-1 cell (2000m).
+		if region.Width() < 1999 {
+			return nil, ModelMeta{}, ErrSkip
+		}
+		return &fakeHandle{id: 1}, ModelMeta{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := r.Entry(CellKey{Level: 1, IX: 0, IY: 0}); !ok || e.Single == nil {
+		t.Error("level-1 model should have been built despite deep declines")
+	}
+	if e, ok := r.Entry(CellKey{Level: 3, IX: 0, IY: 0}); ok && e.Single != nil {
+		t.Error("declined leaf must stay model-less")
+	}
+}

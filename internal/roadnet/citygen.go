@@ -1,0 +1,211 @@
+package roadnet
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+	"kamel/internal/tensor"
+)
+
+// CityConfig controls the procedural city generator.  The defaults produce
+// the road features the paper's spatial-constraints discussion illustrates
+// (Figure 5): straight grid streets, curved roads, roundabouts, and an
+// overpass-style highway that crosses streets without intersecting them.
+type CityConfig struct {
+	Width, Height float64 // city extent in meters
+	BlockSpacing  float64 // distance between parallel grid streets
+	SegLen        float64 // node spacing along every street (edge length)
+	CurvedRoads   int     // number of sine-shaped roads across the city
+	Roundabouts   int     // number of roundabout rings grafted onto the grid
+	Overpasses    int     // number of non-intersecting diagonal highways
+	Seed          uint64
+}
+
+// DefaultCityConfig returns a compact city used across tests and examples:
+// 3×3 km, 300 m blocks, 50 m edges.
+func DefaultCityConfig() CityConfig {
+	return CityConfig{
+		Width:        3000,
+		Height:       3000,
+		BlockSpacing: 300,
+		SegLen:       50,
+		CurvedRoads:  3,
+		Roundabouts:  2,
+		Overpasses:   1,
+		Seed:         1,
+	}
+}
+
+// GenerateCity builds a synthetic road network per the configuration.  The
+// result is connected: features that could end up isolated are stitched to
+// the nearest grid node.
+func GenerateCity(cfg CityConfig) *Network {
+	if cfg.SegLen <= 0 || cfg.BlockSpacing <= 0 || cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("roadnet: city dimensions must be positive")
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	n := &Network{}
+
+	// Grid streets: nodes every SegLen along every horizontal and vertical
+	// street, shared at intersections via a position registry.
+	reg := make(map[[2]int64]int) // quantized position -> node
+	nodeAt := func(p geo.XY) int {
+		k := [2]int64{int64(math.Round(p.X * 8)), int64(math.Round(p.Y * 8))}
+		if id, ok := reg[k]; ok {
+			return id
+		}
+		id := n.AddNode(p)
+		reg[k] = id
+		return id
+	}
+	addPolyline := func(pts []geo.XY) {
+		prev := -1
+		for _, p := range pts {
+			id := nodeAt(p)
+			if prev >= 0 && prev != id {
+				n.Connect(prev, id)
+			}
+			prev = id
+		}
+	}
+	linspace := func(lo, hi, step float64) []float64 {
+		var out []float64
+		for v := lo; v <= hi+1e-9; v += step {
+			out = append(out, v)
+		}
+		return out
+	}
+
+	for _, y := range linspace(0, cfg.Height, cfg.BlockSpacing) {
+		var pts []geo.XY
+		for _, x := range linspace(0, cfg.Width, cfg.SegLen) {
+			pts = append(pts, geo.XY{X: x, Y: y})
+		}
+		addPolyline(pts)
+	}
+	for _, x := range linspace(0, cfg.Width, cfg.BlockSpacing) {
+		var pts []geo.XY
+		for _, y := range linspace(0, cfg.Height, cfg.SegLen) {
+			pts = append(pts, geo.XY{X: x, Y: y})
+		}
+		addPolyline(pts)
+	}
+
+	// Curved roads: full-width sine waves with random phase and amplitude,
+	// stitched to the grid at both ends.
+	for i := 0; i < cfg.CurvedRoads; i++ {
+		baseY := cfg.Height * (0.2 + 0.6*rng.Float64())
+		amp := cfg.BlockSpacing * (0.8 + 0.8*rng.Float64())
+		freq := (1 + rng.Float64()*2) * 2 * math.Pi / cfg.Width
+		phase := rng.Float64() * 2 * math.Pi
+		var pts []geo.XY
+		for _, x := range linspace(0, cfg.Width, cfg.SegLen*0.8) {
+			pts = append(pts, geo.XY{X: x, Y: baseY + amp*math.Sin(freq*x+phase)})
+		}
+		first := len(n.Pos)
+		addPolyline(pts)
+		stitchToGrid(n, first, cfg.BlockSpacing)
+	}
+
+	// Roundabouts: rings of radius ~35 m around random grid intersections,
+	// connected to the four street approaches.
+	for i := 0; i < cfg.Roundabouts; i++ {
+		cx := cfg.BlockSpacing * math.Round(rng.Float64()*(cfg.Width/cfg.BlockSpacing-2)+1)
+		cy := cfg.BlockSpacing * math.Round(rng.Float64()*(cfg.Height/cfg.BlockSpacing-2)+1)
+		center := geo.XY{X: cx, Y: cy}
+		const radius = 35
+		const steps = 12
+		var ring []int
+		for s := 0; s < steps; s++ {
+			a := 2 * math.Pi * float64(s) / steps
+			ring = append(ring, nodeAt(geo.XY{X: cx + radius*math.Cos(a), Y: cy + radius*math.Sin(a)}))
+		}
+		for s := range ring {
+			n.Connect(ring[s], ring[(s+1)%steps])
+		}
+		// Connect the ring to the nearest grid nodes at the four compass
+		// points just outside the radius.
+		for _, d := range []geo.XY{{X: radius + 20}, {X: -radius - 20}, {Y: radius + 20}, {Y: -radius - 20}} {
+			approach := n.NearestNodeBefore(len(n.Pos)-steps, center.Add(d))
+			if approach >= 0 {
+				ringNode := ring[0]
+				bd := math.Inf(1)
+				for _, r := range ring {
+					if dd := n.Pos[r].Dist(n.Pos[approach]); dd < bd {
+						bd = dd
+						ringNode = r
+					}
+				}
+				n.Connect(approach, ringNode)
+			}
+		}
+	}
+
+	// Overpasses: a diagonal highway with dense nodes but no connections to
+	// anything it crosses, except at its two endpoints.
+	for i := 0; i < cfg.Overpasses; i++ {
+		from := geo.XY{X: 0, Y: cfg.Height * rng.Float64() * 0.3}
+		to := geo.XY{X: cfg.Width, Y: cfg.Height * (0.7 + 0.3*rng.Float64())}
+		total := from.Dist(to)
+		steps := int(total / cfg.SegLen)
+		if steps < 2 {
+			steps = 2
+		}
+		var prev int = -1
+		first := -1
+		for s := 0; s <= steps; s++ {
+			t := float64(s) / float64(steps)
+			id := n.AddNode(from.Add(to.Sub(from).Scale(t))) // never shared: true overpass
+			if prev >= 0 {
+				n.Connect(prev, id)
+			} else {
+				first = id
+			}
+			prev = id
+		}
+		// Endpoints join the grid.
+		stitchNode(n, first, cfg.BlockSpacing)
+		stitchNode(n, prev, cfg.BlockSpacing)
+	}
+
+	return n
+}
+
+// stitchToGrid connects the first and last node at or after index `from` to
+// their nearest earlier node, keeping generated features reachable.
+func stitchToGrid(n *Network, from int, maxDist float64) {
+	if from >= len(n.Pos) {
+		return
+	}
+	stitchNode(n, from, maxDist)
+	stitchNode(n, len(n.Pos)-1, maxDist)
+}
+
+// stitchNode connects node id to the nearest node with a smaller index,
+// provided one exists within maxDist.
+func stitchNode(n *Network, id int, maxDist float64) {
+	if id < 0 {
+		return
+	}
+	best := n.NearestNodeBefore(id, n.Pos[id])
+	if best >= 0 && n.Pos[best].Dist(n.Pos[id]) <= maxDist {
+		n.Connect(best, id)
+	}
+}
+
+// NearestNodeBefore returns the node with index < limit closest to p, or -1.
+// Linear scan — only used during generation, never on query paths.
+func (n *Network) NearestNodeBefore(limit int, p geo.XY) int {
+	best := -1
+	bestD := math.Inf(1)
+	if limit > len(n.Pos) {
+		limit = len(n.Pos)
+	}
+	for i := 0; i < limit; i++ {
+		if d := n.Pos[i].Dist(p); d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best
+}

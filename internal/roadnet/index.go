@@ -1,0 +1,202 @@
+package roadnet
+
+import (
+	"math"
+
+	"kamel/internal/geo"
+)
+
+// bucketIndex is a uniform-grid spatial index over node positions.
+type bucketIndex struct {
+	cell    float64
+	buckets map[[2]int][]int
+}
+
+func newBucketIndex(pos []geo.XY, cell float64) *bucketIndex {
+	idx := &bucketIndex{cell: cell, buckets: make(map[[2]int][]int)}
+	for i, p := range pos {
+		k := idx.key(p)
+		idx.buckets[k] = append(idx.buckets[k], i)
+	}
+	return idx
+}
+
+func (b *bucketIndex) key(p geo.XY) [2]int {
+	return [2]int{int(math.Floor(p.X / b.cell)), int(math.Floor(p.Y / b.cell))}
+}
+
+// nearest returns the node index closest to p, or -1 for an empty index.  It
+// searches outward ring by ring until a hit is confirmed closer than the
+// next unexplored ring could be.
+func (b *bucketIndex) nearest(pos []geo.XY, p geo.XY) int {
+	if len(pos) == 0 {
+		return -1
+	}
+	center := b.key(p)
+	best := -1
+	bestD := math.Inf(1)
+	for ring := 0; ; ring++ {
+		// Once we have a hit, stop when the ring floor distance exceeds it.
+		if best >= 0 && float64(ring-1)*b.cell > bestD {
+			return best
+		}
+		scan := func(dx, dy int) {
+			k := [2]int{center[0] + dx, center[1] + dy}
+			for _, i := range b.buckets[k] {
+				if d := pos[i].Dist(p); d < bestD {
+					bestD = d
+					best = i
+				}
+			}
+		}
+		if ring == 0 {
+			scan(0, 0)
+		} else {
+			for d := -ring; d <= ring; d++ {
+				scan(d, -ring)
+				scan(d, ring)
+				if d != -ring && d != ring {
+					scan(-ring, d)
+					scan(ring, d)
+				}
+			}
+		}
+		// Safety: a query point very far outside the data extent would walk
+		// many empty rings; a linear scan is cheaper at that point.
+		if ring > 512 {
+			for i, q := range pos {
+				if d := q.Dist(p); d < bestD {
+					bestD = d
+					best = i
+				}
+			}
+			return best
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// NearestNode returns the index of the node closest to p, or -1 when the
+// network is empty.  The first call builds a lazy spatial index; callers must
+// not add nodes afterwards.
+func (n *Network) NearestNode(p geo.XY) int {
+	if len(n.Pos) == 0 {
+		return -1
+	}
+	if n.nodeIndex == nil {
+		n.nodeIndex = newBucketIndex(n.Pos, 250)
+	}
+	return n.nodeIndex.nearest(n.Pos, p)
+}
+
+// EdgeRef identifies an undirected edge by its endpoint node indices with
+// A < B.
+type EdgeRef struct {
+	A, B int
+}
+
+// edgeIndex is a uniform-grid index over edge bounding boxes for nearest-edge
+// queries (used by the map-matching baseline).
+type edgeIndex struct {
+	cell    float64
+	buckets map[[2]int][]EdgeRef
+	edges   []EdgeRef
+}
+
+func (n *Network) buildEdgeIndex() {
+	idx := &edgeIndex{cell: 250, buckets: make(map[[2]int][]EdgeRef)}
+	seen := make(map[EdgeRef]bool)
+	for a, arcs := range n.Adj {
+		for _, arc := range arcs {
+			e := EdgeRef{A: a, B: arc.To}
+			if e.A > e.B {
+				e.A, e.B = e.B, e.A
+			}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			idx.edges = append(idx.edges, e)
+			// Register the edge in every bucket its bounding box touches.
+			pa, pb := n.Pos[e.A], n.Pos[e.B]
+			loX := int(math.Floor(math.Min(pa.X, pb.X) / idx.cell))
+			hiX := int(math.Floor(math.Max(pa.X, pb.X) / idx.cell))
+			loY := int(math.Floor(math.Min(pa.Y, pb.Y) / idx.cell))
+			hiY := int(math.Floor(math.Max(pa.Y, pb.Y) / idx.cell))
+			for x := loX; x <= hiX; x++ {
+				for y := loY; y <= hiY; y++ {
+					k := [2]int{x, y}
+					idx.buckets[k] = append(idx.buckets[k], e)
+				}
+			}
+		}
+	}
+	n.edgeIndex = idx
+}
+
+// EdgesNear returns edges whose buckets fall within radius meters of p.  The
+// result may contain a few extras beyond the radius (bucket granularity); it
+// never misses an edge within it.  Used by the HMM map matcher to gather
+// candidate roads per GPS point.
+func (n *Network) EdgesNear(p geo.XY, radius float64) []EdgeRef {
+	if n.edgeIndex == nil {
+		n.buildEdgeIndex()
+	}
+	idx := n.edgeIndex
+	r := int(math.Ceil(radius/idx.cell)) + 1
+	center := [2]int{int(math.Floor(p.X / idx.cell)), int(math.Floor(p.Y / idx.cell))}
+	var out []EdgeRef
+	dedup := make(map[EdgeRef]bool)
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			k := [2]int{center[0] + dx, center[1] + dy}
+			for _, e := range idx.buckets[k] {
+				if !dedup[e] {
+					dedup[e] = true
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NearestEdge returns the edge closest to p and the distance to it.  Returns
+// ok=false for an empty network.
+func (n *Network) NearestEdge(p geo.XY) (EdgeRef, float64, bool) {
+	if n.edgeIndex == nil {
+		n.buildEdgeIndex()
+	}
+	if len(n.edgeIndex.edges) == 0 {
+		return EdgeRef{}, 0, false
+	}
+	best := EdgeRef{}
+	bestD := math.Inf(1)
+	for radius := 300.0; ; radius *= 2 {
+		for _, e := range n.EdgesNear(p, radius) {
+			if d := geo.PointSegmentDist(p, n.Pos[e.A], n.Pos[e.B]); d < bestD {
+				bestD = d
+				best = e
+			}
+		}
+		if bestD <= radius {
+			return best, bestD, true
+		}
+		if radius > 1e7 { // beyond any plausible city extent
+			// Linear fallback for points absurdly far outside the network.
+			for _, e := range n.edgeIndex.edges {
+				if d := geo.PointSegmentDist(p, n.Pos[e.A], n.Pos[e.B]); d < bestD {
+					bestD = d
+					best = e
+				}
+			}
+			return best, bestD, true
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package roadnet models road networks and generates synthetic cities.
+//
+// KAMEL itself never sees a road network — that is the whole point of the
+// paper.  This package exists for everything *around* KAMEL: the trajectory
+// simulator (internal/trajgen) drives trips over a ground-truth network, the
+// map-matching reference baseline (internal/baseline) is allowed to read it,
+// and the evaluation harness uses it to classify segments as straight or
+// curved (paper §8.4).  It substitutes for the Porto and Jakarta datasets the
+// paper evaluates on (see DESIGN.md, substitution table).
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"kamel/internal/geo"
+)
+
+// Arc is a directed connection to a neighboring node.
+type Arc struct {
+	To   int     // destination node index
+	Dist float64 // length in meters
+}
+
+// Network is a road graph embedded in the local planar frame.  All streets
+// are represented as chains of short straight edges (tens of meters), so
+// curved roads are polylines of dense nodes.  Edges are bidirectional.
+type Network struct {
+	Pos []geo.XY // node positions
+	Adj [][]Arc  // adjacency lists, parallel to Pos
+
+	nodeIndex *bucketIndex
+	edgeIndex *edgeIndex
+}
+
+// NumNodes returns the number of nodes.
+func (n *Network) NumNodes() int { return len(n.Pos) }
+
+// NumEdges returns the number of undirected edges.
+func (n *Network) NumEdges() int {
+	var arcs int
+	for _, a := range n.Adj {
+		arcs += len(a)
+	}
+	return arcs / 2
+}
+
+// Bounds returns the MBR of all nodes.
+func (n *Network) Bounds() geo.Rect {
+	return geo.BoundXY(n.Pos)
+}
+
+// AddNode appends a node and returns its index.
+func (n *Network) AddNode(p geo.XY) int {
+	n.Pos = append(n.Pos, p)
+	n.Adj = append(n.Adj, nil)
+	return len(n.Pos) - 1
+}
+
+// Connect adds a bidirectional edge between a and b (no-op when a == b or
+// when the edge already exists).
+func (n *Network) Connect(a, b int) {
+	if a == b {
+		return
+	}
+	for _, arc := range n.Adj[a] {
+		if arc.To == b {
+			return
+		}
+	}
+	d := n.Pos[a].Dist(n.Pos[b])
+	n.Adj[a] = append(n.Adj[a], Arc{To: b, Dist: d})
+	n.Adj[b] = append(n.Adj[b], Arc{To: a, Dist: d})
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the node sequence of the shortest path from a to b,
+// its length in meters, and whether b is reachable from a.
+func (n *Network) ShortestPath(a, b int) ([]int, float64, bool) {
+	if a < 0 || b < 0 || a >= len(n.Pos) || b >= len(n.Pos) {
+		return nil, 0, false
+	}
+	if a == b {
+		return []int{a}, 0, true
+	}
+	dist := make([]float64, len(n.Pos))
+	prev := make([]int, len(n.Pos))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[a] = 0
+	q := &pq{{node: a}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.node == b {
+			break
+		}
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, arc := range n.Adj[it.node] {
+			nd := it.dist + arc.Dist
+			if nd < dist[arc.To] {
+				dist[arc.To] = nd
+				prev[arc.To] = it.node
+				heap.Push(q, pqItem{node: arc.To, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[b], 1) {
+		return nil, 0, false
+	}
+	var path []int
+	for v := b; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[b], true
+}
+
+// PathPolyline converts a node path to its planar polyline.
+func (n *Network) PathPolyline(path []int) []geo.XY {
+	out := make([]geo.XY, len(path))
+	for i, v := range path {
+		out[i] = n.Pos[v]
+	}
+	return out
+}
+
+// NetworkDistance returns the shortest-path distance between the nearest
+// nodes to two planar points.  The evaluation harness uses it to classify
+// trajectory segments as straight or curved (paper §8.4).
+func (n *Network) NetworkDistance(a, b geo.XY) (float64, error) {
+	na := n.NearestNode(a)
+	nb := n.NearestNode(b)
+	if na < 0 || nb < 0 {
+		return 0, fmt.Errorf("roadnet: empty network")
+	}
+	_, d, ok := n.ShortestPath(na, nb)
+	if !ok {
+		return 0, fmt.Errorf("roadnet: nodes %d and %d are disconnected", na, nb)
+	}
+	// Account for the offsets from the query points to their snap nodes.
+	return d + a.Dist(n.Pos[na]) + b.Dist(n.Pos[nb]), nil
+}

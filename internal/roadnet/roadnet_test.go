@@ -1,0 +1,211 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"kamel/internal/geo"
+)
+
+func smallCity() *Network {
+	cfg := DefaultCityConfig()
+	cfg.Width = 1200
+	cfg.Height = 1200
+	cfg.CurvedRoads = 1
+	cfg.Roundabouts = 1
+	cfg.Overpasses = 1
+	return GenerateCity(cfg)
+}
+
+func TestGenerateCityBasics(t *testing.T) {
+	n := smallCity()
+	if n.NumNodes() < 100 {
+		t.Fatalf("city has only %d nodes", n.NumNodes())
+	}
+	if n.NumEdges() < n.NumNodes()-1 {
+		t.Errorf("city has %d edges for %d nodes; too sparse", n.NumEdges(), n.NumNodes())
+	}
+	b := n.Bounds()
+	if b.Width() < 1200 || b.Height() < 1200 {
+		t.Errorf("bounds %v smaller than configured extent", b)
+	}
+}
+
+func TestCityIsConnected(t *testing.T) {
+	n := smallCity()
+	// BFS from node 0 must reach (nearly) every node.  Allow a tiny slack
+	// for degenerate stitches.
+	visited := make([]bool, n.NumNodes())
+	queue := []int{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, arc := range n.Adj[v] {
+			if !visited[arc.To] {
+				visited[arc.To] = true
+				count++
+				queue = append(queue, arc.To)
+			}
+		}
+	}
+	if float64(count) < 0.99*float64(n.NumNodes()) {
+		t.Errorf("only %d/%d nodes reachable from node 0", count, n.NumNodes())
+	}
+}
+
+func TestGenerateCityDeterministic(t *testing.T) {
+	a := smallCity()
+	b := smallCity()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must generate the same city")
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatal("node positions differ between identical seeds")
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	n := smallCity()
+	a := n.NearestNode(geo.XY{X: 0, Y: 0})
+	b := n.NearestNode(geo.XY{X: 1200, Y: 1200})
+	path, dist, ok := n.ShortestPath(a, b)
+	if !ok {
+		t.Fatal("corners must be connected")
+	}
+	if path[0] != a || path[len(path)-1] != b {
+		t.Error("path endpoints wrong")
+	}
+	// Path length must be at least the straight-line distance and no more
+	// than a loose detour factor.
+	straight := n.Pos[a].Dist(n.Pos[b])
+	if dist < straight-1e-6 {
+		t.Errorf("path dist %f shorter than straight line %f", dist, straight)
+	}
+	if dist > 3*straight {
+		t.Errorf("path dist %f is an implausible detour over %f", dist, straight)
+	}
+	// Consecutive path nodes must be adjacent.
+	for i := 1; i < len(path); i++ {
+		adjacent := false
+		for _, arc := range n.Adj[path[i-1]] {
+			if arc.To == path[i] {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("path step %d is not an edge", i)
+		}
+	}
+}
+
+func TestShortestPathEdgeCases(t *testing.T) {
+	n := smallCity()
+	if _, _, ok := n.ShortestPath(-1, 0); ok {
+		t.Error("negative node must fail")
+	}
+	if path, d, ok := n.ShortestPath(5, 5); !ok || d != 0 || len(path) != 1 {
+		t.Error("self path must be trivial")
+	}
+	// Disconnected graph.
+	iso := &Network{}
+	iso.AddNode(geo.XY{})
+	iso.AddNode(geo.XY{X: 100})
+	if _, _, ok := iso.ShortestPath(0, 1); ok {
+		t.Error("disconnected nodes must be unreachable")
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	n := smallCity()
+	p := geo.XY{X: 600, Y: 600}
+	id := n.NearestNode(p)
+	if id < 0 {
+		t.Fatal("nearest node not found")
+	}
+	want := math.Inf(1)
+	for _, q := range n.Pos {
+		if d := q.Dist(p); d < want {
+			want = d
+		}
+	}
+	if got := n.Pos[id].Dist(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("NearestNode dist %f, brute force %f", got, want)
+	}
+	// Far-away query still resolves.
+	if far := n.NearestNode(geo.XY{X: 1e6, Y: -1e6}); far < 0 {
+		t.Error("far query must still find a node")
+	}
+	if empty := (&Network{}).NearestNode(p); empty != -1 {
+		t.Error("empty network must return -1")
+	}
+}
+
+func TestNearestEdge(t *testing.T) {
+	n := smallCity()
+	// A point slightly off a horizontal street must snap to it.
+	p := geo.XY{X: 625, Y: 312}
+	e, d, ok := n.NearestEdge(p)
+	if !ok {
+		t.Fatal("edge not found")
+	}
+	if d > 60 {
+		t.Errorf("nearest edge is %fm away; expected a street within 60m", d)
+	}
+	got := geo.PointSegmentDist(p, n.Pos[e.A], n.Pos[e.B])
+	if math.Abs(got-d) > 1e-9 {
+		t.Error("returned distance does not match returned edge")
+	}
+}
+
+func TestNetworkDistanceStraightVsCurved(t *testing.T) {
+	n := smallCity()
+	// Two points along the same straight street: network distance ≈ Euclid.
+	a := geo.XY{X: 300, Y: 300}
+	b := geo.XY{X: 800, Y: 300}
+	nd, err := n.NetworkDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eu := a.Dist(b); math.Abs(nd-eu) > 30 {
+		t.Errorf("straight-street network distance %f vs euclid %f", nd, eu)
+	}
+	// Diagonal across a block: network distance must exceed Euclid clearly.
+	c := geo.XY{X: 300, Y: 600}
+	nd2, err := n.NetworkDistance(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd2 < a.Dist(c)-1e-6 {
+		t.Error("network distance cannot beat the straight line")
+	}
+}
+
+func TestConnectIdempotent(t *testing.T) {
+	n := &Network{}
+	a := n.AddNode(geo.XY{})
+	b := n.AddNode(geo.XY{X: 10})
+	n.Connect(a, b)
+	n.Connect(a, b)
+	n.Connect(b, a)
+	n.Connect(a, a)
+	if n.NumEdges() != 1 {
+		t.Errorf("expected 1 edge, got %d", n.NumEdges())
+	}
+	if len(n.Adj[a]) != 1 || n.Adj[a][0].Dist != 10 {
+		t.Error("arc distance wrong")
+	}
+}
+
+func TestPathPolyline(t *testing.T) {
+	n := &Network{}
+	a := n.AddNode(geo.XY{X: 1})
+	b := n.AddNode(geo.XY{X: 2})
+	line := n.PathPolyline([]int{a, b})
+	if len(line) != 2 || line[1].X != 2 {
+		t.Error("polyline wrong")
+	}
+}

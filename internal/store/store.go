@@ -1,0 +1,361 @@
+// Package store implements KAMEL's trajectory store (paper §4): the durable
+// repository of tokenized training trajectories that the Partitioning module
+// reads when building or enriching BERT models, and that the Detokenization
+// module mines for per-token point clusters.
+//
+// Records are persisted in append-only segment files of length-prefixed,
+// CRC-checksummed binary records; an in-memory table of record metadata
+// (MBR, token count) serves the spatial queries.  Opening a store replays
+// the segments, verifying every checksum, and truncates a torn tail write
+// rather than failing — the crash-recovery behaviour an append-only log is
+// chosen for.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// Traj is a tokenized trajectory: raw GPS points plus the grid token of each
+// point under the store's tokenization grid.
+type Traj struct {
+	ID     string
+	Points []geo.Point
+	Tokens []grid.Cell // parallel to Points
+}
+
+// segmentMaxBytes is the roll-over threshold for segment files.
+const segmentMaxBytes = 4 << 20
+
+// recordMeta is the in-memory index entry for one persisted trajectory.
+type recordMeta struct {
+	mbr    geo.Rect
+	tokens int
+}
+
+// Store is a durable, append-only trajectory store.  All methods are safe
+// for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	dir  string
+	proj *geo.Projection
+
+	recs  []Traj
+	metas []recordMeta
+
+	seg      *os.File
+	segIdx   int
+	segBytes int64
+}
+
+// Open opens (creating if necessary) a store in dir.  Existing segments are
+// replayed; a torn final record (from a crash mid-append) is truncated away.
+// The projection defines the planar frame used for spatial queries.
+func Open(dir string, proj *geo.Projection) (*Store, error) {
+	if proj == nil {
+		return nil, fmt.Errorf("store: nil projection")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, proj: proj}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.replay(name); err != nil {
+			return nil, err
+		}
+	}
+	s.segIdx = len(names)
+	if err := s.rollSegment(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rollSegment closes the current segment (if any) and starts a new one.
+func (s *Store) rollSegment() error {
+	if s.seg != nil {
+		if err := s.seg.Close(); err != nil {
+			return err
+		}
+	}
+	name := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.log", s.segIdx))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment: %w", err)
+	}
+	s.seg = f
+	s.segIdx++
+	s.segBytes = 0
+	return nil
+}
+
+// replay loads one segment file, stopping (and truncating) at the first
+// corrupt or torn record.
+func (s *Store) replay(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var offset int64
+	head := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(f, head); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return s.truncateTail(name, offset)
+		}
+		length := binary.LittleEndian.Uint32(head[:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if length > 64<<20 {
+			return s.truncateTail(name, offset)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return s.truncateTail(name, offset)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return s.truncateTail(name, offset)
+		}
+		tr, err := decodeTraj(payload)
+		if err != nil {
+			return s.truncateTail(name, offset)
+		}
+		s.index(tr)
+		offset += 8 + int64(length)
+	}
+}
+
+// truncateTail cuts a segment file back to the last valid record boundary.
+func (s *Store) truncateTail(name string, validBytes int64) error {
+	return os.Truncate(name, validBytes)
+}
+
+// index adds a record to the in-memory table.
+func (s *Store) index(tr Traj) {
+	mbr := geo.EmptyRect()
+	for _, p := range tr.Points {
+		mbr = mbr.ExtendXY(s.proj.ToXY(p))
+	}
+	s.recs = append(s.recs, tr)
+	s.metas = append(s.metas, recordMeta{mbr: mbr, tokens: len(tr.Tokens)})
+}
+
+// Append durably persists a trajectory and makes it visible to queries.
+func (s *Store) Append(tr Traj) error {
+	if len(tr.Points) == 0 {
+		return fmt.Errorf("store: refusing to append empty trajectory %q", tr.ID)
+	}
+	if len(tr.Points) != len(tr.Tokens) {
+		return fmt.Errorf("store: trajectory %q has %d points but %d tokens", tr.ID, len(tr.Points), len(tr.Tokens))
+	}
+	payload := encodeTraj(tr)
+	head := make([]byte, 8)
+	binary.LittleEndian.PutUint32(head[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.segBytes >= segmentMaxBytes {
+		if err := s.rollSegment(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.seg.Write(head); err != nil {
+		return fmt.Errorf("store: writing record header: %w", err)
+	}
+	if _, err := s.seg.Write(payload); err != nil {
+		return fmt.Errorf("store: writing record payload: %w", err)
+	}
+	s.segBytes += int64(8 + len(payload))
+	s.index(tr)
+	return nil
+}
+
+// Sync flushes pending writes to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seg.Sync()
+}
+
+// Close releases the store's file handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	return err
+}
+
+// Projection returns the planar projection the store indexes under.
+func (s *Store) Projection() *geo.Projection { return s.proj }
+
+// Len returns the number of stored trajectories.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// TotalTokens returns the number of tokens across all stored trajectories.
+func (s *Store) TotalTokens() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int
+	for _, m := range s.metas {
+		n += m.tokens
+	}
+	return n
+}
+
+// Bounds returns the MBR of everything stored.
+func (s *Store) Bounds() geo.Rect {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := geo.EmptyRect()
+	for _, m := range s.metas {
+		r = r.Union(m.mbr)
+	}
+	return r
+}
+
+// QueryEnclosed returns the trajectories whose MBR lies fully inside rect —
+// the retrieval the Partitioning module performs when assembling a model's
+// training corpus (paper §4.2).
+func (s *Store) QueryEnclosed(rect geo.Rect) []Traj {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Traj
+	for i, m := range s.metas {
+		if rect.ContainsRect(m.mbr) {
+			out = append(out, s.recs[i])
+		}
+	}
+	return out
+}
+
+// TokensInRect counts the stored GPS points (= token occurrences) lying
+// inside rect, the statistic the pyramid's model-build thresholds are
+// defined over (paper §4.1).
+func (s *Store) TokensInRect(rect geo.Rect) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int
+	for i, m := range s.metas {
+		if !rect.Intersects(m.mbr) {
+			continue
+		}
+		if rect.ContainsRect(m.mbr) {
+			n += m.tokens
+			continue
+		}
+		for _, p := range s.recs[i].Points {
+			if rect.ContainsXY(s.proj.ToXY(p)) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// All invokes fn for every stored trajectory until fn returns false.  The
+// callback must not retain the trajectory's slices beyond the call.
+func (s *Store) All(fn func(Traj) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, tr := range s.recs {
+		if !fn(tr) {
+			return
+		}
+	}
+}
+
+// encodeTraj serializes one trajectory record:
+//
+//	u16 idLen | id | u32 nPoints | nPoints × (f64 lat, f64 lng, f64 t) |
+//	u32 nTokens | nTokens × i64
+func encodeTraj(tr Traj) []byte {
+	size := 2 + len(tr.ID) + 4 + 24*len(tr.Points) + 4 + 8*len(tr.Tokens)
+	buf := make([]byte, 0, size)
+	var scratch [8]byte
+
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(tr.ID)))
+	buf = append(buf, scratch[:2]...)
+	buf = append(buf, tr.ID...)
+
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(tr.Points)))
+	buf = append(buf, scratch[:4]...)
+	for _, p := range tr.Points {
+		for _, v := range [3]float64{p.Lat, p.Lng, p.T} {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			buf = append(buf, scratch[:]...)
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(tr.Tokens)))
+	buf = append(buf, scratch[:4]...)
+	for _, c := range tr.Tokens {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(c))
+		buf = append(buf, scratch[:]...)
+	}
+	return buf
+}
+
+// decodeTraj is the inverse of encodeTraj.
+func decodeTraj(buf []byte) (Traj, error) {
+	var tr Traj
+	if len(buf) < 2 {
+		return tr, fmt.Errorf("store: record too short")
+	}
+	idLen := int(binary.LittleEndian.Uint16(buf[:2]))
+	buf = buf[2:]
+	if len(buf) < idLen+4 {
+		return tr, fmt.Errorf("store: truncated id")
+	}
+	tr.ID = string(buf[:idLen])
+	buf = buf[idLen:]
+
+	nPts := int(binary.LittleEndian.Uint32(buf[:4]))
+	buf = buf[4:]
+	if len(buf) < 24*nPts+4 {
+		return tr, fmt.Errorf("store: truncated points")
+	}
+	tr.Points = make([]geo.Point, nPts)
+	for i := range tr.Points {
+		tr.Points[i].Lat = math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+		tr.Points[i].Lng = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16]))
+		tr.Points[i].T = math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24]))
+		buf = buf[24:]
+	}
+	nTok := int(binary.LittleEndian.Uint32(buf[:4]))
+	buf = buf[4:]
+	if len(buf) < 8*nTok {
+		return tr, fmt.Errorf("store: truncated tokens")
+	}
+	tr.Tokens = make([]grid.Cell, nTok)
+	for i := range tr.Tokens {
+		tr.Tokens[i] = grid.Cell(binary.LittleEndian.Uint64(buf[:8]))
+		buf = buf[8:]
+	}
+	return tr, nil
+}

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kamel/internal/geo"
+)
+
+// TestConcurrentAppendAndQuery exercises the store under parallel writers
+// and readers; the race detector (go test -race) validates the locking.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	s, err := Open(t.TempDir(), proj())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers = 4
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := mkTraj(fmt.Sprintf("w%d-%d", w, i), float64(w)*1000, float64(i)*10, 5)
+				if err := s.Append(tr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Len()
+				s.TokensInRect(geo.Rect{MinX: -100, MinY: -100, MaxX: 5000, MaxY: 5000})
+				s.QueryEnclosed(geo.Rect{MinX: -100, MinY: -100, MaxX: 500, MaxY: 500})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Errorf("stored %d records, want %d", s.Len(), writers*perWriter)
+	}
+	// Everything must survive a reopen.
+	s.Close()
+	s2, err := Open(s.dir, proj())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != writers*perWriter {
+		t.Errorf("reopened %d records, want %d", s2.Len(), writers*perWriter)
+	}
+}
+
+// TestAllEarlyStop verifies the iteration callback contract.
+func TestAllEarlyStop(t *testing.T) {
+	s, _ := Open(t.TempDir(), proj())
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Append(mkTraj(fmt.Sprintf("t%d", i), float64(i)*100, 0, 3))
+	}
+	count := 0
+	s.All(func(Traj) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("All visited %d records after early stop, want 3", count)
+	}
+}

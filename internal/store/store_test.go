@@ -1,0 +1,236 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+func proj() *geo.Projection { return geo.NewProjection(41.15, -8.61) }
+
+// mkTraj builds a trajectory of n points walking east from (x0,y0), one
+// token per point using a 75m hex grid.
+func mkTraj(id string, x0, y0 float64, n int) Traj {
+	pr := proj()
+	g := grid.NewHex(75)
+	tr := Traj{ID: id}
+	for i := 0; i < n; i++ {
+		xy := geo.XY{X: x0 + float64(i)*30, Y: y0}
+		p := pr.ToLatLng(xy)
+		p.T = float64(i)
+		tr.Points = append(tr.Points, p)
+		tr.Tokens = append(tr.Tokens, g.CellAt(xy))
+	}
+	return tr
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, proj())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Append(mkTraj("a", 0, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkTraj("b", 5000, 5000, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TotalTokens() != 20 {
+		t.Fatalf("TotalTokens = %d", s.TotalTokens())
+	}
+
+	got := s.QueryEnclosed(geo.Rect{MinX: -100, MinY: -100, MaxX: 1000, MaxY: 1000})
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("QueryEnclosed returned %d records", len(got))
+	}
+	// A rect that clips trajectory "a" must not return it (fully-enclosed
+	// semantics).
+	got = s.QueryEnclosed(geo.Rect{MinX: -100, MinY: -100, MaxX: 100, MaxY: 100})
+	if len(got) != 0 {
+		t.Fatal("partially covered trajectory must not be returned")
+	}
+}
+
+func TestTokensInRect(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	defer s.Close()
+	s.Append(mkTraj("a", 0, 0, 10)) // points at x = 0,30,...,270
+
+	full := s.TokensInRect(geo.Rect{MinX: -10, MinY: -10, MaxX: 1000, MaxY: 10})
+	if full != 10 {
+		t.Errorf("full count = %d, want 10", full)
+	}
+	half := s.TokensInRect(geo.Rect{MinX: -10, MinY: -10, MaxX: 125, MaxY: 10})
+	if half != 5 { // x = 0, 30, 60, 90, 120
+		t.Errorf("half count = %d, want 5", half)
+	}
+	none := s.TokensInRect(geo.Rect{MinX: 5000, MinY: 5000, MaxX: 6000, MaxY: 6000})
+	if none != 0 {
+		t.Errorf("disjoint count = %d, want 0", none)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	for i := 0; i < 20; i++ {
+		if err := s.Append(mkTraj(fmt.Sprintf("t%d", i), float64(i)*100, 0, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, proj())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 20 {
+		t.Fatalf("reopened store has %d records, want 20", s2.Len())
+	}
+	var ids []string
+	s2.All(func(tr Traj) bool {
+		ids = append(ids, tr.ID)
+		return true
+	})
+	if len(ids) != 20 || ids[0] != "t0" || ids[19] != "t19" {
+		t.Errorf("record order not preserved: %v", ids)
+	}
+	// Points survive byte-exactly.
+	want := mkTraj("t0", 0, 0, 5)
+	var got Traj
+	s2.All(func(tr Traj) bool { got = tr; return false })
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] || got.Tokens[i] != want.Tokens[i] {
+			t.Fatalf("record t0 corrupted at %d", i)
+		}
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	s.Append(mkTraj("good1", 0, 0, 5))
+	s.Append(mkTraj("good2", 500, 0, 5))
+	s.Close()
+
+	// Simulate a crash mid-append: chop bytes off the segment tail.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) == 0 {
+		t.Fatal("no segment files written")
+	}
+	info, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, proj())
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("recovered %d records, want 1 (the intact one)", s2.Len())
+	}
+	// The store must be writable after recovery.
+	if err := s2.Append(mkTraj("after", 1000, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	s.Append(mkTraj("a", 0, 0, 5))
+	s.Append(mkTraj("b", 500, 0, 5))
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	f, _ := os.OpenFile(segs[0], os.O_RDWR, 0)
+	// Flip a byte inside the first record's payload.
+	f.WriteAt([]byte{0xFF}, 20)
+	f.Close()
+
+	s2, err := Open(dir, proj())
+	if err != nil {
+		t.Fatalf("corruption must not fail open: %v", err)
+	}
+	defer s2.Close()
+	// The corrupt record and everything after it in that segment is dropped.
+	if s2.Len() != 0 {
+		t.Fatalf("recovered %d records from corrupt segment, want 0", s2.Len())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	defer s.Close()
+	if err := s.Append(Traj{ID: "empty"}); err == nil {
+		t.Error("empty trajectory must be rejected")
+	}
+	bad := mkTraj("bad", 0, 0, 5)
+	bad.Tokens = bad.Tokens[:3]
+	if err := s.Append(bad); err == nil {
+		t.Error("mismatched points/tokens must be rejected")
+	}
+}
+
+func TestSegmentRollover(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	// Each record is ~ 5 points × 24B ≈ small; write big trajectories to
+	// force a roll.  4MB / (1000 points × 32B) ≈ 125 records.
+	for i := 0; i < 140; i++ {
+		if err := s.Append(mkTraj(fmt.Sprintf("big%d", i), 0, float64(i), 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) < 2 {
+		t.Errorf("expected multiple segments, got %d", len(segs))
+	}
+	s2, err := Open(dir, proj())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 140 {
+		t.Errorf("reopened %d records, want 140", s2.Len())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	defer s.Close()
+	if !s.Bounds().IsEmpty() {
+		t.Error("empty store must have empty bounds")
+	}
+	s.Append(mkTraj("a", 0, 0, 10))
+	b := s.Bounds()
+	if b.Width() < 200 {
+		t.Errorf("bounds too small: %v", b)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir(), nil); err == nil {
+		t.Error("nil projection must be rejected")
+	}
+}

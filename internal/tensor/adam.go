@@ -1,0 +1,94 @@
+package tensor
+
+import "math"
+
+// Adam implements the Adam optimizer with optional decoupled weight decay
+// (AdamW) and gradient clipping by global norm — the configuration BERT-style
+// pretraining uses.
+type Adam struct {
+	LR          float64 // learning rate
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64 // decoupled (AdamW); 0 disables
+	ClipNorm    float64 // global gradient-norm clip; 0 disables
+
+	step int
+	m    map[*Mat]*Mat // first-moment estimate, keyed by parameter identity
+	v    map[*Mat]*Mat // second-moment estimate
+}
+
+// NewAdam returns an optimizer with BERT-flavored defaults: β1=0.9, β2=0.999,
+// ε=1e-8, weight decay 0.01, clip norm 1.0.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:          lr,
+		Beta1:       0.9,
+		Beta2:       0.999,
+		Eps:         1e-8,
+		WeightDecay: 0.01,
+		ClipNorm:    1.0,
+		m:           make(map[*Mat]*Mat),
+		v:           make(map[*Mat]*Mat),
+	}
+}
+
+// Step applies one Adam update.  params and grads are parallel slices: each
+// parameter matrix is updated from the gradient at the same index.  Gradient
+// matrices are left untouched except for the optional global-norm clip, which
+// scales them in place.
+func (a *Adam) Step(params, grads []*Mat) {
+	if len(params) != len(grads) {
+		panic("tensor: Adam.Step params/grads length mismatch")
+	}
+	a.step++
+
+	if a.ClipNorm > 0 {
+		var sq float64
+		for _, g := range grads {
+			for _, v := range g.A {
+				sq += float64(v) * float64(v)
+			}
+		}
+		norm := math.Sqrt(sq)
+		if norm > a.ClipNorm {
+			scale := float32(a.ClipNorm / norm)
+			for _, g := range grads {
+				g.Scale(scale)
+			}
+		}
+	}
+
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+
+	for i, p := range params {
+		g := grads[i]
+		if p.R != g.R || p.C != g.C {
+			panic("tensor: Adam.Step param/grad shape mismatch")
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = NewMat(p.R, p.C)
+			a.m[p] = m
+			a.v[p] = NewMat(p.R, p.C)
+		}
+		v := a.v[p]
+		b1 := float32(a.Beta1)
+		b2 := float32(a.Beta2)
+		for j := range p.A {
+			gj := g.A[j]
+			m.A[j] = b1*m.A[j] + (1-b1)*gj
+			v.A[j] = b2*v.A[j] + (1-b2)*gj*gj
+			mHat := float64(m.A[j]) / bc1
+			vHat := float64(v.A[j]) / bc2
+			p.A[j] -= float32(a.LR * mHat / (math.Sqrt(vHat) + a.Eps))
+			if a.WeightDecay > 0 {
+				p.A[j] -= float32(a.LR * a.WeightDecay * float64(p.A[j]))
+			}
+		}
+	}
+}
+
+// StepCount returns the number of updates applied so far.
+func (a *Adam) StepCount() int { return a.step }

@@ -1,0 +1,89 @@
+// Package tensor provides the dense linear-algebra kernels that KAMEL's
+// from-scratch BERT implementation (internal/bert) is built on: row-major
+// float32 matrices, goroutine-parallel blocked matrix multiplication in the
+// three orientations backpropagation needs, numerically stable softmax,
+// layer normalization, GELU, and the Adam optimizer.
+//
+// Everything is deliberately dependency-free and deterministic: given the
+// same seed, training produces the same weights on every run, which the test
+// suite and the experiment harness rely on.
+package tensor
+
+import "fmt"
+
+// Mat is a dense row-major matrix of float32.  The zero value is not usable;
+// construct with NewMat.
+type Mat struct {
+	R, C int
+	A    []float32
+}
+
+// NewMat allocates an R×C matrix of zeros.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, A: make([]float32, r*c)}
+}
+
+// FromSlice wraps an existing backing slice as an R×C matrix.  The slice is
+// not copied; its length must be exactly r*c.
+func FromSlice(r, c int, a []float32) *Mat {
+	if len(a) != r*c {
+		panic(fmt.Sprintf("tensor: slice length %d does not match %dx%d", len(a), r, c))
+	}
+	return &Mat{R: r, C: c, A: a}
+}
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) float32 { return m.A[i*m.C+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat) Set(i, j int, v float32) { m.A[i*m.C+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Mat) Row(i int) []float32 { return m.A[i*m.C : (i+1)*m.C] }
+
+// Zero sets every element to zero.
+func (m *Mat) Zero() {
+	for i := range m.A {
+		m.A[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.A, m.A)
+	return out
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Mat) CopyFrom(src *Mat) {
+	if m.R != src.R || m.C != src.C {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.R, m.C, src.R, src.C))
+	}
+	copy(m.A, src.A)
+}
+
+// Add accumulates src into m element-wise; shapes must match.
+func (m *Mat) Add(src *Mat) {
+	if m.R != src.R || m.C != src.C {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %dx%d vs %dx%d", m.R, m.C, src.R, src.C))
+	}
+	for i, v := range src.A {
+		m.A[i] += v
+	}
+}
+
+// Scale multiplies every element by f.
+func (m *Mat) Scale(f float32) {
+	for i := range m.A {
+		m.A[i] *= f
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Mat) String() string {
+	return fmt.Sprintf("Mat(%dx%d)", m.R, m.C)
+}

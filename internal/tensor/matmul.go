@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate number of multiply-adds below which a
+// matmul runs single-threaded; spawning goroutines for tiny products costs
+// more than it saves.
+const parallelThreshold = 64 * 64 * 64
+
+// maxWorkers caps the goroutines a single matmul fans out to.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// parallelRows splits rows [0, n) across workers and runs fn(lo, hi) on each
+// chunk, or inline when the work is small.
+func parallelRows(n int, flopsPerRow int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n*flopsPerRow < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes dst = a·b.  Shapes: a is n×k, b is k×m, dst is n×m.  dst
+// must not alias a or b.  The kernel iterates in i-k-j order so the inner
+// loop streams both b and dst rows sequentially, and parallelizes over rows
+// of a.
+func MatMul(dst, a, b *Mat) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic("tensor: MatMul shape mismatch")
+	}
+	n, k, m := a.R, a.C, b.C
+	parallelRows(n, k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst.A[i*m : (i+1)*m]
+			for j := range di {
+				di[j] = 0
+			}
+			ai := a.A[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.A[p*m : (p+1)*m]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulBT computes dst = a·bᵀ.  Shapes: a is n×k, b is m×k, dst is n×m.
+// This orientation has unit-stride inner loops for both operands, making it
+// the fastest kernel; attention scores (Q·Kᵀ) and input gradients (dY·Wᵀ)
+// use it.
+func MatMulBT(dst, a, b *Mat) {
+	if a.C != b.C || dst.R != a.R || dst.C != b.R {
+		panic("tensor: MatMulBT shape mismatch")
+	}
+	n, k, m := a.R, a.C, b.R
+	parallelRows(n, k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.A[i*k : (i+1)*k]
+			di := dst.A[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				bj := b.A[j*k : (j+1)*k]
+				var sum float32
+				for p, av := range ai {
+					sum += av * bj[p]
+				}
+				di[j] = sum
+			}
+		}
+	})
+}
+
+// MatMulAT computes dst = aᵀ·b.  Shapes: a is k×n, b is k×m, dst is n×m.
+// Weight gradients (Xᵀ·dY) use it.  Parallelizes over rows of dst (columns
+// of a) so workers never write the same destination row.
+func MatMulAT(dst, a, b *Mat) {
+	if a.R != b.R || dst.R != a.C || dst.C != b.C {
+		panic("tensor: MatMulAT shape mismatch")
+	}
+	k, n, m := a.R, a.C, b.C
+	parallelRows(n, k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst.A[i*m : (i+1)*m]
+			for j := range di {
+				di[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := a.A[p*n+i]
+				if av == 0 {
+					continue
+				}
+				bp := b.A[p*m : (p+1)*m]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// matMulNaive is the reference triple loop used by tests and the kernel
+// ablation benchmark.
+func matMulNaive(dst, a, b *Mat) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic("tensor: matMulNaive shape mismatch")
+	}
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < b.C; j++ {
+			var sum float32
+			for p := 0; p < a.C; p++ {
+				sum += a.At(i, p) * b.At(p, j)
+			}
+			dst.Set(i, j, sum)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import "math"
+
+// SoftmaxRows applies a numerically stable softmax to every row of m in
+// place.
+func SoftmaxRows(m *Mat) {
+	for i := 0; i < m.R; i++ {
+		SoftmaxInPlace(m.Row(i))
+	}
+}
+
+// SoftmaxInPlace applies a numerically stable softmax to the slice in place.
+func SoftmaxInPlace(v []float32) {
+	if len(v) == 0 {
+		return
+	}
+	maxV := v[0]
+	for _, x := range v[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var sum float32
+	for i, x := range v {
+		e := float32(math.Exp(float64(x - maxV)))
+		v[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// LogSumExp returns log(sum(exp(v))) computed stably.
+func LogSumExp(v []float32) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	maxV := v[0]
+	for _, x := range v[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var sum float64
+	for _, x := range v {
+		sum += math.Exp(float64(x - maxV))
+	}
+	return float64(maxV) + math.Log(sum)
+}
+
+// GELU applies the Gaussian Error Linear Unit (tanh approximation, the one
+// BERT uses) element-wise, writing outputs to dst and returning them.  dst
+// may alias src.
+func GELU(dst, src []float32) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, x := range src {
+		x64 := float64(x)
+		dst[i] = float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+	}
+}
+
+// GELUBackward computes dx = dy * gelu'(x) element-wise into dx.
+func GELUBackward(dx, dy, x []float32) {
+	const c = 0.7978845608028654
+	for i, xi := range x {
+		x64 := float64(xi)
+		u := c * (x64 + 0.044715*x64*x64*x64)
+		t := math.Tanh(u)
+		du := c * (1 + 3*0.044715*x64*x64)
+		g := 0.5*(1+t) + 0.5*x64*(1-t*t)*du
+		dx[i] = dy[i] * float32(g)
+	}
+}
+
+// LayerNormForward normalizes each row of x to zero mean and unit variance,
+// then applies the learned gain g and bias b.  It writes the normalized
+// pre-gain values to xhat (needed by the backward pass) and the final output
+// to y.  eps guards the variance.
+func LayerNormForward(y, xhat, x *Mat, g, b []float32, eps float32) {
+	if y.R != x.R || y.C != x.C || xhat.R != x.R || xhat.C != x.C || len(g) != x.C || len(b) != x.C {
+		panic("tensor: LayerNormForward shape mismatch")
+	}
+	for i := 0; i < x.R; i++ {
+		xi := x.Row(i)
+		var mean float32
+		for _, v := range xi {
+			mean += v
+		}
+		mean /= float32(len(xi))
+		var variance float32
+		for _, v := range xi {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float32(len(xi))
+		inv := 1 / float32(math.Sqrt(float64(variance+eps)))
+		xh := xhat.Row(i)
+		yi := y.Row(i)
+		for j, v := range xi {
+			h := (v - mean) * inv
+			xh[j] = h
+			yi[j] = h*g[j] + b[j]
+		}
+	}
+}
+
+// LayerNormBackward computes gradients for a layer-norm layer.  dy is the
+// upstream gradient, xhat the normalized activations saved by the forward
+// pass, x the original input.  It writes dx and accumulates into dg and db.
+func LayerNormBackward(dx, dy, xhat, x *Mat, g []float32, dg, db []float32, eps float32) {
+	n := float32(x.C)
+	for i := 0; i < x.R; i++ {
+		xi := x.Row(i)
+		var mean float32
+		for _, v := range xi {
+			mean += v
+		}
+		mean /= n
+		var variance float32
+		for _, v := range xi {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= n
+		inv := 1 / float32(math.Sqrt(float64(variance+eps)))
+
+		dyi := dy.Row(i)
+		xh := xhat.Row(i)
+		dxi := dx.Row(i)
+
+		// dg, db accumulation and the two reduction terms of the dx formula.
+		var sumDyG, sumDyGXhat float32
+		for j := range dyi {
+			dg[j] += dyi[j] * xh[j]
+			db[j] += dyi[j]
+			dyg := dyi[j] * g[j]
+			sumDyG += dyg
+			sumDyGXhat += dyg * xh[j]
+		}
+		for j := range dxi {
+			dyg := dyi[j] * g[j]
+			dxi[j] = inv * (dyg - sumDyG/n - xh[j]*sumDyGXhat/n)
+		}
+	}
+}

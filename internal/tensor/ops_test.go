@@ -1,0 +1,225 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSoftmaxInPlace(t *testing.T) {
+	v := []float32{1, 2, 3}
+	SoftmaxInPlace(v)
+	var sum float32
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Error("softmax must preserve order")
+		}
+	}
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(float64(sum)-1) > 1e-6 {
+		t.Errorf("softmax sum = %f, want 1", sum)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	// Large logits must not overflow.
+	v := []float32{1000, 1001, 1002}
+	SoftmaxInPlace(v)
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatal("softmax overflowed on large logits")
+		}
+	}
+	SoftmaxInPlace(nil) // must not panic
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 3, 2, 1})
+	SoftmaxRows(m)
+	for i := 0; i < 2; i++ {
+		var sum float32
+		for _, x := range m.Row(i) {
+			sum += x
+		}
+		if math.Abs(float64(sum)-1) > 1e-6 {
+			t.Errorf("row %d sum = %f", i, sum)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float32{0, 0})
+	if math.Abs(got-math.Log(2)) > 1e-6 {
+		t.Errorf("LogSumExp([0,0]) = %f, want ln2", got)
+	}
+	// Stability for huge values.
+	got = LogSumExp([]float32{1e4, 1e4})
+	if math.Abs(got-(1e4+math.Log(2))) > 1e-2 {
+		t.Errorf("LogSumExp stability: got %f", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) must be -Inf")
+	}
+}
+
+func TestGELUValues(t *testing.T) {
+	x := []float32{-3, -1, 0, 1, 3}
+	y := make([]float32, len(x))
+	GELU(y, x)
+	// gelu(0)=0; gelu is close to identity for large positive x; close to 0
+	// for large negative x; gelu(1) ≈ 0.8412.
+	if y[2] != 0 {
+		t.Errorf("gelu(0) = %f", y[2])
+	}
+	if math.Abs(float64(y[3])-0.8412) > 0.01 {
+		t.Errorf("gelu(1) = %f, want ~0.8412", y[3])
+	}
+	if math.Abs(float64(y[4])-3) > 0.01 {
+		t.Errorf("gelu(3) = %f, want ~3", y[4])
+	}
+	if math.Abs(float64(y[0])) > 0.01 {
+		t.Errorf("gelu(-3) = %f, want ~0", y[0])
+	}
+}
+
+func TestGELUBackwardNumerical(t *testing.T) {
+	// Check the analytic derivative against central finite differences.
+	xs := []float32{-2, -0.5, 0, 0.3, 1.7}
+	dy := []float32{1, 1, 1, 1, 1}
+	dx := make([]float32, len(xs))
+	GELUBackward(dx, dy, xs)
+	const h = 1e-3
+	for i, x := range xs {
+		lo := []float32{x - h}
+		hi := []float32{x + h}
+		ylo := make([]float32, 1)
+		yhi := make([]float32, 1)
+		GELU(ylo, lo)
+		GELU(yhi, hi)
+		num := (float64(yhi[0]) - float64(ylo[0])) / (2 * h)
+		if math.Abs(num-float64(dx[i])) > 1e-3 {
+			t.Errorf("gelu'(%f): analytic %f vs numeric %f", x, dx[i], num)
+		}
+	}
+}
+
+func TestLayerNormForward(t *testing.T) {
+	x := FromSlice(1, 4, []float32{1, 2, 3, 4})
+	y := NewMat(1, 4)
+	xhat := NewMat(1, 4)
+	g := []float32{1, 1, 1, 1}
+	b := []float32{0, 0, 0, 0}
+	LayerNormForward(y, xhat, x, g, b, 1e-5)
+	var mean, sq float64
+	for _, v := range y.Row(0) {
+		mean += float64(v)
+	}
+	mean /= 4
+	for _, v := range y.Row(0) {
+		sq += (float64(v) - mean) * (float64(v) - mean)
+	}
+	if math.Abs(mean) > 1e-5 {
+		t.Errorf("normalized mean = %f", mean)
+	}
+	if math.Abs(sq/4-1) > 1e-3 {
+		t.Errorf("normalized variance = %f", sq/4)
+	}
+	// Gain and bias must be applied.
+	g2 := []float32{2, 2, 2, 2}
+	b2 := []float32{1, 1, 1, 1}
+	y2 := NewMat(1, 4)
+	LayerNormForward(y2, xhat, x, g2, b2, 1e-5)
+	for j := 0; j < 4; j++ {
+		want := y.At(0, j)*2 + 1
+		if math.Abs(float64(y2.At(0, j)-want)) > 1e-5 {
+			t.Errorf("gain/bias not applied at %d", j)
+		}
+	}
+}
+
+func TestLayerNormBackwardNumerical(t *testing.T) {
+	// Compare the analytic layer-norm input gradient against finite
+	// differences of a scalar loss L = sum(w ⊙ y).
+	rng := NewRNG(11)
+	const n = 6
+	x := NewMat(2, n)
+	NormalInit(x, 1, rng)
+	g := make([]float32, n)
+	b := make([]float32, n)
+	w := NewMat(2, n) // loss weights = upstream gradient
+	for j := 0; j < n; j++ {
+		g[j] = 1 + float32(j)*0.1
+		b[j] = float32(j) * 0.05
+	}
+	NormalInit(w, 1, rng)
+
+	loss := func(x *Mat) float64 {
+		y := NewMat(2, n)
+		xh := NewMat(2, n)
+		LayerNormForward(y, xh, x, g, b, 1e-5)
+		var sum float64
+		for i := range y.A {
+			sum += float64(y.A[i]) * float64(w.A[i])
+		}
+		return sum
+	}
+
+	y := NewMat(2, n)
+	xhat := NewMat(2, n)
+	LayerNormForward(y, xhat, x, g, b, 1e-5)
+	dx := NewMat(2, n)
+	dg := make([]float32, n)
+	db := make([]float32, n)
+	LayerNormBackward(dx, w, xhat, x, g, dg, db, 1e-5)
+
+	const h = 1e-2
+	for i := range x.A {
+		orig := x.A[i]
+		x.A[i] = orig + h
+		up := loss(x)
+		x.A[i] = orig - h
+		down := loss(x)
+		x.A[i] = orig
+		num := (up - down) / (2 * h)
+		if math.Abs(num-float64(dx.A[i])) > 5e-2 {
+			t.Errorf("dx[%d]: analytic %f vs numeric %f", i, dx.A[i], num)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(p) = sum((p - target)^2); Adam should drive p to target.
+	target := []float32{3, -2, 0.5, 7}
+	p := NewMat(1, 4)
+	g := NewMat(1, 4)
+	opt := NewAdam(0.1)
+	opt.WeightDecay = 0
+	for step := 0; step < 2000; step++ {
+		for j := range p.A {
+			g.A[j] = 2 * (p.A[j] - target[j])
+		}
+		opt.Step([]*Mat{p}, []*Mat{g})
+	}
+	for j := range p.A {
+		if math.Abs(float64(p.A[j]-target[j])) > 0.01 {
+			t.Errorf("param %d = %f, want %f", j, p.A[j], target[j])
+		}
+	}
+	if opt.StepCount() != 2000 {
+		t.Errorf("StepCount = %d", opt.StepCount())
+	}
+}
+
+func TestAdamClipNorm(t *testing.T) {
+	p := NewMat(1, 2)
+	g := FromSlice(1, 2, []float32{30, 40}) // norm 50
+	opt := NewAdam(0.001)
+	opt.ClipNorm = 5
+	opt.Step([]*Mat{p}, []*Mat{g})
+	// Gradient must have been scaled in place to norm 5.
+	norm := math.Hypot(float64(g.A[0]), float64(g.A[1]))
+	if math.Abs(norm-5) > 1e-4 {
+		t.Errorf("clipped gradient norm = %f, want 5", norm)
+	}
+}

@@ -1,0 +1,83 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*),
+// self-contained so that weight initialization and masking are reproducible
+// bit-for-bit across runs and platforms.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// nonzero constant, since xorshift cannot leave the zero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).  It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// XavierInit fills m with zero-mean normal values scaled by
+// sqrt(2/(fanIn+fanOut)), the initialization BERT-family models use for
+// projection weights.
+func XavierInit(m *Mat, rng *RNG) {
+	std := math.Sqrt(2 / float64(m.R+m.C))
+	for i := range m.A {
+		m.A[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// NormalInit fills m with zero-mean normal values with the given standard
+// deviation (BERT uses 0.02 for embeddings).
+func NormalInit(m *Mat, std float64, rng *RNG) {
+	for i := range m.A {
+		m.A[i] = float32(rng.NormFloat64() * std)
+	}
+}

@@ -1,0 +1,65 @@
+package trajgen
+
+import (
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+)
+
+// Profile bundles a synthetic city with a trajectory workload, standing in
+// for one of the paper's two evaluation datasets (§8).  The two profiles
+// preserve the datasets' contrasting shapes: Porto has many short
+// trajectories over a dense street grid; Jakarta has far fewer but roughly
+// 20× longer trajectories over a wider-spaced network — the property the
+// paper credits for KAMEL's stronger relative performance there.
+type Profile struct {
+	Name      string
+	City      roadnet.CityConfig
+	Traffic   Config
+	OriginLat float64
+	OriginLng float64
+}
+
+// PortoLike returns the dense-city / short-trip profile.  scale multiplies
+// the trip count (1.0 = the harness default).
+func PortoLike(scale float64) Profile {
+	t := DefaultConfig(int(300 * scale))
+	t.MinTripMeters = 900
+	t.Seed = 11
+	return Profile{
+		Name: "porto-like",
+		City: roadnet.CityConfig{
+			Width: 3000, Height: 3000,
+			BlockSpacing: 250, SegLen: 50,
+			CurvedRoads: 3, Roundabouts: 2, Overpasses: 1,
+			Seed: 21,
+		},
+		Traffic:   t,
+		OriginLat: 41.15, OriginLng: -8.61,
+	}
+}
+
+// JakartaLike returns the wide-city / long-trip profile.
+func JakartaLike(scale float64) Profile {
+	t := DefaultConfig(int(60 * scale))
+	t.MinTripMeters = 4000
+	t.Seed = 13
+	return Profile{
+		Name: "jakarta-like",
+		City: roadnet.CityConfig{
+			Width: 4000, Height: 4000,
+			BlockSpacing: 400, SegLen: 50,
+			CurvedRoads: 4, Roundabouts: 3, Overpasses: 1,
+			Seed: 23,
+		},
+		Traffic:   t,
+		OriginLat: -6.2, OriginLng: 106.8,
+	}
+}
+
+// Materialize generates the profile's network, projection and trajectories.
+func (p Profile) Materialize() (*roadnet.Network, *geo.Projection, []geo.Trajectory, error) {
+	net := roadnet.GenerateCity(p.City)
+	proj := geo.NewProjection(p.OriginLat, p.OriginLng)
+	trajs, err := Generate(net, proj, p.Traffic)
+	return net, proj, trajs, err
+}

@@ -1,0 +1,169 @@
+package trajgen
+
+import (
+	"math"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+)
+
+func testSetup() (*roadnet.Network, *geo.Projection) {
+	cfg := roadnet.DefaultCityConfig()
+	cfg.Width, cfg.Height = 1500, 1500
+	net := roadnet.GenerateCity(cfg)
+	return net, geo.NewProjection(41.15, -8.61)
+}
+
+func TestGenerateBasics(t *testing.T) {
+	net, proj := testSetup()
+	cfg := DefaultConfig(10)
+	trajs, err := Generate(net, proj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajs) != 10 {
+		t.Fatalf("got %d trajectories", len(trajs))
+	}
+	ids := map[string]bool{}
+	for _, tr := range trajs {
+		if ids[tr.ID] {
+			t.Errorf("duplicate trajectory ID %s", tr.ID)
+		}
+		ids[tr.ID] = true
+		if len(tr.Points) < 10 {
+			t.Errorf("trajectory %s has only %d points", tr.ID, len(tr.Points))
+		}
+		if tr.LengthMeters() < cfg.MinTripMeters*0.8 {
+			t.Errorf("trajectory %s is %fm, want >= ~%fm", tr.ID, tr.LengthMeters(), cfg.MinTripMeters)
+		}
+		// Timestamps strictly increase by the sample period.
+		for i := 1; i < len(tr.Points); i++ {
+			dt := tr.Points[i].T - tr.Points[i-1].T
+			if math.Abs(dt-cfg.SamplePeriodS) > 1e-9 {
+				t.Fatalf("trajectory %s: sample interval %f", tr.ID, dt)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	net, proj := testSetup()
+	a, _ := Generate(net, proj, DefaultConfig(5))
+	b, _ := Generate(net, proj, DefaultConfig(5))
+	for i := range a {
+		if len(a[i].Points) != len(b[i].Points) {
+			t.Fatal("same seed must generate the same trajectories")
+		}
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				t.Fatal("point mismatch between identical seeds")
+			}
+		}
+	}
+}
+
+func TestGenerateStaysNearNetwork(t *testing.T) {
+	net, proj := testSetup()
+	cfg := DefaultConfig(5)
+	cfg.GPSNoiseMeters = 3
+	trajs, _ := Generate(net, proj, cfg)
+	for _, tr := range trajs {
+		for _, p := range tr.Points {
+			xy := proj.ToXY(p)
+			if _, d, ok := net.NearestEdge(xy); !ok || d > 20 {
+				t.Fatalf("point %v is %fm from any road", p, d)
+			}
+		}
+	}
+}
+
+func TestGenerateSpeedRealism(t *testing.T) {
+	net, proj := testSetup()
+	cfg := DefaultConfig(5)
+	cfg.GPSNoiseMeters = 0
+	trajs, _ := Generate(net, proj, cfg)
+	for _, tr := range trajs {
+		speed := tr.LengthMeters() / tr.Duration()
+		lo := cfg.SpeedMPS * (1 - cfg.SpeedJitter) * 0.9
+		hi := cfg.SpeedMPS * (1 + cfg.SpeedJitter) * 1.1
+		if speed < lo || speed > hi {
+			t.Errorf("trajectory %s average speed %f outside [%f,%f]", tr.ID, speed, lo, hi)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	net, proj := testSetup()
+	if _, err := Generate(&roadnet.Network{}, proj, DefaultConfig(1)); err == nil {
+		t.Error("empty network must error")
+	}
+	bad := DefaultConfig(0)
+	if _, err := Generate(net, proj, bad); err == nil {
+		t.Error("zero trips must error")
+	}
+	impossible := DefaultConfig(1)
+	impossible.MinTripMeters = 1e9
+	if _, err := Generate(net, proj, impossible); err == nil {
+		t.Error("unsatisfiable trip length must error")
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	trajs := make([]geo.Trajectory, 100)
+	for i := range trajs {
+		trajs[i].ID = string(rune('a' + i%26))
+	}
+	train, test := SplitTrainTest(trajs, 0.8, 1)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	// Deterministic.
+	train2, _ := SplitTrainTest(trajs, 0.8, 1)
+	for i := range train {
+		if train[i].ID != train2[i].ID {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestProfilesMaterialize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile materialization is slow")
+	}
+	for _, p := range []Profile{PortoLike(0.05), JakartaLike(0.1)} {
+		net, proj, trajs, err := p.Materialize()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if net.NumNodes() == 0 || proj == nil || len(trajs) == 0 {
+			t.Fatalf("%s: empty materialization", p.Name)
+		}
+	}
+}
+
+func TestProfileContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile materialization is slow")
+	}
+	// The jakarta-like profile must have much longer trajectories than the
+	// porto-like one — the dataset property §8.1 highlights.
+	_, _, porto, err := PortoLike(0.05).Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, jakarta, err := JakartaLike(0.1).Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(ts []geo.Trajectory) float64 {
+		var sum float64
+		for _, tr := range ts {
+			sum += float64(len(tr.Points))
+		}
+		return sum / float64(len(ts))
+	}
+	if avg(jakarta) < 2*avg(porto) {
+		t.Errorf("jakarta avg %f points vs porto %f: contrast too weak", avg(jakarta), avg(porto))
+	}
+}

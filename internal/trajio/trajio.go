@@ -1,0 +1,63 @@
+// Package trajio reads and writes trajectories as JSON Lines, the
+// interchange format of the command-line tools and examples: one JSON object
+// per line with an id and an array of [lat, lng, unixSeconds] points.
+package trajio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kamel/internal/geo"
+)
+
+// record is the wire form of one trajectory.
+type record struct {
+	ID     string       `json:"id"`
+	Points [][3]float64 `json:"points"`
+}
+
+// Write emits trajectories as JSON Lines.
+func Write(w io.Writer, trajs []geo.Trajectory) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tr := range trajs {
+		rec := record{ID: tr.ID, Points: make([][3]float64, len(tr.Points))}
+		for i, p := range tr.Points {
+			rec.Points[i] = [3]float64{p.Lat, p.Lng, p.T}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trajio: encoding %q: %w", tr.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses JSON Lines trajectories until EOF.
+func Read(r io.Reader) ([]geo.Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var out []geo.Trajectory
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trajio: line %d: %w", line, err)
+		}
+		tr := geo.Trajectory{ID: rec.ID, Points: make([]geo.Point, len(rec.Points))}
+		for i, p := range rec.Points {
+			tr.Points[i] = geo.Point{Lat: p[0], Lng: p[1], T: p[2]}
+		}
+		out = append(out, tr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trajio: scanning: %w", err)
+	}
+	return out, nil
+}

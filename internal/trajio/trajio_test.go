@@ -1,0 +1,60 @@
+package trajio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kamel/internal/geo"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []geo.Trajectory{
+		{ID: "a", Points: []geo.Point{{Lat: 41.1, Lng: -8.6, T: 1}, {Lat: 41.2, Lng: -8.5, T: 2}}},
+		{ID: "b", Points: []geo.Point{{Lat: -6.2, Lng: 106.8, T: 100}}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d trajectories", len(out))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || len(out[i].Points) != len(in[i].Points) {
+			t.Fatalf("trajectory %d mismatch", i)
+		}
+		for j := range in[i].Points {
+			if out[i].Points[j] != in[i].Points[j] {
+				t.Errorf("point %d/%d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	src := `{"id":"x","points":[[1,2,3]]}
+
+{"id":"y","points":[[4,5,6]]}
+`
+	out, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("got %d trajectories, want 2", len(out))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage must be rejected")
+	}
+	if out, err := Read(strings.NewReader("")); err != nil || len(out) != 0 {
+		t.Error("empty input must be empty, not an error")
+	}
+}

@@ -1,0 +1,186 @@
+// Package vocab maps grid cells (KAMEL's spatial tokens, paper §3) to the
+// dense integer IDs a BERT model consumes, mirroring the word-piece
+// vocabulary of the original BERT.  It also tracks token frequencies, which
+// quantify the paper's "training data factor" — the average number of times
+// each token appears in the training set — the very statistic Tokenization
+// exists to raise.
+package vocab
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"kamel/internal/grid"
+)
+
+// Special token IDs.  They occupy the first slots of every vocabulary, as in
+// BERT's word-piece vocabularies.
+const (
+	PAD  = 0 // padding
+	UNK  = 1 // cell never seen in training
+	CLS  = 2 // sequence start
+	SEP  = 3 // sequence end
+	MASK = 4 // the masked-token placeholder BERT predicts at
+	// NumSpecial is the number of reserved IDs.
+	NumSpecial = 5
+)
+
+// Vocab is a bidirectional mapping between grid cells and token IDs plus
+// per-token training-frequency counts.  It is not safe for concurrent
+// mutation; build it single-threaded, then share it read-only.
+type Vocab struct {
+	idOf   map[grid.Cell]int
+	cellOf []grid.Cell // index = id - NumSpecial
+	counts []uint64    // parallel to cellOf
+}
+
+// New returns an empty vocabulary containing only the special tokens.
+func New() *Vocab {
+	return &Vocab{idOf: make(map[grid.Cell]int)}
+}
+
+// Size returns the total number of token IDs, including the specials.
+func (v *Vocab) Size() int { return NumSpecial + len(v.cellOf) }
+
+// Add registers an occurrence of the cell, creating an ID on first sight,
+// and returns the cell's token ID.
+func (v *Vocab) Add(c grid.Cell) int {
+	id, ok := v.idOf[c]
+	if !ok {
+		id = NumSpecial + len(v.cellOf)
+		v.idOf[c] = id
+		v.cellOf = append(v.cellOf, c)
+		v.counts = append(v.counts, 0)
+	}
+	v.counts[id-NumSpecial]++
+	return id
+}
+
+// ID returns the token ID for the cell, or UNK if the cell was never added.
+func (v *Vocab) ID(c grid.Cell) int {
+	if id, ok := v.idOf[c]; ok {
+		return id
+	}
+	return UNK
+}
+
+// Cell returns the cell for a token ID.  The second result is false for
+// special tokens and out-of-range IDs, which do not correspond to any cell.
+func (v *Vocab) Cell(id int) (grid.Cell, bool) {
+	i := id - NumSpecial
+	if i < 0 || i >= len(v.cellOf) {
+		return 0, false
+	}
+	return v.cellOf[i], true
+}
+
+// Count returns how many times the cell behind the token ID occurred in
+// training data, or 0 for specials/unknown IDs.
+func (v *Vocab) Count(id int) uint64 {
+	i := id - NumSpecial
+	if i < 0 || i >= len(v.counts) {
+		return 0
+	}
+	return v.counts[i]
+}
+
+// TotalCount returns the total number of token occurrences added.
+func (v *Vocab) TotalCount() uint64 {
+	var sum uint64
+	for _, c := range v.counts {
+		sum += c
+	}
+	return sum
+}
+
+// TrainingDataFactor returns the average number of occurrences per distinct
+// token — the paper's challenge-2 statistic (§1).  Zero for an empty
+// vocabulary.
+func (v *Vocab) TrainingDataFactor() float64 {
+	if len(v.cellOf) == 0 {
+		return 0
+	}
+	return float64(v.TotalCount()) / float64(len(v.cellOf))
+}
+
+// TopK returns the k most frequent token IDs in descending count order.
+func (v *Vocab) TopK(k int) []int {
+	ids := make([]int, len(v.cellOf))
+	for i := range ids {
+		ids[i] = NumSpecial + i
+	}
+	sort.Slice(ids, func(a, b int) bool { return v.Count(ids[a]) > v.Count(ids[b]) })
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// serialization format:
+//   magic "KVOC" | u32 version | u64 numCells | numCells × (i64 cell, u64 count)
+
+const (
+	magic   = "KVOC"
+	version = 1
+)
+
+// WriteTo serializes the vocabulary.  The cell order (and therefore the ID
+// assignment) is preserved exactly.
+func (v *Vocab) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if _, err := bw.WriteString(magic); err != nil {
+		return n, err
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], version)
+	bw.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(v.cellOf)))
+	bw.Write(scratch[:])
+	for i, c := range v.cellOf {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(c))
+		bw.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], v.counts[i])
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return n, err
+		}
+	}
+	n = int64(4 + 4 + 8 + 16*len(v.cellOf))
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a vocabulary previously written by WriteTo,
+// replacing the receiver's contents.
+func (v *Vocab) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+4+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, fmt.Errorf("vocab: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return 0, fmt.Errorf("vocab: bad magic %q", head[:4])
+	}
+	if ver := binary.LittleEndian.Uint32(head[4:8]); ver != version {
+		return 0, fmt.Errorf("vocab: unsupported version %d", ver)
+	}
+	num := binary.LittleEndian.Uint64(head[8:16])
+	v.idOf = make(map[grid.Cell]int, num)
+	v.cellOf = make([]grid.Cell, 0, num)
+	v.counts = make([]uint64, 0, num)
+	rec := make([]byte, 16)
+	for i := uint64(0); i < num; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return 0, fmt.Errorf("vocab: reading record %d: %w", i, err)
+		}
+		c := grid.Cell(binary.LittleEndian.Uint64(rec[:8]))
+		cnt := binary.LittleEndian.Uint64(rec[8:16])
+		id := NumSpecial + len(v.cellOf)
+		v.idOf[c] = id
+		v.cellOf = append(v.cellOf, c)
+		v.counts = append(v.counts, cnt)
+	}
+	return int64(16 + 16*num), nil
+}

@@ -1,0 +1,165 @@
+package vocab
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"kamel/internal/grid"
+)
+
+func TestSpecialsReserved(t *testing.T) {
+	v := New()
+	if v.Size() != NumSpecial {
+		t.Fatalf("empty vocab size = %d, want %d", v.Size(), NumSpecial)
+	}
+	id := v.Add(grid.Cell(42))
+	if id != NumSpecial {
+		t.Errorf("first cell got id %d, want %d", id, NumSpecial)
+	}
+	if _, ok := v.Cell(MASK); ok {
+		t.Error("special IDs must not map to cells")
+	}
+}
+
+func TestAddIdempotentID(t *testing.T) {
+	v := New()
+	a := v.Add(grid.Cell(7))
+	b := v.Add(grid.Cell(7))
+	if a != b {
+		t.Error("same cell must keep the same ID")
+	}
+	if v.Count(a) != 2 {
+		t.Errorf("count = %d, want 2", v.Count(a))
+	}
+	if v.Size() != NumSpecial+1 {
+		t.Errorf("size = %d", v.Size())
+	}
+}
+
+func TestIDUnknownCell(t *testing.T) {
+	v := New()
+	v.Add(grid.Cell(1))
+	if got := v.ID(grid.Cell(999)); got != UNK {
+		t.Errorf("unknown cell ID = %d, want UNK", got)
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	v := New()
+	cells := []grid.Cell{10, -5, 1 << 40, 0}
+	for _, c := range cells {
+		id := v.Add(c)
+		got, ok := v.Cell(id)
+		if !ok || got != c {
+			t.Errorf("Cell(%d) = %v,%v, want %v", id, got, ok, c)
+		}
+		if v.ID(c) != id {
+			t.Errorf("ID(%v) = %d, want %d", c, v.ID(c), id)
+		}
+	}
+}
+
+func TestTrainingDataFactor(t *testing.T) {
+	v := New()
+	if v.TrainingDataFactor() != 0 {
+		t.Error("empty vocab factor must be 0")
+	}
+	// 2 distinct cells, 6 total occurrences => factor 3.
+	for i := 0; i < 4; i++ {
+		v.Add(grid.Cell(1))
+	}
+	for i := 0; i < 2; i++ {
+		v.Add(grid.Cell(2))
+	}
+	if got := v.TrainingDataFactor(); got != 3 {
+		t.Errorf("factor = %f, want 3", got)
+	}
+	if v.TotalCount() != 6 {
+		t.Errorf("total = %d, want 6", v.TotalCount())
+	}
+}
+
+func TestTopK(t *testing.T) {
+	v := New()
+	for i := 0; i < 5; i++ {
+		v.Add(grid.Cell(100))
+	}
+	for i := 0; i < 3; i++ {
+		v.Add(grid.Cell(200))
+	}
+	v.Add(grid.Cell(300))
+	top := v.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d ids", len(top))
+	}
+	if c, _ := v.Cell(top[0]); c != 100 {
+		t.Errorf("top token is %v, want cell 100", c)
+	}
+	if c, _ := v.Cell(top[1]); c != 200 {
+		t.Errorf("second token is %v, want cell 200", c)
+	}
+	if got := v.TopK(100); len(got) != 3 {
+		t.Errorf("TopK over size returned %d", len(got))
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	v := New()
+	for i := 0; i < 1000; i++ {
+		v.Add(grid.Cell(i % 137))
+	}
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	if _, err := w.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != v.Size() {
+		t.Fatalf("size mismatch: %d vs %d", w.Size(), v.Size())
+	}
+	for id := NumSpecial; id < v.Size(); id++ {
+		vc, _ := v.Cell(id)
+		wc, _ := w.Cell(id)
+		if vc != wc {
+			t.Errorf("id %d: cell %v vs %v", id, vc, wc)
+		}
+		if v.Count(id) != w.Count(id) {
+			t.Errorf("id %d: count %d vs %d", id, v.Count(id), w.Count(id))
+		}
+	}
+}
+
+func TestSerializationRejectsGarbage(t *testing.T) {
+	w := New()
+	if _, err := w.ReadFrom(bytes.NewReader([]byte("NOPE00000000000000"))); err == nil {
+		t.Error("bad magic must be rejected")
+	}
+	if _, err := w.ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must be rejected")
+	}
+}
+
+func TestVocabProperty(t *testing.T) {
+	// Adding any multiset of cells: every added cell resolves back to a
+	// unique ID and the total count equals the number of Adds.
+	f := func(raw []int16) bool {
+		v := New()
+		for _, r := range raw {
+			v.Add(grid.Cell(r))
+		}
+		distinct := map[grid.Cell]bool{}
+		for _, r := range raw {
+			distinct[grid.Cell(r)] = true
+		}
+		if v.Size() != NumSpecial+len(distinct) {
+			return false
+		}
+		return v.TotalCount() == uint64(len(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

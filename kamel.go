@@ -1,0 +1,226 @@
+// Package kamel is the public API of this repository: a from-scratch Go
+// implementation of KAMEL, the scalable BERT-based trajectory imputation
+// system of Musleh & Mokbel (PVLDB 17(3), 2023; demonstrated at SIGMOD
+// 2023).  KAMEL inserts realistic points into sparse GPS trajectories
+// without any road-network input, by treating trajectories as sentences over
+// spatial tokens and asking a BERT masked-language model to fill the gaps.
+//
+// Quickstart:
+//
+//	sys, err := kamel.Open(kamel.DefaultConfig("/tmp/kamel"))
+//	...
+//	err = sys.Train(trainingTrajectories)      // offline: builds BERT models
+//	dense, stats, err := sys.Impute(sparse)    // online: fills the gaps
+//
+// See the examples/ directory for runnable end-to-end programs, DESIGN.md
+// for the architecture, and EXPERIMENTS.md for the paper-reproduction
+// results.
+package kamel
+
+import (
+	"context"
+	"fmt"
+
+	"kamel/internal/baseline"
+	"kamel/internal/core"
+	"kamel/internal/geo"
+)
+
+// Point is a GPS reading: WGS84 coordinates plus a Unix-seconds timestamp
+// (0 when unknown; timestamps power the speed constraints of paper §5.1).
+type Point struct {
+	Lat  float64
+	Lng  float64
+	Time float64
+}
+
+// Trajectory is an ordered sequence of points from one moving object.
+type Trajectory struct {
+	ID     string
+	Points []Point
+}
+
+// Stats reports per-call imputation accounting: how many gaps were processed
+// and how many fell back to a straight line (the paper's failure rate, §8).
+type Stats struct {
+	Segments int
+	Failures int
+}
+
+// FailureRate returns Failures/Segments, or 0 when nothing was processed.
+func (s Stats) FailureRate() float64 {
+	if s.Segments == 0 {
+		return 0
+	}
+	return float64(s.Failures) / float64(s.Segments)
+}
+
+// Strategy selects the multipoint imputation algorithm (paper §6).
+type Strategy = core.Strategy
+
+// Available strategies.
+const (
+	StrategyBeam      = core.StrategyBeam      // bidirectional beam search (default)
+	StrategyIterative = core.StrategyIterative // greedy iterative BERT calling
+)
+
+// Config mirrors the full system configuration; see core.Config for field
+// documentation.  Zero fields are filled with the paper's defaults.
+type Config = core.Config
+
+// DefaultConfig returns the reproduction-scale defaults with the given
+// working directory (where the trajectory store and model repository live).
+func DefaultConfig(workdir string) Config {
+	return core.DefaultConfig(workdir)
+}
+
+// SystemStats summarizes trained state.
+type SystemStats = core.Stats
+
+// System is a deployed KAMEL instance.  Train and Impute are safe for
+// concurrent use; training serializes internally.
+type System struct {
+	inner *core.System
+}
+
+// Open creates a KAMEL system with the given configuration.
+func Open(cfg Config) (*System, error) {
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+// Close releases the system's on-disk resources.
+func (s *System) Close() error { return s.inner.Close() }
+
+// Stats reports the current trained state.
+func (s *System) Stats() SystemStats { return s.inner.SystemStats() }
+
+// Train ingests a batch of training trajectories: stores them durably,
+// updates the spatial model repository, and (re)trains BERT models where the
+// paper's thresholds allow (§4.2).  Training produces no imputation output.
+func (s *System) Train(trajs []Trajectory) error {
+	return s.inner.Train(toInternal(trajs))
+}
+
+// Impute fills the gaps of one sparse trajectory and returns the dense
+// trajectory plus failure accounting.
+func (s *System) Impute(tr Trajectory) (Trajectory, Stats, error) {
+	dense, st, err := s.inner.Impute(toInternalOne(tr))
+	if err != nil {
+		return Trajectory{}, Stats{}, err
+	}
+	return fromInternal(dense), Stats{Segments: st.Segments, Failures: st.Failures}, nil
+}
+
+// StreamResult is one result from the online mode.
+type StreamResult struct {
+	Trajectory Trajectory
+	Stats      Stats
+	Err        error
+}
+
+// ImputeStream runs KAMEL's online mode: trajectories arriving on in are
+// imputed by `workers` goroutines; results appear on the returned channel,
+// which closes when in is drained or ctx is cancelled.
+func (s *System) ImputeStream(ctx context.Context, in <-chan Trajectory, workers int) <-chan StreamResult {
+	innerIn := make(chan geo.Trajectory, workers)
+	go func() {
+		defer close(innerIn)
+		for tr := range in {
+			select {
+			case innerIn <- toInternalOne(tr):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	innerOut := s.inner.ImputeStream(ctx, innerIn, workers)
+	out := make(chan StreamResult, workers)
+	go func() {
+		defer close(out)
+		for res := range innerOut {
+			out <- StreamResult{
+				Trajectory: fromInternal(res.Trajectory),
+				Stats:      Stats{Segments: res.Stats.Segments, Failures: res.Stats.Failures},
+				Err:        res.Err,
+			}
+		}
+	}()
+	return out
+}
+
+// TuneResult is one point of the cell-size auto-tuner's curve (Fig 3d).
+type TuneResult struct {
+	CellEdgeM float64
+	Recall    float64
+	Precision float64
+}
+
+// TuneCellSize implements the auto-tuning module of paper §3.2: it trains
+// throwaway models at each candidate hexagon size on a sample of trajs and
+// returns the size with the best held-out accuracy, plus the full curve.
+func (s *System) TuneCellSize(trajs []Trajectory, sizes []float64, sparseDistM, deltaM float64) (float64, []TuneResult, error) {
+	best, results, err := s.inner.TuneCellSize(toInternal(trajs), sizes, sparseDistM, deltaM)
+	if err != nil {
+		return 0, nil, err
+	}
+	out := make([]TuneResult, len(results))
+	for i, r := range results {
+		out[i] = TuneResult{CellEdgeM: r.CellEdgeM, Recall: r.Recall, Precision: r.Precision}
+	}
+	return best, out, nil
+}
+
+// SaveModels persists the model repository under the work directory so a
+// later process can impute without retraining.
+func (s *System) SaveModels() error { return s.inner.SaveModels() }
+
+// LoadModels restores a repository persisted by SaveModels.
+func (s *System) LoadModels() error { return s.inner.LoadModels() }
+
+// Validate reports problems in a trajectory before feeding it to the
+// system: empty, or non-monotone timestamps.
+func Validate(tr Trajectory) error {
+	if len(tr.Points) == 0 {
+		return fmt.Errorf("kamel: trajectory %q has no points", tr.ID)
+	}
+	for i := 1; i < len(tr.Points); i++ {
+		a, b := tr.Points[i-1], tr.Points[i]
+		if a.Time != 0 && b.Time != 0 && b.Time < a.Time {
+			return fmt.Errorf("kamel: trajectory %q time goes backwards at point %d", tr.ID, i)
+		}
+	}
+	return nil
+}
+
+// conversion helpers between the public mirror types and internal/geo.
+
+func toInternalOne(tr Trajectory) geo.Trajectory {
+	out := geo.Trajectory{ID: tr.ID, Points: make([]geo.Point, len(tr.Points))}
+	for i, p := range tr.Points {
+		out.Points[i] = geo.Point{Lat: p.Lat, Lng: p.Lng, T: p.Time}
+	}
+	return out
+}
+
+func toInternal(trs []Trajectory) []geo.Trajectory {
+	out := make([]geo.Trajectory, len(trs))
+	for i, tr := range trs {
+		out[i] = toInternalOne(tr)
+	}
+	return out
+}
+
+func fromInternal(tr geo.Trajectory) Trajectory {
+	out := Trajectory{ID: tr.ID, Points: make([]Point, len(tr.Points))}
+	for i, p := range tr.Points {
+		out.Points[i] = Point{Lat: p.Lat, Lng: p.Lng, Time: p.T}
+	}
+	return out
+}
+
+// ensure System satisfies the same imputer contract as the baselines.
+var _ = baseline.Imputer(nil)

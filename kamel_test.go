@@ -1,0 +1,139 @@
+package kamel
+
+import (
+	"context"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+// fixtureTrajectories simulates a small city's traffic and converts it to
+// the public types.
+func fixtureTrajectories(t *testing.T) ([]Trajectory, []Trajectory) {
+	t.Helper()
+	cfg := roadnet.DefaultCityConfig()
+	cfg.Width, cfg.Height = 1500, 1500
+	net := roadnet.GenerateCity(cfg)
+	proj := geo.NewProjection(41.15, -8.61)
+	gen := trajgen.DefaultConfig(50)
+	gen.GPSNoiseMeters = 3
+	trajs, err := trajgen.Generate(net, proj, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := trajgen.SplitTrainTest(trajs, 0.8, 1)
+	conv := func(in []geo.Trajectory) []Trajectory {
+		out := make([]Trajectory, len(in))
+		for i, tr := range in {
+			out[i] = Trajectory{ID: tr.ID}
+			for _, p := range tr.Points {
+				out[i].Points = append(out[i].Points, Point{Lat: p.Lat, Lng: p.Lng, Time: p.T})
+			}
+		}
+		return out
+	}
+	return conv(train), conv(test)
+}
+
+func testConfig(t *testing.T) Config {
+	cfg := DefaultConfig(t.TempDir())
+	cfg.DisablePartitioning = true
+	cfg.Hidden, cfg.FFN = 32, 128
+	cfg.Train.Steps = 150
+	cfg.Train.Batch = 12
+	cfg.MaxCalls = 120
+	return cfg
+}
+
+func TestOpenTrainImpute(t *testing.T) {
+	train, test := fixtureTrajectories(t)
+	sys, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if err := sys.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Trajectories != len(train) || st.SingleModels == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+
+	// Sparsify through the public types: drop interior points crudely.
+	sparse := Trajectory{ID: test[0].ID}
+	for i, p := range test[0].Points {
+		if i == 0 || i == len(test[0].Points)-1 || i%60 == 0 {
+			sparse.Points = append(sparse.Points, p)
+		}
+	}
+	dense, stats, err := sys.Impute(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Points) <= len(sparse.Points) {
+		t.Error("imputation must add points")
+	}
+	if stats.Segments == 0 {
+		t.Error("no segments counted")
+	}
+	_ = stats.FailureRate()
+}
+
+func TestImputeStreamPublic(t *testing.T) {
+	train, test := fixtureTrajectories(t)
+	sys, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan Trajectory, 2)
+	in <- test[0]
+	in <- test[1]
+	close(in)
+	n := 0
+	for res := range sys.ImputeStream(context.Background(), in, 2) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("stream returned %d results", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(Trajectory{ID: "empty"}); err == nil {
+		t.Error("empty trajectory must be invalid")
+	}
+	good := Trajectory{ID: "g", Points: []Point{{Lat: 1, Lng: 2, Time: 10}, {Lat: 1.1, Lng: 2, Time: 20}}}
+	if err := Validate(good); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+	bad := Trajectory{ID: "b", Points: []Point{{Time: 20}, {Time: 10}}}
+	if err := Validate(bad); err == nil {
+		t.Error("backwards time must be invalid")
+	}
+}
+
+func TestStatsFailureRate(t *testing.T) {
+	if (Stats{}).FailureRate() != 0 {
+		t.Error("empty stats must report 0")
+	}
+	if got := (Stats{Segments: 4, Failures: 1}).FailureRate(); got != 0.25 {
+		t.Errorf("failure rate %f", got)
+	}
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("missing workdir must be rejected")
+	}
+}
