@@ -1,0 +1,13 @@
+.PHONY: verify test test-short bench
+
+verify: ## gofmt + vet + build + full race-enabled test suite
+	./scripts/verify.sh
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -run '^$$' -bench . -benchmem .

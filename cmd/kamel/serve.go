@@ -1,25 +1,182 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"mime"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"kamel/internal/core"
 	"kamel/internal/geo"
 )
 
-// runServe exposes the demonstration HTTP API of the SIGMOD demo paper: a
-// train endpoint that enriches the models, an impute endpoint that fills
-// gaps, and a stats endpoint for the dashboard.
+// API error codes carried in the structured JSON error body.
+const (
+	codeBadRequest = "bad_request"
+	codeNotTrained = "not_trained"
+	codeInternal   = "internal"
+)
+
+// apiServer wires a KAMEL system to the demonstration HTTP API of the SIGMOD
+// demo paper.  The v1 surface is versioned and batch-first:
+//
+//	POST /v1/train         []{id, points:[[lat,lng,t],...]} → system stats
+//	POST /v1/impute        one trajectory → dense trajectory + accounting
+//	POST /v1/impute/batch  []trajectory → per-trajectory results, in order
+//	GET  /v1/stats         trained-state summary
+//
+// Errors are structured JSON: {"error": "...", "code": "bad_request|
+// not_trained|internal"}.  The pre-versioning /api/* routes remain as
+// deprecated aliases of their /v1 counterparts.  Request contexts flow into
+// the imputation engine, so clients that disconnect (and shutdowns that time
+// out) stop beam search mid-flight instead of burning the call budget.
+type apiServer struct {
+	sys *core.System
+}
+
+// newAPIHandler builds the HTTP routing table; factored out of runServe so
+// tests can drive the full surface through httptest.
+func newAPIHandler(sys *core.System) http.Handler {
+	s := &apiServer{sys: sys}
+	mux := http.NewServeMux()
+	for _, prefix := range []string{"/v1", "/api"} {
+		deprecated := prefix == "/api"
+		mux.Handle(prefix+"/train", s.endpoint(http.MethodPost, deprecated, s.handleTrain))
+		mux.Handle(prefix+"/impute", s.endpoint(http.MethodPost, deprecated, s.handleImpute))
+		mux.Handle(prefix+"/stats", s.endpoint(http.MethodGet, deprecated, s.handleStats))
+	}
+	mux.Handle("/v1/impute/batch", s.endpoint(http.MethodPost, false, s.handleImputeBatch))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, demoPage)
+	})
+	return mux
+}
+
+// endpoint enforces the allowed method (and, for POSTs, a JSON Content-Type)
+// before delegating, and marks the pre-versioning aliases as deprecated.
+func (s *apiServer) endpoint(method string, deprecated bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if deprecated {
+			w.Header().Set("Deprecation", "true")
+		}
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, codeBadRequest, method+" required")
+			return
+		}
+		if method == http.MethodPost && !jsonContentType(r) {
+			writeError(w, http.StatusUnsupportedMediaType, codeBadRequest, "Content-Type must be application/json")
+			return
+		}
+		h(w, r)
+	})
+}
+
+// jsonContentType accepts application/json (with any parameters).  An absent
+// Content-Type is tolerated for curl-friendliness; anything else is not.
+func jsonContentType(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == "application/json"
+}
+
+func (s *apiServer) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var trajs []wireTraj
+	if err := json.NewDecoder(r.Body).Decode(&trajs); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request body: "+err.Error())
+		return
+	}
+	if len(trajs) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty training batch")
+		return
+	}
+	if err := s.sys.TrainContext(r.Context(), fromWire(trajs)); err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	writeJSON(w, s.sys.SystemStats())
+}
+
+func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
+	var tr wireTraj
+	if err := json.NewDecoder(r.Body).Decode(&tr); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request body: "+err.Error())
+		return
+	}
+	dense, stats, err := s.sys.ImputeContext(r.Context(), fromWire([]wireTraj{tr})[0])
+	if err != nil {
+		status, code := imputeErrStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, wireImputeResult{
+		Trajectory: toWirePtr(dense),
+		Segments:   stats.Segments,
+		Failures:   stats.Failures,
+	})
+}
+
+func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
+	var trajs []wireTraj
+	if err := json.NewDecoder(r.Body).Decode(&trajs); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request body: "+err.Error())
+		return
+	}
+	results, err := s.sys.ImputeBatch(r.Context(), fromWire(trajs))
+	if err != nil {
+		status, code := imputeErrStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	items := make([]wireImputeResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			items[i] = wireImputeResult{Error: res.Err.Error()}
+			continue
+		}
+		items[i] = wireImputeResult{
+			Trajectory: toWirePtr(res.Trajectory),
+			Segments:   res.Stats.Segments,
+			Failures:   res.Stats.Failures,
+		}
+	}
+	writeJSON(w, map[string]interface{}{"results": items})
+}
+
+func (s *apiServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.sys.SystemStats())
+}
+
+// imputeErrStatus maps an imputation error to its HTTP status and API code.
+func imputeErrStatus(err error) (int, string) {
+	if errors.Is(err, core.ErrNotTrained) {
+		return http.StatusConflict, codeNotTrained
+	}
+	return http.StatusInternalServerError, codeInternal
+}
+
+// runServe starts the HTTP API with a graceful lifecycle: SIGINT/SIGTERM
+// stops accepting connections and drains in-flight requests before exiting.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	work := fs.String("work", "", "working directory (required)")
 	addr := fs.String("addr", ":8080", "listen address")
 	steps := fs.Int("steps", 0, "BERT training steps")
-	fs.Parse(args)
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *work == "" {
 		return fmt.Errorf("serve: -work is required")
 	}
@@ -34,60 +191,45 @@ func runServe(args []string) error {
 		fmt.Fprintln(os.Stderr, "serve: loaded persisted models")
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/train", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		var trajs []wireTraj
-		if err := json.NewDecoder(r.Body).Decode(&trajs); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := sys.Train(fromWire(trajs)); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, sys.SystemStats())
-	})
-	mux.HandleFunc("/api/impute", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		var tr wireTraj
-		if err := json.NewDecoder(r.Body).Decode(&tr); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		dense, stats, err := sys.Impute(fromWire([]wireTraj{tr})[0])
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
-			return
-		}
-		writeJSON(w, map[string]interface{}{
-			"trajectory": toWire(dense),
-			"segments":   stats.Segments,
-			"failures":   stats.Failures,
-		})
-	})
-	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, sys.SystemStats())
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, demoPage)
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
+	srv := &http.Server{Addr: *addr, Handler: newAPIHandler(sys)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
-	return http.ListenAndServe(*addr, mux)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal during the drain kills the process the hard way
+	fmt.Fprintf(os.Stderr, "serve: shutting down, draining for up to %s\n", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		// Drain timed out: close outright, cancelling in-flight request
+		// contexts (the imputation engine aborts between BERT calls).
+		srv.Close()
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	return nil
 }
 
 // wireTraj is the HTTP JSON form of a trajectory.
 type wireTraj struct {
 	ID     string       `json:"id"`
 	Points [][3]float64 `json:"points"` // [lat, lng, unixSeconds]
+}
+
+// wireImputeResult is one imputed trajectory on the wire; Error is set (and
+// Trajectory omitted) when only that trajectory failed inside a batch.
+type wireImputeResult struct {
+	Trajectory *wireTraj `json:"trajectory,omitempty"`
+	Segments   int       `json:"segments"`
+	Failures   int       `json:"failures"`
+	Error      string    `json:"error,omitempty"`
 }
 
 func fromWire(in []wireTraj) []geo.Trajectory {
@@ -109,20 +251,40 @@ func toWire(tr geo.Trajectory) wireTraj {
 	return out
 }
 
+func toWirePtr(tr geo.Trajectory) *wireTraj {
+	w := toWire(tr)
+	return &w
+}
+
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire; all that is left is to
+		// note the failure server-side.
+		fmt.Fprintf(os.Stderr, "serve: encoding response: %v\n", err)
+	}
+}
+
+// writeError emits the structured JSON error body shared by every endpoint.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code}); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", err)
+	}
 }
 
 // demoPage is a minimal self-contained demo console.
 const demoPage = `<!doctype html>
 <title>KAMEL demo</title>
 <h1>KAMEL trajectory imputation</h1>
-<p>POST <code>/api/train</code> a JSON array of {id, points:[[lat,lng,t],...]} to train.</p>
-<p>POST <code>/api/impute</code> one such object to impute; GET <code>/api/stats</code> for system state.</p>
+<p>POST <code>/v1/train</code> a JSON array of {id, points:[[lat,lng,t],...]} to train.</p>
+<p>POST <code>/v1/impute</code> one such object to impute, or <code>/v1/impute/batch</code>
+an array of them; GET <code>/v1/stats</code> for system state.</p>
+<p>The pre-versioning <code>/api/*</code> routes remain as deprecated aliases.</p>
 <pre id="stats">loading stats…</pre>
 <script>
-fetch('/api/stats').then(r => r.json()).then(s => {
+fetch('/v1/stats').then(r => r.json()).then(s => {
   document.getElementById('stats').textContent = JSON.stringify(s, null, 2);
 });
 </script>`

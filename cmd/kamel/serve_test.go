@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kamel/internal/core"
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+// newTestServer stands up the full HTTP surface over a fresh (untrained)
+// system.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sys, err := core.New(systemConfig(t.TempDir(), 90, "", true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	ts := httptest.NewServer(newAPIHandler(sys))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// call issues a request and decodes the JSON response body into a map.
+func call(t *testing.T, method, url, contentType, body string) (int, http.Header, map[string]interface{}) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if len(raw) > 0 && json.Unmarshal(raw, &decoded) != nil && resp.Header.Get("Content-Type") == "application/json" {
+		t.Fatalf("%s %s: non-JSON body %q", method, url, raw)
+	}
+	return resp.StatusCode, resp.Header, decoded
+}
+
+func wantErrorCode(t *testing.T, status int, body map[string]interface{}, wantStatus int, wantCode string) {
+	t.Helper()
+	if status != wantStatus {
+		t.Errorf("status %d, want %d (body %v)", status, wantStatus, body)
+	}
+	if body["code"] != wantCode {
+		t.Errorf("error code %v, want %q", body["code"], wantCode)
+	}
+	if msg, ok := body["error"].(string); !ok || msg == "" {
+		t.Errorf("error body must carry a message, got %v", body)
+	}
+}
+
+// TestServeAPIErrors drives every error path of the v1 surface; no model is
+// trained so it stays fast.
+func TestServeAPIErrors(t *testing.T) {
+	ts := newTestServer(t)
+
+	t.Run("not trained", func(t *testing.T) {
+		status, _, body := call(t, http.MethodPost, ts.URL+"/v1/impute", "application/json",
+			`{"id":"x","points":[[41.1,-8.6,0],[41.2,-8.5,600]]}`)
+		wantErrorCode(t, status, body, http.StatusConflict, codeNotTrained)
+		status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute/batch", "application/json",
+			`[{"id":"x","points":[[41.1,-8.6,0],[41.2,-8.5,600]]}]`)
+		wantErrorCode(t, status, body, http.StatusConflict, codeNotTrained)
+	})
+
+	t.Run("malformed body", func(t *testing.T) {
+		for _, path := range []string{"/v1/train", "/v1/impute", "/v1/impute/batch"} {
+			status, _, body := call(t, http.MethodPost, ts.URL+path, "application/json", `{nope`)
+			wantErrorCode(t, status, body, http.StatusBadRequest, codeBadRequest)
+		}
+	})
+
+	t.Run("empty training batch", func(t *testing.T) {
+		status, _, body := call(t, http.MethodPost, ts.URL+"/v1/train", "application/json", `[]`)
+		wantErrorCode(t, status, body, http.StatusBadRequest, codeBadRequest)
+	})
+
+	t.Run("wrong method", func(t *testing.T) {
+		for _, path := range []string{"/v1/train", "/v1/impute", "/v1/impute/batch"} {
+			status, hdr, body := call(t, http.MethodGet, ts.URL+path, "", "")
+			wantErrorCode(t, status, body, http.StatusMethodNotAllowed, codeBadRequest)
+			if hdr.Get("Allow") != http.MethodPost {
+				t.Errorf("%s: Allow header %q", path, hdr.Get("Allow"))
+			}
+		}
+		// Stats is GET-only, on both the v1 route and the legacy alias.
+		for _, path := range []string{"/v1/stats", "/api/stats"} {
+			status, _, body := call(t, http.MethodPost, ts.URL+path, "application/json", `{}`)
+			wantErrorCode(t, status, body, http.StatusMethodNotAllowed, codeBadRequest)
+		}
+	})
+
+	t.Run("wrong content type", func(t *testing.T) {
+		status, _, body := call(t, http.MethodPost, ts.URL+"/v1/impute", "text/plain", `{}`)
+		wantErrorCode(t, status, body, http.StatusUnsupportedMediaType, codeBadRequest)
+	})
+
+	t.Run("stats ok", func(t *testing.T) {
+		status, _, body := call(t, http.MethodGet, ts.URL+"/v1/stats", "", "")
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if _, ok := body["trajectories"]; !ok {
+			t.Errorf("stats body missing trajectories: %v", body)
+		}
+	})
+
+	t.Run("deprecated aliases", func(t *testing.T) {
+		status, hdr, _ := call(t, http.MethodGet, ts.URL+"/api/stats", "", "")
+		if status != http.StatusOK {
+			t.Fatalf("alias status %d", status)
+		}
+		if hdr.Get("Deprecation") != "true" {
+			t.Error("alias must carry a Deprecation header")
+		}
+		_, hdr, _ = call(t, http.MethodGet, ts.URL+"/v1/stats", "", "")
+		if hdr.Get("Deprecation") != "" {
+			t.Error("v1 route must not be marked deprecated")
+		}
+	})
+}
+
+// TestServeAPIEndToEnd trains through HTTP, then drives the single and batch
+// imputation endpoints.
+func TestServeAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	ts := newTestServer(t)
+
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 1500, 1500
+	net := roadnet.GenerateCity(city)
+	proj := geo.NewProjection(41.15, -8.61)
+	trajs, err := trajgen.Generate(net, proj, trajgen.DefaultConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wires []wireTraj
+	for _, tr := range trajs[:25] {
+		wires = append(wires, toWire(tr))
+	}
+	trainBody, _ := json.Marshal(wires)
+	status, _, body := call(t, http.MethodPost, ts.URL+"/v1/train", "application/json", string(trainBody))
+	if status != http.StatusOK {
+		t.Fatalf("train status %d: %v", status, body)
+	}
+	if n, _ := body["trajectories"].(float64); int(n) != 25 {
+		t.Fatalf("train stats report %v trajectories", body["trajectories"])
+	}
+
+	sparse := toWire(trajs[25].Sparsify(800))
+	oneBody, _ := json.Marshal(sparse)
+	status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute", "application/json", string(oneBody))
+	if status != http.StatusOK {
+		t.Fatalf("impute status %d: %v", status, body)
+	}
+	traj, _ := body["trajectory"].(map[string]interface{})
+	pts, _ := traj["points"].([]interface{})
+	if len(pts) <= len(sparse.Points) {
+		t.Fatalf("imputation added no points: %d <= %d", len(pts), len(sparse.Points))
+	}
+
+	batch := []wireTraj{sparse, toWire(trajs[26].Sparsify(800))}
+	batchBody, _ := json.Marshal(batch)
+	status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute/batch", "application/json", string(batchBody))
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d: %v", status, body)
+	}
+	results, _ := body["results"].([]interface{})
+	if len(results) != 2 {
+		t.Fatalf("batch returned %d results", len(results))
+	}
+	for i, raw := range results {
+		item, _ := raw.(map[string]interface{})
+		if msg, _ := item["error"].(string); msg != "" {
+			t.Fatalf("batch item %d errored: %s", i, msg)
+		}
+		tr, _ := item["trajectory"].(map[string]interface{})
+		got, _ := tr["points"].([]interface{})
+		if len(got) <= len(batch[i].Points) {
+			t.Errorf("batch item %d added no points", i)
+		}
+	}
+
+	// The deprecated single-impute alias keeps serving the same payloads.
+	status, hdr, body := call(t, http.MethodPost, ts.URL+"/api/impute", "application/json", string(oneBody))
+	if status != http.StatusOK || hdr.Get("Deprecation") != "true" {
+		t.Fatalf("alias impute status %d deprecation %q: %v", status, hdr.Get("Deprecation"), body)
+	}
+}

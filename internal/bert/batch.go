@@ -1,0 +1,219 @@
+package bert
+
+import (
+	"fmt"
+	"math"
+
+	"kamel/internal/tensor"
+)
+
+// This file is the batched inference engine: the "Call BERT" arrow of the
+// paper's Figure 1 amortized over many queries at once.  Beam search (paper
+// §6.2) expands a whole frontier of candidate segments per iteration; issuing
+// those masked predictions as one PredictMaskedBatch call stacks B sequences
+// into a single [B×L, d] activation matrix, so every projection and FFN
+// matmul runs once per layer instead of B times, on the transposed-weight
+// register-tiled kernels of tensor.MatMulTN.  Attention remains per-sequence
+// (a sequence must not attend across batch neighbors), computed over aliased
+// row views of the stacked matrix.
+//
+// The engine is inference-only: it allocates no backward caches, reuses its
+// activation buffers across layers, and is bit-compatible with the training
+// forward pass — PredictMaskedBatch returns predictions element-wise equal to
+// per-query PredictMasked calls (enforced by TestPredictMaskedBatchMatches).
+
+// MaskQuery is one masked-prediction request: a token sequence (including
+// any [CLS]/[SEP]/[MASK] specials), the position of the mask to score, and
+// the number of candidates wanted (TopK <= 0 means the full vocabulary).
+type MaskQuery struct {
+	Tokens  []int
+	MaskPos int
+	TopK    int
+}
+
+// blockT caches one block's projection weights transposed for MatMulTN.
+type blockT struct {
+	wq, wk, wv, wo *tensor.Mat // d×d (transposed in place of the originals)
+	w1             *tensor.Mat // f×d = W1ᵀ
+	w2             *tensor.Mat // d×f = W2ᵀ
+}
+
+// inferT is the per-model transposed-weight cache, built lazily on the first
+// batched prediction and dropped whenever training touches the weights.
+type inferT struct {
+	blocks []*blockT
+	headW  *tensor.Mat // d×d = HeadWᵀ
+}
+
+// inferWeights returns the transposed-weight cache, building it on first use.
+func (m *Model) inferWeights() *inferT {
+	m.inferMu.Lock()
+	defer m.inferMu.Unlock()
+	if m.infer == nil {
+		t := &inferT{headW: tensor.Transpose(m.HeadW)}
+		for _, b := range m.Blocks {
+			t.blocks = append(t.blocks, &blockT{
+				wq: tensor.Transpose(b.Wq),
+				wk: tensor.Transpose(b.Wk),
+				wv: tensor.Transpose(b.Wv),
+				wo: tensor.Transpose(b.Wo),
+				w1: tensor.Transpose(b.W1),
+				w2: tensor.Transpose(b.W2),
+			})
+		}
+		m.infer = t
+	}
+	return m.infer
+}
+
+// invalidateInfer drops the transposed-weight cache; Train calls it so a
+// model trained further never serves stale weights.
+func (m *Model) invalidateInfer() {
+	m.inferMu.Lock()
+	m.infer = nil
+	m.inferMu.Unlock()
+}
+
+// PredictMaskedBatch answers B masked-prediction queries in one engine pass
+// and returns one candidate list per query, in query order.  Results are
+// element-wise equal to calling PredictMasked per query; wall-clock is
+// substantially lower because same-length sequences share every projection
+// and FFN matmul.  It is safe for concurrent use on a model that is no
+// longer training.
+func (m *Model) PredictMaskedBatch(queries []MaskQuery) ([][]Candidate, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	for qi, q := range queries {
+		if err := m.checkTokens(q.Tokens); err != nil {
+			return nil, fmt.Errorf("bert: batch query %d: %w", qi, err)
+		}
+		if q.MaskPos < 0 || q.MaskPos >= len(q.Tokens) {
+			return nil, fmt.Errorf("bert: batch query %d: mask position %d out of range for sequence of length %d", qi, q.MaskPos, len(q.Tokens))
+		}
+	}
+	tw := m.inferWeights()
+	d := m.Cfg.Hidden
+
+	// Group queries by sequence length: stacking requires uniform rows per
+	// sequence, and padding would change attention results.  Iteration is in
+	// first-seen order so the engine stays deterministic.
+	groups := make(map[int][]int)
+	var lengths []int
+	for qi, q := range queries {
+		n := len(q.Tokens)
+		if _, ok := groups[n]; !ok {
+			lengths = append(lengths, n)
+		}
+		groups[n] = append(groups[n], qi)
+	}
+
+	// Encode each group and gather the masked-position encodings; the MLM
+	// head then runs once over every query's mask row regardless of group.
+	hx := tensor.NewMat(len(queries), d)
+	for _, n := range lengths {
+		idxs := groups[n]
+		enc := m.encodeStack(tw, queries, idxs, n)
+		for bi, qi := range idxs {
+			copy(hx.Row(qi), enc.Row(bi*n+queries[qi].MaskPos))
+		}
+	}
+
+	th := tensor.NewMat(len(queries), d)
+	tensor.MatMulTN(th, hx, tw.headW, m.HeadB.A)
+	tensor.GELU(th.A, th.A)
+	tensor.LayerNormInfer(th, th, m.HeadLNg.A, m.HeadLNb.A, lnEps)
+	logits := tensor.NewMat(len(queries), m.Cfg.VocabSize)
+	tensor.MatMulBT(logits, th, m.TokEmb)
+
+	out := make([][]Candidate, len(queries))
+	for qi, q := range queries {
+		row := logits.Row(qi)
+		for j, bv := range m.OutBias.A {
+			row[j] += bv
+		}
+		tensor.SoftmaxInPlace(row)
+		out[qi] = topKCandidates(row, q.TopK)
+	}
+	return out, nil
+}
+
+// encodeStack runs the encoder over the queries selected by idxs (all of
+// sequence length n) stacked into one [len(idxs)×n, d] activation matrix,
+// and returns the final layer-norm output.  Buffers are reused across blocks
+// so the pass allocates O(batch) matrices rather than O(batch × layers).
+func (m *Model) encodeStack(tw *inferT, queries []MaskQuery, idxs []int, n int) *tensor.Mat {
+	B := len(idxs)
+	N := B * n
+	d, f, heads := m.Cfg.Hidden, m.Cfg.FFN, m.Cfg.Heads
+	dh := d / heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	// Embeddings: token + position, layer-normed in place.
+	x := tensor.NewMat(N, d)
+	for bi, qi := range idxs {
+		for i, tok := range queries[qi].Tokens {
+			row := x.Row(bi*n + i)
+			te := m.TokEmb.Row(tok)
+			pe := m.PosEmb.Row(i)
+			for j := 0; j < d; j++ {
+				row[j] = te[j] + pe[j]
+			}
+		}
+	}
+	tensor.LayerNormInfer(x, x, m.EmbLNg.A, m.EmbLNb.A, lnEps)
+
+	xn := tensor.NewMat(N, d)
+	tmp := tensor.NewMat(N, d)
+	q := tensor.NewMat(N, d)
+	k := tensor.NewMat(N, d)
+	v := tensor.NewMat(N, d)
+	att := tensor.NewMat(N, d)
+	pre := tensor.NewMat(N, f)
+	qh := tensor.NewMat(n, dh)
+	kh := tensor.NewMat(n, dh)
+	vh := tensor.NewMat(n, dh)
+	oh := tensor.NewMat(n, dh)
+	p := tensor.NewMat(n, n)
+
+	for li, b := range m.Blocks {
+		bt := tw.blocks[li]
+		tensor.LayerNormInfer(xn, x, b.LN1g.A, b.LN1b.A, lnEps)
+		tensor.MatMulTN(q, xn, bt.wq, b.Bq.A)
+		tensor.MatMulTN(k, xn, bt.wk, b.Bk.A)
+		tensor.MatMulTN(v, xn, bt.wv, b.Bv.A)
+
+		// Attention stays per sequence: row views slice the stacked matrix
+		// so no sequence attends across a batch neighbor.
+		for bi := 0; bi < B; bi++ {
+			qs := q.RowsView(bi*n, (bi+1)*n)
+			ks := k.RowsView(bi*n, (bi+1)*n)
+			vs := v.RowsView(bi*n, (bi+1)*n)
+			as := att.RowsView(bi*n, (bi+1)*n)
+			for h := 0; h < heads; h++ {
+				copyHead(qh, qs, h, dh)
+				copyHead(kh, ks, h, dh)
+				copyHead(vh, vs, h, dh)
+				tensor.MatMulBT(p, qh, kh)
+				p.Scale(scale)
+				tensor.SoftmaxRows(p)
+				tensor.MatMul(oh, p, vh)
+				pasteHead(as, oh, h, dh)
+			}
+		}
+
+		tensor.MatMulTN(tmp, att, bt.wo, b.Bo.A)
+		for i := range x.A {
+			x.A[i] += tmp.A[i]
+		}
+		tensor.LayerNormInfer(xn, x, b.LN2g.A, b.LN2b.A, lnEps)
+		tensor.MatMulTN(pre, xn, bt.w1, b.B1.A)
+		tensor.GELU(pre.A, pre.A)
+		tensor.MatMulTN(tmp, pre, bt.w2, b.B2.A)
+		for i := range x.A {
+			x.A[i] += tmp.A[i]
+		}
+	}
+	tensor.LayerNormInfer(x, x, m.FinLNg.A, m.FinLNb.A, lnEps)
+	return x
+}

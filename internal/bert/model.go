@@ -2,6 +2,7 @@ package bert
 
 import (
 	"fmt"
+	"sync"
 
 	"kamel/internal/tensor"
 )
@@ -39,6 +40,11 @@ type Model struct {
 	HeadLNg *tensor.Mat // 1×d MLM layer-norm gain
 	HeadLNb *tensor.Mat // 1×d
 	OutBias *tensor.Mat // 1×V output bias (projection itself is TokEmbᵀ)
+
+	// Lazily built transposed-weight cache for the batched inference engine
+	// (batch.go); dropped by Train whenever the weights change.
+	inferMu sync.Mutex
+	infer   *inferT
 }
 
 const lnEps = 1e-5

@@ -56,6 +56,10 @@ func (m *Model) Train(sequences [][]int, tc TrainConfig) (TrainStats, error) {
 	if len(windows) == 0 {
 		return TrainStats{}, fmt.Errorf("bert: no usable training sequences (need at least 3 tokens each)")
 	}
+	// Adam mutates the weights in place; any transposed copies held by the
+	// batched inference engine would go stale.
+	m.invalidateInfer()
+	defer m.invalidateInfer()
 
 	rng := tensor.NewRNG(tc.Seed)
 	opt := tensor.NewAdam(tc.LR)

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kamel/internal/geo"
+)
+
+// pollCancelCtx reports cancellation starting from its (after+1)-th Err poll,
+// making mid-flight cancellation deterministic: the imputation layer polls
+// between batched BERT calls, so "cancel after the first poll" aborts the
+// search after at most one beam iteration.
+type pollCancelCtx struct {
+	context.Context
+	polls int
+	after int
+}
+
+func (c *pollCancelCtx) Err() error {
+	c.polls++
+	if c.polls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestImputeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	f := newFixture(t, nil)
+	sys := trainedSystem(t, f)
+	var trs []geo.Trajectory
+	for _, tr := range f.test[:3] {
+		trs = append(trs, tr.Sparsify(700))
+	}
+
+	t.Run("matches sequential", func(t *testing.T) {
+		batch, err := sys.ImputeBatch(context.Background(), trs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(trs) {
+			t.Fatalf("%d results for %d trajectories", len(batch), len(trs))
+		}
+		for i, tr := range trs {
+			dense, stats, err := sys.Impute(tr)
+			if err != nil {
+				t.Fatalf("sequential impute %d: %v", i, err)
+			}
+			if batch[i].Err != nil {
+				t.Fatalf("batch item %d errored: %v", i, batch[i].Err)
+			}
+			if batch[i].Stats != stats {
+				t.Errorf("item %d stats %+v != sequential %+v", i, batch[i].Stats, stats)
+			}
+			got, want := batch[i].Trajectory, dense
+			if got.ID != want.ID || len(got.Points) != len(want.Points) {
+				t.Fatalf("item %d shape: %s/%d points, want %s/%d",
+					i, got.ID, len(got.Points), want.ID, len(want.Points))
+			}
+			for pi := range want.Points {
+				if got.Points[pi] != want.Points[pi] {
+					t.Fatalf("item %d point %d: %+v != %+v", i, pi, got.Points[pi], want.Points[pi])
+				}
+			}
+		}
+	})
+
+	t.Run("cancellation aborts mid-search", func(t *testing.T) {
+		ctx := &pollCancelCtx{Context: context.Background(), after: 1}
+		_, _, err := sys.ImputeContext(ctx, trs[0])
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v, want context.Canceled", err)
+		}
+		// The search made at most one beam iteration before the poll flipped;
+		// a full run needs many more polls than that.
+		full := &pollCancelCtx{Context: context.Background(), after: 1 << 30}
+		if _, _, err := sys.ImputeContext(full, trs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if full.polls <= 2 {
+			t.Skip("trajectory too easy to observe cancellation depth")
+		}
+	})
+
+	t.Run("pre-cancelled batch", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := sys.ImputeBatch(ctx, trs)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v, want context.Canceled", err)
+		}
+		if res != nil {
+			t.Fatal("cancelled batch must not return partial results")
+		}
+	})
+
+	t.Run("empty batch", func(t *testing.T) {
+		res, err := sys.ImputeBatch(context.Background(), nil)
+		if err != nil || len(res) != 0 {
+			t.Fatalf("empty batch: (%v, %v)", res, err)
+		}
+	})
+}
+
+func TestImputeBatchNotTrained(t *testing.T) {
+	sys, err := New(DefaultConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	_, err = sys.ImputeBatch(context.Background(), []geo.Trajectory{{ID: "x"}})
+	if !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("error %v, want ErrNotTrained", err)
+	}
+	if _, _, err := sys.Impute(geo.Trajectory{ID: "x"}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("Impute error %v, want ErrNotTrained", err)
+	}
+}

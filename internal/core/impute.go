@@ -1,7 +1,8 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"errors"
 
 	"kamel/internal/baseline"
 	"kamel/internal/constraints"
@@ -10,23 +11,34 @@ import (
 	"kamel/internal/impute"
 )
 
+// ErrNotTrained is returned by the imputation entry points before any model
+// has been trained or loaded.  The HTTP layer maps it to its own error code.
+var ErrNotTrained = errors.New("core: system has not been trained")
+
 // Name implements baseline.Imputer, letting the evaluation harness treat
 // KAMEL uniformly with its competitors.
 func (s *System) Name() string { return "KAMEL" }
 
 // Impute fills the gaps of one sparse trajectory (paper Figure 1, right
-// input) and returns the dense trajectory.  Each gap between consecutive
-// input points is (1) routed to the best pyramid model for its extent,
-// (2) imputed as a token sequence by the configured multipoint algorithm
-// under the spatial constraints, and (3) detokenized to GPS points.  Gaps no
-// model covers are imputed by a straight line and counted as failures, per
-// §4.1.
+// input) and returns the dense trajectory.  It is ImputeContext without
+// cancellation.
 func (s *System) Impute(tr geo.Trajectory) (geo.Trajectory, baseline.Stats, error) {
+	return s.ImputeContext(context.Background(), tr)
+}
+
+// ImputeContext fills the gaps of one sparse trajectory.  Each gap between
+// consecutive input points is (1) routed to the best pyramid model for its
+// extent, (2) imputed as a token sequence by the configured multipoint
+// algorithm under the spatial constraints, and (3) detokenized to GPS
+// points.  Gaps no model covers are imputed by a straight line and counted
+// as failures, per §4.1.  The context is honored between BERT calls: a
+// cancelled request abandons the search mid-gap and returns ctx.Err().
+func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Trajectory, baseline.Stats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var stats baseline.Stats
 	if s.st == nil || (s.repo == nil && s.global == nil) {
-		return geo.Trajectory{}, stats, fmt.Errorf("core: system has not been trained")
+		return geo.Trajectory{}, stats, ErrNotTrained
 	}
 	if len(tr.Points) < 2 {
 		return tr.Clone(), stats, nil
@@ -48,7 +60,10 @@ func (s *System) Impute(tr geo.Trajectory) (geo.Trajectory, baseline.Stats, erro
 		}
 		stats.Segments++
 
-		res, ok := s.imputeGap(cells, xys, i, b.T-a.T)
+		res, ok, err := s.imputeGap(ctx, cells, xys, i, b.T-a.T)
+		if err != nil {
+			return geo.Trajectory{}, stats, err
+		}
 		if !ok || res.Failed {
 			stats.Failures++
 			// Straight-line fill (§4.1 / §6 failure behaviour).
@@ -65,6 +80,37 @@ func (s *System) Impute(tr geo.Trajectory) (geo.Trajectory, baseline.Stats, erro
 	}
 	out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
 	return out, stats, nil
+}
+
+// BatchResult is one trajectory's outcome from ImputeBatch.
+type BatchResult struct {
+	Trajectory geo.Trajectory
+	Stats      baseline.Stats
+	Err        error
+}
+
+// ImputeBatch imputes a batch of trajectories and returns one result per
+// input, in input order.  System-level failures — an untrained system, a
+// cancelled or expired context — abort the whole call; anything that only
+// affects a single trajectory lands in its BatchResult.  Results are
+// identical to calling ImputeContext per trajectory.
+func (s *System) ImputeBatch(ctx context.Context, trs []geo.Trajectory) ([]BatchResult, error) {
+	out := make([]BatchResult, len(trs))
+	for i, tr := range trs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dense, stats, err := s.ImputeContext(ctx, tr)
+		if err != nil {
+			if errors.Is(err, ErrNotTrained) || ctx.Err() != nil {
+				return nil, err
+			}
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		out[i] = BatchResult{Trajectory: dense, Stats: stats}
+	}
+	return out, nil
 }
 
 // emit appends interior planar points with timestamps interpolated between
@@ -90,14 +136,16 @@ func (s *System) emit(out *geo.Trajectory, interior []geo.XY, t0, t1 float64, a,
 
 // imputeGap runs the Partitioning lookup and the multipoint algorithm for
 // the gap between sparse points i and i+1, whose timestamps differ by dt
-// seconds.  ok=false means no model covers the gap.
-func (s *System) imputeGap(cells []grid.Cell, xys []geo.XY, i int, dt float64) (impute.Result, bool) {
+// seconds.  ok=false means no model covers the gap.  Only context errors are
+// returned; any other predictor failure degrades to a failed (straight-line)
+// result, preserving the availability contract of §4.1.
+func (s *System) imputeGap(ctx context.Context, cells []grid.Cell, xys []geo.XY, i int, dt float64) (impute.Result, bool, error) {
 	bundle := s.global
 	if bundle == nil {
 		mbr := geo.EmptyRect().ExtendXY(xys[i]).ExtendXY(xys[i+1])
 		h, _, ok := s.repo.Lookup(mbr)
 		if !ok {
-			return impute.Result{}, false
+			return impute.Result{}, false, nil
 		}
 		bundle = h.(*modelBundle)
 	}
@@ -124,20 +172,24 @@ func (s *System) imputeGap(cells []grid.Cell, xys []geo.XY, i int, dt float64) (
 	p := bundlePredictor{b: bundle}
 
 	if s.cfg.DisableMultipoint {
-		return s.singleShot(p, cfg, req)
+		res, ok := s.singleShot(p, cfg, req)
+		return res, ok, nil
 	}
 	var res impute.Result
 	var err error
 	switch s.cfg.Strategy {
 	case StrategyIterative:
-		res, err = impute.Iterative(p, cfg, req)
+		res, err = impute.IterativeContext(ctx, p, cfg, req)
 	default:
-		res, err = impute.Beam(p, cfg, req)
+		res, err = impute.BeamContext(ctx, p, cfg, req)
 	}
 	if err != nil {
-		return impute.Result{Failed: true}, true
+		if ctx.Err() != nil {
+			return impute.Result{}, true, err
+		}
+		return impute.Result{Failed: true}, true, nil
 	}
-	return res, true
+	return res, true, nil
 }
 
 // singleShot implements the "No Multi." ablation (§8.7): exactly one BERT

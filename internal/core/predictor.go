@@ -3,24 +3,28 @@ package core
 import (
 	"fmt"
 
+	"kamel/internal/bert"
 	"kamel/internal/grid"
 	"kamel/internal/impute"
 	"kamel/internal/vocab"
 )
 
-// bundlePredictor adapts a trained modelBundle to the impute.Predictor
+// bundlePredictor adapts a trained modelBundle to the impute.BatchPredictor
 // interface: the "Call BERT" arrow of Figure 1.  A gap query becomes a
 // masked-token prediction: [CLS] …prefix… S [MASK] D …suffix… [SEP], with
 // the window recentered around the mask when the segment outgrows the
-// model's sequence length.
+// model's sequence length.  Batches of gap queries flow through the model's
+// batched engine so a beam frontier costs one stacked forward pass.
 type bundlePredictor struct {
 	b *modelBundle
 }
 
-// Predict implements impute.Predictor.
-func (p bundlePredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([]impute.Candidate, error) {
+// maskQuery renders one gap query as the model-level masked prediction.
+// Extra candidates are requested because specials and unknown cells are
+// dropped during filtering.
+func (p bundlePredictor) maskQuery(segment []grid.Cell, gapPos, topK int) (bert.MaskQuery, error) {
 	if gapPos < 0 || gapPos+1 >= len(segment) {
-		return nil, fmt.Errorf("core: gap position %d out of range for segment of %d tokens", gapPos, len(segment))
+		return bert.MaskQuery{}, fmt.Errorf("core: gap position %d out of range for segment of %d tokens", gapPos, len(segment))
 	}
 	maxBody := p.b.model.Cfg.MaxSeqLen - 2
 	// Sequence body: segment tokens with MASK inserted after gapPos.
@@ -50,12 +54,11 @@ func (p bundlePredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([]i
 	ids = append(ids, body...)
 	ids = append(ids, vocab.SEP)
 	maskIdx++ // account for CLS
+	return bert.MaskQuery{Tokens: ids, MaskPos: maskIdx, TopK: topK + vocab.NumSpecial + 8}, nil
+}
 
-	// Ask for extra candidates: specials and unknown cells are dropped.
-	raw, err := p.b.model.PredictMasked(ids, maskIdx, topK+vocab.NumSpecial+8)
-	if err != nil {
-		return nil, err
-	}
+// filterCands drops special tokens and unknown cells, keeping topK.
+func (p bundlePredictor) filterCands(raw []bert.Candidate, topK int) []impute.Candidate {
 	out := make([]impute.Candidate, 0, topK)
 	for _, c := range raw {
 		cell, ok := p.b.vocab.Cell(c.Token)
@@ -66,6 +69,41 @@ func (p bundlePredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([]i
 		if len(out) == topK {
 			break
 		}
+	}
+	return out
+}
+
+// Predict implements impute.Predictor.
+func (p bundlePredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([]impute.Candidate, error) {
+	mq, err := p.maskQuery(segment, gapPos, topK)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := p.b.model.PredictMasked(mq.Tokens, mq.MaskPos, mq.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return p.filterCands(raw, topK), nil
+}
+
+// PredictBatch implements impute.BatchPredictor: every gap query becomes one
+// masked query of a single PredictMaskedBatch engine pass.
+func (p bundlePredictor) PredictBatch(queries []impute.Query) ([][]impute.Candidate, error) {
+	mqs := make([]bert.MaskQuery, len(queries))
+	for i, q := range queries {
+		mq, err := p.maskQuery(q.Segment, q.GapPos, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		mqs[i] = mq
+	}
+	raws, err := p.b.model.PredictMaskedBatch(mqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]impute.Candidate, len(queries))
+	for i, raw := range raws {
+		out[i] = p.filterCands(raw, queries[i].TopK)
 	}
 	return out, nil
 }

@@ -39,7 +39,7 @@ func (s *System) ImputeStream(ctx context.Context, in <-chan geo.Trajectory, wor
 					if !ok {
 						return
 					}
-					dense, stats, err := s.Impute(tr)
+					dense, stats, err := s.ImputeContext(ctx, tr)
 					select {
 					case out <- StreamResult{Trajectory: dense, Stats: stats, Err: err}:
 					case <-ctx.Done():

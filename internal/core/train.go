@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -15,12 +16,21 @@ import (
 )
 
 // Train ingests a batch of training trajectories (paper Figure 1, left
-// input): tokenizes them, appends them to the trajectory store, infers the
-// speed limit for the constraints module, rebuilds the detokenization
-// clusters, and runs the model-repository maintenance that trains BERT
-// models wherever thresholds allow.  Training produces no imputation output;
-// it only enriches the system's models.
+// input).  It is TrainContext without cancellation.
 func (s *System) Train(trajs []geo.Trajectory) error {
+	return s.TrainContext(context.Background(), trajs)
+}
+
+// TrainContext ingests a batch of training trajectories: tokenizes them,
+// appends them to the trajectory store, infers the speed limit for the
+// constraints module, rebuilds the detokenization clusters, and runs the
+// model-repository maintenance that trains BERT models wherever thresholds
+// allow.  Training produces no imputation output; it only enriches the
+// system's models.  The context is checked before each per-region model
+// training — the expensive unit of work — so a cancelled request stops
+// enriching models promptly; trajectories already appended to the store
+// remain stored.
+func (s *System) TrainContext(ctx context.Context, trajs []geo.Trajectory) error {
 	if len(trajs) == 0 {
 		return fmt.Errorf("core: empty training batch")
 	}
@@ -53,6 +63,9 @@ func (s *System) Train(trajs []geo.Trajectory) error {
 
 	if s.cfg.DisablePartitioning {
 		// Ablation "No Part.": one model over everything (§8.7).
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var all []store.Traj
 		s.st.All(func(tr store.Traj) bool { all = append(all, tr); return true })
 		bundle, _, err := s.buildModel(all)
@@ -68,6 +81,9 @@ func (s *System) Train(trajs []geo.Trajectory) error {
 		return err
 	}
 	err := s.repo.Ingest(s.st, batch, func(region geo.Rect, rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, pyramid.ModelMeta{}, err
+		}
 		bundle, meta, err := s.buildModel(rs)
 		if err != nil {
 			return nil, pyramid.ModelMeta{}, err

@@ -1,0 +1,291 @@
+package impute
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"kamel/internal/grid"
+)
+
+// This file is the batched, context-aware face of the Multipoint Imputation
+// module.  The paper's algorithms are stated one BERT call at a time; here
+// every iteration first collects all the masked predictions it is about to
+// need — Algorithm 2's whole beam frontier, Algorithm 1's every open gap —
+// and issues them as one PredictBatch call, so a batch-capable predictor
+// (internal/bert's PredictMaskedBatch behind core's adapter) amortizes its
+// transformer passes.  The context is checked between batched calls, so a
+// cancelled request abandons the search mid-flight without spending the rest
+// of its call budget.
+//
+// Iterative and Beam (impute.go) are thin wrappers over these with
+// context.Background().
+
+// Query is one batched prediction request, mirroring Predictor.Predict: a
+// token is to be inserted between Segment[GapPos] and Segment[GapPos+1].
+type Query struct {
+	Segment []grid.Cell
+	GapPos  int
+	TopK    int
+}
+
+// BatchPredictor is a Predictor that can answer many queries in one engine
+// pass.  Results are per-query, in query order, and must match what
+// sequential Predict calls would return.
+type BatchPredictor interface {
+	Predictor
+	PredictBatch(queries []Query) ([][]Candidate, error)
+}
+
+// seqBatch adapts a single-call Predictor to BatchPredictor with a loop, so
+// n-gram baselines and synthetic test predictors keep working unchanged.
+type seqBatch struct {
+	Predictor
+}
+
+func (s seqBatch) PredictBatch(queries []Query) ([][]Candidate, error) {
+	out := make([][]Candidate, len(queries))
+	for i, q := range queries {
+		cands, err := s.Predict(q.Segment, q.GapPos, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cands
+	}
+	return out, nil
+}
+
+// AsBatch returns p unchanged when it already implements BatchPredictor, and
+// otherwise wraps it so batches are answered by sequential Predict calls.
+func AsBatch(p Predictor) BatchPredictor {
+	if bp, ok := p.(BatchPredictor); ok {
+		return bp
+	}
+	return seqBatch{p}
+}
+
+// ctxErr wraps a context error for propagation through the impute layer.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("impute: %w", err)
+	}
+	return nil
+}
+
+// IterativeContext is Algorithm 1 with batched calls and cancellation: each
+// round finds every gap wider than max_gap, asks the predictor for all of
+// them in one batch, and inserts the most probable valid candidate into each
+// (right to left, so earlier gap indices stay valid).  A round that inserts
+// nothing is a dead end.  The call budget counts queries, not batches, so it
+// matches the sequential algorithm's accounting.
+func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if req.S == req.D {
+		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
+	}
+	bp := AsBatch(p)
+	seg := []grid.Cell{req.S, req.D}
+	sc := req.segment()
+	maxGap := cfg.effectiveMaxGap()
+	maxPath := cfg.Checker.MaxPathMeters(sc)
+	calls := 0
+	prob := 1.0
+
+	for {
+		gaps := findGaps(cfg.Grid, seg, maxGap)
+		if len(gaps) == 0 {
+			return Result{Tokens: seg, Prob: normalize(prob, len(seg)-2, cfg.Alpha), Calls: calls, Reason: "ok"}, nil
+		}
+		if err := ctxErr(ctx); err != nil {
+			return Result{}, err
+		}
+		if calls+len(gaps) > cfg.MaxCalls {
+			// The sequential algorithm would burn the remaining budget on a
+			// prefix of these gaps and then fail to a line anyway; skip
+			// straight to the fallback with the budget marked spent.
+			r := lineFallback(cfg, req, "budget")
+			r.Calls = cfg.MaxCalls
+			return r, nil
+		}
+		queries := make([]Query, len(gaps))
+		for i, gap := range gaps {
+			queries[i] = Query{Segment: seg, GapPos: gap, TopK: cfg.TopK}
+		}
+		results, err := bp.PredictBatch(queries)
+		if err != nil {
+			return Result{}, fmt.Errorf("impute: predictor: %w", err)
+		}
+		calls += len(gaps)
+
+		// Insert right to left: an insertion at gap g shifts only indices
+		// above g, so earlier gaps in the same round stay addressable.
+		inserted := false
+		for gi := len(gaps) - 1; gi >= 0; gi-- {
+			gap := gaps[gi]
+			cands := cfg.Checker.Filter(results[gi], sc)
+			for _, cand := range cands {
+				if cand.Cell == seg[gap] || cand.Cell == seg[gap+1] {
+					continue // trivial cycle with a gap endpoint (§5.2, x=1)
+				}
+				next := insertAt(seg, gap+1, cand.Cell)
+				if cfg.Checker.HasCycle(next[:gap+2]) {
+					continue // §5.2: reject outcomes that close a cycle
+				}
+				if pathLen(cfg.Grid, next) > maxPath {
+					continue // §5.1: would exceed the physically drivable length
+				}
+				seg = next
+				prob *= cand.Prob
+				inserted = true
+				break
+			}
+		}
+		if !inserted {
+			r := lineFallback(cfg, req, "dead-end")
+			r.Calls = calls
+			return r, nil
+		}
+	}
+}
+
+// BeamContext is Algorithm 2 with batched calls and cancellation.  Each
+// iteration gathers the entire frontier — every remaining gap of every beam
+// segment — into one PredictBatch call, then expands, deduplicates, keeps the
+// top B, concludes gap-free segments and prunes against the best concluded
+// normalized score, exactly as the sequential algorithm does.
+func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if req.S == req.D {
+		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
+	}
+	bp := AsBatch(p)
+	sc := req.segment()
+	maxGap := cfg.effectiveMaxGap()
+	maxPath := cfg.Checker.MaxPathMeters(sc)
+	calls := 0
+
+	start := beamSeg{tokens: []grid.Cell{req.S, req.D}, prob: 1}
+	if findFirstGap(cfg.Grid, start.tokens, maxGap) < 0 {
+		return Result{Tokens: start.tokens, Prob: 1}, nil
+	}
+
+	type answer struct {
+		tokens []grid.Cell
+		score  float64
+	}
+	var best *answer
+	probLimit := 0.0 // lower bound on normalized score, per the §6.2 example
+
+	live := []beamSeg{start}
+	for len(live) > 0 {
+		// Collect the whole frontier: one query per (segment, gap) pair.
+		type expansion struct {
+			seg beamSeg
+			gap int
+		}
+		var frontier []expansion
+		for _, bs := range live {
+			for _, gap := range findGaps(cfg.Grid, bs.tokens, maxGap) {
+				frontier = append(frontier, expansion{seg: bs, gap: gap})
+			}
+		}
+		if err := ctxErr(ctx); err != nil {
+			return Result{}, err
+		}
+		if calls+len(frontier) > cfg.MaxCalls {
+			// The sequential algorithm spends the remaining budget on a prefix
+			// of the frontier and then discards that iteration's partial
+			// expansions, so the batched path can skip the work entirely:
+			// return the best concluded answer, or fail to a straight line.
+			calls = cfg.MaxCalls
+			if best != nil {
+				return Result{Tokens: best.tokens, Prob: best.score, Calls: calls, Reason: "ok"}, nil
+			}
+			r := lineFallback(cfg, req, "budget")
+			r.Calls = calls
+			return r, nil
+		}
+		queries := make([]Query, len(frontier))
+		for i, e := range frontier {
+			queries[i] = Query{Segment: e.seg.tokens, GapPos: e.gap, TopK: cfg.TopK}
+		}
+		results, err := bp.PredictBatch(queries)
+		if err != nil {
+			return Result{}, fmt.Errorf("impute: predictor: %w", err)
+		}
+		calls += len(frontier)
+
+		var fresh []beamSeg
+		for fi, e := range frontier {
+			cands := cfg.Checker.Filter(results[fi], sc)
+			n := 0
+			for _, cand := range cands {
+				if n >= cfg.Beam {
+					break
+				}
+				if cand.Cell == e.seg.tokens[e.gap] || cand.Cell == e.seg.tokens[e.gap+1] {
+					continue // trivial cycle with a gap endpoint (§5.2, x=1)
+				}
+				next := insertAt(e.seg.tokens, e.gap+1, cand.Cell)
+				if cfg.Checker.HasCycle(next[:e.gap+2]) {
+					continue
+				}
+				if pathLen(cfg.Grid, next) > maxPath {
+					continue // §5.1: exceeds the drivable length bound
+				}
+				fresh = append(fresh, beamSeg{tokens: next, prob: e.seg.prob * cand.Prob})
+				n++
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		// Deduplicate segments reachable via different insertion orders,
+		// keeping the most probable, then TopB with the probability lower
+		// bound (Algorithm 2 line 13).
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i].prob > fresh[j].prob })
+		seen := make(map[string]bool, len(fresh))
+		dedup := fresh[:0]
+		for _, bs := range fresh {
+			k := segKey(bs.tokens)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, bs)
+		}
+		fresh = dedup
+		if len(fresh) > cfg.Beam {
+			fresh = fresh[:cfg.Beam]
+		}
+		live = live[:0]
+		for _, bs := range fresh {
+			imputed := len(bs.tokens) - 2
+			score := normalize(bs.prob, imputed, cfg.Alpha)
+			if best != nil && score < probLimit {
+				continue // pruned: cannot beat a concluded answer
+			}
+			if len(findGaps(cfg.Grid, bs.tokens, maxGap)) == 0 {
+				if best == nil || score > best.score {
+					best = &answer{tokens: bs.tokens, score: score}
+					if score > probLimit {
+						probLimit = score
+					}
+				}
+				continue
+			}
+			live = append(live, bs)
+		}
+	}
+
+	if best == nil {
+		r := lineFallback(cfg, req, "dead-end")
+		r.Calls = calls
+		return r, nil
+	}
+	return Result{Tokens: best.tokens, Prob: best.score, Calls: calls, Reason: "ok"}, nil
+}

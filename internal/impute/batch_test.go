@@ -1,0 +1,169 @@
+package impute
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kamel/internal/grid"
+)
+
+// countingBatchPredictor wraps midpointPredictor with a native batch path and
+// counts how work arrives, so tests can assert the algorithms batch.
+type countingBatchPredictor struct {
+	inner        midpointPredictor
+	singleCalls  int
+	batchCalls   int
+	batchQueries int
+}
+
+func (c *countingBatchPredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([]Candidate, error) {
+	c.singleCalls++
+	return c.inner.Predict(segment, gapPos, topK)
+}
+
+func (c *countingBatchPredictor) PredictBatch(queries []Query) ([][]Candidate, error) {
+	c.batchCalls++
+	c.batchQueries += len(queries)
+	out := make([][]Candidate, len(queries))
+	for i, q := range queries {
+		cands, err := c.inner.Predict(q.Segment, q.GapPos, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cands
+	}
+	return out, nil
+}
+
+// TestAsBatch: a native BatchPredictor passes through unchanged; a plain
+// Predictor gets the sequential adapter with per-query results in order.
+func TestAsBatch(t *testing.T) {
+	_, g := testCfg()
+	native := &countingBatchPredictor{inner: midpointPredictor{g}}
+	if AsBatch(native) != BatchPredictor(native) {
+		t.Fatal("AsBatch must return a native BatchPredictor unchanged")
+	}
+
+	adapted := AsBatch(midpointPredictor{g})
+	req := mkRequest(g, 800)
+	seg := []grid.Cell{req.S, req.D}
+	queries := []Query{
+		{Segment: seg, GapPos: 0, TopK: 5},
+		{Segment: seg, GapPos: 0, TopK: 5},
+	}
+	got, err := adapted.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("adapter returned %d result lists, want 2", len(got))
+	}
+	want, _ := midpointPredictor{g}.Predict(seg, 0, 5)
+	for _, cands := range got {
+		if len(cands) != len(want) || cands[0] != want[0] {
+			t.Fatalf("adapter results diverge from sequential Predict: %v vs %v", cands, want)
+		}
+	}
+
+	errs := AsBatch(failingPredictor{})
+	if _, err := errs.PredictBatch(queries); err == nil {
+		t.Fatal("adapter must propagate Predict errors")
+	}
+}
+
+// TestAlgorithmsUseBatchPath: both algorithms must route predictions through
+// PredictBatch when the predictor supports it, never the single-call method.
+func TestAlgorithmsUseBatchPath(t *testing.T) {
+	cfg, g := testCfg()
+	req := mkRequest(g, 800)
+	for name, run := range map[string]func(p Predictor) (Result, error){
+		"iterative": func(p Predictor) (Result, error) { return Iterative(p, cfg, req) },
+		"beam":      func(p Predictor) (Result, error) { return Beam(p, cfg, req) },
+	} {
+		p := &countingBatchPredictor{inner: midpointPredictor{g}}
+		res, err := run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Failed {
+			t.Fatalf("%s: unexpected failure", name)
+		}
+		if p.singleCalls != 0 {
+			t.Errorf("%s: made %d single-query calls past the batch path", name, p.singleCalls)
+		}
+		if p.batchCalls == 0 {
+			t.Errorf("%s: never used PredictBatch", name)
+		}
+		if p.batchQueries != res.Calls {
+			t.Errorf("%s: result reports %d calls but predictor saw %d queries", name, res.Calls, p.batchQueries)
+		}
+		if p.batchCalls >= p.batchQueries && p.batchQueries > 1 {
+			t.Errorf("%s: %d batches for %d queries; nothing was batched", name, p.batchCalls, p.batchQueries)
+		}
+	}
+}
+
+// TestContextCancellation: a cancelled context must surface ctx.Err() before
+// the predictor is consulted again, leaving the call budget unspent.
+func TestContextCancellation(t *testing.T) {
+	cfg, g := testCfg()
+	req := mkRequest(g, 3000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func(p Predictor) (Result, error){
+		"iterative": func(p Predictor) (Result, error) { return IterativeContext(ctx, p, cfg, req) },
+		"beam":      func(p Predictor) (Result, error) { return BeamContext(ctx, p, cfg, req) },
+	} {
+		p := &countingBatchPredictor{inner: midpointPredictor{g}}
+		_, err := run(p)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v, want context.Canceled", name, err)
+		}
+		if p.batchQueries != 0 || p.singleCalls != 0 {
+			t.Errorf("%s: predictor consulted %d times after cancellation", name, p.batchQueries+p.singleCalls)
+		}
+	}
+}
+
+// TestContextCancelledMidSearch cancels after the first batch: the search
+// must stop well before the budget is spent.
+func TestContextCancelledMidSearch(t *testing.T) {
+	cfg, g := testCfg()
+	cfg.MaxCalls = 300
+	req := mkRequest(g, 3000)
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &cancelAfterFirstBatch{inner: midpointPredictor{g}, cancel: cancel}
+	_, err := BeamContext(ctx, p, cfg, req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if p.queries >= cfg.MaxCalls {
+		t.Fatalf("spent %d of %d budget despite cancellation", p.queries, cfg.MaxCalls)
+	}
+}
+
+type cancelAfterFirstBatch struct {
+	inner   midpointPredictor
+	cancel  context.CancelFunc
+	queries int
+}
+
+func (c *cancelAfterFirstBatch) Predict(segment []grid.Cell, gapPos int, topK int) ([]Candidate, error) {
+	c.queries++
+	return c.inner.Predict(segment, gapPos, topK)
+}
+
+func (c *cancelAfterFirstBatch) PredictBatch(queries []Query) ([][]Candidate, error) {
+	defer c.cancel()
+	out := make([][]Candidate, len(queries))
+	for i, q := range queries {
+		c.queries++
+		cands, err := c.inner.Predict(q.Segment, q.GapPos, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cands
+	}
+	return out, nil
+}

@@ -9,9 +9,9 @@
 package impute
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"kamel/internal/constraints"
 	"kamel/internal/grid"
@@ -141,63 +141,11 @@ func lineFallback(cfg Config, req Request, reason string) Result {
 	}
 }
 
-// Iterative implements Algorithm 1: repeatedly insert the single most
-// probable valid token into the first remaining gap until no gap exceeds
-// max_gap.
+// Iterative implements Algorithm 1: repeatedly insert the most probable
+// valid token into every remaining gap until no gap exceeds max_gap.  It is
+// IterativeContext without cancellation.
 func Iterative(p Predictor, cfg Config, req Request) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	if req.S == req.D {
-		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
-	}
-	seg := []grid.Cell{req.S, req.D}
-	sc := req.segment()
-	maxGap := cfg.effectiveMaxGap()
-	maxPath := cfg.Checker.MaxPathMeters(sc)
-	calls := 0
-	prob := 1.0
-
-	for {
-		gap := findFirstGap(cfg.Grid, seg, maxGap)
-		if gap < 0 {
-			res := Result{Tokens: seg, Prob: normalize(prob, len(seg)-2, cfg.Alpha), Calls: calls, Reason: "ok"}
-			return res, nil
-		}
-		if calls >= cfg.MaxCalls {
-			r := lineFallback(cfg, req, "budget")
-			r.Calls = calls
-			return r, nil
-		}
-		cands, err := p.Predict(seg, gap, cfg.TopK)
-		if err != nil {
-			return Result{}, fmt.Errorf("impute: predictor: %w", err)
-		}
-		calls++
-		cands = cfg.Checker.Filter(cands, sc)
-		inserted := false
-		for _, cand := range cands {
-			if cand.Cell == seg[gap] || cand.Cell == seg[gap+1] {
-				continue // trivial cycle with a gap endpoint (§5.2, x=1)
-			}
-			next := insertAt(seg, gap+1, cand.Cell)
-			if cfg.Checker.HasCycle(next[:gap+2]) {
-				continue // §5.2: reject outcomes that close a cycle
-			}
-			if pathLen(cfg.Grid, next) > maxPath {
-				continue // §5.1: would exceed the physically drivable length
-			}
-			seg = next
-			prob *= cand.Prob
-			inserted = true
-			break
-		}
-		if !inserted {
-			r := lineFallback(cfg, req, "dead-end")
-			r.Calls = calls
-			return r, nil
-		}
-	}
+	return IterativeContext(context.Background(), p, cfg, req)
 }
 
 // pathLen returns the summed centroid distance along a token sequence.
@@ -247,117 +195,8 @@ type beamSeg struct {
 // segments.  Each iteration expands every remaining gap of every beam
 // segment with the top-B valid candidates, keeps the best B new segments,
 // concludes the gap-free ones into the answer set with normalized scores,
-// and prunes anything scoring below the best concluded answer.
+// and prunes anything scoring below the best concluded answer.  It is
+// BeamContext without cancellation.
 func Beam(p Predictor, cfg Config, req Request) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	if req.S == req.D {
-		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
-	}
-	sc := req.segment()
-	maxGap := cfg.effectiveMaxGap()
-	maxPath := cfg.Checker.MaxPathMeters(sc)
-	calls := 0
-
-	start := beamSeg{tokens: []grid.Cell{req.S, req.D}, prob: 1}
-	if findFirstGap(cfg.Grid, start.tokens, maxGap) < 0 {
-		return Result{Tokens: start.tokens, Prob: 1}, nil
-	}
-
-	type answer struct {
-		tokens []grid.Cell
-		score  float64
-	}
-	var best *answer
-	probLimit := 0.0 // lower bound on normalized score, per the §6.2 example
-
-	live := []beamSeg{start}
-	for len(live) > 0 {
-		var fresh []beamSeg
-		for _, bs := range live {
-			for _, gap := range findGaps(cfg.Grid, bs.tokens, maxGap) {
-				if calls >= cfg.MaxCalls {
-					// Budget exhausted: return the best concluded answer, or
-					// fail to a straight line.
-					if best != nil {
-						return Result{Tokens: best.tokens, Prob: best.score, Calls: calls, Reason: "ok"}, nil
-					}
-					r := lineFallback(cfg, req, "budget")
-					r.Calls = calls
-					return r, nil
-				}
-				cands, err := p.Predict(bs.tokens, gap, cfg.TopK)
-				if err != nil {
-					return Result{}, fmt.Errorf("impute: predictor: %w", err)
-				}
-				calls++
-				cands = cfg.Checker.Filter(cands, sc)
-				n := 0
-				for _, cand := range cands {
-					if n >= cfg.Beam {
-						break
-					}
-					if cand.Cell == bs.tokens[gap] || cand.Cell == bs.tokens[gap+1] {
-						continue // trivial cycle with a gap endpoint (§5.2, x=1)
-					}
-					next := insertAt(bs.tokens, gap+1, cand.Cell)
-					if cfg.Checker.HasCycle(next[:gap+2]) {
-						continue
-					}
-					if pathLen(cfg.Grid, next) > maxPath {
-						continue // §5.1: exceeds the drivable length bound
-					}
-					fresh = append(fresh, beamSeg{tokens: next, prob: bs.prob * cand.Prob})
-					n++
-				}
-			}
-		}
-		if len(fresh) == 0 {
-			break
-		}
-		// Deduplicate segments reachable via different insertion orders,
-		// keeping the most probable, then TopB with the probability lower
-		// bound (Algorithm 2 line 13).
-		sort.Slice(fresh, func(i, j int) bool { return fresh[i].prob > fresh[j].prob })
-		seen := make(map[string]bool, len(fresh))
-		dedup := fresh[:0]
-		for _, bs := range fresh {
-			k := segKey(bs.tokens)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			dedup = append(dedup, bs)
-		}
-		fresh = dedup
-		if len(fresh) > cfg.Beam {
-			fresh = fresh[:cfg.Beam]
-		}
-		live = live[:0]
-		for _, bs := range fresh {
-			imputed := len(bs.tokens) - 2
-			score := normalize(bs.prob, imputed, cfg.Alpha)
-			if best != nil && score < probLimit {
-				continue // pruned: cannot beat a concluded answer
-			}
-			if len(findGaps(cfg.Grid, bs.tokens, maxGap)) == 0 {
-				if best == nil || score > best.score {
-					best = &answer{tokens: bs.tokens, score: score}
-					if score > probLimit {
-						probLimit = score
-					}
-				}
-				continue
-			}
-			live = append(live, bs)
-		}
-	}
-
-	if best == nil {
-		r := lineFallback(cfg, req, "dead-end")
-		r.Calls = calls
-		return r, nil
-	}
-	return Result{Tokens: best.tokens, Prob: best.score, Calls: calls, Reason: "ok"}, nil
+	return BeamContext(context.Background(), p, cfg, req)
 }

@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func fillDet(m *Mat, phase float64) {
+	for i := range m.A {
+		m.A[i] = float32(math.Sin(phase + float64(i)*0.7))
+	}
+}
+
+func TestMatMulTNMatchesMatMul(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 5, 3}, {2, 4, 4}, {3, 7, 5},
+		{8, 16, 8}, {30, 64, 64}, {33, 64, 67}, {5, 64, 256}, {9, 256, 64},
+	}
+	for _, sh := range shapes {
+		n, k, m := sh[0], sh[1], sh[2]
+		a, b := NewMat(n, k), NewMat(k, m)
+		fillDet(a, 0.3)
+		fillDet(b, 1.1)
+		// Sprinkle exact zeros so the MatMul zero-skip path is exercised.
+		if len(a.A) > 3 {
+			a.A[0], a.A[3] = 0, 0
+		}
+		bias := make([]float32, m)
+		for j := range bias {
+			bias[j] = float32(j)*0.01 - 0.2
+		}
+
+		want := NewMat(n, m)
+		MatMul(want, a, b)
+		for i := 0; i < n; i++ {
+			row := want.Row(i)
+			for j, bv := range bias {
+				row[j] += bv
+			}
+		}
+
+		got := NewMat(n, m)
+		MatMulTN(got, a, Transpose(b), bias)
+		for i := range want.A {
+			if want.A[i] != got.A[i] {
+				t.Fatalf("shape %v: element %d differs: %v vs %v", sh, i, want.A[i], got.A[i])
+			}
+		}
+
+		// Nil bias path.
+		MatMul(want, a, b)
+		MatMulTN(got, a, Transpose(b), nil)
+		for i := range want.A {
+			if want.A[i] != got.A[i] {
+				t.Fatalf("shape %v (no bias): element %d differs", sh, i)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.A, []float32{1, 2, 3, 4, 5, 6})
+	tr := Transpose(m)
+	if tr.R != 3 || tr.C != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.R, tr.C)
+	}
+	want := []float32{1, 4, 2, 5, 3, 6}
+	for i, v := range want {
+		if tr.A[i] != v {
+			t.Fatalf("transpose element %d = %v, want %v", i, tr.A[i], v)
+		}
+	}
+}
+
+func TestRowsView(t *testing.T) {
+	m := NewMat(4, 3)
+	for i := range m.A {
+		m.A[i] = float32(i)
+	}
+	v := m.RowsView(1, 3)
+	if v.R != 2 || v.C != 3 {
+		t.Fatalf("view shape %dx%d", v.R, v.C)
+	}
+	if v.At(0, 0) != 3 || v.At(1, 2) != 8 {
+		t.Fatal("view reads wrong data")
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 0) != -1 {
+		t.Fatal("view must alias the parent matrix")
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 1}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RowsView(%d, %d) must panic", bad[0], bad[1])
+				}
+			}()
+			m.RowsView(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestLayerNormInferMatchesForward(t *testing.T) {
+	const eps = 1e-5
+	x := NewMat(7, 16)
+	fillDet(x, 2.2)
+	g := make([]float32, 16)
+	b := make([]float32, 16)
+	for i := range g {
+		g[i] = 1 + float32(i)*0.05
+		b[i] = float32(i)*0.02 - 0.1
+	}
+	want := NewMat(7, 16)
+	xhat := NewMat(7, 16)
+	LayerNormForward(want, xhat, x, g, b, eps)
+
+	got := NewMat(7, 16)
+	LayerNormInfer(got, x, g, b, eps)
+	for i := range want.A {
+		if want.A[i] != got.A[i] {
+			t.Fatalf("element %d differs: %v vs %v", i, want.A[i], got.A[i])
+		}
+	}
+
+	// In-place (y aliasing x) must produce the same result.
+	inPlace := x.Clone()
+	LayerNormInfer(inPlace, inPlace, g, b, eps)
+	for i := range want.A {
+		if want.A[i] != inPlace.A[i] {
+			t.Fatalf("in-place element %d differs", i)
+		}
+	}
+}

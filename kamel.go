@@ -98,21 +98,72 @@ func (s *System) Close() error { return s.inner.Close() }
 // Stats reports the current trained state.
 func (s *System) Stats() SystemStats { return s.inner.SystemStats() }
 
+// ErrNotTrained is returned by the imputation entry points before any model
+// has been trained or loaded.
+var ErrNotTrained = core.ErrNotTrained
+
 // Train ingests a batch of training trajectories: stores them durably,
 // updates the spatial model repository, and (re)trains BERT models where the
 // paper's thresholds allow (§4.2).  Training produces no imputation output.
+// It is TrainContext without cancellation.
 func (s *System) Train(trajs []Trajectory) error {
 	return s.inner.Train(toInternal(trajs))
 }
 
+// TrainContext is Train with cancellation: the context is checked before
+// each per-region model training, so a cancelled request stops enriching
+// models promptly (already-stored trajectories remain stored).
+func (s *System) TrainContext(ctx context.Context, trajs []Trajectory) error {
+	return s.inner.TrainContext(ctx, toInternal(trajs))
+}
+
 // Impute fills the gaps of one sparse trajectory and returns the dense
-// trajectory plus failure accounting.
+// trajectory plus failure accounting.  It is ImputeContext without
+// cancellation.
 func (s *System) Impute(tr Trajectory) (Trajectory, Stats, error) {
-	dense, st, err := s.inner.Impute(toInternalOne(tr))
+	return s.ImputeContext(context.Background(), tr)
+}
+
+// ImputeContext fills the gaps of one sparse trajectory.  The context is
+// honored between batched BERT calls: a cancelled request abandons the
+// search mid-gap and returns ctx.Err().
+func (s *System) ImputeContext(ctx context.Context, tr Trajectory) (Trajectory, Stats, error) {
+	dense, st, err := s.inner.ImputeContext(ctx, toInternalOne(tr))
 	if err != nil {
 		return Trajectory{}, Stats{}, err
 	}
 	return fromInternal(dense), Stats{Segments: st.Segments, Failures: st.Failures}, nil
+}
+
+// BatchResult is one trajectory's outcome from ImputeBatch.
+type BatchResult struct {
+	Trajectory Trajectory
+	Stats      Stats
+	Err        error
+}
+
+// ImputeBatch imputes a batch of trajectories and returns one result per
+// input, in input order.  System-level failures — an untrained system
+// (ErrNotTrained), a cancelled or expired context — abort the whole call;
+// anything that only affects a single trajectory lands in its BatchResult.
+// Results are identical to calling ImputeContext per trajectory.
+func (s *System) ImputeBatch(ctx context.Context, trs []Trajectory) ([]BatchResult, error) {
+	inner, err := s.inner.ImputeBatch(ctx, toInternal(trs))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(inner))
+	for i, r := range inner {
+		if r.Err != nil {
+			out[i] = BatchResult{Err: r.Err}
+			continue
+		}
+		out[i] = BatchResult{
+			Trajectory: fromInternal(r.Trajectory),
+			Stats:      Stats{Segments: r.Stats.Segments, Failures: r.Stats.Failures},
+		}
+	}
+	return out, nil
 }
 
 // StreamResult is one result from the online mode.

@@ -1,0 +1,80 @@
+package kamel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// sparsifyPublic crudely drops interior points through the public types.
+func sparsifyPublic(tr Trajectory) Trajectory {
+	sparse := Trajectory{ID: tr.ID}
+	for i, p := range tr.Points {
+		if i == 0 || i == len(tr.Points)-1 || i%60 == 0 {
+			sparse.Points = append(sparse.Points, p)
+		}
+	}
+	return sparse
+}
+
+func TestImputeBatchPublic(t *testing.T) {
+	train, test := fixtureTrajectories(t)
+	sys, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Train(train); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []Trajectory{sparsifyPublic(test[0]), sparsifyPublic(test[1])}
+	results, err := sys.ImputeBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(batch) {
+		t.Fatalf("%d results for %d inputs", len(results), len(batch))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+		want, wantStats, err := sys.Impute(batch[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats != wantStats {
+			t.Errorf("item %d stats %+v != sequential %+v", i, res.Stats, wantStats)
+		}
+		if len(res.Trajectory.Points) != len(want.Points) {
+			t.Errorf("item %d: %d points, sequential produced %d",
+				i, len(res.Trajectory.Points), len(want.Points))
+		}
+	}
+
+	// Cancelled context aborts the call with ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.ImputeBatch(ctx, batch); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch error %v, want context.Canceled", err)
+	}
+	if _, _, err := sys.ImputeContext(ctx, batch[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled impute error %v, want context.Canceled", err)
+	}
+	if err := sys.TrainContext(ctx, train[:1]); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled train error %v, want context.Canceled", err)
+	}
+}
+
+func TestImputeBatchNotTrainedPublic(t *testing.T) {
+	sys, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	_, err = sys.ImputeBatch(context.Background(), []Trajectory{{ID: "x"}})
+	if !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("error %v, want ErrNotTrained", err)
+	}
+}

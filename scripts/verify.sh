@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo verification gate: formatting, vet, build, and the full test suite
+# under the race detector.  Extra flags are passed to `go test` (e.g.
+# `./scripts/verify.sh -short` for the fast subset).
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race "$@" ./...
