@@ -1,4 +1,4 @@
-.PHONY: verify test test-short bench
+.PHONY: verify test test-short fault bench
 
 verify: ## gofmt + vet + build + full race-enabled test suite
 	./scripts/verify.sh
@@ -8,6 +8,9 @@ test:
 
 test-short:
 	go test -short ./...
+
+fault: ## fault-injection suite: kill-points, corruption, overload
+	go test -run Fault -count=2 ./...
 
 bench:
 	go test -run '^$$' -bench . -benchmem .

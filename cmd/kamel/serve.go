@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -22,6 +23,9 @@ const (
 	codeBadRequest = "bad_request"
 	codeNotTrained = "not_trained"
 	codeInternal   = "internal"
+	codeOverloaded = "overloaded"
+	codeTimeout    = "timeout"
+	codeTooLarge   = "too_large"
 )
 
 // apiServer wires a KAMEL system to the demonstration HTTP API of the SIGMOD
@@ -38,13 +42,45 @@ const (
 // the imputation engine, so clients that disconnect (and shutdowns that time
 // out) stop beam search mid-flight instead of burning the call budget.
 type apiServer struct {
-	sys *core.System
+	sys  *core.System
+	opts serveOptions
+
+	inflight chan struct{} // concurrency limiter slots
+	shed     atomic.Int64  // requests rejected with 429
+	panics   atomic.Int64  // handler panics recovered into 500s
 }
 
-// newAPIHandler builds the HTTP routing table; factored out of runServe so
-// tests can drive the full surface through httptest.
-func newAPIHandler(sys *core.System) http.Handler {
-	s := &apiServer{sys: sys}
+// serveOptions are the hardening knobs of the HTTP surface, set from flags
+// in runServe and directly by tests.
+type serveOptions struct {
+	// requestTimeout bounds each request's handling via its context; the
+	// imputation engine aborts between BERT calls when it expires.  0
+	// disables.
+	requestTimeout time.Duration
+	// maxBodyBytes caps request bodies; oversized requests get 413.
+	maxBodyBytes int64
+	// maxInflight caps concurrently handled API requests; excess load is
+	// shed with 429 + Retry-After rather than queued without bound.
+	maxInflight int
+}
+
+func defaultServeOptions() serveOptions {
+	return serveOptions{
+		requestTimeout: 30 * time.Second,
+		maxBodyBytes:   8 << 20,
+		maxInflight:    64,
+	}
+}
+
+// newAPIHandler builds the HTTP routing table wrapped in the hardening
+// middleware (outermost first: panic recovery → load shedding → per-request
+// timeout → body size cap); factored out of runServe so tests can drive the
+// full surface through httptest.
+func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
+	s := &apiServer{sys: sys, opts: opts}
+	if opts.maxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.maxInflight)
+	}
 	mux := http.NewServeMux()
 	for _, prefix := range []string{"/v1", "/api"} {
 		deprecated := prefix == "/api"
@@ -53,11 +89,110 @@ func newAPIHandler(sys *core.System) http.Handler {
 		mux.Handle(prefix+"/stats", s.endpoint(http.MethodGet, deprecated, s.handleStats))
 	}
 	mux.Handle("/v1/impute/batch", s.endpoint(http.MethodPost, false, s.handleImputeBatch))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, demoPage)
 	})
-	return mux
+	var h http.Handler = mux
+	h = s.limitBody(h)
+	h = s.withRequestTimeout(h)
+	h = s.shedLoad(h)
+	h = s.recoverPanics(h)
+	return h
+}
+
+// recoverPanics converts a handler panic into a structured 500 instead of
+// killing the connection (and, for a panicking goroutine, the process).
+func (s *apiServer) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				fmt.Fprintf(os.Stderr, "serve: panic in %s %s: %v\n", r.Method, r.URL.Path, rec)
+				// Best effort: if the handler already started the response
+				// this write is a no-op on the status line.
+				writeError(w, http.StatusInternalServerError, codeInternal, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// isProbe reports whether the path is a health probe, which must stay
+// responsive under overload and never be shed or timed out.
+func isProbe(path string) bool { return path == "/healthz" || path == "/readyz" }
+
+// shedLoad is a token-bucket concurrency limiter: a request either takes a
+// slot immediately or is shed with 429 + Retry-After.  Shedding, not
+// queueing, keeps latency bounded when a burst exceeds capacity.
+func (s *apiServer) shedLoad(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isProbe(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, codeOverloaded,
+				fmt.Sprintf("server at capacity (%d in-flight requests)", cap(s.inflight)))
+		}
+	})
+}
+
+// withRequestTimeout bounds each request's context so a slow imputation (or
+// a stuck client) cannot hold a limiter slot forever.
+func (s *apiServer) withRequestTimeout(next http.Handler) http.Handler {
+	if s.opts.requestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isProbe(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.requestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// limitBody caps request body sizes so one oversized POST cannot exhaust
+// memory; handlers surface the violation as a structured 413.
+func (s *apiServer) limitBody(next http.Handler) http.Handler {
+	if s.opts.maxBodyBytes <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *apiServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports 200 only once the system can serve model-based
+// imputations (trained or loaded models); load balancers use it to keep
+// traffic away from instances that would answer every request with 409.
+func (s *apiServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.sys.Ready() {
+		writeError(w, http.StatusServiceUnavailable, codeNotTrained, "no models trained or loaded yet")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 // endpoint enforces the allowed method (and, for POSTs, a JSON Content-Type)
@@ -91,10 +226,26 @@ func jsonContentType(r *http.Request) bool {
 	return err == nil && mt == "application/json"
 }
 
+// decodeBody decodes a JSON request body into v, writing the structured
+// error response (and returning false) on failure.  An oversized body —
+// truncated by the limitBody middleware — maps to 413 rather than 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
 func (s *apiServer) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var trajs []wireTraj
-	if err := json.NewDecoder(r.Body).Decode(&trajs); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request body: "+err.Error())
+	if !decodeBody(w, r, &trajs) {
 		return
 	}
 	if len(trajs) == 0 {
@@ -110,8 +261,7 @@ func (s *apiServer) handleTrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
 	var tr wireTraj
-	if err := json.NewDecoder(r.Body).Decode(&tr); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request body: "+err.Error())
+	if !decodeBody(w, r, &tr) {
 		return
 	}
 	dense, stats, err := s.sys.ImputeContext(r.Context(), fromWire([]wireTraj{tr})[0])
@@ -124,13 +274,13 @@ func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
 		Trajectory: toWirePtr(dense),
 		Segments:   stats.Segments,
 		Failures:   stats.Failures,
+		Degraded:   stats.Degraded,
 	})
 }
 
 func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
 	var trajs []wireTraj
-	if err := json.NewDecoder(r.Body).Decode(&trajs); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request body: "+err.Error())
+	if !decodeBody(w, r, &trajs) {
 		return
 	}
 	results, err := s.sys.ImputeBatch(r.Context(), fromWire(trajs))
@@ -149,19 +299,39 @@ func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
 			Trajectory: toWirePtr(res.Trajectory),
 			Segments:   res.Stats.Segments,
 			Failures:   res.Stats.Failures,
+			Degraded:   res.Stats.Degraded,
 		}
 	}
 	writeJSON(w, map[string]interface{}{"results": items})
 }
 
+// wireStats is the /v1/stats document: the system's trained-state summary
+// plus the serving layer's own resilience counters.
+type wireStats struct {
+	core.Stats
+	SheddedRequests int64 `json:"shedded_requests"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+}
+
+func (s *apiServer) statsDoc() wireStats {
+	return wireStats{
+		Stats:           s.sys.SystemStats(),
+		SheddedRequests: s.shed.Load(),
+		PanicsRecovered: s.panics.Load(),
+	}
+}
+
 func (s *apiServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.sys.SystemStats())
+	writeJSON(w, s.statsDoc())
 }
 
 // imputeErrStatus maps an imputation error to its HTTP status and API code.
 func imputeErrStatus(err error) (int, string) {
 	if errors.Is(err, core.ErrNotTrained) {
 		return http.StatusConflict, codeNotTrained
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable, codeTimeout
 	}
 	return http.StatusInternalServerError, codeInternal
 }
@@ -174,6 +344,13 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	steps := fs.Int("steps", 0, "BERT training steps")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	def := defaultServeOptions()
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server read timeout (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "http.Server write timeout (0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server idle keep-alive timeout (0 disables)")
+	reqTimeout := fs.Duration("request-timeout", def.requestTimeout, "per-request handling timeout (0 disables)")
+	maxBody := fs.Int64("max-body-bytes", def.maxBodyBytes, "maximum request body size in bytes (0 disables)")
+	maxInflight := fs.Int("max-inflight", def.maxInflight, "maximum concurrently handled requests before shedding with 429 (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,7 +371,19 @@ func runServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Addr: *addr, Handler: newAPIHandler(sys)}
+	opts := serveOptions{
+		requestTimeout: *reqTimeout,
+		maxBodyBytes:   *maxBody,
+		maxInflight:    *maxInflight,
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newAPIHandler(sys, opts),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
@@ -229,6 +418,7 @@ type wireImputeResult struct {
 	Trajectory *wireTraj `json:"trajectory,omitempty"`
 	Segments   int       `json:"segments"`
 	Failures   int       `json:"failures"`
+	Degraded   int       `json:"degraded"`
 	Error      string    `json:"error,omitempty"`
 }
 
@@ -281,7 +471,8 @@ const demoPage = `<!doctype html>
 <p>POST <code>/v1/train</code> a JSON array of {id, points:[[lat,lng,t],...]} to train.</p>
 <p>POST <code>/v1/impute</code> one such object to impute, or <code>/v1/impute/batch</code>
 an array of them; GET <code>/v1/stats</code> for system state.</p>
-<p>The pre-versioning <code>/api/*</code> routes remain as deprecated aliases.</p>
+<p>The pre-versioning <code>/api/*</code> routes remain as deprecated aliases.
+Liveness and readiness probes are at <code>/healthz</code> and <code>/readyz</code>.</p>
 <pre id="stats">loading stats…</pre>
 <script>
 fetch('/v1/stats').then(r => r.json()).then(s => {

@@ -15,15 +15,19 @@ import (
 )
 
 // newTestServer stands up the full HTTP surface over a fresh (untrained)
-// system.
+// system with the default hardening options.
 func newTestServer(t *testing.T) *httptest.Server {
+	return newTestServerOpts(t, defaultServeOptions())
+}
+
+func newTestServerOpts(t *testing.T, opts serveOptions) *httptest.Server {
 	t.Helper()
 	sys, err := core.New(systemConfig(t.TempDir(), 90, "", true, false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sys.Close() })
-	ts := httptest.NewServer(newAPIHandler(sys))
+	ts := httptest.NewServer(newAPIHandler(sys, opts))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -150,6 +154,11 @@ func TestServeAPIEndToEnd(t *testing.T) {
 	}
 	ts := newTestServer(t)
 
+	// Not ready before any training.
+	if status, _, _ := call(t, http.MethodGet, ts.URL+"/readyz", "", ""); status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before training: status %d, want 503", status)
+	}
+
 	city := roadnet.DefaultCityConfig()
 	city.Width, city.Height = 1500, 1500
 	net := roadnet.GenerateCity(city)
@@ -209,5 +218,29 @@ func TestServeAPIEndToEnd(t *testing.T) {
 	status, hdr, body := call(t, http.MethodPost, ts.URL+"/api/impute", "application/json", string(oneBody))
 	if status != http.StatusOK || hdr.Get("Deprecation") != "true" {
 		t.Fatalf("alias impute status %d deprecation %q: %v", status, hdr.Get("Deprecation"), body)
+	}
+
+	// Training flipped the readiness probe.
+	status, _, body = call(t, http.MethodGet, ts.URL+"/readyz", "", "")
+	if status != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz after training: status %d body %v", status, body)
+	}
+
+	// Stats exports the serving-resilience counters alongside trained state.
+	status, _, body = call(t, http.MethodGet, ts.URL+"/v1/stats", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	for _, key := range []string{
+		"shedded_requests", "panics_recovered",
+		"quarantined_models", "corrupt_store_records",
+		"served_segments", "served_failures", "degraded_segments",
+	} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("stats body missing %q: %v", key, body)
+		}
+	}
+	if served, _ := body["served_segments"].(float64); served <= 0 {
+		t.Errorf("served_segments = %v, want > 0 after imputations", body["served_segments"])
 	}
 }

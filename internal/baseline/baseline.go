@@ -13,12 +13,19 @@ import "kamel/internal/geo"
 type Stats struct {
 	Segments int // gaps attempted
 	Failures int // gaps imputed as a straight line
+	// Degraded counts gaps served by a coarser ancestor model (or the
+	// linear fallback) because the best-fitting model was quarantined as
+	// corrupt at load time.  Always 0 for the baseline methods; KAMEL's
+	// repository sets it so operators can see quarantine-driven quality
+	// loss per request.
+	Degraded int
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Segments += other.Segments
 	s.Failures += other.Failures
+	s.Degraded += other.Degraded
 }
 
 // FailureRate returns Failures/Segments, or 0 for no segments.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log"
 
 	"kamel/internal/bert"
+	"kamel/internal/fsx"
 	"kamel/internal/pyramid"
 	"kamel/internal/vocab"
 )
@@ -66,7 +68,10 @@ func (s *System) SaveModels() error {
 
 // LoadModels restores a repository persisted by SaveModels.  The trajectory
 // store (and therefore detokenization clusters and the speed estimate) is
-// rebuilt from the Workdir store automatically.
+// rebuilt from the Workdir store automatically.  Model files that fail their
+// integrity checks are quarantined with a logged warning, not fatal: the
+// surviving models keep serving and lookups degrade to ancestors (visible as
+// QuarantinedModels / DegradedSegments in Stats).
 func (s *System) LoadModels() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -80,9 +85,12 @@ func (s *System) LoadModels() error {
 			return err
 		}
 	}
-	repo, err := pyramid.Load(s.modelsDir(), bundleCodec{})
+	repo, report, err := pyramid.LoadFS(fsx.OS(), s.modelsDir(), bundleCodec{})
 	if err != nil {
 		return err
+	}
+	for _, q := range report.Quarantined {
+		log.Printf("core: quarantined corrupt model %s (%s %s): %v", q.File, q.Key, q.Slot, q.Err)
 	}
 	s.repo = repo
 	if s.st != nil && s.st.Len() > 0 {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFaultModelQuarantineEndToEnd drives the full degradation ladder through
+// the public System surface: train a partitioned system, persist it, corrupt
+// one model file on disk, and check that a fresh process quarantines the bad
+// file at load time yet still answers imputations.
+func TestFaultModelQuarantineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	f := newFixture(t, func(cfg *Config) {
+		cfg.DisablePartitioning = false
+		cfg.PyramidH = 1
+		cfg.PyramidL = 2
+		cfg.ThresholdK = 300
+	})
+	sys := trainedSystem(t, f)
+	if single, _ := sys.Repo().NumModels(); single == 0 {
+		t.Fatal("fixture trained no pyramid models")
+	}
+	if err := sys.SaveModels(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in one persisted model's payload (past the framed header).
+	modelsDir := filepath.Join(f.cfg.Workdir, "models")
+	matches, err := filepath.Glob(filepath.Join(modelsDir, "model-*.bin"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no persisted model files (err=%v)", err)
+	}
+	victim := matches[0]
+	buf, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(victim, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process loads what survives and sidelines the corrupt file.
+	sys2, err := New(f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if err := sys2.LoadModels(); err != nil {
+		t.Fatalf("LoadModels must degrade, not fail: %v", err)
+	}
+	st := sys2.SystemStats()
+	if st.QuarantinedModels < 1 {
+		t.Fatalf("QuarantinedModels = %d, want >= 1", st.QuarantinedModels)
+	}
+	entries, err := os.ReadDir(filepath.Join(modelsDir, "quarantine"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("quarantine dir must hold the corrupt file (err=%v, %d entries)", err, len(entries))
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Errorf("corrupt file must be moved out of the models dir, stat err=%v", err)
+	}
+
+	// Queries still get answers — possibly via an ancestor model or the
+	// linear fallback, never an error.
+	sparse := f.test[0].Sparsify(700)
+	dense, stats, err := sys2.Impute(sparse)
+	if err != nil {
+		t.Fatalf("imputation after quarantine: %v", err)
+	}
+	if len(dense.Points) < len(sparse.Points) {
+		t.Errorf("imputation dropped points: %d < %d", len(dense.Points), len(sparse.Points))
+	}
+	if stats.Segments == 0 {
+		t.Error("no segments processed")
+	}
+	if got := sys2.SystemStats(); got.ServedSegments == 0 {
+		t.Errorf("served counters not accumulated: %+v", got)
+	}
+}

@@ -60,9 +60,12 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 		}
 		stats.Segments++
 
-		res, ok, err := s.imputeGap(ctx, cells, xys, i, b.T-a.T)
+		res, degraded, ok, err := s.imputeGap(ctx, cells, xys, i, b.T-a.T)
 		if err != nil {
 			return geo.Trajectory{}, stats, err
+		}
+		if degraded {
+			stats.Degraded++
 		}
 		if !ok || res.Failed {
 			stats.Failures++
@@ -79,6 +82,7 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 		}
 	}
 	out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
+	s.served.account(stats)
 	return out, stats, nil
 }
 
@@ -136,17 +140,21 @@ func (s *System) emit(out *geo.Trajectory, interior []geo.XY, t0, t1 float64, a,
 
 // imputeGap runs the Partitioning lookup and the multipoint algorithm for
 // the gap between sparse points i and i+1, whose timestamps differ by dt
-// seconds.  ok=false means no model covers the gap.  Only context errors are
-// returned; any other predictor failure degrades to a failed (straight-line)
-// result, preserving the availability contract of §4.1.
-func (s *System) imputeGap(ctx context.Context, cells []grid.Cell, xys []geo.XY, i int, dt float64) (impute.Result, bool, error) {
+// seconds.  ok=false means no model covers the gap.  degraded reports that
+// the best-fitting model was quarantined at load time, so the gap was served
+// down the degradation ladder (ancestor model, or the caller's linear
+// fallback when ok=false).  Only context errors are returned; any other
+// predictor failure degrades to a failed (straight-line) result, preserving
+// the availability contract of §4.1.
+func (s *System) imputeGap(ctx context.Context, cells []grid.Cell, xys []geo.XY, i int, dt float64) (res impute.Result, degraded, ok bool, err error) {
 	bundle := s.global
 	if bundle == nil {
 		mbr := geo.EmptyRect().ExtendXY(xys[i]).ExtendXY(xys[i+1])
-		h, _, ok := s.repo.Lookup(mbr)
-		if !ok {
-			return impute.Result{}, false, nil
+		h, _, info, found := s.repo.LookupBest(mbr)
+		if !found {
+			return impute.Result{}, info.Degraded, false, nil
 		}
+		degraded = info.Degraded
 		bundle = h.(*modelBundle)
 	}
 
@@ -173,10 +181,8 @@ func (s *System) imputeGap(ctx context.Context, cells []grid.Cell, xys []geo.XY,
 
 	if s.cfg.DisableMultipoint {
 		res, ok := s.singleShot(p, cfg, req)
-		return res, ok, nil
+		return res, degraded, ok, nil
 	}
-	var res impute.Result
-	var err error
 	switch s.cfg.Strategy {
 	case StrategyIterative:
 		res, err = impute.IterativeContext(ctx, p, cfg, req)
@@ -185,11 +191,11 @@ func (s *System) imputeGap(ctx context.Context, cells []grid.Cell, xys []geo.XY,
 	}
 	if err != nil {
 		if ctx.Err() != nil {
-			return impute.Result{}, true, err
+			return impute.Result{}, degraded, true, err
 		}
-		return impute.Result{Failed: true}, true, nil
+		return impute.Result{Failed: true}, degraded, true, nil
 	}
-	return res, true, nil
+	return res, degraded, true, nil
 }
 
 // singleShot implements the "No Multi." ablation (§8.7): exactly one BERT

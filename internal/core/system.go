@@ -3,13 +3,15 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
+	"kamel/internal/baseline"
 	"kamel/internal/bert"
 	"kamel/internal/constraints"
 	"kamel/internal/detok"
+	"kamel/internal/fsx"
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/pyramid"
@@ -40,6 +42,29 @@ type System struct {
 	checker   *constraints.Checker
 	speedMPS  float64 // inferred max speed (§5.1)
 	trainTime float64 // cumulative seconds spent training
+
+	// served accumulates per-process serving counters; a pointer so
+	// WithAblation clones share the receiver's counters.
+	served *servedCounters
+}
+
+// servedCounters are the cumulative imputation-serving counters operators
+// read from /v1/stats: how much work was served, how much of it fell back
+// to a straight line, and how much was degraded by quarantined models.
+type servedCounters struct {
+	segments atomic.Int64
+	failures atomic.Int64
+	degraded atomic.Int64
+}
+
+// account folds one request's accounting into the cumulative counters.
+func (c *servedCounters) account(st baseline.Stats) {
+	if c == nil || st.Segments == 0 && st.Degraded == 0 {
+		return
+	}
+	c.segments.Add(int64(st.Segments))
+	c.failures.Add(int64(st.Failures))
+	c.degraded.Add(int64(st.Degraded))
 }
 
 // New creates a KAMEL system.  The projection is fixed lazily by the first
@@ -55,7 +80,7 @@ func NewWithProjection(cfg Config, proj *geo.Projection) (*System, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, proj: proj}
+	s := &System{cfg: cfg, proj: proj, served: &servedCounters{}}
 	switch cfg.GridKind {
 	case "hex":
 		s.g = grid.NewHex(cfg.CellEdgeM)
@@ -110,7 +135,10 @@ func (s *System) Close() error {
 	return err
 }
 
-// Stats summarizes the trained state for dashboards and the demo API.
+// Stats summarizes the trained state for dashboards and the demo API.  The
+// quarantine and serving counters let operators see degradation rates: how
+// many persisted models were sidelined as corrupt, and how many served gaps
+// were degraded (ancestor model or linear fallback) as a result.
 type Stats struct {
 	Trajectories   int     `json:"trajectories"`
 	Tokens         int     `json:"tokens"`
@@ -119,6 +147,12 @@ type Stats struct {
 	DetokTokens    int     `json:"detok_tokens"`
 	MaxSpeedMPS    float64 `json:"max_speed_mps"`
 	TrainSeconds   float64 `json:"train_seconds"`
+
+	QuarantinedModels   int   `json:"quarantined_models"`
+	CorruptStoreRecords int   `json:"corrupt_store_records"`
+	ServedSegments      int64 `json:"served_segments"`
+	ServedFailures      int64 `json:"served_failures"`
+	DegradedSegments    int64 `json:"degraded_segments"`
 }
 
 // SystemStats reports the current state.
@@ -129,9 +163,11 @@ func (s *System) SystemStats() Stats {
 	if s.st != nil {
 		out.Trajectories = s.st.Len()
 		out.Tokens = s.st.TotalTokens()
+		out.CorruptStoreRecords = s.st.CorruptRecords()
 	}
 	if s.repo != nil {
 		out.SingleModels, out.NeighborModels = s.repo.NumModels()
+		out.QuarantinedModels = s.repo.QuarantinedModels()
 	}
 	if s.global != nil {
 		out.SingleModels++
@@ -139,7 +175,28 @@ func (s *System) SystemStats() Stats {
 	if s.detokTab != nil {
 		out.DetokTokens = s.detokTab.NumTokens()
 	}
+	if s.served != nil {
+		out.ServedSegments = s.served.segments.Load()
+		out.ServedFailures = s.served.failures.Load()
+		out.DegradedSegments = s.served.degraded.Load()
+	}
 	return out
+}
+
+// Ready reports whether the system can serve model-based imputations: at
+// least one trained (or loaded) model exists.  The serving layer's readiness
+// probe keys off it.
+func (s *System) Ready() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.global != nil {
+		return true
+	}
+	if s.repo == nil {
+		return false
+	}
+	single, neighbor := s.repo.NumModels()
+	return single+neighbor > 0
 }
 
 // WithAblation returns a read-only view of the trained system with the
@@ -159,6 +216,7 @@ func (s *System) WithAblation(disableConstraints, disableMultipoint bool) *Syste
 		global:   s.global,
 		detokTab: s.detokTab,
 		speedMPS: s.speedMPS,
+		served:   s.served,
 	}
 	clone.cfg.DisableConstraints = disableConstraints
 	clone.cfg.DisableMultipoint = disableMultipoint
@@ -218,19 +276,21 @@ func (s *System) ensureProjection(trajs []geo.Trajectory) error {
 // fresh process can reopen the store and models without retraining.
 func (s *System) metaPath() string { return filepath.Join(s.cfg.Workdir, "meta.json") }
 
-// saveMeta persists the projection origin.
+// saveMeta persists the projection origin.  The write is atomic: meta.json
+// is the root pointer a fresh process recovers everything else from, so it
+// must never be observable half-written.
 func (s *System) saveMeta() error {
 	lat, lng := s.proj.Origin()
 	buf, err := json.Marshal(map[string]float64{"origin_lat": lat, "origin_lng": lng})
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(s.metaPath(), buf, 0o644)
+	return fsx.WriteFileAtomic(fsx.OS(), s.metaPath(), buf)
 }
 
 // loadMeta restores the projection origin if previously saved.
 func (s *System) loadMeta() error {
-	buf, err := os.ReadFile(s.metaPath())
+	buf, err := fsx.ReadFile(fsx.OS(), s.metaPath())
 	if err != nil {
 		return err
 	}

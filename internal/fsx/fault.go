@@ -1,0 +1,159 @@
+package fsx
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error returned by an injected fault.
+var ErrInjected = errors.New("fsx: injected fault")
+
+// ErrNoSpace simulates ENOSPC; set it as Fault.Err to exercise
+// disk-full handling.
+var ErrNoSpace = errors.New("fsx: no space left on device (injected)")
+
+// Fault is a deterministic fault-injecting FS wrapper.  Every mutating
+// operation (Create, Write, Sync, Rename, Remove, MkdirAll) increments an
+// operation counter; the FailAt'th operation fails with Err instead of
+// reaching the inner FS.  This turns "crash during save" into an ordinary
+// loop: run the save with FailAt = 1, 2, 3, … and assert the recovery
+// invariant after each, which covers every kill point the code can hit.
+//
+// Read-side corruption is injected separately: files whose path contains
+// FlipBitIn have the high bit of the first byte of their first Read flipped,
+// simulating bit rot that only integrity checks can catch.
+//
+// The zero FailAt injects no write faults.  Fault is safe for concurrent use.
+type Fault struct {
+	Inner FS
+
+	// FailAt fails the Nth mutating operation (1-based); 0 disables.
+	FailAt int
+	// Torn makes a failing Write a torn write: the first half of the buffer
+	// reaches the inner file before the error, as a crash mid-write would.
+	Torn bool
+	// Err is the injected error; nil means ErrInjected.
+	Err error
+	// FlipBitIn, when non-empty, corrupts reads of files whose path
+	// contains it as a substring.
+	FlipBitIn string
+
+	mu  sync.Mutex
+	ops int
+}
+
+// NewFault wraps inner with an injector that (until configured) passes
+// everything through.
+func NewFault(inner FS) *Fault { return &Fault{Inner: inner} }
+
+// Ops returns the number of mutating operations observed so far.  A
+// kill-point sweep uses it to know when FailAt has passed the end of the
+// operation sequence.
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// step counts one mutating operation and reports whether it must fail.
+func (f *Fault) step() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	return f.FailAt != 0 && f.ops == f.FailAt
+}
+
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+func (f *Fault) Create(name string) (File, error) {
+	if f.step() {
+		return nil, f.err()
+	}
+	file, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file, name: name}, nil
+}
+
+func (f *Fault) Open(name string) (File, error) {
+	file, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file, name: name}, nil
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if f.step() {
+		return f.err()
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if f.step() {
+		return f.err()
+	}
+	return f.Inner.Remove(name)
+}
+
+func (f *Fault) MkdirAll(path string, perm fs.FileMode) error {
+	if f.step() {
+		return f.err()
+	}
+	return f.Inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) ReadDir(name string) ([]fs.DirEntry, error) { return f.Inner.ReadDir(name) }
+
+func (f *Fault) SyncDir(dir string) error {
+	if f.step() {
+		return f.err()
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile threads writes, syncs, and reads through the injector.
+type faultFile struct {
+	f       *Fault
+	inner   File
+	name    string
+	flipped bool
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.f.step() {
+		if ff.f.Torn && len(p) > 0 {
+			n, _ := ff.inner.Write(p[:len(p)/2])
+			return n, ff.f.err()
+		}
+		return 0, ff.f.err()
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.f.step() {
+		return ff.f.err()
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	n, err := ff.inner.Read(p)
+	if n > 0 && !ff.flipped && ff.f.FlipBitIn != "" && strings.Contains(ff.name, ff.f.FlipBitIn) {
+		p[0] ^= 0x80
+		ff.flipped = true
+	}
+	return n, err
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,64 @@
+package fsx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Framed files carry a fixed 16-byte header in front of the payload:
+//
+//	u32 magic "KFX1" | u32 version | u32 payload length | u32 CRC32(payload)
+//
+// The frame turns silent corruption (bit rot, torn writes that survived a
+// rename race, tooling accidents) into a detected ErrCorrupt at read time,
+// which the model repository converts into quarantine-and-degrade rather
+// than a failed load.
+const (
+	frameMagic   = 0x3158464b // "KFX1" little-endian
+	frameVersion = 1
+	frameHeader  = 16
+	// frameMaxPayload bounds the length field so a corrupt header cannot
+	// drive a multi-gigabyte allocation.
+	frameMaxPayload = 1 << 30
+)
+
+// WriteFramed atomically writes payload to name inside a checksummed frame.
+func WriteFramed(fsys FS, name string, payload []byte) error {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], frameMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], frameVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return WriteFileAtomic(fsys, name, buf)
+}
+
+// ReadFramed reads a file written by WriteFramed, verifying the frame.
+// Integrity failures are reported as errors wrapping ErrCorrupt; plain I/O
+// errors (missing file, permission) pass through unwrapped.
+func ReadFramed(fsys FS, name string) ([]byte, error) {
+	buf, err := ReadFile(fsys, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < frameHeader {
+		return nil, fmt.Errorf("%w: %s: short header (%d bytes)", ErrCorrupt, name, len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:4]); m != frameMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic %#x", ErrCorrupt, name, m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != frameVersion {
+		return nil, fmt.Errorf("%w: %s: unsupported frame version %d", ErrCorrupt, name, v)
+	}
+	length := binary.LittleEndian.Uint32(buf[8:12])
+	if length > frameMaxPayload || int(length) != len(buf)-frameHeader {
+		return nil, fmt.Errorf("%w: %s: length %d does not match %d payload bytes",
+			ErrCorrupt, name, length, len(buf)-frameHeader)
+	}
+	payload := buf[frameHeader:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(buf[12:16]) {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, name)
+	}
+	return payload, nil
+}

@@ -1,0 +1,117 @@
+// Package fsx provides the durability primitives KAMEL's persistence layers
+// are built on: atomic file replacement (temp file + fsync + rename + parent
+// directory fsync), CRC32-framed payload files whose corruption is detected
+// on read, and a pluggable FS interface with a deterministic fault-injection
+// implementation (see Fault) so every crash-recovery path can be exercised in
+// tests without real crashes.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the file-handle surface the persistence layers need.  *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS abstracts the filesystem operations used by KAMEL's durable state
+// (model repository, trajectory store metadata).  Implementations must make
+// Rename atomic with respect to crashes, as POSIX rename(2) is — the commit
+// protocols in this package rely on it.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a preceding rename or create in it is
+	// durable.  Implementations may no-op where the platform cannot.
+	SyncDir(dir string) error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error)             { return os.Create(name) }
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ReadFile reads a whole file through the FS, so fault injectors observe the
+// read path.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// TmpSuffix marks in-flight atomic writes; readers and garbage collectors
+// can ignore any file carrying it.
+const TmpSuffix = ".tmp"
+
+// WriteFileAtomic durably replaces name with data: the bytes are written to
+// a sibling temp file, fsynced, renamed over name, and the parent directory
+// fsynced.  A crash at any point leaves either the old file or the new file,
+// never a torn mixture; a leftover temp file is garbage, not state.
+func WriteFileAtomic(fsys FS, name string, data []byte) error {
+	tmp := name + TmpSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fsx: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsx: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsx: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsx: closing %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsx: committing %s: %w", name, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(name)); err != nil {
+		return fmt.Errorf("fsx: syncing dir of %s: %w", name, err)
+	}
+	return nil
+}
+
+// ErrCorrupt is wrapped by ReadFramed when a framed file fails its integrity
+// checks (bad magic, impossible length, checksum mismatch, truncation).
+// Callers distinguish it from I/O errors to decide between quarantine and
+// abort.
+var ErrCorrupt = errors.New("fsx: corrupt framed file")

@@ -1,0 +1,151 @@
+package fsx
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(OS(), name, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OS(), name, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil || string(got) != "new" {
+		t.Fatalf("read %q, %v; want \"new\"", got, err)
+	}
+	if _, err := os.Stat(name + TmpSuffix); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+func TestFramedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "model.bin")
+	payload := []byte("weights weights weights")
+	if err := WriteFramed(OS(), name, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFramed(OS(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload mismatch: %q", got)
+	}
+	// Empty payloads frame fine too.
+	if err := WriteFramed(OS(), name, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFramed(OS(), name); err != nil || len(got) != 0 {
+		t.Errorf("empty payload: %q, %v", got, err)
+	}
+}
+
+func TestFramedDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "model.bin")
+	if err := WriteFramed(OS(), name, []byte("some payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte, one header byte, and truncate: all must
+	// surface as ErrCorrupt, not as garbage payloads.
+	cases := map[string][]byte{
+		"payload bit-flip": append(append([]byte{}, raw[:frameHeader+3]...), append([]byte{raw[frameHeader+3] ^ 1}, raw[frameHeader+4:]...)...),
+		"bad magic":        append([]byte{raw[0] ^ 0xff}, raw[1:]...),
+		"truncated":        raw[:len(raw)-5],
+		"short header":     raw[:7],
+	}
+	for label, mutated := range cases {
+		if err := os.WriteFile(name, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFramed(OS(), name); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", label, err)
+		}
+	}
+}
+
+func TestFaultFailsNthOp(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS())
+	ff.FailAt = 3 // create=1, write=2, sync=3
+	f, err := ff.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: got %v, want ErrInjected", err)
+	}
+	f.Close()
+	if ff.Ops() != 3 {
+		t.Errorf("ops = %d, want 3", ff.Ops())
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "torn")
+	ff := NewFault(OS())
+	ff.FailAt = 2 // the write
+	ff.Torn = true
+	f, err := ff.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: got %v", err)
+	}
+	f.Close()
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Errorf("torn write left %q, want first half", got)
+	}
+}
+
+func TestFaultNoSpaceErr(t *testing.T) {
+	ff := NewFault(OS())
+	ff.FailAt = 1
+	ff.Err = ErrNoSpace
+	if err := WriteFileAtomic(ff, filepath.Join(t.TempDir(), "f"), []byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("got %v, want ErrNoSpace", err)
+	}
+}
+
+func TestFaultBitFlipOnRead(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "model-1-0-0-single.bin")
+	if err := WriteFramed(OS(), name, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFault(OS())
+	ff.FlipBitIn = "single"
+	if _, err := ReadFramed(ff, name); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped read: got %v, want ErrCorrupt", err)
+	}
+	// Non-matching files read clean.
+	other := filepath.Join(dir, "manifest.json")
+	if err := WriteFramed(OS(), other, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFramed(ff, other); err != nil {
+		t.Fatalf("clean read through injector: %v", err)
+	}
+}

@@ -1,11 +1,15 @@
 package pyramid
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+
+	"kamel/internal/fsx"
 )
 
 // Codec serializes model handles.  KAMEL's core provides one that writes the
@@ -15,17 +19,47 @@ type Codec interface {
 	Decode(r io.Reader) (Handle, error)
 }
 
+// On-disk layout and commit protocol.
+//
+// A repository directory holds one manifest.json plus one CRC32-framed
+// binary file per model.  Model files are immutable and generation-stamped
+// (model-L-IX-IY-slot.gNNNNNN.bin): a save never overwrites a file the
+// current manifest references.  The save sequence is
+//
+//  1. write every model file of generation g+1 (each atomically framed),
+//  2. atomically replace manifest.json (temp + fsync + rename + dir fsync),
+//  3. best-effort garbage-collect files no manifest references.
+//
+// The manifest rename is the commit point: a crash anywhere before it leaves
+// the generation-g manifest referencing only generation-g files, all intact,
+// so the previous repository version stays fully loadable.  A crash after it
+// leaves the new version committed and at worst some unreferenced garbage
+// for the next save's GC.
+//
+// On load, each model file's frame checksum is verified.  A corrupt or
+// unreadable model is quarantined — sidelined to quarantine/ and recorded —
+// rather than failing the load; lookups for its region degrade to the
+// smallest enclosing ancestor model (see LookupBest).
+
+// manifestVersion is the current manifest format; version 1 (pre-framing,
+// unversioned model files) is still read.
+const manifestVersion = 2
+
+// quarantineDir is the subdirectory corrupt model files are moved to.
+const quarantineDir = "quarantine"
+
 // manifest is the on-disk description of the repository.
 type manifest struct {
-	Version  int             `json:"version"`
-	RootMinX float64         `json:"root_min_x"`
-	RootMinY float64         `json:"root_min_y"`
-	RootMaxX float64         `json:"root_max_x"`
-	RootMaxY float64         `json:"root_max_y"`
-	H        int             `json:"h"`
-	L        int             `json:"l"`
-	K        int             `json:"k"`
-	Cells    []manifestEntry `json:"cells"`
+	Version    int             `json:"version"`
+	Generation int             `json:"generation,omitempty"`
+	RootMinX   float64         `json:"root_min_x"`
+	RootMinY   float64         `json:"root_min_y"`
+	RootMaxX   float64         `json:"root_max_x"`
+	RootMaxY   float64         `json:"root_max_y"`
+	H          int             `json:"h"`
+	L          int             `json:"l"`
+	K          int             `json:"k"`
+	Cells      []manifestEntry `json:"cells"`
 }
 
 type manifestEntry struct {
@@ -41,52 +75,78 @@ type manifestEntry struct {
 	SouthMeta  ModelMeta `json:"south_meta,omitempty"`
 }
 
-// Save persists the repository to dir: a manifest.json plus one binary file
-// per model, encoded via the codec.  The paper keeps its repository on disk
-// for the same reason (§4): models are built offline and only read at
-// imputation time.
+// Save persists the repository to dir on the real filesystem.  The paper
+// keeps its repository on disk for the same reason (§4): models are built
+// offline and only read at imputation time.
 func (r *Repo) Save(dir string, codec Codec) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return r.SaveFS(fsx.OS(), dir, codec)
+}
+
+// SaveFS is Save over a pluggable filesystem, the seam the fault-injection
+// tests drive crash scenarios through.  See the commit-protocol comment
+// above: interrupting SaveFS at any write leaves the previous repository
+// version fully loadable.
+func (r *Repo) SaveFS(fsys fsx.FS, dir string, codec Codec) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("pyramid: creating %s: %w", dir, err)
 	}
+	gen := 1
+	if old, err := readManifest(fsys, dir); err == nil {
+		gen = old.Generation + 1
+	}
 	man := manifest{
-		Version:  1,
-		RootMinX: r.cfg.Root.MinX, RootMinY: r.cfg.Root.MinY,
+		Version:    manifestVersion,
+		Generation: gen,
+		RootMinX:   r.cfg.Root.MinX, RootMinY: r.cfg.Root.MinY,
 		RootMaxX: r.cfg.Root.MaxX, RootMaxY: r.cfg.Root.MaxY,
 		H: r.cfg.H, L: r.cfg.L, K: r.cfg.K,
 	}
-	writeModel := func(name string, h Handle) (string, error) {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
+	writeModel := func(k CellKey, slot string, h Handle) (string, error) {
+		name := fmt.Sprintf("model-%d-%d-%d-%s.g%06d.bin", k.Level, k.IX, k.IY, slot, gen)
+		var buf bytes.Buffer
+		if err := codec.Encode(&buf, h); err != nil {
 			return "", err
 		}
-		defer f.Close()
-		if err := codec.Encode(f, h); err != nil {
+		if err := fsx.WriteFramed(fsys, filepath.Join(dir, name), buf.Bytes()); err != nil {
 			return "", err
 		}
-		return name, f.Sync()
+		return name, nil
 	}
-	for _, e := range r.cells {
-		me := manifestEntry{Level: e.Key.Level, IX: e.Key.IX, IY: e.Key.IY, TokenCount: e.TokenCount}
+	// Deterministic cell order keeps kill-point sweeps and manifest diffs
+	// stable across runs.
+	keys := make([]CellKey, 0, len(r.cells))
+	for k := range r.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.IX != b.IX {
+			return a.IX < b.IX
+		}
+		return a.IY < b.IY
+	})
+	for _, k := range keys {
+		e := r.cells[k]
+		me := manifestEntry{Level: k.Level, IX: k.IX, IY: k.IY, TokenCount: e.TokenCount}
 		var err error
 		if e.Single != nil {
-			me.Single, err = writeModel(fmt.Sprintf("model-%d-%d-%d-single.bin", e.Key.Level, e.Key.IX, e.Key.IY), e.Single)
-			if err != nil {
-				return fmt.Errorf("pyramid: saving %s single model: %w", e.Key, err)
+			if me.Single, err = writeModel(k, SlotSingle, e.Single); err != nil {
+				return fmt.Errorf("pyramid: saving %s single model: %w", k, err)
 			}
 			me.SingleMeta = e.SingleMeta
 		}
 		if e.East != nil {
-			me.East, err = writeModel(fmt.Sprintf("model-%d-%d-%d-east.bin", e.Key.Level, e.Key.IX, e.Key.IY), e.East)
-			if err != nil {
-				return fmt.Errorf("pyramid: saving %s east model: %w", e.Key, err)
+			if me.East, err = writeModel(k, SlotEast, e.East); err != nil {
+				return fmt.Errorf("pyramid: saving %s east model: %w", k, err)
 			}
 			me.EastMeta = e.EastMeta
 		}
 		if e.South != nil {
-			me.South, err = writeModel(fmt.Sprintf("model-%d-%d-%d-south.bin", e.Key.Level, e.Key.IX, e.Key.IY), e.South)
-			if err != nil {
-				return fmt.Errorf("pyramid: saving %s south model: %w", e.Key, err)
+			if me.South, err = writeModel(k, SlotSouth, e.South); err != nil {
+				return fmt.Errorf("pyramid: saving %s south model: %w", k, err)
 			}
 			me.SouthMeta = e.SouthMeta
 		}
@@ -96,58 +156,150 @@ func (r *Repo) Save(dir string, codec Codec) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "manifest.json"), buf, 0o644)
+	// Commit point: the new manifest becomes visible atomically.
+	if err := fsx.WriteFileAtomic(fsys, filepath.Join(dir, "manifest.json"), buf); err != nil {
+		return err
+	}
+	collectGarbage(fsys, dir, man)
+	return nil
 }
 
-// Load restores a repository persisted by Save.
-func Load(dir string, codec Codec) (*Repo, error) {
-	buf, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+// collectGarbage removes model files no longer referenced by the committed
+// manifest, plus stale temp files from interrupted saves.  Failures are
+// ignored: garbage is harmless, and the next save retries.
+func collectGarbage(fsys fsx.FS, dir string, man manifest) {
+	referenced := make(map[string]bool)
+	for _, me := range man.Cells {
+		for _, name := range []string{me.Single, me.East, me.South} {
+			if name != "" {
+				referenced[name] = true
+			}
+		}
+	}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("pyramid: reading manifest: %w", err)
+		return
 	}
+	for _, ent := range entries {
+		name := ent.Name()
+		stale := strings.HasSuffix(name, fsx.TmpSuffix) ||
+			(strings.HasPrefix(name, "model-") && strings.HasSuffix(name, ".bin") && !referenced[name])
+		if !ent.IsDir() && stale {
+			fsys.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// QuarantinedModel records one model file sidelined during load.
+type QuarantinedModel struct {
+	File string  // original file name inside the repository dir
+	Key  CellKey // the cell whose slot the model filled
+	Slot string  // SlotSingle | SlotEast | SlotSouth
+	Err  error   // why it was quarantined
+}
+
+// LoadReport summarizes the degradations a load performed.
+type LoadReport struct {
+	Quarantined []QuarantinedModel
+}
+
+// readManifest reads and validates manifest.json.
+func readManifest(fsys fsx.FS, dir string) (manifest, error) {
 	var man manifest
-	if err := json.Unmarshal(buf, &man); err != nil {
-		return nil, fmt.Errorf("pyramid: parsing manifest: %w", err)
+	buf, err := fsx.ReadFile(fsys, filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return man, fmt.Errorf("pyramid: reading manifest: %w", err)
 	}
-	if man.Version != 1 {
-		return nil, fmt.Errorf("pyramid: unsupported manifest version %d", man.Version)
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return man, fmt.Errorf("pyramid: parsing manifest: %w", err)
+	}
+	if man.Version != 1 && man.Version != manifestVersion {
+		return man, fmt.Errorf("pyramid: unsupported manifest version %d", man.Version)
+	}
+	return man, nil
+}
+
+// Load restores a repository persisted by Save from the real filesystem.
+// Per-model corruption is quarantined, not fatal; use LoadFS for the report.
+func Load(dir string, codec Codec) (*Repo, error) {
+	r, _, err := LoadFS(fsx.OS(), dir, codec)
+	return r, err
+}
+
+// LoadFS restores a repository from dir.  The manifest itself must parse (an
+// atomic commit guarantees it is never torn); individual model files that
+// are missing, corrupt (frame checksum), or undecodable are moved to
+// dir/quarantine/, recorded in the report, and their slots left empty so
+// lookups degrade to the enclosing ancestor model instead of failing the
+// whole load.
+func LoadFS(fsys fsx.FS, dir string, codec Codec) (*Repo, *LoadReport, error) {
+	man, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, nil, err
 	}
 	cfg := Config{H: man.H, L: man.L, K: man.K}
 	cfg.Root.MinX, cfg.Root.MinY = man.RootMinX, man.RootMinY
 	cfg.Root.MaxX, cfg.Root.MaxY = man.RootMaxX, man.RootMaxY
 	r, err := New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	report := &LoadReport{}
 	readModel := func(name string) (Handle, error) {
-		f, err := os.Open(filepath.Join(dir, name))
+		var payload []byte
+		var err error
+		if man.Version >= manifestVersion {
+			payload, err = fsx.ReadFramed(fsys, filepath.Join(dir, name))
+		} else {
+			payload, err = fsx.ReadFile(fsys, filepath.Join(dir, name))
+		}
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return codec.Decode(f)
+		return codec.Decode(bytes.NewReader(payload))
+	}
+	loadSlot := func(k CellKey, slot, name string) Handle {
+		h, err := readModel(name)
+		if err == nil {
+			return h
+		}
+		quarantine(fsys, dir, name)
+		r.markQuarantined(k, slot)
+		report.Quarantined = append(report.Quarantined, QuarantinedModel{
+			File: name, Key: k, Slot: slot, Err: err,
+		})
+		return nil
 	}
 	for _, me := range man.Cells {
-		e := r.entry(CellKey{Level: me.Level, IX: me.IX, IY: me.IY})
+		k := CellKey{Level: me.Level, IX: me.IX, IY: me.IY}
+		e := r.entry(k)
 		e.TokenCount = me.TokenCount
 		if me.Single != "" {
-			if e.Single, err = readModel(me.Single); err != nil {
-				return nil, fmt.Errorf("pyramid: loading %s: %w", me.Single, err)
+			if e.Single = loadSlot(k, SlotSingle, me.Single); e.Single != nil {
+				e.SingleMeta = me.SingleMeta
 			}
-			e.SingleMeta = me.SingleMeta
 		}
 		if me.East != "" {
-			if e.East, err = readModel(me.East); err != nil {
-				return nil, fmt.Errorf("pyramid: loading %s: %w", me.East, err)
+			if e.East = loadSlot(k, SlotEast, me.East); e.East != nil {
+				e.EastMeta = me.EastMeta
 			}
-			e.EastMeta = me.EastMeta
 		}
 		if me.South != "" {
-			if e.South, err = readModel(me.South); err != nil {
-				return nil, fmt.Errorf("pyramid: loading %s: %w", me.South, err)
+			if e.South = loadSlot(k, SlotSouth, me.South); e.South != nil {
+				e.SouthMeta = me.SouthMeta
 			}
-			e.SouthMeta = me.SouthMeta
 		}
 	}
-	return r, nil
+	return r, report, nil
+}
+
+// quarantine sidelines a suspect model file to dir/quarantine/.  Best
+// effort: the file may already be gone, and a failed move leaves it in
+// place — it will not be loaded either way.
+func quarantine(fsys fsx.FS, dir, name string) {
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := fsys.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	fsys.Rename(filepath.Join(dir, name), filepath.Join(qdir, name))
 }

@@ -1,0 +1,264 @@
+package pyramid
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kamel/internal/fsx"
+	"kamel/internal/geo"
+	"kamel/internal/store"
+)
+
+// ancestorRepo builds a repo with single-cell models at levels 1, 2, and 3
+// over cell (0,0) — the fixture the degradation tests quarantine leaves of.
+func ancestorRepo(t *testing.T) *Repo {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r, _ := New(testConfig())
+	fill(t, st, 100, 100, 20, 10) // 200 tokens: clears levels 1-3 thresholds
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+	var next int32
+	err = r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		next++
+		return &fakeHandle{id: next}, ModelMeta{Tokens: 200}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []int{1, 2, 3} {
+		if e, ok := r.Entry(CellKey{Level: level, IX: 0, IY: 0}); !ok || e.Single == nil {
+			t.Fatalf("fixture: no model at level %d", level)
+		}
+	}
+	return r
+}
+
+// leafQuery lies inside leaf (0,0) and is served by its single-cell model
+// when healthy.
+var leafQuery = geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110}
+
+// verifyLoadable loads dir and checks it matches the reference repo.
+func verifyLoadable(t *testing.T, dir string, ref *Repo) {
+	t.Helper()
+	r2, rep, err := LoadFS(fsx.OS(), dir, fakeCodec{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("unexpected quarantine: %+v", rep.Quarantined)
+	}
+	s1, n1 := ref.NumModels()
+	s2, n2 := r2.NumModels()
+	if s1 != s2 || n1 != n2 {
+		t.Fatalf("model counts %d/%d, want %d/%d", s2, n2, s1, n1)
+	}
+	if _, _, ok := r2.Lookup(leafQuery); !ok {
+		t.Fatal("loaded repo misses the leaf lookup")
+	}
+}
+
+// TestFaultSaveKillPoints interrupts Repo.Save at every injected write
+// (clean and torn) and asserts the previous repository version stays fully
+// loadable after each: the old manifest wins until the atomic commit.
+func TestFaultSaveKillPoints(t *testing.T) {
+	r := ancestorRepo(t)
+	for _, torn := range []bool{false, true} {
+		dir := t.TempDir()
+		// Generation 1: a committed baseline to fall back to.
+		if err := r.SaveFS(fsx.OS(), dir, fakeCodec{}); err != nil {
+			t.Fatal(err)
+		}
+		const maxOps = 10000
+		completed := false
+		for n := 1; n <= maxOps; n++ {
+			ff := fsx.NewFault(fsx.OS())
+			ff.FailAt = n
+			ff.Torn = torn
+			err := r.SaveFS(ff, dir, fakeCodec{})
+			if err == nil {
+				// FailAt landed beyond the save's op sequence (only GC ops
+				// remained, which are best-effort): the sweep is done.
+				completed = true
+				break
+			}
+			verifyLoadable(t, dir, r)
+		}
+		if !completed {
+			t.Fatalf("torn=%v: save still failing after %d kill points", torn, maxOps)
+		}
+		// And the final, uninterrupted save is the committed state.
+		verifyLoadable(t, dir, r)
+	}
+}
+
+// TestFaultSaveNoSpace checks ENOSPC during save surfaces as an error while
+// the previous version stays loadable.
+func TestFaultSaveNoSpace(t *testing.T) {
+	r := ancestorRepo(t)
+	dir := t.TempDir()
+	if err := r.SaveFS(fsx.OS(), dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	ff := fsx.NewFault(fsx.OS())
+	ff.FailAt = 4
+	ff.Err = fsx.ErrNoSpace
+	if err := r.SaveFS(ff, dir, fakeCodec{}); err == nil {
+		t.Fatal("save must surface ENOSPC")
+	}
+	verifyLoadable(t, dir, r)
+}
+
+// TestFaultBitFlipQuarantine bit-flips the leaf model file on read: the
+// model must be quarantined (sidelined on disk, counted) and the leaf
+// lookup degrade to the enclosing ancestor model.
+func TestFaultBitFlipQuarantine(t *testing.T) {
+	r := ancestorRepo(t)
+	dir := t.TempDir()
+	if err := r.Save(dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	healthy, healthyCover, ok := r.Lookup(leafQuery)
+	if !ok {
+		t.Fatal("healthy lookup failed")
+	}
+
+	ff := fsx.NewFault(fsx.OS())
+	ff.FlipBitIn = "model-3-0-0-single"
+	r2, rep, err := LoadFS(ff, dir, fakeCodec{})
+	if err != nil {
+		t.Fatalf("load with corrupt leaf must not fail: %v", err)
+	}
+	if len(rep.Quarantined) != 1 || r2.QuarantinedModels() != 1 {
+		t.Fatalf("quarantined %d/%d, want 1/1 (%+v)", len(rep.Quarantined), r2.QuarantinedModels(), rep.Quarantined)
+	}
+	q := rep.Quarantined[0]
+	if q.Slot != SlotSingle || q.Key != (CellKey{Level: 3, IX: 0, IY: 0}) {
+		t.Errorf("quarantined %+v, want leaf single", q)
+	}
+	// The file was sidelined to quarantine/.
+	if _, err := os.Stat(filepath.Join(dir, q.File)); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still in repository dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, q.File)); err != nil {
+		t.Errorf("corrupt file not in quarantine dir: %v", err)
+	}
+
+	// The same query still resolves — via an ancestor, flagged degraded.
+	h, cover, info, ok := r2.LookupBest(leafQuery)
+	if !ok || h == nil {
+		t.Fatal("degraded lookup must still resolve via an ancestor")
+	}
+	if !info.Degraded {
+		t.Error("lookup served by ancestor must be flagged degraded")
+	}
+	if cover.Width() <= healthyCover.Width() {
+		t.Errorf("degraded coverage %v not coarser than healthy %v", cover, healthyCover)
+	}
+	if h.(*fakeHandle).id == healthy.(*fakeHandle).id {
+		t.Error("degraded lookup returned the quarantined model")
+	}
+
+	// A healthy lookup elsewhere is not flagged.
+	if _, _, info, ok := r2.LookupBest(geo.Rect{MinX: 600, MinY: 100, MaxX: 900, MaxY: 300}); ok && info.Degraded {
+		t.Error("healthy region flagged degraded")
+	}
+}
+
+// TestFaultTornManifestLegacy: a version-1 (pre-atomic-commit) repository
+// with a torn manifest fails the load cleanly rather than panicking or
+// returning a half-repo.
+func TestFaultTornManifestLegacy(t *testing.T) {
+	dir := t.TempDir()
+	full, _ := json.Marshal(manifest{Version: 1, RootMaxX: 4000, RootMaxY: 4000, H: 3, L: 3, K: 10})
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFS(fsx.OS(), dir, fakeCodec{}); err == nil || !strings.Contains(err.Error(), "parsing manifest") {
+		t.Fatalf("torn legacy manifest: got %v", err)
+	}
+}
+
+// TestLoadV1Manifest keeps the pre-framing on-disk format readable: raw
+// (unframed) model files referenced by a version-1 manifest.
+func TestLoadV1Manifest(t *testing.T) {
+	dir := t.TempDir()
+	raw := make([]byte, 4)
+	binary.LittleEndian.PutUint32(raw, 42)
+	if err := os.WriteFile(filepath.Join(dir, "model-3-0-0-single.bin"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man := manifest{
+		Version: 1, RootMaxX: 4000, RootMaxY: 4000, H: 3, L: 3, K: 10,
+		Cells: []manifestEntry{{Level: 3, IX: 0, IY: 0, TokenCount: 50, Single: "model-3-0-0-single.bin"}},
+	}
+	buf, _ := json.Marshal(man)
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, rep, err := LoadFS(fsx.OS(), dir, fakeCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("v1 load quarantined %+v", rep.Quarantined)
+	}
+	h, _, ok := r.Lookup(leafQuery)
+	if !ok || h.(*fakeHandle).id != 42 {
+		t.Fatalf("v1 model not served: %v ok=%v", h, ok)
+	}
+}
+
+// TestFaultSaveGarbageCollects: committed saves leave exactly the referenced
+// model files (plus quarantine/), even after interrupted generations
+// littered the directory.
+func TestFaultSaveGarbageCollects(t *testing.T) {
+	r := ancestorRepo(t)
+	dir := t.TempDir()
+	if err := r.Save(dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt a save mid-way to leave orphaned generation-2 files.
+	ff := fsx.NewFault(fsx.OS())
+	ff.FailAt = 8
+	if err := r.SaveFS(ff, dir, fakeCodec{}); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	// A clean save commits generation 3 and sweeps the orphans.
+	if err := r.Save(dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(fsx.OS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	referenced := make(map[string]bool)
+	for _, me := range man.Cells {
+		for _, name := range []string{me.Single, me.East, me.South} {
+			if name != "" {
+				referenced[name] = true
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || name == "manifest.json" {
+			continue
+		}
+		if !referenced[name] {
+			t.Errorf("unreferenced file survives GC: %s", name)
+		}
+	}
+}

@@ -30,6 +30,14 @@ func (k CellKey) String() string { return fmt.Sprintf("L%d(%d,%d)", k.Level, k.I
 // wires a trained BERT model plus its vocabulary behind it).
 type Handle interface{}
 
+// Slot names identify the three model positions of a cell, in manifests and
+// quarantine records.
+const (
+	SlotSingle = "single"
+	SlotEast   = "east"
+	SlotSouth  = "south"
+)
+
 // ModelMeta is the bookkeeping the paper attaches to every stored model.
 type ModelMeta struct {
 	Tokens    int     // training tokens the model was built over
@@ -87,6 +95,12 @@ type BuildFunc func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, err
 type Repo struct {
 	cfg   Config
 	cells map[CellKey]*Entry
+
+	// quarantined tracks model slots whose on-disk file was corrupt at load
+	// time (per-slot set keyed by cell).  Lookups that would have been
+	// served by a quarantined model degrade to the smallest enclosing
+	// ancestor model and are flagged as such (LookupBest).
+	quarantined map[CellKey]map[string]bool
 }
 
 // New creates an empty repository.
@@ -95,6 +109,32 @@ func New(cfg Config) (*Repo, error) {
 		return nil, err
 	}
 	return &Repo{cfg: cfg, cells: make(map[CellKey]*Entry)}, nil
+}
+
+// markQuarantined records that a slot's persisted model was corrupt.
+func (r *Repo) markQuarantined(k CellKey, slot string) {
+	if r.quarantined == nil {
+		r.quarantined = make(map[CellKey]map[string]bool)
+	}
+	if r.quarantined[k] == nil {
+		r.quarantined[k] = make(map[string]bool)
+	}
+	r.quarantined[k][slot] = true
+}
+
+// isQuarantined reports whether a slot was sidelined at load time.
+func (r *Repo) isQuarantined(k CellKey, slot string) bool {
+	return r.quarantined[k][slot]
+}
+
+// QuarantinedModels returns the number of model slots quarantined at load
+// time — the operator-visible "how degraded is this repository" figure.
+func (r *Repo) QuarantinedModels() int {
+	var n int
+	for _, slots := range r.quarantined {
+		n += len(slots)
+	}
+	return n
 }
 
 // Config returns the repository configuration.
@@ -206,13 +246,29 @@ func (r *Repo) SmallestEnclosing(mbr geo.Rect, maxLevel int) (CellKey, bool) {
 	return best, true
 }
 
+// LookupInfo describes how a lookup was served.
+type LookupInfo struct {
+	// Degraded is true when a deeper (better-fitting) model would have
+	// served this MBR but was quarantined at load time, so the result is a
+	// coarser ancestor model — or no model at all.
+	Degraded bool
+}
+
 // Lookup finds the model best suited for imputing a trajectory with the
 // given MBR (paper §4.1): the single-cell or neighbor-cell model with the
 // smallest coverage fully enclosing the MBR.  Returns ok=false when no model
 // covers it.
 func (r *Repo) Lookup(mbr geo.Rect) (Handle, geo.Rect, bool) {
+	h, cover, _, ok := r.LookupBest(mbr)
+	return h, cover, ok
+}
+
+// LookupBest is Lookup plus degradation accounting: the info reports whether
+// a quarantined model forced the result onto a coarser ancestor.
+func (r *Repo) LookupBest(mbr geo.Rect) (Handle, geo.Rect, LookupInfo, bool) {
+	var info LookupInfo
 	if mbr.IsEmpty() || !r.cfg.Root.ContainsRect(mbr) {
-		return nil, geo.Rect{}, false
+		return nil, geo.Rect{}, info, false
 	}
 	for l := r.cfg.H; l >= 0; l-- {
 		lo := r.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
@@ -221,19 +277,28 @@ func (r *Repo) Lookup(mbr geo.Rect) (Handle, geo.Rect, bool) {
 		switch {
 		case dx == 0 && dy == 0:
 			if e, ok := r.cells[lo]; ok && e.Single != nil {
-				return e.Single, r.CellRect(lo), true
+				return e.Single, r.CellRect(lo), info, true
+			}
+			if r.isQuarantined(lo, SlotSingle) {
+				info.Degraded = true
 			}
 		case dx == 1 && dy == 0:
 			// Horizontal pair; the model lives in the west cell's East slot.
 			if e, ok := r.cells[lo]; ok && e.East != nil {
-				return e.East, r.CellRect(lo).Union(r.CellRect(hi)), true
+				return e.East, r.CellRect(lo).Union(r.CellRect(hi)), info, true
+			}
+			if r.isQuarantined(lo, SlotEast) {
+				info.Degraded = true
 			}
 		case dx == 0 && dy == 1:
 			// Vertical pair; the model lives in the north cell's South slot.
 			if e, ok := r.cells[hi]; ok && e.South != nil {
-				return e.South, r.CellRect(lo).Union(r.CellRect(hi)), true
+				return e.South, r.CellRect(lo).Union(r.CellRect(hi)), info, true
+			}
+			if r.isQuarantined(hi, SlotSouth) {
+				info.Degraded = true
 			}
 		}
 	}
-	return nil, geo.Rect{}, false
+	return nil, geo.Rect{}, info, false
 }

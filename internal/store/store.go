@@ -6,9 +6,12 @@
 // Records are persisted in append-only segment files of length-prefixed,
 // CRC-checksummed binary records; an in-memory table of record metadata
 // (MBR, token count) serves the spatial queries.  Opening a store replays
-// the segments, verifying every checksum, and truncates a torn tail write
-// rather than failing — the crash-recovery behaviour an append-only log is
-// chosen for.
+// the segments, verifying every checksum: a torn tail write is truncated
+// away, and a corrupt record in the middle of a segment (bit rot) is
+// skipped and counted (CorruptRecords) rather than aborting the replay —
+// the crash-recovery behaviour an append-only log is chosen for.  Segments
+// are fsynced before roll-over and on Close, so only the actively written
+// tail is ever at risk.
 package store
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
@@ -56,6 +60,8 @@ type Store struct {
 	seg      *os.File
 	segIdx   int
 	segBytes int64
+
+	corrupt int // mid-segment records skipped during replay
 }
 
 // Open opens (creating if necessary) a store in dir.  Existing segments are
@@ -87,8 +93,13 @@ func Open(dir string, proj *geo.Projection) (*Store, error) {
 }
 
 // rollSegment closes the current segment (if any) and starts a new one.
+// The outgoing segment is fsynced first: once a segment is rolled over it is
+// immutable, so this is the last chance to make its tail durable.
 func (s *Store) rollSegment() error {
 	if s.seg != nil {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("store: syncing rolled-over segment: %w", err)
+		}
 		if err := s.seg.Close(); err != nil {
 			return err
 		}
@@ -104,8 +115,12 @@ func (s *Store) rollSegment() error {
 	return nil
 }
 
-// replay loads one segment file, stopping (and truncating) at the first
-// corrupt or torn record.
+// replay loads one segment file.  A torn or short record at the tail (the
+// crash-mid-append case) is truncated away; a corrupt record with an intact
+// length field in the middle of the segment (bit rot under good records) is
+// skipped with a counted warning so the records after it survive.  An
+// implausible length field leaves no way to find the next record boundary,
+// so the rest of the segment is dropped like a torn tail.
 func (s *Store) replay(name string) error {
 	f, err := os.Open(name)
 	if err != nil {
@@ -132,15 +147,29 @@ func (s *Store) replay(name string) error {
 			return s.truncateTail(name, offset)
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return s.truncateTail(name, offset)
+			s.skipCorrupt(name, offset, "checksum mismatch")
+		} else if tr, err := decodeTraj(payload); err != nil {
+			s.skipCorrupt(name, offset, err.Error())
+		} else {
+			s.index(tr)
 		}
-		tr, err := decodeTraj(payload)
-		if err != nil {
-			return s.truncateTail(name, offset)
-		}
-		s.index(tr)
 		offset += 8 + int64(length)
 	}
+}
+
+// skipCorrupt counts and warns about a mid-segment record that failed its
+// integrity checks and is being skipped.
+func (s *Store) skipCorrupt(name string, offset int64, reason string) {
+	s.corrupt++
+	log.Printf("store: skipping corrupt record in %s at offset %d: %s", name, offset, reason)
+}
+
+// CorruptRecords returns the number of corrupt mid-segment records skipped
+// while replaying the store's segments at Open time.
+func (s *Store) CorruptRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.corrupt
 }
 
 // truncateTail cuts a segment file back to the last valid record boundary.
@@ -196,16 +225,21 @@ func (s *Store) Sync() error {
 	return s.seg.Sync()
 }
 
-// Close releases the store's file handles.
+// Close flushes the active segment to stable storage and releases the
+// store's file handles.  Close is idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.seg == nil {
 		return nil
 	}
-	err := s.seg.Close()
+	syncErr := s.seg.Sync()
+	closeErr := s.seg.Close()
 	s.seg = nil
-	return err
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
 }
 
 // Projection returns the planar projection the store indexes under.

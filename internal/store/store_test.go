@@ -170,9 +170,77 @@ func TestCorruptPayloadDetected(t *testing.T) {
 		t.Fatalf("corruption must not fail open: %v", err)
 	}
 	defer s2.Close()
-	// The corrupt record and everything after it in that segment is dropped.
-	if s2.Len() != 0 {
-		t.Fatalf("recovered %d records from corrupt segment, want 0", s2.Len())
+	// The corrupt record is skipped and counted; the intact record after it
+	// in the same segment survives.
+	if s2.Len() != 1 {
+		t.Fatalf("recovered %d records from corrupt segment, want 1", s2.Len())
+	}
+	var got Traj
+	s2.All(func(tr Traj) bool { got = tr; return false })
+	if got.ID != "b" {
+		t.Errorf("surviving record %q, want \"b\"", got.ID)
+	}
+	if s2.CorruptRecords() != 1 {
+		t.Errorf("CorruptRecords() = %d, want 1", s2.CorruptRecords())
+	}
+}
+
+// TestFaultMidSegmentCorruptionSkip covers the bit-rot case the replay path
+// distinguishes from a torn tail: a corrupt record buried under good ones is
+// skipped with a count, while a torn tail is still truncated away.
+func TestFaultMidSegmentCorruptionSkip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, proj())
+	s.Append(mkTraj("a", 0, 0, 5))
+	s.Append(mkTraj("b", 500, 0, 5))
+	s.Append(mkTraj("c", 1000, 0, 5))
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the middle record.  Records are identically
+	// sized, so record 2 starts at a third of the file.
+	recLen := len(raw) / 3
+	raw[recLen+8+2] ^= 0xFF
+	// And tear the tail: chop half of record 3.
+	raw = raw[:2*recLen+recLen/2]
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, proj())
+	if err != nil {
+		t.Fatalf("open after mixed corruption: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("recovered %d records, want 1 (first intact)", s2.Len())
+	}
+	var got Traj
+	s2.All(func(tr Traj) bool { got = tr; return false })
+	if got.ID != "a" {
+		t.Errorf("surviving record %q, want \"a\"", got.ID)
+	}
+	if s2.CorruptRecords() != 1 {
+		t.Errorf("CorruptRecords() = %d, want 1", s2.CorruptRecords())
+	}
+	// The store stays writable, and a further reopen is stable.
+	if err := s2.Append(mkTraj("after", 1500, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, proj())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 2 {
+		t.Errorf("after reopen: %d records, want 2", s3.Len())
 	}
 }
 

@@ -40,11 +40,15 @@ type Trajectory struct {
 	Points []Point
 }
 
-// Stats reports per-call imputation accounting: how many gaps were processed
-// and how many fell back to a straight line (the paper's failure rate, §8).
+// Stats reports per-call imputation accounting: how many gaps were
+// processed, how many fell back to a straight line (the paper's failure
+// rate, §8), and how many were served degraded — by a coarser ancestor
+// model or the linear fallback — because the best-fitting persisted model
+// was quarantined as corrupt at load time.
 type Stats struct {
 	Segments int
 	Failures int
+	Degraded int
 }
 
 // FailureRate returns Failures/Segments, or 0 when nothing was processed.
@@ -132,7 +136,7 @@ func (s *System) ImputeContext(ctx context.Context, tr Trajectory) (Trajectory, 
 	if err != nil {
 		return Trajectory{}, Stats{}, err
 	}
-	return fromInternal(dense), Stats{Segments: st.Segments, Failures: st.Failures}, nil
+	return fromInternal(dense), Stats{Segments: st.Segments, Failures: st.Failures, Degraded: st.Degraded}, nil
 }
 
 // BatchResult is one trajectory's outcome from ImputeBatch.
@@ -160,7 +164,7 @@ func (s *System) ImputeBatch(ctx context.Context, trs []Trajectory) ([]BatchResu
 		}
 		out[i] = BatchResult{
 			Trajectory: fromInternal(r.Trajectory),
-			Stats:      Stats{Segments: r.Stats.Segments, Failures: r.Stats.Failures},
+			Stats:      Stats{Segments: r.Stats.Segments, Failures: r.Stats.Failures, Degraded: r.Stats.Degraded},
 		}
 	}
 	return out, nil
@@ -195,7 +199,7 @@ func (s *System) ImputeStream(ctx context.Context, in <-chan Trajectory, workers
 		for res := range innerOut {
 			out <- StreamResult{
 				Trajectory: fromInternal(res.Trajectory),
-				Stats:      Stats{Segments: res.Stats.Segments, Failures: res.Stats.Failures},
+				Stats:      Stats{Segments: res.Stats.Segments, Failures: res.Stats.Failures, Degraded: res.Stats.Degraded},
 				Err:        res.Err,
 			}
 		}

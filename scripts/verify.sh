@@ -14,4 +14,6 @@ fi
 
 go vet ./...
 go build ./...
-go test -race "$@" ./...
+# Race instrumentation slows the model-training packages ~8x; the default
+# 10m per-package timeout is not enough on loaded machines.
+go test -race -timeout 30m "$@" ./...
