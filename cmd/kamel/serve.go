@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -26,6 +27,7 @@ const (
 	codeOverloaded = "overloaded"
 	codeTimeout    = "timeout"
 	codeTooLarge   = "too_large"
+	codeWarming    = "warming"
 )
 
 // apiServer wires a KAMEL system to the demonstration HTTP API of the SIGMOD
@@ -48,6 +50,7 @@ type apiServer struct {
 	inflight chan struct{} // concurrency limiter slots
 	shed     atomic.Int64  // requests rejected with 429
 	panics   atomic.Int64  // handler panics recovered into 500s
+	warmed   atomic.Bool   // root model proven loadable (readyz warming gate)
 }
 
 // serveOptions are the hardening knobs of the HTTP surface, set from flags
@@ -187,10 +190,21 @@ func (s *apiServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz reports 200 only once the system can serve model-based
 // imputations (trained or loaded models); load balancers use it to keep
 // traffic away from instances that would answer every request with 409.
+// A system whose models are disk-resident additionally reports "warming"
+// (503) until the root model has been paged in once, so traffic is not
+// admitted while the repository directory is unreadable.
 func (s *apiServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.sys.Ready() {
 		writeError(w, http.StatusServiceUnavailable, codeNotTrained, "no models trained or loaded yet")
 		return
+	}
+	if !s.warmed.Load() {
+		if err := s.sys.WarmRoot(r.Context()); err != nil {
+			writeError(w, http.StatusServiceUnavailable, codeWarming,
+				"warming model cache: "+err.Error())
+			return
+		}
+		s.warmed.Store(true)
 	}
 	writeJSON(w, map[string]string{"status": "ready"})
 }
@@ -351,13 +365,17 @@ func runServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", def.requestTimeout, "per-request handling timeout (0 disables)")
 	maxBody := fs.Int64("max-body-bytes", def.maxBodyBytes, "maximum request body size in bytes (0 disables)")
 	maxInflight := fs.Int("max-inflight", def.maxInflight, "maximum concurrently handled requests before shedding with 429 (0 disables)")
+	cacheBytes := fs.Int64("model-cache-bytes", 0, "model cache budget in bytes (0 sizes from available memory, <0 unbounded)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *work == "" {
 		return fmt.Errorf("serve: -work is required")
 	}
-	sys, err := core.New(systemConfig(*work, *steps, "", false, false, false))
+	cfg := systemConfig(*work, *steps, "", false, false, false)
+	cfg.ModelCacheBytes = *cacheBytes
+	sys, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -370,6 +388,15 @@ func runServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The single background maintainer (§4.2): while it runs, /v1/train
+	// returns once the batch is durable and model rebuilds happen here,
+	// committed to disk and published without pausing imputation.
+	go sys.Maintain(ctx)
+
+	if *pprofAddr != "" {
+		go servePprof(ctx, *pprofAddr)
+	}
 
 	opts := serveOptions{
 		requestTimeout: *reqTimeout,
@@ -404,6 +431,30 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
 	}
 	return nil
+}
+
+// servePprof runs the net/http/pprof handlers on their own mux and listener,
+// deliberately outside the API server: the hardening middleware (timeouts,
+// load shedding, body caps) must never apply to profiling endpoints — a
+// 30-second CPU profile would be killed by the request timeout — and the
+// profiler should stay reachable when the API is shedding load.  Bind it to
+// localhost; it is an operator surface, not part of the public API.
+func servePprof(ctx context.Context, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "serve: pprof listening on %s\n", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "serve: pprof server: %v\n", err)
+	}
 }
 
 // wireTraj is the HTTP JSON form of a trajectory.

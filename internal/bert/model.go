@@ -129,6 +129,17 @@ func (m *Model) NumParams() int {
 	return n
 }
 
+// SizeBytes returns the model's resident memory footprint: every trainable
+// float32 plus the transposed-weight inference cache, which is about the
+// same size again and is built lazily by the first prediction.  The figure
+// is charged against the model cache's byte budget at load time — before
+// the model has served — so the inference cache is always counted: a cached
+// model is by definition about to serve, and undercounting would let the
+// budget be exceeded by 2× in steady state.
+func (m *Model) SizeBytes() int64 {
+	return int64(m.NumParams()) * 4 * 2
+}
+
 // newGradHolder allocates zero matrices shaped like every parameter, in
 // Params order.
 func (m *Model) newGradHolder() []*tensor.Mat {

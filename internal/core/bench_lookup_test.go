@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+// lookupFixture trains a small partitioned system, persists its repository,
+// and reloads it disk-resident under the given model-cache budget, so the
+// benchmarks below measure the cache-mediated model-resolution path that
+// every imputation request takes.
+func lookupFixture(b *testing.B, budget int64) *System {
+	b.Helper()
+	cityCfg := roadnet.DefaultCityConfig()
+	cityCfg.Width, cityCfg.Height = 1500, 1500
+	net := roadnet.GenerateCity(cityCfg)
+	proj := geo.NewProjection(41.15, -8.61)
+	trajs, err := trajgen.Generate(net, proj, trajgen.DefaultConfig(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _ := trajgen.SplitTrainTest(trajs, 0.8, 1)
+
+	cfg := DefaultConfig(b.TempDir())
+	cfg.DisablePartitioning = false
+	cfg.PyramidH = 1
+	cfg.PyramidL = 2
+	cfg.ThresholdK = 200
+	cfg.Hidden, cfg.FFN = 32, 128
+	cfg.Heads = 4
+	cfg.Train.Steps = 80
+	sys, err := NewWithProjection(cfg, proj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Train(train); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.SaveModels(); err != nil {
+		b.Fatal(err)
+	}
+	sys.Close()
+
+	cfg.ModelCacheBytes = budget
+	sys2, err := NewWithProjection(cfg, proj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys2.Close() })
+	if err := sys2.LoadModels(); err != nil {
+		b.Fatal(err)
+	}
+	return sys2
+}
+
+func benchModelLookup(b *testing.B, budget int64) {
+	sys := lookupFixture(b, budget)
+	ss := sys.serve.Load()
+	if ss == nil || ss.index == nil {
+		b.Fatal("no serving snapshot")
+	}
+	ref, ok := ss.index.RootRef()
+	if !ok {
+		b.Fatal("no root model in index")
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, release, err := sys.resolveModel(ctx, ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		release()
+	}
+	b.StopTimer()
+	st := sys.cache.Stats()
+	b.ReportMetric(float64(st.Loads), "loads")
+	b.ReportMetric(st.HitRatio(), "hit-ratio")
+}
+
+// BenchmarkModelLookupCold measures resolving a disk-resident model when
+// every request misses: a 1-byte budget evicts the model the moment its pin
+// is released, so each iteration pays the full read-verify-decode cost.
+func BenchmarkModelLookupCold(b *testing.B) { benchModelLookup(b, 1) }
+
+// BenchmarkModelLookupWarm measures the same resolution against a generous
+// budget: after the first load every iteration is an LRU cache hit, the
+// steady state of a working set that fits in memory.
+func BenchmarkModelLookupWarm(b *testing.B) { benchModelLookup(b, 1<<30) }

@@ -56,23 +56,41 @@ func (bundleCodec) Decode(r io.Reader) (pyramid.Handle, error) {
 
 // SaveModels persists the model repository under the system's Workdir so a
 // later process can impute without retraining — the paper's offline-train /
-// online-impute split (§4).
+// online-impute split (§4).  The save is an incremental copy-on-write
+// commit: only models rebuilt since the last commit are written; everything
+// else is carried forward by file reference.  Freshly trained models stay
+// memory-resident in this process — paging through the model cache begins
+// when a process restores the repository with LoadModels.
 func (s *System) SaveModels() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	if s.repo == nil {
 		return fmt.Errorf("core: nothing to save (no repository; global-model mode is not persisted)")
 	}
-	return s.repo.Save(s.modelsDir(), bundleCodec{})
+	if _, err := s.repo.CommitFS(fsx.OS(), s.modelsDir(), bundleCodec{}); err != nil {
+		return err
+	}
+	ix := s.repo.Index()
+	s.mu.Lock()
+	s.curIndex = ix
+	s.publishLocked()
+	s.mu.Unlock()
+	return nil
 }
 
-// LoadModels restores a repository persisted by SaveModels.  The trajectory
-// store (and therefore detokenization clusters and the speed estimate) is
-// rebuilt from the Workdir store automatically.  Model files that fail their
-// integrity checks are quarantined with a logged warning, not fatal: the
-// surviving models keep serving and lookups degrade to ancestors (visible as
+// LoadModels restores a repository persisted by SaveModels in disk-resident
+// form: every model file is integrity-checked eagerly, but models are only
+// decoded into memory when imputation first needs them, through the
+// byte-budgeted model cache — KAMEL's scalability story (§4: the repository
+// outgrows memory; the working set does not).  The trajectory store (and
+// therefore detokenization clusters and the speed estimate) is rebuilt from
+// the Workdir store automatically.  Model files that fail their integrity
+// checks are quarantined with a logged warning, not fatal: the surviving
+// models keep serving and lookups degrade to ancestors (visible as
 // QuarantinedModels / DegradedSegments in Stats).
 func (s *System) LoadModels() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.proj == nil {
@@ -85,7 +103,7 @@ func (s *System) LoadModels() error {
 			return err
 		}
 	}
-	repo, report, err := pyramid.LoadFS(fsx.OS(), s.modelsDir(), bundleCodec{})
+	repo, report, err := pyramid.LoadIndexFS(fsx.OS(), s.modelsDir())
 	if err != nil {
 		return err
 	}
@@ -93,11 +111,13 @@ func (s *System) LoadModels() error {
 		log.Printf("core: quarantined corrupt model %s (%s %s): %v", q.File, q.Key, q.Slot, q.Err)
 	}
 	s.repo = repo
+	s.curIndex = repo.Index()
 	if s.st != nil && s.st.Len() > 0 {
 		s.refreshSpeedEstimate()
 		s.refreshChecker()
 		s.rebuildDetok()
 	}
+	s.publishLocked()
 	return nil
 }
 

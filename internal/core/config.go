@@ -57,6 +57,13 @@ type Config struct {
 	ConeAngleDeg float64 // direction-constraint angle (default 45)
 	CycleLen     int     // cycle-detection window x (default 6)
 
+	// ModelCacheBytes bounds how many disk-resident models are held in
+	// memory at once (paper §4: models live on disk and page in per
+	// request).  Positive: an explicit byte budget.  Zero: automatic — a
+	// quarter of available memory, clamped to [64 MiB, 4 GiB].  Negative:
+	// unbounded (no eviction).
+	ModelCacheBytes int64
+
 	// Ablation switches (§8.7, Fig 12-VI).
 	DisablePartitioning bool // "No Part.": one global model
 	DisableConstraints  bool // "No Const.": accept any BERT prediction

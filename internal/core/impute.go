@@ -6,14 +6,23 @@ import (
 
 	"kamel/internal/baseline"
 	"kamel/internal/constraints"
+	"kamel/internal/fsx"
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/impute"
+	"kamel/internal/modelcache"
+	"kamel/internal/pyramid"
 )
 
 // ErrNotTrained is returned by the imputation entry points before any model
 // has been trained or loaded.  The HTTP layer maps it to its own error code.
 var ErrNotTrained = errors.New("core: system has not been trained")
+
+// testGapHook, when non-nil, is called once per imputed gap with the serve
+// snapshot sequence that served it.  The concurrency tests install it to
+// prove a single request never mixes snapshot generations; it must be set
+// before any goroutine imputes and never changed afterwards.
+var testGapHook func(ctx context.Context, snapshotSeq int64)
 
 // Name implements baseline.Imputer, letting the evaluation harness treat
 // KAMEL uniformly with its competitors.
@@ -33,11 +42,16 @@ func (s *System) Impute(tr geo.Trajectory) (geo.Trajectory, baseline.Stats, erro
 // points.  Gaps no model covers are imputed by a straight line and counted
 // as failures, per §4.1.  The context is honored between BERT calls: a
 // cancelled request abandons the search mid-gap and returns ctx.Err().
+//
+// The whole request runs against one atomically-loaded serving snapshot and
+// takes no locks: concurrent training and maintenance publish new snapshots
+// without ever pausing or tearing an in-flight imputation.  Disk-resident
+// models are paged in through the byte-budgeted model cache and pinned for
+// the duration of the gap they serve.
 func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Trajectory, baseline.Stats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	ss := s.serve.Load()
 	var stats baseline.Stats
-	if s.st == nil || (s.repo == nil && s.global == nil) {
+	if ss == nil || (ss.index == nil && ss.global == nil) {
 		return geo.Trajectory{}, stats, ErrNotTrained
 	}
 	if len(tr.Points) < 2 {
@@ -48,7 +62,7 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 	cells := make([]grid.Cell, len(tr.Points))
 	xys := make([]geo.XY, len(tr.Points))
 	for i, p := range tr.Points {
-		xys[i] = s.proj.ToXY(p)
+		xys[i] = ss.proj.ToXY(p)
 		cells[i] = s.g.CellAt(xys[i])
 	}
 
@@ -60,7 +74,7 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 		}
 		stats.Segments++
 
-		res, degraded, ok, err := s.imputeGap(ctx, cells, xys, i, b.T-a.T)
+		res, degraded, ok, err := s.imputeGap(ctx, ss, cells, xys, i, b.T-a.T)
 		if err != nil {
 			return geo.Trajectory{}, stats, err
 		}
@@ -71,14 +85,14 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 			stats.Failures++
 			// Straight-line fill (§4.1 / §6 failure behaviour).
 			line := geo.ResamplePolyline([]geo.XY{xys[i], xys[i+1]}, s.cfg.MaxGapM)
-			s.emit(&out, line[1:len(line)-1], a.T, b.T, xys[i], xys[i+1])
+			s.emit(ss, &out, line[1:len(line)-1], a.T, b.T, xys[i], xys[i+1])
 			continue
 		}
 		// Detokenize the interior tokens (endpoints stay at the observed
 		// GPS points, which are more precise than any cell centroid).
-		pts := s.detokTab.Detokenize(res.Tokens)
+		pts := ss.detok.Detokenize(res.Tokens)
 		if len(pts) > 2 {
-			s.emit(&out, pts[1:len(pts)-1], a.T, b.T, xys[i], xys[i+1])
+			s.emit(ss, &out, pts[1:len(pts)-1], a.T, b.T, xys[i], xys[i+1])
 		}
 	}
 	out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
@@ -119,7 +133,7 @@ func (s *System) ImputeBatch(ctx context.Context, trs []geo.Trajectory) ([]Batch
 
 // emit appends interior planar points with timestamps interpolated between
 // the two endpoint times, proportional to arc position between the anchors.
-func (s *System) emit(out *geo.Trajectory, interior []geo.XY, t0, t1 float64, a, b geo.XY) {
+func (s *System) emit(ss *serveState, out *geo.Trajectory, interior []geo.XY, t0, t1 float64, a, b geo.XY) {
 	full := make([]geo.XY, 0, len(interior)+2)
 	full = append(full, a)
 	full = append(full, interior...)
@@ -128,7 +142,7 @@ func (s *System) emit(out *geo.Trajectory, interior []geo.XY, t0, t1 float64, a,
 	var acc float64
 	for i, q := range interior {
 		acc += full[i].Dist(full[i+1])
-		p := s.proj.ToLatLng(q)
+		p := ss.proj.ToLatLng(q)
 		if total > 0 {
 			p.T = t0 + (t1-t0)*acc/total
 		} else {
@@ -138,25 +152,66 @@ func (s *System) emit(out *geo.Trajectory, interior []geo.XY, t0, t1 float64, a,
 	}
 }
 
+// resolveModel materializes the model behind an index reference: resident
+// handles are returned directly, disk-resident models are paged in through
+// the byte-budgeted cache (deduplicated across concurrent requests) and
+// pinned.  The returned release func must be called once the model is no
+// longer in use; it is never nil.
+func (s *System) resolveModel(ctx context.Context, ref *pyramid.ModelRef) (*modelBundle, func(), error) {
+	if ref.Handle != nil {
+		return ref.Handle.(*modelBundle), func() {}, nil
+	}
+	key := modelcache.Key{
+		Level: ref.Key.Level, IX: ref.Key.IX, IY: ref.Key.IY,
+		Slot: ref.Slot, Generation: ref.Gen,
+	}
+	pin, err := s.cache.GetOrLoad(ctx, key, func() (modelcache.Sizer, error) {
+		h, err := pyramid.ReadModelFS(fsx.OS(), s.modelsDir(), pyramid.FileRef{Name: ref.File, Gen: ref.Gen}, bundleCodec{})
+		if err != nil {
+			return nil, err
+		}
+		return h.(*modelBundle), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return pin.Value().(*modelBundle), pin.Release, nil
+}
+
 // imputeGap runs the Partitioning lookup and the multipoint algorithm for
 // the gap between sparse points i and i+1, whose timestamps differ by dt
 // seconds.  ok=false means no model covers the gap.  degraded reports that
-// the best-fitting model was quarantined at load time, so the gap was served
-// down the degradation ladder (ancestor model, or the caller's linear
-// fallback when ok=false).  Only context errors are returned; any other
-// predictor failure degrades to a failed (straight-line) result, preserving
-// the availability contract of §4.1.
-func (s *System) imputeGap(ctx context.Context, cells []grid.Cell, xys []geo.XY, i int, dt float64) (res impute.Result, degraded, ok bool, err error) {
-	bundle := s.global
+// the gap was served down the degradation ladder: the best-fitting model was
+// quarantined at load time (ancestor model served instead), or the model
+// failed to page in at request time (the caller's linear fallback).  Only
+// context errors are returned; any other failure degrades to a failed
+// (straight-line) result, preserving the availability contract of §4.1.
+func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cell, xys []geo.XY, i int, dt float64) (res impute.Result, degraded, ok bool, err error) {
+	if testGapHook != nil {
+		testGapHook(ctx, ss.seq)
+	}
+	bundle := ss.global
+	release := func() {}
 	if bundle == nil {
 		mbr := geo.EmptyRect().ExtendXY(xys[i]).ExtendXY(xys[i+1])
-		h, _, info, found := s.repo.LookupBest(mbr)
+		ref, _, info, found := ss.index.LookupBest(mbr)
 		if !found {
 			return impute.Result{}, info.Degraded, false, nil
 		}
 		degraded = info.Degraded
-		bundle = h.(*modelBundle)
+		b, rel, rerr := s.resolveModel(ctx, ref)
+		if rerr != nil {
+			if ctx.Err() != nil {
+				return impute.Result{}, degraded, true, rerr
+			}
+			// The model could not be paged in (file GC'd under an old
+			// snapshot, disk corruption, ...): degrade to the linear
+			// fallback rather than failing the request.
+			return impute.Result{}, true, false, nil
+		}
+		bundle, release = b, rel
 	}
+	defer release()
 
 	req := impute.Request{S: cells[i], D: cells[i+1], TimeDiff: dt}
 	if i > 0 {
@@ -170,7 +225,7 @@ func (s *System) imputeGap(ctx context.Context, cells []grid.Cell, xys []geo.XY,
 
 	cfg := impute.Config{
 		Grid:         s.g,
-		Checker:      s.checker,
+		Checker:      ss.checker,
 		MaxGapMeters: s.cfg.MaxGapM,
 		MaxCalls:     s.cfg.MaxCalls,
 		TopK:         s.cfg.TopK,

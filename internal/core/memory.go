@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Model-cache budget sizing.  The cache bounds how many disk-resident models
+// are in memory at once (paper §4: the repository lives on disk precisely so
+// memory stays fixed as the deployment area grows).  Config.ModelCacheBytes:
+//
+//	> 0  explicit budget in bytes
+//	  0  automatic: a quarter of the machine's available memory, clamped
+//	     to [64 MiB, 4 GiB] (256 MiB when availability cannot be read)
+//	< 0  unbounded (no eviction) — the pre-lifecycle behavior
+const (
+	minAutoCacheBytes      = 64 << 20
+	maxAutoCacheBytes      = 4 << 30
+	fallbackAutoCacheBytes = 256 << 20
+)
+
+// resolveCacheBudget maps the config knob to the modelcache.New argument
+// (where <= 0 means unbounded).
+func resolveCacheBudget(configured int64) int64 {
+	switch {
+	case configured > 0:
+		return configured
+	case configured < 0:
+		return 0 // unbounded
+	default:
+		return autoCacheBudget()
+	}
+}
+
+// autoCacheBudget derives a budget from the machine's currently available
+// memory.
+func autoCacheBudget() int64 {
+	avail := availableMemoryBytes()
+	if avail <= 0 {
+		return fallbackAutoCacheBytes
+	}
+	budget := avail / 4
+	if budget < minAutoCacheBytes {
+		budget = minAutoCacheBytes
+	}
+	if budget > maxAutoCacheBytes {
+		budget = maxAutoCacheBytes
+	}
+	return budget
+}
+
+// availableMemoryBytes reads MemAvailable from /proc/meminfo (Linux).  On
+// other platforms, or when the file is unreadable, it returns 0 and the
+// caller falls back to a fixed default.
+func availableMemoryBytes() int64 {
+	f, err := os.Open("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

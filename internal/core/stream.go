@@ -20,7 +20,10 @@ type StreamResult struct {
 // arriving on `in` are imputed concurrently by `workers` goroutines and
 // emitted on the returned channel, which closes once `in` is drained or the
 // context is cancelled.  Output order is not guaranteed — the ID identifies
-// each result.  Training may not run concurrently with an open stream.
+// each result.  Training and maintenance may run concurrently with an open
+// stream: each imputation reads one atomically-published serving snapshot,
+// so results reflect either the pre- or post-train models, never a mix
+// within one trajectory.
 func (s *System) ImputeStream(ctx context.Context, in <-chan geo.Trajectory, workers int) <-chan StreamResult {
 	if workers <= 0 {
 		workers = 1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
@@ -14,10 +15,16 @@ import (
 	"kamel/internal/fsx"
 	"kamel/internal/geo"
 	"kamel/internal/grid"
+	"kamel/internal/modelcache"
 	"kamel/internal/pyramid"
 	"kamel/internal/store"
 	"kamel/internal/vocab"
 )
+
+// maintQueueDepth bounds how many training batches may be queued for the
+// background maintainer before Train falls back to rebuilding synchronously
+// (natural backpressure).
+const maintQueueDepth = 16
 
 // modelBundle is what the pyramid stores per model: a trained BERT plus the
 // vocabulary that maps its token IDs to grid cells.
@@ -26,26 +33,86 @@ type modelBundle struct {
 	vocab *vocab.Vocab
 }
 
+// SizeBytes implements modelcache.Sizer: the bundle's resident footprint
+// charged against the model-cache byte budget.
+func (b *modelBundle) SizeBytes() int64 {
+	return b.model.SizeBytes() + b.vocab.SizeBytes()
+}
+
+// serveState is the immutable serving snapshot.  Imputation loads it once
+// per request through an atomic pointer and never takes a lock: every field
+// is written before publication and read-only afterwards (copy-on-write).
+// One request therefore always sees one consistent generation of models,
+// detokenization clusters, and constraints — even while training rebuilds
+// the next generation concurrently.
+type serveState struct {
+	seq      int64          // publication sequence, monotonically increasing
+	index    *pyramid.Index // model snapshot; nil before partitioned training
+	global   *modelBundle   // used when DisablePartitioning is set
+	detok    *detok.Table
+	checker  *constraints.Checker
+	proj     *geo.Projection
+	speedMPS float64 // inferred max speed (§5.1)
+}
+
 // System is a deployed KAMEL instance.  Train and Impute may be called from
-// multiple goroutines; training serializes internally, and imputation is
-// read-only over trained state.
+// multiple goroutines: imputation runs lock-free against the latest
+// published serveState, and training serializes internally (short state
+// mutations under mu, long model rebuilds under maintMu).
 type System struct {
 	cfg  Config
 	g    grid.Grid
 	proj *geo.Projection
 
+	// serve is the atomically-published serving snapshot; see serveState.
+	serve atomic.Pointer[serveState]
+
+	// cache pages disk-resident models into memory under a byte budget
+	// (paper §4: models live on disk and load per request).  Shared by
+	// WithAblation clones.
+	cache *modelcache.Cache
+
+	// maintMu serializes model rebuilds (pyramid maintenance, repository
+	// commits, global-model training) — the long-running work.  Lock order:
+	// maintMu before mu, never the reverse.
+	maintMu sync.Mutex
+	repo    *pyramid.Repo // builder; guarded by maintMu
+
+	// maintCh feeds appended training batches to the background maintainer
+	// (Maintain); maintaining reports whether one is running, and
+	// pendingRebuilds counts scheduled-but-unfinished batches.
+	maintCh         chan []store.Traj
+	maintaining     atomic.Bool
+	pendingRebuilds atomic.Int64
+
 	mu        sync.RWMutex
 	st        *store.Store
-	repo      *pyramid.Repo
-	global    *modelBundle // used when DisablePartitioning is set
+	curIndex  *pyramid.Index // latest repo snapshot, for stats + publication
+	global    *modelBundle   // used when DisablePartitioning is set
 	detokTab  *detok.Table
 	checker   *constraints.Checker
 	speedMPS  float64 // inferred max speed (§5.1)
 	trainTime float64 // cumulative seconds spent training
+	pubSeq    int64   // last published serveState sequence
 
 	// served accumulates per-process serving counters; a pointer so
 	// WithAblation clones share the receiver's counters.
 	served *servedCounters
+}
+
+// publishLocked snapshots the current trained state into a fresh serveState
+// and publishes it atomically.  Callers hold mu.
+func (s *System) publishLocked() {
+	s.pubSeq++
+	s.serve.Store(&serveState{
+		seq:      s.pubSeq,
+		index:    s.curIndex,
+		global:   s.global,
+		detok:    s.detokTab,
+		checker:  s.checker,
+		proj:     s.proj,
+		speedMPS: s.speedMPS,
+	})
 }
 
 // servedCounters are the cumulative imputation-serving counters operators
@@ -80,7 +147,13 @@ func NewWithProjection(cfg Config, proj *geo.Projection) (*System, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, proj: proj, served: &servedCounters{}}
+	s := &System{
+		cfg:     cfg,
+		proj:    proj,
+		served:  &servedCounters{},
+		cache:   modelcache.New(resolveCacheBudget(cfg.ModelCacheBytes)),
+		maintCh: make(chan []store.Traj, maintQueueDepth),
+	}
 	switch cfg.GridKind {
 	case "hex":
 		s.g = grid.NewHex(cfg.CellEdgeM)
@@ -123,8 +196,12 @@ func (s *System) Projection() *geo.Projection {
 	return s.proj
 }
 
-// Close releases the underlying store.
+// Close releases the underlying store.  It waits for any in-flight model
+// rebuild to finish (maintMu) so the store is never closed under a running
+// maintenance pass.
 func (s *System) Close() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.st == nil {
@@ -132,6 +209,11 @@ func (s *System) Close() error {
 	}
 	err := s.st.Close()
 	s.st = nil
+	// Unpublish the serving snapshot: a closed system answers ErrNotTrained,
+	// as it did before the snapshot scheme.
+	s.curIndex = nil
+	s.global = nil
+	s.publishLocked()
 	return err
 }
 
@@ -153,6 +235,23 @@ type Stats struct {
 	ServedSegments      int64 `json:"served_segments"`
 	ServedFailures      int64 `json:"served_failures"`
 	DegradedSegments    int64 `json:"degraded_segments"`
+
+	// Model lifecycle: cache occupancy/traffic, the published snapshot
+	// sequence, the on-disk manifest generation, and how many training
+	// batches await the background maintainer.
+	ModelCacheBudgetBytes int64   `json:"model_cache_budget_bytes"`
+	ModelCacheBytes       int64   `json:"model_cache_bytes"`
+	ModelCacheModels      int     `json:"model_cache_models"`
+	ModelCacheHits        int64   `json:"model_cache_hits"`
+	ModelCacheMisses      int64   `json:"model_cache_misses"`
+	ModelCacheHitRatio    float64 `json:"model_cache_hit_ratio"`
+	ModelCacheEvictions   int64   `json:"model_cache_evictions"`
+	ModelCacheLoads       int64   `json:"model_cache_loads"`
+	ModelCacheLoadErrors  int64   `json:"model_cache_load_errors"`
+	ModelCacheLoadMeanMS  float64 `json:"model_cache_load_mean_ms"`
+	SnapshotGeneration    int64   `json:"snapshot_generation"`
+	ManifestGeneration    int     `json:"manifest_generation"`
+	MaintenancePending    int64   `json:"maintenance_pending"`
 }
 
 // SystemStats reports the current state.
@@ -165,9 +264,10 @@ func (s *System) SystemStats() Stats {
 		out.Tokens = s.st.TotalTokens()
 		out.CorruptStoreRecords = s.st.CorruptRecords()
 	}
-	if s.repo != nil {
-		out.SingleModels, out.NeighborModels = s.repo.NumModels()
-		out.QuarantinedModels = s.repo.QuarantinedModels()
+	if s.curIndex != nil {
+		out.SingleModels, out.NeighborModels = s.curIndex.NumModels()
+		out.QuarantinedModels = s.curIndex.QuarantinedModels()
+		out.ManifestGeneration = s.curIndex.Generation()
 	}
 	if s.global != nil {
 		out.SingleModels++
@@ -180,23 +280,68 @@ func (s *System) SystemStats() Stats {
 		out.ServedFailures = s.served.failures.Load()
 		out.DegradedSegments = s.served.degraded.Load()
 	}
+	out.SnapshotGeneration = s.pubSeq
+	out.MaintenancePending = s.pendingRebuilds.Load()
+	cs := s.cache.Stats()
+	out.ModelCacheBudgetBytes = cs.BudgetBytes
+	out.ModelCacheBytes = cs.Bytes
+	out.ModelCacheModels = cs.Models
+	out.ModelCacheHits = cs.Hits
+	out.ModelCacheMisses = cs.Misses
+	out.ModelCacheHitRatio = cs.HitRatio()
+	out.ModelCacheEvictions = cs.Evictions
+	out.ModelCacheLoads = cs.Loads
+	out.ModelCacheLoadErrors = cs.LoadErrors
+	if cs.Loads > 0 {
+		out.ModelCacheLoadMeanMS = float64(cs.LoadNanos) / float64(cs.Loads) / 1e6
+	}
 	return out
 }
 
 // Ready reports whether the system can serve model-based imputations: at
-// least one trained (or loaded) model exists.  The serving layer's readiness
-// probe keys off it.
+// least one trained (or loaded) model exists in the published snapshot.  The
+// serving layer's readiness probe keys off it.
 func (s *System) Ready() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.global != nil {
-		return true
-	}
-	if s.repo == nil {
+	ss := s.serve.Load()
+	if ss == nil {
 		return false
 	}
-	single, neighbor := s.repo.NumModels()
+	if ss.global != nil {
+		return true
+	}
+	if ss.index == nil {
+		return false
+	}
+	single, neighbor := ss.index.NumModels()
 	return single+neighbor > 0
+}
+
+// WarmRoot proves the published snapshot's root model — the one covering the
+// largest region — is materializable: resident models pass trivially, and
+// disk-resident ones are paged in through the cache (then released).  The
+// serving layer reports "warming" readiness until this succeeds, so traffic
+// is not admitted while the repository directory is unreadable.
+func (s *System) WarmRoot(ctx context.Context) error {
+	ss := s.serve.Load()
+	if ss == nil {
+		return ErrNotTrained
+	}
+	if ss.global != nil {
+		return nil
+	}
+	if ss.index == nil {
+		return ErrNotTrained
+	}
+	ref, ok := ss.index.RootRef()
+	if !ok {
+		return ErrNotTrained
+	}
+	_, release, err := s.resolveModel(ctx, ref)
+	if err != nil {
+		return err
+	}
+	release()
+	return nil
 }
 
 // WithAblation returns a read-only view of the trained system with the
@@ -212,22 +357,34 @@ func (s *System) WithAblation(disableConstraints, disableMultipoint bool) *Syste
 		g:        s.g,
 		proj:     s.proj,
 		st:       s.st,
-		repo:     s.repo,
+		curIndex: s.curIndex,
 		global:   s.global,
 		detokTab: s.detokTab,
 		speedMPS: s.speedMPS,
 		served:   s.served,
+		cache:    s.cache, // paged models are shared; ablations only change search
+		maintCh:  make(chan []store.Traj, maintQueueDepth),
 	}
 	clone.cfg.DisableConstraints = disableConstraints
 	clone.cfg.DisableMultipoint = disableMultipoint
 	clone.refreshChecker()
+	// The clone publishes its own snapshot: the receiver's trained state
+	// with the re-derived checker swapped in.
+	if ss := s.serve.Load(); ss != nil {
+		ss2 := *ss
+		ss2.checker = clone.checker
+		clone.pubSeq = ss2.seq
+		clone.serve.Store(&ss2)
+	}
 	return clone
 }
 
-// Repo exposes the model repository for inspection (experiment E13).
+// Repo exposes the model repository builder for offline inspection
+// (experiment E13).  The builder is owned by the maintenance path; do not
+// call this while training or a maintenance loop is active.
 func (s *System) Repo() *pyramid.Repo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	return s.repo
 }
 

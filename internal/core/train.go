@@ -2,13 +2,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"time"
 
 	"kamel/internal/bert"
 	"kamel/internal/constraints"
 	"kamel/internal/detok"
+	"kamel/internal/fsx"
 	"kamel/internal/geo"
 	"kamel/internal/pyramid"
 	"kamel/internal/store"
@@ -26,22 +29,52 @@ func (s *System) Train(trajs []geo.Trajectory) error {
 // constraints module, rebuilds the detokenization clusters, and runs the
 // model-repository maintenance that trains BERT models wherever thresholds
 // allow.  Training produces no imputation output; it only enriches the
-// system's models.  The context is checked before each per-region model
-// training — the expensive unit of work — so a cancelled request stops
-// enriching models promptly; trajectories already appended to the store
-// remain stored.
+// system's models.
+//
+// When a background maintainer is running (Maintain), the expensive model
+// rebuilds are scheduled onto it and TrainContext returns as soon as the
+// batch is durably appended — train-while-serve: imputation keeps answering
+// against the previous model generation throughout.  Without a maintainer
+// (or when its queue is full), the rebuild runs synchronously as before.
+// The context is checked before each per-region model training — the
+// expensive unit of work — so a cancelled request stops enriching models
+// promptly; trajectories already appended to the store remain stored.
 func (s *System) TrainContext(ctx context.Context, trajs []geo.Trajectory) error {
 	if len(trajs) == 0 {
 		return fmt.Errorf("core: empty training batch")
 	}
+	batch, err := s.appendBatch(trajs)
+	if err != nil {
+		return err
+	}
+	if s.cfg.DisablePartitioning {
+		// Ablation "No Part.": one model over everything (§8.7), always
+		// rebuilt synchronously.
+		return s.rebuildGlobal(ctx)
+	}
+	if s.maintaining.Load() {
+		select {
+		case s.maintCh <- batch:
+			s.pendingRebuilds.Add(1)
+			return nil
+		default:
+			// Maintainer backlogged: rebuild synchronously (backpressure).
+		}
+	}
+	return s.rebuild(ctx, batch, false)
+}
+
+// appendBatch runs the cheap, latency-sensitive half of training under mu:
+// tokenize, append to the store, refresh the speed estimate / constraints /
+// detokenization clusters, and publish the refreshed auxiliaries.
+func (s *System) appendBatch(trajs []geo.Trajectory) ([]store.Traj, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	started := time.Now()
 
 	if err := s.ensureProjection(trajs); err != nil {
-		return err
+		return nil, err
 	}
-
 	batch := make([]store.Traj, 0, len(trajs))
 	for _, tr := range trajs {
 		if len(tr.Points) == 0 {
@@ -49,56 +82,148 @@ func (s *System) TrainContext(ctx context.Context, trajs []geo.Trajectory) error
 		}
 		rec := s.tokenize(tr)
 		if err := s.st.Append(rec); err != nil {
-			return fmt.Errorf("core: storing trajectory %q: %w", tr.ID, err)
+			return nil, fmt.Errorf("core: storing trajectory %q: %w", tr.ID, err)
 		}
 		batch = append(batch, rec)
 	}
 	if len(batch) == 0 {
-		return fmt.Errorf("core: training batch had no non-empty trajectories")
+		return nil, fmt.Errorf("core: training batch had no non-empty trajectories")
 	}
-
 	s.refreshSpeedEstimate()
 	s.refreshChecker()
 	s.rebuildDetok()
+	s.trainTime += time.Since(started).Seconds()
+	s.publishLocked()
+	return batch, nil
+}
 
-	if s.cfg.DisablePartitioning {
-		// Ablation "No Part.": one model over everything (§8.7).
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		var all []store.Traj
-		s.st.All(func(tr store.Traj) bool { all = append(all, tr); return true })
-		bundle, _, err := s.buildModel(all)
-		if err != nil {
-			return err
-		}
-		s.global = bundle
-		s.trainTime += time.Since(started).Seconds()
-		return nil
-	}
-
-	if err := s.ensureRepo(); err != nil {
+// rebuild runs pyramid maintenance for one appended batch under maintMu and
+// publishes the resulting snapshot.  With commit=true (the background
+// maintainer), the repository is additionally committed to disk incrementally
+// and its in-memory handles dropped, so the serving path pages rebuilt models
+// through the cache — the disk-resident lifecycle of paper §4.
+func (s *System) rebuild(ctx context.Context, batch []store.Traj, commit bool) error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	err := s.repo.Ingest(s.st, batch, func(region geo.Rect, rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
+	started := time.Now()
+
+	s.mu.Lock()
+	st := s.st
+	var err error
+	if st != nil {
+		err = s.ensureRepoLocked()
+	}
+	repo := s.repo
+	s.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("core: system is closed")
+	}
+	if err != nil {
+		return err
+	}
+
+	err = repo.Ingest(st, batch, func(region geo.Rect, rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, pyramid.ModelMeta{}, err
 		}
-		bundle, meta, err := s.buildModel(rs)
-		if err != nil {
-			return nil, pyramid.ModelMeta{}, err
-		}
-		return bundle, meta, nil
+		return s.buildModelHandle(rs)
 	})
 	if err != nil {
 		return err
 	}
+	if commit {
+		if _, err := repo.CommitFS(fsx.OS(), s.modelsDir(), bundleCodec{}); err != nil {
+			return fmt.Errorf("core: committing model repository: %w", err)
+		}
+		repo.DropHandles()
+	}
+	ix := repo.Index()
+
+	s.mu.Lock()
+	s.curIndex = ix
 	s.trainTime += time.Since(started).Seconds()
+	s.publishLocked()
+	s.mu.Unlock()
 	return nil
 }
 
-// ensureRepo creates the pyramid once the deployment region is known.
-func (s *System) ensureRepo() error {
+// buildModelHandle adapts buildModel to the pyramid's BuildFunc signature.
+func (s *System) buildModelHandle(rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
+	bundle, meta, err := s.buildModel(rs)
+	if err != nil {
+		return nil, pyramid.ModelMeta{}, err
+	}
+	return bundle, meta, nil
+}
+
+// rebuildGlobal retrains the single global model of the "No Part." ablation.
+func (s *System) rebuildGlobal(ctx context.Context) error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	started := time.Now()
+	s.mu.RLock()
+	st := s.st
+	s.mu.RUnlock()
+	if st == nil {
+		return fmt.Errorf("core: system is closed")
+	}
+	var all []store.Traj
+	st.All(func(tr store.Traj) bool { all = append(all, tr); return true })
+	bundle, _, err := s.buildModel(all)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.global = bundle
+	s.trainTime += time.Since(started).Seconds()
+	s.publishLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// ErrMaintaining is returned by Maintain when a maintenance loop is already
+// running for the system.
+var ErrMaintaining = errors.New("core: maintenance loop already running")
+
+// Maintain runs the single background repository maintainer (paper §4.2:
+// maintenance is one background process).  While it runs, TrainContext
+// schedules model rebuilds here instead of blocking, and each finished
+// rebuild is committed to disk and atomically published — imputation is
+// never paused.  Maintain blocks until the context is cancelled and returns
+// the context's error; at most one maintainer may run per system.
+func (s *System) Maintain(ctx context.Context) error {
+	if !s.maintaining.CompareAndSwap(false, true) {
+		return ErrMaintaining
+	}
+	defer s.maintaining.Store(false)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case batch := <-s.maintCh:
+			err := s.rebuild(ctx, batch, true)
+			s.pendingRebuilds.Add(-1)
+			if ctx.Err() != nil {
+				// The batch is already in the store; the next rebuild after
+				// restart covers its region again.
+				return ctx.Err()
+			}
+			if err != nil {
+				log.Printf("core: background model rebuild failed: %v", err)
+			}
+		}
+	}
+}
+
+// ensureRepoLocked creates the pyramid builder once the deployment region is
+// known.  Callers hold mu (and the maintenance path holds maintMu).
+func (s *System) ensureRepoLocked() error {
 	if s.repo != nil {
 		return nil
 	}

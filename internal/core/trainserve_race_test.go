@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kamel/internal/geo"
+)
+
+// seqRecorder collects, per imputation request, the serve-snapshot sequence
+// number that served each gap (via testGapHook).  A request whose gaps span
+// more than one sequence has read a torn snapshot.
+type seqRecorder struct {
+	mu   sync.Mutex
+	seqs []int64
+}
+
+type seqRecorderKey struct{}
+
+// TestTrainWhileServeRace hammers ImputeBatch from several goroutines while
+// training batches flow through the background maintainer, which rebuilds
+// models, commits them to disk, and republishes serving snapshots the whole
+// time.  Run under -race it proves the lock-free impute path; the recorder
+// proves every request is served by exactly one snapshot generation.
+func TestTrainWhileServeRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models under load")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.DisablePartitioning = false
+		c.PyramidH = 1
+		c.PyramidL = 2
+		c.ThresholdK = 200
+		c.Train.Steps = 60
+	})
+	sys, err := NewWithProjection(f.cfg, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Seed the system so imputation works from the start.
+	half := len(f.train) / 2
+	if err := sys.Train(f.train[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	testGapHook = func(ctx context.Context, seq int64) {
+		rec, _ := ctx.Value(seqRecorderKey{}).(*seqRecorder)
+		if rec == nil {
+			return
+		}
+		rec.mu.Lock()
+		rec.seqs = append(rec.seqs, seq)
+		rec.mu.Unlock()
+	}
+	defer func() { testGapHook = nil }()
+
+	mctx, cancelMaint := context.WithCancel(context.Background())
+	defer cancelMaint()
+	maintDone := make(chan error, 1)
+	go func() { maintDone <- sys.Maintain(mctx) }()
+
+	sparse := make([]geo.Trajectory, len(f.test))
+	for i, tr := range f.test {
+		sparse[i] = tr.Sparsify(700)
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := &seqRecorder{}
+				ctx := context.WithValue(context.Background(), seqRecorderKey{}, rec)
+				batch := []geo.Trajectory{sparse[(w+i)%len(sparse)]}
+				results, err := sys.ImputeBatch(ctx, batch)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if results[0].Err != nil {
+					errCh <- results[0].Err
+					return
+				}
+				rec.mu.Lock()
+				for j := 1; j < len(rec.seqs); j++ {
+					if rec.seqs[j] != rec.seqs[0] {
+						errCh <- fmt.Errorf("torn snapshot read: gap %d served by snapshot %d, gap 0 by snapshot %d",
+							j, rec.seqs[j], rec.seqs[0])
+						rec.mu.Unlock()
+						return
+					}
+				}
+				rec.mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Feed the remaining training data in two batches; with the maintainer
+	// running these return once the batch is durable and the rebuilds (and
+	// snapshot swaps) happen concurrently with the imputation load above.
+	rest := f.train[half:]
+	for _, batch := range [][]geo.Trajectory{rest[:len(rest)/2], rest[len(rest)/2:]} {
+		if err := sys.Train(batch); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Keep the hammering overlapped with at least part of the rebuild work,
+	// then stop it so the maintainer gets the CPU to drain its queue.
+	hammerUntil := time.Now().Add(5 * time.Second)
+	for sys.SystemStats().MaintenancePending > 0 && time.Now().Before(hammerUntil) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	deadline := time.Now().Add(3 * time.Minute)
+	for sys.SystemStats().MaintenancePending > 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	cancelMaint()
+	if err := <-maintDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+
+	st := sys.SystemStats()
+	if st.MaintenancePending > 0 {
+		t.Errorf("maintainer did not drain: %d rebuilds pending", st.MaintenancePending)
+	}
+	if st.SnapshotGeneration < 2 {
+		t.Errorf("snapshot never advanced under train-while-serve (generation %d)", st.SnapshotGeneration)
+	}
+	if st.SingleModels == 0 {
+		t.Error("no models after maintained training")
+	}
+}
+
+// TestCachePagingUnderSmallBudget proves the acceptance criterion that a
+// model repository far larger than the cache budget still evaluates
+// correctly: a reloaded system with a tiny ModelCacheBytes pages models in
+// and out (nonzero evictions) yet imputes the test set identically to the
+// fully memory-resident system, and a generous budget serves repeats from
+// cache (nonzero hits, sane hit ratio).
+func TestCachePagingUnderSmallBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.DisablePartitioning = false
+		c.PyramidH = 1
+		c.PyramidL = 2
+		c.ThresholdK = 200
+		c.Train.Steps = 80
+	})
+	sys := trainedSystem(t, f)
+	if err := sys.SaveModels(); err != nil {
+		t.Fatal(err)
+	}
+
+	sparse := make([]geo.Trajectory, len(f.test))
+	for i, tr := range f.test {
+		sparse[i] = tr.Sparsify(700)
+	}
+	want := make([]geo.Trajectory, len(sparse))
+	for i, tr := range sparse {
+		dense, _, err := sys.Impute(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = dense
+	}
+
+	run := func(t *testing.T, budget int64) Stats {
+		cfg := f.cfg
+		cfg.ModelCacheBytes = budget
+		sys2, err := NewWithProjection(cfg, f.proj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys2.Close()
+		if err := sys2.LoadModels(); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ { // repeats give a warm cache something to hit
+			for i, tr := range sparse {
+				dense, _, err := sys2.Impute(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(dense.Points) != len(want[i].Points) {
+					t.Fatalf("budget %d: trajectory %d imputed %d points, memory-resident system %d",
+						budget, i, len(dense.Points), len(want[i].Points))
+				}
+			}
+		}
+		return sys2.SystemStats()
+	}
+
+	t.Run("tiny", func(t *testing.T) {
+		// A 1-byte budget keeps every model over budget, so each is evicted
+		// as soon as its pin is released — maximal paging pressure.
+		st := run(t, 1)
+		if st.ModelCacheEvictions == 0 {
+			t.Errorf("tiny budget evicted nothing (budget=%d bytes=%d models=%d)",
+				st.ModelCacheBudgetBytes, st.ModelCacheBytes, st.ModelCacheModels)
+		}
+		if st.ModelCacheBytes > 0 && st.ModelCacheBytes > st.ModelCacheBudgetBytes {
+			// Occupancy above budget is only legal while models are pinned.
+			t.Errorf("cache over budget at rest: %d > %d", st.ModelCacheBytes, st.ModelCacheBudgetBytes)
+		}
+	})
+	t.Run("generous", func(t *testing.T) {
+		st := run(t, 1<<30)
+		if st.ModelCacheHits == 0 {
+			t.Error("generous budget never hit the cache")
+		}
+		if st.ModelCacheEvictions != 0 {
+			t.Errorf("generous budget evicted %d models", st.ModelCacheEvictions)
+		}
+		if r := st.ModelCacheHitRatio; r <= 0 || r > 1 {
+			t.Errorf("hit ratio %v out of range", r)
+		}
+	})
+}

@@ -483,13 +483,13 @@ func (r *Runner) ModelInventory(dataset string) ([]Row, error) {
 			row = &Row{Experiment: "models", Dataset: dataset, XLabel: "level", X: float64(e.Key.Level)}
 			perLevel[e.Key.Level] = row
 		}
-		if e.Single != nil {
+		if e.HasSingle() {
 			row.Recall++ // single-cell model count
 		}
-		if e.East != nil {
+		if e.HasEast() {
 			row.Precision++ // neighbor-cell model count
 		}
-		if e.South != nil {
+		if e.HasSouth() {
 			row.Precision++
 		}
 	})

@@ -1,0 +1,253 @@
+// Package modelcache implements the memory half of KAMEL's disk-resident
+// model repository (paper §4): a byte-budgeted LRU cache of loaded models.
+// The paper keeps per-area BERT models on disk and brings them into memory
+// per request; this cache is the bound on how many of them are resident at
+// once, so total memory stays fixed no matter how large the deployment area
+// (and therefore the model population) grows.
+//
+// Entries are keyed by (cell, slot, generation) — the identity of one
+// immutable generation-stamped model file — and loaded lazily on miss via a
+// caller-supplied loader.  Concurrent requests for the same key are
+// deduplicated (singleflight): one loader runs, every waiter shares its
+// result.  An entry handed out by GetOrLoad is pinned until every holder
+// releases it, so eviction can never free a model mid-inference.
+package modelcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Key identifies one immutable model artifact: a pyramid cell, the model
+// slot within it, and the repository generation that wrote the file.  A
+// rebuilt model gets a new generation and therefore a new cache identity;
+// stale generations age out of the cache through normal LRU pressure.
+type Key struct {
+	Level, IX, IY int
+	Slot          string
+	Generation    int
+}
+
+// String renders the key for logs.
+func (k Key) String() string {
+	return fmt.Sprintf("L%d(%d,%d)/%s.g%d", k.Level, k.IX, k.IY, k.Slot, k.Generation)
+}
+
+// Sizer is the one thing the cache needs from a model: its resident size,
+// so occupancy can be charged against the byte budget.
+type Sizer interface {
+	SizeBytes() int64
+}
+
+// LoadFunc materializes a model from disk.  It runs outside the cache lock;
+// at most one loader runs per key at a time.
+type LoadFunc func() (Sizer, error)
+
+// entry is one cached (or in-flight) model.
+type entry struct {
+	key   Key
+	value Sizer
+	size  int64
+	pins  int           // holders that must finish before eviction
+	elem  *list.Element // position in the LRU list; nil while loading
+	done  chan struct{} // closed when the load completes (ok or not)
+	err   error         // load error; entry is removed, waiters see this
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	BudgetBytes int64 // configured budget (<= 0: unbounded)
+	Bytes       int64 // resident model bytes
+	Models      int   // resident model count
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Loads       int64 // completed loader runs (hits share one load)
+	LoadErrors  int64
+	LoadNanos   int64 // cumulative wall time spent in loaders
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any traffic.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a byte-budgeted LRU of loaded models.  All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[Key]*entry
+	lru     *list.List // front = most recently used; holds *entry
+
+	hits, misses, evictions, loads, loadErrors, loadNanos int64
+}
+
+// New creates a cache with the given byte budget.  A budget <= 0 disables
+// eviction (unbounded residency) — the caller opted out of the bound.
+func New(budgetBytes int64) *Cache {
+	return &Cache{
+		budget:  budgetBytes,
+		entries: make(map[Key]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Pin is a lease on a cached model.  The model cannot be evicted until
+// Release is called; Release is idempotent.
+type Pin struct {
+	c    *Cache
+	e    *entry
+	once sync.Once
+}
+
+// Value returns the pinned model.
+func (p *Pin) Value() Sizer { return p.e.value }
+
+// Release ends the lease.  The entry stays cached (and becomes evictable
+// once its last pin is gone).
+func (p *Pin) Release() {
+	p.once.Do(func() {
+		p.c.mu.Lock()
+		p.e.pins--
+		p.c.evictLocked()
+		p.c.mu.Unlock()
+	})
+}
+
+// GetOrLoad returns a pinned lease on the model for key, loading it via
+// load on a miss.  Concurrent callers for the same key share one loader
+// run.  The context only bounds the wait on someone else's in-flight load;
+// the loader itself is not cancelled (local disk reads are short and the
+// result is useful to the other waiters regardless).
+func (c *Cache) GetOrLoad(ctx context.Context, key Key, load LoadFunc) (*Pin, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			if e.done == nil { // resident
+				e.pins++
+				c.lru.MoveToFront(e.elem)
+				c.hits++
+				c.mu.Unlock()
+				return &Pin{c: c, e: e}, nil
+			}
+			// Someone else is loading it: wait and re-check.
+			done := e.done
+			c.mu.Unlock()
+			select {
+			case <-done:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		// Miss: claim the load slot for this key.
+		e := &entry{key: key, done: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		c.mu.Unlock()
+
+		started := time.Now()
+		value, err := load()
+		elapsed := time.Since(started).Nanoseconds()
+
+		c.mu.Lock()
+		c.loads++
+		c.loadNanos += elapsed
+		if err != nil {
+			c.loadErrors++
+			delete(c.entries, key) // next caller retries the load
+			e.err = err
+			close(e.done)
+			c.mu.Unlock()
+			return nil, err
+		}
+		e.value = value
+		e.size = value.SizeBytes()
+		e.pins = 1
+		e.elem = c.lru.PushFront(e)
+		done := e.done
+		e.done = nil // resident from here on; waiters re-check under the lock
+		c.bytes += e.size
+		close(done)
+		c.evictLocked()
+		c.mu.Unlock()
+		return &Pin{c: c, e: e}, nil
+	}
+}
+
+// evictLocked drops least-recently-used unpinned entries until the cache is
+// within budget.  Pinned entries (models serving in-flight imputations) are
+// skipped; they become evictable at Release time.
+func (c *Cache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		victim := c.oldestUnpinnedLocked()
+		if victim == nil {
+			return // everything over budget is pinned; retry on next Release
+		}
+		c.lru.Remove(victim.elem)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.size
+		c.evictions++
+	}
+}
+
+// oldestUnpinnedLocked scans from the LRU tail for an evictable entry.
+func (c *Cache) oldestUnpinnedLocked() *entry {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*entry); e.pins == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// Invalidate drops the entry for key if it is resident and unpinned.  It
+// reports whether an entry was removed.  Pinned or in-flight entries are
+// left alone.
+func (c *Cache) Invalidate(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.done != nil || e.pins > 0 {
+		return false
+	}
+	c.lru.Remove(e.elem)
+	delete(c.entries, key)
+	c.bytes -= e.size
+	return true
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resident := 0
+	for _, e := range c.entries {
+		if e.done == nil {
+			resident++
+		}
+	}
+	return Stats{
+		BudgetBytes: c.budget,
+		Bytes:       c.bytes,
+		Models:      resident,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Loads:       c.loads,
+		LoadErrors:  c.loadErrors,
+		LoadNanos:   c.loadNanos,
+	}
+}

@@ -1,0 +1,326 @@
+package modelcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeModel is a Sizer with a fixed footprint and an identity.
+type fakeModel struct {
+	id   int
+	size int64
+}
+
+func (f *fakeModel) SizeBytes() int64 { return f.size }
+
+func key(i int) Key { return Key{Level: 3, IX: i, IY: 0, Slot: "single", Generation: 1} }
+
+func loadOK(id int, size int64) LoadFunc {
+	return func() (Sizer, error) { return &fakeModel{id: id, size: size}, nil }
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+
+	p, err := c.GetOrLoad(ctx, key(1), loadOK(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	p2, err := c.GetOrLoad(ctx, key(1), func() (Sizer, error) {
+		t.Fatal("loader must not run on a hit")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Value().(*fakeModel).id != 1 {
+		t.Error("hit returned the wrong model")
+	}
+	p2.Release()
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Loads != 1 {
+		t.Errorf("hits/misses/loads = %d/%d/%d, want 1/1/1", st.Hits, st.Misses, st.Loads)
+	}
+	if st.Bytes != 100 || st.Models != 1 {
+		t.Errorf("bytes/models = %d/%d, want 100/1", st.Bytes, st.Models)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Errorf("hit ratio %f, want 0.5", got)
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	c := New(250) // fits two 100-byte models, not three
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		p, err := c.GetOrLoad(ctx, key(i), loadOK(i, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Models != 2 || st.Bytes != 200 {
+		t.Fatalf("evictions/models/bytes = %d/%d/%d, want 1/2/200", st.Evictions, st.Models, st.Bytes)
+	}
+	// Model 1 (least recently used) was the victim: re-requesting it loads.
+	var loaded atomic.Bool
+	p, err := c.GetOrLoad(ctx, key(1), func() (Sizer, error) {
+		loaded.Store(true)
+		return &fakeModel{id: 1, size: 100}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if !loaded.Load() {
+		t.Error("evicted model must reload on next request")
+	}
+}
+
+func TestTouchKeepsHotEntryResident(t *testing.T) {
+	c := New(250)
+	ctx := context.Background()
+	mustGet := func(i int) {
+		t.Helper()
+		p, err := c.GetOrLoad(ctx, key(i), loadOK(i, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	mustGet(1)
+	mustGet(2)
+	mustGet(1) // touch: 1 becomes MRU
+	mustGet(3) // must evict 2, not 1
+	p, err := c.GetOrLoad(ctx, key(1), func() (Sizer, error) {
+		t.Fatal("hot entry was evicted")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	c := New(150) // fits one model
+	ctx := context.Background()
+	p1, err := c.GetOrLoad(ctx, key(1), loadOK(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While 1 is pinned, loading 2 overflows the budget but must not evict 1.
+	p2, err := c.GetOrLoad(ctx, key(2), loadOK(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Models != 2 || st.Evictions != 0 {
+		t.Fatalf("pinned entry evicted: %+v", st)
+	}
+	if p1.Value().(*fakeModel).id != 1 {
+		t.Error("pinned value must stay usable")
+	}
+	// Releasing makes them evictable; the next pressure point trims.
+	p1.Release()
+	p2.Release()
+	if st := c.Stats(); st.Bytes > 150 {
+		t.Errorf("release must trim over-budget cache, bytes=%d", st.Bytes)
+	}
+}
+
+func TestSingleflightDedupesConcurrentLoads(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	var loaderRuns atomic.Int64
+	gate := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := c.GetOrLoad(ctx, key(7), func() (Sizer, error) {
+				loaderRuns.Add(1)
+				<-gate
+				return &fakeModel{id: 7, size: 10}, nil
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p.Value().(*fakeModel).id != 7 {
+				errs <- errors.New("wrong model")
+			}
+			p.Release()
+		}()
+	}
+	// Let goroutines pile up on the in-flight load, then open the gate.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := loaderRuns.Load(); got != 1 {
+		t.Errorf("loader ran %d times, want 1 (singleflight)", got)
+	}
+	if st := c.Stats(); st.Loads != 1 {
+		t.Errorf("loads = %d, want 1", st.Loads)
+	}
+}
+
+func TestLoadErrorPropagatesAndRetries(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	boom := errors.New("disk gone")
+	if _, err := c.GetOrLoad(ctx, key(1), func() (Sizer, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if st := c.Stats(); st.LoadErrors != 1 || st.Models != 0 {
+		t.Errorf("after failed load: %+v", st)
+	}
+	// The failed key is not poisoned: the next call retries and succeeds.
+	p, err := c.GetOrLoad(ctx, key(1), loadOK(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+}
+
+func TestContextCancelledWhileWaiting(t *testing.T) {
+	c := New(1 << 20)
+	gate := make(chan struct{})
+	go func() {
+		p, err := c.GetOrLoad(context.Background(), key(1), func() (Sizer, error) {
+			<-gate
+			return &fakeModel{id: 1, size: 10}, nil
+		})
+		if err == nil {
+			p.Release()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the loader claim the key
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.GetOrLoad(ctx, key(1), loadOK(1, 10))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(gate)
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(1 << 20)
+	p, err := c.GetOrLoad(context.Background(), key(1), loadOK(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	p.Release() // second release must not double-decrement pins
+	p2, err := c.GetOrLoad(context.Background(), key(1), loadOK(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Release()
+	if st := c.Stats(); st.Models != 1 {
+		t.Errorf("models = %d, want 1", st.Models)
+	}
+}
+
+func TestUnboundedBudgetNeverEvicts(t *testing.T) {
+	c := New(0)
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		p, err := c.GetOrLoad(ctx, key(i), loadOK(i, 1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Models != 50 {
+		t.Errorf("unbounded cache evicted: %+v", st)
+	}
+}
+
+func TestConcurrentChurnRace(t *testing.T) {
+	c := New(500) // heavy pressure: 5 resident models of 100 bytes
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (seed*31 + i) % 16
+				p, err := c.GetOrLoad(ctx, key(k), loadOK(k, 100))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p.Value().(*fakeModel).id != k {
+					t.Errorf("key %d resolved to model %d", k, p.Value().(*fakeModel).id)
+				}
+				p.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > 500 {
+		t.Errorf("cache over budget after churn: %d bytes", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("churn over a small budget must evict")
+	}
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	p, _ := c.GetOrLoad(ctx, key(1), loadOK(1, 10))
+	if c.Invalidate(key(1)) {
+		t.Error("pinned entry must not be invalidated")
+	}
+	p.Release()
+	if !c.Invalidate(key(1)) {
+		t.Error("unpinned entry must be invalidated")
+	}
+	if c.Invalidate(key(1)) {
+		t.Error("absent entry reports false")
+	}
+	if st := c.Stats(); st.Models != 0 || st.Bytes != 0 {
+		t.Errorf("after invalidate: %+v", st)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	got := Key{Level: 2, IX: 1, IY: 3, Slot: "east", Generation: 4}.String()
+	want := "L2(1,3)/east.g4"
+	if got != want {
+		t.Errorf("Key.String() = %q, want %q", got, want)
+	}
+}
+
+func ExampleCache() {
+	c := New(1 << 20)
+	p, _ := c.GetOrLoad(context.Background(), Key{Level: 0, Slot: "single", Generation: 1},
+		func() (Sizer, error) { return &fakeModel{id: 1, size: 512}, nil })
+	defer p.Release()
+	fmt.Println(c.Stats().Models)
+	// Output: 1
+}

@@ -1,0 +1,178 @@
+package pyramid
+
+import "kamel/internal/geo"
+
+// ModelRef is one model slot as seen through an immutable Index snapshot: the
+// cell and slot identity, the persisted file (if any), and — when the model
+// was resident in the builder at snapshot time — the live handle, which lets
+// the serving layer skip the disk round-trip entirely.
+//
+// File and Gen together identify one immutable model artifact, so they are
+// the natural key for a model cache: a rebuilt model lands in a new file
+// with a new generation and therefore a new cache identity, while models
+// carried across commits unchanged keep theirs (and stay warm).
+type ModelRef struct {
+	Key  CellKey
+	Slot string // SlotSingle | SlotEast | SlotSouth
+	File string // persisted file name within the repository dir; "" if memory-only
+	Gen  int    // the file's generation stamp (0 for legacy unstamped files)
+	Meta ModelMeta
+
+	// Handle is the decoded model when it was memory-resident at snapshot
+	// time, nil for disk-resident slots (resolve through the cache).
+	Handle Handle
+}
+
+// indexEntry is the snapshot of one cell.
+type indexEntry struct {
+	tokens              int
+	single, east, south *ModelRef
+	quarantined         map[string]bool // slot name → sidelined at load time
+}
+
+// Index is an immutable point-in-time snapshot of a Repo: cell metadata and
+// model references without any mutation API.  All methods are safe for
+// unsynchronized concurrent use — the copy-on-write contract is that a
+// published Index is never modified; the builder produces a fresh one after
+// every maintenance round and the serving layer swaps it in atomically.
+type Index struct {
+	cfg         Config
+	gen         int
+	cells       map[CellKey]*indexEntry
+	numSingle   int
+	numNeighbor int
+	quarantined int
+}
+
+// Index captures the repository's current state as an immutable snapshot.
+// The snapshot shares model handles (which are themselves read-safe) but no
+// mutable structure with the builder: subsequent Ingest/Commit calls on the
+// Repo never alter an already-captured Index.
+func (r *Repo) Index() *Index {
+	ix := &Index{
+		cfg:   r.cfg,
+		gen:   r.gen,
+		cells: make(map[CellKey]*indexEntry, len(r.cells)),
+	}
+	refOf := func(k CellKey, slot string, h Handle, fr FileRef, meta ModelMeta) *ModelRef {
+		if h == nil && fr.Name == "" {
+			return nil
+		}
+		return &ModelRef{Key: k, Slot: slot, File: fr.Name, Gen: fr.Gen, Meta: meta, Handle: h}
+	}
+	for k, e := range r.cells {
+		ie := &indexEntry{tokens: e.TokenCount}
+		if ie.single = refOf(k, SlotSingle, e.Single, e.SingleRef, e.SingleMeta); ie.single != nil {
+			ix.numSingle++
+		}
+		if ie.east = refOf(k, SlotEast, e.East, e.EastRef, e.EastMeta); ie.east != nil {
+			ix.numNeighbor++
+		}
+		if ie.south = refOf(k, SlotSouth, e.South, e.SouthRef, e.SouthMeta); ie.south != nil {
+			ix.numNeighbor++
+		}
+		if slots := r.quarantined[k]; len(slots) > 0 {
+			ie.quarantined = make(map[string]bool, len(slots))
+			for s := range slots {
+				ie.quarantined[s] = true
+				ix.quarantined++
+			}
+		}
+		ix.cells[k] = ie
+	}
+	return ix
+}
+
+// Config returns the pyramid configuration the snapshot was built with.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Generation returns the manifest generation backing the snapshot (0 for a
+// never-persisted repository).
+func (ix *Index) Generation() int { return ix.gen }
+
+// NumModels returns the snapshot's single-cell and neighbor-cell model
+// counts.
+func (ix *Index) NumModels() (single, neighbor int) { return ix.numSingle, ix.numNeighbor }
+
+// QuarantinedModels returns how many model slots were sidelined as corrupt
+// when the backing repository was loaded.
+func (ix *Index) QuarantinedModels() int { return ix.quarantined }
+
+// RootRef returns the model covering the largest region — the shallowest,
+// and within a level the first in scan order.  Serving layers use it as the
+// readiness probe: once the root model is loadable, the system can answer
+// (possibly degraded) imputations anywhere in its coverage.
+func (ix *Index) RootRef() (*ModelRef, bool) {
+	var best *ModelRef
+	bestLevel := int(^uint(0) >> 1)
+	for k, e := range ix.cells {
+		if k.Level >= bestLevel {
+			continue
+		}
+		for _, ref := range []*ModelRef{e.single, e.east, e.south} {
+			if ref != nil {
+				best, bestLevel = ref, k.Level
+				break
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// Lookup finds the model reference best suited for imputing a trajectory
+// with the given MBR (paper §4.1): the single-cell or neighbor-cell model
+// with the smallest coverage fully enclosing the MBR.  Returns ok=false when
+// no model covers it.
+func (ix *Index) Lookup(mbr geo.Rect) (*ModelRef, geo.Rect, bool) {
+	ref, cover, _, ok := ix.LookupBest(mbr)
+	return ref, cover, ok
+}
+
+// LookupBest is Lookup plus degradation accounting: the info reports whether
+// a quarantined model forced the result onto a coarser ancestor.  The walk
+// mirrors Repo.LookupBest but yields references instead of handles, so the
+// caller decides how to materialize the model (resident handle or cache
+// load).
+func (ix *Index) LookupBest(mbr geo.Rect) (*ModelRef, geo.Rect, LookupInfo, bool) {
+	var info LookupInfo
+	if mbr.IsEmpty() || !ix.cfg.Root.ContainsRect(mbr) {
+		return nil, geo.Rect{}, info, false
+	}
+	for l := ix.cfg.H; l >= 0; l-- {
+		lo := ix.cfg.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
+		hi := ix.cfg.cellOf(geo.XY{X: mbr.MaxX, Y: mbr.MaxY}, l)
+		dx, dy := hi.IX-lo.IX, hi.IY-lo.IY
+		switch {
+		case dx == 0 && dy == 0:
+			if e, ok := ix.cells[lo]; ok {
+				if e.single != nil {
+					return e.single, ix.cfg.CellRect(lo), info, true
+				}
+				if e.quarantined[SlotSingle] {
+					info.Degraded = true
+				}
+			}
+		case dx == 1 && dy == 0:
+			// Horizontal pair; the model lives in the west cell's East slot.
+			if e, ok := ix.cells[lo]; ok {
+				if e.east != nil {
+					return e.east, ix.cfg.CellRect(lo).Union(ix.cfg.CellRect(hi)), info, true
+				}
+				if e.quarantined[SlotEast] {
+					info.Degraded = true
+				}
+			}
+		case dx == 0 && dy == 1:
+			// Vertical pair; the model lives in the north cell's South slot.
+			if e, ok := ix.cells[hi]; ok {
+				if e.south != nil {
+					return e.south, ix.cfg.CellRect(lo).Union(ix.cfg.CellRect(hi)), info, true
+				}
+				if e.quarantined[SlotSouth] {
+					info.Degraded = true
+				}
+			}
+		}
+	}
+	return nil, geo.Rect{}, info, false
+}

@@ -1,0 +1,319 @@
+package pyramid
+
+import (
+	"strings"
+	"testing"
+
+	"kamel/internal/fsx"
+	"kamel/internal/geo"
+	"kamel/internal/store"
+)
+
+// buildTestRepo ingests east-walking trajectories so the repo holds models
+// at several levels, then returns it with the store.
+func buildTestRepo(t *testing.T) (*Repo, *store.Store) {
+	t.Helper()
+	st, _ := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	t.Cleanup(func() { st.Close() })
+	r, _ := New(testConfig())
+	fill(t, st, 100, 100, 20, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+	var id int32
+	err := r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		id++
+		return &fakeHandle{id: id}, ModelMeta{Tokens: len(trajs) * 10}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, st
+}
+
+func TestIndexMirrorsRepoLookup(t *testing.T) {
+	r, _ := buildTestRepo(t)
+	ix := r.Index()
+
+	s1, n1 := r.NumModels()
+	s2, n2 := ix.NumModels()
+	if s1 != s2 || n1 != n2 {
+		t.Errorf("model counts diverge: repo %d/%d, index %d/%d", s1, n1, s2, n2)
+	}
+
+	mbr := geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110}
+	h, cover, ok := r.Lookup(mbr)
+	ref, cover2, ok2 := ix.Lookup(mbr)
+	if !ok || !ok2 {
+		t.Fatalf("lookup ok mismatch: repo=%v index=%v", ok, ok2)
+	}
+	if cover != cover2 {
+		t.Errorf("coverage mismatch: %v vs %v", cover, cover2)
+	}
+	if ref.Handle != h {
+		t.Error("index ref must carry the resident handle")
+	}
+	if ref.File != "" {
+		t.Errorf("never-persisted model has file %q, want none", ref.File)
+	}
+}
+
+func TestIndexIsImmutableSnapshot(t *testing.T) {
+	r, st := buildTestRepo(t)
+	ix := r.Index()
+	before, _ := ix.NumModels()
+
+	// Mutate the repo after snapshotting: re-ingest bumps versions and
+	// reassigns handles.
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+	err := r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		return &fakeHandle{id: 99}, ModelMeta{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := ix.NumModels()
+	if before != after {
+		t.Error("snapshot changed after repo mutation")
+	}
+	ref, _, ok := ix.Lookup(geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110})
+	if !ok || ref.Handle.(*fakeHandle).id == 99 {
+		t.Error("snapshot must keep the pre-mutation handle")
+	}
+}
+
+func TestCommitIncremental(t *testing.T) {
+	r, st := buildTestRepo(t)
+	fsys := fsx.OS()
+	dir := t.TempDir()
+
+	gen, err := r.CommitFS(fsys, dir, fakeCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Errorf("first commit generation %d, want 1", gen)
+	}
+	if r.Generation() != 1 {
+		t.Errorf("repo generation %d, want 1", r.Generation())
+	}
+
+	// Nothing dirty: a second commit writes no model files, only carries
+	// references forward.
+	files1 := modelFiles(t, fsys, dir)
+	gen, err = r.CommitFS(fsys, dir, fakeCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Errorf("second commit generation %d, want 2", gen)
+	}
+	files2 := modelFiles(t, fsys, dir)
+	if len(files1) != len(files2) {
+		t.Fatalf("file count changed on no-op commit: %d -> %d", len(files1), len(files2))
+	}
+	for f := range files1 {
+		if !files2[f] {
+			t.Errorf("file %s not carried forward", f)
+		}
+	}
+
+	// Rebuild one cell: only its files gain the new generation.
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+	err = r.Ingest(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		return &fakeHandle{id: 42}, ModelMeta{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = r.CommitFS(fsys, dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	var g3 int
+	for f := range modelFiles(t, fsys, dir) {
+		if strings.Contains(f, ".g000003.") {
+			g3++
+		}
+	}
+	if g3 == 0 {
+		t.Error("rebuild must produce generation-3 files")
+	}
+}
+
+func modelFiles(t *testing.T, fsys fsx.FS, dir string) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "model-") {
+			out[e.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestLoadIndexLazy(t *testing.T) {
+	r, _ := buildTestRepo(t)
+	fsys := fsx.OS()
+	dir := t.TempDir()
+	if _, err := r.CommitFS(fsys, dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+
+	lr, report, err := LoadIndexFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Quarantined) != 0 {
+		t.Fatalf("unexpected quarantine: %+v", report.Quarantined)
+	}
+	s1, n1 := r.NumModels()
+	s2, n2 := lr.NumModels()
+	if s1 != s2 || n1 != n2 {
+		t.Errorf("model counts diverge after lazy load: %d/%d vs %d/%d", s1, n1, s2, n2)
+	}
+	// No handles are resident; every slot is a file reference.
+	lr.Entries(func(e *Entry) {
+		if e.Single != nil || e.East != nil || e.South != nil {
+			t.Errorf("cell %s has a resident handle after lazy load", e.Key)
+		}
+	})
+
+	// Resolving a reference through ReadModelFS decodes the model.
+	ix := lr.Index()
+	ref, _, ok := ix.Lookup(geo.Rect{MinX: 110, MinY: 100, MaxX: 250, MaxY: 110})
+	if !ok {
+		t.Fatal("index lookup failed after lazy load")
+	}
+	if ref.Handle != nil {
+		t.Error("lazy-loaded ref must not carry a handle")
+	}
+	if ref.File == "" || ref.Gen == 0 {
+		t.Errorf("ref missing file identity: %+v", ref)
+	}
+	h, err := ReadModelFS(fsys, dir, FileRef{Name: ref.File, Gen: ref.Gen}, fakeCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isFake := h.(*fakeHandle); !isFake {
+		t.Error("decoded model has wrong type")
+	}
+}
+
+func TestLoadIndexQuarantinesCorruptFile(t *testing.T) {
+	r, _ := buildTestRepo(t)
+	fsys := fsx.OS()
+	dir := t.TempDir()
+	if _, err := r.CommitFS(fsys, dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in one model file.
+	var victim string
+	for f := range modelFiles(t, fsys, dir) {
+		victim = f
+		break
+	}
+	corruptFile(t, fsys, dir, victim)
+
+	lr, report, err := LoadIndexFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Quarantined) != 1 || report.Quarantined[0].File != victim {
+		t.Fatalf("quarantine report %+v, want exactly %s", report.Quarantined, victim)
+	}
+	if lr.QuarantinedModels() != 1 {
+		t.Errorf("QuarantinedModels = %d, want 1", lr.QuarantinedModels())
+	}
+	if ix := lr.Index(); ix.QuarantinedModels() != 1 {
+		t.Errorf("index QuarantinedModels = %d, want 1", ix.QuarantinedModels())
+	}
+}
+
+func corruptFile(t *testing.T, fsys fsx.FS, dir, name string) {
+	t.Helper()
+	path := dir + "/" + name
+	buf, err := fsx.ReadFile(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xFF
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropHandles(t *testing.T) {
+	r, _ := buildTestRepo(t)
+	fsys := fsx.OS()
+	dir := t.TempDir()
+
+	// Before any commit, DropHandles must keep everything (no refs yet).
+	s0, n0 := r.NumModels()
+	r.DropHandles()
+	if s1, n1 := r.NumModels(); s1 != s0 || n1 != n0 {
+		t.Fatalf("DropHandles before commit lost models: %d/%d -> %d/%d", s0, n0, s1, n1)
+	}
+
+	if _, err := r.CommitFS(fsys, dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	r.DropHandles()
+	if s1, n1 := r.NumModels(); s1 != s0 || n1 != n0 {
+		t.Errorf("DropHandles after commit lost models: %d/%d -> %d/%d", s0, n0, s1, n1)
+	}
+	r.Entries(func(e *Entry) {
+		if e.Single != nil || e.East != nil || e.South != nil {
+			t.Errorf("cell %s still holds a handle after DropHandles", e.Key)
+		}
+	})
+}
+
+func TestRootRef(t *testing.T) {
+	r, _ := buildTestRepo(t)
+	ix := r.Index()
+	ref, ok := ix.RootRef()
+	if !ok {
+		t.Fatal("populated index must have a root model")
+	}
+	// buildTestRepo's data reaches level 1 (the shallowest maintained level).
+	if ref.Key.Level != 1 {
+		t.Errorf("root ref at level %d, want 1", ref.Key.Level)
+	}
+
+	empty, _ := New(testConfig())
+	if _, ok := empty.Index().RootRef(); ok {
+		t.Error("empty index must have no root ref")
+	}
+}
+
+func TestParseGen(t *testing.T) {
+	cases := []struct {
+		name    string
+		gen     int
+		stamped bool
+	}{
+		{"model-3-0-0-single.g000042.bin", 42, true},
+		{"model-3-0-0-single.bin", 0, false},
+		{"model-0-0-0-east.g000001.bin", 1, true},
+		{"garbage", 0, false},
+		{"model-1-0-0-south.g-12.bin", 0, false},
+	}
+	for _, c := range cases {
+		gen, stamped := parseGen(c.name)
+		if gen != c.gen || stamped != c.stamped {
+			t.Errorf("parseGen(%q) = (%d, %v), want (%d, %v)", c.name, gen, stamped, c.gen, c.stamped)
+		}
+	}
+}

@@ -106,6 +106,8 @@ func (r *Repo) considerCell(st *store.Store, k CellKey, build BuildFunc, done *b
 			default:
 				meta.Version = e.SingleMeta.Version + 1
 				e.Single, e.SingleMeta = h, meta
+				r.markDirty(k, SlotSingle)
+				r.clearQuarantine(k, SlotSingle)
 				done.singles[k] = true
 			}
 		}
@@ -151,9 +153,13 @@ func (r *Repo) considerCell(st *store.Store, k CellKey, build BuildFunc, done *b
 		if horiz {
 			meta.Version = se.EastMeta.Version + 1
 			se.East, se.EastMeta = h, meta
+			r.markDirty(storeAt, SlotEast)
+			r.clearQuarantine(storeAt, SlotEast)
 		} else {
 			meta.Version = se.SouthMeta.Version + 1
 			se.South, se.SouthMeta = h, meta
+			r.markDirty(storeAt, SlotSouth)
+			r.clearQuarantine(storeAt, SlotSouth)
 		}
 		done.pairs[pk] = true
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"kamel/internal/fsx"
@@ -24,22 +25,34 @@ type Codec interface {
 // A repository directory holds one manifest.json plus one CRC32-framed
 // binary file per model.  Model files are immutable and generation-stamped
 // (model-L-IX-IY-slot.gNNNNNN.bin): a save never overwrites a file the
-// current manifest references.  The save sequence is
+// current manifest references.  The commit sequence is
 //
-//  1. write every model file of generation g+1 (each atomically framed),
+//  1. write the model files of generation g+1 (each atomically framed) —
+//     only for slots rebuilt since the last commit; every other slot's
+//     existing file is carried forward by reference (copy-on-write),
 //  2. atomically replace manifest.json (temp + fsync + rename + dir fsync),
 //  3. best-effort garbage-collect files no manifest references.
 //
 // The manifest rename is the commit point: a crash anywhere before it leaves
-// the generation-g manifest referencing only generation-g files, all intact,
-// so the previous repository version stays fully loadable.  A crash after it
-// leaves the new version committed and at worst some unreferenced garbage
-// for the next save's GC.
+// the generation-g manifest referencing only intact files, so the previous
+// repository version stays fully loadable.  A crash after it leaves the new
+// version committed and at worst some unreferenced garbage for the next
+// save's GC.
 //
-// On load, each model file's frame checksum is verified.  A corrupt or
-// unreadable model is quarantined — sidelined to quarantine/ and recorded —
-// rather than failing the load; lookups for its region degrade to the
-// smallest enclosing ancestor model (see LookupBest).
+// Because a model file's name is unique for its bytes (cell × slot ×
+// generation, never rewritten), the name doubles as a cache identity: the
+// serving layer keys its in-memory model cache on it, and models carried
+// forward across commits keep their cache entries warm.
+//
+// Legacy note: version-1 manifests reference unframed, unstamped files
+// (model-L-IX-IY-slot.bin).  A file name therefore encodes its own framing:
+// stamped names are CRC-framed, unstamped names are raw.  parseGen recovers
+// both the generation and that distinction.
+//
+// On load, each model file's integrity is verified.  A corrupt or unreadable
+// model is quarantined — sidelined to quarantine/ and recorded — rather than
+// failing the load; lookups for its region degrade to the smallest enclosing
+// ancestor model (see LookupBest).
 
 // manifestVersion is the current manifest format; version 1 (pre-framing,
 // unversioned model files) is still read.
@@ -75,20 +88,59 @@ type manifestEntry struct {
 	SouthMeta  ModelMeta `json:"south_meta,omitempty"`
 }
 
-// Save persists the repository to dir on the real filesystem.  The paper
-// keeps its repository on disk for the same reason (§4): models are built
-// offline and only read at imputation time.
+// parseGen extracts the generation stamp from a model file name
+// (model-L-IX-IY-slot.gNNNNNN.bin).  Legacy version-1 names carry no stamp;
+// they report generation 0 and stamped=false, which also means the file is
+// raw rather than CRC-framed.
+func parseGen(name string) (gen int, stamped bool) {
+	const suffix = ".bin"
+	if !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	rest := strings.TrimSuffix(name, suffix)
+	i := strings.LastIndex(rest, ".g")
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest[i+2:])
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Save persists the repository to dir on the real filesystem, rewriting
+// every resident model.  The paper keeps its repository on disk for the same
+// reason (§4): models are built offline and only read at imputation time.
 func (r *Repo) Save(dir string, codec Codec) error {
 	return r.SaveFS(fsx.OS(), dir, codec)
 }
 
 // SaveFS is Save over a pluggable filesystem, the seam the fault-injection
-// tests drive crash scenarios through.  See the commit-protocol comment
-// above: interrupting SaveFS at any write leaves the previous repository
-// version fully loadable.
+// tests drive crash scenarios through.  It is CommitFS with copy-on-write
+// disabled: every memory-resident model is rewritten under the new
+// generation.  Interrupting it at any write leaves the previous repository
+// version fully loadable (see the commit-protocol comment above).
 func (r *Repo) SaveFS(fsys fsx.FS, dir string, codec Codec) error {
+	_, err := r.commitFS(fsys, dir, codec, true)
+	return err
+}
+
+// CommitFS persists the repository incrementally: only slots rebuilt since
+// the last successful commit (plus resident models never persisted) are
+// written as new generation-stamped files; every other slot's existing file
+// is carried forward by reference into the new manifest.  On success the
+// entries' file references are updated, the dirty set is cleared, and the
+// committed generation is returned.  On failure the repository state is
+// unchanged — the dirty marks survive, so the next commit retries, and any
+// files already written are swept up by a later commit's garbage collection.
+func (r *Repo) CommitFS(fsys fsx.FS, dir string, codec Codec) (int, error) {
+	return r.commitFS(fsys, dir, codec, false)
+}
+
+func (r *Repo) commitFS(fsys fsx.FS, dir string, codec Codec, forceAll bool) (int, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("pyramid: creating %s: %w", dir, err)
+		return 0, fmt.Errorf("pyramid: creating %s: %w", dir, err)
 	}
 	gen := 1
 	if old, err := readManifest(fsys, dir); err == nil {
@@ -112,6 +164,26 @@ func (r *Repo) SaveFS(fsys fsx.FS, dir string, codec Codec) error {
 		}
 		return name, nil
 	}
+	// refUpdate defers mutating an entry's file reference until the manifest
+	// commit succeeds, keeping the in-memory state consistent with the last
+	// durable manifest on any failure path.
+	type refUpdate struct {
+		ref  *FileRef
+		name string
+	}
+	var updates []refUpdate
+	// saveSlot decides one slot's fate: rewrite, carry forward, or absent.
+	saveSlot := func(k CellKey, slot string, h Handle, ref *FileRef) (string, error) {
+		if h != nil && (forceAll || r.isDirty(k, slot) || ref.Name == "") {
+			name, err := writeModel(k, slot, h)
+			if err != nil {
+				return "", err
+			}
+			updates = append(updates, refUpdate{ref: ref, name: name})
+			return name, nil
+		}
+		return ref.Name, nil // carry forward ("" when the slot is empty)
+	}
 	// Deterministic cell order keeps kill-point sweeps and manifest diffs
 	// stable across runs.
 	keys := make([]CellKey, 0, len(r.cells))
@@ -132,41 +204,53 @@ func (r *Repo) SaveFS(fsys fsx.FS, dir string, codec Codec) error {
 		e := r.cells[k]
 		me := manifestEntry{Level: k.Level, IX: k.IX, IY: k.IY, TokenCount: e.TokenCount}
 		var err error
-		if e.Single != nil {
-			if me.Single, err = writeModel(k, SlotSingle, e.Single); err != nil {
-				return fmt.Errorf("pyramid: saving %s single model: %w", k, err)
-			}
+		if me.Single, err = saveSlot(k, SlotSingle, e.Single, &e.SingleRef); err != nil {
+			return 0, fmt.Errorf("pyramid: saving %s single model: %w", k, err)
+		}
+		if me.Single != "" {
 			me.SingleMeta = e.SingleMeta
 		}
-		if e.East != nil {
-			if me.East, err = writeModel(k, SlotEast, e.East); err != nil {
-				return fmt.Errorf("pyramid: saving %s east model: %w", k, err)
-			}
+		if me.East, err = saveSlot(k, SlotEast, e.East, &e.EastRef); err != nil {
+			return 0, fmt.Errorf("pyramid: saving %s east model: %w", k, err)
+		}
+		if me.East != "" {
 			me.EastMeta = e.EastMeta
 		}
-		if e.South != nil {
-			if me.South, err = writeModel(k, SlotSouth, e.South); err != nil {
-				return fmt.Errorf("pyramid: saving %s south model: %w", k, err)
-			}
+		if me.South, err = saveSlot(k, SlotSouth, e.South, &e.SouthRef); err != nil {
+			return 0, fmt.Errorf("pyramid: saving %s south model: %w", k, err)
+		}
+		if me.South != "" {
 			me.SouthMeta = e.SouthMeta
 		}
 		man.Cells = append(man.Cells, me)
 	}
 	buf, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Commit point: the new manifest becomes visible atomically.
 	if err := fsx.WriteFileAtomic(fsys, filepath.Join(dir, "manifest.json"), buf); err != nil {
-		return err
+		return 0, err
 	}
+	for _, u := range updates {
+		g, _ := parseGen(u.name)
+		*u.ref = FileRef{Name: u.name, Gen: g}
+	}
+	r.dirty = nil
+	r.gen = gen
 	collectGarbage(fsys, dir, man)
-	return nil
+	return gen, nil
 }
 
 // collectGarbage removes model files no longer referenced by the committed
 // manifest, plus stale temp files from interrupted saves.  Failures are
 // ignored: garbage is harmless, and the next save retries.
+//
+// Note for concurrent serving: a request started just before a commit may
+// still resolve models through the previous snapshot, whose rebuilt slots
+// reference files this GC deletes.  Such a load fails cleanly and the
+// request degrades (straight-line fallback) rather than erroring — see the
+// core package's model resolution.
 func collectGarbage(fsys fsx.FS, dir string, man manifest) {
 	referenced := make(map[string]bool)
 	for _, me := range man.Cells {
@@ -219,6 +303,14 @@ func readManifest(fsys fsx.FS, dir string) (manifest, error) {
 	return man, nil
 }
 
+// configOf reconstructs the pyramid configuration a manifest was saved with.
+func (m manifest) configOf() Config {
+	cfg := Config{H: m.H, L: m.L, K: m.K}
+	cfg.Root.MinX, cfg.Root.MinY = m.RootMinX, m.RootMinY
+	cfg.Root.MaxX, cfg.Root.MaxY = m.RootMaxX, m.RootMaxY
+	return cfg
+}
+
 // Load restores a repository persisted by Save from the real filesystem.
 // Per-model corruption is quarantined, not fatal; use LoadFS for the report.
 func Load(dir string, codec Codec) (*Repo, error) {
@@ -226,24 +318,25 @@ func Load(dir string, codec Codec) (*Repo, error) {
 	return r, err
 }
 
-// LoadFS restores a repository from dir.  The manifest itself must parse (an
-// atomic commit guarantees it is never torn); individual model files that
-// are missing, corrupt (frame checksum), or undecodable are moved to
-// dir/quarantine/, recorded in the report, and their slots left empty so
-// lookups degrade to the enclosing ancestor model instead of failing the
-// whole load.
+// LoadFS restores a repository from dir with every model decoded into
+// memory.  The manifest itself must parse (an atomic commit guarantees it is
+// never torn); individual model files that are missing, corrupt (frame
+// checksum), or undecodable are moved to dir/quarantine/, recorded in the
+// report, and their slots left empty so lookups degrade to the enclosing
+// ancestor model instead of failing the whole load.
+//
+// Memory-bounded deployments use LoadIndexFS instead, which verifies files
+// but defers decoding to first use.
 func LoadFS(fsys fsx.FS, dir string, codec Codec) (*Repo, *LoadReport, error) {
 	man, err := readManifest(fsys, dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := Config{H: man.H, L: man.L, K: man.K}
-	cfg.Root.MinX, cfg.Root.MinY = man.RootMinX, man.RootMinY
-	cfg.Root.MaxX, cfg.Root.MaxY = man.RootMaxX, man.RootMaxY
-	r, err := New(cfg)
+	r, err := New(man.configOf())
 	if err != nil {
 		return nil, nil, err
 	}
+	r.gen = man.Generation
 	report := &LoadReport{}
 	readModel := func(name string) (Handle, error) {
 		var payload []byte
@@ -277,20 +370,112 @@ func LoadFS(fsys fsx.FS, dir string, codec Codec) (*Repo, *LoadReport, error) {
 		if me.Single != "" {
 			if e.Single = loadSlot(k, SlotSingle, me.Single); e.Single != nil {
 				e.SingleMeta = me.SingleMeta
+				e.SingleRef = fileRefOf(me.Single)
 			}
 		}
 		if me.East != "" {
 			if e.East = loadSlot(k, SlotEast, me.East); e.East != nil {
 				e.EastMeta = me.EastMeta
+				e.EastRef = fileRefOf(me.East)
 			}
 		}
 		if me.South != "" {
 			if e.South = loadSlot(k, SlotSouth, me.South); e.South != nil {
 				e.SouthMeta = me.SouthMeta
+				e.SouthRef = fileRefOf(me.South)
 			}
 		}
 	}
 	return r, report, nil
+}
+
+// fileRefOf builds the FileRef for a manifest-referenced file name.
+func fileRefOf(name string) FileRef {
+	g, _ := parseGen(name)
+	return FileRef{Name: name, Gen: g}
+}
+
+// LoadIndexFS restores a repository from dir in disk-resident form: every
+// referenced model file is integrity-checked eagerly (CRC frame for stamped
+// files, readability for legacy raw files) but NOT decoded — entries carry
+// file references only, and the serving layer pages models into memory
+// through its cache on first use.  Corrupt or unreadable files are
+// quarantined exactly as in LoadFS: sidelined, recorded in the report, and
+// their slots left empty so lookups degrade instead of failing.
+func LoadIndexFS(fsys fsx.FS, dir string) (*Repo, *LoadReport, error) {
+	man, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := New(man.configOf())
+	if err != nil {
+		return nil, nil, err
+	}
+	r.gen = man.Generation
+	report := &LoadReport{}
+	verify := func(name string) error {
+		var err error
+		if _, stamped := parseGen(name); stamped {
+			_, err = fsx.ReadFramed(fsys, filepath.Join(dir, name))
+		} else {
+			_, err = fsx.ReadFile(fsys, filepath.Join(dir, name))
+		}
+		return err
+	}
+	verifySlot := func(k CellKey, slot, name string) bool {
+		err := verify(name)
+		if err == nil {
+			return true
+		}
+		quarantine(fsys, dir, name)
+		r.markQuarantined(k, slot)
+		report.Quarantined = append(report.Quarantined, QuarantinedModel{
+			File: name, Key: k, Slot: slot, Err: err,
+		})
+		return false
+	}
+	for _, me := range man.Cells {
+		k := CellKey{Level: me.Level, IX: me.IX, IY: me.IY}
+		e := r.entry(k)
+		e.TokenCount = me.TokenCount
+		if me.Single != "" && verifySlot(k, SlotSingle, me.Single) {
+			e.SingleRef = fileRefOf(me.Single)
+			e.SingleMeta = me.SingleMeta
+		}
+		if me.East != "" && verifySlot(k, SlotEast, me.East) {
+			e.EastRef = fileRefOf(me.East)
+			e.EastMeta = me.EastMeta
+		}
+		if me.South != "" && verifySlot(k, SlotSouth, me.South) {
+			e.SouthRef = fileRefOf(me.South)
+			e.SouthMeta = me.SouthMeta
+		}
+	}
+	return r, report, nil
+}
+
+// ReadModelFS reads and decodes one model file by reference — the loader the
+// serving layer's cache calls on a miss.  Stamped files are CRC-verified;
+// legacy unstamped files are read raw.
+func ReadModelFS(fsys fsx.FS, dir string, ref FileRef, codec Codec) (Handle, error) {
+	if ref.Name == "" {
+		return nil, fmt.Errorf("pyramid: empty model file reference")
+	}
+	var payload []byte
+	var err error
+	if _, stamped := parseGen(ref.Name); stamped {
+		payload, err = fsx.ReadFramed(fsys, filepath.Join(dir, ref.Name))
+	} else {
+		payload, err = fsx.ReadFile(fsys, filepath.Join(dir, ref.Name))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pyramid: reading model %s: %w", ref.Name, err)
+	}
+	h, err := codec.Decode(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("pyramid: decoding model %s: %w", ref.Name, err)
+	}
+	return h, nil
 }
 
 // quarantine sidelines a suspect model file to dir/quarantine/.  Best

@@ -7,6 +7,17 @@
 // fully enclosing the trajectory's MBR), while the actual model construction
 // is delegated to a build callback so the package stays independent of the
 // model implementation.
+//
+// The package separates the mutable and immutable halves of the repository:
+//
+//   - Repo is the builder — the single-writer side that Ingest mutates during
+//     maintenance and that CommitFS persists incrementally.
+//   - Index is an immutable point-in-time snapshot of the repository (cell
+//     metadata plus generation-stamped model file references, no mutation
+//     API).  Serving paths publish an Index through an atomic pointer and
+//     run lookups lock-free against it while the builder prepares the next
+//     generation — the copy-on-write scheme that lets model maintenance run
+//     concurrently with imputation.
 package pyramid
 
 import (
@@ -46,22 +57,49 @@ type ModelMeta struct {
 	Version   int     // bumped on every rebuild ("last update" stand-in)
 }
 
-// Entry is the repository state of one pyramid cell.
+// FileRef points at one immutable, generation-stamped model file inside the
+// repository directory.  A zero FileRef means the slot has no persisted
+// model.  Because model files are never rewritten, a FileRef uniquely
+// identifies the model's bytes — the property the model cache keys on.
+type FileRef struct {
+	Name string // file name within the repository directory
+	Gen  int    // manifest generation that wrote the file
+}
+
+// Entry is the repository state of one pyramid cell.  A slot may hold an
+// in-memory handle (freshly built or eagerly loaded), a persisted file
+// reference, or both; HasSingle/HasEast/HasSouth report slot occupancy
+// regardless of residency.
 type Entry struct {
 	Key        CellKey
 	TokenCount int // tokens in the trajectory store within this cell
 
-	Single     Handle // single-cell model, if built
+	Single     Handle // single-cell model, if resident in memory
 	SingleMeta ModelMeta
+	SingleRef  FileRef // persisted single-cell model file, if committed
 
 	// Neighbor-cell models are stored in the west cell of a horizontal pair
 	// and the north cell of a vertical pair (paper §4.1); the other member
 	// holds an implicit pointer, which Lookup resolves.
 	East      Handle // model over this cell ∪ its east neighbor
 	EastMeta  ModelMeta
+	EastRef   FileRef
 	South     Handle // model over this cell ∪ its south neighbor
 	SouthMeta ModelMeta
+	SouthRef  FileRef
 }
+
+// HasSingle reports whether the cell has a single-cell model, resident or
+// on disk.
+func (e *Entry) HasSingle() bool { return e.Single != nil || e.SingleRef.Name != "" }
+
+// HasEast reports whether the cell stores a model over itself and its east
+// neighbor.
+func (e *Entry) HasEast() bool { return e.East != nil || e.EastRef.Name != "" }
+
+// HasSouth reports whether the cell stores a model over itself and its south
+// neighbor.
+func (e *Entry) HasSouth() bool { return e.South != nil || e.SouthRef.Name != "" }
 
 // Config sizes the pyramid.
 type Config struct {
@@ -86,15 +124,86 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// CellRect returns the planar rectangle of a cell.  Pure geometry: shared by
+// the builder and by immutable Index snapshots.
+func (c Config) CellRect(k CellKey) geo.Rect {
+	n := 1 << k.Level
+	w := c.Root.Width() / float64(n)
+	h := c.Root.Height() / float64(n)
+	return geo.Rect{
+		MinX: c.Root.MinX + float64(k.IX)*w,
+		MinY: c.Root.MinY + float64(k.IY)*h,
+		MaxX: c.Root.MinX + float64(k.IX+1)*w,
+		MaxY: c.Root.MinY + float64(k.IY+1)*h,
+	}
+}
+
+// Maintained reports whether models are kept at this level: the L deepest
+// levels of the pyramid (paper Figure 4).
+func (c Config) Maintained(level int) bool {
+	return level >= c.H-c.L+1 && level <= c.H
+}
+
+// Threshold returns the minimum token count for a single-cell model at the
+// level: k × 4^(H−l) (paper §4.1).  Neighbor-cell models double it.
+func (c Config) Threshold(level int) int {
+	t := c.K
+	for i := level; i < c.H; i++ {
+		t *= 4
+	}
+	return t
+}
+
+// cellOf returns the cell containing p at the given level, clamped to the
+// grid.
+func (c Config) cellOf(p geo.XY, level int) CellKey {
+	n := 1 << level
+	fx := (p.X - c.Root.MinX) / c.Root.Width() * float64(n)
+	fy := (p.Y - c.Root.MinY) / c.Root.Height() * float64(n)
+	return CellKey{Level: level, IX: clamp(int(fx), 0, n-1), IY: clamp(int(fy), 0, n-1)}
+}
+
+// SmallestEnclosing returns the deepest cell (highest level ≤ maxLevel) that
+// fully contains the rectangle, and false when the rectangle is not inside
+// the root region at all.
+func (c Config) SmallestEnclosing(mbr geo.Rect, maxLevel int) (CellKey, bool) {
+	if mbr.IsEmpty() || !c.Root.ContainsRect(mbr) {
+		return CellKey{}, false
+	}
+	best := CellKey{Level: 0}
+	for l := 1; l <= maxLevel; l++ {
+		lo := c.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
+		hi := c.cellOf(geo.XY{X: mbr.MaxX, Y: mbr.MaxY}, l)
+		if lo != hi {
+			break
+		}
+		best = lo
+	}
+	return best, true
+}
+
 // BuildFunc constructs a model over the given region from the given training
 // trajectories.  It returns the handle plus metadata to record.
 type BuildFunc func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error)
 
-// Repo is the model repository.  It is not safe for concurrent mutation;
-// KAMEL performs maintenance as a single background process (paper §4.2).
+// Repo is the mutable builder side of the model repository: the single
+// maintenance actor mutates it (Ingest, CommitFS) and publishes immutable
+// Index snapshots for the serving path.  A Repo is safe for one writer at a
+// time; concurrent readers must go through a published Index, never through
+// the Repo itself.  KAMEL runs maintenance as a single background process
+// (paper §4.2), so this single-writer discipline matches the paper's design.
 type Repo struct {
 	cfg   Config
 	cells map[CellKey]*Entry
+
+	// gen is the generation of the last manifest this repository was loaded
+	// from or committed to; 0 for a repository that has never touched disk.
+	gen int
+
+	// dirty marks slots whose model was (re)built since the last successful
+	// commit; CommitFS writes files only for these, carrying every other
+	// slot's existing file reference forward into the new manifest.
+	dirty map[CellKey]map[string]bool
 
 	// quarantined tracks model slots whose on-disk file was corrupt at load
 	// time (per-slot set keyed by cell).  Lookups that would have been
@@ -111,6 +220,22 @@ func New(cfg Config) (*Repo, error) {
 	return &Repo{cfg: cfg, cells: make(map[CellKey]*Entry)}, nil
 }
 
+// markDirty records that a slot's model was rebuilt and needs persisting.
+func (r *Repo) markDirty(k CellKey, slot string) {
+	if r.dirty == nil {
+		r.dirty = make(map[CellKey]map[string]bool)
+	}
+	if r.dirty[k] == nil {
+		r.dirty[k] = make(map[string]bool)
+	}
+	r.dirty[k][slot] = true
+}
+
+// isDirty reports whether a slot was rebuilt since the last commit.
+func (r *Repo) isDirty(k CellKey, slot string) bool {
+	return r.dirty[k][slot]
+}
+
 // markQuarantined records that a slot's persisted model was corrupt.
 func (r *Repo) markQuarantined(k CellKey, slot string) {
 	if r.quarantined == nil {
@@ -120,6 +245,17 @@ func (r *Repo) markQuarantined(k CellKey, slot string) {
 		r.quarantined[k] = make(map[string]bool)
 	}
 	r.quarantined[k][slot] = true
+}
+
+// clearQuarantine lifts a slot's quarantine mark — called when the slot's
+// model is rebuilt, superseding the corrupt file.
+func (r *Repo) clearQuarantine(k CellKey, slot string) {
+	if slots, ok := r.quarantined[k]; ok {
+		delete(slots, slot)
+		if len(slots) == 0 {
+			delete(r.quarantined, k)
+		}
+	}
 }
 
 // isQuarantined reports whether a slot was sidelined at load time.
@@ -140,34 +276,20 @@ func (r *Repo) QuarantinedModels() int {
 // Config returns the repository configuration.
 func (r *Repo) Config() Config { return r.cfg }
 
+// Generation returns the manifest generation the repository was last loaded
+// from or committed to, or 0 if it has never been persisted.
+func (r *Repo) Generation() int { return r.gen }
+
 // CellRect returns the planar rectangle of a cell.
-func (r *Repo) CellRect(k CellKey) geo.Rect {
-	n := 1 << k.Level
-	w := r.cfg.Root.Width() / float64(n)
-	h := r.cfg.Root.Height() / float64(n)
-	return geo.Rect{
-		MinX: r.cfg.Root.MinX + float64(k.IX)*w,
-		MinY: r.cfg.Root.MinY + float64(k.IY)*h,
-		MaxX: r.cfg.Root.MinX + float64(k.IX+1)*w,
-		MaxY: r.cfg.Root.MinY + float64(k.IY+1)*h,
-	}
-}
+func (r *Repo) CellRect(k CellKey) geo.Rect { return r.cfg.CellRect(k) }
 
 // Maintained reports whether models are kept at this level: the L deepest
 // levels of the pyramid (paper Figure 4).
-func (r *Repo) Maintained(level int) bool {
-	return level >= r.cfg.H-r.cfg.L+1 && level <= r.cfg.H
-}
+func (r *Repo) Maintained(level int) bool { return r.cfg.Maintained(level) }
 
 // Threshold returns the minimum token count for a single-cell model at the
 // level: k × 4^(H−l) (paper §4.1).  Neighbor-cell models double it.
-func (r *Repo) Threshold(level int) int {
-	t := r.cfg.K
-	for i := level; i < r.cfg.H; i++ {
-		t *= 4
-	}
-	return t
-}
+func (r *Repo) Threshold(level int) int { return r.cfg.Threshold(level) }
 
 // entry returns (creating if needed) the entry for a cell.
 func (r *Repo) entry(k CellKey) *Entry {
@@ -192,29 +314,40 @@ func (r *Repo) Entries(fn func(*Entry)) {
 	}
 }
 
-// NumModels returns the count of single-cell and neighbor-cell models.
+// NumModels returns the count of single-cell and neighbor-cell models,
+// whether resident in memory or committed to disk.
 func (r *Repo) NumModels() (single, neighbor int) {
 	for _, e := range r.cells {
-		if e.Single != nil {
+		if e.HasSingle() {
 			single++
 		}
-		if e.East != nil {
+		if e.HasEast() {
 			neighbor++
 		}
-		if e.South != nil {
+		if e.HasSouth() {
 			neighbor++
 		}
 	}
 	return single, neighbor
 }
 
-// cellOf returns the cell containing p at the given level, clamped to the
-// grid.
-func (r *Repo) cellOf(p geo.XY, level int) CellKey {
-	n := 1 << level
-	fx := (p.X - r.cfg.Root.MinX) / r.cfg.Root.Width() * float64(n)
-	fy := (p.Y - r.cfg.Root.MinY) / r.cfg.Root.Height() * float64(n)
-	return CellKey{Level: level, IX: clamp(int(fx), 0, n-1), IY: clamp(int(fy), 0, n-1)}
+// DropHandles releases the in-memory model handles of every slot that has a
+// committed file reference, converting the builder to its disk-resident
+// form: future Index snapshots will reference files only, and the serving
+// path pages models back in through its cache on demand.  Slots without a
+// file reference keep their handles (dropping them would lose the model).
+func (r *Repo) DropHandles() {
+	for _, e := range r.cells {
+		if e.SingleRef.Name != "" {
+			e.Single = nil
+		}
+		if e.EastRef.Name != "" {
+			e.East = nil
+		}
+		if e.SouthRef.Name != "" {
+			e.South = nil
+		}
+	}
 }
 
 func clamp(v, lo, hi int) int {
@@ -231,19 +364,7 @@ func clamp(v, lo, hi int) int {
 // fully contains the rectangle, and false when the rectangle is not inside
 // the root region at all.
 func (r *Repo) SmallestEnclosing(mbr geo.Rect, maxLevel int) (CellKey, bool) {
-	if mbr.IsEmpty() || !r.cfg.Root.ContainsRect(mbr) {
-		return CellKey{}, false
-	}
-	best := CellKey{Level: 0}
-	for l := 1; l <= maxLevel; l++ {
-		lo := r.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
-		hi := r.cellOf(geo.XY{X: mbr.MaxX, Y: mbr.MaxY}, l)
-		if lo != hi {
-			break
-		}
-		best = lo
-	}
-	return best, true
+	return r.cfg.SmallestEnclosing(mbr, maxLevel)
 }
 
 // LookupInfo describes how a lookup was served.
@@ -257,7 +378,8 @@ type LookupInfo struct {
 // Lookup finds the model best suited for imputing a trajectory with the
 // given MBR (paper §4.1): the single-cell or neighbor-cell model with the
 // smallest coverage fully enclosing the MBR.  Returns ok=false when no model
-// covers it.
+// covers it.  Only memory-resident handles are returned; serving paths that
+// need disk-resident models resolve through an Index snapshot instead.
 func (r *Repo) Lookup(mbr geo.Rect) (Handle, geo.Rect, bool) {
 	h, cover, _, ok := r.LookupBest(mbr)
 	return h, cover, ok
@@ -271,13 +393,13 @@ func (r *Repo) LookupBest(mbr geo.Rect) (Handle, geo.Rect, LookupInfo, bool) {
 		return nil, geo.Rect{}, info, false
 	}
 	for l := r.cfg.H; l >= 0; l-- {
-		lo := r.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
-		hi := r.cellOf(geo.XY{X: mbr.MaxX, Y: mbr.MaxY}, l)
+		lo := r.cfg.cellOf(geo.XY{X: mbr.MinX, Y: mbr.MinY}, l)
+		hi := r.cfg.cellOf(geo.XY{X: mbr.MaxX, Y: mbr.MaxY}, l)
 		dx, dy := hi.IX-lo.IX, hi.IY-lo.IY
 		switch {
 		case dx == 0 && dy == 0:
 			if e, ok := r.cells[lo]; ok && e.Single != nil {
-				return e.Single, r.CellRect(lo), info, true
+				return e.Single, r.cfg.CellRect(lo), info, true
 			}
 			if r.isQuarantined(lo, SlotSingle) {
 				info.Degraded = true
@@ -285,7 +407,7 @@ func (r *Repo) LookupBest(mbr geo.Rect) (Handle, geo.Rect, LookupInfo, bool) {
 		case dx == 1 && dy == 0:
 			// Horizontal pair; the model lives in the west cell's East slot.
 			if e, ok := r.cells[lo]; ok && e.East != nil {
-				return e.East, r.CellRect(lo).Union(r.CellRect(hi)), info, true
+				return e.East, r.cfg.CellRect(lo).Union(r.cfg.CellRect(hi)), info, true
 			}
 			if r.isQuarantined(lo, SlotEast) {
 				info.Degraded = true
@@ -293,7 +415,7 @@ func (r *Repo) LookupBest(mbr geo.Rect) (Handle, geo.Rect, LookupInfo, bool) {
 		case dx == 0 && dy == 1:
 			// Vertical pair; the model lives in the north cell's South slot.
 			if e, ok := r.cells[hi]; ok && e.South != nil {
-				return e.South, r.CellRect(lo).Union(r.CellRect(hi)), info, true
+				return e.South, r.cfg.CellRect(lo).Union(r.cfg.CellRect(hi)), info, true
 			}
 			if r.isQuarantined(hi, SlotSouth) {
 				info.Degraded = true

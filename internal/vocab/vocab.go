@@ -45,6 +45,17 @@ func New() *Vocab {
 // Size returns the total number of token IDs, including the specials.
 func (v *Vocab) Size() int { return NumSpecial + len(v.cellOf) }
 
+// SizeBytes estimates the vocabulary's resident memory: the cell and count
+// slices plus the id map (whose per-entry overhead is approximated at 48
+// bytes — Go map bucket plus key/value).  Used by the model cache to charge
+// a loaded model bundle against its byte budget.
+func (v *Vocab) SizeBytes() int64 {
+	const cellBytes = 8                         // grid.Cell is an int64
+	n := int64(len(v.cellOf)) * (cellBytes + 8) // cellOf + counts
+	n += int64(len(v.idOf)) * (cellBytes + 8 + 48)
+	return n
+}
+
 // Add registers an occurrence of the cell, creating an ID on first sight,
 // and returns the cell's token ID.
 func (v *Vocab) Add(c grid.Cell) int {

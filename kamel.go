@@ -82,7 +82,9 @@ func DefaultConfig(workdir string) Config {
 type SystemStats = core.Stats
 
 // System is a deployed KAMEL instance.  Train and Impute are safe for
-// concurrent use; training serializes internally.
+// concurrent use: training serializes internally and publishes immutable
+// serving snapshots, which each imputation reads atomically — in-flight
+// requests are never paused or torn by a concurrent Train or Maintain.
 type System struct {
 	inner *core.System
 }
@@ -105,6 +107,18 @@ func (s *System) Stats() SystemStats { return s.inner.SystemStats() }
 // ErrNotTrained is returned by the imputation entry points before any model
 // has been trained or loaded.
 var ErrNotTrained = core.ErrNotTrained
+
+// ErrMaintaining is returned by Maintain when a maintenance loop is already
+// running on this system.
+var ErrMaintaining = core.ErrMaintaining
+
+// Maintain runs the single background repository maintainer (paper §4.2).
+// While it runs, Train returns as soon as the batch is durably stored and
+// the expensive model rebuilds happen here, committed to disk incrementally
+// and published as immutable serving snapshots — imputation is never paused.
+// Maintain blocks until ctx is cancelled (run it in a goroutine) and returns
+// ctx.Err(), or ErrMaintaining if a maintainer is already running.
+func (s *System) Maintain(ctx context.Context) error { return s.inner.Maintain(ctx) }
 
 // Train ingests a batch of training trajectories: stores them durably,
 // updates the spatial model repository, and (re)trains BERT models where the

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Benchmark gate: runs the imputation-path benchmarks (BERT vs n-gram
+# predictor) and the model-lookup benchmarks (cold cache: every resolution
+# pays the disk read-verify-decode; warm cache: steady-state LRU hits) and
+# writes machine-readable results to BENCH_impute.json for tracking across
+# commits.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=... overrides the per-benchmark budget (default 5x; use e.g.
+#   2s for more stable numbers on a quiet machine).
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_impute.json}
+benchtime=${BENCHTIME:-5x}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup' \
+	-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
+
+{
+	printf '{\n'
+	printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "benchmarks": [\n'
+	awk '
+		/^Benchmark/ {
+			extra = ""
+			for (i = 3; i < NF; i += 2) {
+				key = $(i + 1)
+				gsub(/[^a-zA-Z0-9_-]/, "_", key)
+				extra = extra sprintf(", \"%s\": %s", key, $i)
+			}
+			if (n++) printf ",\n"
+			printf "    {\"name\": \"%s\", \"iterations\": %s%s}", $1, $2, extra
+		}
+		END { printf "\n" }
+	' "$raw"
+	printf '  ]\n}\n'
+} >"$out"
+echo "bench: wrote $out"
