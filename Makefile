@@ -12,5 +12,5 @@ test-short:
 fault: ## fault-injection suite: kill-points, corruption, overload
 	go test -run Fault -count=2 ./...
 
-bench: ## imputation + cold/warm model-lookup benchmarks -> BENCH_impute.json
+bench: ## imputation + model-lookup benchmarks + per-stage latencies -> BENCH_impute.json
 	./scripts/bench.sh

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"kamel/internal/core"
+	"kamel/internal/geo"
+	"kamel/internal/obs"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+// stageLatency is one row of the -stage-latency report: the latency
+// distribution of one pipeline stage, read back from the observability
+// registry's kamel_stage_duration_seconds histograms after a fixed workload.
+type stageLatency struct {
+	Stage  string  `json:"stage"`
+	Count  int64   `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// stageReport is the JSON document written by -stage-latency.  Quantiles are
+// interpolated within histogram buckets, so they carry bucket-resolution
+// error, not exact order statistics — fine for tracking regressions across
+// commits, which is their job.
+type stageReport struct {
+	Generated  string         `json:"generated"`
+	TrainTrajs int            `json:"train_trajectories"`
+	TestTrajs  int            `json:"test_trajectories"`
+	TrainSteps int            `json:"train_steps"`
+	Stages     []stageLatency `json:"stages"`
+}
+
+// runStageLatency trains a small partitioned system on a synthetic city,
+// imputes a sparsified test set through the instrumented pipeline, and dumps
+// every stage's count/p50/p95/p99 to out as JSON.  The workload is seeded and
+// fixed-size so successive runs measure code, not data.
+func runStageLatency(out string, quiet bool) error {
+	logf := func(format string, args ...interface{}) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	work, err := os.MkdirTemp("", "kamel-stage-latency-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	cfg := core.DefaultConfig(work)
+	cfg.PyramidH, cfg.PyramidL, cfg.ThresholdK = 1, 2, 300
+	cfg.Train.Steps = 250
+	sys, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 2000, 2000
+	net := roadnet.GenerateCity(city)
+	proj := geo.NewProjection(41.15, -8.61)
+	trajs, err := trajgen.Generate(net, proj, trajgen.DefaultConfig(60))
+	if err != nil {
+		return err
+	}
+	train, tests := trajs[:48], trajs[48:]
+
+	logf("training on %d trajectories (%d steps)", len(train), cfg.Train.Steps)
+	if err := sys.Train(train); err != nil {
+		return err
+	}
+	logf("imputing %d sparsified test trajectories", len(tests))
+	for _, tr := range tests {
+		if _, _, err := sys.Impute(tr.Sparsify(800)); err != nil {
+			return err
+		}
+	}
+
+	var rows []stageLatency
+	sys.Obs().EachHistogram(func(name string, labels []obs.Label, snap obs.HistogramSnapshot) {
+		if name != obs.StageHistogramName || snap.Count == 0 {
+			return
+		}
+		stage := ""
+		for _, l := range labels {
+			if l.Key == "stage" {
+				stage = l.Value
+			}
+		}
+		rows = append(rows, stageLatency{
+			Stage:  stage,
+			Count:  snap.Count,
+			P50MS:  snap.Quantile(0.50) * 1000,
+			P95MS:  snap.Quantile(0.95) * 1000,
+			P99MS:  snap.Quantile(0.99) * 1000,
+			MeanMS: snap.Sum / float64(snap.Count) * 1000,
+		})
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Stage < rows[j].Stage })
+
+	doc := stageReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		TrainTrajs: len(train),
+		TestTrajs:  len(tests),
+		TrainSteps: cfg.Train.Steps,
+		Stages:     rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	logf("wrote %s (%d stages)", out, len(rows))
+	return nil
+}

@@ -6,17 +6,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"mime"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"kamel/internal/core"
 	"kamel/internal/geo"
+	"kamel/internal/obs"
 )
 
 // API error codes carried in the structured JSON error body.
@@ -48,9 +51,26 @@ type apiServer struct {
 	opts serveOptions
 
 	inflight chan struct{} // concurrency limiter slots
-	shed     atomic.Int64  // requests rejected with 429
-	panics   atomic.Int64  // handler panics recovered into 500s
 	warmed   atomic.Bool   // root model proven loadable (readyz warming gate)
+
+	// Resilience counters live in the system's metrics registry, so /metrics
+	// and /v1/stats read the same values.
+	shed     *obs.Counter // requests rejected with 429
+	panics   *obs.Counter // handler panics recovered into 500s
+	timeouts *obs.Counter // requests whose per-request deadline expired
+
+	// hists caches (route, status) → latency histogram resolutions so the
+	// steady state avoids a registry registration per request.
+	histMu sync.RWMutex
+	hists  map[string]*obs.Histogram
+}
+
+// logger returns the configured structured logger, or the process default.
+func (s *apiServer) logger() *slog.Logger {
+	if s.opts.logger != nil {
+		return s.opts.logger
+	}
+	return slog.Default()
 }
 
 // serveOptions are the hardening knobs of the HTTP surface, set from flags
@@ -65,6 +85,11 @@ type serveOptions struct {
 	// maxInflight caps concurrently handled API requests; excess load is
 	// shed with 429 + Retry-After rather than queued without bound.
 	maxInflight int
+	// slowRequest is the duration at or above which a request is logged at
+	// warn level with its per-stage span breakdown.  0 disables.
+	slowRequest time.Duration
+	// logger receives the structured request log; nil uses slog.Default().
+	logger *slog.Logger
 }
 
 func defaultServeOptions() serveOptions {
@@ -72,6 +97,7 @@ func defaultServeOptions() serveOptions {
 		requestTimeout: 30 * time.Second,
 		maxBodyBytes:   8 << 20,
 		maxInflight:    64,
+		slowRequest:    time.Second,
 	}
 }
 
@@ -80,7 +106,17 @@ func defaultServeOptions() serveOptions {
 // timeout → body size cap); factored out of runServe so tests can drive the
 // full surface through httptest.
 func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
-	s := &apiServer{sys: sys, opts: opts}
+	reg := sys.Obs()
+	s := &apiServer{
+		sys: sys, opts: opts,
+		shed: reg.Counter("kamel_http_shed_total",
+			"Requests rejected with 429 by the concurrency limiter."),
+		panics: reg.Counter("kamel_http_panics_total",
+			"Handler panics recovered into 500 responses."),
+		timeouts: reg.Counter("kamel_http_timeouts_total",
+			"Requests whose per-request deadline expired while handling."),
+		hists: make(map[string]*obs.Histogram),
+	}
 	if opts.maxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.maxInflight)
 	}
@@ -94,6 +130,7 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 	mux.Handle("/v1/impute/batch", s.endpoint(http.MethodPost, false, s.handleImputeBatch))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, demoPage)
@@ -103,6 +140,7 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 	h = s.withRequestTimeout(h)
 	h = s.shedLoad(h)
 	h = s.recoverPanics(h)
+	h = s.observe(h)
 	return h
 }
 
@@ -112,8 +150,10 @@ func (s *apiServer) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.panics.Add(1)
-				fmt.Fprintf(os.Stderr, "serve: panic in %s %s: %v\n", r.Method, r.URL.Path, rec)
+				s.panics.Inc()
+				s.logger().Error("panic in handler",
+					"component", "serve", "method", r.Method, "path", r.URL.Path,
+					"request_id", obs.RequestIDFrom(r.Context()), "panic", fmt.Sprint(rec))
 				// Best effort: if the handler already started the response
 				// this write is a no-op on the status line.
 				writeError(w, http.StatusInternalServerError, codeInternal, "internal server error")
@@ -135,7 +175,7 @@ func (s *apiServer) shedLoad(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if isProbe(r.URL.Path) {
+		if isOps(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -144,7 +184,7 @@ func (s *apiServer) shedLoad(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
-			s.shed.Add(1)
+			s.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, codeOverloaded,
 				fmt.Sprintf("server at capacity (%d in-flight requests)", cap(s.inflight)))
@@ -159,13 +199,16 @@ func (s *apiServer) withRequestTimeout(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if isProbe(r.URL.Path) {
+		if isOps(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.requestTimeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.timeouts.Inc()
+		}
 	})
 }
 
@@ -284,12 +327,16 @@ func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err.Error())
 		return
 	}
-	writeJSON(w, wireImputeResult{
+	out := wireImputeResult{
 		Trajectory: toWirePtr(dense),
 		Segments:   stats.Segments,
 		Failures:   stats.Failures,
 		Degraded:   stats.Degraded,
-	})
+	}
+	if wantDebug(r) {
+		out.Debug = debugDoc(r)
+	}
+	writeJSON(w, out)
 }
 
 func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
@@ -316,7 +363,14 @@ func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
 			Degraded:   res.Stats.Degraded,
 		}
 	}
-	writeJSON(w, map[string]interface{}{"results": items})
+	doc := map[string]interface{}{"results": items}
+	if wantDebug(r) {
+		// The whole batch ran under one trace, so the breakdown is batch-wide.
+		if dbg := debugDoc(r); dbg != nil {
+			doc["debug"] = dbg
+		}
+	}
+	writeJSON(w, doc)
 }
 
 // wireStats is the /v1/stats document: the system's trained-state summary
@@ -325,13 +379,17 @@ type wireStats struct {
 	core.Stats
 	SheddedRequests int64 `json:"shedded_requests"`
 	PanicsRecovered int64 `json:"panics_recovered"`
+	RequestTimeouts int64 `json:"request_timeouts"`
 }
 
+// statsDoc reads the serving counters straight from the metrics registry, so
+// /v1/stats and /metrics can never disagree.
 func (s *apiServer) statsDoc() wireStats {
 	return wireStats{
 		Stats:           s.sys.SystemStats(),
-		SheddedRequests: s.shed.Load(),
-		PanicsRecovered: s.panics.Load(),
+		SheddedRequests: s.shed.Value(),
+		PanicsRecovered: s.panics.Value(),
+		RequestTimeouts: s.timeouts.Value(),
 	}
 }
 
@@ -365,6 +423,8 @@ func runServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", def.requestTimeout, "per-request handling timeout (0 disables)")
 	maxBody := fs.Int64("max-body-bytes", def.maxBodyBytes, "maximum request body size in bytes (0 disables)")
 	maxInflight := fs.Int("max-inflight", def.maxInflight, "maximum concurrently handled requests before shedding with 429 (0 disables)")
+	slowReq := fs.Duration("slow-request", def.slowRequest, "log requests at warn level with a per-stage breakdown when they take at least this long (0 disables)")
+	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn, error")
 	cacheBytes := fs.Int64("model-cache-bytes", 0, "model cache budget in bytes (0 sizes from available memory, <0 unbounded)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -373,6 +433,13 @@ func runServe(args []string) error {
 	if *work == "" {
 		return fmt.Errorf("serve: -work is required")
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("serve: -log-level: %w", err)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	// Library-level warnings (core, store) flow through the same handler.
+	slog.SetDefault(logger)
 	cfg := systemConfig(*work, *steps, "", false, false, false)
 	cfg.ModelCacheBytes = *cacheBytes
 	sys, err := core.New(cfg)
@@ -383,7 +450,7 @@ func runServe(args []string) error {
 	// Best effort: load previously persisted models so a restart can serve
 	// imputations immediately.
 	if err := sys.LoadModels(); err == nil {
-		fmt.Fprintln(os.Stderr, "serve: loaded persisted models")
+		logger.Info("loaded persisted models", "component", "serve")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -402,6 +469,8 @@ func runServe(args []string) error {
 		requestTimeout: *reqTimeout,
 		maxBodyBytes:   *maxBody,
 		maxInflight:    *maxInflight,
+		slowRequest:    *slowReq,
+		logger:         logger,
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -413,7 +482,7 @@ func runServe(args []string) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+	logger.Info("listening", "component", "serve", "addr", *addr)
 
 	select {
 	case err := <-errCh:
@@ -421,7 +490,7 @@ func runServe(args []string) error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal during the drain kills the process the hard way
-	fmt.Fprintf(os.Stderr, "serve: shutting down, draining for up to %s\n", *drain)
+	logger.Info("shutting down", "component", "serve", "drain_timeout", drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -466,11 +535,12 @@ type wireTraj struct {
 // wireImputeResult is one imputed trajectory on the wire; Error is set (and
 // Trajectory omitted) when only that trajectory failed inside a batch.
 type wireImputeResult struct {
-	Trajectory *wireTraj `json:"trajectory,omitempty"`
-	Segments   int       `json:"segments"`
-	Failures   int       `json:"failures"`
-	Degraded   int       `json:"degraded"`
-	Error      string    `json:"error,omitempty"`
+	Trajectory *wireTraj  `json:"trajectory,omitempty"`
+	Segments   int        `json:"segments"`
+	Failures   int        `json:"failures"`
+	Degraded   int        `json:"degraded"`
+	Error      string     `json:"error,omitempty"`
+	Debug      *wireDebug `json:"debug,omitempty"` // ?debug=1 span breakdown
 }
 
 func fromWire(in []wireTraj) []geo.Trajectory {

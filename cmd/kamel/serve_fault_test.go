@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"kamel/internal/obs"
 )
 
 // TestServeHealthProbes: liveness always answers; readiness answers 503 until
@@ -25,7 +27,7 @@ func TestServeHealthProbes(t *testing.T) {
 // TestFaultServePanicRecovery: a panicking handler must not kill the server —
 // the middleware converts it into a structured 500 and counts it.
 func TestFaultServePanicRecovery(t *testing.T) {
-	s := &apiServer{}
+	s := &apiServer{panics: obs.NewRegistry().Counter("kamel_http_panics_total", "")}
 	h := s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("imputation exploded")
 	}))
@@ -36,7 +38,7 @@ func TestFaultServePanicRecovery(t *testing.T) {
 		status, _, body := call(t, http.MethodGet, ts.URL+"/v1/stats", "", "")
 		wantErrorCode(t, status, body, http.StatusInternalServerError, codeInternal)
 	}
-	if got := s.panics.Load(); got != 3 {
+	if got := s.panics.Value(); got != 3 {
 		t.Errorf("panics recovered = %d, want 3", got)
 	}
 }
@@ -58,7 +60,10 @@ func TestFaultServeLoadShed(t *testing.T) {
 		<-release
 		writeJSON(w, map[string]string{"status": "done"})
 	})
-	s := &apiServer{inflight: make(chan struct{}, slots)}
+	s := &apiServer{
+		inflight: make(chan struct{}, slots),
+		shed:     obs.NewRegistry().Counter("kamel_http_shed_total", ""),
+	}
 	ts := httptest.NewServer(s.shedLoad(inner))
 	defer ts.Close()
 
@@ -99,7 +104,7 @@ func TestFaultServeLoadShed(t *testing.T) {
 			t.Fatalf("burst request %d: missing Retry-After header", i)
 		}
 	}
-	if got := s.shed.Load(); got != burst-slots {
+	if got := s.shed.Value(); got != burst-slots {
 		t.Errorf("shed counter = %d, want %d", got, burst-slots)
 	}
 

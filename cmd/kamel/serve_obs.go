@@ -1,0 +1,229 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"kamel/internal/obs"
+)
+
+// This file is the HTTP face of the observability layer (internal/obs): the
+// request-observation middleware that traces, times, and logs every API
+// request, the /metrics Prometheus endpoint, and the ?debug=1 span breakdown
+// returned inline by the imputation endpoints.
+
+// isOps reports whether the path is an operator surface — health probes and
+// the metrics scrape — which must stay responsive under overload and is
+// therefore excluded from shedding, timeouts, and request logging.
+func isOps(path string) bool { return isProbe(path) || path == "/metrics" }
+
+// apiRoutes is the closed set of route labels for the per-route latency
+// histograms.  Bounding the label set here keeps series cardinality fixed no
+// matter what paths clients probe.
+var apiRoutes = map[string]bool{
+	"/v1/train": true, "/v1/impute": true, "/v1/impute/batch": true,
+	"/v1/stats": true, "/api/train": true, "/api/impute": true,
+	"/api/stats": true, "/": true,
+}
+
+// normalizeRoute maps a request path to its histogram label: a known route
+// keeps its path, everything else collapses into "other".
+func normalizeRoute(path string) string {
+	if apiRoutes[path] {
+		return path
+	}
+	return "other"
+}
+
+// statusWriter captures the response status code for metrics and logging.
+// WriteHeader is recorded once, matching net/http's superfluous-call rule;
+// a body write without an explicit header is an implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// requestHist returns the latency histogram for one (route, status) pair,
+// resolving through a local read-mostly cache so the steady state costs one
+// RLock instead of a registry registration per request.
+func (s *apiServer) requestHist(route, status string) *obs.Histogram {
+	key := route + "|" + status
+	s.histMu.RLock()
+	h := s.hists[key]
+	s.histMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = s.sys.Obs().Histogram("kamel_http_request_duration_seconds",
+		"HTTP request handling latency by route and status.", nil,
+		obs.L("route", route), obs.L("status", status))
+	s.histMu.Lock()
+	s.hists[key] = h
+	s.histMu.Unlock()
+	return h
+}
+
+// observe is the outermost middleware: it assigns the request ID (honoring a
+// client-sent X-Request-ID and echoing the effective one back), attaches a
+// span trace and the system registry to the context, captures the response
+// status, and on completion feeds the per-route histogram and emits one
+// structured log line — at warn level with the per-stage breakdown when the
+// request exceeded the slow-request threshold.  Operator surfaces (probes,
+// /metrics) pass through untouched.
+func (s *apiServer) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isOps(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		tr := obs.NewTrace()
+		ctx := obs.ContextWithRequestID(r.Context(), reqID)
+		ctx = obs.With(ctx, tr, s.sys.Obs())
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		route := normalizeRoute(r.URL.Path)
+		s.requestHist(route, itoa(status)).ObserveDuration(dur)
+
+		log := s.logger()
+		attrs := []any{
+			"component", "serve",
+			"request_id", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration_ms", float64(dur.Microseconds()) / 1000,
+		}
+		if s.opts.slowRequest > 0 && dur >= s.opts.slowRequest {
+			log.Warn("slow request", append(attrs, "stages", stageAttr(tr))...)
+			return
+		}
+		log.Info("request", attrs...)
+	})
+}
+
+// itoa renders a status code without strconv noise at the call site.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for v > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// stageAttr renders a trace's per-stage totals for a slow-request log line.
+func stageAttr(tr *obs.Trace) []map[string]any {
+	stages := tr.Stages()
+	out := make([]map[string]any, len(stages))
+	for i, st := range stages {
+		out[i] = map[string]any{
+			"name":     st.Name,
+			"count":    st.Count,
+			"total_ms": float64(st.Total.Microseconds()) / 1000,
+		}
+	}
+	return out
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition format.
+func (s *apiServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, codeBadRequest, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.sys.Obs().WritePrometheus(w); err != nil {
+		s.logger().Error("writing metrics exposition", "component", "serve", "err", err)
+	}
+}
+
+// wantDebug reports whether the request asked for the inline span breakdown.
+func wantDebug(r *http.Request) bool {
+	v := r.URL.Query().Get("debug")
+	return v == "1" || v == "true"
+}
+
+// wireDebug is the ?debug=1 payload: the request's identity and its span
+// breakdown, both summarized per stage and as the raw (capped) span list.
+type wireDebug struct {
+	RequestID string      `json:"request_id,omitempty"`
+	TotalMS   float64     `json:"total_ms"`
+	Stages    []wireStage `json:"stages"`
+	Spans     []wireSpan  `json:"spans"`
+	Dropped   int         `json:"spans_dropped,omitempty"`
+}
+
+type wireStage struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+type wireSpan struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"` // offset from request start
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// debugDoc renders the request's trace, or nil when the request was not
+// traced (the observe middleware not in the chain).
+func debugDoc(r *http.Request) *wireDebug {
+	tr := obs.TraceFrom(r.Context())
+	if tr == nil {
+		return nil
+	}
+	doc := &wireDebug{
+		RequestID: obs.RequestIDFrom(r.Context()),
+		TotalMS:   float64(tr.Elapsed().Microseconds()) / 1000,
+		Stages:    []wireStage{},
+		Spans:     []wireSpan{},
+		Dropped:   tr.Dropped(),
+	}
+	for _, st := range tr.Stages() {
+		doc.Stages = append(doc.Stages, wireStage{
+			Name:    st.Name,
+			Count:   st.Count,
+			TotalMS: float64(st.Total.Microseconds()) / 1000,
+		})
+	}
+	for _, sp := range tr.Records() {
+		doc.Spans = append(doc.Spans, wireSpan{
+			Name:    sp.Name,
+			StartMS: float64(sp.Start.Microseconds()) / 1000,
+			DurMS:   float64(sp.Dur.Microseconds()) / 1000,
+		})
+	}
+	return doc
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -22,6 +23,11 @@ func newTestServer(t *testing.T) *httptest.Server {
 
 func newTestServerOpts(t *testing.T, opts serveOptions) *httptest.Server {
 	t.Helper()
+	if opts.logger == nil {
+		// Keep per-request log lines out of test output; logging-specific
+		// tests install their own capturing logger.
+		opts.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	sys, err := core.New(systemConfig(t.TempDir(), 90, "", true, false, false))
 	if err != nil {
 		t.Fatal(err)

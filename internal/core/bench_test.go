@@ -59,6 +59,49 @@ func gapRequests(sys *System, tests []geo.Trajectory, sparse float64) []impute.R
 	return out
 }
 
+// sparseTests returns the sparsified end-to-end imputation inputs shared by
+// the BenchmarkImpute pair.
+func sparseTests(tests []geo.Trajectory, sparse float64) []geo.Trajectory {
+	out := make([]geo.Trajectory, len(tests))
+	for i, tr := range tests {
+		out[i] = tr.Sparsify(sparse)
+	}
+	return out
+}
+
+// BenchmarkImpute measures the full serving path — ImputeContext with the
+// observability layer live, every stage feeding its histogram.  Compared
+// against BenchmarkImputeNoObs it is the registry's hot-path overhead; the
+// acceptance bound is a delta within 5%.
+func BenchmarkImpute(b *testing.B) {
+	sys, tests := benchFixture(b)
+	in := sparseTests(tests[:4], 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range in {
+			if _, _, err := sys.Impute(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkImputeNoObs is BenchmarkImpute with Config.DisableObservability
+// set: no spans, no timestamps, no histogram updates.
+func BenchmarkImputeNoObs(b *testing.B) {
+	sys, tests := benchFixture(b)
+	sys.cfg.DisableObservability = true
+	in := sparseTests(tests[:4], 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range in {
+			if _, _, err := sys.Impute(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkPredictorBERT measures beam imputation driven by the trained
 // transformer — half of the BERT-vs-n-gram ablation in DESIGN.md.
 func BenchmarkPredictorBERT(b *testing.B) {

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 
 	"kamel/internal/bert"
 	"kamel/internal/fsx"
@@ -108,8 +108,15 @@ func (s *System) LoadModels() error {
 		return err
 	}
 	for _, q := range report.Quarantined {
-		log.Printf("core: quarantined corrupt model %s (%s %s): %v", q.File, q.Key, q.Slot, q.Err)
+		slog.Warn("quarantined corrupt model",
+			"component", "core", "file", q.File,
+			"cell", fmt.Sprint(q.Key), "slot", fmt.Sprint(q.Slot), "err", q.Err)
 	}
+	// The repo was built before metrics could be attached, so fold the
+	// load-time quarantines into the counter here; later quarantines (none
+	// today — loads are the only site) increment through the repo itself.
+	s.pyrQuarantine.Add(int64(len(report.Quarantined)))
+	repo.SetMetrics(s.pyrCommit, s.pyrQuarantine)
 	s.repo = repo
 	s.curIndex = repo.Index()
 	if s.st != nil && s.st.Len() > 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
 	"kamel/internal/baseline"
 	"kamel/internal/constraints"
@@ -11,6 +12,7 @@ import (
 	"kamel/internal/grid"
 	"kamel/internal/impute"
 	"kamel/internal/modelcache"
+	"kamel/internal/obs"
 	"kamel/internal/pyramid"
 )
 
@@ -49,9 +51,21 @@ func (s *System) Impute(tr geo.Trajectory) (geo.Trajectory, baseline.Stats, erro
 // models are paged in through the byte-budgeted model cache and pinned for
 // the duration of the gap they serve.
 func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Trajectory, baseline.Stats, error) {
+	// Bind the system registry as the span sink (keeping any request trace
+	// the serving layer attached), so per-stage histograms are fed whether
+	// the call arrives over HTTP or as a library call.  Observer is nil when
+	// observability is disabled; every timing site below then takes no
+	// timestamps at all.
+	var observe func(string, time.Duration)
+	if !s.cfg.DisableObservability {
+		ctx = obs.EnsureSink(ctx, s.obsReg)
+		observe = obs.Observer(ctx)
+		s.imputeReqs.Inc()
+	}
 	ss := s.serve.Load()
 	var stats baseline.Stats
 	if ss == nil || (ss.index == nil && ss.global == nil) {
+		s.imputeErrs.Inc()
 		return geo.Trajectory{}, stats, ErrNotTrained
 	}
 	if len(tr.Points) < 2 {
@@ -61,9 +75,16 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 	out := geo.Trajectory{ID: tr.ID}
 	cells := make([]grid.Cell, len(tr.Points))
 	xys := make([]geo.XY, len(tr.Points))
+	var t0 time.Time
+	if observe != nil {
+		t0 = time.Now()
+	}
 	for i, p := range tr.Points {
 		xys[i] = ss.proj.ToXY(p)
 		cells[i] = s.g.CellAt(xys[i])
+	}
+	if observe != nil {
+		observe("impute.tokenize", time.Since(t0))
 	}
 
 	for i := 0; i+1 < len(tr.Points); i++ {
@@ -74,8 +95,9 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 		}
 		stats.Segments++
 
-		res, degraded, ok, err := s.imputeGap(ctx, ss, cells, xys, i, b.T-a.T)
+		res, degraded, ok, err := s.imputeGap(ctx, ss, cells, xys, i, b.T-a.T, observe)
 		if err != nil {
+			s.imputeErrs.Inc()
 			return geo.Trajectory{}, stats, err
 		}
 		if degraded {
@@ -90,7 +112,13 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 		}
 		// Detokenize the interior tokens (endpoints stay at the observed
 		// GPS points, which are more precise than any cell centroid).
+		if observe != nil {
+			t0 = time.Now()
+		}
 		pts := ss.detok.Detokenize(res.Tokens)
+		if observe != nil {
+			observe("impute.detok", time.Since(t0))
+		}
 		if len(pts) > 2 {
 			s.emit(ss, &out, pts[1:len(pts)-1], a.T, b.T, xys[i], xys[i+1])
 		}
@@ -186,7 +214,7 @@ func (s *System) resolveModel(ctx context.Context, ref *pyramid.ModelRef) (*mode
 // failed to page in at request time (the caller's linear fallback).  Only
 // context errors are returned; any other failure degrades to a failed
 // (straight-line) result, preserving the availability contract of §4.1.
-func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cell, xys []geo.XY, i int, dt float64) (res impute.Result, degraded, ok bool, err error) {
+func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cell, xys []geo.XY, i int, dt float64, observe func(string, time.Duration)) (res impute.Result, degraded, ok bool, err error) {
 	if testGapHook != nil {
 		testGapHook(ctx, ss.seq)
 	}
@@ -194,12 +222,25 @@ func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cel
 	release := func() {}
 	if bundle == nil {
 		mbr := geo.EmptyRect().ExtendXY(xys[i]).ExtendXY(xys[i+1])
+		var t0 time.Time
+		if observe != nil {
+			t0 = time.Now()
+		}
 		ref, _, info, found := ss.index.LookupBest(mbr)
+		if observe != nil {
+			observe("impute.lookup", time.Since(t0))
+		}
 		if !found {
 			return impute.Result{}, info.Degraded, false, nil
 		}
 		degraded = info.Degraded
+		if observe != nil {
+			t0 = time.Now()
+		}
 		b, rel, rerr := s.resolveModel(ctx, ref)
+		if observe != nil {
+			observe("impute.page_in", time.Since(t0))
+		}
 		if rerr != nil {
 			if ctx.Err() != nil {
 				return impute.Result{}, degraded, true, rerr
@@ -231,18 +272,36 @@ func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cel
 		TopK:         s.cfg.TopK,
 		Beam:         s.cfg.Beam,
 		Alpha:        s.cfg.Alpha,
+		Observe:      observe,
 	}
 	p := bundlePredictor{b: bundle}
 
 	if s.cfg.DisableMultipoint {
+		var t0 time.Time
+		if observe != nil {
+			t0 = time.Now()
+		}
 		res, ok := s.singleShot(p, cfg, req)
+		if observe != nil {
+			observe("impute.predict", time.Since(t0))
+		}
 		return res, degraded, ok, nil
+	}
+	// "impute.beam" is the whole multipoint search; its predict/constraints
+	// children are reported separately by the impute package via cfg.Observe,
+	// so the beam bucket overlaps them by design.
+	var t0 time.Time
+	if observe != nil {
+		t0 = time.Now()
 	}
 	switch s.cfg.Strategy {
 	case StrategyIterative:
 		res, err = impute.IterativeContext(ctx, p, cfg, req)
 	default:
 		res, err = impute.BeamContext(ctx, p, cfg, req)
+	}
+	if observe != nil {
+		observe("impute.beam", time.Since(t0))
 	}
 	if err != nil {
 		if ctx.Err() != nil {

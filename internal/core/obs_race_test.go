@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kamel/internal/geo"
+	"kamel/internal/obs"
+)
+
+// TestObservabilityUnderConcurrency hammers ImputeBatch from several
+// goroutines while the background maintainer rebuilds models and a scraper
+// goroutine renders the Prometheus exposition the whole time.  Run under
+// -race it proves the registry's hot path (atomic counter/histogram updates,
+// gauge closures that take the system's locks) is safe against concurrent
+// training, serving, and scraping; afterwards it checks that the scraped
+// numbers are coherent with what the work actually did.
+func TestObservabilityUnderConcurrency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models under load")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.DisablePartitioning = false
+		c.PyramidH = 1
+		c.PyramidL = 2
+		c.ThresholdK = 200
+		c.Train.Steps = 60
+	})
+	sys, err := NewWithProjection(f.cfg, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Train(f.train[:len(f.train)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	mctx, cancelMaint := context.WithCancel(context.Background())
+	defer cancelMaint()
+	maintDone := make(chan error, 1)
+	go func() { maintDone <- sys.Maintain(mctx) }()
+
+	sparse := make([]geo.Trajectory, len(f.test))
+	for i, tr := range f.test {
+		sparse[i] = tr.Sparsify(700)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := []geo.Trajectory{sparse[(w+i)%len(sparse)]}
+				results, err := sys.ImputeBatch(context.Background(), batch)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if results[0].Err != nil {
+					errCh <- results[0].Err
+					return
+				}
+			}
+		}(w)
+	}
+	// The scraper races exposition (which snapshots histograms and runs the
+	// gauge closures, taking mu.RLock and the cache's lock) against the
+	// writers above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := sys.Obs().WritePrometheus(&buf); err != nil {
+				errCh <- err
+				return
+			}
+			sys.SystemStats()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Overlap the start of a maintained rebuild with the load, then stop the
+	// hammering so the maintainer gets the CPU to drain its queue.
+	if err := sys.Train(f.train[len(f.train)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	hammerUntil := time.Now().Add(3 * time.Second)
+	for sys.SystemStats().MaintenancePending > 0 && time.Now().Before(hammerUntil) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for sys.SystemStats().MaintenancePending > 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	cancelMaint()
+	if err := <-maintDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	if st := sys.SystemStats(); st.SingleModels == 0 {
+		t.Fatal("no models after maintained training")
+	}
+	// One quiet pass over the whole test set with the full model repository
+	// published, so the model-served stages are guaranteed samples.
+	if _, err := sys.ImputeBatch(context.Background(), sparse); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exposition must now reflect the work: requests were counted, the
+	// pipeline stage histograms saw samples, and the stats surface agrees
+	// with the registry it reads from.
+	if got := sys.imputeReqs.Value(); got == 0 {
+		t.Error("no imputation requests counted")
+	}
+	var seen []string
+	var stageSamples int64
+	sys.Obs().EachHistogram(func(name string, labels []obs.Label, snap obs.HistogramSnapshot) {
+		if name != obs.StageHistogramName {
+			return
+		}
+		for _, l := range labels {
+			if l.Key == "stage" && snap.Count > 0 {
+				seen = append(seen, l.Value)
+			}
+		}
+		stageSamples += snap.Count
+	})
+	joined := strings.Join(seen, ",")
+	for _, stage := range []string{"impute.tokenize", "impute.lookup", "impute.beam", "impute.predict", "train.rebuild"} {
+		if !strings.Contains(joined, stage) {
+			t.Errorf("stage %q recorded no samples (stages with samples: %s)", stage, joined)
+		}
+	}
+	if stageSamples == 0 {
+		t.Fatal("no stage samples at all")
+	}
+	st := sys.SystemStats()
+	if st.ServedSegments != sys.served.segments.Value() {
+		t.Errorf("stats/registry disagree on served segments: %d vs %d",
+			st.ServedSegments, sys.served.segments.Value())
+	}
+	if sys.maintRebuilds.Value() == 0 {
+		t.Error("maintainer completed no counted rebuilds")
+	}
+	var buf bytes.Buffer
+	if err := sys.Obs().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"kamel_impute_requests_total",
+		`kamel_stage_duration_seconds_bucket{stage="impute.beam"`,
+		"kamel_modelcache_load_seconds_count",
+		"kamel_snapshot_generation",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

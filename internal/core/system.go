@@ -16,6 +16,7 @@ import (
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/modelcache"
+	"kamel/internal/obs"
 	"kamel/internal/pyramid"
 	"kamel/internal/store"
 	"kamel/internal/vocab"
@@ -98,6 +99,83 @@ type System struct {
 	// served accumulates per-process serving counters; a pointer so
 	// WithAblation clones share the receiver's counters.
 	served *servedCounters
+
+	// obsReg is the system's metrics registry: the single source of truth
+	// for every serving-side counter, gauge, and latency histogram.  The
+	// HTTP layer exposes it at /metrics and registers its own request
+	// metrics into it; SystemStats reads the same counters, so the two
+	// surfaces can never disagree.  Shared by WithAblation clones.
+	obsReg *obs.Registry
+
+	// imputeReqs/imputeErrs count ImputeContext entries and error returns.
+	imputeReqs, imputeErrs *obs.Counter
+	// maintRebuilds/maintFailures count background maintainer outcomes.
+	maintRebuilds, maintFailures *obs.Counter
+	// pyrCommit/pyrQuarantine are resolved once at init and attached to every
+	// pyramid.Repo the system creates or loads (Repo.SetMetrics), because the
+	// attachment sites hold mu and registry registration is forbidden under mu
+	// (the registry's gauge closures take mu.RLock during exposition).
+	pyrCommit     *obs.Histogram
+	pyrQuarantine *obs.Counter
+}
+
+// Obs returns the system's metrics registry, for the serving layer to expose
+// at /metrics and to register HTTP-level series into.
+func (s *System) Obs() *obs.Registry { return s.obsReg }
+
+// imputeStages are the per-stage span names of one imputation request, in
+// pipeline order.  They are pre-registered so /metrics shows every stage
+// histogram from the first scrape, not only after traffic.  "impute.beam"
+// wraps the whole multipoint search, so it includes its "impute.predict" and
+// "impute.constraints" children; the stages overlap by design, they are not
+// a partition.
+var imputeStages = []string{
+	"impute.tokenize", "impute.lookup", "impute.page_in", "impute.predict",
+	"impute.constraints", "impute.beam", "impute.detok",
+	"train.append", "train.rebuild",
+}
+
+// initObs builds the registry and registers every core-owned series.
+func (s *System) initObs() {
+	reg := obs.NewRegistry()
+	s.obsReg = reg
+	for _, stage := range imputeStages {
+		reg.Stage(stage)
+	}
+	s.imputeReqs = reg.Counter("kamel_impute_requests_total",
+		"ImputeContext/ImputeBatch items entered.")
+	s.imputeErrs = reg.Counter("kamel_impute_errors_total",
+		"Imputation requests that returned an error (untrained, cancelled, ...).")
+	s.maintRebuilds = reg.Counter("kamel_maintain_rebuilds_total",
+		"Background maintainer rebuilds completed.")
+	s.maintFailures = reg.Counter("kamel_maintain_failures_total",
+		"Background maintainer rebuilds that failed.")
+	s.pyrCommit = reg.Histogram("kamel_pyramid_commit_seconds",
+		"Wall time of one incremental repository commit (write dirty models, fsync, manifest rename).", nil)
+	s.pyrQuarantine = reg.Counter("kamel_pyramid_quarantined_total",
+		"Model files sidelined as corrupt at load time.")
+	s.served = newServedCounters(reg)
+	reg.GaugeFunc("kamel_snapshot_generation",
+		"Published serving-snapshot sequence number.", func() float64 {
+			if ss := s.serve.Load(); ss != nil {
+				return float64(ss.seq)
+			}
+			return 0
+		})
+	reg.GaugeFunc("kamel_maintenance_pending",
+		"Training batches queued for the background maintainer.", func() float64 {
+			return float64(s.pendingRebuilds.Load())
+		})
+	reg.GaugeFunc("kamel_quarantined_models",
+		"Model slots quarantined as corrupt in the current snapshot.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if s.curIndex == nil {
+				return 0
+			}
+			return float64(s.curIndex.QuarantinedModels())
+		})
+	s.cache.Instrument(reg)
 }
 
 // publishLocked snapshots the current trained state into a fresh serveState
@@ -116,12 +194,24 @@ func (s *System) publishLocked() {
 }
 
 // servedCounters are the cumulative imputation-serving counters operators
-// read from /v1/stats: how much work was served, how much of it fell back
-// to a straight line, and how much was degraded by quarantined models.
+// read from /v1/stats and /metrics: how much work was served, how much of it
+// fell back to a straight line, and how much was degraded by quarantined
+// models.  They live in the obs registry so both surfaces read one value.
 type servedCounters struct {
-	segments atomic.Int64
-	failures atomic.Int64
-	degraded atomic.Int64
+	segments *obs.Counter
+	failures *obs.Counter
+	degraded *obs.Counter
+}
+
+func newServedCounters(reg *obs.Registry) *servedCounters {
+	return &servedCounters{
+		segments: reg.Counter("kamel_served_segments_total",
+			"Trajectory gaps imputation attempted to fill."),
+		failures: reg.Counter("kamel_served_failures_total",
+			"Gaps that fell back to a straight line."),
+		degraded: reg.Counter("kamel_degraded_segments_total",
+			"Gaps served down the degradation ladder (ancestor model or linear fallback)."),
+	}
 }
 
 // account folds one request's accounting into the cumulative counters.
@@ -150,10 +240,10 @@ func NewWithProjection(cfg Config, proj *geo.Projection) (*System, error) {
 	s := &System{
 		cfg:     cfg,
 		proj:    proj,
-		served:  &servedCounters{},
 		cache:   modelcache.New(resolveCacheBudget(cfg.ModelCacheBytes)),
 		maintCh: make(chan []store.Traj, maintQueueDepth),
 	}
+	s.initObs()
 	switch cfg.GridKind {
 	case "hex":
 		s.g = grid.NewHex(cfg.CellEdgeM)
@@ -276,9 +366,9 @@ func (s *System) SystemStats() Stats {
 		out.DetokTokens = s.detokTab.NumTokens()
 	}
 	if s.served != nil {
-		out.ServedSegments = s.served.segments.Load()
-		out.ServedFailures = s.served.failures.Load()
-		out.DegradedSegments = s.served.degraded.Load()
+		out.ServedSegments = s.served.segments.Value()
+		out.ServedFailures = s.served.failures.Value()
+		out.DegradedSegments = s.served.degraded.Value()
 	}
 	out.SnapshotGeneration = s.pubSeq
 	out.MaintenancePending = s.pendingRebuilds.Load()
@@ -364,6 +454,15 @@ func (s *System) WithAblation(disableConstraints, disableMultipoint bool) *Syste
 		served:   s.served,
 		cache:    s.cache, // paged models are shared; ablations only change search
 		maintCh:  make(chan []store.Traj, maintQueueDepth),
+		// The observability substrate is shared too: an ablation's requests
+		// count toward the same process-wide registry.
+		obsReg:        s.obsReg,
+		imputeReqs:    s.imputeReqs,
+		imputeErrs:    s.imputeErrs,
+		maintRebuilds: s.maintRebuilds,
+		maintFailures: s.maintFailures,
+		pyrCommit:     s.pyrCommit,
+		pyrQuarantine: s.pyrQuarantine,
 	}
 	clone.cfg.DisableConstraints = disableConstraints
 	clone.cfg.DisableMultipoint = disableMultipoint

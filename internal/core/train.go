@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -13,6 +13,7 @@ import (
 	"kamel/internal/detok"
 	"kamel/internal/fsx"
 	"kamel/internal/geo"
+	"kamel/internal/obs"
 	"kamel/internal/pyramid"
 	"kamel/internal/store"
 	"kamel/internal/vocab"
@@ -43,7 +44,12 @@ func (s *System) TrainContext(ctx context.Context, trajs []geo.Trajectory) error
 	if len(trajs) == 0 {
 		return fmt.Errorf("core: empty training batch")
 	}
+	if !s.cfg.DisableObservability {
+		ctx = obs.EnsureSink(ctx, s.obsReg)
+	}
+	sp := obs.StartSpan(ctx, "train.append")
 	batch, err := s.appendBatch(trajs)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -108,6 +114,10 @@ func (s *System) rebuild(ctx context.Context, batch []store.Traj, commit bool) e
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if !s.cfg.DisableObservability {
+		ctx = obs.EnsureSink(ctx, s.obsReg)
+	}
+	defer obs.StartSpan(ctx, "train.rebuild").End()
 	started := time.Now()
 
 	s.mu.Lock()
@@ -207,6 +217,7 @@ func (s *System) Maintain(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case batch := <-s.maintCh:
+			started := time.Now()
 			err := s.rebuild(ctx, batch, true)
 			s.pendingRebuilds.Add(-1)
 			if ctx.Err() != nil {
@@ -215,8 +226,18 @@ func (s *System) Maintain(ctx context.Context) error {
 				return ctx.Err()
 			}
 			if err != nil {
-				log.Printf("core: background model rebuild failed: %v", err)
+				s.maintFailures.Inc()
+				slog.Error("background model rebuild failed",
+					"component", "core", "err", err,
+					"batch_trajectories", len(batch),
+					"duration_ms", time.Since(started).Milliseconds())
+				continue
 			}
+			s.maintRebuilds.Inc()
+			slog.Debug("background model rebuild complete",
+				"component", "core",
+				"batch_trajectories", len(batch),
+				"duration_ms", time.Since(started).Milliseconds())
 		}
 	}
 }
@@ -242,6 +263,9 @@ func (s *System) ensureRepoLocked() error {
 	if err != nil {
 		return err
 	}
+	// Plain field assignment — the pre-resolved series were registered at
+	// init, so no registry locking happens under mu.
+	repo.SetMetrics(s.pyrCommit, s.pyrQuarantine)
 	s.repo = repo
 	return nil
 }

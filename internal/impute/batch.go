@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"kamel/internal/grid"
 )
@@ -72,6 +73,25 @@ func ctxErr(ctx context.Context) error {
 	return nil
 }
 
+// Stage names reported through Config.Observe.
+const (
+	StagePredict     = "impute.predict"     // batched predictor (BERT) calls
+	StageConstraints = "impute.constraints" // candidate validation per round
+)
+
+// predictTimed issues one batched predictor call, reporting its wall time to
+// the configured observer.  With no observer it is a plain call — no clock
+// reads on un-observed searches.
+func predictTimed(bp BatchPredictor, cfg Config, queries []Query) ([][]Candidate, error) {
+	if cfg.Observe == nil {
+		return bp.PredictBatch(queries)
+	}
+	t0 := time.Now()
+	out, err := bp.PredictBatch(queries)
+	cfg.Observe(StagePredict, time.Since(t0))
+	return out, err
+}
+
 // IterativeContext is Algorithm 1 with batched calls and cancellation: each
 // round finds every gap wider than max_gap, asks the predictor for all of
 // them in one batch, and inserts the most probable valid candidate into each
@@ -113,7 +133,7 @@ func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request)
 		for i, gap := range gaps {
 			queries[i] = Query{Segment: seg, GapPos: gap, TopK: cfg.TopK}
 		}
-		results, err := bp.PredictBatch(queries)
+		results, err := predictTimed(bp, cfg, queries)
 		if err != nil {
 			return Result{}, fmt.Errorf("impute: predictor: %w", err)
 		}
@@ -121,6 +141,10 @@ func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request)
 
 		// Insert right to left: an insertion at gap g shifts only indices
 		// above g, so earlier gaps in the same round stay addressable.
+		var checkStart time.Time
+		if cfg.Observe != nil {
+			checkStart = time.Now()
+		}
 		inserted := false
 		for gi := len(gaps) - 1; gi >= 0; gi-- {
 			gap := gaps[gi]
@@ -141,6 +165,9 @@ func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request)
 				inserted = true
 				break
 			}
+		}
+		if cfg.Observe != nil {
+			cfg.Observe(StageConstraints, time.Since(checkStart))
 		}
 		if !inserted {
 			r := lineFallback(cfg, req, "dead-end")
@@ -213,12 +240,16 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 		for i, e := range frontier {
 			queries[i] = Query{Segment: e.seg.tokens, GapPos: e.gap, TopK: cfg.TopK}
 		}
-		results, err := bp.PredictBatch(queries)
+		results, err := predictTimed(bp, cfg, queries)
 		if err != nil {
 			return Result{}, fmt.Errorf("impute: predictor: %w", err)
 		}
 		calls += len(frontier)
 
+		var checkStart time.Time
+		if cfg.Observe != nil {
+			checkStart = time.Now()
+		}
 		var fresh []beamSeg
 		for fi, e := range frontier {
 			cands := cfg.Checker.Filter(results[fi], sc)
@@ -240,6 +271,9 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 				fresh = append(fresh, beamSeg{tokens: next, prob: e.seg.prob * cand.Prob})
 				n++
 			}
+		}
+		if cfg.Observe != nil {
+			cfg.Observe(StageConstraints, time.Since(checkStart))
 		}
 		if len(fresh) == 0 {
 			break

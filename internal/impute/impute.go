@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"kamel/internal/constraints"
 	"kamel/internal/grid"
@@ -38,6 +39,14 @@ type Config struct {
 	TopK         int     // candidates requested per call
 	Beam         int     // beam width B (Algorithm 2)
 	Alpha        float64 // length-normalization strength α in [0,1]
+
+	// Observe, when non-nil, receives the wall time of each internal stage
+	// of a search: "impute.predict" for every batched predictor call and
+	// "impute.constraints" for every round of candidate validation (filter,
+	// cycle, and path-length checks).  The core pipeline wires this to the
+	// observability layer (internal/obs); when nil the algorithms take no
+	// timestamps at all, so un-observed searches pay nothing.
+	Observe func(stage string, d time.Duration)
 }
 
 // DefaultConfig returns the paper's defaults: max_gap 100 m, beam 10, α=1.

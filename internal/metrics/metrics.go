@@ -3,6 +3,10 @@
 // accuracy threshold δ, plus the straight/curved segment classification of
 // §8.4.  Failure rate lives with the imputers themselves (baseline.Stats);
 // timing is measured by the harness.
+//
+// This package scores imputation *accuracy* offline.  Serving *latency* —
+// per-stage histograms, request traces, the /metrics exposition — is the
+// job of internal/obs, the runtime observability layer.
 package metrics
 
 import (

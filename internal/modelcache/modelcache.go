@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"kamel/internal/obs"
 )
 
 // Key identifies one immutable model artifact: a pyramid cell, the model
@@ -89,6 +91,38 @@ type Cache struct {
 	lru     *list.List // front = most recently used; holds *entry
 
 	hits, misses, evictions, loads, loadErrors, loadNanos int64
+
+	// loadHist, when instrumented, receives every completed loader's wall
+	// time — the page-in latency distribution behind cold-cache tails.
+	loadHist *obs.Histogram
+}
+
+// Instrument registers the cache's occupancy gauges and traffic counters on
+// reg and routes load latencies into a histogram there.  The registry reads
+// the same counters Stats reports, so /metrics and /v1/stats cannot
+// disagree.  Call once, before concurrent use.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	c.loadHist = reg.Histogram("kamel_modelcache_load_seconds",
+		"Wall time to page one model in from disk (read, verify, decode).", nil)
+	stat := func(read func(Stats) float64) func() float64 {
+		return func() float64 { return read(c.Stats()) }
+	}
+	reg.GaugeFunc("kamel_modelcache_bytes",
+		"Resident model bytes.", stat(func(s Stats) float64 { return float64(s.Bytes) }))
+	reg.GaugeFunc("kamel_modelcache_models",
+		"Resident model count.", stat(func(s Stats) float64 { return float64(s.Models) }))
+	reg.GaugeFunc("kamel_modelcache_budget_bytes",
+		"Configured byte budget (<= 0: unbounded).", stat(func(s Stats) float64 { return float64(s.BudgetBytes) }))
+	reg.CounterFunc("kamel_modelcache_hits_total",
+		"Cache hits.", stat(func(s Stats) float64 { return float64(s.Hits) }))
+	reg.CounterFunc("kamel_modelcache_misses_total",
+		"Cache misses.", stat(func(s Stats) float64 { return float64(s.Misses) }))
+	reg.CounterFunc("kamel_modelcache_evictions_total",
+		"Models evicted under budget pressure.", stat(func(s Stats) float64 { return float64(s.Evictions) }))
+	reg.CounterFunc("kamel_modelcache_loads_total",
+		"Completed loader runs.", stat(func(s Stats) float64 { return float64(s.Loads) }))
+	reg.CounterFunc("kamel_modelcache_load_errors_total",
+		"Loader runs that failed.", stat(func(s Stats) float64 { return float64(s.LoadErrors) }))
 }
 
 // New creates a cache with the given byte budget.  A budget <= 0 disables
@@ -158,6 +192,7 @@ func (c *Cache) GetOrLoad(ctx context.Context, key Key, load LoadFunc) (*Pin, er
 		started := time.Now()
 		value, err := load()
 		elapsed := time.Since(started).Nanoseconds()
+		c.loadHist.Observe(time.Since(started).Seconds())
 
 		c.mu.Lock()
 		c.loads++

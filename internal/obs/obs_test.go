@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("kamel_test_total", "A test counter.", L("kind", "a"))
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter value %d, want 3", got)
+	}
+	// Re-registration returns the same series.
+	if again := r.Counter("kamel_test_total", "ignored", L("kind", "a")); again != c {
+		t.Error("re-registering the same (name, labels) did not return the existing counter")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP kamel_test_total A test counter.",
+		"# TYPE kamel_test_total counter",
+		`kamel_test_total{kind="a"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value not 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+}
+
+func TestGaugeAndCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 41.5
+	r.GaugeFunc("kamel_test_gauge", "g", func() float64 { return v })
+	r.CounterFunc("kamel_test_fn_total", "c", func() float64 { return 7 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE kamel_test_gauge gauge",
+		"kamel_test_gauge 41.5",
+		"# TYPE kamel_test_fn_total counter",
+		"kamel_test_fn_total 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("kamel_test_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantCounts := []int64{1, 2, 1, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count %d, want 5", s.Count)
+	}
+	if s.Sum < 56.04 || s.Sum > 56.06 {
+		t.Errorf("sum %v, want 56.05", s.Sum)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE kamel_test_seconds histogram",
+		`kamel_test_seconds_bucket{le="0.1"} 1`,
+		`kamel_test_seconds_bucket{le="1"} 3`,
+		`kamel_test_seconds_bucket{le="10"} 4`,
+		`kamel_test_seconds_bucket{le="+Inf"} 5`,
+		"kamel_test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 %v outside its bucket (1,2]", q)
+	}
+	if q := s.Quantile(0.99); q < 1 || q > 2 {
+		t.Errorf("p99 %v outside its bucket (1,2]", q)
+	}
+	// +Inf observations clamp to the highest finite bound.
+	h.Observe(100)
+	if q := h.Snapshot().Quantile(1); q != 4 {
+		t.Errorf("q1 with +Inf tail = %v, want clamp to 4", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile %v, want 0", q)
+	}
+}
+
+func TestSpanNoopWithoutBinding(t *testing.T) {
+	sp := StartSpan(context.Background(), "x")
+	sp.End() // must not panic
+	if ob := Observer(context.Background()); ob != nil {
+		t.Error("Observer on an unbound context should be nil")
+	}
+}
+
+func TestSpanRecordsTraceAndStageHistogram(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTrace()
+	ctx := With(context.Background(), tr, r)
+
+	sp := StartSpan(ctx, "impute.predict")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	ob := Observer(ctx)
+	if ob == nil {
+		t.Fatal("Observer nil on a bound context")
+	}
+	ob("impute.constraints", 2*time.Millisecond)
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("trace has %d spans, want 2", len(recs))
+	}
+	if recs[0].Name != "impute.predict" || recs[0].Dur <= 0 {
+		t.Errorf("bad first span record %+v", recs[0])
+	}
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[1].Name != "impute.constraints" || stages[1].Total != 2*time.Millisecond {
+		t.Errorf("bad stage summary %+v", stages)
+	}
+
+	snap := r.Stage("impute.predict").Snapshot()
+	if snap.Count != 1 {
+		t.Errorf("stage histogram count %d, want 1", snap.Count)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `kamel_stage_duration_seconds_bucket{stage="impute.predict",le="+Inf"} 1`) {
+		t.Errorf("stage series missing from exposition:\n%s", b.String())
+	}
+}
+
+func TestEnsureSink(t *testing.T) {
+	r := NewRegistry()
+	ctx := EnsureSink(context.Background(), r)
+	if Observer(ctx) == nil {
+		t.Fatal("EnsureSink did not bind the sink")
+	}
+	// Already-bound contexts are returned unchanged.
+	if ctx2 := EnsureSink(ctx, NewRegistry()); ctx2 != ctx {
+		t.Error("EnsureSink re-bound an already-bound context")
+	}
+	// A trace-only binding gains the sink but keeps its trace.
+	tr := NewTrace()
+	ctx3 := EnsureSink(With(context.Background(), tr, nil), r)
+	if TraceFrom(ctx3) != tr {
+		t.Error("EnsureSink dropped the existing trace")
+	}
+	if Observer(ctx3) == nil {
+		t.Error("EnsureSink did not add the sink alongside the trace")
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < maxTraceSpans+10; i++ {
+		tr.add("s", time.Now(), time.Microsecond)
+	}
+	if got := len(tr.Records()); got != maxTraceSpans {
+		t.Errorf("recorded %d spans, want cap %d", got, maxTraceSpans)
+	}
+	if tr.Dropped() != 10 {
+		t.Errorf("dropped %d, want 10", tr.Dropped())
+	}
+	if st := tr.Stages(); st[0].Count != maxTraceSpans+10 {
+		t.Errorf("aggregate count %d must include dropped spans", st[0].Count)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Errorf("request IDs %q/%q: want 16 hex chars, distinct", a, b)
+	}
+	ctx := ContextWithRequestID(context.Background(), a)
+	if got := RequestIDFrom(ctx); got != a {
+		t.Errorf("RequestIDFrom = %q, want %q", got, a)
+	}
+	if RequestIDFrom(context.Background()) != "" {
+		t.Error("RequestIDFrom on a bare context should be empty")
+	}
+}
+
+// TestRegistryConcurrency exercises counters, histograms, stage creation,
+// and exposition from many goroutines; run under -race it proves the
+// registry's concurrency contract.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				r.ObserveSpan("impute.predict", time.Microsecond)
+				r.Histogram("conc_seconds", "", nil).Observe(0.001)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Errorf("counter %d, want 4000", c.Value())
+	}
+	if snap := r.Stage("impute.predict").Snapshot(); snap.Count != 4000 {
+		t.Errorf("stage count %d, want 4000", snap.Count)
+	}
+}

@@ -1,0 +1,419 @@
+// Package obs is KAMEL's runtime observability substrate: an atomic,
+// allocation-free-on-the-hot-path metrics registry (counters, gauges, and
+// fixed-bucket latency histograms) exported in Prometheus text format, plus
+// a context-propagated span recorder that gives every imputation request a
+// per-stage latency breakdown (see span.go).
+//
+// Naming note: this package measures *where time goes* at serving time — the
+// §8 evaluation's latency story.  The paper's *accuracy* metrics (recall and
+// precision against ground truth, §8) live in internal/metrics; the two are
+// unrelated despite the similar names.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension, e.g. {stage="impute.predict"}.  Labels are
+// fixed at registration time: a (name, labels) pair identifies one series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default latency histogram bounds in seconds: 100µs to
+// 30s, roughly exponential.  They cover everything from a warm-cache model
+// lookup to a cold multi-gap beam search.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	ctr    *Counter
+	fn     func() float64 // counter-func or gauge-func
+	gauge  bool           // fn is a gauge (else counter semantics)
+	hist   *Histogram
+}
+
+// Registry holds every registered series and renders them in Prometheus text
+// exposition format.  Registration takes a lock; observing a counter or
+// histogram afterwards is lock-free atomics.  Re-registering an identical
+// (name, labels) pair returns the existing series, so hot paths may call
+// Counter/Histogram per event and pay only a map lookup.
+type Registry struct {
+	mu      sync.Mutex
+	series  map[string]*metric // id = name + rendered labels
+	order   []*metric          // registration order, for stable exposition
+	stageMu sync.RWMutex
+	stages  map[string]*Histogram // span name → stage histogram (span.go sink)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*metric),
+		stages: make(map[string]*Histogram),
+	}
+}
+
+// seriesID renders the unique identity of one (name, labels) series.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register adds (or returns the existing) series for id.
+func (r *Registry) register(name, help string, labels []Label, mk func() *metric) *metric {
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.series[id]; ok {
+		return m
+	}
+	m := mk()
+	m.name, m.help, m.labels = name, help, labels
+	r.series[id] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or fetches) a monotonically increasing counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, labels, func() *metric { return &metric{ctr: &Counter{}} })
+	if m.ctr == nil {
+		panic(fmt.Sprintf("obs: %s already registered with a different type", name))
+	}
+	return m.ctr
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — the bridge for counters whose source of truth lives elsewhere
+// (e.g. the model cache's hit/miss totals), so /metrics and /v1/stats can
+// never disagree.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, labels, func() *metric { return &metric{fn: fn} })
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, labels, func() *metric { return &metric{fn: fn, gauge: true} })
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram.  buckets are
+// upper bounds in ascending order; a final +Inf bucket is implicit.  Nil
+// buckets means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	m := r.register(name, help, labels, func() *metric {
+		return &metric{hist: newHistogram(buckets)}
+	})
+	if m.hist == nil {
+		panic(fmt.Sprintf("obs: %s already registered with a different type", name))
+	}
+	return m.hist
+}
+
+// StageHistogramName is the family every span observation aggregates into,
+// labelled by span name: kamel_stage_duration_seconds{stage="impute.predict"}.
+const StageHistogramName = "kamel_stage_duration_seconds"
+
+// Stage returns the latency histogram a span named stage aggregates into,
+// creating it on first use.  Pre-registering known stages makes them visible
+// on /metrics before any traffic.
+func (r *Registry) Stage(stage string) *Histogram {
+	r.stageMu.RLock()
+	h, ok := r.stages[stage]
+	r.stageMu.RUnlock()
+	if ok {
+		return h
+	}
+	h = r.Histogram(StageHistogramName,
+		"Per-stage pipeline latency, labelled by span name.",
+		nil, L("stage", stage))
+	r.stageMu.Lock()
+	r.stages[stage] = h
+	r.stageMu.Unlock()
+	return h
+}
+
+// ObserveSpan implements SpanSink: span durations aggregate into the
+// per-stage histogram family.
+func (r *Registry) ObserveSpan(name string, d time.Duration) {
+	r.Stage(name).Observe(d.Seconds())
+}
+
+// Counter is a monotonically increasing atomic counter.  All methods are
+// nil-safe no-ops, so un-instrumented components cost nothing.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative to keep the counter monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic counts
+// plus a running sum.  Observe is allocation-free: a linear scan over the
+// bucket bounds (≤ ~20) and two atomic adds.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending at %d: %v", i, buckets))
+		}
+	}
+	return &Histogram{
+		bounds: buckets,
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+}
+
+// Observe records one value (seconds, for latency histograms).  Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.  Nil-safe.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; the final +Inf bucket is implicit
+	Counts []int64   // per-bucket (non-cumulative); len(Bounds)+1
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket that crosses the target rank — the standard Prometheus
+// histogram_quantile estimate.  Observations in the +Inf bucket clamp to the
+// highest finite bound.  Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			return lower + (s.Bounds[i]-lower)*frac
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// EachHistogram visits every registered histogram with a snapshot, in
+// registration order — the bench harness reads per-stage percentiles here.
+func (r *Registry) EachHistogram(fn func(name string, labels []Label, snap HistogramSnapshot)) {
+	r.mu.Lock()
+	hists := make([]*metric, 0, len(r.order))
+	for _, m := range r.order {
+		if m.hist != nil {
+			hists = append(hists, m)
+		}
+	}
+	r.mu.Unlock()
+	for _, m := range hists {
+		fn(m.name, m.labels, m.hist.Snapshot())
+	}
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4), grouped by family with one HELP/TYPE
+// header each.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	series := make([]*metric, len(r.order))
+	copy(series, r.order)
+	r.mu.Unlock()
+
+	// Group by family name, preserving first-registration order between
+	// families and label order within one.
+	byFamily := make(map[string][]*metric, len(series))
+	var families []string
+	for _, m := range series {
+		if _, ok := byFamily[m.name]; !ok {
+			families = append(families, m.name)
+		}
+		byFamily[m.name] = append(byFamily[m.name], m)
+	}
+	for _, fam := range families {
+		ms := byFamily[fam]
+		typ := "counter"
+		switch {
+		case ms[0].hist != nil:
+			typ = "histogram"
+		case ms[0].gauge:
+			typ = "gauge"
+		}
+		if ms[0].help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, strings.ReplaceAll(ms[0].help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+			return err
+		}
+		sorted := make([]*metric, len(ms))
+		copy(sorted, ms)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return seriesID(sorted[i].name, sorted[i].labels) < seriesID(sorted[j].name, sorted[j].labels)
+		})
+		for _, m := range sorted {
+			if err := writeSeries(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch {
+	case m.ctr != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesID(m.name, m.labels), m.ctr.Value())
+		return err
+	case m.fn != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesID(m.name, m.labels), formatFloat(m.fn()))
+		return err
+	case m.hist != nil:
+		s := m.hist.Snapshot()
+		var cum int64
+		for i, bound := range s.Bounds {
+			cum += s.Counts[i]
+			le := append(append([]Label{}, m.labels...), L("le", formatFloat(bound)))
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesID(m.name+"_bucket", le), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Bounds)]
+		inf := append(append([]Label{}, m.labels...), L("le", "+Inf"))
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesID(m.name+"_bucket", inf), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesID(m.name+"_sum", m.labels), formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesID(m.name+"_count", m.labels), s.Count)
+		return err
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// SpanSink receives every finished span's duration; *Registry implements it
+// by aggregating into the per-stage histogram family.  A sink must be safe
+// for concurrent use.
+type SpanSink interface {
+	ObserveSpan(name string, d time.Duration)
+}
+
+// binding is what a context carries: an optional per-request trace and an
+// optional aggregation sink.  One context key for both keeps StartSpan at a
+// single context lookup.
+type binding struct {
+	tr   *Trace
+	sink SpanSink
+}
+
+type bindingKey struct{}
+
+// With returns a context carrying the trace and sink; either may be nil.
+// The serving layer binds both per request; library callers usually rely on
+// core binding the system registry via EnsureSink.
+func With(ctx context.Context, tr *Trace, sink SpanSink) context.Context {
+	return context.WithValue(ctx, bindingKey{}, binding{tr: tr, sink: sink})
+}
+
+// EnsureSink returns ctx unchanged when it already carries a span sink, and
+// otherwise binds sink (keeping any trace already present).  It lets the
+// core pipeline guarantee stage histograms are fed even when called as a
+// library, without double-wrapping contexts arriving from the HTTP layer.
+func EnsureSink(ctx context.Context, sink SpanSink) context.Context {
+	b, _ := ctx.Value(bindingKey{}).(binding)
+	if b.sink != nil {
+		return ctx
+	}
+	b.sink = sink
+	return context.WithValue(ctx, bindingKey{}, b)
+}
+
+// TraceFrom returns the per-request trace bound to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	b, _ := ctx.Value(bindingKey{}).(binding)
+	return b.tr
+}
+
+// Span is one in-flight timed region.  The zero Span (from an unbound
+// context) is valid and End is a no-op, so instrumented code needs no
+// branches.
+type Span struct {
+	name  string
+	start time.Time
+	b     binding
+}
+
+// StartSpan begins a span named name (e.g. "impute.predict").  When ctx
+// carries no trace and no sink the returned Span does nothing.
+func StartSpan(ctx context.Context, name string) Span {
+	b, _ := ctx.Value(bindingKey{}).(binding)
+	if b.tr == nil && b.sink == nil {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now(), b: b}
+}
+
+// End finishes the span: its duration is aggregated into the sink's stage
+// histogram and appended to the request trace, when either is present.
+func (s Span) End() {
+	if s.name == "" {
+		return
+	}
+	d := time.Since(s.start)
+	if s.b.sink != nil {
+		s.b.sink.ObserveSpan(s.name, d)
+	}
+	if s.b.tr != nil {
+		s.b.tr.add(s.name, s.start, d)
+	}
+}
+
+// Observer returns a callback recording (stage, duration) observations
+// against ctx's trace and sink, or nil when ctx carries neither — letting
+// hot loops skip timing entirely when nobody is watching.  The duration is
+// assumed to have just elapsed, so the span's start is back-dated by d.
+func Observer(ctx context.Context) func(stage string, d time.Duration) {
+	b, _ := ctx.Value(bindingKey{}).(binding)
+	if b.tr == nil && b.sink == nil {
+		return nil
+	}
+	return func(stage string, d time.Duration) {
+		if b.sink != nil {
+			b.sink.ObserveSpan(stage, d)
+		}
+		if b.tr != nil {
+			b.tr.add(stage, time.Now().Add(-d), d)
+		}
+	}
+}
+
+// maxTraceSpans caps one request's recorded spans; a beam search over many
+// gaps can emit hundreds.  Beyond the cap only aggregates are kept.
+const maxTraceSpans = 256
+
+// SpanRecord is one finished span, offsets relative to the trace start.
+type SpanRecord struct {
+	Name  string
+	Start time.Duration // offset from trace start
+	Dur   time.Duration
+}
+
+// StageSummary aggregates every span of one name within a trace.
+type StageSummary struct {
+	Name  string
+	Count int
+	Total time.Duration
+}
+
+// Trace records the spans of one request.  It is safe for concurrent use
+// (a batch request's items may be traced in sequence or parallel).
+type Trace struct {
+	start   time.Time
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+	totals  map[string]*StageSummary
+	order   []string
+}
+
+// NewTrace starts an empty trace clocked from now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now(), totals: make(map[string]*StageSummary)}
+}
+
+func (t *Trace) add(name string, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) < maxTraceSpans {
+		t.spans = append(t.spans, SpanRecord{Name: name, Start: start.Sub(t.start), Dur: d})
+	} else {
+		t.dropped++
+	}
+	s := t.totals[name]
+	if s == nil {
+		s = &StageSummary{Name: name}
+		t.totals[name] = s
+		t.order = append(t.order, name)
+	}
+	s.Count++
+	s.Total += d
+}
+
+// Records returns a copy of the recorded spans in completion order.
+func (t *Trace) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports how many spans overflowed the per-trace cap (their
+// durations still count in Stages).
+func (t *Trace) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Stages returns per-stage aggregates in first-seen order.
+func (t *Trace) Stages() []StageSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageSummary, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.totals[name])
+	}
+	return out
+}
+
+// Elapsed is the time since the trace started.
+func (t *Trace) Elapsed() time.Duration { return time.Since(t.start) }
+
+// NewRequestID returns a 16-hex-char random request identifier for the
+// X-Request-ID header and log correlation.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed ID
+		// keeps the serving path alive.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type requestIDKey struct{}
+
+// ContextWithRequestID attaches a request ID for log correlation.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID bound to ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

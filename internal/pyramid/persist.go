@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"kamel/internal/fsx"
 )
@@ -139,6 +140,7 @@ func (r *Repo) CommitFS(fsys fsx.FS, dir string, codec Codec) (int, error) {
 }
 
 func (r *Repo) commitFS(fsys fsx.FS, dir string, codec Codec, forceAll bool) (int, error) {
+	defer func(t0 time.Time) { r.commitHist.Observe(time.Since(t0).Seconds()) }(time.Now())
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("pyramid: creating %s: %w", dir, err)
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"kamel/internal/geo"
+	"kamel/internal/obs"
 	"kamel/internal/store"
 )
 
@@ -210,6 +211,36 @@ type Repo struct {
 	// served by a quarantined model degrade to the smallest enclosing
 	// ancestor model and are flagged as such (LookupBest).
 	quarantined map[CellKey]map[string]bool
+
+	// commitHist, when instrumented, receives each commit's wall time —
+	// commits run on the maintenance path but gate how quickly rebuilt
+	// models become pageable, so their duration is an operator signal.
+	commitHist *obs.Histogram
+	// quarantineCtr, when instrumented, counts model files sidelined as
+	// corrupt over the process lifetime (the Index's QuarantinedModels is
+	// the per-snapshot view of the same events).
+	quarantineCtr *obs.Counter
+}
+
+// Instrument registers the repository's commit-duration histogram and
+// quarantine counter on reg.  Call before the repository is used from the
+// maintenance path; safe to call more than once (re-registration returns
+// the existing series).
+func (r *Repo) Instrument(reg *obs.Registry) {
+	r.SetMetrics(
+		reg.Histogram("kamel_pyramid_commit_seconds",
+			"Wall time of one incremental repository commit (write dirty models, fsync, manifest rename).", nil),
+		reg.Counter("kamel_pyramid_quarantined_total",
+			"Model files sidelined as corrupt at load time."))
+}
+
+// SetMetrics attaches pre-resolved metric series (plain field assignment, no
+// registry locking), for callers that must instrument a repository while
+// holding locks that a registry registration is not allowed under.  Either
+// argument may be nil to leave that series detached.
+func (r *Repo) SetMetrics(commit *obs.Histogram, quarantine *obs.Counter) {
+	r.commitHist = commit
+	r.quarantineCtr = quarantine
 }
 
 // New creates an empty repository.
@@ -245,6 +276,7 @@ func (r *Repo) markQuarantined(k CellKey, slot string) {
 		r.quarantined[k] = make(map[string]bool)
 	}
 	r.quarantined[k][slot] = true
+	r.quarantineCtr.Inc()
 }
 
 // clearQuarantine lifts a slot's quarantine mark — called when the slot's

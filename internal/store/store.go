@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -161,7 +161,8 @@ func (s *Store) replay(name string) error {
 // integrity checks and is being skipped.
 func (s *Store) skipCorrupt(name string, offset int64, reason string) {
 	s.corrupt++
-	log.Printf("store: skipping corrupt record in %s at offset %d: %s", name, offset, reason)
+	slog.Warn("skipping corrupt record",
+		"component", "store", "segment", name, "offset", offset, "reason", reason)
 }
 
 // CorruptRecords returns the number of corrupt mid-segment records skipped

@@ -1,9 +1,14 @@
 #!/usr/bin/env sh
 # Benchmark gate: runs the imputation-path benchmarks (BERT vs n-gram
-# predictor) and the model-lookup benchmarks (cold cache: every resolution
-# pays the disk read-verify-decode; warm cache: steady-state LRU hits) and
-# writes machine-readable results to BENCH_impute.json for tracking across
-# commits.
+# predictor; full pipeline with and without observability instrumentation)
+# and the model-lookup benchmarks (cold cache: every resolution pays the
+# disk read-verify-decode; warm cache: steady-state LRU hits), then records
+# the serving pipeline's per-stage latency distribution (p50/p95/p99 from
+# the observability histograms via kamel-bench -stage-latency), and writes
+# machine-readable results to BENCH_impute.json for tracking across commits.
+#
+# The BenchmarkImpute vs BenchmarkImputeNoObs delta is the observability
+# layer's hot-path overhead; the acceptance bound is within 5%.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=... overrides the per-benchmark budget (default 5x; use e.g.
@@ -14,10 +19,13 @@ cd "$(dirname "$0")/.."
 out=${1:-BENCH_impute.json}
 benchtime=${BENCHTIME:-5x}
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+stages=$(mktemp)
+trap 'rm -f "$raw" "$stages"' EXIT
 
-go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup' \
+go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup|BenchmarkImpute' \
 	-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
+
+go run ./cmd/kamel-bench -stage-latency "$stages"
 
 {
 	printf '{\n'
@@ -39,6 +47,9 @@ go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup' \
 		}
 		END { printf "\n" }
 	' "$raw"
-	printf '  ]\n}\n'
+	printf '  ],\n'
+	printf '  "stage_latency": '
+	sed '1!s/^/  /' "$stages"
+	printf '}\n'
 } >"$out"
 echo "bench: wrote $out"
