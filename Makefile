@@ -1,7 +1,13 @@
-.PHONY: verify test test-short fault bench
+.PHONY: verify test test-short fault bench lint cluster-test
 
 verify: ## gofmt + vet + build + full race-enabled test suite
 	./scripts/verify.sh
+
+lint: ## the same staticcheck invocation CI runs (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1 first)
+	staticcheck ./...
+
+cluster-test: ## the sharding integration suite, race-enabled, same as CI's cluster job
+	go test -race -run Cluster ./...
 
 test:
 	go test ./...

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"kamel/internal/cluster"
 	"kamel/internal/core"
 	"kamel/internal/geo"
 	"kamel/internal/obs"
@@ -31,6 +32,7 @@ const (
 	codeTimeout    = "timeout"
 	codeTooLarge   = "too_large"
 	codeWarming    = "warming"
+	codeShardDown  = "shard_unavailable"
 )
 
 // apiServer wires a KAMEL system to the demonstration HTTP API of the SIGMOD
@@ -90,6 +92,12 @@ type serveOptions struct {
 	slowRequest time.Duration
 	// logger receives the structured request log; nil uses slog.Default().
 	logger *slog.Logger
+	// router, when non-nil, makes this node part of a horizontally sharded
+	// deployment: imputation requests are routed to the shard owning their
+	// spatial cell (see internal/cluster and serve_cluster.go).
+	router *cluster.Router
+	// clusterPath is the shard-map file /v1/cluster/reload re-reads.
+	clusterPath string
 }
 
 func defaultServeOptions() serveOptions {
@@ -128,6 +136,7 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 		mux.Handle(prefix+"/stats", s.endpoint(http.MethodGet, deprecated, s.handleStats))
 	}
 	mux.Handle("/v1/impute/batch", s.endpoint(http.MethodPost, false, s.handleImputeBatch))
+	mux.Handle("/v1/cluster/reload", s.endpoint(http.MethodPost, false, s.handleClusterReload))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -321,6 +330,9 @@ func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &tr) {
 		return
 	}
+	if s.routeSingle(w, r, tr) {
+		return // owned by a peer: forwarded (or degraded) by the cluster layer
+	}
 	dense, stats, err := s.sys.ImputeContext(r.Context(), fromWire([]wireTraj{tr})[0])
 	if err != nil {
 		status, code := imputeErrStatus(err)
@@ -344,12 +356,25 @@ func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &trajs) {
 		return
 	}
+	if s.routeBatch(w, r, trajs) {
+		return // spans shards: scatter-gathered by the cluster layer
+	}
 	results, err := s.sys.ImputeBatch(r.Context(), fromWire(trajs))
 	if err != nil {
 		status, code := imputeErrStatus(err)
 		writeError(w, status, code, err.Error())
 		return
 	}
+	doc := wireBatchResponse{Results: wireResults(results)}
+	if wantDebug(r) {
+		// The whole batch ran under one trace, so the breakdown is batch-wide.
+		doc.Debug = debugDoc(r)
+	}
+	writeJSON(w, doc)
+}
+
+// wireResults maps engine batch results to their wire form, in order.
+func wireResults(results []core.BatchResult) []wireImputeResult {
 	items := make([]wireImputeResult, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -363,14 +388,7 @@ func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
 			Degraded:   res.Stats.Degraded,
 		}
 	}
-	doc := map[string]interface{}{"results": items}
-	if wantDebug(r) {
-		// The whole batch ran under one trace, so the breakdown is batch-wide.
-		if dbg := debugDoc(r); dbg != nil {
-			doc["debug"] = dbg
-		}
-	}
-	writeJSON(w, doc)
+	return items
 }
 
 // wireStats is the /v1/stats document: the system's trained-state summary
@@ -380,17 +398,26 @@ type wireStats struct {
 	SheddedRequests int64 `json:"shedded_requests"`
 	PanicsRecovered int64 `json:"panics_recovered"`
 	RequestTimeouts int64 `json:"request_timeouts"`
+	// Cluster is present only on sharded deployments: this node's routing
+	// state and forwarding/degradation counters (includes the requests
+	// answered 503 because every owning peer was unreachable).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // statsDoc reads the serving counters straight from the metrics registry, so
 // /v1/stats and /metrics can never disagree.
 func (s *apiServer) statsDoc() wireStats {
-	return wireStats{
+	doc := wireStats{
 		Stats:           s.sys.SystemStats(),
 		SheddedRequests: s.shed.Value(),
 		PanicsRecovered: s.panics.Value(),
 		RequestTimeouts: s.timeouts.Value(),
 	}
+	if rt := s.opts.router; rt != nil {
+		cs := rt.ClusterStats()
+		doc.Cluster = &cs
+	}
+	return doc
 }
 
 func (s *apiServer) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -427,11 +454,19 @@ func runServe(args []string) error {
 	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn, error")
 	cacheBytes := fs.Int64("model-cache-bytes", 0, "model cache budget in bytes (0 sizes from available memory, <0 unbounded)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	clusterConfig := fs.String("cluster-config", "", "shard map JSON file enabling horizontal sharding (empty: single node)")
+	clusterSelf := fs.String("cluster-self", "", "this process's shard id in the shard map (required with -cluster-config)")
+	clusterHedge := fs.Duration("cluster-hedge", 0, "launch a hedged forward to the owning peer after this delay (0 disables)")
+	clusterRetries := fs.Int("cluster-retries", 1, "retries after a failed forward to a peer (negative disables)")
+	clusterProbe := fs.Duration("cluster-probe", 5*time.Second, "peer /readyz health-probe interval (0 uses the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *work == "" {
 		return fmt.Errorf("serve: -work is required")
+	}
+	if *clusterConfig != "" && *clusterSelf == "" {
+		return fmt.Errorf("serve: -cluster-self is required with -cluster-config")
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -442,6 +477,7 @@ func runServe(args []string) error {
 	slog.SetDefault(logger)
 	cfg := systemConfig(*work, *steps, "", false, false, false)
 	cfg.ModelCacheBytes = *cacheBytes
+	cfg.ShardID = *clusterSelf
 	sys, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -465,12 +501,60 @@ func runServe(args []string) error {
 		go servePprof(ctx, *pprofAddr)
 	}
 
+	// Horizontal sharding: load the shard map, start the router (health
+	// probing runs for the process lifetime), and reload the map on SIGHUP so
+	// a rollout never needs a restart.
+	var router *cluster.Router
+	if *clusterConfig != "" {
+		m, err := cluster.LoadMap(*clusterConfig)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		router, err = cluster.New(m, cluster.Options{
+			Self:          *clusterSelf,
+			Retries:       *clusterRetries,
+			HedgeAfter:    *clusterHedge,
+			ProbeInterval: *clusterProbe,
+			Logger:        logger,
+			Registry:      sys.Obs(),
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		go router.StartProbing(ctx)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-hup:
+					m, err := cluster.LoadMap(*clusterConfig)
+					if err == nil {
+						err = router.Reload(m)
+					}
+					if err != nil {
+						logger.Error("shard map reload failed", "component", "serve", "err", err)
+						continue
+					}
+					logger.Info("shard map reloaded on SIGHUP", "component", "serve",
+						"generation", m.Generation, "shards", len(m.Shards))
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		logger.Info("cluster routing enabled", "component", "serve",
+			"self", *clusterSelf, "shards", len(m.Shards), "generation", m.Generation)
+	}
+
 	opts := serveOptions{
 		requestTimeout: *reqTimeout,
 		maxBodyBytes:   *maxBody,
 		maxInflight:    *maxInflight,
 		slowRequest:    *slowReq,
 		logger:         logger,
+		router:         router,
+		clusterPath:    *clusterConfig,
 	}
 	srv := &http.Server{
 		Addr:              *addr,

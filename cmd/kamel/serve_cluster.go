@@ -1,0 +1,336 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"kamel/internal/cluster"
+	"kamel/internal/geo"
+	"kamel/internal/obs"
+)
+
+// This file is the HTTP face of the horizontal-sharding layer
+// (internal/cluster): spatial routing of single imputations to the owning
+// shard, scatter-gather for batches that span shards, the degradation ladder
+// when an owning peer is down (local linear fallback, then 503), and the
+// shard-map reload endpoint.
+//
+// The one-hop contract: a request carrying cluster.HeaderForwarded is always
+// served locally, whatever the shard map says.  Forwarding therefore
+// terminates even while two nodes briefly disagree on the map during a
+// rollout — the worst case is one extra hop to a node that serves the
+// request from a non-owning model (or its linear fallback), never a loop.
+
+// wirePoints converts a wire trajectory's raw triples to routing points.
+func wirePoints(tr wireTraj) []geo.Point {
+	pts := make([]geo.Point, len(tr.Points))
+	for i, p := range tr.Points {
+		pts[i] = geo.Point{Lat: p[0], Lng: p[1], T: p[2]}
+	}
+	return pts
+}
+
+// debugSuffix propagates ?debug=1 to a forwarded hop so the remote span
+// breakdown comes back for stitching.
+func debugSuffix(r *http.Request) string {
+	if wantDebug(r) {
+		return "?debug=1"
+	}
+	return ""
+}
+
+// isForwarded reports whether this request already made its one hop.
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(cluster.HeaderForwarded) != ""
+}
+
+// clusterUnavailable answers the request with 503 + Retry-After: the owning
+// shard is unreachable and this node has no projection to even draw a
+// straight line with.  Counted so /v1/stats and /metrics surface it.
+func (s *apiServer) clusterUnavailable(w http.ResponseWriter, shard string) {
+	s.opts.router.CountUnavailable()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, codeShardDown,
+		"shard "+shard+" unreachable and no local fallback available")
+}
+
+// linearItem serves one trajectory down the degradation ladder: the local
+// linear baseline, flagged degraded.  ok=false means even that is impossible
+// (no projection on this node).
+func (s *apiServer) linearItem(tr wireTraj) (wireImputeResult, bool) {
+	dense, stats, err := s.sys.ImputeLinear(fromWire([]wireTraj{tr})[0])
+	if err != nil {
+		return wireImputeResult{}, false
+	}
+	return wireImputeResult{
+		Trajectory: toWirePtr(dense),
+		Segments:   stats.Segments,
+		Failures:   stats.Failures,
+		Degraded:   stats.Degraded,
+	}, true
+}
+
+// routeSingle routes one trajectory to its owning shard.  It reports true
+// when it wrote the response (forwarded, degraded, or unavailable); false
+// means the request is local — the caller serves it on the ordinary path.
+func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, tr wireTraj) bool {
+	rt := s.opts.router
+	if rt == nil || isForwarded(r) {
+		return false
+	}
+	owner, _, ok := rt.Owner(wirePoints(tr))
+	if !ok || owner == rt.Self() {
+		return false
+	}
+	body, err := json.Marshal(tr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "encoding forwarded request: "+err.Error())
+		return true
+	}
+	sp := obs.StartSpan(r.Context(), "cluster.forward")
+	res, ferr := rt.Forward(r.Context(), owner, "/v1/impute"+debugSuffix(r), body)
+	sp.End()
+	if ferr != nil {
+		if err := r.Context().Err(); err != nil {
+			status, code := imputeErrStatus(err)
+			writeError(w, status, code, err.Error())
+			return true
+		}
+		// Owning shard down: degrade to the local linear baseline.
+		item, ok := s.linearItem(tr)
+		if !ok {
+			s.clusterUnavailable(w, owner)
+			return true
+		}
+		rt.CountDegraded(1)
+		if wantDebug(r) {
+			item.Debug = debugDoc(r)
+		}
+		writeJSON(w, item)
+		return true
+	}
+	if res.Status != http.StatusOK {
+		// A non-retryable client error from the owner (bad request, too
+		// large, ...) passes through verbatim — it is about the request, not
+		// about shard health.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.Status)
+		w.Write(res.Body)
+		return true
+	}
+	if !wantDebug(r) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res.Body)
+		return true
+	}
+	// Stitch the trace: the local hop's spans (routing, forward wait) wrap
+	// the owner's breakdown, all under one request id.
+	var item wireImputeResult
+	if err := json.Unmarshal(res.Body, &item); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res.Body)
+		return true
+	}
+	remote := item.Debug
+	item.Debug = debugDoc(r)
+	if item.Debug != nil {
+		item.Debug.Shard = rt.Self()
+		if remote != nil {
+			remote.Shard = owner
+			item.Debug.Hops = append(item.Debug.Hops, remote)
+		}
+	}
+	writeJSON(w, item)
+	return true
+}
+
+// wireBatchResponse is the /v1/impute/batch response document.
+type wireBatchResponse struct {
+	Results []wireImputeResult `json:"results"`
+	Debug   *wireDebug         `json:"debug,omitempty"`
+}
+
+// shardOutcome is one scatter group's result.
+type shardOutcome struct {
+	shard       string
+	idxs        []int // original batch positions of this group's items
+	items       []wireImputeResult
+	dbg         *wireDebug
+	unreachable bool  // owner down after retries (or answered garbage)
+	err         error // local system-level error (untrained, cancelled)
+}
+
+// routeBatch scatter-gathers a batch across owning shards.  It reports true
+// when it wrote the response; false means the whole batch is local.
+func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, trajs []wireTraj) bool {
+	rt := s.opts.router
+	if rt == nil || isForwarded(r) || len(trajs) == 0 {
+		return false
+	}
+	self := rt.Self()
+	groups := make(map[string][]int)
+	var order []string // first-seen order keeps hop reporting deterministic
+	for i, tr := range trajs {
+		owner, _, ok := rt.Owner(wirePoints(tr))
+		if !ok {
+			owner = self
+		}
+		if _, seen := groups[owner]; !seen {
+			order = append(order, owner)
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+	if len(groups) == 1 && groups[self] != nil {
+		return false // wholly local: the ordinary path serves it
+	}
+
+	// Scatter: every owning shard gets its sub-batch concurrently — the
+	// local group runs through the same ImputeBatch path a single-node
+	// deployment uses, remote groups are forwarded.  Each group writes only
+	// its own outcome slot, so no locking is needed.
+	outs := make([]*shardOutcome, len(order))
+	var wg sync.WaitGroup
+	for gi, shard := range order {
+		o := &shardOutcome{shard: shard, idxs: groups[shard]}
+		outs[gi] = o
+		wg.Add(1)
+		go func(shard string, o *shardOutcome) {
+			defer wg.Done()
+			if shard == self {
+				o.items, o.err = s.localSubBatch(r, trajs, o.idxs)
+				return
+			}
+			sub := make([]wireTraj, len(o.idxs))
+			for j, ix := range o.idxs {
+				sub[j] = trajs[ix]
+			}
+			body, err := json.Marshal(sub)
+			if err != nil {
+				o.err = err
+				return
+			}
+			sp := obs.StartSpan(r.Context(), "cluster.forward")
+			res, ferr := rt.Forward(r.Context(), shard, "/v1/impute/batch"+debugSuffix(r), body)
+			sp.End()
+			if ferr != nil || res.Status != http.StatusOK {
+				o.unreachable = true
+				return
+			}
+			var resp wireBatchResponse
+			if err := json.Unmarshal(res.Body, &resp); err != nil || len(resp.Results) != len(o.idxs) {
+				o.unreachable = true // the peer answered garbage; treat as down
+				return
+			}
+			o.items = resp.Results
+			o.dbg = resp.Debug
+		}(shard, o)
+	}
+	wg.Wait()
+
+	// Gather: merge sub-batch results back into original order, degrading
+	// unreachable groups item-by-item to the local linear baseline.
+	items := make([]wireImputeResult, len(trajs))
+	var hops []*wireDebug
+	var degraded int64
+	unreachable, served := 0, 0
+	var sysErr error
+	for _, o := range outs {
+		switch {
+		case o.err != nil:
+			sysErr = o.err
+		case o.unreachable:
+			unreachable++
+			for _, ix := range o.idxs {
+				item, ok := s.linearItem(trajs[ix])
+				if !ok {
+					items[ix] = wireImputeResult{Error: "shard " + o.shard + " unreachable"}
+					continue
+				}
+				degraded++
+				served++
+				items[ix] = item
+			}
+		default:
+			for j, ix := range o.idxs {
+				items[ix] = o.items[j]
+			}
+			served += len(o.idxs)
+			if o.dbg != nil {
+				o.dbg.Shard = o.shard
+				hops = append(hops, o.dbg)
+			}
+		}
+	}
+	if sysErr != nil {
+		// A local system-level failure (untrained, cancelled) keeps the
+		// single-node batch contract: the whole call errors.
+		status, code := imputeErrStatus(sysErr)
+		writeError(w, status, code, sysErr.Error())
+		return true
+	}
+	if served == 0 && unreachable > 0 && unreachable == len(order) {
+		// Every owning peer unreachable and not even a linear fallback:
+		// 503 + Retry-After, not a generic 500 (satellite contract).
+		s.clusterUnavailable(w, order[0])
+		return true
+	}
+	if degraded > 0 {
+		rt.CountDegraded(degraded)
+	}
+	resp := wireBatchResponse{Results: items}
+	if wantDebug(r) {
+		if dbg := debugDoc(r); dbg != nil {
+			dbg.Shard = self
+			dbg.Hops = hops
+			resp.Debug = dbg
+		}
+	}
+	writeJSON(w, resp)
+	return true
+}
+
+// localSubBatch serves this node's share of a scattered batch through the
+// same engine path a forwarded sub-batch hits on its owner.
+func (s *apiServer) localSubBatch(r *http.Request, trajs []wireTraj, idxs []int) ([]wireImputeResult, error) {
+	sub := make([]wireTraj, len(idxs))
+	for j, ix := range idxs {
+		sub[j] = trajs[ix]
+	}
+	results, err := s.sys.ImputeBatch(r.Context(), fromWire(sub))
+	if err != nil {
+		return nil, err
+	}
+	return wireResults(results), nil
+}
+
+// handleClusterReload re-reads the shard map file and swaps it in on this
+// node.  Operators hit it on every node after rolling out a new map (or send
+// SIGHUP); generations only move forward, so racing rollouts are safe.
+func (s *apiServer) handleClusterReload(w http.ResponseWriter, r *http.Request) {
+	rt := s.opts.router
+	if rt == nil {
+		writeError(w, http.StatusNotFound, codeBadRequest, "clustering is not enabled on this node")
+		return
+	}
+	if s.opts.clusterPath == "" {
+		writeError(w, http.StatusConflict, codeBadRequest, "no shard-map file configured to reload from")
+		return
+	}
+	m, err := cluster.LoadMap(s.opts.clusterPath)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	if err := rt.Reload(m); err != nil {
+		writeError(w, http.StatusConflict, codeBadRequest, err.Error())
+		return
+	}
+	s.logger().Info("shard map reloaded via API", "component", "serve",
+		"generation", m.Generation, "shards", len(m.Shards))
+	writeJSON(w, map[string]interface{}{
+		"status":     "reloaded",
+		"generation": m.Generation,
+		"shards":     len(m.Shards),
+	})
+}

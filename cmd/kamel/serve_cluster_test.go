@@ -1,0 +1,661 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kamel/internal/cluster"
+	"kamel/internal/cluster/clustertest"
+	"kamel/internal/core"
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/trajgen"
+)
+
+// quietLogger keeps per-request log lines out of test output.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// clusterReq issues one JSON request and returns the raw response.
+func clusterReq(tb testing.TB, method, url string, hdrs map[string]string, body interface{}) (int, http.Header, []byte) {
+	tb.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdrs {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// copyDir clones a trained workdir so every shard node (and the single-node
+// reference) serves byte-identical models — which is what makes element-wise
+// parity assertions possible.
+func copyDir(tb testing.TB, src, dst string) {
+	tb.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func writeShardMap(tb testing.TB, path string, m *cluster.Map) {
+	tb.Helper()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// forwardRecorder counts the forwarded imputation requests a node receives,
+// so tests can assert which shard actually served a routed request.
+type forwardRecorder struct {
+	next      http.Handler
+	forwarded atomic.Int64
+}
+
+func (rec *forwardRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(cluster.HeaderForwarded) != "" && strings.HasPrefix(r.URL.Path, "/v1/impute") {
+		rec.forwarded.Add(1)
+	}
+	rec.next.ServeHTTP(w, r)
+}
+
+// clusterFixture is an in-process n-shard cluster plus a single-node
+// reference server, all serving the same trained models: one system is
+// trained once, persisted, and its workdir cloned per node.
+type clusterFixture struct {
+	c       *clustertest.Cluster
+	syss    []*core.System
+	single  *httptest.Server // single-node reference over identical models
+	recs    []*forwardRecorder
+	mapPath string
+	sparse  []wireTraj // sparsified held-out trajectories to impute
+}
+
+func newClusterFixture(tb testing.TB, n int) *clusterFixture {
+	tb.Helper()
+	base := tb.TempDir()
+	seed := filepath.Join(base, "seed")
+	// Partitioning stays on (unlike the single-node serve tests): the fixture
+	// persists the trained repository and clones it per node, and only the
+	// pyramid repository round-trips through SaveModels/LoadModels.  The
+	// model is shrunk to the unit-test scale of internal/core's fixtures so
+	// training stays affordable under the race detector; every node and the
+	// single-node reference share the identical config, which is what makes
+	// element-wise parity assertions valid.
+	mkcfg := func(dir, shardID string) core.Config {
+		cfg := systemConfig(dir, 200, "", false, false, false)
+		cfg.Hidden, cfg.FFN = 32, 128
+		cfg.Train.Batch = 12
+		cfg.TopK = 40
+		cfg.MaxCalls = 150
+		cfg.ShardID = shardID
+		return cfg
+	}
+	sys0, err := core.New(mkcfg(seed, ""))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 1500, 1500
+	city.BlockSpacing = 250
+	net := roadnet.GenerateCity(city)
+	proj := geo.NewProjection(41.15, -8.61)
+	gen := trajgen.DefaultConfig(56)
+	gen.GPSNoiseMeters = 3
+	trajs, err := trajgen.Generate(net, proj, gen)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sys0.TrainContext(context.Background(), trajs[:48]); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sys0.SaveModels(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sys0.Close(); err != nil {
+		tb.Fatal(err)
+	}
+
+	fx := &clusterFixture{mapPath: filepath.Join(base, "shards.json")}
+	for _, tr := range trajs[48:56] {
+		fx.sparse = append(fx.sparse, toWire(tr.Sparsify(800)))
+	}
+
+	loadCopy := func(dir, shardID string) *core.System {
+		copyDir(tb, seed, dir)
+		sys, err := core.New(mkcfg(dir, shardID))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { sys.Close() })
+		if err := sys.LoadModels(); err != nil {
+			tb.Fatal(err)
+		}
+		// Parity assertions below are only meaningful if the nodes serve from
+		// real models, not the linear fallback for missing models.
+		if !sys.Ready() {
+			tb.Fatalf("node %s not ready after loading the cloned repository", shardID)
+		}
+		if st := sys.SystemStats(); st.SingleModels == 0 {
+			tb.Fatalf("node %s loaded no models (stats %+v)", shardID, st)
+		}
+		return sys
+	}
+	for i := 0; i < n; i++ {
+		fx.syss = append(fx.syss,
+			loadCopy(filepath.Join(base, fmt.Sprintf("node-%d", i)), fmt.Sprintf("shard-%d", i)))
+	}
+	refSys := loadCopy(filepath.Join(base, "single"), "")
+	refOpts := defaultServeOptions()
+	refOpts.logger = quietLogger()
+	fx.single = httptest.NewServer(newAPIHandler(refSys, refOpts))
+	tb.Cleanup(fx.single.Close)
+
+	fx.recs = make([]*forwardRecorder, n)
+	tmpl := cluster.Map{OriginLat: 41.15, OriginLng: -8.61, CellEdgeM: 250}
+	c, err := clustertest.New(n, tmpl,
+		func(i int, self string) cluster.Options {
+			return cluster.Options{
+				Logger:       quietLogger(),
+				Registry:     fx.syss[i].Obs(),
+				RetryBackoff: time.Millisecond,
+			}
+		},
+		func(i int, self string, rt *cluster.Router) (http.Handler, error) {
+			opts := defaultServeOptions()
+			opts.logger = quietLogger()
+			opts.router = rt
+			opts.clusterPath = fx.mapPath
+			rec := &forwardRecorder{next: newAPIHandler(fx.syss[i], opts)}
+			fx.recs[i] = rec
+			return rec, nil
+		})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(c.Close)
+	fx.c = c
+	writeShardMap(tb, fx.mapPath, c.Map)
+	return fx
+}
+
+// ownerIdx resolves which shard index owns a wire trajectory.
+func (fx *clusterFixture) ownerIdx(tb testing.TB, tr wireTraj) int {
+	tb.Helper()
+	owner, _, ok := fx.c.Nodes[0].Router.Owner(wirePoints(tr))
+	if !ok {
+		tb.Fatalf("no owner for trajectory %s", tr.ID)
+	}
+	i, err := strconv.Atoi(strings.TrimPrefix(owner, "shard-"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return i
+}
+
+// TestClusterServeEndToEnd drives the full sharded serving surface over one
+// in-process 3-shard cluster: routing by shard cell, scatter-gather parity
+// against single-node serving, trace stitching, peer failure degradation, and
+// shard-map reload.  Subtests share the fixture and run in order; the kill
+// and reload subtests mutate the cluster, so they come last.
+func TestClusterServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	fx := newClusterFixture(t, 3)
+
+	owners := map[int]bool{}
+	for _, tr := range fx.sparse {
+		owners[fx.ownerIdx(t, tr)] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("fixture trajectories all owned by one shard — shrink the map's CellEdgeM")
+	}
+	victim := fx.ownerIdx(t, fx.sparse[0])
+	gw := (victim + 1) % len(fx.c.Nodes)
+
+	t.Run("SingleForwardRoutesToOwner", func(t *testing.T) {
+		for _, tr := range fx.sparse[:4] {
+			oi := fx.ownerIdx(t, tr)
+			entry := (oi + 1) % len(fx.c.Nodes) // always a non-owner gateway
+			before := fx.recs[oi].forwarded.Load()
+			status, _, raw := clusterReq(t, http.MethodPost, fx.c.Nodes[entry].URL()+"/v1/impute", nil, tr)
+			if status != http.StatusOK {
+				t.Fatalf("impute %s via shard-%d: status %d: %s", tr.ID, entry, status, raw)
+			}
+			var res wireImputeResult
+			if err := json.Unmarshal(raw, &res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Trajectory == nil || len(res.Trajectory.Points) <= len(tr.Points) {
+				t.Errorf("%s: forwarded imputation added no points", tr.ID)
+			}
+			if got := fx.recs[oi].forwarded.Load(); got != before+1 {
+				t.Errorf("%s: owner shard-%d saw %d forwarded requests, want %d", tr.ID, oi, got, before+1)
+			}
+			// Element-wise parity with single-node serving over the same models.
+			status, _, refRaw := clusterReq(t, http.MethodPost, fx.single.URL+"/v1/impute", nil, tr)
+			if status != http.StatusOK {
+				t.Fatalf("single-node impute: status %d: %s", status, refRaw)
+			}
+			var ref wireImputeResult
+			if err := json.Unmarshal(refRaw, &ref); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Errorf("%s: forwarded result differs from single-node serving", tr.ID)
+			}
+		}
+	})
+
+	t.Run("BatchScatterGatherParity", func(t *testing.T) {
+		status, _, raw := clusterReq(t, http.MethodPost, fx.c.Nodes[gw].URL()+"/v1/impute/batch", nil, fx.sparse)
+		if status != http.StatusOK {
+			t.Fatalf("scatter-gather batch: status %d: %s", status, raw)
+		}
+		var got wireBatchResponse
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(fx.sparse) {
+			t.Fatalf("batch returned %d results, want %d", len(got.Results), len(fx.sparse))
+		}
+		status, _, refRaw := clusterReq(t, http.MethodPost, fx.single.URL+"/v1/impute/batch", nil, fx.sparse)
+		if status != http.StatusOK {
+			t.Fatalf("single-node batch: status %d: %s", status, refRaw)
+		}
+		var ref wireBatchResponse
+		if err := json.Unmarshal(refRaw, &ref); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Results {
+			if got.Results[i].Error != "" {
+				t.Errorf("item %d errored: %s", i, got.Results[i].Error)
+			}
+			if got.Results[i].Degraded != 0 {
+				t.Errorf("item %d degraded with all shards healthy", i)
+			}
+			if !reflect.DeepEqual(got.Results[i], ref.Results[i]) {
+				t.Errorf("item %d: scatter-gathered result differs from single-node serving", i)
+			}
+		}
+	})
+
+	t.Run("DebugStitchesOneTraceAcrossHops", func(t *testing.T) {
+		var tr wireTraj
+		for _, cand := range fx.sparse {
+			if fx.ownerIdx(t, cand) != 0 {
+				tr = cand
+				break
+			}
+		}
+		if tr.ID == "" {
+			t.Fatal("no trajectory owned by a remote shard")
+		}
+		const reqID = "cluster-trace-1"
+		status, hdr, raw := clusterReq(t, http.MethodPost, fx.c.Nodes[0].URL()+"/v1/impute?debug=1",
+			map[string]string{"X-Request-ID": reqID}, tr)
+		if status != http.StatusOK {
+			t.Fatalf("debug impute: status %d: %s", status, raw)
+		}
+		if hdr.Get("X-Request-ID") != reqID {
+			t.Errorf("X-Request-ID echoed as %q", hdr.Get("X-Request-ID"))
+		}
+		var res wireImputeResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Debug == nil {
+			t.Fatal("debug breakdown missing")
+		}
+		if res.Debug.RequestID != reqID || res.Debug.Shard != "shard-0" {
+			t.Errorf("local hop identity = (%q, %q), want (%q, shard-0)",
+				res.Debug.RequestID, res.Debug.Shard, reqID)
+		}
+		var sawForward bool
+		for _, sp := range res.Debug.Spans {
+			if sp.Name == "cluster.forward" {
+				sawForward = true
+			}
+		}
+		if !sawForward {
+			t.Error("local trace missing the cluster.forward span")
+		}
+		if len(res.Debug.Hops) != 1 {
+			t.Fatalf("stitched %d hops, want 1", len(res.Debug.Hops))
+		}
+		hop := res.Debug.Hops[0]
+		wantShard := fmt.Sprintf("shard-%d", fx.ownerIdx(t, tr))
+		if hop.RequestID != reqID || hop.Shard != wantShard {
+			t.Errorf("remote hop identity = (%q, %q), want (%q, %q)",
+				hop.RequestID, hop.Shard, reqID, wantShard)
+		}
+		if len(hop.Stages) == 0 {
+			t.Error("remote hop carries no stage breakdown")
+		}
+	})
+
+	t.Run("StatsExposeClusterCounters", func(t *testing.T) {
+		status, _, raw := clusterReq(t, http.MethodGet, fx.c.Nodes[gw].URL()+"/v1/stats", nil, nil)
+		if status != http.StatusOK {
+			t.Fatalf("stats: status %d", status)
+		}
+		var doc struct {
+			ShardID string         `json:"shard_id"`
+			Cluster *cluster.Stats `json:"cluster"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		wantSelf := fmt.Sprintf("shard-%d", gw)
+		if doc.ShardID != wantSelf {
+			t.Errorf("shard_id = %q, want %q", doc.ShardID, wantSelf)
+		}
+		if doc.Cluster == nil {
+			t.Fatal("stats missing the cluster block")
+		}
+		if doc.Cluster.Self != wantSelf || doc.Cluster.Shards != 3 || doc.Cluster.MapGeneration != 1 {
+			t.Errorf("cluster stats = self %q shards %d gen %d, want %q/3/1",
+				doc.Cluster.Self, doc.Cluster.Shards, doc.Cluster.MapGeneration, wantSelf)
+		}
+		if doc.Cluster.Forwards == 0 {
+			t.Error("gateway reports zero forwarded requests after scatter-gather")
+		}
+	})
+
+	t.Run("PeerFailureDegradesOnlyItsShard", func(t *testing.T) {
+		var alive wireTraj // owned by a shard that stays up
+		for _, cand := range fx.sparse {
+			if fx.ownerIdx(t, cand) != victim {
+				alive = cand
+				break
+			}
+		}
+		fx.c.Kill(victim)
+
+		status, _, raw := clusterReq(t, http.MethodPost, fx.c.Nodes[gw].URL()+"/v1/impute", nil, fx.sparse[0])
+		if status != http.StatusOK {
+			t.Fatalf("impute with owner down: status %d: %s", status, raw)
+		}
+		var res wireImputeResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded == 0 {
+			t.Error("dead shard's trajectory not flagged degraded")
+		}
+		if res.Trajectory == nil || len(res.Trajectory.Points) <= len(fx.sparse[0].Points) {
+			t.Error("linear fallback added no points")
+		}
+
+		status, _, raw = clusterReq(t, http.MethodPost, fx.c.Nodes[gw].URL()+"/v1/impute", nil, alive)
+		if status != http.StatusOK {
+			t.Fatalf("impute on surviving shard: status %d: %s", status, raw)
+		}
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded != 0 {
+			t.Error("surviving shard's trajectory degraded — failure leaked across shards")
+		}
+
+		// A spanning batch degrades only the dead shard's items.
+		status, _, raw = clusterReq(t, http.MethodPost, fx.c.Nodes[gw].URL()+"/v1/impute/batch", nil, fx.sparse)
+		if status != http.StatusOK {
+			t.Fatalf("batch with one shard down: status %d: %s", status, raw)
+		}
+		var batch wireBatchResponse
+		if err := json.Unmarshal(raw, &batch); err != nil {
+			t.Fatal(err)
+		}
+		for i, item := range batch.Results {
+			if item.Error != "" {
+				t.Errorf("item %d errored: %s", i, item.Error)
+				continue
+			}
+			ownedByVictim := fx.ownerIdx(t, fx.sparse[i]) == victim
+			if ownedByVictim && item.Degraded == 0 {
+				t.Errorf("item %d owned by dead shard not degraded", i)
+			}
+			if !ownedByVictim && item.Degraded != 0 {
+				t.Errorf("item %d owned by live shard served degraded", i)
+			}
+		}
+
+		if st := fx.c.Nodes[gw].Router.ClusterStats(); st.Degraded == 0 {
+			t.Error("gateway counted no degraded requests")
+		}
+	})
+
+	t.Run("ShardMapReloadReroutes", func(t *testing.T) {
+		victimID := fmt.Sprintf("shard-%d", victim)
+		old := *fx.c.Map
+		next := old
+		next.Generation = old.Generation + 1
+		next.Shards = nil
+		for _, sh := range old.Shards {
+			if sh.ID != victimID {
+				next.Shards = append(next.Shards, sh)
+			}
+		}
+		writeShardMap(t, fx.mapPath, &next)
+		for i, node := range fx.c.Nodes {
+			if i == victim {
+				continue
+			}
+			status, _, raw := clusterReq(t, http.MethodPost, node.URL()+"/v1/cluster/reload", nil, nil)
+			if status != http.StatusOK {
+				t.Fatalf("reload on shard-%d: status %d: %s", i, status, raw)
+			}
+			var ack map[string]interface{}
+			if err := json.Unmarshal(raw, &ack); err != nil {
+				t.Fatal(err)
+			}
+			if gen, _ := ack["generation"].(float64); int(gen) != next.Generation {
+				t.Errorf("shard-%d acked generation %v, want %d", i, ack["generation"], next.Generation)
+			}
+		}
+
+		// The dead shard's cells re-homed to a survivor, so its trajectory is
+		// model-served again — no degradation, no 503.
+		if owner, _, _ := fx.c.Nodes[gw].Router.Owner(wirePoints(fx.sparse[0])); owner == victimID {
+			t.Fatalf("reload did not re-home cells away from %s", victimID)
+		}
+		status, _, raw := clusterReq(t, http.MethodPost, fx.c.Nodes[gw].URL()+"/v1/impute", nil, fx.sparse[0])
+		if status != http.StatusOK {
+			t.Fatalf("impute after reload: status %d: %s", status, raw)
+		}
+		var res wireImputeResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded != 0 {
+			t.Error("re-homed trajectory still served degraded after reload")
+		}
+
+		// A stale (lower-generation) map is rejected with 409.
+		writeShardMap(t, fx.mapPath, &old)
+		status, _, _ = clusterReq(t, http.MethodPost, fx.c.Nodes[gw].URL()+"/v1/cluster/reload", nil, nil)
+		if status != http.StatusConflict {
+			t.Errorf("stale map reload: status %d, want 409", status)
+		}
+		writeShardMap(t, fx.mapPath, &next)
+	})
+}
+
+// TestClusterUnavailableWhenAllOwnersDown exercises the bottom of the
+// degradation ladder without any training: the owning peer is dead and the
+// local node has no projection, so the answer is 503 + Retry-After with the
+// shard_unavailable code — and the refusal is counted in /v1/stats.
+func TestClusterUnavailableWhenAllOwnersDown(t *testing.T) {
+	var syss []*core.System
+	for i := 0; i < 2; i++ {
+		sys, err := core.New(systemConfig(t.TempDir(), 90, "", true, false, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sys.Close() })
+		syss = append(syss, sys)
+	}
+	tmpl := cluster.Map{OriginLat: 41.15, OriginLng: -8.61, CellEdgeM: 250}
+	c, err := clustertest.New(2, tmpl,
+		func(i int, self string) cluster.Options {
+			return cluster.Options{
+				Logger:       quietLogger(),
+				Registry:     syss[i].Obs(),
+				RetryBackoff: time.Millisecond,
+			}
+		},
+		func(i int, self string, rt *cluster.Router) (http.Handler, error) {
+			opts := defaultServeOptions()
+			opts.logger = quietLogger()
+			opts.router = rt
+			return newAPIHandler(syss[i], opts), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	// Find a probe trajectory owned by shard-1 (routing needs no training —
+	// the map itself carries the projection origin).
+	var tr wireTraj
+	for dx := 0; dx < 400 && tr.ID == ""; dx++ {
+		lat := 41.15 + float64(dx)*0.002
+		cand := wireTraj{ID: "probe", Points: [][3]float64{{lat, -8.61, 0}, {lat, -8.6, 600}}}
+		if owner, _, ok := c.Nodes[0].Router.Owner(wirePoints(cand)); ok && owner == "shard-1" {
+			tr = cand
+		}
+	}
+	if tr.ID == "" {
+		t.Fatal("found no shard-1-owned probe trajectory")
+	}
+	c.Kill(1)
+
+	status, hdr, raw := clusterReq(t, http.MethodPost, c.Nodes[0].URL()+"/v1/impute", nil, tr)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("impute with owner dead and no fallback: status %d: %s", status, raw)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	var errBody map[string]string
+	if err := json.Unmarshal(raw, &errBody); err != nil {
+		t.Fatal(err)
+	}
+	if errBody["code"] != codeShardDown {
+		t.Errorf("error code %q, want %q", errBody["code"], codeShardDown)
+	}
+
+	status, hdr, raw = clusterReq(t, http.MethodPost, c.Nodes[0].URL()+"/v1/impute/batch", nil, []wireTraj{tr})
+	if status != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("batch with owner dead: status %d (Retry-After %q): %s", status, hdr.Get("Retry-After"), raw)
+	}
+
+	status, _, raw = clusterReq(t, http.MethodGet, c.Nodes[0].URL()+"/v1/stats", nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	var doc struct {
+		Cluster *cluster.Stats `json:"cluster"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cluster == nil || doc.Cluster.Unavailable != 2 {
+		t.Errorf("unavailable_requests = %+v, want 2", doc.Cluster)
+	}
+}
+
+// TestClusterReloadWithoutCluster pins the single-node behavior of the
+// reload endpoint: clustering off means 404, not a panic or a silent 200.
+func TestClusterReloadWithoutCluster(t *testing.T) {
+	ts := newTestServer(t)
+	status, _, body := call(t, http.MethodPost, ts.URL+"/v1/cluster/reload", "application/json", "")
+	wantErrorCode(t, status, body, http.StatusNotFound, codeBadRequest)
+}
+
+// BenchmarkClusterScatterGather measures a spanning batch through a 3-shard
+// in-process cluster (gateway scatter, per-shard sub-batches, in-order
+// merge) — the cluster-layer overhead on top of the engine's batch path.
+func BenchmarkClusterScatterGather(b *testing.B) {
+	fx := newClusterFixture(b, 3)
+	body, err := json.Marshal(fx.sparse)
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := fx.c.Nodes[0].Server.URL + "/v1/impute/batch"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -22,8 +22,8 @@ func isOps(path string) bool { return isProbe(path) || path == "/metrics" }
 // matter what paths clients probe.
 var apiRoutes = map[string]bool{
 	"/v1/train": true, "/v1/impute": true, "/v1/impute/batch": true,
-	"/v1/stats": true, "/api/train": true, "/api/impute": true,
-	"/api/stats": true, "/": true,
+	"/v1/stats": true, "/v1/cluster/reload": true, "/api/train": true,
+	"/api/impute": true, "/api/stats": true, "/": true,
 }
 
 // normalizeRoute maps a request path to its histogram label: a known route
@@ -179,10 +179,15 @@ func wantDebug(r *http.Request) bool {
 // breakdown, both summarized per stage and as the raw (capped) span list.
 type wireDebug struct {
 	RequestID string      `json:"request_id,omitempty"`
+	Shard     string      `json:"shard,omitempty"` // which shard produced this hop
 	TotalMS   float64     `json:"total_ms"`
 	Stages    []wireStage `json:"stages"`
 	Spans     []wireSpan  `json:"spans"`
-	Dropped   int         `json:"spans_dropped,omitempty"`
+	// Hops carries the remote shards' own breakdowns when a request was
+	// forwarded or scatter-gathered, stitching one trace across the cluster —
+	// every hop shares this request's id (X-Request-ID propagates on forward).
+	Hops    []*wireDebug `json:"hops,omitempty"`
+	Dropped int          `json:"spans_dropped,omitempty"`
 }
 
 type wireStage struct {

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func testMap(gen int, shards ...Shard) *Map {
+	return &Map{
+		Version:    MapVersion,
+		Generation: gen,
+		OriginLat:  41.15,
+		OriginLng:  -8.61,
+		CellEdgeM:  500,
+		Shards:     shards,
+	}
+}
+
+func TestClusterMapValidation(t *testing.T) {
+	good := testMap(1, Shard{ID: "a", Addr: "http://127.0.0.1:1"}, Shard{ID: "b", Addr: "http://127.0.0.1:2"})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid map rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Map)
+	}{
+		{"wrong version", func(m *Map) { m.Version = 2 }},
+		{"no shards", func(m *Map) { m.Shards = nil }},
+		{"empty id", func(m *Map) { m.Shards[0].ID = "" }},
+		{"duplicate id", func(m *Map) { m.Shards[1].ID = m.Shards[0].ID }},
+		{"bad addr", func(m *Map) { m.Shards[0].Addr = "not a url" }},
+		{"bad scheme", func(m *Map) { m.Shards[0].Addr = "ftp://x:1" }},
+		{"negative generation", func(m *Map) { m.Generation = -1 }},
+		{"absurd level", func(m *Map) { m.Level = 99 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := *good
+			m.Shards = append([]Shard(nil), good.Shards...)
+			tc.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("%s: want validation error", tc.name)
+			}
+		})
+	}
+
+	// JSON round trip preserves the map; ParseMap validates.
+	if _, err := ParseMap([]byte(`{"version":1,"shards":[]}`)); err == nil {
+		t.Error("ParseMap accepted a shardless map")
+	}
+
+	// Level scales the cell edge by powers of two.
+	m := testMap(1, Shard{ID: "a", Addr: "http://h:1"})
+	m.CellEdgeM = 1000
+	m.Level = 2
+	if got := m.EdgeM(); got != 250 {
+		t.Errorf("EdgeM at level 2 = %v, want 250", got)
+	}
+	m.CellEdgeM = 0
+	m.Level = 0
+	if got := m.EdgeM(); got != DefaultCellEdgeM {
+		t.Errorf("default EdgeM = %v, want %v", got, DefaultCellEdgeM)
+	}
+}
+
+// TestClusterRendezvousProperties checks the three properties routing relies
+// on: determinism, rough balance, and minimal disruption when a shard leaves.
+func TestClusterRendezvousProperties(t *testing.T) {
+	ids := []string{"shard-0", "shard-1", "shard-2", "shard-3", "shard-4"}
+	const cells = 2000
+	counts := make(map[string]int)
+	owners := make(map[grid.Cell]string, cells)
+	for i := 0; i < cells; i++ {
+		c := grid.Cell(int64(i)*2654435761 ^ int64(i)<<32)
+		owner := rendezvousOwner(ids, c)
+		if again := rendezvousOwner(ids, c); again != owner {
+			t.Fatalf("owner of %v not deterministic: %q then %q", c, owner, again)
+		}
+		// Roster order must not matter.
+		rev := []string{"shard-4", "shard-3", "shard-2", "shard-1", "shard-0"}
+		if other := rendezvousOwner(rev, c); other != owner {
+			t.Fatalf("owner of %v depends on roster order: %q vs %q", c, owner, other)
+		}
+		owners[c] = owner
+		counts[owner]++
+	}
+	for _, id := range ids {
+		if counts[id] < cells/len(ids)/3 {
+			t.Errorf("shard %s owns only %d of %d cells; want rough balance %v", id, counts[id], cells, counts)
+		}
+	}
+
+	// Remove one shard: only its cells may change owner.
+	without := []string{"shard-0", "shard-1", "shard-3", "shard-4"}
+	moved := 0
+	for c, owner := range owners {
+		newOwner := rendezvousOwner(without, c)
+		if owner == "shard-2" {
+			moved++
+			if newOwner == "shard-2" {
+				t.Fatalf("cell %v still owned by removed shard", c)
+			}
+			continue
+		}
+		if newOwner != owner {
+			t.Fatalf("cell %v owned by surviving %q was re-homed to %q", c, owner, newOwner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed shard owned no cells; test is vacuous")
+	}
+}
+
+// TestClusterOwnerAnchor checks trajectory routing keys off the MBR center
+// and stays stable across nodes evaluating the same map.
+func TestClusterOwnerAnchor(t *testing.T) {
+	m := testMap(1,
+		Shard{ID: "shard-0", Addr: "http://h:1"},
+		Shard{ID: "shard-1", Addr: "http://h:2"},
+		Shard{ID: "shard-2", Addr: "http://h:3"})
+	r0, err := New(m, Options{Self: "shard-0", Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := New(m, Options{Self: "shard-1", Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 40; i++ {
+		pts := []geo.Point{
+			{Lat: 41.15 + float64(i)*0.004, Lng: -8.61, T: 0},
+			{Lat: 41.15 + float64(i)*0.004 + 0.001, Lng: -8.609, T: 60},
+		}
+		o0, c0, ok := r0.Owner(pts)
+		if !ok {
+			t.Fatal("Owner rejected a non-empty trajectory")
+		}
+		o1, c1, _ := r1.Owner(pts)
+		if o0 != o1 || c0 != c1 {
+			t.Fatalf("nodes disagree on owner: %q/%v vs %q/%v", o0, c0, o1, c1)
+		}
+		if r0.OwnerOfCell(c0) != o0 {
+			t.Fatal("OwnerOfCell disagrees with Owner")
+		}
+		seen[o0] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("40 spread trajectories landed on %d shard(s); want spatial spread", len(seen))
+	}
+	if self, _, ok := r0.Owner(nil); ok || self != "shard-0" {
+		t.Errorf("empty trajectory: owner %q ok=%v, want self and ok=false", self, ok)
+	}
+}
+
+// TestClusterForwardRetryAndRecovery drives the bounded-retry path: a peer
+// that fails once is retried with backoff, succeeds, and stays healthy; a
+// dead peer exhausts the budget and surfaces ErrPeerUnavailable.
+func TestClusterForwardRetryAndRecovery(t *testing.T) {
+	var calls atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(HeaderForwarded) != "shard-0" {
+			t.Errorf("forwarded request missing %s header", HeaderForwarded)
+		}
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer peer.Close()
+
+	m := testMap(1, Shard{ID: "shard-0", Addr: "http://h:1"}, Shard{ID: "shard-1", Addr: peer.URL})
+	rt, err := New(m, Options{Self: "shard-0", Retries: 1, RetryBackoff: time.Millisecond, Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Forward(context.Background(), "shard-1", "/v1/impute", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("forward with one transient failure: %v", err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != `{"ok":true}` {
+		t.Fatalf("unexpected result %d %q", res.Status, res.Body)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("peer saw %d calls, want 2 (original + retry)", got)
+	}
+	if !rt.Healthy("shard-1") {
+		t.Error("peer must be healthy after a successful forward")
+	}
+	st := rt.ClusterStats()
+	if st.Forwards != 1 || st.Retries != 1 || st.ForwardErrors != 0 {
+		t.Errorf("stats = %+v, want 1 forward, 1 retry, 0 errors", st)
+	}
+
+	// Kill the peer: the retry budget is exhausted and the error is typed.
+	peer.Close()
+	_, err = rt.Forward(context.Background(), "shard-1", "/v1/impute", []byte(`{}`))
+	if !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("dead peer error = %v, want ErrPeerUnavailable", err)
+	}
+	if rt.Healthy("shard-1") {
+		t.Error("peer must be marked unhealthy after exhausting retries")
+	}
+	if st := rt.ClusterStats(); st.ForwardErrors != 1 {
+		t.Errorf("forward errors = %d, want 1", st.ForwardErrors)
+	}
+
+	// Unknown shards are a distinct, non-retried error.
+	if _, err := rt.Forward(context.Background(), "nope", "/", nil); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("unknown shard error = %v", err)
+	}
+}
+
+// TestClusterForwardHedging checks the tail-latency hedge: when the primary
+// attempt stalls, a second identical request is launched after HedgeAfter
+// and its (fast) response wins.
+func TestClusterForwardHedging(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first request stalls until the test ends
+		}
+		fmt.Fprint(w, `{"fast":true}`)
+	}))
+	defer peer.Close()
+	defer close(release)
+
+	m := testMap(1, Shard{ID: "shard-0", Addr: "http://h:1"}, Shard{ID: "shard-1", Addr: peer.URL})
+	rt, err := New(m, Options{
+		Self: "shard-0", HedgeAfter: 10 * time.Millisecond,
+		ForwardTimeout: 5 * time.Second, Logger: testLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := rt.Forward(context.Background(), "shard-1", "/v1/impute", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("hedged forward: %v", err)
+	}
+	if string(res.Body) != `{"fast":true}` {
+		t.Fatalf("unexpected body %q", res.Body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedge did not rescue the stalled request (took %v)", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("peer saw %d calls, want 2 (stalled primary + hedge)", got)
+	}
+	if st := rt.ClusterStats(); st.Hedges != 1 {
+		t.Errorf("hedges = %d, want 1", st.Hedges)
+	}
+}
+
+// TestClusterReloadKeepsInFlight proves the reload contract: swapping the
+// shard map re-routes new requests without tearing one already in flight,
+// and stale generations are rejected.
+func TestClusterReloadKeepsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, `{"done":true}`)
+	}))
+	defer peer.Close()
+
+	m := testMap(1, Shard{ID: "shard-0", Addr: "http://h:1"}, Shard{ID: "shard-1", Addr: peer.URL})
+	rt, err := New(m, Options{Self: "shard-0", ForwardTimeout: 5 * time.Second, Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type done struct {
+		res ForwardResult
+		err error
+	}
+	resCh := make(chan done, 1)
+	go func() {
+		res, err := rt.Forward(context.Background(), "shard-1", "/v1/impute", []byte(`{}`))
+		resCh <- done{res, err}
+	}()
+	<-entered // the forward is inside the peer handler
+
+	// Roll out generation 2: shard-1 is gone from the map.
+	m2 := testMap(2, Shard{ID: "shard-0", Addr: "http://h:1"})
+	if err := rt.Reload(m2); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if rt.Map().Generation != 2 {
+		t.Fatalf("map generation %d after reload", rt.Map().Generation)
+	}
+	// New requests no longer know shard-1...
+	if _, err := rt.Forward(context.Background(), "shard-1", "/", nil); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("post-reload forward error = %v, want ErrUnknownShard", err)
+	}
+	// ...but the in-flight one completes against the state it resolved.
+	close(release)
+	d := <-resCh
+	if d.err != nil || d.res.Status != http.StatusOK {
+		t.Fatalf("in-flight forward dropped by reload: %v (status %d)", d.err, d.res.Status)
+	}
+
+	// A stale map (generation 1 < 2) must be rejected.
+	if err := rt.Reload(m); !errors.Is(err, ErrStaleMap) {
+		t.Fatalf("stale reload error = %v, want ErrStaleMap", err)
+	}
+	// A map without self must be rejected.
+	m3 := testMap(3, Shard{ID: "shard-9", Addr: "http://h:9"})
+	if err := rt.Reload(m3); err == nil {
+		t.Fatal("reload accepted a map without self")
+	}
+}
+
+// TestClusterProbeHealth drives the /readyz probe loop: an unready peer is
+// marked unhealthy (and forwarded requests fail fast), then recovers.
+func TestClusterProbeHealth(t *testing.T) {
+	var ready atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && !ready.Load() {
+			http.Error(w, "warming", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ready"}`)
+	}))
+	defer peer.Close()
+
+	m := testMap(1, Shard{ID: "shard-0", Addr: "http://h:1"}, Shard{ID: "shard-1", Addr: peer.URL})
+	rt, err := New(m, Options{Self: "shard-0", ProbeInterval: 5 * time.Millisecond, Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probeDone := make(chan struct{})
+	go func() { rt.StartProbing(ctx); close(probeDone) }()
+
+	waitFor := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.Healthy("shard-1") != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("peer never became %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor(false, "unhealthy")
+	// Fail-fast: with probing active, a dead-marked peer is not dialed.
+	if _, err := rt.Forward(ctx, "shard-1", "/v1/impute", nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("fail-fast error = %v, want ErrPeerUnavailable", err)
+	}
+	ready.Store(true)
+	waitFor(true, "healthy again")
+	if _, err := rt.Forward(ctx, "shard-1", "/v1/impute", []byte(`{}`)); err != nil {
+		t.Fatalf("forward after recovery: %v", err)
+	}
+	if st := rt.ClusterStats(); st.PeersHealthy != 1 {
+		t.Errorf("peers_healthy = %d, want 1 after recovery", st.PeersHealthy)
+	}
+	cancel()
+	<-probeDone
+}

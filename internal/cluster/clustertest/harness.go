@@ -1,0 +1,134 @@
+// Package clustertest is the single-binary cluster harness: it stands up an
+// in-process N-node KAMEL cluster on net/http/httptest servers — no real
+// networking, no subprocesses — so integration tests and benchmarks can
+// exercise forwarding, scatter-gather merges, peer failure, and shard-map
+// reloads under the race detector.
+//
+// The chicken-and-egg of cluster bring-up (a node's router needs every
+// node's address; an address exists only once its server is listening) is
+// resolved with late-bound handlers: all servers start first behind a
+// swappable placeholder, the shard map is assembled from their URLs, and
+// then each node's real handler — built by the caller around that node's
+// router — is swapped in.
+package clustertest
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+
+	"kamel/internal/cluster"
+)
+
+// Node is one in-process shard: its identity, its HTTP server, and the
+// router its handler forwards through.
+type Node struct {
+	ID     string
+	Server *httptest.Server
+	Router *cluster.Router
+
+	handler atomic.Pointer[http.Handler]
+	closed  atomic.Bool
+}
+
+// URL returns the node's base address.
+func (n *Node) URL() string { return n.Server.URL }
+
+// SetHandler swaps the node's HTTP handler (tests use it to wrap recorders
+// around the real API surface after construction).
+func (n *Node) SetHandler(h http.Handler) { n.handler.Store(&h) }
+
+func (n *Node) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := n.handler.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not ready", http.StatusServiceUnavailable)
+}
+
+// BuildNode constructs node i's HTTP handler.  It receives the node's shard
+// id and its router, already wired to the cluster map; the returned handler
+// is what the node's httptest server serves.
+type BuildNode func(i int, self string, rt *cluster.Router) (http.Handler, error)
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	Map   *cluster.Map
+	Nodes []*Node
+}
+
+// New starts an n-node cluster.  tmpl supplies the spatial half of the shard
+// map (origin, cell edge, level; Version and Generation are forced to sane
+// values, Shards is replaced by the harness roster shard-0..shard-n-1).
+// optsFor returns each node's router options (Self is overridden by the
+// harness); nil uses defaults.  build constructs each node's handler.
+func New(n int, tmpl cluster.Map, optsFor func(i int, self string) cluster.Options, build BuildNode) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("clustertest: need at least 1 node, got %d", n)
+	}
+	c := &Cluster{}
+	m := tmpl
+	m.Version = cluster.MapVersion
+	if m.Generation < 1 {
+		m.Generation = 1
+	}
+	m.Shards = nil
+	for i := 0; i < n; i++ {
+		node := &Node{ID: fmt.Sprintf("shard-%d", i)}
+		node.Server = httptest.NewServer(http.HandlerFunc(node.serveHTTP))
+		c.Nodes = append(c.Nodes, node)
+		m.Shards = append(m.Shards, cluster.Shard{ID: node.ID, Addr: node.Server.URL})
+	}
+	c.Map = &m
+	for i, node := range c.Nodes {
+		var opts cluster.Options
+		if optsFor != nil {
+			opts = optsFor(i, node.ID)
+		}
+		opts.Self = node.ID
+		rt, err := cluster.New(c.Map, opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		node.Router = rt
+		h, err := build(i, node.ID, rt)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		node.SetHandler(h)
+	}
+	return c, nil
+}
+
+// Kill closes node i's server: subsequent forwards to it fail at the
+// transport, exactly like a crashed shard.  Idempotent.
+func (c *Cluster) Kill(i int) {
+	if c.Nodes[i].closed.CompareAndSwap(false, true) {
+		c.Nodes[i].Server.Close()
+	}
+}
+
+// Reload pushes a new shard map to every node's router, mimicking a
+// coordinated map rollout.  The first error aborts the rollout.
+func (c *Cluster) Reload(m *cluster.Map) error {
+	for _, node := range c.Nodes {
+		if node.Router == nil {
+			continue
+		}
+		if err := node.Router.Reload(m); err != nil {
+			return err
+		}
+	}
+	c.Map = m
+	return nil
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for i := range c.Nodes {
+		c.Kill(i)
+	}
+}

@@ -1,0 +1,549 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/obs"
+)
+
+// HeaderForwarded marks a request as already forwarded once.  A node that
+// receives it serves locally no matter what the shard map says, so routing
+// terminates after one hop even if two nodes momentarily disagree on the map.
+const HeaderForwarded = "X-Kamel-Forwarded"
+
+// ErrPeerUnavailable wraps the last transport or server error after the
+// retry budget for a peer is exhausted (or the peer was known-dead and the
+// call failed fast).  The serving layer keys its degradation ladder off it.
+var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
+
+// ErrStaleMap is returned by Reload for a map whose generation is below the
+// one currently routing.
+var ErrStaleMap = errors.New("cluster: stale shard map generation")
+
+// ErrUnknownShard is returned by Forward for a shard id absent from the map.
+var ErrUnknownShard = errors.New("cluster: unknown shard")
+
+// Options tune a Router.  The zero value of each field selects the default
+// noted on it.
+type Options struct {
+	// Self is the shard id this process serves; required, and must appear in
+	// every map the router is given.
+	Self string
+	// ForwardTimeout bounds one forwarded attempt (default 10s).
+	ForwardTimeout time.Duration
+	// Retries is how many additional attempts follow a failed forward
+	// (default 1; negative disables retries).
+	Retries int
+	// RetryBackoff is the pause before the first retry, doubled per retry
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// HedgeAfter, when positive, launches a second identical request if the
+	// first has not answered within this duration, and takes whichever
+	// finishes first — the classic tail-latency hedge.  0 disables.
+	HedgeAfter time.Duration
+	// ProbeInterval is the /readyz health-probe period (default 5s).
+	ProbeInterval time.Duration
+	// Transport overrides the forwarding HTTP transport (tests inject
+	// failure modes here); nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Logger receives forward/probe warnings; nil uses slog.Default().
+	Logger *slog.Logger
+	// Registry receives the router's metrics (kamel_cluster_*); nil creates
+	// a private registry, keeping the counters functional but unexported.
+	Registry *obs.Registry
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.ForwardTimeout <= 0 {
+		out.ForwardTimeout = 10 * time.Second
+	}
+	if out.Retries == 0 {
+		out.Retries = 1
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 50 * time.Millisecond
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 5 * time.Second
+	}
+	if out.Logger == nil {
+		out.Logger = slog.Default()
+	}
+	if out.Registry == nil {
+		out.Registry = obs.NewRegistry()
+	}
+	return out
+}
+
+// peer is one remote shard's connection state.  Health is advisory: it is
+// only consulted for fail-fast when a probe loop is running (otherwise a
+// dead verdict could never be revised).
+type peer struct {
+	shard   Shard
+	healthy atomic.Bool
+	fails   atomic.Int64 // consecutive forward failures
+}
+
+// routeState is the immutable evaluation of one shard map.  Swapped whole on
+// Reload; in-flight forwards keep the peer objects they resolved, so a
+// reload never tears a request.
+type routeState struct {
+	m     *Map
+	keys  keyer
+	ids   []string // sorted shard ids, the rendezvous candidate list
+	peers map[string]*peer
+}
+
+// Router owns the routing decision (Owner) and the transport to peers
+// (Forward).  All methods are safe for concurrent use.
+type Router struct {
+	opts    Options
+	client  *http.Client
+	state   atomic.Pointer[routeState]
+	probing atomic.Bool
+
+	forwards    *obs.Counter // forwarded requests attempted
+	forwardErrs *obs.Counter // forwards that exhausted retries
+	retries     *obs.Counter // retry attempts issued
+	hedges      *obs.Counter // hedged second requests launched
+	degraded    *obs.Counter // requests served by the local linear fallback
+	unavailable *obs.Counter // requests answered 503: no peer, no fallback
+	probeFails  *obs.Counter // health probes that failed
+
+	histMu sync.Mutex
+	hists  map[string]*obs.Histogram // peer id → forward latency histogram
+}
+
+// New builds a router for the given map.  opts.Self must be a shard in it.
+func New(m *Map, opts Options) (*Router, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	if o.Self == "" {
+		return nil, fmt.Errorf("cluster: Options.Self is required")
+	}
+	r := &Router{
+		opts:   o,
+		client: &http.Client{Transport: o.Transport},
+		hists:  make(map[string]*obs.Histogram),
+	}
+	reg := o.Registry
+	r.forwards = reg.Counter("kamel_cluster_forwards_total",
+		"Requests forwarded to an owning peer shard.")
+	r.forwardErrs = reg.Counter("kamel_cluster_forward_errors_total",
+		"Forwards that exhausted their retry budget.")
+	r.retries = reg.Counter("kamel_cluster_retries_total",
+		"Forward retry attempts issued.")
+	r.hedges = reg.Counter("kamel_cluster_hedges_total",
+		"Hedged second requests launched against a slow peer.")
+	r.degraded = reg.Counter("kamel_cluster_degraded_total",
+		"Requests served by the local linear fallback because the owning shard was down.")
+	r.unavailable = reg.Counter("kamel_cluster_unavailable_total",
+		"Requests answered 503: every owning peer unreachable and no local fallback.")
+	r.probeFails = reg.Counter("kamel_cluster_probe_failures_total",
+		"Peer health probes that failed.")
+	reg.GaugeFunc("kamel_cluster_map_generation",
+		"Generation of the shard map currently routing.", func() float64 {
+			return float64(r.Map().Generation)
+		})
+	reg.GaugeFunc("kamel_cluster_peers",
+		"Shards in the map, excluding self.", func() float64 {
+			return float64(len(r.state.Load().peers))
+		})
+	reg.GaugeFunc("kamel_cluster_peers_healthy",
+		"Peers whose last health signal was good.", func() float64 {
+			n := 0
+			for _, p := range r.state.Load().peers {
+				if p.healthy.Load() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	st, err := r.buildState(m, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.state.Store(st)
+	return r, nil
+}
+
+// buildState evaluates a map into routing state, carrying health over from
+// prev for peers whose identity and address are unchanged.
+func (r *Router) buildState(m *Map, prev *routeState) (*routeState, error) {
+	st := &routeState{
+		m:     m,
+		keys:  newKeyer(m),
+		ids:   m.ShardIDs(),
+		peers: make(map[string]*peer, len(m.Shards)),
+	}
+	self := false
+	for _, sh := range m.Shards {
+		if sh.ID == r.opts.Self {
+			self = true
+			continue // never a peer of itself
+		}
+		p := &peer{shard: sh}
+		p.healthy.Store(true)
+		if prev != nil {
+			if old, ok := prev.peers[sh.ID]; ok && old.shard.Addr == sh.Addr {
+				p.healthy.Store(old.healthy.Load())
+				p.fails.Store(old.fails.Load())
+			}
+		}
+		st.peers[sh.ID] = p
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: self shard %q not in map generation %d", r.opts.Self, m.Generation)
+	}
+	return st, nil
+}
+
+// Reload swaps in a new shard map atomically.  Maps older than the current
+// generation are rejected with ErrStaleMap; the same generation is accepted
+// idempotently.  In-flight forwards finish against the state they resolved.
+func (r *Router) Reload(m *Map) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cur := r.state.Load()
+	if m.Generation < cur.m.Generation {
+		return fmt.Errorf("%w: have %d, got %d", ErrStaleMap, cur.m.Generation, m.Generation)
+	}
+	st, err := r.buildState(m, cur)
+	if err != nil {
+		return err
+	}
+	r.state.Store(st)
+	r.opts.Logger.Info("shard map reloaded", "component", "cluster",
+		"generation", m.Generation, "shards", len(m.Shards))
+	return nil
+}
+
+// Self returns this process's shard id.
+func (r *Router) Self() string { return r.opts.Self }
+
+// Map returns the shard map currently routing.
+func (r *Router) Map() *Map { return r.state.Load().m }
+
+// Owner returns the shard owning the trajectory described by points, plus
+// the shard cell that decided it.  ok is false for an empty point list (the
+// caller should serve locally; there is nothing spatial to route by).
+func (r *Router) Owner(points []geo.Point) (shardID string, cell grid.Cell, ok bool) {
+	a, ok := anchor(points)
+	if !ok {
+		return r.opts.Self, 0, false
+	}
+	st := r.state.Load()
+	c := st.keys.cellFor(a)
+	return rendezvousOwner(st.ids, c), c, true
+}
+
+// OwnerOfCell returns the shard owning one shard cell under the current map.
+func (r *Router) OwnerOfCell(c grid.Cell) string {
+	st := r.state.Load()
+	return rendezvousOwner(st.ids, c)
+}
+
+// Healthy reports the last known health of a shard (self is always healthy).
+func (r *Router) Healthy(shardID string) bool {
+	if shardID == r.opts.Self {
+		return true
+	}
+	p, ok := r.state.Load().peers[shardID]
+	return ok && p.healthy.Load()
+}
+
+// CountDegraded records n requests served by the local linear fallback.
+func (r *Router) CountDegraded(n int64) { r.degraded.Add(n) }
+
+// CountUnavailable records one request answered 503 for lack of any shard.
+func (r *Router) CountUnavailable() { r.unavailable.Inc() }
+
+// ForwardResult is a peer's answer: the HTTP status and the full body.
+type ForwardResult struct {
+	Status int
+	Body   []byte
+}
+
+// retryableStatus reports whether a peer's status code means "try again /
+// treat as down" rather than "the request itself is bad".  409 (not
+// trained) and 429 (shedding) mean the peer cannot serve the work now, which
+// the degradation ladder treats the same as unreachable.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests || code == http.StatusConflict
+}
+
+// Forward carries body to shardID's path (which may include a query string)
+// as a POST and returns the peer's response.  The request inherits ctx's
+// request id (X-Request-ID) so cross-shard traces stitch, and is marked with
+// HeaderForwarded so the peer serves it locally.  Transport errors and
+// retryable statuses consume the bounded retry budget with exponential
+// backoff; when it is exhausted the peer is marked unhealthy and the error
+// wraps ErrPeerUnavailable.
+func (r *Router) Forward(ctx context.Context, shardID, path string, body []byte) (ForwardResult, error) {
+	st := r.state.Load()
+	p, ok := st.peers[shardID]
+	if !ok {
+		return ForwardResult{}, fmt.Errorf("%w: %q (map generation %d)", ErrUnknownShard, shardID, st.m.Generation)
+	}
+	// Fail fast on a known-dead peer, but only while a probe loop is running
+	// to eventually revise the verdict.
+	if r.probing.Load() && !p.healthy.Load() {
+		return ForwardResult{}, fmt.Errorf("%w: %s marked unhealthy", ErrPeerUnavailable, shardID)
+	}
+	r.forwards.Inc()
+
+	var lastErr error
+	backoff := r.opts.RetryBackoff
+	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+		if attempt > 0 {
+			r.retries.Inc()
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ForwardResult{}, ctx.Err()
+			}
+			backoff *= 2
+		}
+		res, err := r.attempt(ctx, p, path, body)
+		if err == nil && !retryableStatus(res.Status) {
+			p.healthy.Store(true)
+			p.fails.Store(0)
+			return res, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("cluster: peer %s answered %d", shardID, res.Status)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ForwardResult{}, ctx.Err()
+		}
+	}
+	p.fails.Add(1)
+	p.healthy.Store(false)
+	r.forwardErrs.Inc()
+	r.opts.Logger.Warn("forward failed", "component", "cluster",
+		"peer", shardID, "path", path, "err", lastErr.Error())
+	return ForwardResult{}, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, shardID, lastErr)
+}
+
+// attempt issues one forwarded request, hedged when configured: if the
+// primary has not answered within HedgeAfter, an identical secondary is
+// launched and whichever finishes first wins (the loser's context is
+// cancelled).  Latency is recorded per peer.
+func (r *Router) attempt(ctx context.Context, p *peer, path string, body []byte) (ForwardResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.ForwardTimeout)
+	defer cancel()
+
+	if r.opts.HedgeAfter <= 0 {
+		return r.send(ctx, p, path, body)
+	}
+
+	type outcome struct {
+		res ForwardResult
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func() {
+		res, err := r.send(ctx, p, path, body)
+		results <- outcome{res, err}
+	}
+	go launch()
+	hedge := time.NewTimer(r.opts.HedgeAfter)
+	defer hedge.Stop()
+	launched := 1
+	var firstErr *outcome
+	for {
+		select {
+		case <-hedge.C:
+			if launched < 2 {
+				launched++
+				r.hedges.Inc()
+				go launch()
+			}
+		case o := <-results:
+			if o.err == nil {
+				return o.res, nil // winner; cancel releases the loser
+			}
+			if launched < 2 {
+				// Primary failed before the hedge fired: no point hedging a
+				// request the peer actively refused.
+				return o.res, o.err
+			}
+			if firstErr == nil {
+				firstErr = &o
+				continue // wait for the other attempt
+			}
+			return o.res, o.err
+		case <-ctx.Done():
+			return ForwardResult{}, ctx.Err()
+		}
+	}
+}
+
+// send issues one HTTP request to a peer and reads the full response.
+func (r *Router) send(ctx context.Context, p *peer, path string, body []byte) (ForwardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.shard.Addr+path, bytes.NewReader(body))
+	if err != nil {
+		return ForwardResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, r.opts.Self)
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	r.peerHist(p.shard.ID).ObserveDuration(time.Since(start))
+	if err != nil {
+		return ForwardResult{}, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ForwardResult{}, err
+	}
+	return ForwardResult{Status: resp.StatusCode, Body: buf}, nil
+}
+
+// peerHist resolves the per-peer forward-latency histogram, cached so the
+// steady state avoids a registry registration per request.
+func (r *Router) peerHist(peerID string) *obs.Histogram {
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	h := r.hists[peerID]
+	if h == nil {
+		h = r.opts.Registry.Histogram("kamel_cluster_forward_seconds",
+			"Forwarded-request latency by peer shard.", nil, obs.L("peer", peerID))
+		r.hists[peerID] = h
+	}
+	return h
+}
+
+// StartProbing runs the health-probe loop until ctx is cancelled: every
+// ProbeInterval each peer's /readyz is checked, updating the health flag
+// that Forward fail-fasts on and /v1/stats reports.  Run it in a goroutine.
+func (r *Router) StartProbing(ctx context.Context) {
+	r.probing.Store(true)
+	defer r.probing.Store(false)
+	ticker := time.NewTicker(r.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		r.probeOnce(ctx)
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// probeOnce checks every peer's /readyz once, concurrently.
+func (r *Router) probeOnce(ctx context.Context) {
+	st := r.state.Load()
+	timeout := r.opts.ProbeInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, p := range st.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			ok := r.probePeer(ctx, p, timeout)
+			was := p.healthy.Swap(ok)
+			if !ok {
+				r.probeFails.Inc()
+			}
+			if was != ok {
+				r.opts.Logger.Info("peer health changed", "component", "cluster",
+					"peer", p.shard.ID, "healthy", ok)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (r *Router) probePeer(ctx context.Context, p *peer, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.shard.Addr+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// PeerStatus is one peer's identity and health for /v1/stats.
+type PeerStatus struct {
+	ID      string `json:"id"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Stats is the router's cumulative accounting, embedded into /v1/stats so
+// operators see the sharding layer next to the serving counters.
+type Stats struct {
+	Self           string       `json:"self"`
+	MapGeneration  int          `json:"map_generation"`
+	ShardCellEdgeM float64      `json:"shard_cell_edge_m"`
+	Shards         int          `json:"shards"`
+	PeersHealthy   int          `json:"peers_healthy"`
+	Forwards       int64        `json:"forwarded_requests"`
+	ForwardErrors  int64        `json:"forward_errors"`
+	Retries        int64        `json:"forward_retries"`
+	Hedges         int64        `json:"hedged_requests"`
+	Degraded       int64        `json:"degraded_requests"`
+	Unavailable    int64        `json:"unavailable_requests"`
+	Peers          []PeerStatus `json:"peers"`
+}
+
+// ClusterStats snapshots the router's accounting.
+func (r *Router) ClusterStats() Stats {
+	st := r.state.Load()
+	out := Stats{
+		Self:           r.opts.Self,
+		MapGeneration:  st.m.Generation,
+		ShardCellEdgeM: st.m.EdgeM(),
+		Shards:         len(st.m.Shards),
+		Forwards:       r.forwards.Value(),
+		ForwardErrors:  r.forwardErrs.Value(),
+		Retries:        r.retries.Value(),
+		Hedges:         r.hedges.Value(),
+		Degraded:       r.degraded.Value(),
+		Unavailable:    r.unavailable.Value(),
+	}
+	for _, p := range st.peers {
+		healthy := p.healthy.Load()
+		if healthy {
+			out.PeersHealthy++
+		}
+		out.Peers = append(out.Peers, PeerStatus{ID: p.shard.ID, Addr: p.shard.Addr, Healthy: healthy})
+	}
+	sort.Slice(out.Peers, func(i, j int) bool { return out.Peers[i].ID < out.Peers[j].ID })
+	return out
+}

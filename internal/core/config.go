@@ -57,6 +57,12 @@ type Config struct {
 	ConeAngleDeg float64 // direction-constraint angle (default 45)
 	CycleLen     int     // cycle-detection window x (default 6)
 
+	// ShardID names this process's shard when the deployment is horizontally
+	// sharded (internal/cluster): it labels SystemStats and log lines so a
+	// fleet's telemetry is attributable per shard.  Empty for a single-node
+	// deployment; purely an identity, it changes no serving behaviour.
+	ShardID string
+
 	// ModelCacheBytes bounds how many disk-resident models are held in
 	// memory at once (paper §4: models live on disk and page in per
 	// request).  Positive: an explicit byte budget.  Zero: automatic — a

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"kamel/internal/baseline"
+	"kamel/internal/geo"
+)
+
+// ImputeLinear fills every segment of tr with the straight-line baseline,
+// bypassing the models entirely.  It is the bottom rung of the degradation
+// ladder: the sharded serving layer calls it when the shard owning the
+// trajectory's cells is unreachable, so the request is still answered — with
+// every gap counted as both a failure (a linear fill, per the paper's
+// definition) and a degraded segment (served below the model tier).
+//
+// It needs only a projection, so it works on any node that has trained or
+// loaded models for *some* region — the point of the fallback is that the
+// local node does not own this trajectory's region.  Before any projection
+// exists (a completely untrained node) it returns ErrNotTrained, which the
+// serving layer maps to 503: nothing anywhere can serve the request.
+func (s *System) ImputeLinear(tr geo.Trajectory) (geo.Trajectory, baseline.Stats, error) {
+	proj := s.Projection()
+	if proj == nil {
+		// Fall back to the published snapshot's projection: WithAblation
+		// clones and snapshot-only readers may carry one there.
+		if ss := s.serve.Load(); ss != nil {
+			proj = ss.proj
+		}
+	}
+	if proj == nil {
+		return geo.Trajectory{}, baseline.Stats{}, ErrNotTrained
+	}
+	step := s.cfg.MaxGapM
+	if sm := s.g.StepMeters(); step < sm {
+		step = sm
+	}
+	lin := &baseline.Linear{Proj: proj, StepMeters: step}
+	dense, stats, err := lin.Impute(tr)
+	if err != nil {
+		return geo.Trajectory{}, stats, err
+	}
+	stats.Degraded = stats.Segments
+	s.served.account(stats)
+	return dense, stats, nil
+}

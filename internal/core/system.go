@@ -312,6 +312,10 @@ func (s *System) Close() error {
 // many persisted models were sidelined as corrupt, and how many served gaps
 // were degraded (ancestor model or linear fallback) as a result.
 type Stats struct {
+	// ShardID labels which shard of a horizontally sharded deployment these
+	// stats describe (empty for a single-node system).
+	ShardID string `json:"shard_id,omitempty"`
+
 	Trajectories   int     `json:"trajectories"`
 	Tokens         int     `json:"tokens"`
 	SingleModels   int     `json:"single_models"`
@@ -348,7 +352,7 @@ type Stats struct {
 func (s *System) SystemStats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := Stats{MaxSpeedMPS: s.speedMPS, TrainSeconds: s.trainTime}
+	out := Stats{ShardID: s.cfg.ShardID, MaxSpeedMPS: s.speedMPS, TrainSeconds: s.trainTime}
 	if s.st != nil {
 		out.Trajectories = s.st.Len()
 		out.Tokens = s.st.TotalTokens()

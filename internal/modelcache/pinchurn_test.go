@@ -1,0 +1,103 @@
+package modelcache
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPinnedModelSurvivesConcurrentEvictionChurn models the sharded serving
+// layer's hazard: forwarded requests pin a model on the owning node while
+// unrelated traffic churns the cache hard enough to evict everything else.
+// The pinned model must never be reloaded, never be invalidated, and never be
+// freed out from under its holders — and once the last pin is released the
+// cache must settle back under its byte budget.
+func TestPinnedModelSurvivesConcurrentEvictionChurn(t *testing.T) {
+	c := New(300) // room for three 100-byte models: constant pressure
+	ctx := context.Background()
+
+	var hotLoads atomic.Int64
+	hotLoad := func() (Sizer, error) {
+		hotLoads.Add(1)
+		return &fakeModel{id: 0, size: 100}, nil
+	}
+
+	// The anchor pin stands in for a long-running forwarded imputation: it
+	// holds the hot model for the whole churn phase.
+	anchor, err := c.GetOrLoad(ctx, key(0), hotLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := anchor.Value().(*fakeModel)
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := 1 + (w*97+i)%20
+				p, err := c.GetOrLoad(ctx, key(id), loadOK(id, 100))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Release()
+			}
+		}(w)
+	}
+
+	// Concurrent short-lived holders (forwarded sub-batches hitting the same
+	// model) stack additional pins on top of the anchor.  Every acquisition
+	// must be a hit on the very same resident model.
+	var holders sync.WaitGroup
+	for h := 0; h < 6; h++ {
+		holders.Add(1)
+		go func() {
+			defer holders.Done()
+			for n := 0; n < 200; n++ {
+				p, err := c.GetOrLoad(ctx, key(0), hotLoad)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := p.Value().(*fakeModel); got != hot {
+					t.Errorf("pinned model replaced mid-flight: got id %d", got.id)
+				}
+				if c.Invalidate(key(0)) {
+					t.Error("Invalidate removed a pinned model")
+				}
+				runtime.Gosched()
+				p.Release()
+			}
+		}()
+	}
+	holders.Wait()
+	close(stop)
+	churn.Wait()
+
+	if n := hotLoads.Load(); n != 1 {
+		t.Errorf("pinned model loaded %d times, want exactly 1", n)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("churn produced no evictions — the test exerted no pressure")
+	}
+	if st.Bytes > st.BudgetBytes {
+		t.Errorf("cache over budget after churn: %d > %d bytes", st.Bytes, st.BudgetBytes)
+	}
+
+	// Only after the last pin drops does the hot model become collectable.
+	anchor.Release()
+	if !c.Invalidate(key(0)) {
+		t.Error("unpinned model must be invalidatable")
+	}
+}

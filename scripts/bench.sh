@@ -4,8 +4,10 @@
 # and the model-lookup benchmarks (cold cache: every resolution pays the
 # disk read-verify-decode; warm cache: steady-state LRU hits), then records
 # the serving pipeline's per-stage latency distribution (p50/p95/p99 from
-# the observability histograms via kamel-bench -stage-latency), and writes
-# machine-readable results to BENCH_impute.json for tracking across commits.
+# the observability histograms via kamel-bench -stage-latency) and the
+# 3-shard in-process scatter-gather baseline (BenchmarkClusterScatterGather),
+# and writes machine-readable results to BENCH_impute.json for tracking
+# across commits.
 #
 # The BenchmarkImpute vs BenchmarkImputeNoObs delta is the observability
 # layer's hot-path overhead; the acceptance bound is within 5%.
@@ -24,6 +26,13 @@ trap 'rm -f "$raw" "$stages"' EXIT
 
 go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup|BenchmarkImpute' \
 	-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
+
+# The 3-shard in-process scatter-gather path: a spanning batch through one
+# gateway, forwarding included (clustertest harness, loopback HTTP).  The
+# fixture trains models, so each op is dominated by real imputation — the
+# number to watch against BenchmarkImpute is the per-item overhead.
+go test -run '^$' -bench 'BenchmarkCluster' \
+	-benchmem -benchtime "${CLUSTER_BENCHTIME:-3x}" ./cmd/kamel/ | tee -a "$raw"
 
 go run ./cmd/kamel-bench -stage-latency "$stages"
 
