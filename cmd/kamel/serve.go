@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -17,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"kamel/internal/batcher"
 	"kamel/internal/cluster"
 	"kamel/internal/core"
 	"kamel/internal/geo"
@@ -25,29 +27,35 @@ import (
 
 // API error codes carried in the structured JSON error body.
 const (
-	codeBadRequest = "bad_request"
-	codeNotTrained = "not_trained"
-	codeInternal   = "internal"
-	codeOverloaded = "overloaded"
-	codeTimeout    = "timeout"
-	codeTooLarge   = "too_large"
-	codeWarming    = "warming"
-	codeShardDown  = "shard_unavailable"
+	codeBadRequest   = "bad_request"
+	codeNotFound     = "not_found"
+	codeNotTrained   = "not_trained"
+	codeInternal     = "internal"
+	codeOverloaded   = "overloaded"
+	codeTimeout      = "timeout"
+	codeTooLarge     = "too_large"
+	codeWarming      = "warming"
+	codeShardDown    = "shard_unavailable"
+	codeShuttingDown = "shutting_down"
 )
 
 // apiServer wires a KAMEL system to the demonstration HTTP API of the SIGMOD
 // demo paper.  The v1 surface is versioned and batch-first:
 //
 //	POST /v1/train         []{id, points:[[lat,lng,t],...]} → system stats
-//	POST /v1/impute        one trajectory → dense trajectory + accounting
-//	POST /v1/impute/batch  []trajectory → per-trajectory results, in order
+//	POST /v1/impute        one trajectory (+ admission fields) → dense trajectory
+//	POST /v1/impute/batch  []trajectory or {trajectories, deadline_ms, priority}
 //	GET  /v1/stats         trained-state summary
 //
-// Errors are structured JSON: {"error": "...", "code": "bad_request|
-// not_trained|internal"}.  The pre-versioning /api/* routes remain as
-// deprecated aliases of their /v1 counterparts.  Request contexts flow into
-// the imputation engine, so clients that disconnect (and shutdowns that time
-// out) stop beam search mid-flight instead of burning the call budget.
+// Every error — top-level or per-element inside a batch response — uses the
+// same structured envelope: {"error": {"code": "...", "message": "..."}}.
+// The imputation endpoints accept two admission fields: "deadline_ms" bounds
+// the request's context (on top of the server-side request timeout) and
+// "priority" ("interactive", the single-impute default, or "bulk", the batch
+// default) picks the admission batcher's dispatch lane.  Request contexts
+// flow into the imputation engine, so clients that disconnect (and deadlines
+// that expire) stop beam search mid-flight instead of burning the call
+// budget.  The pre-versioning /api/* aliases have been removed; they now 404.
 type apiServer struct {
 	sys  *core.System
 	opts serveOptions
@@ -129,18 +137,22 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 		s.inflight = make(chan struct{}, opts.maxInflight)
 	}
 	mux := http.NewServeMux()
-	for _, prefix := range []string{"/v1", "/api"} {
-		deprecated := prefix == "/api"
-		mux.Handle(prefix+"/train", s.endpoint(http.MethodPost, deprecated, s.handleTrain))
-		mux.Handle(prefix+"/impute", s.endpoint(http.MethodPost, deprecated, s.handleImpute))
-		mux.Handle(prefix+"/stats", s.endpoint(http.MethodGet, deprecated, s.handleStats))
-	}
-	mux.Handle("/v1/impute/batch", s.endpoint(http.MethodPost, false, s.handleImputeBatch))
-	mux.Handle("/v1/cluster/reload", s.endpoint(http.MethodPost, false, s.handleClusterReload))
+	mux.Handle("/v1/train", s.endpoint(http.MethodPost, s.handleTrain))
+	mux.Handle("/v1/impute", s.endpoint(http.MethodPost, s.handleImpute))
+	mux.Handle("/v1/impute/batch", s.endpoint(http.MethodPost, s.handleImputeBatch))
+	mux.Handle("/v1/stats", s.endpoint(http.MethodGet, s.handleStats))
+	mux.Handle("/v1/cluster/reload", s.endpoint(http.MethodPost, s.handleClusterReload))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			// Unknown routes — including the removed pre-versioning /api/*
+			// aliases — get a structured 404, not the demo page.
+			writeError(w, http.StatusNotFound, codeNotFound,
+				"no route "+r.URL.Path+" (the /api/* aliases were removed; use /v1/*)")
+			return
+		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, demoPage)
 	})
@@ -262,12 +274,9 @@ func (s *apiServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // endpoint enforces the allowed method (and, for POSTs, a JSON Content-Type)
-// before delegating, and marks the pre-versioning aliases as deprecated.
-func (s *apiServer) endpoint(method string, deprecated bool, h http.HandlerFunc) http.Handler {
+// before delegating.
+func (s *apiServer) endpoint(method string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if deprecated {
-			w.Header().Set("Deprecation", "true")
-		}
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, codeBadRequest, method+" required")
@@ -325,18 +334,57 @@ func (s *apiServer) handleTrain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.sys.SystemStats())
 }
 
+// admissionContext applies a request's admission fields: deadline_ms bounds
+// the context (tightening, never loosening, the server-side request timeout)
+// and priority selects the batcher's dispatch lane.  ok=false means the
+// fields were invalid and the 400 has been written; otherwise the caller owns
+// the returned cancel.
+func admissionContext(w http.ResponseWriter, r *http.Request, deadlineMS int64, priority string, def batcher.Priority) (context.Context, context.CancelFunc, bool) {
+	pri, ok := batcher.ParsePriority(priority, def)
+	if !ok {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("unknown priority %q (want %q or %q)", priority, "interactive", "bulk"))
+		return nil, nil, false
+	}
+	if deadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "deadline_ms must be non-negative")
+		return nil, nil, false
+	}
+	ctx := core.WithPriority(r.Context(), pri)
+	cancel := context.CancelFunc(func() {})
+	if deadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+	}
+	return ctx, cancel, true
+}
+
+// writeImputeError maps an engine error onto the wire, adding Retry-After on
+// overload so shed clients back off like limiter-shed ones do.
+func writeImputeError(w http.ResponseWriter, err error) {
+	status, code := imputeErrStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, code, err.Error())
+}
+
 func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
-	var tr wireTraj
-	if !decodeBody(w, r, &tr) {
+	var req wireImputeRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	if s.routeSingle(w, r, tr) {
+	ctx, cancel, ok := admissionContext(w, r, req.DeadlineMS, req.Priority, batcher.Interactive)
+	if !ok {
+		return
+	}
+	defer cancel()
+	r = r.WithContext(ctx)
+	if s.routeSingle(w, r, req) {
 		return // owned by a peer: forwarded (or degraded) by the cluster layer
 	}
-	dense, stats, err := s.sys.ImputeContext(r.Context(), fromWire([]wireTraj{tr})[0])
+	dense, stats, err := s.sys.ImputeContext(ctx, fromWire([]wireTraj{req.wireTraj})[0])
 	if err != nil {
-		status, code := imputeErrStatus(err)
-		writeError(w, status, code, err.Error())
+		writeImputeError(w, err)
 		return
 	}
 	out := wireImputeResult{
@@ -352,17 +400,22 @@ func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
-	var trajs []wireTraj
-	if !decodeBody(w, r, &trajs) {
+	var req wireBatchRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	if s.routeBatch(w, r, trajs) {
+	ctx, cancel, ok := admissionContext(w, r, req.DeadlineMS, req.Priority, batcher.Bulk)
+	if !ok {
+		return
+	}
+	defer cancel()
+	r = r.WithContext(ctx)
+	if s.routeBatch(w, r, req) {
 		return // spans shards: scatter-gathered by the cluster layer
 	}
-	results, err := s.sys.ImputeBatch(r.Context(), fromWire(trajs))
+	results, err := s.sys.ImputeBatch(ctx, fromWire(req.Trajectories))
 	if err != nil {
-		status, code := imputeErrStatus(err)
-		writeError(w, status, code, err.Error())
+		writeImputeError(w, err)
 		return
 	}
 	doc := wireBatchResponse{Results: wireResults(results)}
@@ -378,7 +431,7 @@ func wireResults(results []core.BatchResult) []wireImputeResult {
 	items := make([]wireImputeResult, len(results))
 	for i, res := range results {
 		if res.Err != nil {
-			items[i] = wireImputeResult{Error: res.Err.Error()}
+			items[i] = wireImputeResult{Error: wireErrorOf(res.Err)}
 			continue
 		}
 		items[i] = wireImputeResult{
@@ -429,6 +482,14 @@ func imputeErrStatus(err error) (int, string) {
 	if errors.Is(err, core.ErrNotTrained) {
 		return http.StatusConflict, codeNotTrained
 	}
+	if errors.Is(err, core.ErrOverloaded) {
+		// The admission batcher's per-model queue is full: shed, like the
+		// concurrency limiter does, rather than queue without bound.
+		return http.StatusTooManyRequests, codeOverloaded
+	}
+	if errors.Is(err, batcher.ErrClosed) {
+		return http.StatusServiceUnavailable, codeShuttingDown
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusServiceUnavailable, codeTimeout
 	}
@@ -453,6 +514,10 @@ func runServe(args []string) error {
 	slowReq := fs.Duration("slow-request", def.slowRequest, "log requests at warn level with a per-stage breakdown when they take at least this long (0 disables)")
 	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn, error")
 	cacheBytes := fs.Int64("model-cache-bytes", 0, "model cache budget in bytes (0 sizes from available memory, <0 unbounded)")
+	batchMaxSize := fs.Int("batch-max-size", 0, "admission batching: queries per coalesced BERT pass (0 uses the default)")
+	batchMaxWait := fs.Duration("batch-max-wait", 0, "admission batching: coalescing window under concurrency (0 uses the default, <0 disables windowing)")
+	batchMaxQueue := fs.Int("batch-max-queue", 0, "admission batching: queued queries per model before shedding with 429 (0 uses the default, <0 unbounded)")
+	noBatching := fs.Bool("no-admission-batching", false, "compute predictions inline per request instead of coalescing across requests")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	clusterConfig := fs.String("cluster-config", "", "shard map JSON file enabling horizontal sharding (empty: single node)")
 	clusterSelf := fs.String("cluster-self", "", "this process's shard id in the shard map (required with -cluster-config)")
@@ -478,6 +543,10 @@ func runServe(args []string) error {
 	cfg := systemConfig(*work, *steps, "", false, false, false)
 	cfg.ModelCacheBytes = *cacheBytes
 	cfg.ShardID = *clusterSelf
+	cfg.BatchMaxSize = *batchMaxSize
+	cfg.BatchMaxWait = *batchMaxWait
+	cfg.BatchMaxQueue = *batchMaxQueue
+	cfg.DisableAdmissionBatching = *noBatching
 	sys, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -616,6 +685,46 @@ type wireTraj struct {
 	Points [][3]float64 `json:"points"` // [lat, lng, unixSeconds]
 }
 
+// wireImputeRequest is the /v1/impute request: one trajectory (fields
+// promoted flat) plus the optional admission fields.
+type wireImputeRequest struct {
+	wireTraj
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	Priority   string `json:"priority,omitempty"`
+}
+
+// wireBatchRequest is the /v1/impute/batch request: either the envelope
+// {"trajectories": [...], "deadline_ms": N, "priority": "..."} or — for
+// compatibility — a bare JSON array of trajectories with default admission.
+type wireBatchRequest struct {
+	Trajectories []wireTraj `json:"trajectories"`
+	DeadlineMS   int64      `json:"deadline_ms,omitempty"`
+	Priority     string     `json:"priority,omitempty"`
+}
+
+func (b *wireBatchRequest) UnmarshalJSON(data []byte) error {
+	if t := bytes.TrimLeft(data, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		return json.Unmarshal(data, &b.Trajectories)
+	}
+	type bare wireBatchRequest // shed the method to avoid recursing
+	return json.Unmarshal(data, (*bare)(b))
+}
+
+// wireError is the structured error shared by top-level responses and
+// per-element batch failures: {"code": "...", "message": "..."}.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// wireErrorOf classifies err through the same table the top-level status
+// mapping uses, so an element's code inside a batch matches what the same
+// failure would return as a whole-request error.
+func wireErrorOf(err error) *wireError {
+	_, code := imputeErrStatus(err)
+	return &wireError{Code: code, Message: err.Error()}
+}
+
 // wireImputeResult is one imputed trajectory on the wire; Error is set (and
 // Trajectory omitted) when only that trajectory failed inside a batch.
 type wireImputeResult struct {
@@ -623,7 +732,7 @@ type wireImputeResult struct {
 	Segments   int        `json:"segments"`
 	Failures   int        `json:"failures"`
 	Degraded   int        `json:"degraded"`
-	Error      string     `json:"error,omitempty"`
+	Error      *wireError `json:"error,omitempty"`
 	Debug      *wireDebug `json:"debug,omitempty"` // ?debug=1 span breakdown
 }
 
@@ -660,11 +769,13 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-// writeError emits the structured JSON error body shared by every endpoint.
+// writeError emits the structured JSON error envelope shared by every
+// endpoint: {"error": {"code": "...", "message": "..."}}.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code}); err != nil {
+	doc := map[string]wireError{"error": {Code: code, Message: msg}}
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", err)
 	}
 }
@@ -676,7 +787,9 @@ const demoPage = `<!doctype html>
 <p>POST <code>/v1/train</code> a JSON array of {id, points:[[lat,lng,t],...]} to train.</p>
 <p>POST <code>/v1/impute</code> one such object to impute, or <code>/v1/impute/batch</code>
 an array of them; GET <code>/v1/stats</code> for system state.</p>
-<p>The pre-versioning <code>/api/*</code> routes remain as deprecated aliases.
+<p>Imputation requests take optional <code>deadline_ms</code> and
+<code>priority</code> ("interactive" or "bulk") admission fields; errors come
+back as <code>{"error": {"code", "message"}}</code>.
 Liveness and readiness probes are at <code>/healthz</code> and <code>/readyz</code>.</p>
 <pre id="stats">loading stats…</pre>
 <script>

@@ -74,16 +74,20 @@ func (s *apiServer) linearItem(tr wireTraj) (wireImputeResult, bool) {
 // routeSingle routes one trajectory to its owning shard.  It reports true
 // when it wrote the response (forwarded, degraded, or unavailable); false
 // means the request is local — the caller serves it on the ordinary path.
-func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, tr wireTraj) bool {
+// The whole request envelope is forwarded, so the owner applies the same
+// deadline_ms/priority admission the first hop did; the first hop's context
+// (already bounded by the deadline) additionally caps the forward itself.
+func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wireImputeRequest) bool {
 	rt := s.opts.router
 	if rt == nil || isForwarded(r) {
 		return false
 	}
+	tr := req.wireTraj
 	owner, _, ok := rt.Owner(wirePoints(tr))
 	if !ok || owner == rt.Self() {
 		return false
 	}
-	body, err := json.Marshal(tr)
+	body, err := json.Marshal(req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, "encoding forwarded request: "+err.Error())
 		return true
@@ -162,9 +166,12 @@ type shardOutcome struct {
 }
 
 // routeBatch scatter-gathers a batch across owning shards.  It reports true
-// when it wrote the response; false means the whole batch is local.
-func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, trajs []wireTraj) bool {
+// when it wrote the response; false means the whole batch is local.  Each
+// forwarded sub-batch re-wraps the originals' admission fields, so every
+// shard serves its share at the caller's priority and deadline.
+func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireBatchRequest) bool {
 	rt := s.opts.router
+	trajs := req.Trajectories
 	if rt == nil || isForwarded(r) || len(trajs) == 0 {
 		return false
 	}
@@ -205,7 +212,9 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, trajs []w
 			for j, ix := range o.idxs {
 				sub[j] = trajs[ix]
 			}
-			body, err := json.Marshal(sub)
+			body, err := json.Marshal(wireBatchRequest{
+				Trajectories: sub, DeadlineMS: req.DeadlineMS, Priority: req.Priority,
+			})
 			if err != nil {
 				o.err = err
 				return
@@ -244,7 +253,10 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, trajs []w
 			for _, ix := range o.idxs {
 				item, ok := s.linearItem(trajs[ix])
 				if !ok {
-					items[ix] = wireImputeResult{Error: "shard " + o.shard + " unreachable"}
+					items[ix] = wireImputeResult{Error: &wireError{
+						Code:    codeShardDown,
+						Message: "shard " + o.shard + " unreachable",
+					}}
 					continue
 				}
 				degraded++
@@ -310,7 +322,7 @@ func (s *apiServer) localSubBatch(r *http.Request, trajs []wireTraj, idxs []int)
 func (s *apiServer) handleClusterReload(w http.ResponseWriter, r *http.Request) {
 	rt := s.opts.router
 	if rt == nil {
-		writeError(w, http.StatusNotFound, codeBadRequest, "clustering is not enabled on this node")
+		writeError(w, http.StatusNotFound, codeNotFound, "clustering is not enabled on this node")
 		return
 	}
 	if s.opts.clusterPath == "" {

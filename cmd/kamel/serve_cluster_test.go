@@ -15,6 +15,7 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -328,14 +329,65 @@ func TestClusterServeEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range got.Results {
-			if got.Results[i].Error != "" {
-				t.Errorf("item %d errored: %s", i, got.Results[i].Error)
+			if got.Results[i].Error != nil {
+				t.Errorf("item %d errored: %v", i, got.Results[i].Error)
 			}
 			if got.Results[i].Degraded != 0 {
 				t.Errorf("item %d degraded with all shards healthy", i)
 			}
 			if !reflect.DeepEqual(got.Results[i], ref.Results[i]) {
 				t.Errorf("item %d: scatter-gathered result differs from single-node serving", i)
+			}
+		}
+	})
+
+	t.Run("AdmissionBatchingOnEveryShard", func(t *testing.T) {
+		// Several concurrent spanning batches through one gateway: every
+		// shard's share flows through its local admission batcher, and each
+		// concurrent caller still gets the single-node reference results.
+		status, _, refRaw := clusterReq(t, http.MethodPost, fx.single.URL+"/v1/impute/batch", nil, fx.sparse)
+		if status != http.StatusOK {
+			t.Fatalf("single-node batch: status %d: %s", status, refRaw)
+		}
+		var ref wireBatchResponse
+		if err := json.Unmarshal(refRaw, &ref); err != nil {
+			t.Fatal(err)
+		}
+		const callers = 4
+		type outcome struct {
+			status int
+			raw    []byte
+		}
+		outs := make([]outcome, callers)
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				st, _, raw := clusterReq(t, http.MethodPost, fx.c.Nodes[gw].URL()+"/v1/impute/batch", nil, fx.sparse)
+				outs[c] = outcome{status: st, raw: raw}
+			}(c)
+		}
+		wg.Wait()
+		for c, o := range outs {
+			if o.status != http.StatusOK {
+				t.Fatalf("caller %d: status %d: %s", c, o.status, o.raw)
+			}
+			var got wireBatchResponse
+			if err := json.Unmarshal(o.raw, &got); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Results, ref.Results) {
+				t.Errorf("caller %d: concurrent scatter-gather diverged from single-node serving", c)
+			}
+		}
+		for i, sys := range fx.syss {
+			adm := sys.Batcher()
+			if adm == nil {
+				t.Fatalf("shard-%d serves without an admission batcher", i)
+			}
+			if st := adm.Stats(); st.Items == 0 || st.Batches == 0 {
+				t.Errorf("shard-%d batcher saw no work: %+v", i, st)
 			}
 		}
 	})
@@ -468,8 +520,8 @@ func TestClusterServeEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i, item := range batch.Results {
-			if item.Error != "" {
-				t.Errorf("item %d errored: %s", i, item.Error)
+			if item.Error != nil {
+				t.Errorf("item %d errored: %v", i, item.Error)
 				continue
 			}
 			ownedByVictim := fx.ownerIdx(t, fx.sparse[i]) == victim
@@ -598,12 +650,12 @@ func TestClusterUnavailableWhenAllOwnersDown(t *testing.T) {
 	if hdr.Get("Retry-After") == "" {
 		t.Error("503 missing Retry-After")
 	}
-	var errBody map[string]string
+	var errBody map[string]wireError
 	if err := json.Unmarshal(raw, &errBody); err != nil {
 		t.Fatal(err)
 	}
-	if errBody["code"] != codeShardDown {
-		t.Errorf("error code %q, want %q", errBody["code"], codeShardDown)
+	if errBody["error"].Code != codeShardDown {
+		t.Errorf("error code %q, want %q", errBody["error"].Code, codeShardDown)
 	}
 
 	status, hdr, raw = clusterReq(t, http.MethodPost, c.Nodes[0].URL()+"/v1/impute/batch", nil, []wireTraj{tr})
@@ -631,7 +683,7 @@ func TestClusterUnavailableWhenAllOwnersDown(t *testing.T) {
 func TestClusterReloadWithoutCluster(t *testing.T) {
 	ts := newTestServer(t)
 	status, _, body := call(t, http.MethodPost, ts.URL+"/v1/cluster/reload", "application/json", "")
-	wantErrorCode(t, status, body, http.StatusNotFound, codeBadRequest)
+	wantErrorCode(t, status, body, http.StatusNotFound, codeNotFound)
 }
 
 // BenchmarkClusterScatterGather measures a spanning batch through a 3-shard

@@ -22,8 +22,7 @@ func isOps(path string) bool { return isProbe(path) || path == "/metrics" }
 // matter what paths clients probe.
 var apiRoutes = map[string]bool{
 	"/v1/train": true, "/v1/impute": true, "/v1/impute/batch": true,
-	"/v1/stats": true, "/v1/cluster/reload": true, "/api/train": true,
-	"/api/impute": true, "/api/stats": true, "/": true,
+	"/v1/stats": true, "/v1/cluster/reload": true, "/": true,
 }
 
 // normalizeRoute maps a request path to its histogram label: a known route

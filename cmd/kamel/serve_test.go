@@ -68,16 +68,27 @@ func call(t *testing.T, method, url, contentType, body string) (int, http.Header
 	return resp.StatusCode, resp.Header, decoded
 }
 
+// errorDoc pulls the structured {"error": {"code", "message"}} envelope out
+// of a decoded response body; nil when absent.
+func errorDoc(body map[string]interface{}) map[string]interface{} {
+	doc, _ := body["error"].(map[string]interface{})
+	return doc
+}
+
 func wantErrorCode(t *testing.T, status int, body map[string]interface{}, wantStatus int, wantCode string) {
 	t.Helper()
 	if status != wantStatus {
 		t.Errorf("status %d, want %d (body %v)", status, wantStatus, body)
 	}
-	if body["code"] != wantCode {
-		t.Errorf("error code %v, want %q", body["code"], wantCode)
+	doc := errorDoc(body)
+	if doc == nil {
+		t.Fatalf("response carries no structured error envelope: %v", body)
 	}
-	if msg, ok := body["error"].(string); !ok || msg == "" {
-		t.Errorf("error body must carry a message, got %v", body)
+	if doc["code"] != wantCode {
+		t.Errorf("error code %v, want %q", doc["code"], wantCode)
+	}
+	if msg, ok := doc["message"].(string); !ok || msg == "" {
+		t.Errorf("error envelope must carry a message, got %v", doc)
 	}
 }
 
@@ -115,11 +126,21 @@ func TestServeAPIErrors(t *testing.T) {
 				t.Errorf("%s: Allow header %q", path, hdr.Get("Allow"))
 			}
 		}
-		// Stats is GET-only, on both the v1 route and the legacy alias.
-		for _, path := range []string{"/v1/stats", "/api/stats"} {
-			status, _, body := call(t, http.MethodPost, ts.URL+path, "application/json", `{}`)
-			wantErrorCode(t, status, body, http.StatusMethodNotAllowed, codeBadRequest)
-		}
+		// Stats is GET-only.
+		status, _, body := call(t, http.MethodPost, ts.URL+"/v1/stats", "application/json", `{}`)
+		wantErrorCode(t, status, body, http.StatusMethodNotAllowed, codeBadRequest)
+	})
+
+	t.Run("bad admission fields", func(t *testing.T) {
+		status, _, body := call(t, http.MethodPost, ts.URL+"/v1/impute", "application/json",
+			`{"id":"x","points":[[41.1,-8.6,0],[41.2,-8.5,600]],"priority":"urgent"}`)
+		wantErrorCode(t, status, body, http.StatusBadRequest, codeBadRequest)
+		status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute", "application/json",
+			`{"id":"x","points":[[41.1,-8.6,0],[41.2,-8.5,600]],"deadline_ms":-5}`)
+		wantErrorCode(t, status, body, http.StatusBadRequest, codeBadRequest)
+		status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute/batch", "application/json",
+			`{"trajectories":[],"priority":"asap"}`)
+		wantErrorCode(t, status, body, http.StatusBadRequest, codeBadRequest)
 	})
 
 	t.Run("wrong content type", func(t *testing.T) {
@@ -137,17 +158,12 @@ func TestServeAPIErrors(t *testing.T) {
 		}
 	})
 
-	t.Run("deprecated aliases", func(t *testing.T) {
-		status, hdr, _ := call(t, http.MethodGet, ts.URL+"/api/stats", "", "")
-		if status != http.StatusOK {
-			t.Fatalf("alias status %d", status)
-		}
-		if hdr.Get("Deprecation") != "true" {
-			t.Error("alias must carry a Deprecation header")
-		}
-		_, hdr, _ = call(t, http.MethodGet, ts.URL+"/v1/stats", "", "")
-		if hdr.Get("Deprecation") != "" {
-			t.Error("v1 route must not be marked deprecated")
+	t.Run("removed aliases", func(t *testing.T) {
+		// The pre-versioning /api/* aliases are gone: structured 404, with a
+		// message pointing at /v1.
+		for _, path := range []string{"/api/stats", "/api/train", "/api/impute"} {
+			status, _, body := call(t, http.MethodGet, ts.URL+path, "", "")
+			wantErrorCode(t, status, body, http.StatusNotFound, codeNotFound)
 		}
 	})
 }
@@ -210,8 +226,8 @@ func TestServeAPIEndToEnd(t *testing.T) {
 	}
 	for i, raw := range results {
 		item, _ := raw.(map[string]interface{})
-		if msg, _ := item["error"].(string); msg != "" {
-			t.Fatalf("batch item %d errored: %s", i, msg)
+		if doc := errorDoc(item); doc != nil {
+			t.Fatalf("batch item %d errored: %v", i, doc)
 		}
 		tr, _ := item["trajectory"].(map[string]interface{})
 		got, _ := tr["points"].([]interface{})
@@ -220,10 +236,37 @@ func TestServeAPIEndToEnd(t *testing.T) {
 		}
 	}
 
-	// The deprecated single-impute alias keeps serving the same payloads.
-	status, hdr, body := call(t, http.MethodPost, ts.URL+"/api/impute", "application/json", string(oneBody))
-	if status != http.StatusOK || hdr.Get("Deprecation") != "true" {
-		t.Fatalf("alias impute status %d deprecation %q: %v", status, hdr.Get("Deprecation"), body)
+	// The batch envelope form carries the same trajectories plus admission
+	// fields; a bulk-priority run returns the identical results.
+	envBody, _ := json.Marshal(map[string]interface{}{
+		"trajectories": batch, "priority": "bulk", "deadline_ms": 60_000,
+	})
+	status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute/batch", "application/json", string(envBody))
+	if status != http.StatusOK {
+		t.Fatalf("envelope batch status %d: %v", status, body)
+	}
+	if results, _ := body["results"].([]interface{}); len(results) != 2 {
+		t.Fatalf("envelope batch returned %d results", len(results))
+	}
+
+	// A deadline too tight to finish maps onto the context and comes back as
+	// a structured timeout, not a 200 or a hang.
+	var tight map[string]interface{}
+	if err := json.Unmarshal(oneBody, &tight); err != nil {
+		t.Fatal(err)
+	}
+	tight["deadline_ms"] = 1
+	tightBody, _ := json.Marshal(tight)
+	status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute", "application/json", string(tightBody))
+	wantErrorCode(t, status, body, http.StatusServiceUnavailable, codeTimeout)
+
+	// An explicit interactive priority on the single path still serves.
+	tight["deadline_ms"] = 60_000
+	tight["priority"] = "interactive"
+	priBody, _ := json.Marshal(tight)
+	status, _, body = call(t, http.MethodPost, ts.URL+"/v1/impute", "application/json", string(priBody))
+	if status != http.StatusOK {
+		t.Fatalf("interactive impute status %d: %v", status, body)
 	}
 
 	// Training flipped the readiness probe.

@@ -1,0 +1,504 @@
+// Package batcher implements cross-request admission batching for the BERT
+// hot path: the serve-side half of the paper's §6 "one model call, many
+// predictions" amortization, applied *across* concurrent requests instead of
+// only within one request's beam frontier.
+//
+// Requests do not call the engine; they Submit work items — (engine,
+// sequence, mask) triples rendered as bert.MaskQuery — and receive a Future.
+// A per-model dispatcher coalesces every in-flight item for that model into
+// one PredictMaskedBatch call, bounded by MaxBatch items and a MaxWait
+// coalescing window.  Because the engine's batched pass is element-wise
+// equal to per-query calls whatever the batch composition, admission
+// batching changes throughput, never results.
+//
+// Two batching regimes compose:
+//
+//   - Natural batching: while the engine is busy with one batch, newly
+//     submitted items queue; the dispatcher grabs everything pending the
+//     moment the call returns.  This costs zero added latency and is always
+//     on.
+//   - Windowed batching: when more than one imputation stream is active
+//     (StreamEnter/StreamExit), the dispatcher additionally waits up to
+//     MaxWait for concurrent streams to contribute before firing a partial
+//     batch.  A single-stream process never waits, so unloaded latency is
+//     unchanged.
+//
+// Dispatchers are ephemeral: one goroutine starts when the first item for a
+// model arrives and exits as soon as its queue drains, so model-cache
+// eviction and snapshot churn never leak goroutines.  Close fails all queued
+// items and waits for dispatchers to finish — the system's drain path.
+package batcher
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kamel/internal/bert"
+	"kamel/internal/obs"
+)
+
+// Engine answers one coalesced batch of masked predictions; *bert.Model is
+// the production implementation.  The engine value is also the dispatcher
+// key: items batch together exactly when they carry the same Engine.
+type Engine interface {
+	PredictMaskedBatch(queries []bert.MaskQuery) ([][]bert.Candidate, error)
+}
+
+// Priority orders items within a dispatch: all queued Interactive items are
+// batched ahead of any Bulk item, so a flood of bulk batch-endpoint work
+// cannot starve single interactive imputations (ROADMAP item 2's priority
+// lanes, applied at the model queue).
+type Priority int
+
+const (
+	// Interactive is the default lane: user-facing single imputations.
+	Interactive Priority = iota
+	// Bulk is the background lane: batch-endpoint and offline work.
+	Bulk
+	numLanes
+)
+
+// ParsePriority maps the wire form ("interactive", "bulk", "") to a lane;
+// ok=false for anything else.  The empty string resolves to def.
+func ParsePriority(s string, def Priority) (Priority, bool) {
+	switch s {
+	case "":
+		return def, true
+	case "interactive":
+		return Interactive, true
+	case "bulk":
+		return Bulk, true
+	}
+	return def, false
+}
+
+// String returns the wire form of the priority.
+func (p Priority) String() string {
+	if p == Bulk {
+		return "bulk"
+	}
+	return "interactive"
+}
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull reports that admitting the submission would overflow the
+	// model's queue bound; the serving layer sheds it with 429.
+	ErrQueueFull = errors.New("batcher: prediction queue full")
+	// ErrClosed reports a submission to (or item drained by) a closed
+	// batcher — the shutdown path.
+	ErrClosed = errors.New("batcher: closed")
+)
+
+// Options configure a Batcher.  Zero values take the defaults.
+type Options struct {
+	// MaxBatch bounds the queries coalesced into one engine call
+	// (default 64).
+	MaxBatch int
+	// MaxWait is the coalescing window: how long a dispatcher holds a
+	// partial batch for other active streams to contribute (default 2ms;
+	// negative disables windowing, leaving natural batching only).  The
+	// window is only ever applied while more than one stream is active.
+	MaxWait time.Duration
+	// MaxQueue bounds queued queries per model; submissions that would
+	// overflow it fail with ErrQueueFull (default 1024; negative disables).
+	MaxQueue int
+	// Registry receives the batcher's metrics (queue depth, batch size,
+	// queue wait); nil uses a private registry, keeping Stats() working.
+	Registry *obs.Registry
+}
+
+func (o *Options) normalize() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait == 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.MaxWait < 0 {
+		o.MaxWait = 0
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 1024
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0 // unbounded
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+}
+
+// item is one queued masked prediction: a query plus the slot of the future
+// it resolves into.
+type item struct {
+	ctx context.Context
+	q   bert.MaskQuery
+	fut *Future
+	idx int
+	enq time.Time
+}
+
+// dispatcher owns one model's queue.  Lanes and depth are guarded by the
+// batcher mutex; the goroutine draining it lives exactly as long as the
+// queue is non-empty.
+type dispatcher struct {
+	eng   Engine
+	lanes [numLanes][]*item
+	depth int
+	wake  chan struct{} // buffered(1): queue grew, or Close emptied it
+}
+
+// Batcher coalesces masked-prediction submissions into per-model engine
+// batches.  All methods are safe for concurrent use.
+type Batcher struct {
+	opts Options
+
+	mu     sync.Mutex
+	disp   map[Engine]*dispatcher
+	closed bool
+	wg     sync.WaitGroup // running dispatcher goroutines
+
+	streams atomic.Int64 // active imputation streams (windowing gate)
+
+	batchSize *obs.Histogram
+	queueWait *obs.Histogram
+	batches   *obs.Counter
+	items     *obs.Counter
+	overflows *obs.Counter
+	cancelled *obs.Counter
+}
+
+// New creates a Batcher and registers its metric series.
+func New(opts Options) *Batcher {
+	opts.normalize()
+	reg := opts.Registry
+	b := &Batcher{
+		opts: opts,
+		disp: make(map[Engine]*dispatcher),
+		batchSize: reg.Histogram("kamel_batcher_batch_size",
+			"Queries coalesced into one PredictMaskedBatch engine call.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		queueWait: reg.Histogram("kamel_batcher_queue_wait_seconds",
+			"Time a query spent queued before its engine call started.",
+			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.002, 0.004, 0.008,
+				0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1}),
+		batches: reg.Counter("kamel_batcher_batches_total",
+			"Coalesced engine calls dispatched."),
+		items: reg.Counter("kamel_batcher_items_total",
+			"Queries dispatched through coalesced engine calls."),
+		overflows: reg.Counter("kamel_batcher_overflow_total",
+			"Submissions rejected because a model queue was full."),
+		cancelled: reg.Counter("kamel_batcher_cancelled_total",
+			"Queued queries dropped because their request context ended."),
+	}
+	reg.GaugeFunc("kamel_batcher_queue_depth",
+		"Queries currently queued across all model dispatchers.", func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			total := 0
+			for _, d := range b.disp {
+				total += d.depth
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("kamel_batcher_dispatchers",
+		"Model dispatchers currently live.", func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.disp))
+		})
+	reg.GaugeFunc("kamel_batcher_streams",
+		"Imputation streams currently active (windowing gate).", func() float64 {
+			return float64(b.streams.Load())
+		})
+	return b
+}
+
+// StreamEnter marks one imputation stream active.  While more than one
+// stream is active, dispatchers apply the MaxWait coalescing window; a
+// single stream always dispatches immediately.
+func (b *Batcher) StreamEnter() { b.streams.Add(1) }
+
+// StreamExit undoes StreamEnter.
+func (b *Batcher) StreamExit() { b.streams.Add(-1) }
+
+// Future is the pending result of one Submit call.  Exactly one of the
+// results/err pair is meaningful once Wait returns.
+type Future struct {
+	mu      sync.Mutex
+	results [][]bert.Candidate
+	err     error
+	pending int
+	done    chan struct{}
+}
+
+// Wait blocks until every submitted query resolved (returning results in
+// query order) or ctx ends.  A Wait abandoned by cancellation leaves the
+// queued items to be discarded by their dispatcher; the engine never runs
+// them.
+func (f *Future) Wait(ctx context.Context) ([][]bert.Candidate, error) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.results, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// deliver resolves one slot; the future completes when all slots resolved.
+func (f *Future) deliver(idx int, cands []bert.Candidate) {
+	f.mu.Lock()
+	f.results[idx] = cands
+	f.pending--
+	fin := f.pending == 0
+	f.mu.Unlock()
+	if fin {
+		close(f.done)
+	}
+}
+
+// fail completes the future with err (first error wins) on behalf of one
+// slot.
+func (f *Future) fail(idx int, err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.pending--
+	fin := f.pending == 0
+	f.mu.Unlock()
+	if fin {
+		close(f.done)
+	}
+}
+
+// Submit enqueues queries for eng on the given priority lane and returns a
+// Future resolving to one candidate list per query, in query order.  The
+// whole submission is admitted or rejected atomically: ErrQueueFull sheds it
+// without partial enqueue, ErrClosed reports a shut-down batcher.
+func (b *Batcher) Submit(ctx context.Context, eng Engine, queries []bert.MaskQuery, pri Priority) (*Future, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if pri < Interactive || pri >= numLanes {
+		pri = Interactive
+	}
+	fut := &Future{
+		results: make([][]bert.Candidate, len(queries)),
+		pending: len(queries),
+		done:    make(chan struct{}),
+	}
+	if len(queries) == 0 {
+		close(fut.done)
+		return fut, nil
+	}
+	now := time.Now()
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	d := b.disp[eng]
+	if d == nil {
+		d = &dispatcher{eng: eng, wake: make(chan struct{}, 1)}
+		b.disp[eng] = d
+		b.wg.Add(1)
+		go b.run(d)
+	}
+	if b.opts.MaxQueue > 0 && d.depth+len(queries) > b.opts.MaxQueue {
+		b.mu.Unlock()
+		b.overflows.Inc()
+		return nil, ErrQueueFull
+	}
+	for i := range queries {
+		d.lanes[pri] = append(d.lanes[pri], &item{
+			ctx: ctx, q: queries[i], fut: fut, idx: i, enq: now,
+		})
+	}
+	d.depth += len(queries)
+	b.mu.Unlock()
+
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+	return fut, nil
+}
+
+// take pops up to MaxBatch items in priority order, discarding items whose
+// context already ended (their futures are failed with the context error,
+// outside the lock).  It returns the live batch.
+func (b *Batcher) take(d *dispatcher) []*item {
+	b.mu.Lock()
+	batch := make([]*item, 0, min(d.depth, b.opts.MaxBatch))
+	var dead []*item
+	for lane := range d.lanes {
+		q := d.lanes[lane]
+		i := 0
+		for ; i < len(q) && len(batch) < b.opts.MaxBatch; i++ {
+			if q[i].ctx.Err() != nil {
+				dead = append(dead, q[i])
+				continue
+			}
+			batch = append(batch, q[i])
+		}
+		d.depth -= i
+		d.lanes[lane] = q[i:]
+		if len(batch) == b.opts.MaxBatch {
+			break
+		}
+	}
+	b.mu.Unlock()
+	for _, it := range dead {
+		b.cancelled.Inc()
+		it.fut.fail(it.idx, it.ctx.Err())
+	}
+	return batch
+}
+
+// run drains one model's queue and exits when it is empty.
+func (b *Batcher) run(d *dispatcher) {
+	defer b.wg.Done()
+	for {
+		b.mu.Lock()
+		if d.depth == 0 || b.closed {
+			delete(b.disp, d.eng)
+			b.mu.Unlock()
+			return
+		}
+		full := d.depth >= b.opts.MaxBatch
+		b.mu.Unlock()
+
+		// Coalescing window: hold a partial batch only while other streams
+		// are active and might still contribute; a lone stream never waits.
+		if !full && b.opts.MaxWait > 0 && b.streams.Load() > 1 {
+			timer := time.NewTimer(b.opts.MaxWait)
+		window:
+			for {
+				select {
+				case <-timer.C:
+					break window
+				case <-d.wake:
+					b.mu.Lock()
+					full = d.depth >= b.opts.MaxBatch || b.closed
+					b.mu.Unlock()
+					if full {
+						break window
+					}
+				}
+			}
+			timer.Stop()
+		}
+
+		batch := b.take(d)
+		if len(batch) == 0 {
+			continue
+		}
+		now := time.Now()
+		for _, it := range batch {
+			b.queueWait.Observe(now.Sub(it.enq).Seconds())
+		}
+		b.batches.Inc()
+		b.items.Add(int64(len(batch)))
+		b.batchSize.Observe(float64(len(batch)))
+
+		queries := make([]bert.MaskQuery, len(batch))
+		for i, it := range batch {
+			queries[i] = it.q
+		}
+		results, err := d.eng.PredictMaskedBatch(queries)
+		if err != nil {
+			for _, it := range batch {
+				it.fut.fail(it.idx, err)
+			}
+			continue
+		}
+		for i, it := range batch {
+			it.fut.deliver(it.idx, results[i])
+		}
+	}
+}
+
+// Close rejects further submissions, fails every queued item with ErrClosed,
+// and waits for in-flight dispatches to finish delivering.  It is the drain
+// hook of the serving lifecycle and is idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	var drops []*item
+	for _, d := range b.disp {
+		for lane := range d.lanes {
+			drops = append(drops, d.lanes[lane]...)
+			d.lanes[lane] = nil
+		}
+		d.depth = 0
+		select {
+		case d.wake <- struct{}{}:
+		default:
+		}
+	}
+	b.mu.Unlock()
+	for _, it := range drops {
+		it.fut.fail(it.idx, ErrClosed)
+	}
+	b.wg.Wait()
+}
+
+// Stats is a point-in-time summary of coalescing behaviour, surfaced in
+// /v1/stats and recorded next to the benchmarks in BENCH_impute.json.
+type Stats struct {
+	Batches        int64   `json:"batches"`
+	Items          int64   `json:"items"`
+	AvgBatch       float64 `json:"avg_batch"`
+	Overflows      int64   `json:"overflows"`
+	Cancelled      int64   `json:"cancelled"`
+	QueueDepth     int     `json:"queue_depth"`
+	Dispatchers    int     `json:"dispatchers"`
+	ActiveStreams  int64   `json:"active_streams"`
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+}
+
+// Stats reads the current counters and queue-wait quantiles.
+func (b *Batcher) Stats() Stats {
+	st := Stats{
+		Batches:       b.batches.Value(),
+		Items:         b.items.Value(),
+		Overflows:     b.overflows.Value(),
+		Cancelled:     b.cancelled.Value(),
+		ActiveStreams: b.streams.Load(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(st.Items) / float64(st.Batches)
+	}
+	b.mu.Lock()
+	for _, d := range b.disp {
+		st.QueueDepth += d.depth
+	}
+	st.Dispatchers = len(b.disp)
+	b.mu.Unlock()
+	snap := b.queueWait.Snapshot()
+	st.QueueWaitP50MS = snap.Quantile(0.5) * 1e3
+	st.QueueWaitP99MS = snap.Quantile(0.99) * 1e3
+	return st
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -170,11 +170,6 @@ func (m *Model) encodeStack(tw *inferT, queries []MaskQuery, idxs []int, n int) 
 	v := tensor.NewMat(N, d)
 	att := tensor.NewMat(N, d)
 	pre := tensor.NewMat(N, f)
-	qh := tensor.NewMat(n, dh)
-	kh := tensor.NewMat(n, dh)
-	vh := tensor.NewMat(n, dh)
-	oh := tensor.NewMat(n, dh)
-	p := tensor.NewMat(n, n)
 
 	for li, b := range m.Blocks {
 		bt := tw.blocks[li]
@@ -184,23 +179,33 @@ func (m *Model) encodeStack(tw *inferT, queries []MaskQuery, idxs []int, n int) 
 		tensor.MatMulTN(v, xn, bt.wv, b.Bv.A)
 
 		// Attention stays per sequence: row views slice the stacked matrix
-		// so no sequence attends across a batch neighbor.
-		for bi := 0; bi < B; bi++ {
-			qs := q.RowsView(bi*n, (bi+1)*n)
-			ks := k.RowsView(bi*n, (bi+1)*n)
-			vs := v.RowsView(bi*n, (bi+1)*n)
-			as := att.RowsView(bi*n, (bi+1)*n)
-			for h := 0; h < heads; h++ {
-				copyHead(qh, qs, h, dh)
-				copyHead(kh, ks, h, dh)
-				copyHead(vh, vs, h, dh)
-				tensor.MatMulBT(p, qh, kh)
-				p.Scale(scale)
-				tensor.SoftmaxRows(p)
-				tensor.MatMul(oh, p, vh)
-				pasteHead(as, oh, h, dh)
+		// so no sequence attends across a batch neighbor.  Sequences are
+		// independent, so large admission batches fan out across the tensor
+		// worker pool, each chunk on its own head-sized scratch — results are
+		// element-wise identical to the serial loop.
+		tensor.ParallelRows(B, 2*n*n*d, func(blo, bhi int) {
+			qh := tensor.NewMat(n, dh)
+			kh := tensor.NewMat(n, dh)
+			vh := tensor.NewMat(n, dh)
+			oh := tensor.NewMat(n, dh)
+			p := tensor.NewMat(n, n)
+			for bi := blo; bi < bhi; bi++ {
+				qs := q.RowsView(bi*n, (bi+1)*n)
+				ks := k.RowsView(bi*n, (bi+1)*n)
+				vs := v.RowsView(bi*n, (bi+1)*n)
+				as := att.RowsView(bi*n, (bi+1)*n)
+				for h := 0; h < heads; h++ {
+					copyHead(qh, qs, h, dh)
+					copyHead(kh, ks, h, dh)
+					copyHead(vh, vs, h, dh)
+					tensor.MatMulBT(p, qh, kh)
+					p.Scale(scale)
+					tensor.SoftmaxRows(p)
+					tensor.MatMul(oh, p, vh)
+					pasteHead(as, oh, h, dh)
+				}
 			}
-		}
+		})
 
 		tensor.MatMulTN(tmp, att, bt.wo, b.Bo.A)
 		for i := range x.A {

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kamel/internal/batcher"
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/impute"
+)
+
+// trajEqual compares two imputed trajectories point-wise.
+func trajEqual(a, b geo.Trajectory) bool {
+	if len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAdmissionBatchingParity: the same trajectories impute to identical
+// outputs with admission batching on and off — coalescing is a throughput
+// device, never a semantic one.
+func TestAdmissionBatchingParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	f := newFixture(t, nil)
+	sys := trainedSystem(t, f)
+	if sys.adm == nil {
+		t.Fatal("admission batching should be on by default")
+	}
+	// A read-only view with the batcher detached: same models, same search,
+	// inline predictions.
+	plain := sys.WithAblation(false, false)
+	plain.adm = nil
+
+	for i, tr := range f.test[:4] {
+		sp := tr.Sparsify(800)
+		got, _, err := sys.Impute(sp)
+		if err != nil {
+			t.Fatalf("traj %d (batched): %v", i, err)
+		}
+		want, _, err := plain.Impute(sp)
+		if err != nil {
+			t.Fatalf("traj %d (inline): %v", i, err)
+		}
+		if !trajEqual(got, want) {
+			t.Fatalf("traj %d: batched imputation diverges from inline (%d vs %d points)",
+				i, len(got.Points), len(want.Points))
+		}
+	}
+}
+
+// TestConcurrentImputeThroughBatcher is the -race stress gate: many streams
+// impute concurrently through the admission batcher, and every stream's
+// output must equal the single-threaded reference — whatever batches their
+// queries coalesced into.  A rotating subset of requests is cancelled
+// mid-flight to exercise discard-from-queue under load.
+func TestConcurrentImputeThroughBatcher(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	f := newFixture(t, func(c *Config) {
+		// A short window forces real windowed coalescing under test
+		// concurrency without slowing the single-stream reference runs.
+		c.BatchMaxWait = 500 * time.Microsecond
+	})
+	sys := trainedSystem(t, f)
+
+	inputs := make([]geo.Trajectory, 4)
+	refs := make([]geo.Trajectory, len(inputs))
+	for i := range inputs {
+		inputs[i] = f.test[i].Sparsify(800)
+		ref, _, err := sys.Impute(inputs[i])
+		if err != nil {
+			t.Fatalf("reference %d: %v", i, err)
+		}
+		refs[i] = ref
+	}
+
+	const streams = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, streams)
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(inputs)
+				if (g+r)%5 == 4 {
+					// Cancel mid-flight: the only acceptable error is the
+					// context's own.
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+g)*time.Millisecond)
+					_, _, err := sys.ImputeContext(ctx, inputs[i])
+					cancel()
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				out, _, err := sys.Impute(inputs[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !trajEqual(out, refs[i]) {
+					errCh <- errors.New("concurrent imputation diverged from single-threaded reference")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st := sys.adm.Stats()
+	if st.Items == 0 || st.Batches == 0 {
+		t.Fatalf("no work flowed through the batcher: %+v", st)
+	}
+	// Cancelled stragglers may still be queued for a moment; the dispatcher
+	// must discard them and exit shortly after the load stops.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.QueueDepth != 0 || st.Dispatchers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue not drained after load: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+		st = sys.adm.Stats()
+	}
+}
+
+// TestOverloadSheds: a frontier larger than the per-model queue bound is
+// shed with ErrOverloaded rather than served degraded or deadlocked.
+func TestOverloadSheds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	f := newFixture(t, func(c *Config) { c.BatchMaxQueue = 1 })
+	sys := trainedSystem(t, f)
+	sp := f.test[0].Sparsify(800)
+	_, _, err := sys.Impute(sp)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}
+
+// TestCloseDrainsBatcher shuts the system down while streams are imputing:
+// every in-flight request returns promptly (success, ErrClosed through the
+// predictor, or ErrNotTrained after unpublish) and nothing deadlocks.
+func TestCloseDrainsBatcher(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.BatchMaxWait = 2 * time.Millisecond
+	})
+	sys := trainedSystem(t, f)
+	sp := f.test[0].Sparsify(800)
+
+	const streams = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, streams)
+	start := make(chan struct{})
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				_, _, err := sys.Impute(sp)
+				if err == nil {
+					continue
+				}
+				if errors.Is(err, batcher.ErrClosed) || errors.Is(err, ErrNotTrained) {
+					return // clean shutdown outcome
+				}
+				errCh <- err
+				return
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond) // let streams get in flight
+	done := make(chan struct{})
+	go func() {
+		sys.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung with streams in flight")
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := sys.adm.Stats(); st.QueueDepth != 0 || st.Dispatchers != 0 {
+		t.Fatalf("batcher not drained by Close: %+v", st)
+	}
+}
+
+// seqOnlyPredictor exposes only the single-query method of bundlePredictor,
+// so the impute layer degrades to one engine call per query: the fully
+// sequential pre-batching baseline the concurrency benchmarks compare
+// against.
+type seqOnlyPredictor struct {
+	p bundlePredictor
+}
+
+func (s seqOnlyPredictor) Predict(segment []grid.Cell, gapPos, topK int) ([]impute.Candidate, error) {
+	return s.p.Predict(segment, gapPos, topK)
+}
+
+// The concurrency benchmark trio measures per-gap latency under >=8
+// concurrent imputation streams in three regimes:
+//
+//   - Sequential: one engine call per query (no frontier stacking, no
+//     admission batching) — the baseline the >=2x acceptance criterion is
+//     measured against.
+//   - Frontier: each request stacks its own beam frontier per engine call,
+//     but requests never share passes.
+//   - Admission: frontiers from all streams coalesce through the admission
+//     batcher into shared passes; the run also reports the realized
+//     coalescing stats (avg_batch, queue_wait_p99_ms) for BENCH_impute.json.
+func BenchmarkImputeConcurrentSequential(b *testing.B) {
+	benchImputeConcurrent(b, "sequential")
+}
+
+func BenchmarkImputeConcurrentFrontier(b *testing.B) {
+	benchImputeConcurrent(b, "frontier")
+}
+
+func BenchmarkImputeConcurrentAdmission(b *testing.B) {
+	benchImputeConcurrent(b, "admission")
+}
+
+func benchImputeConcurrent(b *testing.B, mode string) {
+	sys, tests := benchFixture(b)
+	reqs := gapRequests(sys, tests[:4], 800)
+	if len(reqs) == 0 {
+		b.Fatal("no gap requests")
+	}
+	cfg := impute.Config{
+		Grid: sys.g, Checker: sys.checker,
+		MaxGapMeters: sys.cfg.MaxGapM, MaxCalls: 200, TopK: 40, Beam: 4, Alpha: 1,
+	}
+	// RunParallel spawns GOMAXPROCS x parallelism goroutines; pick the
+	// parallelism that yields at least 8 concurrent streams on any machine.
+	streams := 8
+	par := (streams + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
+
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var p impute.Predictor
+		switch mode {
+		case "sequential":
+			p = seqOnlyPredictor{p: bundlePredictor{b: sys.global}}
+		case "frontier":
+			p = bundlePredictor{b: sys.global}
+		case "admission":
+			sys.adm.StreamEnter()
+			defer sys.adm.StreamExit()
+			p = bundlePredictor{b: sys.global, adm: sys.adm}
+		default:
+			panic("unknown mode " + mode)
+		}
+		for pb.Next() {
+			req := reqs[int(next.Add(1))%len(reqs)]
+			if _, err := impute.Beam(p, cfg, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if mode == "admission" {
+		st := sys.adm.Stats()
+		b.ReportMetric(st.AvgBatch, "avg_batch")
+		b.ReportMetric(st.QueueWaitP99MS, "queue_wait_p99_ms")
+	}
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"kamel/internal/bert"
 	"kamel/internal/geo"
@@ -69,6 +70,16 @@ type Config struct {
 	// quarter of available memory, clamped to [64 MiB, 4 GiB].  Negative:
 	// unbounded (no eviction).
 	ModelCacheBytes int64
+
+	// Admission batching (internal/batcher): concurrent requests' BERT
+	// predictions for the same model are coalesced into shared engine
+	// passes.  Zero values take the batcher's defaults.
+	BatchMaxSize  int           // queries per coalesced engine call (default 64)
+	BatchMaxWait  time.Duration // coalescing window under concurrency (default 2ms; negative disables windowing)
+	BatchMaxQueue int           // queued queries per model before shedding with ErrOverloaded (default 1024; negative unbounded)
+	// DisableAdmissionBatching computes predictions inline per request (the
+	// pre-batcher behaviour), for ablation and debugging.
+	DisableAdmissionBatching bool
 
 	// Ablation switches (§8.7, Fig 12-VI).
 	DisablePartitioning bool // "No Part.": one global model

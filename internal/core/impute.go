@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kamel/internal/baseline"
+	"kamel/internal/batcher"
 	"kamel/internal/constraints"
 	"kamel/internal/fsx"
 	"kamel/internal/geo"
@@ -19,6 +20,18 @@ import (
 // ErrNotTrained is returned by the imputation entry points before any model
 // has been trained or loaded.  The HTTP layer maps it to its own error code.
 var ErrNotTrained = errors.New("core: system has not been trained")
+
+// ErrOverloaded is returned when the admission batcher sheds a request
+// because a model's prediction queue is full.  The HTTP layer maps it to
+// 429; retrying after backoff is the intended client behaviour.
+var ErrOverloaded = batcher.ErrQueueFull
+
+// systemImputeErr reports errors that abort the whole request rather than
+// degrading one gap to a straight line: cancellation, load shedding, and
+// shutdown.
+func systemImputeErr(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, batcher.ErrQueueFull) || errors.Is(err, batcher.ErrClosed)
+}
 
 // testGapHook, when non-nil, is called once per imputed gap with the serve
 // snapshot sequence that served it.  The concurrency tests install it to
@@ -70,6 +83,14 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 	}
 	if len(tr.Points) < 2 {
 		return tr.Clone(), stats, nil
+	}
+	// Count this request as an active stream: while more than one stream is
+	// in flight, the admission batcher holds partial batches for its
+	// coalescing window; a lone stream always dispatches immediately, so
+	// unloaded latency is unchanged.
+	if s.adm != nil {
+		s.adm.StreamEnter()
+		defer s.adm.StreamExit()
 	}
 
 	out := geo.Trajectory{ID: tr.ID}
@@ -148,7 +169,7 @@ func (s *System) ImputeBatch(ctx context.Context, trs []geo.Trajectory) ([]Batch
 		}
 		dense, stats, err := s.ImputeContext(ctx, tr)
 		if err != nil {
-			if errors.Is(err, ErrNotTrained) || ctx.Err() != nil {
+			if errors.Is(err, ErrNotTrained) || systemImputeErr(ctx, err) {
 				return nil, err
 			}
 			out[i] = BatchResult{Err: err}
@@ -274,7 +295,7 @@ func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cel
 		Alpha:        s.cfg.Alpha,
 		Observe:      observe,
 	}
-	p := bundlePredictor{b: bundle}
+	p := bundlePredictor{b: bundle, adm: s.adm}
 
 	if s.cfg.DisableMultipoint {
 		var t0 time.Time
@@ -304,7 +325,7 @@ func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cel
 		observe("impute.beam", time.Since(t0))
 	}
 	if err != nil {
-		if ctx.Err() != nil {
+		if systemImputeErr(ctx, err) {
 			return impute.Result{}, degraded, true, err
 		}
 		return impute.Result{Failed: true}, degraded, true, nil

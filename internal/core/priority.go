@@ -1,0 +1,29 @@
+package core
+
+import (
+	"context"
+
+	"kamel/internal/batcher"
+)
+
+// Request priority rides on the context from the serving layer down to the
+// admission batcher, so the impute algorithms in between stay priority-blind:
+// they submit whole frontiers and the batcher orders interactive work ahead
+// of bulk at dispatch time.
+
+type priorityKey struct{}
+
+// WithPriority returns a context carrying the admission priority for every
+// prediction submitted under it.
+func WithPriority(ctx context.Context, p batcher.Priority) context.Context {
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityOf reads the admission priority from ctx, defaulting to
+// Interactive.
+func PriorityOf(ctx context.Context) batcher.Priority {
+	if p, ok := ctx.Value(priorityKey{}).(batcher.Priority); ok {
+		return p
+	}
+	return batcher.Interactive
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"kamel/internal/baseline"
+	"kamel/internal/batcher"
 	"kamel/internal/bert"
 	"kamel/internal/constraints"
 	"kamel/internal/detok"
@@ -72,6 +73,13 @@ type System struct {
 	// (paper §4: models live on disk and load per request).  Shared by
 	// WithAblation clones.
 	cache *modelcache.Cache
+
+	// adm coalesces concurrent requests' BERT predictions into shared
+	// engine passes (internal/batcher).  Nil when admission batching is
+	// disabled; shared by WithAblation clones.  Its per-model dispatchers
+	// are keyed by engine value and exit when drained, so snapshot churn
+	// and cache evictions never leak goroutines; Close drains it.
+	adm *batcher.Batcher
 
 	// maintMu serializes model rebuilds (pyramid maintenance, repository
 	// commits, global-model training) — the long-running work.  Lock order:
@@ -176,7 +184,19 @@ func (s *System) initObs() {
 			return float64(s.curIndex.QuarantinedModels())
 		})
 	s.cache.Instrument(reg)
+	if !s.cfg.DisableAdmissionBatching {
+		s.adm = batcher.New(batcher.Options{
+			MaxBatch: s.cfg.BatchMaxSize,
+			MaxWait:  s.cfg.BatchMaxWait,
+			MaxQueue: s.cfg.BatchMaxQueue,
+			Registry: reg,
+		})
+	}
 }
+
+// Batcher returns the admission batcher, or nil when admission batching is
+// disabled.  The serving layer reads its coalescing stats.
+func (s *System) Batcher() *batcher.Batcher { return s.adm }
 
 // publishLocked snapshots the current trained state into a fresh serveState
 // and publishes it atomically.  Callers hold mu.
@@ -290,6 +310,12 @@ func (s *System) Projection() *geo.Projection {
 // rebuild to finish (maintMu) so the store is never closed under a running
 // maintenance pass.
 func (s *System) Close() error {
+	// Drain the admission batcher first: queued predictions fail with
+	// batcher.ErrClosed (so in-flight imputations unblock and error out) and
+	// running engine passes finish delivering before the store goes away.
+	if s.adm != nil {
+		s.adm.Close()
+	}
 	s.maintMu.Lock()
 	defer s.maintMu.Unlock()
 	s.mu.Lock()
@@ -346,6 +372,10 @@ type Stats struct {
 	SnapshotGeneration    int64   `json:"snapshot_generation"`
 	ManifestGeneration    int     `json:"manifest_generation"`
 	MaintenancePending    int64   `json:"maintenance_pending"`
+
+	// Admission batching: how concurrent requests' predictions coalesced
+	// into shared engine passes (zero-valued when batching is disabled).
+	Batcher batcher.Stats `json:"batcher"`
 }
 
 // SystemStats reports the current state.
@@ -376,6 +406,9 @@ func (s *System) SystemStats() Stats {
 	}
 	out.SnapshotGeneration = s.pubSeq
 	out.MaintenancePending = s.pendingRebuilds.Load()
+	if s.adm != nil {
+		out.Batcher = s.adm.Stats()
+	}
 	cs := s.cache.Stats()
 	out.ModelCacheBudgetBytes = cs.BudgetBytes
 	out.ModelCacheBytes = cs.Bytes
@@ -457,6 +490,7 @@ func (s *System) WithAblation(disableConstraints, disableMultipoint bool) *Syste
 		speedMPS: s.speedMPS,
 		served:   s.served,
 		cache:    s.cache, // paged models are shared; ablations only change search
+		adm:      s.adm,   // coalescing spans ablations: same models, same engine
 		maintCh:  make(chan []store.Traj, maintQueueDepth),
 		// The observability substrate is shared too: an ablation's requests
 		// count toward the same process-wide registry.

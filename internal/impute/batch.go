@@ -13,11 +13,14 @@ import (
 // module.  The paper's algorithms are stated one BERT call at a time; here
 // every iteration first collects all the masked predictions it is about to
 // need — Algorithm 2's whole beam frontier, Algorithm 1's every open gap —
-// and issues them as one PredictBatch call, so a batch-capable predictor
-// (internal/bert's PredictMaskedBatch behind core's adapter) amortizes its
-// transformer passes.  The context is checked between batched calls, so a
-// cancelled request abandons the search mid-flight without spending the rest
-// of its call budget.
+// and submits them as one asynchronous batch (AsyncPredictor.Submit), then
+// blocks on the returned Future.  Behind that interface core's admission
+// batcher may coalesce the submission with concurrent requests' frontiers
+// into shared PredictMaskedBatch engine passes; a plain predictor computes
+// inline.  Either way results are element-wise those of sequential Predict
+// calls.  The context is checked between batched calls, so a cancelled
+// request abandons the search mid-flight without spending the rest of its
+// call budget.
 //
 // Iterative and Beam (impute.go) are thin wrappers over these with
 // context.Background().
@@ -65,6 +68,60 @@ func AsBatch(p Predictor) BatchPredictor {
 	return seqBatch{p}
 }
 
+// Future is a pending asynchronous prediction: Wait blocks until every query
+// of the submission resolved (one candidate list per query, in query order)
+// or ctx ends.  Wait may be called at most once.
+type Future interface {
+	Wait(ctx context.Context) ([][]Candidate, error)
+}
+
+// AsyncPredictor is the submission face of the prediction engine: Submit
+// enqueues a batch of queries and returns immediately with a Future, leaving
+// the engine free to coalesce queries from concurrent requests into shared
+// passes (core's admission batcher implements this).  Results must be
+// element-wise equal to sequential Predict calls — admission batching is a
+// throughput device, never a semantic one.  Request metadata (priority,
+// deadline) rides on ctx, placed there by the serving layer.
+type AsyncPredictor interface {
+	Submit(ctx context.Context, queries []Query) (Future, error)
+}
+
+// readyFuture is an already-resolved Future, used by the sync adapter.
+type readyFuture struct {
+	out []([]Candidate)
+	err error
+}
+
+func (f readyFuture) Wait(context.Context) ([][]Candidate, error) { return f.out, f.err }
+
+// syncAsync adapts any Predictor to AsyncPredictor by computing the batch
+// inline at Submit time.  It is the degenerate async predictor: no queueing,
+// no cross-request coalescing, used for n-gram baselines, tests, and
+// ablations that disable admission batching.
+type syncAsync struct {
+	bp BatchPredictor
+}
+
+func (s syncAsync) Submit(ctx context.Context, queries []Query) (Future, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	out, err := s.bp.PredictBatch(queries)
+	return readyFuture{out: out, err: err}, nil
+}
+
+// AsAsync returns p unchanged when it already implements AsyncPredictor, and
+// otherwise wraps it so submissions are computed inline.  The impute
+// algorithms accept any Predictor and upgrade through this, so a plain
+// Predict-only baseline, a batch-capable engine, and the admission-batched
+// serving path all run the same search code.
+func AsAsync(p Predictor) AsyncPredictor {
+	if ap, ok := p.(AsyncPredictor); ok {
+		return ap
+	}
+	return syncAsync{bp: AsBatch(p)}
+}
+
 // ctxErr wraps a context error for propagation through the impute layer.
 func ctxErr(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
@@ -79,17 +136,28 @@ const (
 	StageConstraints = "impute.constraints" // candidate validation per round
 )
 
-// predictTimed issues one batched predictor call, reporting its wall time to
-// the configured observer.  With no observer it is a plain call — no clock
-// reads on un-observed searches.
-func predictTimed(bp BatchPredictor, cfg Config, queries []Query) ([][]Candidate, error) {
+// predictTimed submits one batch of queries through the async interface and
+// waits for the future, reporting wall time (queue wait + engine pass) to the
+// configured observer.  With no observer it skips the clock reads.
+func predictTimed(ctx context.Context, ap AsyncPredictor, cfg Config, queries []Query) ([][]Candidate, error) {
 	if cfg.Observe == nil {
-		return bp.PredictBatch(queries)
+		return submitWait(ctx, ap, queries)
 	}
 	t0 := time.Now()
-	out, err := bp.PredictBatch(queries)
+	out, err := submitWait(ctx, ap, queries)
 	cfg.Observe(StagePredict, time.Since(t0))
 	return out, err
+}
+
+// submitWait is the canonical async round trip: enqueue, then block on the
+// future.  Cancellation between submit and resolve surfaces as ctx.Err()
+// from Wait; the abandoned items are discarded by the engine's dispatcher.
+func submitWait(ctx context.Context, ap AsyncPredictor, queries []Query) ([][]Candidate, error) {
+	fut, err := ap.Submit(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	return fut.Wait(ctx)
 }
 
 // IterativeContext is Algorithm 1 with batched calls and cancellation: each
@@ -105,7 +173,7 @@ func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request)
 	if req.S == req.D {
 		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
 	}
-	bp := AsBatch(p)
+	ap := AsAsync(p)
 	seg := []grid.Cell{req.S, req.D}
 	sc := req.segment()
 	maxGap := cfg.effectiveMaxGap()
@@ -133,7 +201,7 @@ func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request)
 		for i, gap := range gaps {
 			queries[i] = Query{Segment: seg, GapPos: gap, TopK: cfg.TopK}
 		}
-		results, err := predictTimed(bp, cfg, queries)
+		results, err := predictTimed(ctx, ap, cfg, queries)
 		if err != nil {
 			return Result{}, fmt.Errorf("impute: predictor: %w", err)
 		}
@@ -189,7 +257,7 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 	if req.S == req.D {
 		return Result{Tokens: []grid.Cell{req.S}, Prob: 1}, nil
 	}
-	bp := AsBatch(p)
+	ap := AsAsync(p)
 	sc := req.segment()
 	maxGap := cfg.effectiveMaxGap()
 	maxPath := cfg.Checker.MaxPathMeters(sc)
@@ -240,7 +308,7 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 		for i, e := range frontier {
 			queries[i] = Query{Segment: e.seg.tokens, GapPos: e.gap, TopK: cfg.TopK}
 		}
-		results, err := predictTimed(bp, cfg, queries)
+		results, err := predictTimed(ctx, ap, cfg, queries)
 		if err != nil {
 			return Result{}, fmt.Errorf("impute: predictor: %w", err)
 		}

@@ -167,3 +167,66 @@ func (c *cancelAfterFirstBatch) PredictBatch(queries []Query) ([][]Candidate, er
 	}
 	return out, nil
 }
+
+// asyncRecorder implements AsyncPredictor natively; the algorithms must route
+// every prediction through Submit, never through the sync methods.
+type asyncRecorder struct {
+	inner       midpointPredictor
+	submissions int
+	queries     int
+	syncCalls   int
+}
+
+func (a *asyncRecorder) Predict(segment []grid.Cell, gapPos int, topK int) ([]Candidate, error) {
+	a.syncCalls++
+	return a.inner.Predict(segment, gapPos, topK)
+}
+
+func (a *asyncRecorder) Submit(ctx context.Context, queries []Query) (Future, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a.submissions++
+	a.queries += len(queries)
+	out := make([][]Candidate, len(queries))
+	for i, q := range queries {
+		cands, err := a.inner.Predict(q.Segment, q.GapPos, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cands
+	}
+	return readyFuture{out: out}, nil
+}
+
+// TestAlgorithmsUseAsyncPath: a native AsyncPredictor receives whole
+// frontiers through Submit; the sync Predict method is never consulted.
+func TestAlgorithmsUseAsyncPath(t *testing.T) {
+	cfg, g := testCfg()
+	req := mkRequest(g, 800)
+	for name, run := range map[string]func(p Predictor) (Result, error){
+		"iterative": func(p Predictor) (Result, error) { return Iterative(p, cfg, req) },
+		"beam":      func(p Predictor) (Result, error) { return Beam(p, cfg, req) },
+	} {
+		p := &asyncRecorder{inner: midpointPredictor{g}}
+		if AsAsync(p) != AsyncPredictor(p) {
+			t.Fatalf("%s: AsAsync must return a native AsyncPredictor unchanged", name)
+		}
+		res, err := run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Failed {
+			t.Fatalf("%s: unexpected failure", name)
+		}
+		if p.syncCalls != 0 {
+			t.Errorf("%s: %d sync Predict calls bypassed the async path", name, p.syncCalls)
+		}
+		if p.submissions == 0 {
+			t.Errorf("%s: never submitted through the async interface", name)
+		}
+		if p.queries != res.Calls {
+			t.Errorf("%s: result reports %d calls but predictor saw %d queries", name, res.Calls, p.queries)
+		}
+	}
+}

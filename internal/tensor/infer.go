@@ -46,7 +46,13 @@ func (m *Mat) RowsView(lo, hi int) *Mat {
 //
 // Both operands stream with unit stride and the 2×4 register tile keeps eight
 // accumulators live, which measures ~1.5-2.5× faster than MatMul on the
-// matrix shapes of the BERT forward pass on a single core.
+// matrix shapes of the BERT forward pass on a single core.  Rows of a are
+// additionally split across the tensor worker pool (pool.go) when the
+// product is large enough — the admission batcher stacks many requests into
+// one [B×L, d] activation matrix, and this is where those rows fan out over
+// cores.  Parallel and serial runs are element-wise identical: every output
+// element is an independent k-ascending accumulation whatever the row
+// partition, which the kernel parity tests enforce exactly.
 func MatMulTN(dst, a, bt *Mat, bias []float32) {
 	if a.C != bt.C || dst.R != a.R || dst.C != bt.R {
 		panic("tensor: MatMulTN shape mismatch")
@@ -54,8 +60,15 @@ func MatMulTN(dst, a, bt *Mat, bias []float32) {
 	if bias != nil && len(bias) != bt.R {
 		panic("tensor: MatMulTN bias length mismatch")
 	}
-	n, k, m := a.R, a.C, bt.R
-	i := 0
+	ParallelRows(a.R, a.C*bt.R, func(lo, hi int) {
+		matMulTNRange(dst, a, bt, bias, lo, hi)
+	})
+}
+
+// matMulTNRange is the serial blocked kernel over rows [lo, hi) of a/dst.
+func matMulTNRange(dst, a, bt *Mat, bias []float32, lo, hi int) {
+	n, k, m := hi, a.C, bt.R
+	i := lo
 	for ; i+2 <= n; i += 2 {
 		a0 := a.A[i*k : (i+1)*k]
 		a1 := a.A[(i+1)*k : (i+2)*k]

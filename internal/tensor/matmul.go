@@ -1,46 +1,9 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
-
-// parallelThreshold is the approximate number of multiply-adds below which a
-// matmul runs single-threaded; spawning goroutines for tiny products costs
-// more than it saves.
-const parallelThreshold = 64 * 64 * 64
-
-// maxWorkers caps the goroutines a single matmul fans out to.
-var maxWorkers = runtime.GOMAXPROCS(0)
-
-// parallelRows splits rows [0, n) across workers and runs fn(lo, hi) on each
-// chunk, or inline when the work is small.
+// parallelRows is the historical name of the shared pool primitive; the
+// training kernels below still call it.  See pool.go for semantics.
 func parallelRows(n int, flopsPerRow int, fn func(lo, hi int)) {
-	if n == 0 {
-		return
-	}
-	workers := maxWorkers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n*flopsPerRow < parallelThreshold {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ParallelRows(n, flopsPerRow, fn)
 }
 
 // MatMul computes dst = a·b.  Shapes: a is n×k, b is k×m, dst is n×m.  dst

@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// withWorkers runs fn with the kernel fan-out forced to n chunks, so the
+// parallel code path is exercised even on single-core machines.
+func withWorkers(t testing.TB, n int, fn func()) {
+	old := maxWorkers
+	maxWorkers = n
+	defer func() { maxWorkers = old }()
+	fn()
+}
+
+// randMat fills an r×c matrix with reproducible pseudo-random values.
+func randMat(r, c int, seed uint64) *Mat {
+	rng := NewRNG(seed)
+	m := NewMat(r, c)
+	for i := range m.A {
+		m.A[i] = float32(rng.NormFloat64()) * 0.5
+	}
+	return m
+}
+
+// TestMatMulTNParallelParity is the kernel acceptance gate: the pooled
+// parallel MatMulTN must produce output element-wise EQUAL (==, not within a
+// tolerance) to the serial blocked kernel, across shapes that hit the tiled
+// path, the remainder rows/columns, and chunk boundaries that split a 2-row
+// tile.
+func TestMatMulTNParallelParity(t *testing.T) {
+	shapes := []struct{ n, k, m int }{
+		{1, 8, 8},     // single row: no tiling at all
+		{2, 16, 4},    // one exact 2×4 tile column
+		{7, 33, 13},   // odd everything: every remainder loop runs
+		{64, 64, 64},  // exactly at the parallel threshold
+		{640, 48, 96}, // typical stacked-batch activation shape
+		{963, 48, 51}, // large with odd chunk boundaries
+	}
+	for _, sh := range shapes {
+		for _, withBias := range []bool{false, true} {
+			name := fmt.Sprintf("%dx%dx%d_bias=%v", sh.n, sh.k, sh.m, withBias)
+			t.Run(name, func(t *testing.T) {
+				a := randMat(sh.n, sh.k, 1)
+				bt := randMat(sh.m, sh.k, 2)
+				var bias []float32
+				if withBias {
+					bias = randMat(1, sh.m, 3).A
+				}
+				want := NewMat(sh.n, sh.m)
+				matMulTNRange(want, a, bt, bias, 0, sh.n)
+				for _, workers := range []int{2, 3, 5, 16} {
+					got := NewMat(sh.n, sh.m)
+					withWorkers(t, workers, func() {
+						MatMulTN(got, a, bt, bias)
+					})
+					for i := range want.A {
+						if got.A[i] != want.A[i] {
+							t.Fatalf("workers=%d: element %d: parallel %v != serial %v",
+								workers, i, got.A[i], want.A[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRowsCoversAllRows proves the chunking covers [0, n) exactly
+// once for awkward n/worker combinations.
+func TestParallelRowsCoversAllRows(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 64, 100, 257} {
+		for _, workers := range []int{1, 2, 3, 7, 64} {
+			hits := make([]int32, n)
+			withWorkers(t, workers, func() {
+				ParallelRows(n, parallelThreshold, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						hits[i]++
+					}
+				})
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: row %d covered %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulParallelParity covers the training kernels now routed through the
+// shared pool: the same element-wise equality bar as MatMulTN.
+func TestMatMulParallelParity(t *testing.T) {
+	a := randMat(129, 65, 4)
+	b := randMat(65, 67, 5)
+	want := NewMat(129, 67)
+	withWorkers(t, 1, func() { MatMul(want, a, b) })
+	got := NewMat(129, 67)
+	withWorkers(t, 4, func() { MatMul(got, a, b) })
+	for i := range want.A {
+		if got.A[i] != want.A[i] {
+			t.Fatalf("element %d: parallel %v != serial %v", i, got.A[i], want.A[i])
+		}
+	}
+}
+
+// BenchmarkMatMulTNSerial and BenchmarkMatMulTNParallel are the CI kernel
+// smoke pair: their ratio is the parallel speedup on the runner (≈1 on a
+// single-core machine, where the pooled path is bypassed entirely).  The
+// shape is a stacked admission batch: 32 sequences × 20 tokens, hidden 64,
+// FFN 256.
+func BenchmarkMatMulTNSerial(b *testing.B) {
+	benchMatMulTN(b, 1)
+}
+
+func BenchmarkMatMulTNParallel(b *testing.B) {
+	benchMatMulTN(b, maxWorkers)
+}
+
+func benchMatMulTN(b *testing.B, workers int) {
+	a := randMat(32*20, 64, 1)
+	bt := randMat(256, 64, 2)
+	bias := randMat(1, 256, 3).A
+	dst := NewMat(32*20, 256)
+	withWorkers(b, workers, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			MatMulTN(dst, a, bt, bias)
+		}
+	})
+}
+
+// TestParallelMatMulSpeedupSmoke logs the measured parallel-over-serial
+// speedup for the CI kernels job.  It never fails on speed — machines differ
+// — only parity tests gate correctness.
+func TestParallelMatMulSpeedupSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing smoke")
+	}
+	a := randMat(32*20, 64, 1)
+	bt := randMat(256, 64, 2)
+	dst := NewMat(32*20, 256)
+	const reps = 50
+	run := func(workers int) time.Duration {
+		var best time.Duration
+		withWorkers(t, workers, func() {
+			for trial := 0; trial < 3; trial++ {
+				t0 := time.Now()
+				for i := 0; i < reps; i++ {
+					MatMulTN(dst, a, bt, nil)
+				}
+				if d := time.Since(t0); best == 0 || d < best {
+					best = d
+				}
+			}
+		})
+		return best
+	}
+	serial := run(1)
+	parallel := run(maxWorkers)
+	t.Logf("MatMulTN %d reps: serial=%v parallel(workers=%d)=%v speedup=%.2fx",
+		reps, serial, maxWorkers, parallel, float64(serial)/float64(parallel))
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Persistent worker pool for the parallel kernels.
+//
+// The training kernels used to spawn goroutines per matmul; at serving rates
+// (hundreds of engine passes per second, each issuing several matmuls per
+// layer) that is a steady churn of goroutine startups on the hot path.  The
+// pool below starts GOMAXPROCS workers once, on the first parallel dispatch,
+// and feeds them row chunks through a channel.  Submission never blocks: if
+// every worker is busy (including the nested case where a pooled worker
+// itself dispatches a parallel kernel), the chunk runs inline on the caller,
+// so the pool cannot deadlock and the caller always contributes its own
+// share of the work.
+
+// parallelThreshold is the approximate number of multiply-adds below which a
+// kernel runs single-threaded; spawning parallel work for tiny products
+// costs more than it saves.
+const parallelThreshold = 64 * 64 * 64
+
+// maxWorkers caps the chunks a single kernel fans out to.  It is a variable
+// so tests on small machines can force the parallel path.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// poolTask is one row chunk handed to a pool worker.
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan poolTask
+)
+
+// ensurePool starts the workers on first use.  Pool size is fixed at the
+// maxWorkers value of the first dispatch; chunks beyond it queue (or run
+// inline on the submitter), so a later larger maxWorkers stays correct.
+func ensurePool() {
+	poolOnce.Do(func() {
+		n := maxWorkers
+		if n < 1 {
+			n = 1
+		}
+		poolTasks = make(chan poolTask, 8*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range poolTasks {
+					t.fn(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// ParallelRows splits rows [0, n) across the worker pool and runs
+// fn(lo, hi) on each chunk, or inline when the work is too small to be worth
+// sharing (n*flopsPerRow under the parallel threshold, or a single-core
+// process).  fn must be safe to run concurrently on disjoint chunks.  The
+// caller always executes the first chunk itself, and chunks that cannot be
+// enqueued without blocking run inline too — so nested parallel kernels
+// cannot deadlock the pool.
+func ParallelRows(n int, flopsPerRow int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n*flopsPerRow < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	ensurePool()
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		select {
+		case poolTasks <- poolTask{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
+			// Pool saturated: run the chunk on the caller rather than block.
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	fn(0, chunk) // the caller's own share
+	wg.Wait()
+}

@@ -12,14 +12,20 @@
 # The BenchmarkImpute vs BenchmarkImputeNoObs delta is the observability
 # layer's hot-path overhead; the acceptance bound is within 5%.
 #
+# The BenchmarkImputeConcurrent{Sequential,Frontier,Admission} trio measures
+# the >=8-stream hot path in three regimes (one engine call per query; per-
+# request frontier stacking; cross-request admission batching); the Admission
+# entry additionally records the realized coalescing stats — avg_batch and
+# queue_wait_p99_ms — emitted by the benchmark via b.ReportMetric.
+#
 # Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=... overrides the per-benchmark budget (default 5x; use e.g.
+#   BENCHTIME=... overrides the per-benchmark budget (default 10x; use e.g.
 #   2s for more stable numbers on a quiet machine).
 set -eu
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_impute.json}
-benchtime=${BENCHTIME:-5x}
+benchtime=${BENCHTIME:-10x}
 raw=$(mktemp)
 stages=$(mktemp)
 trap 'rm -f "$raw" "$stages"' EXIT
@@ -32,7 +38,7 @@ go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup|BenchmarkImput
 # fixture trains models, so each op is dominated by real imputation — the
 # number to watch against BenchmarkImpute is the per-item overhead.
 go test -run '^$' -bench 'BenchmarkCluster' \
-	-benchmem -benchtime "${CLUSTER_BENCHTIME:-3x}" ./cmd/kamel/ | tee -a "$raw"
+	-benchmem -benchtime "${CLUSTER_BENCHTIME:-5x}" ./cmd/kamel/ | tee -a "$raw"
 
 go run ./cmd/kamel-bench -stage-latency "$stages"
 
