@@ -517,6 +517,7 @@ func runServe(args []string) error {
 	batchMaxSize := fs.Int("batch-max-size", 0, "admission batching: queries per coalesced BERT pass (0 uses the default)")
 	batchMaxWait := fs.Duration("batch-max-wait", 0, "admission batching: coalescing window under concurrency (0 uses the default, <0 disables windowing)")
 	batchMaxQueue := fs.Int("batch-max-queue", 0, "admission batching: queued queries per model before shedding with 429 (0 uses the default, <0 unbounded)")
+	batchMaxStarve := fs.Duration("batch-max-starve", 0, "admission batching: bulk-lane wait beyond which dispatches reserve slots for bulk (0 uses the default, <0 strict priority)")
 	noBatching := fs.Bool("no-admission-batching", false, "compute predictions inline per request instead of coalescing across requests")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	clusterConfig := fs.String("cluster-config", "", "shard map JSON file enabling horizontal sharding (empty: single node)")
@@ -546,6 +547,7 @@ func runServe(args []string) error {
 	cfg.BatchMaxSize = *batchMaxSize
 	cfg.BatchMaxWait = *batchMaxWait
 	cfg.BatchMaxQueue = *batchMaxQueue
+	cfg.BatchMaxStarve = *batchMaxStarve
 	cfg.DisableAdmissionBatching = *noBatching
 	sys, err := core.New(cfg)
 	if err != nil {

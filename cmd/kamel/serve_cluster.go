@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"sync"
+	"time"
 
 	"kamel/internal/cluster"
 	"kamel/internal/geo"
@@ -45,6 +47,32 @@ func isForwarded(r *http.Request) bool {
 	return r.Header.Get(cluster.HeaderForwarded) != ""
 }
 
+// remainingDeadlineMS rebases deadline_ms for a forwarded hop.  The owning
+// shard restarts its admission timer when the forwarded request arrives, so
+// it must receive the budget still left at this hop — forwarding the
+// original window verbatim would let the end-to-end deadline stretch by the
+// routing and transfer time already spent.  Zero (no deadline) passes
+// through; an exhausted budget clamps to 1ms so the shard still applies a
+// deadline rather than treating 0 as unlimited (the first hop's context
+// cancellation aborts the forward anyway).
+func remainingDeadlineMS(ctx context.Context, orig int64) int64 {
+	if orig <= 0 {
+		return orig
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return orig
+	}
+	rem := time.Until(dl).Milliseconds()
+	if rem < 1 {
+		return 1
+	}
+	if rem > orig {
+		return orig
+	}
+	return rem
+}
+
 // clusterUnavailable answers the request with 503 + Retry-After: the owning
 // shard is unreachable and this node has no projection to even draw a
 // straight line with.  Counted so /v1/stats and /metrics surface it.
@@ -74,9 +102,10 @@ func (s *apiServer) linearItem(tr wireTraj) (wireImputeResult, bool) {
 // routeSingle routes one trajectory to its owning shard.  It reports true
 // when it wrote the response (forwarded, degraded, or unavailable); false
 // means the request is local — the caller serves it on the ordinary path.
-// The whole request envelope is forwarded, so the owner applies the same
-// deadline_ms/priority admission the first hop did; the first hop's context
-// (already bounded by the deadline) additionally caps the forward itself.
+// The request envelope is forwarded with deadline_ms rebased to the budget
+// remaining at this hop, so the owner's own admission timer enforces the
+// client's end-to-end deadline; the first hop's context (already bounded by
+// the deadline) additionally caps the forward itself.
 func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wireImputeRequest) bool {
 	rt := s.opts.router
 	if rt == nil || isForwarded(r) {
@@ -87,6 +116,7 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 	if !ok || owner == rt.Self() {
 		return false
 	}
+	req.DeadlineMS = remainingDeadlineMS(r.Context(), req.DeadlineMS)
 	body, err := json.Marshal(req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, "encoding forwarded request: "+err.Error())
@@ -167,8 +197,9 @@ type shardOutcome struct {
 
 // routeBatch scatter-gathers a batch across owning shards.  It reports true
 // when it wrote the response; false means the whole batch is local.  Each
-// forwarded sub-batch re-wraps the originals' admission fields, so every
-// shard serves its share at the caller's priority and deadline.
+// forwarded sub-batch re-wraps the originals' admission fields — priority
+// verbatim, deadline_ms rebased to the remaining budget — so every shard
+// serves its share at the caller's priority within its end-to-end deadline.
 func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireBatchRequest) bool {
 	rt := s.opts.router
 	trajs := req.Trajectories
@@ -213,7 +244,9 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireB
 				sub[j] = trajs[ix]
 			}
 			body, err := json.Marshal(wireBatchRequest{
-				Trajectories: sub, DeadlineMS: req.DeadlineMS, Priority: req.Priority,
+				Trajectories: sub,
+				DeadlineMS:   remainingDeadlineMS(r.Context(), req.DeadlineMS),
+				Priority:     req.Priority,
 			})
 			if err != nil {
 				o.err = err

@@ -686,6 +686,38 @@ func TestClusterReloadWithoutCluster(t *testing.T) {
 	wantErrorCode(t, status, body, http.StatusNotFound, codeNotFound)
 }
 
+// TestRemainingDeadlineMS pins the forwarded-deadline rebase: a hop must
+// hand the owning shard only the budget still left, never the original
+// window (which would restart the client's deadline from the shard's
+// arrival time), and never a zero that the shard would read as "no
+// deadline".
+func TestRemainingDeadlineMS(t *testing.T) {
+	bg := context.Background()
+	if got := remainingDeadlineMS(bg, 0); got != 0 {
+		t.Fatalf("no deadline requested: got %d, want 0 passed through", got)
+	}
+	// A context without a deadline (deadline_ms set but admission not yet
+	// applied) forwards the original window.
+	if got := remainingDeadlineMS(bg, 500); got != 500 {
+		t.Fatalf("deadline-free context: got %d, want 500", got)
+	}
+	// Elapsed time shrinks the forwarded budget below the original.
+	ctx, cancel := context.WithTimeout(bg, 500*time.Millisecond)
+	defer cancel()
+	time.Sleep(50 * time.Millisecond)
+	got := remainingDeadlineMS(ctx, 500)
+	if got >= 500 || got < 1 {
+		t.Fatalf("after 50ms of a 500ms budget: forwarded %d, want in [1,500)", got)
+	}
+	// An exhausted budget clamps to 1ms rather than 0 (= unlimited).
+	expired, cancel2 := context.WithTimeout(bg, time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond)
+	if got := remainingDeadlineMS(expired, 500); got != 1 {
+		t.Fatalf("expired budget: got %d, want clamp to 1", got)
+	}
+}
+
 // BenchmarkClusterScatterGather measures a spanning batch through a 3-shard
 // in-process cluster (gateway scatter, per-shard sub-batches, in-order
 // merge) — the cluster-layer overhead on top of the engine's batch path.

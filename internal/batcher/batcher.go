@@ -106,6 +106,14 @@ type Options struct {
 	// MaxQueue bounds queued queries per model; submissions that would
 	// overflow it fail with ErrQueueFull (default 1024; negative disables).
 	MaxQueue int
+	// MaxStarve bounds how long strict priority ordering may pass over a
+	// queued bulk item: once the oldest bulk item has waited this long,
+	// each dispatch reserves a quarter of the batch (at least one slot)
+	// for the bulk lane until it catches up.  Without this, sustained
+	// interactive traffic starves bulk items indefinitely — they hold
+	// MaxQueue budget while never running, turning new work into 429s
+	// (default 100ms; negative disables aging).
+	MaxStarve time.Duration
 	// Registry receives the batcher's metrics (queue depth, batch size,
 	// queue wait); nil uses a private registry, keeping Stats() working.
 	Registry *obs.Registry
@@ -126,6 +134,12 @@ func (o *Options) normalize() {
 	}
 	if o.MaxQueue < 0 {
 		o.MaxQueue = 0 // unbounded
+	}
+	if o.MaxStarve == 0 {
+		o.MaxStarve = 100 * time.Millisecond
+	}
+	if o.MaxStarve < 0 {
+		o.MaxStarve = 0 // aging disabled: strict priority
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
@@ -335,27 +349,40 @@ func (b *Batcher) Submit(ctx context.Context, eng Engine, queries []bert.MaskQue
 
 // take pops up to MaxBatch items in priority order, discarding items whose
 // context already ended (their futures are failed with the context error,
-// outside the lock).  It returns the live batch.
+// outside the lock).  Interactive items dispatch first, but once the oldest
+// bulk item has waited past MaxStarve a quarter of the batch (at least one
+// slot) is reserved for the bulk lane, so sustained interactive traffic
+// drains bulk at a bounded fraction of throughput instead of starving it.
+// It returns the live batch.
 func (b *Batcher) take(d *dispatcher) []*item {
 	b.mu.Lock()
 	batch := make([]*item, 0, min(d.depth, b.opts.MaxBatch))
 	var dead []*item
-	for lane := range d.lanes {
+	drain := func(lane Priority, want int) {
 		q := d.lanes[lane]
 		i := 0
-		for ; i < len(q) && len(batch) < b.opts.MaxBatch; i++ {
+		for ; i < len(q) && want > 0; i++ {
 			if q[i].ctx.Err() != nil {
 				dead = append(dead, q[i])
 				continue
 			}
 			batch = append(batch, q[i])
+			want--
 		}
 		d.depth -= i
 		d.lanes[lane] = q[i:]
-		if len(batch) == b.opts.MaxBatch {
-			break
+	}
+	reserve := 0
+	if b.opts.MaxStarve > 0 {
+		if q := d.lanes[Bulk]; len(q) > 0 && time.Since(q[0].enq) >= b.opts.MaxStarve {
+			reserve = max(1, b.opts.MaxBatch/4)
 		}
 	}
+	drain(Interactive, b.opts.MaxBatch-reserve)
+	drain(Bulk, b.opts.MaxBatch-len(batch))
+	// Backfill: if the bulk lane had fewer items than its reservation, the
+	// spare slots go back to interactive work.
+	drain(Interactive, b.opts.MaxBatch-len(batch))
 	b.mu.Unlock()
 	for _, it := range dead {
 		b.cancelled.Inc()

@@ -198,6 +198,63 @@ func TestPriorityOrdering(t *testing.T) {
 	}
 }
 
+// TestBulkAging checks the anti-starvation valve: once a queued bulk item
+// has waited past MaxStarve, the next dispatch reserves a slot for the bulk
+// lane even though enough interactive work is queued to fill the whole
+// batch.  Without aging, sustained interactive traffic would pin bulk items
+// in the queue forever.
+func TestBulkAging(t *testing.T) {
+	b := New(Options{MaxBatch: 2, MaxWait: -1, MaxStarve: 20 * time.Millisecond})
+	defer b.Close()
+	eng := &fakeEngine{gate: make(chan struct{})}
+
+	// First submission occupies the dispatcher (blocked on the gate).
+	first, err := b.Submit(context.Background(), eng, []bert.MaskQuery{q(1)}, Interactive)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	// One bulk item, then more interactive work than a batch holds.
+	bulk, err := b.Submit(context.Background(), eng, []bert.MaskQuery{q(50)}, Bulk)
+	if err != nil {
+		t.Fatalf("Submit bulk: %v", err)
+	}
+	inter, err := b.Submit(context.Background(), eng, []bert.MaskQuery{q(10), q(11), q(12)}, Interactive)
+	if err != nil {
+		t.Fatalf("Submit interactive: %v", err)
+	}
+
+	// Let the bulk item age past MaxStarve while the engine stays busy.
+	time.Sleep(30 * time.Millisecond)
+	go func() {
+		for i := 0; i < 3; i++ {
+			eng.gate <- struct{}{}
+		}
+	}()
+	for _, fut := range []*Future{first, bulk, inter} {
+		if _, err := fut.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+
+	calls := eng.calls()
+	if len(calls) != 3 {
+		t.Fatalf("got %d engine calls, want 3: %v", len(calls), calls)
+	}
+	// Dispatch 2 must carry the aged bulk item in its reserved slot, behind
+	// the interactive item that fills the rest of the batch.
+	second := calls[1]
+	if len(second) != 2 || second[0].Tokens[0] != 10 || second[1].Tokens[0] != 50 {
+		t.Fatalf("aged bulk item not dispatched in reserved slot: %v", second)
+	}
+	// With the bulk lane drained, dispatch 3 is pure interactive FIFO.
+	third := calls[2]
+	if len(third) != 2 || third[0].Tokens[0] != 11 || third[1].Tokens[0] != 12 {
+		t.Fatalf("post-aging dispatch wrong: %v", third)
+	}
+}
+
 // TestCancellationMidQueue cancels a submission while it is queued behind a
 // busy engine: its future fails with the context error, the engine never
 // sees its queries, and other work is untouched.

@@ -74,9 +74,10 @@ type Config struct {
 	// Admission batching (internal/batcher): concurrent requests' BERT
 	// predictions for the same model are coalesced into shared engine
 	// passes.  Zero values take the batcher's defaults.
-	BatchMaxSize  int           // queries per coalesced engine call (default 64)
-	BatchMaxWait  time.Duration // coalescing window under concurrency (default 2ms; negative disables windowing)
-	BatchMaxQueue int           // queued queries per model before shedding with ErrOverloaded (default 1024; negative unbounded)
+	BatchMaxSize   int           // queries per coalesced engine call (default 64)
+	BatchMaxWait   time.Duration // coalescing window under concurrency (default 2ms; negative disables windowing)
+	BatchMaxQueue  int           // queued queries per model before shedding with ErrOverloaded (default 1024; negative unbounded)
+	BatchMaxStarve time.Duration // bulk-lane aging bound: wait beyond which dispatches reserve slots for bulk (default 100ms; negative disables)
 	// DisableAdmissionBatching computes predictions inline per request (the
 	// pre-batcher behaviour), for ablation and debugging.
 	DisableAdmissionBatching bool

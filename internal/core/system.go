@@ -186,10 +186,11 @@ func (s *System) initObs() {
 	s.cache.Instrument(reg)
 	if !s.cfg.DisableAdmissionBatching {
 		s.adm = batcher.New(batcher.Options{
-			MaxBatch: s.cfg.BatchMaxSize,
-			MaxWait:  s.cfg.BatchMaxWait,
-			MaxQueue: s.cfg.BatchMaxQueue,
-			Registry: reg,
+			MaxBatch:  s.cfg.BatchMaxSize,
+			MaxWait:   s.cfg.BatchMaxWait,
+			MaxQueue:  s.cfg.BatchMaxQueue,
+			MaxStarve: s.cfg.BatchMaxStarve,
+			Registry:  reg,
 		})
 	}
 }

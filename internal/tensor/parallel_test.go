@@ -2,6 +2,9 @@ package tensor
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -88,6 +91,53 @@ func TestParallelRowsCoversAllRows(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestNestedDispatchNoDeadlock reproduces the PaperConfig-scale serving
+// hang: every pool worker runs an outer chunk (a sequence of a batched
+// attention pass) that itself dispatches a nested parallel kernel through
+// the same pool.  Before waiters helped drain the queue, all workers could
+// enqueue their subtasks and then park waiting on them, leaving no consumer
+// — the process hung forever.  The stream count exceeds any plausible pool
+// size so the saturation window is actually hit, and fn work is trivial so
+// the test is fast when the pool is correct.
+func TestNestedDispatchNoDeadlock(t *testing.T) {
+	withWorkers(t, 2, func() {
+		const fanout, iters = 8, 25
+		streams := 2*runtime.GOMAXPROCS(0) + 32
+		var total atomic.Int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var wg sync.WaitGroup
+			for g := 0; g < streams; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for iter := 0; iter < iters; iter++ {
+						ParallelRows(fanout, parallelThreshold, func(lo, hi int) {
+							for i := lo; i < hi; i++ {
+								ParallelRows(fanout, parallelThreshold, func(nlo, nhi int) {
+									for j := nlo; j < nhi; j++ {
+										total.Add(1)
+									}
+								})
+							}
+						})
+					}
+				}()
+			}
+			wg.Wait()
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("nested parallel dispatch deadlocked: pool workers parked with queued subtasks")
+		}
+		if want := int64(streams * iters * fanout * fanout); total.Load() != want {
+			t.Fatalf("nested dispatch ran %d row units, want %d", total.Load(), want)
+		}
+	})
 }
 
 // TestMatMulParallelParity covers the training kernels now routed through the
