@@ -1,4 +1,4 @@
-.PHONY: verify test test-short fault bench lint cluster-test
+.PHONY: verify test test-short fault bench lint cluster-test replica-test
 
 verify: ## gofmt + vet + build + full race-enabled test suite
 	./scripts/verify.sh
@@ -8,6 +8,9 @@ lint: ## the same staticcheck invocation CI runs (go install honnef.co/go/tools/
 
 cluster-test: ## the sharding integration suite, race-enabled, same as CI's cluster job
 	go test -race -run Cluster ./...
+
+replica-test: ## replication: rendezvous groups, failover, anti-entropy, parallel rebuild (race-enabled, same as CI's replication job)
+	go test -race -run 'Replica|AntiEntropy|TrainFanout|Rendezvous|BatchAccounting|ForwardAny|ForwardWrite|ForwardBusy|IngestParallel' ./cmd/kamel/ ./internal/cluster/... ./internal/pyramid/
 
 test:
 	go test ./...

@@ -106,6 +106,12 @@ type serveOptions struct {
 	router *cluster.Router
 	// clusterPath is the shard-map file /v1/cluster/reload re-reads.
 	clusterPath string
+	// replicaOverride, when positive, overrides the shard map's replica
+	// count on load and on every reload (flag -replicas).
+	replicaOverride int
+	// syncer, when non-nil, is this node's anti-entropy reconciler; the
+	// /v1/cluster endpoints report it and trigger sweeps through it.
+	syncer *cluster.Syncer
 }
 
 func defaultServeOptions() serveOptions {
@@ -141,6 +147,10 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 	mux.Handle("/v1/impute", s.endpoint(http.MethodPost, s.handleImpute))
 	mux.Handle("/v1/impute/batch", s.endpoint(http.MethodPost, s.handleImputeBatch))
 	mux.Handle("/v1/stats", s.endpoint(http.MethodGet, s.handleStats))
+	mux.Handle("/v1/cluster", s.endpoint(http.MethodGet, s.handleClusterInfo))
+	mux.Handle("/v1/cluster/manifest", s.endpoint(http.MethodGet, s.handleClusterManifest))
+	mux.Handle("/v1/cluster/model", s.endpoint(http.MethodGet, s.handleClusterModel))
+	mux.Handle("/v1/cluster/antientropy", s.endpoint(http.MethodPost, s.handleClusterAntiEntropy))
 	mux.Handle("/v1/cluster/reload", s.endpoint(http.MethodPost, s.handleClusterReload))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -326,6 +336,9 @@ func (s *apiServer) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if len(trajs) == 0 {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "empty training batch")
 		return
+	}
+	if s.routeTrain(w, r, trajs) {
+		return // replicated deployment: fanned out to each replica group
 	}
 	if err := s.sys.TrainContext(r.Context(), fromWire(trajs)); err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
@@ -525,6 +538,9 @@ func runServe(args []string) error {
 	clusterHedge := fs.Duration("cluster-hedge", 0, "launch a hedged forward to the owning peer after this delay (0 disables)")
 	clusterRetries := fs.Int("cluster-retries", 1, "retries after a failed forward to a peer (negative disables)")
 	clusterProbe := fs.Duration("cluster-probe", 5*time.Second, "peer /readyz health-probe interval (0 uses the default)")
+	replicas := fs.Int("replicas", 0, "replica-group size override: each shard cell is served by this many shards (0 keeps the map's value; requires -cluster-config)")
+	antiEntropy := fs.Duration("anti-entropy-interval", 30*time.Second, "background anti-entropy sweep period reconciling model versions across replicas (0 disables the loop; requires -cluster-config)")
+	rebuildWorkers := fs.Int("rebuild-workers", 0, "concurrent per-cell model trainings per maintenance round (0 sizes from CPUs, 1 is serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -549,6 +565,7 @@ func runServe(args []string) error {
 	cfg.BatchMaxQueue = *batchMaxQueue
 	cfg.BatchMaxStarve = *batchMaxStarve
 	cfg.DisableAdmissionBatching = *noBatching
+	cfg.RebuildWorkers = *rebuildWorkers
 	sys, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -576,10 +593,14 @@ func runServe(args []string) error {
 	// probing runs for the process lifetime), and reload the map on SIGHUP so
 	// a rollout never needs a restart.
 	var router *cluster.Router
+	var syncer *cluster.Syncer
 	if *clusterConfig != "" {
 		m, err := cluster.LoadMap(*clusterConfig)
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
+		}
+		if *replicas > 0 {
+			m.Replicas = *replicas
 		}
 		router, err = cluster.New(m, cluster.Options{
 			Self:          *clusterSelf,
@@ -601,6 +622,9 @@ func runServe(args []string) error {
 				case <-hup:
 					m, err := cluster.LoadMap(*clusterConfig)
 					if err == nil {
+						if *replicas > 0 {
+							m.Replicas = *replicas
+						}
 						err = router.Reload(m)
 					}
 					if err != nil {
@@ -614,18 +638,31 @@ func runServe(args []string) error {
 				}
 			}
 		}()
+		// Anti-entropy: pull newer model versions from replica peers so a
+		// node that missed train fan-outs converges without operator action.
+		syncer = cluster.NewSyncer(router, replicaStore{sys}, cluster.SyncerOptions{
+			Interval: *antiEntropy,
+			Logger:   logger,
+			Registry: sys.Obs(),
+		})
+		if *antiEntropy > 0 {
+			go syncer.Run(ctx)
+		}
 		logger.Info("cluster routing enabled", "component", "serve",
-			"self", *clusterSelf, "shards", len(m.Shards), "generation", m.Generation)
+			"self", *clusterSelf, "shards", len(m.Shards), "generation", m.Generation,
+			"replicas", m.ReplicaCount(), "anti_entropy", antiEntropy.String())
 	}
 
 	opts := serveOptions{
-		requestTimeout: *reqTimeout,
-		maxBodyBytes:   *maxBody,
-		maxInflight:    *maxInflight,
-		slowRequest:    *slowReq,
-		logger:         logger,
-		router:         router,
-		clusterPath:    *clusterConfig,
+		requestTimeout:  *reqTimeout,
+		maxBodyBytes:    *maxBody,
+		maxInflight:     *maxInflight,
+		slowRequest:     *slowReq,
+		logger:          logger,
+		router:          router,
+		clusterPath:     *clusterConfig,
+		replicaOverride: *replicas,
+		syncer:          syncer,
 	}
 	srv := &http.Server{
 		Addr:              *addr,

@@ -4,25 +4,39 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"kamel/internal/cluster"
+	"kamel/internal/core"
 	"kamel/internal/geo"
 	"kamel/internal/obs"
 )
 
 // This file is the HTTP face of the horizontal-sharding layer
-// (internal/cluster): spatial routing of single imputations to the owning
-// shard, scatter-gather for batches that span shards, the degradation ladder
-// when an owning peer is down (local linear fallback, then 503), and the
-// shard-map reload endpoint.
+// (internal/cluster): spatial routing of imputations to their replica group,
+// failover down the group when the primary is unreachable, scatter-gather for
+// batches that span groups, the write fan-out that replicates train batches
+// across each group, and the degradation ladder when every replica of a cell
+// is down (local linear fallback, then 503).
+//
+// The read ladder, in order: a node serves locally whenever it is a member of
+// the trajectory's replica group (the train fan-out put the models here); a
+// non-member walks the group in rendezvous rank order, failing over past
+// unreachable or refusing replicas; when the whole group is down it degrades
+// to the local linear baseline; and only when even that is impossible (no
+// projection on this node) does it answer 503.  Degraded and Unavailable are
+// counted per trajectory element, exactly once, at the element's final rung.
 //
 // The one-hop contract: a request carrying cluster.HeaderForwarded is always
 // served locally, whatever the shard map says.  Forwarding therefore
 // terminates even while two nodes briefly disagree on the map during a
 // rollout — the worst case is one extra hop to a node that serves the
 // request from a non-owning model (or its linear fallback), never a loop.
+// The same header gates the train fan-out, so replicated writes fan out
+// exactly once.
 
 // wirePoints converts a wire trajectory's raw triples to routing points.
 func wirePoints(tr wireTraj) []geo.Point {
@@ -31,6 +45,16 @@ func wirePoints(tr wireTraj) []geo.Point {
 		pts[i] = geo.Point{Lat: p[0], Lng: p[1], T: p[2]}
 	}
 	return pts
+}
+
+// containsShard reports whether ids contains id.
+func containsShard(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // debugSuffix propagates ?debug=1 to a forwarded hop so the remote span
@@ -73,14 +97,16 @@ func remainingDeadlineMS(ctx context.Context, orig int64) int64 {
 	return rem
 }
 
-// clusterUnavailable answers the request with 503 + Retry-After: the owning
-// shard is unreachable and this node has no projection to even draw a
-// straight line with.  Counted so /v1/stats and /metrics surface it.
-func (s *apiServer) clusterUnavailable(w http.ResponseWriter, shard string) {
-	s.opts.router.CountUnavailable()
+// clusterUnavailable answers the request with 503 + Retry-After: every
+// replica of the trajectory's cell is unreachable and this node has no
+// projection to even draw a straight line with.  elements is how many
+// trajectory elements hit this final rung (counted once each, so /v1/stats
+// and /metrics surface per-element totals).
+func (s *apiServer) clusterUnavailable(w http.ResponseWriter, shard string, elements int64) {
+	s.opts.router.CountUnavailable(elements)
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, codeShardDown,
-		"shard "+shard+" unreachable and no local fallback available")
+		"every replica of shard "+shard+" unreachable and no local fallback available")
 }
 
 // linearItem serves one trajectory down the degradation ladder: the local
@@ -99,21 +125,22 @@ func (s *apiServer) linearItem(tr wireTraj) (wireImputeResult, bool) {
 	}, true
 }
 
-// routeSingle routes one trajectory to its owning shard.  It reports true
+// routeSingle routes one trajectory to its replica group.  It reports true
 // when it wrote the response (forwarded, degraded, or unavailable); false
-// means the request is local — the caller serves it on the ordinary path.
-// The request envelope is forwarded with deadline_ms rebased to the budget
-// remaining at this hop, so the owner's own admission timer enforces the
-// client's end-to-end deadline; the first hop's context (already bounded by
-// the deadline) additionally caps the forward itself.
+// means this node is itself a replica of the trajectory's cell — the caller
+// serves it on the ordinary path.  The request envelope is forwarded with
+// deadline_ms rebased to the budget remaining at this hop, so the serving
+// replica's own admission timer enforces the client's end-to-end deadline;
+// the first hop's context (already bounded by the deadline) additionally caps
+// the forward itself.
 func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wireImputeRequest) bool {
 	rt := s.opts.router
 	if rt == nil || isForwarded(r) {
 		return false
 	}
 	tr := req.wireTraj
-	owner, _, ok := rt.Owner(wirePoints(tr))
-	if !ok || owner == rt.Self() {
+	group, _, ok := rt.ReplicaGroup(wirePoints(tr))
+	if !ok || containsShard(group, rt.Self()) {
 		return false
 	}
 	req.DeadlineMS = remainingDeadlineMS(r.Context(), req.DeadlineMS)
@@ -123,7 +150,7 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 		return true
 	}
 	sp := obs.StartSpan(r.Context(), "cluster.forward")
-	res, ferr := rt.Forward(r.Context(), owner, "/v1/impute"+debugSuffix(r), body)
+	res, servedBy, ferr := rt.ForwardAny(r.Context(), group, "/v1/impute"+debugSuffix(r), body)
 	sp.End()
 	if ferr != nil {
 		if err := r.Context().Err(); err != nil {
@@ -131,10 +158,11 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 			writeError(w, status, code, err.Error())
 			return true
 		}
-		// Owning shard down: degrade to the local linear baseline.
+		// Whole replica group down (or refusing): degrade to the local
+		// linear baseline.
 		item, ok := s.linearItem(tr)
 		if !ok {
-			s.clusterUnavailable(w, owner)
+			s.clusterUnavailable(w, group[0], 1)
 			return true
 		}
 		rt.CountDegraded(1)
@@ -145,7 +173,7 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 		return true
 	}
 	if res.Status != http.StatusOK {
-		// A non-retryable client error from the owner (bad request, too
+		// A non-retryable client error from the replica (bad request, too
 		// large, ...) passes through verbatim — it is about the request, not
 		// about shard health.
 		w.Header().Set("Content-Type", "application/json")
@@ -159,7 +187,7 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 		return true
 	}
 	// Stitch the trace: the local hop's spans (routing, forward wait) wrap
-	// the owner's breakdown, all under one request id.
+	// the serving replica's breakdown, all under one request id.
 	var item wireImputeResult
 	if err := json.Unmarshal(res.Body, &item); err != nil {
 		w.Header().Set("Content-Type", "application/json")
@@ -171,7 +199,7 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 	if item.Debug != nil {
 		item.Debug.Shard = rt.Self()
 		if remote != nil {
-			remote.Shard = owner
+			remote.Shard = servedBy
 			item.Debug.Hops = append(item.Debug.Hops, remote)
 		}
 	}
@@ -187,19 +215,22 @@ type wireBatchResponse struct {
 
 // shardOutcome is one scatter group's result.
 type shardOutcome struct {
-	shard       string
-	idxs        []int // original batch positions of this group's items
+	label       string   // primary replica (or self), for hop reporting
+	group       []string // full replica group; nil for the local group
+	idxs        []int    // original batch positions of this group's items
 	items       []wireImputeResult
+	servedBy    string // which replica answered a remote group
 	dbg         *wireDebug
-	unreachable bool  // owner down after retries (or answered garbage)
+	unreachable bool  // every replica down after retries (or answered garbage)
 	err         error // local system-level error (untrained, cancelled)
 }
 
-// routeBatch scatter-gathers a batch across owning shards.  It reports true
-// when it wrote the response; false means the whole batch is local.  Each
-// forwarded sub-batch re-wraps the originals' admission fields — priority
-// verbatim, deadline_ms rebased to the remaining budget — so every shard
-// serves its share at the caller's priority within its end-to-end deadline.
+// routeBatch scatter-gathers a batch across replica groups.  It reports true
+// when it wrote the response; false means the whole batch is local (this node
+// is a replica of every trajectory's cell).  Each forwarded sub-batch
+// re-wraps the originals' admission fields — priority verbatim, deadline_ms
+// rebased to the remaining budget — so every replica serves its share at the
+// caller's priority within its end-to-end deadline.
 func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireBatchRequest) bool {
 	rt := s.opts.router
 	trajs := req.Trajectories
@@ -207,35 +238,46 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireB
 		return false
 	}
 	self := rt.Self()
-	groups := make(map[string][]int)
+	groups := make(map[string]*shardOutcome)
 	var order []string // first-seen order keeps hop reporting deterministic
+	local := false
 	for i, tr := range trajs {
-		owner, _, ok := rt.Owner(wirePoints(tr))
-		if !ok {
-			owner = self
+		g, _, ok := rt.ReplicaGroup(wirePoints(tr))
+		key := self
+		if ok && !containsShard(g, self) {
+			key = strings.Join(g, ",")
 		}
-		if _, seen := groups[owner]; !seen {
-			order = append(order, owner)
+		o := groups[key]
+		if o == nil {
+			o = &shardOutcome{label: self}
+			if key != self {
+				o.label, o.group = g[0], g
+			} else {
+				local = true
+			}
+			groups[key] = o
+			order = append(order, key)
 		}
-		groups[owner] = append(groups[owner], i)
+		o.idxs = append(o.idxs, i)
 	}
-	if len(groups) == 1 && groups[self] != nil {
+	if len(groups) == 1 && local {
 		return false // wholly local: the ordinary path serves it
 	}
 
-	// Scatter: every owning shard gets its sub-batch concurrently — the
+	// Scatter: every replica group gets its sub-batch concurrently — the
 	// local group runs through the same ImputeBatch path a single-node
-	// deployment uses, remote groups are forwarded.  Each group writes only
-	// its own outcome slot, so no locking is needed.
+	// deployment uses, remote groups are forwarded with failover down the
+	// group.  Each group writes only its own outcome slot, so no locking is
+	// needed.
 	outs := make([]*shardOutcome, len(order))
 	var wg sync.WaitGroup
-	for gi, shard := range order {
-		o := &shardOutcome{shard: shard, idxs: groups[shard]}
+	for gi, key := range order {
+		o := groups[key]
 		outs[gi] = o
 		wg.Add(1)
-		go func(shard string, o *shardOutcome) {
+		go func(o *shardOutcome) {
 			defer wg.Done()
-			if shard == self {
+			if o.group == nil {
 				o.items, o.err = s.localSubBatch(r, trajs, o.idxs)
 				return
 			}
@@ -253,7 +295,7 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireB
 				return
 			}
 			sp := obs.StartSpan(r.Context(), "cluster.forward")
-			res, ferr := rt.Forward(r.Context(), shard, "/v1/impute/batch"+debugSuffix(r), body)
+			res, servedBy, ferr := rt.ForwardAny(r.Context(), o.group, "/v1/impute/batch"+debugSuffix(r), body)
 			sp.End()
 			if ferr != nil || res.Status != http.StatusOK {
 				o.unreachable = true
@@ -265,30 +307,33 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireB
 				return
 			}
 			o.items = resp.Results
+			o.servedBy = servedBy
 			o.dbg = resp.Debug
-		}(shard, o)
+		}(o)
 	}
 	wg.Wait()
 
 	// Gather: merge sub-batch results back into original order, degrading
-	// unreachable groups item-by-item to the local linear baseline.
+	// unreachable groups item-by-item to the local linear baseline.  Each
+	// element is counted at most once, at its final rung: Degraded if the
+	// linear baseline served it, Unavailable if nothing could.
 	items := make([]wireImputeResult, len(trajs))
 	var hops []*wireDebug
-	var degraded int64
-	unreachable, served := 0, 0
+	var degraded, unavailable int64
+	served := 0
 	var sysErr error
 	for _, o := range outs {
 		switch {
 		case o.err != nil:
 			sysErr = o.err
 		case o.unreachable:
-			unreachable++
 			for _, ix := range o.idxs {
 				item, ok := s.linearItem(trajs[ix])
 				if !ok {
+					unavailable++
 					items[ix] = wireImputeResult{Error: &wireError{
 						Code:    codeShardDown,
-						Message: "shard " + o.shard + " unreachable",
+						Message: "every replica of shard " + o.label + " unreachable",
 					}}
 					continue
 				}
@@ -302,7 +347,10 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireB
 			}
 			served += len(o.idxs)
 			if o.dbg != nil {
-				o.dbg.Shard = o.shard
+				o.dbg.Shard = o.servedBy
+				if o.dbg.Shard == "" {
+					o.dbg.Shard = o.label
+				}
 				hops = append(hops, o.dbg)
 			}
 		}
@@ -314,14 +362,18 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireB
 		writeError(w, status, code, sysErr.Error())
 		return true
 	}
-	if served == 0 && unreachable > 0 && unreachable == len(order) {
-		// Every owning peer unreachable and not even a linear fallback:
-		// 503 + Retry-After, not a generic 500 (satellite contract).
-		s.clusterUnavailable(w, order[0])
+	if served == 0 && unavailable == int64(len(trajs)) {
+		// Every element's whole replica group unreachable and not even a
+		// linear fallback: 503 + Retry-After, not a generic 500.  The
+		// elements are counted inside clusterUnavailable, once each.
+		s.clusterUnavailable(w, outs[0].label, unavailable)
 		return true
 	}
 	if degraded > 0 {
 		rt.CountDegraded(degraded)
+	}
+	if unavailable > 0 {
+		rt.CountUnavailable(unavailable)
 	}
 	resp := wireBatchResponse{Results: items}
 	if wantDebug(r) {
@@ -349,9 +401,187 @@ func (s *apiServer) localSubBatch(r *http.Request, trajs []wireTraj, idxs []int)
 	return wireResults(results), nil
 }
 
+// wireTrainReplication summarizes a train fan-out for the response body:
+// how many replica groups the batch spanned, how the peer forwards went,
+// and whether every group reached majority quorum.
+type wireTrainReplication struct {
+	Groups    int  `json:"groups"`     // replica groups the batch partitioned into
+	Targets   int  `json:"targets"`    // peer forwards attempted (excludes local)
+	Acked     int  `json:"acked"`      // peer forwards acknowledged
+	Failed    int  `json:"failed"`     // peer forwards that failed or were refused
+	QuorumMet bool `json:"quorum_met"` // every group got majority acks
+}
+
+// wireTrainResponse is the /v1/train response on a replicated deployment: the
+// usual system stats plus the replication outcome.
+type wireTrainResponse struct {
+	core.Stats
+	Replication *wireTrainReplication `json:"replication,omitempty"`
+}
+
+// routeTrain fans a training batch out to each trajectory's full replica
+// group — the write path of N-way replication.  It reports true when it wrote
+// the response; false means the batch is wholly local (single node, or every
+// group collapses to self).  Per group, the local membership trains through
+// the ordinary engine path and every peer member receives the group's
+// sub-batch once via ForwardWrite (single attempt, no retry and no hedge:
+// training is not idempotent, and a retry after a lost response could apply
+// the batch twice).  Acks are best-effort with a quorum report: the call
+// fails with 503 only when some group was applied nowhere (the data would be
+// silently lost); a group below majority quorum is surfaced in the response
+// and the write-quorum counter, and anti-entropy later converges the lagging
+// replicas.
+func (s *apiServer) routeTrain(w http.ResponseWriter, r *http.Request, trajs []wireTraj) bool {
+	rt := s.opts.router
+	if rt == nil || isForwarded(r) {
+		return false
+	}
+	self := rt.Self()
+	type trainGroup struct {
+		members []string
+		idxs    []int
+	}
+	groups := make(map[string]*trainGroup)
+	var order []string
+	peerTargets := 0
+	for i, tr := range trajs {
+		members, _, ok := rt.ReplicaGroup(wirePoints(tr))
+		if !ok {
+			members = []string{self}
+		}
+		key := strings.Join(members, ",")
+		g := groups[key]
+		if g == nil {
+			g = &trainGroup{members: members}
+			groups[key] = g
+			order = append(order, key)
+			for _, m := range members {
+				if m != self {
+					peerTargets++
+				}
+			}
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	if peerTargets == 0 {
+		return false // wholly local: the ordinary path trains it
+	}
+
+	// Scatter: the local sub-batch (the union of every group this node
+	// belongs to) trains once through the engine; each peer member of each
+	// group gets that group's sub-batch concurrently.
+	var localIdxs []int
+	for _, key := range order {
+		if containsShard(groups[key].members, self) {
+			localIdxs = append(localIdxs, groups[key].idxs...)
+		}
+	}
+	sort.Ints(localIdxs)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	acked := make(map[string]int, len(order)) // group key → successful members
+	var localErr error
+	localOK := false
+	if len(localIdxs) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := make([]wireTraj, len(localIdxs))
+			for j, ix := range localIdxs {
+				sub[j] = trajs[ix]
+			}
+			err := s.sys.TrainContext(r.Context(), fromWire(sub))
+			mu.Lock()
+			localErr, localOK = err, err == nil
+			mu.Unlock()
+		}()
+	}
+	var peerAcks, peerFails int64
+	for _, key := range order {
+		g := groups[key]
+		sub := make([]wireTraj, len(g.idxs))
+		for j, ix := range g.idxs {
+			sub[j] = trajs[ix]
+		}
+		body, err := json.Marshal(sub)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal, "encoding train fan-out: "+err.Error())
+			return true
+		}
+		for _, m := range g.members {
+			if m == self {
+				continue
+			}
+			wg.Add(1)
+			go func(key, m string, body []byte) {
+				defer wg.Done()
+				_, err := rt.ForwardWrite(r.Context(), m, "/v1/train", body)
+				mu.Lock()
+				if err != nil {
+					peerFails++
+				} else {
+					peerAcks++
+					acked[key]++
+				}
+				mu.Unlock()
+			}(key, m, body)
+		}
+	}
+	wg.Wait()
+
+	// Gather: per-group quorum accounting.  Local success counts as an ack
+	// for every group this node belongs to.
+	var quorumMisses int64
+	quorumMet := true
+	lost := ""
+	for _, key := range order {
+		g := groups[key]
+		n := acked[key]
+		if containsShard(g.members, self) && localOK {
+			n++
+		}
+		if n == 0 {
+			lost = g.members[0]
+		}
+		if n < len(g.members)/2+1 {
+			quorumMisses++
+			quorumMet = false
+		}
+	}
+	rt.CountWrites(peerAcks, peerFails, quorumMisses)
+
+	if localErr != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, localErr.Error())
+		return true
+	}
+	if lost != "" {
+		// No replica of some group took the sub-batch: the write would be
+		// silently lost, so the whole call fails retriably.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, codeShardDown,
+			"training batch for replica group of "+lost+" not applied anywhere")
+		return true
+	}
+	writeJSON(w, wireTrainResponse{
+		Stats: s.sys.SystemStats(),
+		Replication: &wireTrainReplication{
+			Groups:    len(order),
+			Targets:   peerTargets,
+			Acked:     int(peerAcks),
+			Failed:    int(peerFails),
+			QuorumMet: quorumMet,
+		},
+	})
+	return true
+}
+
 // handleClusterReload re-reads the shard map file and swaps it in on this
 // node.  Operators hit it on every node after rolling out a new map (or send
-// SIGHUP); generations only move forward, so racing rollouts are safe.
+// SIGHUP); generations only move forward, so racing rollouts are safe.  A
+// -replicas override on this node applies to the reloaded map too, so an
+// operator cannot accidentally drop the replication factor by distributing a
+// map that omits it.
 func (s *apiServer) handleClusterReload(w http.ResponseWriter, r *http.Request) {
 	rt := s.opts.router
 	if rt == nil {
@@ -367,15 +597,19 @@ func (s *apiServer) handleClusterReload(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
+	if s.opts.replicaOverride > 0 {
+		m.Replicas = s.opts.replicaOverride
+	}
 	if err := rt.Reload(m); err != nil {
 		writeError(w, http.StatusConflict, codeBadRequest, err.Error())
 		return
 	}
 	s.logger().Info("shard map reloaded via API", "component", "serve",
-		"generation", m.Generation, "shards", len(m.Shards))
+		"generation", m.Generation, "shards", len(m.Shards), "replicas", m.ReplicaCount())
 	writeJSON(w, map[string]interface{}{
 		"status":     "reloaded",
 		"generation": m.Generation,
 		"shards":     len(m.Shards),
+		"replicas":   m.ReplicaCount(),
 	})
 }

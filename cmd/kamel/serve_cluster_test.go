@@ -128,10 +128,17 @@ type clusterFixture struct {
 	single  *httptest.Server // single-node reference over identical models
 	recs    []*forwardRecorder
 	mapPath string
-	sparse  []wireTraj // sparsified held-out trajectories to impute
+	sparse  []wireTraj       // sparsified held-out trajectories to impute
+	trained []geo.Trajectory // the training set, for version-bumping retrains
 }
 
+// newClusterFixture builds the classic R=1 cluster (every cell has a single
+// owner); newReplicaFixture generalizes it to N-way replica groups.
 func newClusterFixture(tb testing.TB, n int) *clusterFixture {
+	return newReplicaFixture(tb, n, 0)
+}
+
+func newReplicaFixture(tb testing.TB, n, replicas int) *clusterFixture {
 	tb.Helper()
 	base := tb.TempDir()
 	seed := filepath.Join(base, "seed")
@@ -176,7 +183,7 @@ func newClusterFixture(tb testing.TB, n int) *clusterFixture {
 		tb.Fatal(err)
 	}
 
-	fx := &clusterFixture{mapPath: filepath.Join(base, "shards.json")}
+	fx := &clusterFixture{mapPath: filepath.Join(base, "shards.json"), trained: trajs[:48]}
 	for _, tr := range trajs[48:56] {
 		fx.sparse = append(fx.sparse, toWire(tr.Sparsify(800)))
 	}
@@ -212,7 +219,7 @@ func newClusterFixture(tb testing.TB, n int) *clusterFixture {
 	tb.Cleanup(fx.single.Close)
 
 	fx.recs = make([]*forwardRecorder, n)
-	tmpl := cluster.Map{OriginLat: 41.15, OriginLng: -8.61, CellEdgeM: 250}
+	tmpl := cluster.Map{OriginLat: 41.15, OriginLng: -8.61, CellEdgeM: 250, Replicas: replicas}
 	c, err := clustertest.New(n, tmpl,
 		func(i int, self string) cluster.Options {
 			return cluster.Options{
@@ -226,6 +233,12 @@ func newClusterFixture(tb testing.TB, n int) *clusterFixture {
 			opts.logger = quietLogger()
 			opts.router = rt
 			opts.clusterPath = fx.mapPath
+			opts.replicaOverride = replicas
+			// On-demand anti-entropy (never Run in tests: sweeps are driven
+			// through POST /v1/cluster/antientropy, keeping tests deterministic).
+			opts.syncer = cluster.NewSyncer(rt, replicaStore{fx.syss[i]}, cluster.SyncerOptions{
+				Logger: quietLogger(),
+			})
 			rec := &forwardRecorder{next: newAPIHandler(fx.syss[i], opts)}
 			fx.recs[i] = rec
 			return rec, nil
@@ -246,7 +259,23 @@ func (fx *clusterFixture) ownerIdx(tb testing.TB, tr wireTraj) int {
 	if !ok {
 		tb.Fatalf("no owner for trajectory %s", tr.ID)
 	}
-	i, err := strconv.Atoi(strings.TrimPrefix(owner, "shard-"))
+	return shardIdx(tb, owner)
+}
+
+// groupOf resolves a wire trajectory's full replica group.
+func (fx *clusterFixture) groupOf(tb testing.TB, tr wireTraj) []string {
+	tb.Helper()
+	g, _, ok := fx.c.Nodes[0].Router.ReplicaGroup(wirePoints(tr))
+	if !ok {
+		tb.Fatalf("no replica group for trajectory %s", tr.ID)
+	}
+	return g
+}
+
+// shardIdx maps a "shard-N" id back to its node index.
+func shardIdx(tb testing.TB, id string) int {
+	tb.Helper()
+	i, err := strconv.Atoi(strings.TrimPrefix(id, "shard-"))
 	if err != nil {
 		tb.Fatal(err)
 	}

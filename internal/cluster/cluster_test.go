@@ -379,3 +379,60 @@ func TestClusterProbeHealth(t *testing.T) {
 	cancel()
 	<-probeDone
 }
+
+// TestClusterForwardWriteBypassesReadinessGate pins the bootstrap path of a
+// fresh replica: a peer that answers /readyz 503 (alive but untrained) is
+// fail-fasted for reads, yet ForwardWrite still delivers the train batch —
+// otherwise an empty node could never receive the fan-out that makes it
+// ready.
+func TestClusterForwardWriteBypassesReadinessGate(t *testing.T) {
+	var trains atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			http.Error(w, `{"error":{"code":"not_trained"}}`, http.StatusServiceUnavailable)
+		case "/v1/train":
+			trains.Add(1)
+			fmt.Fprint(w, `{"trajectories":1}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer peer.Close()
+
+	m := testMap(1, Shard{ID: "shard-0", Addr: "http://h:1"}, Shard{ID: "shard-1", Addr: peer.URL})
+	rt, err := New(m, Options{Self: "shard-0", ProbeInterval: 5 * time.Millisecond, Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probeDone := make(chan struct{})
+	go func() { rt.StartProbing(ctx); close(probeDone) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Healthy("shard-1") {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never marked not-ready")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Reads fail fast on a not-ready peer...
+	if _, err := rt.Forward(ctx, "shard-1", "/v1/impute", nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("read fail-fast error = %v, want ErrPeerUnavailable", err)
+	}
+	// ...but writes go through: the peer is alive.
+	res, err := rt.ForwardWrite(ctx, "shard-1", "/v1/train", []byte(`[]`))
+	if err != nil {
+		t.Fatalf("ForwardWrite to alive-but-unready peer: %v", err)
+	}
+	if res.Status != http.StatusOK || trains.Load() != 1 {
+		t.Fatalf("write not delivered: status=%d trains=%d", res.Status, trains.Load())
+	}
+	// A write ack must not flip the readiness verdict — only /readyz does.
+	if rt.Healthy("shard-1") {
+		t.Error("write ack marked a not-ready peer healthy")
+	}
+	cancel()
+	<-probeDone
+}

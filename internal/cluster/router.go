@@ -28,6 +28,14 @@ const HeaderForwarded = "X-Kamel-Forwarded"
 // call failed fast).  The serving layer keys its degradation ladder off it.
 var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
 
+// ErrPeerBusy marks a peer that is alive but actively refusing the work
+// right now — 429 from its admission batcher or 409 (not trained).  It is
+// deliberately NOT retried or hedged: retrying into an overloaded peer's
+// shedder is a retry storm, and a peer that refused once will refuse the
+// identical request again.  The peer stays healthy; the caller's degradation
+// ladder moves on (next replica, then the linear fallback).
+var ErrPeerBusy = errors.New("cluster: peer busy")
+
 // ErrStaleMap is returned by Reload for a map whose generation is below the
 // one currently routing.
 var ErrStaleMap = errors.New("cluster: stale shard map generation")
@@ -95,7 +103,13 @@ func (o *Options) withDefaults() Options {
 // only consulted for fail-fast when a probe loop is running (otherwise a
 // dead verdict could never be revised).
 type peer struct {
-	shard   Shard
+	shard Shard
+	// alive: the peer answered *something* over HTTP — the process is up
+	// even if it has no models yet.  Gates writes (train fan-out), which an
+	// untrained replica must receive to ever become ready.
+	alive atomic.Bool
+	// healthy: the peer's /readyz answered 200 — it can serve model
+	// imputations.  Gates reads.
 	healthy atomic.Bool
 	fails   atomic.Int64 // consecutive forward failures
 }
@@ -122,9 +136,13 @@ type Router struct {
 	forwardErrs *obs.Counter // forwards that exhausted retries
 	retries     *obs.Counter // retry attempts issued
 	hedges      *obs.Counter // hedged second requests launched
-	degraded    *obs.Counter // requests served by the local linear fallback
-	unavailable *obs.Counter // requests answered 503: no peer, no fallback
+	degraded    *obs.Counter // elements served by the local linear fallback
+	unavailable *obs.Counter // elements answered 503: no replica, no fallback
 	probeFails  *obs.Counter // health probes that failed
+	failovers   *obs.Counter // forwards that moved past the primary replica
+	writeFwd    *obs.Counter // train sub-batches forwarded to replica peers
+	writeErrs   *obs.Counter // train sub-batch forwards that failed
+	quorumFails *obs.Counter // train groups that missed write quorum
 
 	histMu sync.Mutex
 	hists  map[string]*obs.Histogram // peer id → forward latency histogram
@@ -159,6 +177,18 @@ func New(m *Map, opts Options) (*Router, error) {
 		"Requests answered 503: every owning peer unreachable and no local fallback.")
 	r.probeFails = reg.Counter("kamel_cluster_probe_failures_total",
 		"Peer health probes that failed.")
+	r.failovers = reg.Counter("kamel_cluster_failovers_total",
+		"Forwards that failed over past the primary to a lower-ranked replica.")
+	r.writeFwd = reg.Counter("kamel_cluster_write_forwards_total",
+		"Train sub-batches forwarded to replica peers.")
+	r.writeErrs = reg.Counter("kamel_cluster_write_errors_total",
+		"Train sub-batch forwards that failed.")
+	r.quorumFails = reg.Counter("kamel_cluster_write_quorum_failures_total",
+		"Train replica groups acknowledged by fewer than a majority.")
+	reg.GaugeFunc("kamel_cluster_replicas",
+		"Replica-group size of the shard map currently routing.", func() float64 {
+			return float64(r.Map().ReplicaCount())
+		})
 	reg.GaugeFunc("kamel_cluster_map_generation",
 		"Generation of the shard map currently routing.", func() float64 {
 			return float64(r.Map().Generation)
@@ -201,9 +231,11 @@ func (r *Router) buildState(m *Map, prev *routeState) (*routeState, error) {
 			continue // never a peer of itself
 		}
 		p := &peer{shard: sh}
+		p.alive.Store(true)
 		p.healthy.Store(true)
 		if prev != nil {
 			if old, ok := prev.peers[sh.ID]; ok && old.shard.Addr == sh.Addr {
+				p.alive.Store(old.alive.Load())
 				p.healthy.Store(old.healthy.Load())
 				p.fails.Store(old.fails.Load())
 			}
@@ -262,6 +294,36 @@ func (r *Router) OwnerOfCell(c grid.Cell) string {
 	return rendezvousOwner(st.ids, c)
 }
 
+// ReplicaGroup returns the ordered replica group for the trajectory described
+// by points: the map's top-R rendezvous candidates for its shard cell, primary
+// first.  ok is false for an empty point list (serve locally).
+func (r *Router) ReplicaGroup(points []geo.Point) (group []string, cell grid.Cell, ok bool) {
+	a, ok := anchor(points)
+	if !ok {
+		return []string{r.opts.Self}, 0, false
+	}
+	st := r.state.Load()
+	c := st.keys.cellFor(a)
+	return rendezvousRank(st.ids, c, st.m.ReplicaCount()), c, true
+}
+
+// ReplicasOfCell returns the ordered replica group of one shard cell.
+func (r *Router) ReplicasOfCell(c grid.Cell) []string {
+	st := r.state.Load()
+	return rendezvousRank(st.ids, c, st.m.ReplicaCount())
+}
+
+// PeerIDs returns the sorted ids of every shard in the map except self.
+func (r *Router) PeerIDs() []string {
+	st := r.state.Load()
+	out := make([]string, 0, len(st.peers))
+	for id := range st.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Healthy reports the last known health of a shard (self is always healthy).
 func (r *Router) Healthy(shardID string) bool {
 	if shardID == r.opts.Self {
@@ -271,11 +333,20 @@ func (r *Router) Healthy(shardID string) bool {
 	return ok && p.healthy.Load()
 }
 
-// CountDegraded records n requests served by the local linear fallback.
+// CountDegraded records n elements served by the local linear fallback.
 func (r *Router) CountDegraded(n int64) { r.degraded.Add(n) }
 
-// CountUnavailable records one request answered 503 for lack of any shard.
-func (r *Router) CountUnavailable() { r.unavailable.Inc() }
+// CountUnavailable records n elements answered 503: every replica of their
+// cell was unreachable and the local linear fallback could not serve them.
+func (r *Router) CountUnavailable(n int64) { r.unavailable.Add(n) }
+
+// CountWrites records the outcome of a train fan-out: acked peer forwards,
+// failed peer forwards, and replica groups that missed majority quorum.
+func (r *Router) CountWrites(acked, failed, quorumMisses int64) {
+	r.writeFwd.Add(acked)
+	r.writeErrs.Add(failed)
+	r.quorumFails.Add(quorumMisses)
+}
 
 // ForwardResult is a peer's answer: the HTTP status and the full body.
 type ForwardResult struct {
@@ -283,37 +354,66 @@ type ForwardResult struct {
 	Body   []byte
 }
 
-// retryableStatus reports whether a peer's status code means "try again /
-// treat as down" rather than "the request itself is bad".  409 (not
-// trained) and 429 (shedding) mean the peer cannot serve the work now, which
-// the degradation ladder treats the same as unreachable.
+// retryableStatus reports whether a peer's status code means "try this peer
+// again" — only server-side failures (5xx) qualify.  429 (shedding) and 409
+// (not trained) are active refusals: the peer is alive and will refuse the
+// identical request again, so retrying only amplifies its load (see
+// ErrPeerBusy).  Other 4xx mean the request itself is bad and pass through.
 func retryableStatus(code int) bool {
-	return code >= 500 || code == http.StatusTooManyRequests || code == http.StatusConflict
+	return code >= 500
+}
+
+// busyStatus reports whether a status is an active refusal: the peer cannot
+// take this work now but is not down.
+func busyStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusConflict
 }
 
 // Forward carries body to shardID's path (which may include a query string)
 // as a POST and returns the peer's response.  The request inherits ctx's
 // request id (X-Request-ID) so cross-shard traces stitch, and is marked with
-// HeaderForwarded so the peer serves it locally.  Transport errors and
-// retryable statuses consume the bounded retry budget with exponential
-// backoff; when it is exhausted the peer is marked unhealthy and the error
-// wraps ErrPeerUnavailable.
+// HeaderForwarded so the peer serves it locally.  Transport errors and 5xx
+// statuses consume the bounded retry budget with exponential backoff; when it
+// is exhausted the peer is marked unhealthy and the error wraps
+// ErrPeerUnavailable.  A 429/409 refusal is returned immediately (with the
+// response) wrapping ErrPeerBusy — never retried, and the peer stays healthy.
 func (r *Router) Forward(ctx context.Context, shardID, path string, body []byte) (ForwardResult, error) {
+	return r.forward(ctx, shardID, path, body, r.opts.Retries, true, true)
+}
+
+// ForwardWrite carries a non-idempotent request (a train batch) to a peer in
+// exactly one attempt: no retry and no hedge, because a retry after a lost
+// response could apply the batch twice.  Error semantics match Forward,
+// except health gating: writes fail fast only on a probed-*dead* peer, not a
+// merely not-ready one — an untrained replica answers /readyz 503 yet must
+// still receive train fan-out, or it could never bootstrap.
+func (r *Router) ForwardWrite(ctx context.Context, shardID, path string, body []byte) (ForwardResult, error) {
+	return r.forward(ctx, shardID, path, body, 0, false, false)
+}
+
+func (r *Router) forward(ctx context.Context, shardID, path string, body []byte, retries int, hedge, gateReady bool) (ForwardResult, error) {
 	st := r.state.Load()
 	p, ok := st.peers[shardID]
 	if !ok {
 		return ForwardResult{}, fmt.Errorf("%w: %q (map generation %d)", ErrUnknownShard, shardID, st.m.Generation)
 	}
-	// Fail fast on a known-dead peer, but only while a probe loop is running
-	// to eventually revise the verdict.
-	if r.probing.Load() && !p.healthy.Load() {
-		return ForwardResult{}, fmt.Errorf("%w: %s marked unhealthy", ErrPeerUnavailable, shardID)
+	// Fail fast on a known-bad peer, but only while a probe loop is running
+	// to eventually revise the verdict.  Reads additionally require the peer
+	// to be ready (it has models to serve with); writes only require it to
+	// be alive.
+	if r.probing.Load() {
+		if !p.alive.Load() {
+			return ForwardResult{}, fmt.Errorf("%w: %s marked down", ErrPeerUnavailable, shardID)
+		}
+		if gateReady && !p.healthy.Load() {
+			return ForwardResult{}, fmt.Errorf("%w: %s marked unhealthy", ErrPeerUnavailable, shardID)
+		}
 	}
 	r.forwards.Inc()
 
 	var lastErr error
 	backoff := r.opts.RetryBackoff
-	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			r.retries.Inc()
 			select {
@@ -323,13 +423,26 @@ func (r *Router) Forward(ctx context.Context, shardID, path string, body []byte)
 			}
 			backoff *= 2
 		}
-		res, err := r.attempt(ctx, p, path, body)
-		if err == nil && !retryableStatus(res.Status) {
-			p.healthy.Store(true)
-			p.fails.Store(0)
-			return res, nil
-		}
+		res, err := r.attempt(ctx, p, path, body, hedge)
 		if err == nil {
+			if busyStatus(res.Status) {
+				// The peer answered; it is healthy, just refusing.  Hand the
+				// refusal (and its body) to the caller's ladder.
+				p.alive.Store(true)
+				p.healthy.Store(true)
+				p.fails.Store(0)
+				return res, fmt.Errorf("%w: %s answered %d", ErrPeerBusy, shardID, res.Status)
+			}
+			if !retryableStatus(res.Status) {
+				p.alive.Store(true)
+				if gateReady {
+					// Only a served read proves readiness; a write ack means
+					// the peer accepted work, which /readyz will confirm.
+					p.healthy.Store(true)
+				}
+				p.fails.Store(0)
+				return res, nil
+			}
 			err = fmt.Errorf("cluster: peer %s answered %d", shardID, res.Status)
 		}
 		lastErr = err
@@ -338,6 +451,7 @@ func (r *Router) Forward(ctx context.Context, shardID, path string, body []byte)
 		}
 	}
 	p.fails.Add(1)
+	p.alive.Store(false)
 	p.healthy.Store(false)
 	r.forwardErrs.Inc()
 	r.opts.Logger.Warn("forward failed", "component", "cluster",
@@ -345,15 +459,77 @@ func (r *Router) Forward(ctx context.Context, shardID, path string, body []byte)
 	return ForwardResult{}, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, shardID, lastErr)
 }
 
+// ForwardAny walks a replica group in rank order and returns the first
+// answer: Forward semantics per member, failing over to the next on
+// ErrPeerUnavailable or ErrPeerBusy.  Health gating is per member (a probed-
+// dead peer fails fast and the walk moves on); servedBy names the member that
+// answered.  Self entries are skipped — the caller serves locally before
+// reaching for the group.  When every member fails, the last error (wrapping
+// ErrPeerUnavailable or ErrPeerBusy) is returned.
+func (r *Router) ForwardAny(ctx context.Context, group []string, path string, body []byte) (res ForwardResult, servedBy string, err error) {
+	var lastErr error
+	tried := 0
+	for _, member := range group {
+		if member == r.opts.Self {
+			continue
+		}
+		if tried > 0 {
+			r.failovers.Inc()
+		}
+		tried++
+		res, err := r.Forward(ctx, member, path, body)
+		if err == nil {
+			return res, member, nil
+		}
+		if ctx.Err() != nil {
+			return ForwardResult{}, "", ctx.Err()
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: no forwardable replica in group %v", ErrPeerUnavailable, group)
+	}
+	return ForwardResult{}, "", lastErr
+}
+
+// Get issues one GET to a peer (no retry, no hedge) and returns the full
+// response.  The anti-entropy syncer uses it to read peer manifests and pull
+// model payloads; transport failures wrap ErrPeerUnavailable without marking
+// the peer unhealthy (the sweep is background work, not a serving signal).
+func (r *Router) Get(ctx context.Context, shardID, path string) (ForwardResult, error) {
+	st := r.state.Load()
+	p, ok := st.peers[shardID]
+	if !ok {
+		return ForwardResult{}, fmt.Errorf("%w: %q (map generation %d)", ErrUnknownShard, shardID, st.m.Generation)
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.opts.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.shard.Addr+path, nil)
+	if err != nil {
+		return ForwardResult{}, err
+	}
+	req.Header.Set(HeaderForwarded, r.opts.Self)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, shardID, err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, shardID, err)
+	}
+	return ForwardResult{Status: resp.StatusCode, Body: buf}, nil
+}
+
 // attempt issues one forwarded request, hedged when configured: if the
 // primary has not answered within HedgeAfter, an identical secondary is
 // launched and whichever finishes first wins (the loser's context is
 // cancelled).  Latency is recorded per peer.
-func (r *Router) attempt(ctx context.Context, p *peer, path string, body []byte) (ForwardResult, error) {
+func (r *Router) attempt(ctx context.Context, p *peer, path string, body []byte, hedge bool) (ForwardResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.opts.ForwardTimeout)
 	defer cancel()
 
-	if r.opts.HedgeAfter <= 0 {
+	if r.opts.HedgeAfter <= 0 || !hedge {
 		return r.send(ctx, p, path, body)
 	}
 
@@ -367,13 +543,13 @@ func (r *Router) attempt(ctx context.Context, p *peer, path string, body []byte)
 		results <- outcome{res, err}
 	}
 	go launch()
-	hedge := time.NewTimer(r.opts.HedgeAfter)
-	defer hedge.Stop()
+	hedgeTimer := time.NewTimer(r.opts.HedgeAfter)
+	defer hedgeTimer.Stop()
 	launched := 1
 	var firstErr *outcome
 	for {
 		select {
-		case <-hedge.C:
+		case <-hedgeTimer.C:
 			if launched < 2 {
 				launched++
 				r.hedges.Inc()
@@ -439,8 +615,9 @@ func (r *Router) peerHist(peerID string) *obs.Histogram {
 }
 
 // StartProbing runs the health-probe loop until ctx is cancelled: every
-// ProbeInterval each peer's /readyz is checked, updating the health flag
-// that Forward fail-fasts on and /v1/stats reports.  Run it in a goroutine.
+// ProbeInterval each peer's /readyz is checked, updating the alive flag
+// (ForwardWrite fail-fasts on it) and the ready flag (Forward fail-fasts on
+// it; /v1/stats reports it).  Run it in a goroutine.
 func (r *Router) StartProbing(ctx context.Context) {
 	r.probing.Store(true)
 	defer r.probing.Store(false)
@@ -468,34 +645,38 @@ func (r *Router) probeOnce(ctx context.Context) {
 		wg.Add(1)
 		go func(p *peer) {
 			defer wg.Done()
-			ok := r.probePeer(ctx, p, timeout)
-			was := p.healthy.Swap(ok)
-			if !ok {
+			alive, ready := r.probePeer(ctx, p, timeout)
+			wasAlive := p.alive.Swap(alive)
+			wasReady := p.healthy.Swap(ready)
+			if !ready {
 				r.probeFails.Inc()
 			}
-			if was != ok {
+			if wasAlive != alive || wasReady != ready {
 				r.opts.Logger.Info("peer health changed", "component", "cluster",
-					"peer", p.shard.ID, "healthy", ok)
+					"peer", p.shard.ID, "alive", alive, "ready", ready)
 			}
 		}(p)
 	}
 	wg.Wait()
 }
 
-func (r *Router) probePeer(ctx context.Context, p *peer, timeout time.Duration) bool {
+// probePeer GETs the peer's /readyz.  alive means the request got *any* HTTP
+// answer (the process is up — e.g. an untrained node answers 503); ready
+// means it answered 200 (it can serve model imputations).
+func (r *Router) probePeer(ctx context.Context, p *peer, timeout time.Duration) (alive, ready bool) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.shard.Addr+"/readyz", nil)
 	if err != nil {
-		return false
+		return false, false
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return false
+		return false, false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return true, resp.StatusCode == http.StatusOK
 }
 
 // PeerStatus is one peer's identity and health for /v1/stats.
@@ -512,13 +693,18 @@ type Stats struct {
 	MapGeneration  int          `json:"map_generation"`
 	ShardCellEdgeM float64      `json:"shard_cell_edge_m"`
 	Shards         int          `json:"shards"`
+	Replicas       int          `json:"replicas"`
 	PeersHealthy   int          `json:"peers_healthy"`
 	Forwards       int64        `json:"forwarded_requests"`
 	ForwardErrors  int64        `json:"forward_errors"`
 	Retries        int64        `json:"forward_retries"`
 	Hedges         int64        `json:"hedged_requests"`
+	Failovers      int64        `json:"replica_failovers"`
 	Degraded       int64        `json:"degraded_requests"`
 	Unavailable    int64        `json:"unavailable_requests"`
+	WriteForwards  int64        `json:"write_forwards"`
+	WriteErrors    int64        `json:"write_errors"`
+	QuorumFailures int64        `json:"write_quorum_failures"`
 	Peers          []PeerStatus `json:"peers"`
 }
 
@@ -530,12 +716,17 @@ func (r *Router) ClusterStats() Stats {
 		MapGeneration:  st.m.Generation,
 		ShardCellEdgeM: st.m.EdgeM(),
 		Shards:         len(st.m.Shards),
+		Replicas:       st.m.ReplicaCount(),
 		Forwards:       r.forwards.Value(),
 		ForwardErrors:  r.forwardErrs.Value(),
 		Retries:        r.retries.Value(),
 		Hedges:         r.hedges.Value(),
+		Failovers:      r.failovers.Value(),
 		Degraded:       r.degraded.Value(),
 		Unavailable:    r.unavailable.Value(),
+		WriteForwards:  r.writeFwd.Value(),
+		WriteErrors:    r.writeErrs.Value(),
+		QuorumFailures: r.quorumFails.Value(),
 	}
 	for _, p := range st.peers {
 		healthy := p.healthy.Load()

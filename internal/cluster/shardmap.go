@@ -73,7 +73,26 @@ type Map struct {
 	OriginLng  float64 `json:"origin_lng"`
 	CellEdgeM  float64 `json:"cell_edge_m,omitempty"`
 	Level      int     `json:"level,omitempty"`
-	Shards     []Shard `json:"shards"`
+	// Replicas is the replica-group size R: each shard cell is served by the
+	// top R shards of its rendezvous ranking (rank 0 is the primary).  0 and
+	// 1 both mean single-owner (the pre-replication behaviour).  Because the
+	// ranking is a pure function of the map, every node derives identical
+	// replica groups from the same map bytes.
+	Replicas int     `json:"replicas,omitempty"`
+	Shards   []Shard `json:"shards"`
+}
+
+// ReplicaCount returns the effective replica-group size: Replicas clamped to
+// [1, len(Shards)].
+func (m *Map) ReplicaCount() int {
+	r := m.Replicas
+	if r < 1 {
+		r = 1
+	}
+	if r > len(m.Shards) {
+		r = len(m.Shards)
+	}
+	return r
 }
 
 // EdgeM returns the effective shard-cell hexagon edge in meters:
@@ -99,6 +118,12 @@ func (m *Map) Validate() error {
 	}
 	if m.Level < -20 || m.Level > 20 {
 		return fmt.Errorf("cluster: shard level %d outside [-20, 20]", m.Level)
+	}
+	if m.Replicas < 0 {
+		return fmt.Errorf("cluster: negative replica count %d", m.Replicas)
+	}
+	if m.Replicas > len(m.Shards) {
+		return fmt.Errorf("cluster: replica count %d exceeds %d shards", m.Replicas, len(m.Shards))
 	}
 	if e := m.EdgeM(); e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
 		return fmt.Errorf("cluster: invalid shard cell edge %v m", e)
@@ -202,22 +227,63 @@ func rendezvousOwner(ids []string, c grid.Cell) string {
 	binary.BigEndian.PutUint64(cellBytes[:], uint64(c))
 	best, bestScore := "", uint64(0)
 	for _, id := range ids {
-		h := fnv.New64a()
-		h.Write([]byte(id))
-		h.Write([]byte{0})
-		h.Write(cellBytes[:])
-		// Raw FNV-1a is too linear in its final input bytes: for consecutive
-		// cell ids the per-shard score order barely changes, so one shard
-		// would win long runs of adjacent cells.  A murmur3-style finalizer
-		// restores avalanche, making the winner effectively uniform per cell.
-		score := mix64(h.Sum64())
 		// Ties break toward the lexicographically smaller id so the choice
 		// stays deterministic regardless of roster order.
+		score := rendezvousScore(id, cellBytes)
 		if best == "" || score > bestScore || (score == bestScore && id < best) {
 			best, bestScore = id, score
 		}
 	}
 	return best
+}
+
+// rendezvousRank returns the top-n shard ids for a cell in descending score
+// order: rank 0 is the owner rendezvousOwner picks, ranks 1..n-1 are its
+// replicas.  The minimal-disruption property extends element-wise: removing a
+// shard deletes it from every ranking it appears in and shifts the tail up
+// one, leaving all other relative orders untouched — so a node failure
+// promotes exactly the next-ranked replica per cell, nothing reshuffles.
+func rendezvousRank(ids []string, c grid.Cell, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	var cellBytes [8]byte
+	binary.BigEndian.PutUint64(cellBytes[:], uint64(c))
+	type scored struct {
+		id    string
+		score uint64
+	}
+	all := make([]scored, len(ids))
+	for i, id := range ids {
+		all[i] = scored{id: id, score: rendezvousScore(id, cellBytes)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	out := make([]string, n)
+	for i := range out {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// rendezvousScore hashes (shardID, cell) to the shard's weight for that cell.
+func rendezvousScore(id string, cellBytes [8]byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write(cellBytes[:])
+	// Raw FNV-1a is too linear in its final input bytes: for consecutive
+	// cell ids the per-shard score order barely changes, so one shard
+	// would win long runs of adjacent cells.  A murmur3-style finalizer
+	// restores avalanche, making the winner effectively uniform per cell.
+	return mix64(h.Sum64())
 }
 
 // mix64 is the murmur3/splitmix64 avalanche finalizer: every input bit flips

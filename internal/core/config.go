@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"kamel/internal/bert"
@@ -70,6 +71,14 @@ type Config struct {
 	// quarter of available memory, clamped to [64 MiB, 4 GiB].  Negative:
 	// unbounded (no eviction).
 	ModelCacheBytes int64
+
+	// RebuildWorkers bounds how many per-cell model trainings one pyramid
+	// maintenance round runs concurrently (internal/pyramid.IngestParallel).
+	// Cells' models are independent and each training is seeded
+	// deterministically, so the resulting repository is identical at any
+	// worker count — only the wall time changes.  0 = automatic (half the
+	// CPUs, clamped to [1, 4]); 1 = serial (the pre-parallelism behaviour).
+	RebuildWorkers int
 
 	// Admission batching (internal/batcher): concurrent requests' BERT
 	// predictions for the same model are coalesced into shared engine
@@ -199,6 +208,16 @@ func (c *Config) Normalize() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = d.Seed
+	}
+	if c.RebuildWorkers <= 0 {
+		w := runtime.NumCPU() / 2
+		if w < 1 {
+			w = 1
+		}
+		if w > 4 {
+			w = 4
+		}
+		c.RebuildWorkers = w
 	}
 	if c.Workdir == "" {
 		return fmt.Errorf("core: Workdir is required")

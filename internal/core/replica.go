@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"kamel/internal/fsx"
+	"kamel/internal/pyramid"
+)
+
+// Replication support: the three primitives the cluster layer's anti-entropy
+// sweep needs from a node — enumerate what models it has (with the per-slot
+// versions that are comparable across replicas), ship a model's encoded
+// payload, and adopt newer models pulled from a peer.  The serving layer
+// adapts these to the cluster.ReplicaStore interface; core stays free of any
+// cluster dependency.
+
+// ReplicaModel is one model pulled from a replica peer, ready to install.
+type ReplicaModel struct {
+	Key     pyramid.CellKey
+	Slot    string
+	Meta    pyramid.ModelMeta // the peer's metadata, version included, verbatim
+	Payload []byte            // encoded model bundle (vocabulary + BERT weights)
+}
+
+// ServingIndex returns the currently published model snapshot, or nil before
+// any partitioned training or load.
+func (s *System) ServingIndex() *pyramid.Index {
+	if ss := s.serve.Load(); ss != nil {
+		return ss.index
+	}
+	return nil
+}
+
+// ModelPayload reads the raw encoded payload of one committed model file,
+// integrity-verified.  Only files referenced by the serving snapshot are
+// readable — the reference check is what makes the name safe to take from
+// the network (a peer can only name files the manifest already names, never
+// an arbitrary path).
+func (s *System) ModelPayload(name string) ([]byte, error) {
+	ix := s.ServingIndex()
+	if ix == nil {
+		return nil, fmt.Errorf("core: no model snapshot to serve payloads from")
+	}
+	referenced := false
+	for _, ref := range ix.Models() {
+		if ref.File == name {
+			referenced = true
+			break
+		}
+	}
+	if !referenced {
+		return nil, fmt.Errorf("core: model file %q not referenced by the current snapshot", name)
+	}
+	return pyramid.ReadModelPayloadFS(fsx.OS(), s.modelsDir(), name)
+}
+
+// InstallReplicaModels decodes and adopts models pulled from replica peers,
+// commits them under this repository's own generation sequence, and
+// publishes the refreshed snapshot — the write half of anti-entropy.  It
+// holds maintMu throughout, so installs serialize with local rebuilds and
+// the single-writer Repo discipline holds.  Models are adopted with the
+// peer's version verbatim; an undecodable payload stops the batch (models
+// adopted before it still commit) and is reported.  Returns how many models
+// were installed and committed.
+func (s *System) InstallReplicaModels(models []ReplicaModel) (int, error) {
+	if len(models) == 0 {
+		return 0, nil
+	}
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	s.mu.Lock()
+	repo := s.repo
+	closed := s.st == nil
+	s.mu.Unlock()
+	if closed {
+		return 0, fmt.Errorf("core: system is closed")
+	}
+	if repo == nil {
+		return 0, fmt.Errorf("core: no repository to install replica models into (train or load first)")
+	}
+
+	installed := 0
+	var firstErr error
+	for _, m := range models {
+		h, err := bundleCodec{}.Decode(bytes.NewReader(m.Payload))
+		if err != nil {
+			firstErr = fmt.Errorf("core: decoding replica model %s/%s: %w", m.Key, m.Slot, err)
+			break
+		}
+		if err := repo.Adopt(m.Key, m.Slot, h, m.Meta); err != nil {
+			firstErr = err
+			break
+		}
+		installed++
+	}
+	if installed == 0 {
+		return 0, firstErr
+	}
+	if _, err := repo.CommitFS(fsx.OS(), s.modelsDir(), bundleCodec{}); err != nil {
+		return 0, fmt.Errorf("core: committing replica models: %w", err)
+	}
+	repo.DropHandles()
+	ix := repo.Index()
+	s.mu.Lock()
+	s.curIndex = ix
+	s.publishLocked()
+	s.mu.Unlock()
+	return installed, firstErr
+}

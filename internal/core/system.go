@@ -119,6 +119,9 @@ type System struct {
 	imputeReqs, imputeErrs *obs.Counter
 	// maintRebuilds/maintFailures count background maintainer outcomes.
 	maintRebuilds, maintFailures *obs.Counter
+	// modelBuilds counts per-cell BERT trainings run by pyramid maintenance
+	// (the unit of work the rebuild worker pool parallelizes).
+	modelBuilds *obs.Counter
 	// pyrCommit/pyrQuarantine are resolved once at init and attached to every
 	// pyramid.Repo the system creates or loads (Repo.SetMetrics), because the
 	// attachment sites hold mu and registry registration is forbidden under mu
@@ -158,6 +161,12 @@ func (s *System) initObs() {
 		"Background maintainer rebuilds completed.")
 	s.maintFailures = reg.Counter("kamel_maintain_failures_total",
 		"Background maintainer rebuilds that failed.")
+	s.modelBuilds = reg.Counter("kamel_rebuild_models_total",
+		"Per-cell model trainings run by pyramid maintenance.")
+	reg.GaugeFunc("kamel_rebuild_workers",
+		"Bounded worker-pool size for concurrent per-cell rebuilds.", func() float64 {
+			return float64(s.cfg.RebuildWorkers)
+		})
 	s.pyrCommit = reg.Histogram("kamel_pyramid_commit_seconds",
 		"Wall time of one incremental repository commit (write dirty models, fsync, manifest rename).", nil)
 	s.pyrQuarantine = reg.Counter("kamel_pyramid_quarantined_total",

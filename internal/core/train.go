@@ -135,12 +135,15 @@ func (s *System) rebuild(ctx context.Context, batch []store.Traj, commit bool) e
 		return err
 	}
 
-	err = repo.Ingest(st, batch, func(region geo.Rect, rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
+	// Independent cells rebuild concurrently on a bounded pool; each build
+	// is deterministic per task (fixed seed over a fixed training set), so
+	// the resulting repository is identical to a serial rebuild.
+	err = repo.IngestParallel(st, batch, func(region geo.Rect, rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, pyramid.ModelMeta{}, err
 		}
 		return s.buildModelHandle(rs)
-	})
+	}, s.cfg.RebuildWorkers)
 	if err != nil {
 		return err
 	}
@@ -161,11 +164,14 @@ func (s *System) rebuild(ctx context.Context, batch []store.Traj, commit bool) e
 }
 
 // buildModelHandle adapts buildModel to the pyramid's BuildFunc signature.
+// It may run on a rebuild worker goroutine: it touches only immutable config
+// and its own training set, never the Repo.
 func (s *System) buildModelHandle(rs []store.Traj) (pyramid.Handle, pyramid.ModelMeta, error) {
 	bundle, meta, err := s.buildModel(rs)
 	if err != nil {
 		return nil, pyramid.ModelMeta{}, err
 	}
+	s.modelBuilds.Inc()
 	return bundle, meta, nil
 }
 

@@ -1,6 +1,10 @@
 package pyramid
 
-import "kamel/internal/geo"
+import (
+	"sort"
+
+	"kamel/internal/geo"
+)
 
 // ModelRef is one model slot as seen through an immutable Index snapshot: the
 // cell and slot identity, the persisted file (if any), and — when the model
@@ -97,6 +101,36 @@ func (ix *Index) NumModels() (single, neighbor int) { return ix.numSingle, ix.nu
 // QuarantinedModels returns how many model slots were sidelined as corrupt
 // when the backing repository was loaded.
 func (ix *Index) QuarantinedModels() int { return ix.quarantined }
+
+// Models enumerates every model reference in the snapshot, sorted by cell
+// (level, ix, iy) then slot — the deterministic order manifests use.  The
+// anti-entropy layer serves this as a node's replication manifest.
+func (ix *Index) Models() []ModelRef {
+	keys := make([]CellKey, 0, len(ix.cells))
+	for k := range ix.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.IX != b.IX {
+			return a.IX < b.IX
+		}
+		return a.IY < b.IY
+	})
+	var out []ModelRef
+	for _, k := range keys {
+		e := ix.cells[k]
+		for _, ref := range []*ModelRef{e.single, e.east, e.south} {
+			if ref != nil {
+				out = append(out, *ref)
+			}
+		}
+	}
+	return out
+}
 
 // RootRef returns the model covering the largest region — the shallowest,
 // and within a level the first in scan order.  Serving layers use it as the

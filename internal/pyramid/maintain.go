@@ -3,6 +3,7 @@ package pyramid
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"kamel/internal/geo"
 	"kamel/internal/store"
@@ -31,6 +32,30 @@ var ErrSkip = errors.New("pyramid: builder declined to build a model")
 // being modeled, per the paper.  Ingest is idempotent for a cell within one
 // call: each cell is built at most once.
 func (r *Repo) Ingest(st *store.Store, batch []store.Traj, build BuildFunc) error {
+	return r.IngestParallel(st, batch, build, 1)
+}
+
+// IngestParallel is Ingest with the model builds fanned out over a bounded
+// worker pool.  Maintenance is split into three phases:
+//
+//   - plan: the serial four-step walk above, unchanged, but instead of
+//     building inline it records one task per (cell, slot) due a rebuild —
+//     the region, the enclosed training set, and an apply closure.  Token
+//     counts are refreshed here.  Dedupe (each model at most once per call)
+//     happens here too, so the task list has no conflicts by construction.
+//   - execute: up to workers goroutines run the build callback over the
+//     tasks.  Tasks are independent models over fixed training sets, so a
+//     deterministic builder (KAMEL's seeds per task) produces bit-identical
+//     models regardless of concurrency or completion order.
+//   - apply: results are installed serially in plan order — version bumps,
+//     slot assignment, dirty marking — preserving the repository's
+//     single-writer discipline.  The Repo is never touched from a worker.
+//
+// On a build error the error for the earliest task in plan order is
+// returned and no later task is applied, matching serial semantics (later
+// builds are wasted work, not divergent state).  workers <= 1 degenerates to
+// the serial Ingest.
+func (r *Repo) IngestParallel(st *store.Store, batch []store.Traj, build BuildFunc, workers int) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -46,11 +71,10 @@ func (r *Repo) Ingest(st *store.Store, batch []store.Traj, build BuildFunc) erro
 	}
 
 	done := &buildTracker{singles: make(map[CellKey]bool), pairs: make(map[pairKey]bool)}
+	var plan []buildTask
 
 	// Steps 1 and 2 at C itself.
-	if err := r.considerCell(st, c, build, done); err != nil {
-		return err
-	}
+	plan = r.considerCell(st, c, plan, done)
 
 	// Step 3: ancestors up to the shallowest maintained level.
 	for k := c; k.Level > 0; {
@@ -58,14 +82,84 @@ func (r *Repo) Ingest(st *store.Store, batch []store.Traj, build BuildFunc) erro
 		if !r.Maintained(k.Level) {
 			break
 		}
-		if err := r.considerCell(st, k, build, done); err != nil {
-			return err
-		}
+		plan = r.considerCell(st, k, plan, done)
 	}
 
 	// Step 4: descendants while thresholds hold.
-	if err := r.considerChildren(st, c, build, done); err != nil {
-		return err
+	plan = r.considerChildren(st, c, plan, done)
+
+	return r.runPlan(plan, build, workers)
+}
+
+// buildTask is one planned model build.  The region and training set are
+// fixed at plan time; apply installs the finished model into the repository.
+type buildTask struct {
+	label  string // error context, e.g. "single-cell model at L3(1,2)"
+	region geo.Rect
+	trajs  []store.Traj
+	apply  func(h Handle, meta ModelMeta)
+}
+
+// runPlan executes the planned builds (concurrently when workers > 1) and
+// applies the results serially in plan order.
+func (r *Repo) runPlan(plan []buildTask, build BuildFunc, workers int) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+
+	type result struct {
+		h    Handle
+		meta ModelMeta
+		err  error
+	}
+
+	if workers <= 1 {
+		// Serial path: build and apply interleaved, stopping at the first
+		// error — the pre-parallelism Ingest behaviour.
+		for _, t := range plan {
+			h, meta, err := build(t.region, t.trajs)
+			if errors.Is(err, ErrSkip) {
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("pyramid: building %s: %w", t.label, err)
+			}
+			t.apply(h, meta)
+		}
+		return nil
+	}
+
+	results := make([]result, len(plan))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				h, meta, err := build(plan[i].region, plan[i].trajs)
+				results[i] = result{h: h, meta: meta, err: err}
+			}
+		}()
+	}
+	for i := range plan {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, t := range plan {
+		res := results[i]
+		if errors.Is(res.err, ErrSkip) {
+			continue
+		}
+		if res.err != nil {
+			return fmt.Errorf("pyramid: building %s: %w", t.label, res.err)
+		}
+		t.apply(res.h, res.meta)
 	}
 	return nil
 }
@@ -83,33 +177,32 @@ type buildTracker struct {
 	pairs   map[pairKey]bool
 }
 
-// considerCell refreshes a cell's token count and builds its single-cell and
-// neighbor-cell models where thresholds allow (steps 1-2).
-func (r *Repo) considerCell(st *store.Store, k CellKey, build BuildFunc, done *buildTracker) error {
+// considerCell refreshes a cell's token count and plans its single-cell and
+// neighbor-cell model builds where thresholds allow (steps 1-2).
+func (r *Repo) considerCell(st *store.Store, k CellKey, plan []buildTask, done *buildTracker) []buildTask {
 	rect := r.CellRect(k)
 	tokens := st.TokensInRect(rect)
 	e := r.entry(k)
 	e.TokenCount = tokens
 	if !r.Maintained(k.Level) {
-		return nil
+		return plan
 	}
 
 	if tokens >= r.Threshold(k.Level) && !done.singles[k] {
 		trajs := st.QueryEnclosed(rect)
 		if len(trajs) > 0 {
-			h, meta, err := build(rect, trajs)
-			switch {
-			case errors.Is(err, ErrSkip):
-				done.singles[k] = true // don't re-ask within this ingest
-			case err != nil:
-				return fmt.Errorf("pyramid: building single-cell model at %s: %w", k, err)
-			default:
-				meta.Version = e.SingleMeta.Version + 1
-				e.Single, e.SingleMeta = h, meta
-				r.markDirty(k, SlotSingle)
-				r.clearQuarantine(k, SlotSingle)
-				done.singles[k] = true
-			}
+			done.singles[k] = true // at most once per ingest
+			plan = append(plan, buildTask{
+				label:  fmt.Sprintf("single-cell model at %s", k),
+				region: rect,
+				trajs:  trajs,
+				apply: func(h Handle, meta ModelMeta) {
+					meta.Version = e.SingleMeta.Version + 1
+					e.Single, e.SingleMeta = h, meta
+					r.markDirty(k, SlotSingle)
+					r.clearQuarantine(k, SlotSingle)
+				},
+			})
 		}
 	}
 
@@ -141,36 +234,36 @@ func (r *Repo) considerCell(st *store.Store, k CellKey, build BuildFunc, done *b
 		if len(trajs) == 0 {
 			continue
 		}
-		h, meta, err := build(union, trajs)
-		if errors.Is(err, ErrSkip) {
-			done.pairs[pk] = true
-			continue
-		}
-		if err != nil {
-			return fmt.Errorf("pyramid: building neighbor-cell model at %s: %w", storeAt, err)
-		}
-		se := r.entry(storeAt)
-		if horiz {
-			meta.Version = se.EastMeta.Version + 1
-			se.East, se.EastMeta = h, meta
-			r.markDirty(storeAt, SlotEast)
-			r.clearQuarantine(storeAt, SlotEast)
-		} else {
-			meta.Version = se.SouthMeta.Version + 1
-			se.South, se.SouthMeta = h, meta
-			r.markDirty(storeAt, SlotSouth)
-			r.clearQuarantine(storeAt, SlotSouth)
-		}
 		done.pairs[pk] = true
+		storeCell, isHoriz := storeAt, horiz
+		plan = append(plan, buildTask{
+			label:  fmt.Sprintf("neighbor-cell model at %s", storeAt),
+			region: union,
+			trajs:  trajs,
+			apply: func(h Handle, meta ModelMeta) {
+				se := r.entry(storeCell)
+				if isHoriz {
+					meta.Version = se.EastMeta.Version + 1
+					se.East, se.EastMeta = h, meta
+					r.markDirty(storeCell, SlotEast)
+					r.clearQuarantine(storeCell, SlotEast)
+				} else {
+					meta.Version = se.SouthMeta.Version + 1
+					se.South, se.SouthMeta = h, meta
+					r.markDirty(storeCell, SlotSouth)
+					r.clearQuarantine(storeCell, SlotSouth)
+				}
+			},
+		})
 	}
-	return nil
+	return plan
 }
 
 // considerChildren implements step 4: descend while children clear their
 // thresholds.
-func (r *Repo) considerChildren(st *store.Store, k CellKey, build BuildFunc, done *buildTracker) error {
+func (r *Repo) considerChildren(st *store.Store, k CellKey, plan []buildTask, done *buildTracker) []buildTask {
 	if k.Level >= r.cfg.H {
-		return nil
+		return plan
 	}
 	for dx := 0; dx < 2; dx++ {
 		for dy := 0; dy < 2; dy++ {
@@ -179,15 +272,11 @@ func (r *Repo) considerChildren(st *store.Store, k CellKey, build BuildFunc, don
 			if tokens < r.Threshold(ch.Level) {
 				continue
 			}
-			if err := r.considerCell(st, ch, build, done); err != nil {
-				return err
-			}
-			if err := r.considerChildren(st, ch, build, done); err != nil {
-				return err
-			}
+			plan = r.considerCell(st, ch, plan, done)
+			plan = r.considerChildren(st, ch, plan, done)
 		}
 	}
-	return nil
+	return plan
 }
 
 // stProj exposes the store's projection for MBR computation.  The store

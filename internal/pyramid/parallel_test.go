@@ -1,0 +1,173 @@
+package pyramid
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kamel/internal/fsx"
+	"kamel/internal/geo"
+	"kamel/internal/store"
+)
+
+// buildRepoWith ingests the same spread of trajectories into a fresh repo at
+// the given worker count, using a deterministic (but slow) builder, commits
+// it, and returns the repo, the ingest wall time, and the committed dir.
+func buildRepoWith(t *testing.T, workers int, buildDelay time.Duration) (*Repo, time.Duration, string) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	r, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data in four separate leaf cells (500m each at level 3), adjacent in
+	// pairs, so the plan holds single-cell models at several levels plus
+	// neighbor models — enough independent build tasks to parallelize.
+	fill(t, st, 100, 100, 5, 10)
+	fill(t, st, 600, 100, 5, 10)
+	fill(t, st, 100, 600, 5, 10)
+	fill(t, st, 1600, 1600, 5, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+
+	// The builder is deterministic in its inputs alone — the property that
+	// makes worker count invisible in the result.
+	build := func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		time.Sleep(buildDelay)
+		id := int32(len(trajs)) + int32(region.MinX)/16 + int32(region.MinY)/64
+		return &fakeHandle{id: id}, ModelMeta{Tokens: len(trajs) * 10, Sequences: len(trajs)}, nil
+	}
+	start := time.Now()
+	if err := r.IngestParallel(st, batch, build, workers); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	dir := t.TempDir()
+	if _, err := r.CommitFS(fsx.OS(), dir, fakeCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	return r, elapsed, dir
+}
+
+// dirContents reads every file in dir into a name → content map.
+func dirContents(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(buf)
+	}
+	return out
+}
+
+// TestIngestParallelDeterminism is the parallel-rebuild contract: the same
+// batch ingested serially and with a worker pool commits bit-identical
+// repositories (same manifest, same model files, same versions), because
+// builds are pure functions of their training sets and applies replay in
+// plan order under the single writer.
+func TestIngestParallelDeterminism(t *testing.T) {
+	serial, _, serialDir := buildRepoWith(t, 1, 0)
+	parallel, _, parallelDir := buildRepoWith(t, 4, 0)
+
+	sm, pm := dirContents(t, serialDir), dirContents(t, parallelDir)
+	if len(sm) != len(pm) {
+		t.Fatalf("serial committed %d files, parallel %d", len(sm), len(pm))
+	}
+	for name, content := range sm {
+		if pm[name] != content {
+			t.Errorf("file %s differs between serial and parallel commit", name)
+		}
+	}
+
+	// The in-memory snapshots agree slot-by-slot, versions included.
+	sRefs, pRefs := serial.Index().Models(), parallel.Index().Models()
+	if len(sRefs) != len(pRefs) {
+		t.Fatalf("serial has %d models, parallel %d", len(sRefs), len(pRefs))
+	}
+	if len(sRefs) < 4 {
+		t.Fatalf("only %d models built; plan too small to exercise parallelism", len(sRefs))
+	}
+	for i := range sRefs {
+		s, p := sRefs[i], pRefs[i]
+		if s.Key != p.Key || s.Slot != p.Slot || s.Meta != p.Meta || s.File != p.File {
+			t.Errorf("model %d differs: %+v vs %+v", i, s, p)
+		}
+	}
+}
+
+// TestIngestParallelFaster checks the point of the worker pool: with a slow
+// builder, four workers finish the same plan measurably faster than one.
+// The builder sleeps 25ms per model; with >= 8 independent builds the serial
+// pass takes >= 200ms while four workers need roughly a quarter of that, so
+// the 25% margin asserted here has a wide safety band even on loaded CI.
+func TestIngestParallelFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	const delay = 25 * time.Millisecond
+	_, serialTime, _ := buildRepoWith(t, 1, delay)
+	_, parallelTime, _ := buildRepoWith(t, 4, delay)
+	if parallelTime >= serialTime*3/4 {
+		t.Errorf("4 workers took %v vs serial %v; want at least a 25%% cut", parallelTime, serialTime)
+	}
+}
+
+// TestIngestParallelErrorSemantics pins the plan-order error contract: the
+// first failing task (in plan order) surfaces, tasks before it still apply,
+// and ErrSkip still means "no model, no error" under the pool.
+func TestIngestParallelErrorSemantics(t *testing.T) {
+	st, err := store.Open(t.TempDir(), geo.NewProjection(41.15, -8.61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, st, 100, 100, 5, 10)
+	fill(t, st, 1600, 1600, 5, 10)
+	var batch []store.Traj
+	st.All(func(tr store.Traj) bool { batch = append(batch, tr); return true })
+
+	boom := errors.New("boom")
+	calls := 0
+	err = r.IngestParallel(st, batch, func(region geo.Rect, trajs []store.Traj) (Handle, ModelMeta, error) {
+		calls++
+		if calls > 2 {
+			return nil, ModelMeta{}, boom
+		}
+		return &fakeHandle{id: 1}, ModelMeta{}, nil
+	}, 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("ingest error = %v, want the builder's failure", err)
+	}
+	single, neighbor := r.NumModels()
+	if single+neighbor != 2 {
+		t.Errorf("%d models applied before the failure, want the 2 built", single+neighbor)
+	}
+
+	// ErrSkip produces no model and no error, at any worker count.
+	r2, _ := New(testConfig())
+	if err := r2.IngestParallel(st, batch, func(geo.Rect, []store.Traj) (Handle, ModelMeta, error) {
+		return nil, ModelMeta{}, ErrSkip
+	}, 4); err != nil {
+		t.Fatalf("all-skip ingest errored: %v", err)
+	}
+	if s, n := r2.NumModels(); s+n != 0 {
+		t.Errorf("all-skip ingest recorded %d models", s+n)
+	}
+}

@@ -480,6 +480,27 @@ func ReadModelFS(fsys fsx.FS, dir string, ref FileRef, codec Codec) (Handle, err
 	return h, nil
 }
 
+// ReadModelPayloadFS reads (and integrity-verifies, for stamped files) one
+// model file's raw payload bytes without decoding them — what the
+// anti-entropy endpoint ships to a pulling replica, which decodes with its
+// own codec and re-commits under its own generation sequence.
+func ReadModelPayloadFS(fsys fsx.FS, dir, name string) ([]byte, error) {
+	if name == "" {
+		return nil, fmt.Errorf("pyramid: empty model file name")
+	}
+	var payload []byte
+	var err error
+	if _, stamped := parseGen(name); stamped {
+		payload, err = fsx.ReadFramed(fsys, filepath.Join(dir, name))
+	} else {
+		payload, err = fsx.ReadFile(fsys, filepath.Join(dir, name))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pyramid: reading model %s: %w", name, err)
+	}
+	return payload, nil
+}
+
 // quarantine sidelines a suspect model file to dir/quarantine/.  Best
 // effort: the file may already be gone, and a failed move leaves it in
 // place — it will not be loaded either way.

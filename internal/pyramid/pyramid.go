@@ -363,6 +363,34 @@ func (r *Repo) NumModels() (single, neighbor int) {
 	return single, neighbor
 }
 
+// Adopt installs an externally built model — one replicated from a peer by
+// the anti-entropy sweep — into a cell's slot, taking meta verbatim (no
+// version bump: the version is the peer's, and keeping it is what makes the
+// replicas' version counters comparable).  The slot is marked dirty so the
+// next CommitFS persists the model under this repository's own generation
+// sequence, and any quarantine mark on the slot is lifted (the adopted model
+// supersedes the corrupt file).  Adopt is a Repo mutation: callers hold the
+// single-writer role, exactly as for Ingest.
+func (r *Repo) Adopt(k CellKey, slot string, h Handle, meta ModelMeta) error {
+	if h == nil {
+		return fmt.Errorf("pyramid: adopting nil model at %s/%s", k, slot)
+	}
+	e := r.entry(k)
+	switch slot {
+	case SlotSingle:
+		e.Single, e.SingleMeta = h, meta
+	case SlotEast:
+		e.East, e.EastMeta = h, meta
+	case SlotSouth:
+		e.South, e.SouthMeta = h, meta
+	default:
+		return fmt.Errorf("pyramid: unknown slot %q at %s", slot, k)
+	}
+	r.markDirty(k, slot)
+	r.clearQuarantine(k, slot)
+	return nil
+}
+
 // DropHandles releases the in-memory model handles of every slot that has a
 // committed file reference, converting the builder to its disk-resident
 // form: future Index snapshots will reference files only, and the serving

@@ -5,9 +5,10 @@
 # disk read-verify-decode; warm cache: steady-state LRU hits), then records
 # the serving pipeline's per-stage latency distribution (p50/p95/p99 from
 # the observability histograms via kamel-bench -stage-latency) and the
-# 3-shard in-process scatter-gather baseline (BenchmarkClusterScatterGather),
-# and writes machine-readable results to BENCH_impute.json for tracking
-# across commits.
+# 3-shard in-process cluster baselines — the healthy scatter-gather path
+# (BenchmarkClusterScatterGather) and the replica-failover read path with one
+# node dead at R=2 (BenchmarkClusterFailover) — and writes machine-readable
+# results to BENCH_impute.json for tracking across commits.
 #
 # The BenchmarkImpute vs BenchmarkImputeNoObs delta is the observability
 # layer's hot-path overhead; the acceptance bound is within 5%.
@@ -33,10 +34,12 @@ trap 'rm -f "$raw" "$stages"' EXIT
 go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup|BenchmarkImpute' \
 	-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
 
-# The 3-shard in-process scatter-gather path: a spanning batch through one
-# gateway, forwarding included (clustertest harness, loopback HTTP).  The
-# fixture trains models, so each op is dominated by real imputation — the
-# number to watch against BenchmarkImpute is the per-item overhead.
+# The 3-shard in-process cluster paths: a healthy spanning batch through one
+# gateway (scatter-gather), and a single imputation at R=2 with the target
+# group's primary replica dead (failover to the live secondary).  The
+# fixtures train models, so each op is dominated by real imputation — the
+# numbers to watch against BenchmarkImpute are the per-item overhead and the
+# failover premium over the healthy path.
 go test -run '^$' -bench 'BenchmarkCluster' \
 	-benchmem -benchtime "${CLUSTER_BENCHTIME:-5x}" ./cmd/kamel/ | tee -a "$raw"
 
