@@ -16,6 +16,7 @@ import (
 	"kamel/internal/grid"
 	"kamel/internal/impute"
 	"kamel/internal/roadnet"
+	"kamel/internal/tokenizer"
 	"kamel/internal/trajgen"
 	"kamel/internal/vocab"
 )
@@ -100,7 +101,7 @@ func batchBenchFixture(b *testing.B) *batchBench {
 			model:   m,
 			v:       v,
 			g:       g,
-			ch:      constraints.NewChecker(g, 30),
+			ch:      constraints.NewChecker(tokenizer.NewFixed(g), 30),
 			req:     impute.Request{S: s, D: d, TimeDiff: 50},
 			queries: queries,
 		}
@@ -208,7 +209,7 @@ func (s seqOnlyPredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([]
 }
 
 func (f *batchBench) imputeCfg() impute.Config {
-	cfg := impute.DefaultConfig(f.g, f.ch)
+	cfg := impute.DefaultConfig(tokenizer.NewFixed(f.g), f.ch)
 	cfg.MaxGapMeters = 120
 	cfg.MaxCalls = 150
 	cfg.Beam = 6

@@ -26,6 +26,12 @@
 // a sparsified test set, and writes one JSON array of per-stage
 // count/p50/p95/p99 — the machine-readable baseline scripts/bench.sh embeds
 // into BENCH_impute.json.
+//
+// A third mode compares the fixed-grid and density-adaptive tokenizers
+// (vocabulary size, training-data factor, model count, accuracy, median
+// imputation latency) on both canonical datasets:
+//
+//	kamel-bench -tokenizer-ab out.json
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write results to this CSV file")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	stageOut := flag.String("stage-latency", "", "record per-stage serving latencies to this JSON file and exit")
+	tokABOut := flag.String("tokenizer-ab", "", "run the fixed-vs-adaptive tokenizer A/B, write the structured report to this JSON file, and exit")
 	flag.Parse()
 
 	if *stageOut != "" {
@@ -65,6 +72,14 @@ func main() {
 		runner.Log = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 		}
+	}
+
+	if *tokABOut != "" {
+		if err := runTokenizerAB(*tokABOut, runner); err != nil {
+			fmt.Fprintln(os.Stderr, "kamel-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	rows, err := run(runner, *exp)

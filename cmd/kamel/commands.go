@@ -57,6 +57,7 @@ func systemConfig(work string, steps int, strategy string, noPart, noConst, noMu
 	if strategy != "" {
 		cfg.Strategy = core.Strategy(strategy)
 	}
+	cfg.Tokenizer = tokenizerFlag
 	cfg.PyramidH = 1
 	cfg.PyramidL = 2
 	cfg.ThresholdK = 300
@@ -66,6 +67,17 @@ func systemConfig(work string, steps int, strategy string, noPart, noConst, noMu
 	return cfg
 }
 
+// tokenizerFlag is the shared -tokenizer value; registerTokenizerFlag binds
+// it on each command's flag set so every entry point names the token mapping
+// the same way.  For an already-trained workdir the persisted spec wins over
+// this flag (tokens are identities; see core.Config.Tokenizer).
+var tokenizerFlag = core.TokenizerFixed
+
+func registerTokenizerFlag(fs *flag.FlagSet) {
+	fs.StringVar(&tokenizerFlag, "tokenizer", tokenizerFlag,
+		"spatial tokenizer: fixed | adaptive (density-adaptive multi-resolution)")
+}
+
 // runTrain ingests a training file and persists the resulting models.
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
@@ -73,6 +85,7 @@ func runTrain(args []string) error {
 	in := fs.String("in", "", "training JSONL file (default stdin)")
 	steps := fs.Int("steps", 0, "BERT training steps (default config)")
 	noPart := fs.Bool("no-partitioning", false, "ablation: one global model")
+	registerTokenizerFlag(fs)
 	fs.Parse(args)
 	if *work == "" {
 		return fmt.Errorf("train: -work is required")
@@ -105,6 +118,7 @@ func runImpute(args []string) error {
 	in := fs.String("in", "", "sparse JSONL file (default stdin)")
 	out := fs.String("out", "", "dense JSONL output (default stdout)")
 	strategy := fs.String("strategy", "", "beam | iterative")
+	registerTokenizerFlag(fs)
 	fs.Parse(args)
 	if *work == "" {
 		return fmt.Errorf("impute: -work is required")

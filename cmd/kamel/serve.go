@@ -23,6 +23,7 @@ import (
 	"kamel/internal/core"
 	"kamel/internal/geo"
 	"kamel/internal/obs"
+	"kamel/internal/tokenizer"
 )
 
 // API error codes carried in the structured JSON error body.
@@ -35,6 +36,7 @@ const (
 	codeTimeout      = "timeout"
 	codeTooLarge     = "too_large"
 	codeWarming      = "warming"
+	codeConflict     = "conflict"
 	codeShardDown    = "shard_unavailable"
 	codeShuttingDown = "shutting_down"
 )
@@ -328,14 +330,41 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	return true
 }
 
+// wireTrainRequest is the /v1/train request: a bare JSON array of
+// trajectories (the public shape), or the envelope the replicated fan-out
+// sends — {"trajectories": [...], "tokenizer_spec": {...}} — carrying the
+// gateway's frozen tokenizer spec so every replica-group member trains in
+// one token space instead of deriving its own from its sub-batch.
+type wireTrainRequest struct {
+	Trajectories  []wireTraj      `json:"trajectories"`
+	TokenizerSpec *tokenizer.Spec `json:"tokenizer_spec,omitempty"`
+}
+
+func (b *wireTrainRequest) UnmarshalJSON(data []byte) error {
+	if t := bytes.TrimLeft(data, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		return json.Unmarshal(data, &b.Trajectories)
+	}
+	type bare wireTrainRequest // shed the method to avoid recursing
+	return json.Unmarshal(data, (*bare)(b))
+}
+
 func (s *apiServer) handleTrain(w http.ResponseWriter, r *http.Request) {
-	var trajs []wireTraj
-	if !decodeBody(w, r, &trajs) {
+	var req wireTrainRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
+	trajs := req.Trajectories
 	if len(trajs) == 0 {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "empty training batch")
 		return
+	}
+	if req.TokenizerSpec != nil {
+		// A fan-out gateway offered its frozen spec: adopt it (no-op when
+		// already frozen on the same spec; loud refusal on a different one).
+		if err := s.sys.AdoptTokenizerSpec(*req.TokenizerSpec); err != nil {
+			writeError(w, http.StatusConflict, codeConflict, err.Error())
+			return
+		}
 	}
 	if s.routeTrain(w, r, trajs) {
 		return // replicated deployment: fanned out to each replica group
@@ -541,6 +570,7 @@ func runServe(args []string) error {
 	replicas := fs.Int("replicas", 0, "replica-group size override: each shard cell is served by this many shards (0 keeps the map's value; requires -cluster-config)")
 	antiEntropy := fs.Duration("anti-entropy-interval", 30*time.Second, "background anti-entropy sweep period reconciling model versions across replicas (0 disables the loop; requires -cluster-config)")
 	rebuildWorkers := fs.Int("rebuild-workers", 0, "concurrent per-cell model trainings per maintenance round (0 sizes from CPUs, 1 is serial)")
+	registerTokenizerFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"kamel/internal/core"
 	"kamel/internal/geo"
 	"kamel/internal/obs"
+	"kamel/internal/tokenizer"
 )
 
 // This file is the HTTP face of the horizontal-sharding layer
@@ -467,6 +468,21 @@ func (s *apiServer) routeTrain(w http.ResponseWriter, r *http.Request, trajs []w
 		return false // wholly local: the ordinary path trains it
 	}
 
+	// Freeze this node's token mapping from the FULL spanning batch before
+	// scattering, and offer the frozen spec to every peer in the fan-out
+	// envelope.  Without this, each replica would derive its own adaptive
+	// spec from just its sub-batch, and anti-entropy would (correctly)
+	// refuse to exchange models across the divergent token spaces forever.
+	var offeredSpec *tokenizer.Spec
+	if err := s.sys.EnsureTokenizer(fromWire(trajs)); err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "freezing tokenizer for fan-out: "+err.Error())
+		return true
+	}
+	if tk := s.sys.Tokenizer(); tk != nil {
+		spec := tk.Spec()
+		offeredSpec = &spec
+	}
+
 	// Scatter: the local sub-batch (the union of every group this node
 	// belongs to) trains once through the engine; each peer member of each
 	// group gets that group's sub-batch concurrently.
@@ -504,7 +520,7 @@ func (s *apiServer) routeTrain(w http.ResponseWriter, r *http.Request, trajs []w
 		for j, ix := range g.idxs {
 			sub[j] = trajs[ix]
 		}
-		body, err := json.Marshal(sub)
+		body, err := json.Marshal(wireTrainRequest{Trajectories: sub, TokenizerSpec: offeredSpec})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, codeInternal, "encoding train fan-out: "+err.Error())
 			return true

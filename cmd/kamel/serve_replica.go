@@ -40,6 +40,9 @@ func (rs replicaStore) ManifestDoc() (cluster.ManifestDoc, bool) {
 		OriginLat:  lat,
 		OriginLng:  lng,
 		Config:     ix.Config(),
+		// The frozen tokenizer fingerprint: peers refuse to exchange models
+		// across differing token spaces.
+		TokenizerSpecHash: rs.sys.TokenizerSpecHash(),
 	}
 	for _, ref := range ix.Models() {
 		if ref.File == "" {

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kamel/internal/cluster"
+	"kamel/internal/cluster/clustertest"
+	"kamel/internal/core"
+	"kamel/internal/geo"
+	"kamel/internal/roadnet"
+	"kamel/internal/tokenizer"
+	"kamel/internal/trajgen"
+)
+
+// TestClusterTrainFanoutSpecConvergence pins the replicated-write tokenizer
+// contract: the gateway freezes ONE adaptive spec from the full spanning
+// batch and ships it in the fan-out envelope, so every replica-group member
+// ends up frozen on the same hash.  Without the envelope each member would
+// derive its own spec from its sub-batch — different mappings, permanently
+// incompatible under the anti-entropy hash gate.  It also pins the refusal:
+// a node already frozen on a different spec answers the offer with 409
+// `conflict` rather than silently re-mapping its persisted tokens.
+func TestClusterTrainFanoutSpecConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	base := t.TempDir()
+	var syss []*core.System
+	for i := 0; i < 2; i++ {
+		// Partitioning off: the property under test is spec derivation and
+		// transport, not the pyramid; a global model trains fast.
+		cfg := systemConfig(filepath.Join(base, fmt.Sprintf("node-%d", i)), 30, "", true, false, false)
+		cfg.Tokenizer = core.TokenizerAdaptive
+		cfg.AdaptiveSplitMin = 20 // low enough that this batch yields split cells
+		cfg.Hidden, cfg.FFN = 32, 128
+		cfg.Train.Batch = 8
+		cfg.ShardID = fmt.Sprintf("shard-%d", i)
+		sys, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sys.Close() })
+		syss = append(syss, sys)
+	}
+	tmpl := cluster.Map{OriginLat: 41.15, OriginLng: -8.61, CellEdgeM: 250, Replicas: 2}
+	c, err := clustertest.New(2, tmpl,
+		func(i int, self string) cluster.Options {
+			return cluster.Options{
+				Logger:         quietLogger(),
+				Registry:       syss[i].Obs(),
+				RetryBackoff:   time.Millisecond,
+				ForwardTimeout: 2 * time.Minute, // forwarded sub-batches train before acking
+			}
+		},
+		func(i int, self string, rt *cluster.Router) (http.Handler, error) {
+			opts := defaultServeOptions()
+			opts.logger = quietLogger()
+			opts.router = rt
+			opts.requestTimeout = 2 * time.Minute
+			return newAPIHandler(syss[i], opts), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	city := roadnet.DefaultCityConfig()
+	city.Width, city.Height = 1000, 1000
+	city.BlockSpacing = 250
+	net := roadnet.GenerateCity(city)
+	gen := trajgen.DefaultConfig(6)
+	gen.GPSNoiseMeters = 3
+	trajs, err := trajgen.Generate(net, geo.NewProjection(41.15, -8.61), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body []wireTraj
+	for _, tr := range trajs {
+		body = append(body, toWire(tr))
+	}
+
+	status, _, raw := clusterReq(t, http.MethodPost, c.Nodes[0].URL()+"/v1/train", nil, body)
+	if status != http.StatusOK {
+		t.Fatalf("replicated train: status %d: %s", status, raw)
+	}
+	var res wireTrainResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Replication == nil || res.Replication.Acked != res.Replication.Targets || res.Replication.Failed != 0 {
+		t.Fatalf("replication = %+v, want every peer acked", res.Replication)
+	}
+
+	// The headline property: one batch, one spec, both replicas frozen on it.
+	h0, h1 := syss[0].TokenizerSpecHash(), syss[1].TokenizerSpecHash()
+	if h0 == "" || h0 != h1 {
+		t.Fatalf("replica spec hashes diverged after fan-out: shard-0 %.12s, shard-1 %.12s", h0, h1)
+	}
+	spec := syss[0].Tokenizer().Spec()
+	if spec.Kind != tokenizer.KindAdaptive {
+		t.Fatalf("frozen spec kind = %q, want adaptive", spec.Kind)
+	}
+	// Convergence is only meaningful when the derived spec depends on the
+	// batch; an empty split set would match trivially.
+	if len(spec.Split) == 0 {
+		t.Fatal("adaptive spec derived no split cells; the convergence check is vacuous (lower AdaptiveSplitMin)")
+	}
+
+	// A frozen node offered a DIFFERENT spec refuses loudly: 409 `conflict`,
+	// nothing trained, nothing re-mapped.
+	other := tokenizer.Spec{Kind: tokenizer.KindFixed, Grid: "hex", EdgeM: spec.EdgeM * 2}
+	env := map[string]any{"trajectories": body[:1], "tokenizer_spec": other}
+	status, _, raw = clusterReq(t, http.MethodPost, c.Nodes[0].URL()+"/v1/train", nil, env)
+	if status != http.StatusConflict {
+		t.Fatalf("train with mismatched offered spec: status %d, want 409: %s", status, raw)
+	}
+	if !strings.Contains(string(raw), `"conflict"`) {
+		t.Errorf("conflict response missing the error code: %s", raw)
+	}
+	if got := syss[0].TokenizerSpecHash(); got != h0 {
+		t.Errorf("refused offer still changed the frozen spec: %.12s -> %.12s", h0, got)
+	}
+
+	// The same spec re-offered (a retried fan-out) is a no-op, not an error.
+	env["tokenizer_spec"] = spec
+	status, _, raw = clusterReq(t, http.MethodPost, c.Nodes[0].URL()+"/v1/train", nil, env)
+	if status != http.StatusOK {
+		t.Fatalf("train re-offering the frozen spec: status %d, want 200: %s", status, raw)
+	}
+}

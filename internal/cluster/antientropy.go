@@ -55,6 +55,13 @@ type ManifestDoc struct {
 	OriginLng  float64        `json:"origin_lng"`
 	Config     pyramid.Config `json:"config"`
 	Models     []ReplicaModel `json:"models"`
+
+	// TokenizerSpecHash is the canonical hash of the node's frozen tokenizer
+	// spec.  Models are expressed in their tokenizer's token space, so two
+	// nodes may exchange models only when their hashes agree; anti-entropy
+	// refuses mismatched peers outright.  Empty on nodes predating specs —
+	// treated as compatible for rolling upgrades.
+	TokenizerSpecHash string `json:"tokenizer_spec_hash,omitempty"`
 }
 
 // IncomingModel is one model pulled from a peer, ready to install: identity,
@@ -96,6 +103,9 @@ type SweepStats struct {
 	ModelsCompared int `json:"models_compared"`
 	Pulled         int `json:"pulled"`
 	Errors         int `json:"errors"`
+	// TokenizerRejects counts peers skipped because their tokenizer spec
+	// hash differs from ours — their models live in a different token space.
+	TokenizerRejects int `json:"tokenizer_rejects"`
 }
 
 // SyncStats is the syncer's cumulative accounting for /v1/cluster.
@@ -112,9 +122,10 @@ type Syncer struct {
 	store ReplicaStore
 	opts  SyncerOptions
 
-	sweeps   *obs.Counter
-	pulls    *obs.Counter
-	pullErrs *obs.Counter
+	sweeps     *obs.Counter
+	pulls      *obs.Counter
+	pullErrs   *obs.Counter
+	tokRejects *obs.Counter
 
 	mu   sync.Mutex
 	last SweepStats
@@ -139,6 +150,8 @@ func NewSyncer(rt *Router, store ReplicaStore, opts SyncerOptions) *Syncer {
 		"Models pulled from replica peers by anti-entropy.")
 	s.pullErrs = reg.Counter("kamel_antientropy_pull_errors_total",
 		"Anti-entropy manifest reads or model pulls that failed.")
+	s.tokRejects = reg.Counter("kamel_antientropy_tokenizer_rejects_total",
+		"Peers refused by anti-entropy because their tokenizer spec hash differs.")
 	return s
 }
 
@@ -213,6 +226,19 @@ func (s *Syncer) SweepOnce(ctx context.Context) SweepStats {
 			s.pullErrs.Inc()
 			continue
 		}
+		// Token-space compatibility gate: a peer whose frozen tokenizer spec
+		// differs produced its models over a different token mapping — its
+		// payloads would decode fine and serve garbage.  Refuse the peer.
+		// Empty hashes (pre-spec nodes) pass, for rolling upgrades.
+		if local.TokenizerSpecHash != "" && doc.TokenizerSpecHash != "" &&
+			local.TokenizerSpecHash != doc.TokenizerSpecHash {
+			stats.TokenizerRejects++
+			s.tokRejects.Inc()
+			s.opts.Logger.Warn("anti-entropy refused peer with mismatched tokenizer spec",
+				"component", "cluster", "peer", peerID,
+				"local_hash", local.TokenizerSpecHash, "peer_hash", doc.TokenizerSpecHash)
+			continue
+		}
 		peerProj := geo.NewProjection(doc.OriginLat, doc.OriginLng)
 		var pulls []IncomingModel
 		for _, m := range doc.Models {
@@ -274,6 +300,6 @@ func containsID(ids []string, id string) bool {
 
 // String renders sweep stats for logs.
 func (st SweepStats) String() string {
-	return fmt.Sprintf("peers=%d compared=%d pulled=%d errors=%d",
-		st.PeersChecked, st.ModelsCompared, st.Pulled, st.Errors)
+	return fmt.Sprintf("peers=%d compared=%d pulled=%d errors=%d tokenizer_rejects=%d",
+		st.PeersChecked, st.ModelsCompared, st.Pulled, st.Errors, st.TokenizerRejects)
 }

@@ -198,3 +198,77 @@ func TestClusterAntiEntropyResponsibility(t *testing.T) {
 		t.Fatal("sweep compared no models; test is vacuous")
 	}
 }
+
+// TestClusterAntiEntropyTokenizerMismatch pins the token-space compatibility
+// gate: a peer advertising a different tokenizer spec hash is refused
+// entirely — none of its models are pulled, however new their versions —
+// while empty hashes (pre-spec nodes) remain compatible for rolling upgrades.
+func TestClusterAntiEntropyTokenizerMismatch(t *testing.T) {
+	cfg := pyramid.Config{Root: geo.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}, H: 2, L: 3, K: 100}
+	key := pyramid.CellKey{Level: 0, IX: 0, IY: 0}
+	peerHash := "feedbead"
+	var peerMu sync.Mutex
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cluster/manifest":
+			peerMu.Lock()
+			h := peerHash
+			peerMu.Unlock()
+			json.NewEncoder(w).Encode(ManifestDoc{
+				Shard: "shard-1", OriginLat: 41.15, OriginLng: -8.61,
+				Config:            cfg,
+				TokenizerSpecHash: h,
+				Models: []ReplicaModel{{
+					Key: key, Slot: pyramid.SlotSingle, File: "model-a.g000009.bin",
+					Meta: pyramid.ModelMeta{Version: 9},
+				}},
+			})
+		case "/v1/cluster/model":
+			w.Write([]byte("peer-bytes"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer peer.Close()
+
+	m := testMap(1, Shard{ID: "shard-0", Addr: "http://h:1"}, Shard{ID: "shard-1", Addr: peer.URL})
+	m.Replicas = 2
+	rt, err := New(m, Options{Self: "shard-0", Logger: testLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &fakeReplicaStore{ok: true, doc: ManifestDoc{
+		Shard: "shard-0", OriginLat: 41.15, OriginLng: -8.61, Config: cfg,
+		TokenizerSpecHash: "deadbeef",
+	}}
+	sy := NewSyncer(rt, store, SyncerOptions{Logger: testLogger()})
+
+	st := sy.SweepOnce(context.Background())
+	if st.Pulled != 0 || len(store.installed) != 0 {
+		t.Fatalf("mismatched-tokenizer sweep pulled %d models, want 0", st.Pulled)
+	}
+	if st.TokenizerRejects != 1 {
+		t.Fatalf("sweep stats = %+v, want exactly 1 tokenizer reject", st)
+	}
+	if st.ModelsCompared != 0 {
+		t.Fatal("refused peer's models were still compared")
+	}
+
+	// Same hash on both sides: the gate opens and the model is pulled.
+	peerMu.Lock()
+	peerHash = "deadbeef"
+	peerMu.Unlock()
+	st = sy.SweepOnce(context.Background())
+	if st.TokenizerRejects != 0 || st.Pulled != 1 {
+		t.Fatalf("matched-tokenizer sweep = %+v, want 1 pull and no rejects", st)
+	}
+
+	// A peer predating specs (empty hash) stays compatible: rolling upgrades
+	// must not partition the fleet.
+	peerMu.Lock()
+	peerHash = ""
+	peerMu.Unlock()
+	if st := sy.SweepOnce(context.Background()); st.TokenizerRejects != 0 {
+		t.Fatalf("empty-hash peer rejected: %+v", st)
+	}
+}

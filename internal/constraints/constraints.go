@@ -11,12 +11,13 @@ import (
 
 	"kamel/internal/geo"
 	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
 )
 
-// Checker evaluates spatial constraints over a tokenization grid.  The zero
-// value is not usable; construct with NewChecker.
+// Checker evaluates spatial constraints over a tokenizer.  The zero value is
+// not usable; construct with NewChecker.
 type Checker struct {
-	g grid.Grid
+	tk tokenizer.Tokenizer
 
 	// MaxSpeedMPS bounds travel speed for the ellipse area (paper §5.1);
 	// KAMEL infers it from training data.
@@ -38,13 +39,13 @@ type Checker struct {
 
 // NewChecker returns a checker with the paper's defaults: a 45° cone and
 // cycle window 6, with the given speed limit.
-func NewChecker(g grid.Grid, maxSpeedMPS float64) *Checker {
+func NewChecker(tk tokenizer.Tokenizer, maxSpeedMPS float64) *Checker {
 	return &Checker{
-		g:            g,
+		tk:           tk,
 		MaxSpeedMPS:  maxSpeedMPS,
 		ConeAngleRad: 45 * math.Pi / 180,
 		CycleLen:     6,
-		SlackMeters:  2 * g.EdgeMeters(),
+		SlackMeters:  2 * tk.EdgeMeters(),
 		PathKappa:    3,
 	}
 }
@@ -58,8 +59,8 @@ func (c *Checker) MaxPathMeters(seg Segment) float64 {
 	if c.Disabled {
 		return math.Inf(1)
 	}
-	direct := c.g.Centroid(seg.S).Dist(c.g.Centroid(seg.D))
-	floor := direct + c.SlackMeters + 2*c.g.StepMeters()
+	direct := c.tk.Detokenize(seg.S).Dist(c.tk.Detokenize(seg.D))
+	floor := direct + c.SlackMeters + 2*c.tk.StepMeters()
 	var bound float64
 	if seg.TimeDiff > 0 && c.MaxSpeedMPS > 0 {
 		bound = c.MaxSpeedMPS * seg.TimeDiff
@@ -103,24 +104,24 @@ func (c *Checker) insideSpeedEllipse(t grid.Cell, seg Segment) bool {
 	if seg.TimeDiff <= 0 || c.MaxSpeedMPS <= 0 {
 		return true // no timing information: constraint vacuous
 	}
-	fs := c.g.Centroid(seg.S)
-	fd := c.g.Centroid(seg.D)
+	fs := c.tk.Detokenize(seg.S)
+	fd := c.tk.Detokenize(seg.D)
 	limit := c.MaxSpeedMPS * seg.TimeDiff
 	// The direct path must always be admissible even with grid quantization.
 	if floor := fs.Dist(fd) + c.SlackMeters; limit < floor {
 		limit = floor
 	}
-	return geo.InsideEllipse(c.g.Centroid(t), fs, fd, limit)
+	return geo.InsideEllipse(c.tk.Detokenize(t), fs, fd, limit)
 }
 
 // inRejectedCone implements the red token area of Figure 5: tokens deviating
 // less than the cone angle from the direction S→Prev (doubling back) or
 // D→Next (jumping ahead) are rejected.
 func (c *Checker) inRejectedCone(t grid.Cell, seg Segment) bool {
-	tc := c.g.Centroid(t)
+	tc := c.tk.Detokenize(t)
 	if seg.Prev != nil {
-		s := c.g.Centroid(seg.S)
-		back := c.g.Centroid(*seg.Prev).Sub(s).Heading()
+		s := c.tk.Detokenize(seg.S)
+		back := c.tk.Detokenize(*seg.Prev).Sub(s).Heading()
 		if tc.Dist(s) > 1e-9 {
 			if geo.AngleDiff(tc.Sub(s).Heading(), back) < c.ConeAngleRad {
 				return true
@@ -128,8 +129,8 @@ func (c *Checker) inRejectedCone(t grid.Cell, seg Segment) bool {
 		}
 	}
 	if seg.Next != nil {
-		d := c.g.Centroid(seg.D)
-		ahead := c.g.Centroid(*seg.Next).Sub(d).Heading()
+		d := c.tk.Detokenize(seg.D)
+		ahead := c.tk.Detokenize(*seg.Next).Sub(d).Heading()
 		if tc.Dist(d) > 1e-9 {
 			if geo.AngleDiff(tc.Sub(d).Heading(), ahead) < c.ConeAngleRad {
 				return true

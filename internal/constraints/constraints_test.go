@@ -6,11 +6,12 @@ import (
 
 	"kamel/internal/geo"
 	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
 )
 
 func setup() (*Checker, grid.Grid) {
 	g := grid.NewHex(75)
-	return NewChecker(g, 30), g
+	return NewChecker(tokenizer.NewFixed(g), 30), g
 }
 
 func TestSpeedEllipse(t *testing.T) {

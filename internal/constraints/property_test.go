@@ -7,6 +7,7 @@ import (
 
 	"kamel/internal/geo"
 	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
 )
 
 // TestFilterSubsetProperty: Filter output is always an order-preserving
@@ -53,14 +54,14 @@ func TestFilterSubsetProperty(t *testing.T) {
 }
 
 func setupLike(g grid.Grid) (*Checker, grid.Grid) {
-	return NewChecker(g, 30), g
+	return NewChecker(tokenizer.NewFixed(g), 30), g
 }
 
 // TestDisabledCheckerPassesEverything: the No-Const ablation accepts any
 // candidate except exact gap endpoints, and never bounds path length.
 func TestDisabledCheckerPassesEverything(t *testing.T) {
 	g := grid.NewHex(75)
-	c := NewChecker(g, 30)
+	c := NewChecker(tokenizer.NewFixed(g), 30)
 	c.Disabled = true
 	s := g.CellAt(geo.XY{X: 0, Y: 0})
 	d := g.CellAt(geo.XY{X: 500, Y: 0})
@@ -81,7 +82,7 @@ func TestDisabledCheckerPassesEverything(t *testing.T) {
 // TestMaxPathMeters covers the three regimes of the path bound.
 func TestMaxPathMeters(t *testing.T) {
 	g := grid.NewHex(75)
-	c := NewChecker(g, 20)
+	c := NewChecker(tokenizer.NewFixed(g), 20)
 	s := g.CellAt(geo.XY{X: 0, Y: 0})
 	d := g.CellAt(geo.XY{X: 1000, Y: 0})
 

@@ -259,7 +259,7 @@ func benchImputeConcurrent(b *testing.B, mode string) {
 		b.Fatal("no gap requests")
 	}
 	cfg := impute.Config{
-		Grid: sys.g, Checker: sys.checker,
+		Tokenizer: sys.tok, Checker: sys.checker,
 		MaxGapMeters: sys.cfg.MaxGapM, MaxCalls: 200, TopK: 40, Beam: 4, Alpha: 1,
 	}
 	// RunParallel spawns GOMAXPROCS x parallelism goroutines; pick the

@@ -50,8 +50,8 @@ func gapRequests(sys *System, tests []geo.Trajectory, sparse float64) []impute.R
 			a := sys.proj.ToXY(sp.Points[i])
 			bxy := sys.proj.ToXY(sp.Points[i+1])
 			out = append(out, impute.Request{
-				S:        sys.g.CellAt(a),
-				D:        sys.g.CellAt(bxy),
+				S:        sys.tok.Tokenize(a),
+				D:        sys.tok.Tokenize(bxy),
 				TimeDiff: sp.Points[i+1].T - sp.Points[i].T,
 			})
 		}
@@ -108,7 +108,7 @@ func BenchmarkPredictorBERT(b *testing.B) {
 	sys, tests := benchFixture(b)
 	reqs := gapRequests(sys, tests[:4], 800)
 	cfg := impute.Config{
-		Grid: sys.g, Checker: sys.checker,
+		Tokenizer: sys.tok, Checker: sys.checker,
 		MaxGapMeters: sys.cfg.MaxGapM, MaxCalls: 200, TopK: 40, Beam: 4, Alpha: 1,
 	}
 	p := bundlePredictor{b: sys.global}
@@ -135,7 +135,7 @@ func BenchmarkPredictorNGram(b *testing.B) {
 	m.Train(seqs)
 	reqs := gapRequests(sys, tests[:4], 800)
 	cfg := impute.Config{
-		Grid: sys.g, Checker: sys.checker,
+		Tokenizer: sys.tok, Checker: sys.checker,
 		MaxGapMeters: sys.cfg.MaxGapM, MaxCalls: 200, TopK: 40, Beam: 4, Alpha: 1,
 	}
 	b.ResetTimer()

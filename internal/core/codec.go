@@ -67,6 +67,16 @@ func (s *System) SaveModels() error {
 	if s.repo == nil {
 		return fmt.Errorf("core: nothing to save (no repository; global-model mode is not persisted)")
 	}
+	// The spec precedes the models: a directory holding models must always
+	// name the token space they are expressed in.  Training already wrote it
+	// (ensureTokenizerLocked), so this re-save is an idempotent no-op unless
+	// the directory was wiped between train and save.
+	s.mu.Lock()
+	err := s.saveSpecLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	if _, err := s.repo.CommitFS(fsx.OS(), s.modelsDir(), bundleCodec{}); err != nil {
 		return err
 	}
@@ -102,6 +112,12 @@ func (s *System) LoadModels() error {
 		if err := s.initStorage(); err != nil {
 			return err
 		}
+	}
+	// Restore the frozen token mapping first — a corrupt or missing spec
+	// must refuse the models, because serving them in an unknown token space
+	// would silently misplace every imputed point.
+	if err := s.loadTokenizerLocked(); err != nil {
+		return err
 	}
 	repo, report, err := pyramid.LoadIndexFS(fsx.OS(), s.modelsDir())
 	if err != nil {

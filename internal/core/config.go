@@ -27,6 +27,14 @@ const (
 	StrategyIterative Strategy = "iterative"
 )
 
+// Tokenizer kinds accepted by Config.Tokenizer.
+const (
+	// TokenizerFixed is the uniform grid of the paper (§3), the default.
+	TokenizerFixed = "fixed"
+	// TokenizerAdaptive is the density-adaptive multi-resolution tokenizer.
+	TokenizerAdaptive = "adaptive"
+)
+
 // Config collects every tunable of the system.  Zero values are filled with
 // the paper's defaults by Normalize.
 type Config struct {
@@ -37,6 +45,20 @@ type Config struct {
 	GridKind    string  // "hex" (default) or "square" (§8.5 comparison)
 	CellEdgeM   float64 // hexagon edge length (default 75, the paper's tuned value)
 	SquareEdgeM float64 // square edge when GridKind=="square" (default: area-matched)
+	// Tokenizer selects how points become tokens: "fixed" (default — the
+	// uniform grid above) or "adaptive" (density-adaptive multi-resolution:
+	// hot cells split into finer sub-cells, sparse cells merge into coarser
+	// super-cells, raising the training-data factor of §3 at both ends).
+	// Adaptive requires GridKind "hex".  The adaptive mapping is derived from
+	// the first training batch, frozen, and persisted next to the model
+	// manifest — tokens are identities shared by every persisted artifact.
+	Tokenizer string
+	// AdaptiveSplitMin/AdaptiveMergeMax/AdaptiveMaxSplit tune the adaptive
+	// derivation (tokenizer.BuildOptions).  Zero = automatic thresholds; a
+	// negative AdaptiveMergeMax disables merging.
+	AdaptiveSplitMin int
+	AdaptiveMergeMax int
+	AdaptiveMaxSplit int
 
 	// Partitioning (§4).
 	Region     geo.Rect // deployment region; empty = derived from first training batch
@@ -113,6 +135,7 @@ func DefaultConfig(workdir string) Config {
 		Workdir:      workdir,
 		GridKind:     "hex",
 		CellEdgeM:    75,
+		Tokenizer:    TokenizerFixed,
 		PyramidH:     3,
 		PyramidL:     3,
 		ThresholdK:   2000,
@@ -142,6 +165,15 @@ func (c *Config) Normalize() error {
 	}
 	if c.GridKind != "hex" && c.GridKind != "square" {
 		return fmt.Errorf("core: unknown grid kind %q", c.GridKind)
+	}
+	if c.Tokenizer == "" {
+		c.Tokenizer = d.Tokenizer
+	}
+	if c.Tokenizer != TokenizerFixed && c.Tokenizer != TokenizerAdaptive {
+		return fmt.Errorf("core: unknown tokenizer %q", c.Tokenizer)
+	}
+	if c.Tokenizer == TokenizerAdaptive && c.GridKind != "hex" {
+		return fmt.Errorf("core: adaptive tokenizer requires GridKind \"hex\", got %q", c.GridKind)
 	}
 	if c.CellEdgeM <= 0 {
 		c.CellEdgeM = d.CellEdgeM

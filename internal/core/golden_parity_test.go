@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/trajgen"
+)
+
+// goldenPath is the committed fixture produced by the pre-refactor pipeline
+// (fixed hex grid hard-wired through core).  TestGoldenParityFixedTokenizer
+// proves the tokenizer refactor kept the default fixed-tokenizer path
+// element-wise identical to it.  Regenerate with:
+//
+//	KAMEL_UPDATE_GOLDEN=1 go test ./internal/core -run TestGoldenParityFixed
+const goldenPath = "testdata/golden_fixed_impute.json"
+
+// goldenPoint stores one imputed GPS point with every float64 rendered in
+// exact hexadecimal notation, so the comparison is bit-exact rather than
+// within-epsilon: the acceptance bar is "identical output", not "close".
+type goldenPoint struct {
+	Lat string `json:"lat"`
+	Lng string `json:"lng"`
+	T   string `json:"t"`
+}
+
+type goldenTraj struct {
+	ID     string        `json:"id"`
+	Points []goldenPoint `json:"points"`
+}
+
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func goldenEncode(trs []geo.Trajectory) []goldenTraj {
+	out := make([]goldenTraj, len(trs))
+	for i, tr := range trs {
+		g := goldenTraj{ID: tr.ID}
+		for _, p := range tr.Points {
+			g.Points = append(g.Points, goldenPoint{
+				Lat: hexFloat(p.Lat), Lng: hexFloat(p.Lng), T: hexFloat(p.T),
+			})
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// goldenScenario materializes the deterministic porto-like workload the
+// fixture was generated from.  Everything is seeded: the road network, the
+// simulated trips, the train/test split, and KAMEL's own training.
+func goldenScenario(t *testing.T) (*geo.Projection, []geo.Trajectory, []geo.Trajectory) {
+	t.Helper()
+	p := trajgen.PortoLike(0.35)
+	p.City.Width, p.City.Height = 1800, 1800
+	p.Traffic.Trips = 60
+	_, proj, trajs, err := p.Materialize()
+	if err != nil {
+		t.Fatalf("materializing golden scenario: %v", err)
+	}
+	train, test := trajgen.SplitTrainTest(trajs, 0.8, 7)
+	if len(test) > 6 {
+		test = test[:6]
+	}
+	return proj, train, test
+}
+
+// goldenImpute trains a default-config (fixed hex tokenization) system on the
+// golden scenario and imputes the sparsified test set.
+func goldenImpute(t *testing.T) []geo.Trajectory {
+	t.Helper()
+	proj, train, test := goldenScenario(t)
+	cfg := DefaultConfig(t.TempDir())
+	cfg.Train.Steps = 200
+	cfg.PyramidH = 1
+	cfg.PyramidL = 2
+	cfg.ThresholdK = 300
+	sys, err := NewWithProjection(cfg, proj)
+	if err != nil {
+		t.Fatalf("NewWithProjection: %v", err)
+	}
+	defer sys.Close()
+	if err := sys.Train(train); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	out := make([]geo.Trajectory, 0, len(test))
+	for _, truth := range test {
+		sparse := truth.Sparsify(700)
+		dense, _, err := sys.Impute(sparse)
+		if err != nil {
+			t.Fatalf("Impute %s: %v", truth.ID, err)
+		}
+		out = append(out, dense)
+	}
+	return out
+}
+
+// TestGoldenParityFixedTokenizer asserts the default fixed-tokenizer
+// imputation output is element-wise identical to the committed pre-refactor
+// fixture.
+func TestGoldenParityFixedTokenizer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a system; skipped in -short")
+	}
+	got := goldenEncode(goldenImpute(t))
+	if os.Getenv("KAMEL_UPDATE_GOLDEN") != "" {
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixture updated: %s (%d trajectories)", goldenPath, len(got))
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture (regenerate with KAMEL_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want []goldenTraj
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing golden fixture: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trajectory count: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("trajectory %d: ID got %q want %q", i, got[i].ID, want[i].ID)
+		}
+		if len(got[i].Points) != len(want[i].Points) {
+			t.Fatalf("trajectory %s: point count got %d want %d",
+				want[i].ID, len(got[i].Points), len(want[i].Points))
+		}
+		for j, wp := range want[i].Points {
+			gp := got[i].Points[j]
+			if gp != wp {
+				t.Errorf("trajectory %s point %d: got {%s %s %s} want {%s %s %s}",
+					want[i].ID, j, gp.Lat, gp.Lng, gp.T, wp.Lat, wp.Lng, wp.T)
+				if j > 3 {
+					t.Fatal("stopping after repeated mismatches")
+				}
+			}
+		}
+	}
+}

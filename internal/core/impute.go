@@ -77,7 +77,7 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 	}
 	ss := s.serve.Load()
 	var stats baseline.Stats
-	if ss == nil || (ss.index == nil && ss.global == nil) {
+	if ss == nil || ss.tok == nil || (ss.index == nil && ss.global == nil) {
 		s.imputeErrs.Inc()
 		return geo.Trajectory{}, stats, ErrNotTrained
 	}
@@ -102,7 +102,7 @@ func (s *System) ImputeContext(ctx context.Context, tr geo.Trajectory) (geo.Traj
 	}
 	for i, p := range tr.Points {
 		xys[i] = ss.proj.ToXY(p)
-		cells[i] = s.g.CellAt(xys[i])
+		cells[i] = ss.tok.Tokenize(xys[i])
 	}
 	if observe != nil {
 		observe("impute.tokenize", time.Since(t0))
@@ -286,7 +286,7 @@ func (s *System) imputeGap(ctx context.Context, ss *serveState, cells []grid.Cel
 	}
 
 	cfg := impute.Config{
-		Grid:         s.g,
+		Tokenizer:    ss.tok,
 		Checker:      ss.checker,
 		MaxGapMeters: s.cfg.MaxGapM,
 		MaxCalls:     s.cfg.MaxCalls,

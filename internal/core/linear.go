@@ -30,7 +30,14 @@ func (s *System) ImputeLinear(tr geo.Trajectory) (geo.Trajectory, baseline.Stats
 		return geo.Trajectory{}, baseline.Stats{}, ErrNotTrained
 	}
 	step := s.cfg.MaxGapM
-	if sm := s.g.StepMeters(); step < sm {
+	// Resample at the published tokenizer's step when one exists (the
+	// adaptive step can be coarser than the base grid's); the base grid is
+	// the race-free fallback before any publication.
+	sm := s.g.StepMeters()
+	if ss := s.serve.Load(); ss != nil && ss.tok != nil {
+		sm = ss.tok.StepMeters()
+	}
+	if step < sm {
 		step = sm
 	}
 	lin := &baseline.Linear{Proj: proj, StepMeters: step}

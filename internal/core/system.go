@@ -20,6 +20,7 @@ import (
 	"kamel/internal/obs"
 	"kamel/internal/pyramid"
 	"kamel/internal/store"
+	"kamel/internal/tokenizer"
 	"kamel/internal/vocab"
 )
 
@@ -54,7 +55,8 @@ type serveState struct {
 	detok    *detok.Table
 	checker  *constraints.Checker
 	proj     *geo.Projection
-	speedMPS float64 // inferred max speed (§5.1)
+	tok      tokenizer.Tokenizer // frozen token mapping this generation was built with
+	speedMPS float64             // inferred max speed (§5.1)
 }
 
 // System is a deployed KAMEL instance.  Train and Impute may be called from
@@ -63,8 +65,18 @@ type serveState struct {
 // mutations under mu, long model rebuilds under maintMu).
 type System struct {
 	cfg  Config
-	g    grid.Grid
+	g    grid.Grid // base tessellation; also the routing key space of the cluster layer
 	proj *geo.Projection
+
+	// tok is the spatial tokenizer every persisted artifact (store tokens,
+	// vocabularies, models, detok clusters) is expressed in.  For the fixed
+	// tokenizer it is set at construction; for the adaptive tokenizer it is
+	// derived from the first training batch (or loaded from disk) and then
+	// frozen — tokens are identities, so the mapping must never change under
+	// a trained system.  Guarded by mu; the imputation path reads the copy in
+	// the published serveState instead.
+	tok       tokenizer.Tokenizer
+	tokFrozen bool
 
 	// serve is the atomically-published serving snapshot; see serveState.
 	serve atomic.Pointer[serveState]
@@ -219,6 +231,7 @@ func (s *System) publishLocked() {
 		detok:    s.detokTab,
 		checker:  s.checker,
 		proj:     s.proj,
+		tok:      s.tok,
 		speedMPS: s.speedMPS,
 	})
 }
@@ -284,6 +297,12 @@ func NewWithProjection(cfg Config, proj *geo.Projection) (*System, error) {
 		}
 		s.g = grid.NewSquare(edge)
 	}
+	if cfg.Tokenizer != TokenizerAdaptive {
+		// The fixed tokenizer is pure configuration; it exists from birth.
+		// It stays unfrozen until a persisted spec (disk wins) or the first
+		// training batch confirms it — see ensureTokenizerLocked.
+		s.tok = tokenizer.NewFixed(s.g)
+	}
 	if proj != nil {
 		if err := s.initStorage(); err != nil {
 			return nil, err
@@ -306,8 +325,30 @@ func (s *System) initStorage() error {
 // Config returns the (normalized) configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Grid returns the tokenization grid.
+// Grid returns the base tessellation.  The cluster layer routes on these
+// coarse cells regardless of tokenizer; token-space consumers should use
+// Tokenizer instead.
 func (s *System) Grid() grid.Grid { return s.g }
+
+// Tokenizer returns the active spatial tokenizer, or nil when an adaptive
+// tokenizer is configured but not yet derived (no training, no load).
+func (s *System) Tokenizer() tokenizer.Tokenizer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tok
+}
+
+// TokenizerSpecHash returns the canonical hash of the active tokenizer's
+// spec — the compatibility fingerprint replicas compare before exchanging
+// models — or "" when no tokenizer is active yet.
+func (s *System) TokenizerSpecHash() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.tok == nil {
+		return ""
+	}
+	return s.tok.Spec().Hash()
+}
 
 // Projection returns the planar projection, or nil before any training.
 func (s *System) Projection() *geo.Projection {
@@ -360,6 +401,14 @@ type Stats struct {
 	MaxSpeedMPS    float64 `json:"max_speed_mps"`
 	TrainSeconds   float64 `json:"train_seconds"`
 
+	// Tokenizer identity and shape: the kind, the spec fingerprint replicas
+	// compare, and — for the adaptive tokenizer — how many base cells were
+	// split finer / merged coarser.
+	TokenizerKind     string `json:"tokenizer_kind,omitempty"`
+	TokenizerSpecHash string `json:"tokenizer_spec_hash,omitempty"`
+	SplitCells        int    `json:"split_cells,omitempty"`
+	MergeCells        int    `json:"merge_cells,omitempty"`
+
 	QuarantinedModels   int   `json:"quarantined_models"`
 	CorruptStoreRecords int   `json:"corrupt_store_records"`
 	ServedSegments      int64 `json:"served_segments"`
@@ -393,6 +442,14 @@ func (s *System) SystemStats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := Stats{ShardID: s.cfg.ShardID, MaxSpeedMPS: s.speedMPS, TrainSeconds: s.trainTime}
+	if s.tok != nil {
+		out.TokenizerKind = s.tok.Kind()
+		out.TokenizerSpecHash = s.tok.Spec().Hash()
+		if a, ok := s.tok.(*tokenizer.Adaptive); ok {
+			out.SplitCells = a.SplitCells()
+			out.MergeCells = a.MergeCells()
+		}
+	}
 	if s.st != nil {
 		out.Trajectories = s.st.Len()
 		out.Tokens = s.st.TotalTokens()
@@ -490,18 +547,20 @@ func (s *System) WithAblation(disableConstraints, disableMultipoint bool) *Syste
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	clone := &System{
-		cfg:      s.cfg,
-		g:        s.g,
-		proj:     s.proj,
-		st:       s.st,
-		curIndex: s.curIndex,
-		global:   s.global,
-		detokTab: s.detokTab,
-		speedMPS: s.speedMPS,
-		served:   s.served,
-		cache:    s.cache, // paged models are shared; ablations only change search
-		adm:      s.adm,   // coalescing spans ablations: same models, same engine
-		maintCh:  make(chan []store.Traj, maintQueueDepth),
+		cfg:       s.cfg,
+		g:         s.g,
+		tok:       s.tok,
+		tokFrozen: s.tokFrozen,
+		proj:      s.proj,
+		st:        s.st,
+		curIndex:  s.curIndex,
+		global:    s.global,
+		detokTab:  s.detokTab,
+		speedMPS:  s.speedMPS,
+		served:    s.served,
+		cache:     s.cache, // paged models are shared; ablations only change search
+		adm:       s.adm,   // coalescing spans ablations: same models, same engine
+		maintCh:   make(chan []store.Traj, maintQueueDepth),
 		// The observability substrate is shared too: an ablation's requests
 		// count toward the same process-wide registry.
 		obsReg:        s.obsReg,
@@ -535,12 +594,13 @@ func (s *System) Repo() *pyramid.Repo {
 	return s.repo
 }
 
-// tokenize converts a trajectory to a store record: one grid token per point.
+// tokenize converts a trajectory to a store record: one spatial token per
+// point.  Callers hold mu and have run ensureTokenizerLocked.
 func (s *System) tokenize(tr geo.Trajectory) store.Traj {
 	rec := store.Traj{ID: tr.ID, Points: tr.Points}
 	rec.Tokens = make([]grid.Cell, len(tr.Points))
 	for i, p := range tr.Points {
-		rec.Tokens[i] = s.g.CellAt(s.proj.ToXY(p))
+		rec.Tokens[i] = s.tok.Tokenize(s.proj.ToXY(p))
 	}
 	return rec
 }

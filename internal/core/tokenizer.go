@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"path/filepath"
+
+	"kamel/internal/fsx"
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
+)
+
+// Tokenizer lifecycle.  Tokens are identities: every persisted artifact —
+// store records, per-model vocabularies, detokenization clusters — is
+// expressed in one token mapping, so the mapping must be fixed before the
+// first byte is written and never change afterwards.  The spec is therefore
+// frozen on first training (derived from the batch for the adaptive
+// tokenizer, confirmed from config for the fixed one), persisted atomically
+// next to the model manifest, and reloaded — disk wins over config — by
+// every later process.  A corrupt spec quarantines and refuses: serving
+// models whose token space is unknown would silently misplace every point.
+
+// specPath is where the frozen tokenizer spec lives, beside the manifest.
+func (s *System) specPath() string {
+	return filepath.Join(s.modelsDir(), tokenizer.SpecFile)
+}
+
+// ensureTokenizerLocked freezes the token mapping before the first byte of
+// trajectory data is persisted.  Callers hold mu.  Resolution order:
+//
+//  1. Already frozen: nothing to do.
+//  2. A spec persisted by an earlier process: adopt it verbatim (disk wins
+//     over config — retraining cannot be allowed to re-derive a different
+//     mapping over an existing store).  Corrupt specs quarantine and fail.
+//  3. No spec, fixed config: confirm the construction-time tokenizer.
+//  4. No spec, adaptive config: derive split/merge sets from the base-cell
+//     density of this first batch (deterministic in the batch).
+//
+// Whichever branch wins, the frozen spec is written to disk so restarts,
+// replicas, and the anti-entropy hash check all see the same fingerprint.
+func (s *System) ensureTokenizerLocked(trajs []geo.Trajectory) error {
+	if s.tokFrozen && s.tok != nil {
+		return nil
+	}
+	spec, err := tokenizer.LoadSpec(fsx.OS(), s.specPath())
+	switch {
+	case err == nil:
+		tk, nerr := tokenizer.New(spec)
+		if nerr != nil {
+			return fmt.Errorf("core: persisted tokenizer spec is unusable: %w", nerr)
+		}
+		if spec.Kind != s.cfg.Tokenizer {
+			slog.Warn("persisted tokenizer spec overrides configuration",
+				"component", "core", "disk", spec.Kind, "config", s.cfg.Tokenizer)
+		}
+		s.tok = tk
+		s.tokFrozen = true
+		return nil
+	case errors.Is(err, fsx.ErrCorrupt):
+		return s.quarantineSpec(err)
+	case !errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("core: reading tokenizer spec: %w", err)
+	}
+
+	if s.cfg.Tokenizer == TokenizerAdaptive {
+		counts := make(map[grid.Cell]uint64)
+		for _, tr := range trajs {
+			for _, p := range tr.Points {
+				counts[s.g.CellAt(s.proj.ToXY(p))]++
+			}
+		}
+		spec = tokenizer.BuildAdaptive(s.cfg.CellEdgeM, counts, tokenizer.BuildOptions{
+			SplitMin: s.cfg.AdaptiveSplitMin,
+			MergeMax: s.cfg.AdaptiveMergeMax,
+			MaxSplit: s.cfg.AdaptiveMaxSplit,
+		})
+		tk, err := tokenizer.New(spec)
+		if err != nil {
+			return fmt.Errorf("core: deriving adaptive tokenizer: %w", err)
+		}
+		s.tok = tk
+	}
+	// Fixed config: s.tok was set at construction; only the freeze and the
+	// durable spec are new.
+	s.tokFrozen = true
+	return s.saveSpecLocked()
+}
+
+// saveSpecLocked persists the frozen spec atomically beside the manifest.
+// It runs before any model commit of the same generation, so a directory
+// with models always names its token space.  Callers hold mu.
+func (s *System) saveSpecLocked() error {
+	if err := fsx.OS().MkdirAll(s.modelsDir(), 0o755); err != nil {
+		return fmt.Errorf("core: creating models dir for tokenizer spec: %w", err)
+	}
+	if err := tokenizer.SaveSpec(fsx.OS(), s.specPath(), s.tok.Spec()); err != nil {
+		return fmt.Errorf("core: persisting tokenizer spec: %w", err)
+	}
+	return nil
+}
+
+// quarantineSpec sidelines a corrupt spec file and returns the refusal
+// error.  The rename keeps the evidence for forensics while guaranteeing the
+// next process does not trip over the same bytes.
+func (s *System) quarantineSpec(cause error) error {
+	qdir := filepath.Join(s.modelsDir(), "quarantine")
+	if err := fsx.OS().MkdirAll(qdir, 0o755); err == nil {
+		if err := fsx.OS().Rename(s.specPath(), filepath.Join(qdir, tokenizer.SpecFile)); err == nil {
+			slog.Warn("quarantined corrupt tokenizer spec",
+				"component", "core", "file", s.specPath(), "err", cause)
+		}
+	}
+	return fmt.Errorf("core: tokenizer spec corrupt (quarantined; token space unknown, refusing): %w", cause)
+}
+
+// loadTokenizerLocked restores the frozen tokenizer for a process that loads
+// persisted models without training.  Callers hold mu.  A missing spec is
+// legal only for directories written before specs existed (or by a peer
+// that has not trained): the fixed construction-time tokenizer keeps
+// serving, left unfrozen so the next training round writes the spec.
+func (s *System) loadTokenizerLocked() error {
+	spec, err := tokenizer.LoadSpec(fsx.OS(), s.specPath())
+	switch {
+	case err == nil:
+		tk, nerr := tokenizer.New(spec)
+		if nerr != nil {
+			return fmt.Errorf("core: persisted tokenizer spec is unusable: %w", nerr)
+		}
+		s.tok = tk
+		s.tokFrozen = true
+		return nil
+	case errors.Is(err, fsx.ErrCorrupt):
+		return s.quarantineSpec(err)
+	case errors.Is(err, fs.ErrNotExist):
+		if s.tok == nil {
+			return fmt.Errorf("core: adaptive tokenizer configured but no tokenizer spec in %s", s.modelsDir())
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: reading tokenizer spec: %w", err)
+	}
+}
+
+// EnsureTokenizer freezes the token mapping from the given batch exactly as
+// the first training round would (see ensureTokenizerLocked).  The train
+// fan-out calls it on the gateway before scattering, so the whole replica
+// group can be offered one spec instead of each member deriving its own from
+// its sub-batch.
+func (s *System) EnsureTokenizer(trajs []geo.Trajectory) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureProjection(trajs); err != nil {
+		return err
+	}
+	return s.ensureTokenizerLocked(trajs)
+}
+
+// AdoptTokenizerSpec installs a spec offered by a peer (the train fan-out's
+// envelope) as this node's frozen token mapping.  A node that already froze
+// the same spec is a no-op; one frozen on a *different* spec refuses loudly —
+// its store and models are expressed in the other mapping, and silently
+// switching would misplace every persisted token.  The refusal surfaces as a
+// failed train ack, which is exactly how an operator finds the split brain.
+func (s *System) AdoptTokenizerSpec(spec tokenizer.Spec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tokFrozen && s.tok != nil {
+		if s.tok.Spec().Hash() == spec.Hash() {
+			return nil
+		}
+		return fmt.Errorf("core: refusing offered tokenizer spec %.12s: this node is frozen on %.12s",
+			spec.Hash(), s.tok.Spec().Hash())
+	}
+	tk, err := tokenizer.New(spec)
+	if err != nil {
+		return fmt.Errorf("core: offered tokenizer spec is unusable: %w", err)
+	}
+	s.tok = tk
+	s.tokFrozen = true
+	return s.saveSpecLocked()
+}
+
+// tokOrBase returns the active tokenizer, falling back to the fixed base
+// tessellation when none is derived yet (adaptive config before training).
+// Callers hold mu.
+func (s *System) tokOrBase() tokenizer.Tokenizer {
+	if s.tok != nil {
+		return s.tok
+	}
+	return tokenizer.NewFixed(s.g)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kamel/internal/tokenizer"
+)
+
+// TestAdaptiveTokenizerEndToEnd trains with the density-adaptive tokenizer,
+// imputes through it, and checks the frozen spec survives a save/load cycle
+// in a fresh process — including one whose configuration disagrees (disk
+// wins: tokens are identities, retraining must not re-derive a different
+// mapping over an existing store).
+func TestAdaptiveTokenizerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.Tokenizer = TokenizerAdaptive
+		c.AdaptiveSplitMin = 40 // low bar so the dense city core actually splits
+		c.DisablePartitioning = false
+		c.PyramidH, c.PyramidL, c.ThresholdK = 1, 2, 300
+	})
+	sys := trainedSystem(t, f)
+
+	st := sys.SystemStats()
+	if st.TokenizerKind != TokenizerAdaptive {
+		t.Fatalf("TokenizerKind = %q, want %q", st.TokenizerKind, TokenizerAdaptive)
+	}
+	if st.TokenizerSpecHash == "" {
+		t.Fatal("trained adaptive system must expose a spec hash")
+	}
+	if st.SplitCells == 0 {
+		t.Error("dense synthetic city with SplitMin=40 should split at least one cell")
+	}
+
+	truth := f.test[0]
+	dense, ist, err := sys.Impute(truth.Sparsify(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Points) < len(truth.Sparsify(700).Points) {
+		t.Errorf("imputation dropped points: %d -> %d", len(truth.Sparsify(700).Points), len(dense.Points))
+	}
+	if ist.Segments == 0 {
+		t.Error("sparsified trajectory produced no imputation segments")
+	}
+
+	if err := sys.SaveModels(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process, conflicting config: the persisted spec must win.
+	cfg2 := f.cfg
+	cfg2.Tokenizer = TokenizerFixed
+	sys2, err := NewWithProjection(cfg2, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if err := sys2.LoadModels(); err != nil {
+		t.Fatal(err)
+	}
+	tk := sys2.Tokenizer()
+	if tk == nil || tk.Kind() != TokenizerAdaptive {
+		t.Fatalf("disk spec must override fixed config, got %v", tk)
+	}
+	if got := sys2.TokenizerSpecHash(); got != st.TokenizerSpecHash {
+		t.Errorf("spec hash changed across load: %q != %q", got, st.TokenizerSpecHash)
+	}
+	if _, _, err := sys2.Impute(truth.Sparsify(700)); err != nil {
+		t.Fatalf("loaded system must impute: %v", err)
+	}
+}
+
+// TestTokenizerSpecCorruptionRefusesAndQuarantines flips bytes in the
+// persisted tokenizer spec and checks that loading models refuses outright —
+// serving models whose token space is unknown would silently misplace every
+// point — and that the corrupt file is sidelined into quarantine/ rather
+// than left to trip the next process.
+func TestTokenizerSpecCorruptionRefusesAndQuarantines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	f := newFixture(t, func(c *Config) {
+		c.Tokenizer = TokenizerAdaptive
+		c.DisablePartitioning = false
+		c.PyramidH, c.PyramidL, c.ThresholdK = 1, 2, 300
+	})
+	sys := trainedSystem(t, f)
+	if err := sys.SaveModels(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	specPath := filepath.Join(f.cfg.Workdir, "models", tokenizer.SpecFile)
+	buf, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xFF
+	if err := os.WriteFile(specPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := NewWithProjection(f.cfg, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	err = sys2.LoadModels()
+	if err == nil {
+		t.Fatal("corrupt tokenizer spec must refuse model loading")
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Errorf("refusal should mention quarantine, got: %v", err)
+	}
+	if _, serr := os.Stat(specPath); !os.IsNotExist(serr) {
+		t.Error("corrupt spec must be moved out of the models dir")
+	}
+	qPath := filepath.Join(f.cfg.Workdir, "models", "quarantine", tokenizer.SpecFile)
+	if _, serr := os.Stat(qPath); serr != nil {
+		t.Errorf("quarantined spec missing: %v", serr)
+	}
+
+	// With the poison gone, a retrain re-derives a spec and recovers.
+	sys3, err := NewWithProjection(f.cfg, f.proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys3.Close()
+	if err := sys3.Train(f.train[:4]); err != nil {
+		t.Fatalf("retrain after quarantine must succeed: %v", err)
+	}
+	if sys3.TokenizerSpecHash() == "" {
+		t.Error("retrained system must freeze a new spec")
+	}
+}

@@ -81,6 +81,11 @@ func (s *System) appendBatch(trajs []geo.Trajectory) ([]store.Traj, error) {
 	if err := s.ensureProjection(trajs); err != nil {
 		return nil, err
 	}
+	// Freeze the token mapping before the first record is written: every
+	// persisted artifact downstream is expressed in these tokens.
+	if err := s.ensureTokenizerLocked(trajs); err != nil {
+		return nil, err
+	}
 	batch := make([]store.Traj, 0, len(trajs))
 	for _, tr := range trajs {
 		if len(tr.Points) == 0 {
@@ -369,10 +374,11 @@ func (s *System) refreshSpeedEstimate() {
 	s.speedMPS = speeds[len(speeds)*95/100] * 1.3
 }
 
-// refreshChecker rebuilds the constraints checker against the current grid
-// and speed estimate.  The "No Const." ablation swaps in a vacuous checker.
+// refreshChecker rebuilds the constraints checker against the current
+// tokenizer and speed estimate.  The "No Const." ablation swaps in a vacuous
+// checker.
 func (s *System) refreshChecker() {
-	ch := constraints.NewChecker(s.g, s.speedMPS)
+	ch := constraints.NewChecker(s.tokOrBase(), s.speedMPS)
 	ch.ConeAngleRad = s.cfg.ConeAngleDeg * degToRad
 	ch.CycleLen = s.cfg.CycleLen
 	if s.cfg.DisableConstraints {
@@ -392,5 +398,5 @@ const degToRad = 3.14159265358979323846 / 180
 func (s *System) rebuildDetok() {
 	var all []store.Traj
 	s.st.All(func(tr store.Traj) bool { all = append(all, tr); return true })
-	s.detokTab = detok.Build(s.g, s.proj, all, detok.DefaultParams())
+	s.detokTab = detok.Build(s.tokOrBase(), s.proj, all, detok.DefaultParams())
 }

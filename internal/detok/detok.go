@@ -6,6 +6,7 @@ import (
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/store"
+	"kamel/internal/tokenizer"
 )
 
 // Cluster is one directional cluster of training points within a token.
@@ -18,7 +19,7 @@ type Cluster struct {
 // Table holds per-token cluster metadata, the offline product of §7 that the
 // online path reads.
 type Table struct {
-	g        grid.Grid
+	tk       tokenizer.Tokenizer
 	clusters map[grid.Cell][]Cluster
 	centroid map[grid.Cell]geo.XY // all-points centroid (Figure 8(b) fallback)
 }
@@ -38,7 +39,7 @@ func DefaultParams() Params {
 // points, cluster the points by direction and record cluster centroids and
 // mean directions.  Headings are taken between consecutive points of each
 // trajectory.
-func Build(g grid.Grid, proj *geo.Projection, trajs []store.Traj, p Params) *Table {
+func Build(tk tokenizer.Tokenizer, proj *geo.Projection, trajs []store.Traj, p Params) *Table {
 	if p.EpsRad <= 0 {
 		p.EpsRad = DefaultParams().EpsRad
 	}
@@ -69,7 +70,7 @@ func Build(g grid.Grid, proj *geo.Projection, trajs []store.Traj, p Params) *Tab
 	}
 
 	t := &Table{
-		g:        g,
+		tk:       tk,
 		clusters: make(map[grid.Cell][]Cluster, len(byToken)),
 		centroid: make(map[grid.Cell]geo.XY, len(byToken)),
 	}
@@ -133,7 +134,7 @@ func (t *Table) resolve(tokens []grid.Cell, i int, tok grid.Cell) geo.XY {
 		if c, ok := t.centroid[tok]; ok {
 			return c // Figure 8(b): one de-facto cluster / sparse data
 		}
-		return t.g.Centroid(tok) // Figure 8(c): never seen in training
+		return t.tk.Detokenize(tok) // Figure 8(c): never seen in training
 	}
 	if len(cl) == 1 {
 		return cl[0].Centroid
@@ -164,13 +165,13 @@ func (t *Table) resolve(tokens []grid.Cell, i int, tok grid.Cell) geo.XY {
 // tokenDirection averages the incoming and outgoing angles of token i within
 // the sequence, per §7.
 func (t *Table) tokenDirection(tokens []grid.Cell, i int) (float64, bool) {
-	here := t.g.Centroid(tokens[i])
+	here := t.tk.Detokenize(tokens[i])
 	var angles []float64
 	if i > 0 {
-		angles = append(angles, here.Sub(t.g.Centroid(tokens[i-1])).Heading())
+		angles = append(angles, here.Sub(t.tk.Detokenize(tokens[i-1])).Heading())
 	}
 	if i+1 < len(tokens) {
-		angles = append(angles, t.g.Centroid(tokens[i+1]).Sub(here).Heading())
+		angles = append(angles, t.tk.Detokenize(tokens[i+1]).Sub(here).Heading())
 	}
 	if len(angles) == 0 {
 		return 0, false

@@ -7,6 +7,7 @@ import (
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/store"
+	"kamel/internal/tokenizer"
 )
 
 // TestBuildParamsDefaults: zero params are replaced with defaults rather
@@ -21,7 +22,7 @@ func TestBuildParamsDefaults(t *testing.T) {
 		tr.Points = append(tr.Points, p)
 		tr.Tokens = append(tr.Tokens, g.CellAt(xy))
 	}
-	table := Build(g, proj, []store.Traj{tr}, Params{}) // zero params
+	table := Build(tokenizer.NewFixed(g), proj, []store.Traj{tr}, Params{}) // zero params
 	if table.NumTokens() == 0 {
 		t.Fatal("zero params must fall back to defaults, not produce nothing")
 	}
@@ -62,7 +63,7 @@ func TestDetokenizeSingleTokenNoDirection(t *testing.T) {
 		}
 		trajs = append(trajs, mk("ns", pts))
 	}
-	table := Build(g, proj, trajs, DefaultParams())
+	table := Build(tokenizer.NewFixed(g), proj, trajs, DefaultParams())
 	if len(table.Clusters(tok)) < 2 {
 		t.Skip("clustering merged the streets; direction fallback untestable here")
 	}

@@ -7,6 +7,7 @@ import (
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/store"
+	"kamel/internal/tokenizer"
 )
 
 func TestDBSCANSeparatesDirections(t *testing.T) {
@@ -107,7 +108,7 @@ func buildCrossroads(t *testing.T) (*Table, grid.Grid, *geo.Projection, grid.Cel
 		}
 		trajs = append(trajs, mk("ew", ew), mk("ns", ns))
 	}
-	return Build(g, proj, trajs, DefaultParams()), g, proj, tok
+	return Build(tokenizer.NewFixed(g), proj, trajs, DefaultParams()), g, proj, tok
 }
 
 func TestBuildFindsTwoClusters(t *testing.T) {
@@ -157,7 +158,7 @@ func TestDetokenizeFallbacks(t *testing.T) {
 		tr.Points = append(tr.Points, p)
 		tr.Tokens = append(tr.Tokens, g.CellAt(xy))
 	}
-	table := Build(g, proj, []store.Traj{tr}, DefaultParams())
+	table := Build(tokenizer.NewFixed(g), proj, []store.Traj{tr}, DefaultParams())
 
 	// Seen token without clusters: data centroid (Figure 8(b)).
 	tok := tr.Tokens[0]
@@ -181,7 +182,7 @@ func TestBuildIgnoresIsolatedPoints(t *testing.T) {
 		Points: []geo.Point{proj.ToLatLng(geo.XY{X: 1, Y: 1})},
 		Tokens: []grid.Cell{g.CellAt(geo.XY{X: 1, Y: 1})},
 	}
-	table := Build(g, proj, []store.Traj{tr}, DefaultParams())
+	table := Build(tokenizer.NewFixed(g), proj, []store.Traj{tr}, DefaultParams())
 	if table.NumTokens() != 0 {
 		t.Error("a single point has no direction and must be skipped")
 	}

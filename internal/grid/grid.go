@@ -18,15 +18,22 @@ import "kamel/internal/geo"
 // packing is stable across runs, making Cell suitable as a persisted token.
 type Cell int64
 
-// pack combines two 32-bit signed coordinates into one Cell.
-func pack(a, b int32) Cell {
+// Pack combines two 32-bit signed coordinates into one Cell.  It is exported
+// so multi-resolution tokenizers (internal/tokenizer) can address cells of
+// their underlying grids directly; plain grid consumers never need it.
+func Pack(a, b int32) Cell {
 	return Cell(int64(a)<<32 | int64(uint32(b)))
 }
 
-// unpack splits a Cell into its two 32-bit signed coordinates.
-func unpack(c Cell) (int32, int32) {
+// Unpack splits a Cell into its two 32-bit signed coordinates.
+func Unpack(c Cell) (int32, int32) {
 	return int32(int64(c) >> 32), int32(uint32(int64(c) & 0xffffffff))
 }
+
+// pack and unpack are the internal spellings, kept so the grid
+// implementations read unchanged.
+func pack(a, b int32) Cell         { return Pack(a, b) }
+func unpack(c Cell) (int32, int32) { return Unpack(c) }
 
 // Grid is the tokenization substrate interface.  Implementations must be
 // safe for concurrent use (they are stateless after construction).

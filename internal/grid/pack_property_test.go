@@ -1,0 +1,56 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPackUnpackRoundTrip is a property test over the Cell encoding: any
+// pair of signed 32-bit coordinates — negative axial coordinates included —
+// round-trips exactly, and the encoding is injective over the sweep.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	// Boundary cases first: extremes, sign changes, zero.
+	edges := []int32{-2147483648, -2147483647, -65536, -2, -1, 0, 1, 2, 65535, 2147483646, 2147483647}
+	for _, a := range edges {
+		for _, b := range edges {
+			q, r := Unpack(Pack(a, b))
+			if q != a || r != b {
+				t.Fatalf("Pack(%d,%d) round-tripped to (%d,%d)", a, b, q, r)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1234))
+	seen := make(map[Cell][2]int32, 200000)
+	for i := 0; i < 200000; i++ {
+		a := int32(rng.Uint32())
+		b := int32(rng.Uint32())
+		c := Pack(a, b)
+		q, r := Unpack(c)
+		if q != a || r != b {
+			t.Fatalf("Pack(%d,%d) round-tripped to (%d,%d)", a, b, q, r)
+		}
+		if prev, dup := seen[c]; dup && (prev[0] != a || prev[1] != b) {
+			t.Fatalf("Pack collision: (%d,%d) and (%d,%d) both encode %#x", prev[0], prev[1], a, b, uint64(c))
+		}
+		seen[c] = [2]int32{a, b}
+	}
+}
+
+// TestPackNegativeAxialGridConsistency proves the grids themselves address
+// negative-coordinate space consistently: a centroid computed from a packed
+// negative-axial cell maps back to the same cell.
+func TestPackNegativeAxialGridConsistency(t *testing.T) {
+	h := NewHex(75)
+	s := NewSquare(100)
+	for q := int32(-40); q <= 5; q += 3 {
+		for r := int32(-40); r <= 5; r += 3 {
+			c := Pack(q, r)
+			if got := h.CellAt(h.Centroid(c)); got != c {
+				t.Fatalf("hex: centroid of (%d,%d) mapped to %v", q, r, got)
+			}
+			if got := s.CellAt(s.Centroid(c)); got != c {
+				t.Fatalf("square: centroid of (%d,%d) mapped to %v", q, r, got)
+			}
+		}
+	}
+}

@@ -182,7 +182,7 @@ func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request)
 	prob := 1.0
 
 	for {
-		gaps := findGaps(cfg.Grid, seg, maxGap)
+		gaps := findGaps(cfg.Tokenizer, seg, maxGap)
 		if len(gaps) == 0 {
 			return Result{Tokens: seg, Prob: normalize(prob, len(seg)-2, cfg.Alpha), Calls: calls, Reason: "ok"}, nil
 		}
@@ -225,7 +225,7 @@ func IterativeContext(ctx context.Context, p Predictor, cfg Config, req Request)
 				if cfg.Checker.HasCycle(next[:gap+2]) {
 					continue // §5.2: reject outcomes that close a cycle
 				}
-				if pathLen(cfg.Grid, next) > maxPath {
+				if pathLen(cfg.Tokenizer, next) > maxPath {
 					continue // §5.1: would exceed the physically drivable length
 				}
 				seg = next
@@ -264,7 +264,7 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 	calls := 0
 
 	start := beamSeg{tokens: []grid.Cell{req.S, req.D}, prob: 1}
-	if findFirstGap(cfg.Grid, start.tokens, maxGap) < 0 {
+	if findFirstGap(cfg.Tokenizer, start.tokens, maxGap) < 0 {
 		return Result{Tokens: start.tokens, Prob: 1}, nil
 	}
 
@@ -284,7 +284,7 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 		}
 		var frontier []expansion
 		for _, bs := range live {
-			for _, gap := range findGaps(cfg.Grid, bs.tokens, maxGap) {
+			for _, gap := range findGaps(cfg.Tokenizer, bs.tokens, maxGap) {
 				frontier = append(frontier, expansion{seg: bs, gap: gap})
 			}
 		}
@@ -333,7 +333,7 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 				if cfg.Checker.HasCycle(next[:e.gap+2]) {
 					continue
 				}
-				if pathLen(cfg.Grid, next) > maxPath {
+				if pathLen(cfg.Tokenizer, next) > maxPath {
 					continue // §5.1: exceeds the drivable length bound
 				}
 				fresh = append(fresh, beamSeg{tokens: next, prob: e.seg.prob * cand.Prob})
@@ -371,7 +371,7 @@ func BeamContext(ctx context.Context, p Predictor, cfg Config, req Request) (Res
 			if best != nil && score < probLimit {
 				continue // pruned: cannot beat a concluded answer
 			}
-			if len(findGaps(cfg.Grid, bs.tokens, maxGap)) == 0 {
+			if len(findGaps(cfg.Tokenizer, bs.tokens, maxGap)) == 0 {
 				if best == nil || score > best.score {
 					best = &answer{tokens: bs.tokens, score: score}
 					if score > probLimit {

@@ -16,6 +16,7 @@ import (
 
 	"kamel/internal/constraints"
 	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
 )
 
 // Candidate is one predicted gap filler.
@@ -32,7 +33,7 @@ type Predictor interface {
 
 // Config parameterizes both imputation algorithms.
 type Config struct {
-	Grid         grid.Grid
+	Tokenizer    tokenizer.Tokenizer
 	Checker      *constraints.Checker
 	MaxGapMeters float64 // max_gap: adjacent output tokens must be closer than this
 	MaxCalls     int     // hard budget of Predictor calls per segment (paper §6)
@@ -50,9 +51,9 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's defaults: max_gap 100 m, beam 10, α=1.
-func DefaultConfig(g grid.Grid, ch *constraints.Checker) Config {
+func DefaultConfig(tk tokenizer.Tokenizer, ch *constraints.Checker) Config {
 	return Config{
-		Grid:         g,
+		Tokenizer:    tk,
 		Checker:      ch,
 		MaxGapMeters: 100,
 		MaxCalls:     300,
@@ -65,8 +66,8 @@ func DefaultConfig(g grid.Grid, ch *constraints.Checker) Config {
 // Validate reports the first problem with the configuration.
 func (c Config) Validate() error {
 	switch {
-	case c.Grid == nil:
-		return fmt.Errorf("impute: nil grid")
+	case c.Tokenizer == nil:
+		return fmt.Errorf("impute: nil tokenizer")
 	case c.Checker == nil:
 		return fmt.Errorf("impute: nil checker")
 	case c.MaxGapMeters <= 0:
@@ -105,12 +106,12 @@ type Result struct {
 	Reason string      // how the run ended: "ok", "budget", "dead-end"
 }
 
-// effectiveMaxGap clamps the configured meter threshold to the grid's
-// neighbor step: two adjacent cells can never be closer than StepMeters, so
+// effectiveMaxGap clamps the configured meter threshold to the tokenizer's
+// neighbor step: two adjacent tokens can never be closer than StepMeters, so
 // a smaller threshold would make every gap unfillable (the paper's Figure 6
 // measures max_gap in token steps for the same reason).
 func (c Config) effectiveMaxGap() float64 {
-	step := c.Grid.StepMeters() * 1.001
+	step := c.Tokenizer.StepMeters() * 1.001
 	if c.MaxGapMeters > step {
 		return c.MaxGapMeters
 	}
@@ -119,9 +120,9 @@ func (c Config) effectiveMaxGap() float64 {
 
 // findFirstGap returns the first index i such that tokens i and i+1 are more
 // than maxGap apart, or -1 when no gap remains (Algorithm 1's FindFirstGap).
-func findFirstGap(g grid.Grid, tokens []grid.Cell, maxGap float64) int {
+func findFirstGap(tk tokenizer.Tokenizer, tokens []grid.Cell, maxGap float64) int {
 	for i := 0; i+1 < len(tokens); i++ {
-		if grid.CentroidDistance(g, tokens[i], tokens[i+1]) > maxGap {
+		if tokenizer.CentroidDistance(tk, tokens[i], tokens[i+1]) > maxGap {
 			return i
 		}
 	}
@@ -129,10 +130,10 @@ func findFirstGap(g grid.Grid, tokens []grid.Cell, maxGap float64) int {
 }
 
 // findGaps returns every gap index (Algorithm 2's FindGaps).
-func findGaps(g grid.Grid, tokens []grid.Cell, maxGap float64) []int {
+func findGaps(tk tokenizer.Tokenizer, tokens []grid.Cell, maxGap float64) []int {
 	var out []int
 	for i := 0; i+1 < len(tokens); i++ {
-		if grid.CentroidDistance(g, tokens[i], tokens[i+1]) > maxGap {
+		if tokenizer.CentroidDistance(tk, tokens[i], tokens[i+1]) > maxGap {
 			out = append(out, i)
 		}
 	}
@@ -143,7 +144,7 @@ func findGaps(g grid.Grid, tokens []grid.Cell, maxGap float64) []int {
 // failure behaviour the paper mandates when the call budget is exhausted.
 func lineFallback(cfg Config, req Request, reason string) Result {
 	return Result{
-		Tokens: cfg.Grid.Line(req.S, req.D),
+		Tokens: cfg.Tokenizer.Line(req.S, req.D),
 		Prob:   0,
 		Failed: true,
 		Reason: reason,
@@ -158,10 +159,10 @@ func Iterative(p Predictor, cfg Config, req Request) (Result, error) {
 }
 
 // pathLen returns the summed centroid distance along a token sequence.
-func pathLen(g grid.Grid, tokens []grid.Cell) float64 {
+func pathLen(tk tokenizer.Tokenizer, tokens []grid.Cell) float64 {
 	var sum float64
 	for i := 0; i+1 < len(tokens); i++ {
-		sum += grid.CentroidDistance(g, tokens[i], tokens[i+1])
+		sum += tokenizer.CentroidDistance(tk, tokens[i], tokens[i+1])
 	}
 	return sum
 }

@@ -7,6 +7,7 @@ import (
 	"kamel/internal/constraints"
 	"kamel/internal/geo"
 	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
 )
 
 // midpointPredictor proposes the cell at the midpoint of the queried gap
@@ -26,8 +27,8 @@ func (m midpointPredictor) Predict(segment []grid.Cell, gapPos int, topK int) ([
 
 func testCfg() (Config, grid.Grid) {
 	g := grid.NewHex(50)
-	ch := constraints.NewChecker(g, 30)
-	cfg := DefaultConfig(g, ch)
+	ch := constraints.NewChecker(tokenizer.NewFixed(g), 30)
+	cfg := DefaultConfig(tokenizer.NewFixed(g), ch)
 	cfg.MaxGapMeters = 120
 	return cfg, g
 }
@@ -235,7 +236,7 @@ func TestConfigValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	muts := []func(*Config){
-		func(c *Config) { c.Grid = nil },
+		func(c *Config) { c.Tokenizer = nil },
 		func(c *Config) { c.Checker = nil },
 		func(c *Config) { c.MaxGapMeters = 0 },
 		func(c *Config) { c.MaxCalls = 0 },
@@ -258,14 +259,15 @@ func TestFindGaps(t *testing.T) {
 	b := g.CellAt(geo.XY{X: 500, Y: 0})
 	c := g.Neighbors(b)[0] // 86.6m from b: under the 120m max gap
 	tokens := []grid.Cell{a, b, c}
-	gaps := findGaps(g, tokens, 120)
+	tk := tokenizer.NewFixed(g)
+	gaps := findGaps(tk, tokens, 120)
 	if len(gaps) != 1 || gaps[0] != 0 {
 		t.Errorf("findGaps = %v, want [0]", gaps)
 	}
-	if got := findFirstGap(g, tokens, 120); got != 0 {
+	if got := findFirstGap(tk, tokens, 120); got != 0 {
 		t.Errorf("findFirstGap = %d", got)
 	}
-	if got := findFirstGap(g, tokens[1:], 120); got != -1 {
+	if got := findFirstGap(tk, tokens[1:], 120); got != -1 {
 		t.Errorf("dense segment findFirstGap = %d, want -1", got)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"kamel/internal/constraints"
 	"kamel/internal/geo"
 	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
 )
 
 // scriptedPredictor replays fixed candidate lists keyed by the gap's
@@ -34,8 +35,8 @@ func (s *scriptedPredictor) Predict(segment []grid.Cell, gapPos int, topK int) (
 // proceeds from S towards D as tokens land.
 func TestIterativeFillsLeftToRight(t *testing.T) {
 	g := grid.NewHex(50)
-	ch := constraints.NewChecker(g, 50)
-	cfg := DefaultConfig(g, ch)
+	ch := constraints.NewChecker(tokenizer.NewFixed(g), 50)
+	cfg := DefaultConfig(tokenizer.NewFixed(g), ch)
 	cfg.MaxGapMeters = 100 // clamped to one hex step internally
 
 	s := g.CellAt(geo.XY{X: 0, Y: 0})
@@ -62,8 +63,8 @@ func TestIterativeFillsLeftToRight(t *testing.T) {
 // normalized score.
 func TestBeamPrefersHigherNormalizedScore(t *testing.T) {
 	g := grid.NewHex(50)
-	ch := constraints.NewChecker(g, 50)
-	cfg := DefaultConfig(g, ch)
+	ch := constraints.NewChecker(tokenizer.NewFixed(g), 50)
+	cfg := DefaultConfig(tokenizer.NewFixed(g), ch)
 	cfg.Beam = 3
 
 	s := g.CellAt(geo.XY{X: 0, Y: 0})
@@ -100,8 +101,8 @@ func TestBeamPrefersHigherNormalizedScore(t *testing.T) {
 // search on a branchy script).
 func TestBeamWidthHonored(t *testing.T) {
 	g := grid.NewHex(50)
-	ch := constraints.NewChecker(g, 50)
-	cfg := DefaultConfig(g, ch)
+	ch := constraints.NewChecker(tokenizer.NewFixed(g), 50)
+	cfg := DefaultConfig(tokenizer.NewFixed(g), ch)
 	cfg.Beam = 2
 	cfg.MaxCalls = 500
 

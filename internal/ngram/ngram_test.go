@@ -8,6 +8,7 @@ import (
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/impute"
+	"kamel/internal/tokenizer"
 )
 
 func mk(ids ...int) []grid.Cell {
@@ -92,8 +93,9 @@ func TestDrivesImputation(t *testing.T) {
 	}
 	m.Train(seqs)
 
-	ch := constraints.NewChecker(g, 30)
-	cfg := impute.DefaultConfig(g, ch)
+	tk := tokenizer.NewFixed(g)
+	ch := constraints.NewChecker(tk, 30)
+	cfg := impute.DefaultConfig(tk, ch)
 	cfg.Beam = 3
 	req := impute.Request{S: corridor[0], D: corridor[len(corridor)-1]}
 	res, err := impute.Beam(m, cfg, req)

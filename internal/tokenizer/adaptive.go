@@ -1,0 +1,242 @@
+package tokenizer
+
+import (
+	"fmt"
+	"math"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// Adaptive is a density-adaptive multi-resolution hex tokenizer (the TrajTok
+// direction of PAPERS.md): a base tessellation of edge E whose hottest cells
+// are split into a finer tessellation (edge E/2) and whose sparsest cells
+// are merged into a coarser one (edge 2E).  Splitting hot cells gives the
+// model spatial resolution where trajectories concentrate; merging sparse
+// cells pools thin training data into fewer tokens, raising the paper's
+// training-data factor where a uniform grid would scatter it.
+//
+// A token's resolution level is packed into the spare high bits of the
+// 64-bit cell encoding (see the level-tag constants), so adaptive tokens
+// flow through every existing Token/grid.Cell-typed surface — the store,
+// vocabularies, model bundles — unchanged.  Base-level adaptive tokens are
+// bit-identical to the fixed grid's cells.
+//
+// The split and merge sets are derived from training data once (internal/
+// core freezes the spec at first training) and immutable afterwards; the
+// mapping is a pure function of the spec.
+type Adaptive struct {
+	base   *grid.Hex // edge E; also the level tokens outside both sets use
+	fine   *grid.Hex // edge E/2, for split cells
+	coarse *grid.Hex // edge 2E, for merge cells
+	split  map[grid.Cell]struct{}
+	merge  map[grid.Cell]struct{}
+	spec   Spec
+}
+
+// Level tags occupy bits 63..58 of an adaptive token.  A fixed-grid cell
+// packs its q coordinate into the high 32 bits, so for any realistic |q|
+// (below 2^25 — thousands of kilometers from the projection origin at any
+// sane edge length) those six bits are the sign extension: all zeros or all
+// ones.  The tags are chosen to be neither, so fine and coarse tokens can
+// never collide with a base cell (TestAdaptiveLevelBitsNoCollision).
+const (
+	levelShift = 58
+	levelMask  = 0x3F
+	tagFine    = 0x15 // 0b010101
+	tagCoarse  = 0x2A // 0b101010
+
+	// Tagged tokens carry their axial coordinates as two 29-bit two's-
+	// complement fields.
+	coordBits = 29
+	coordMask = 1<<coordBits - 1
+)
+
+// packLevel encodes axial coordinates of a non-base level under a tag.
+func packLevel(tag uint64, q, r int32) Token {
+	u := tag<<levelShift |
+		(uint64(uint32(q))&coordMask)<<coordBits |
+		uint64(uint32(r))&coordMask
+	return Token(u)
+}
+
+// unpackLevel decodes the axial coordinates of a tagged token.
+func unpackLevel(t Token) (int32, int32) {
+	u := uint64(t)
+	q := int32(int64(u>>coordBits&coordMask<<(64-coordBits)) >> (64 - coordBits))
+	r := int32(int64(u&coordMask<<(64-coordBits)) >> (64 - coordBits))
+	return q, r
+}
+
+// tagOf extracts the level-tag bits.
+func tagOf(t Token) uint64 { return uint64(t) >> levelShift & levelMask }
+
+// NewAdaptive constructs the tokenizer an adaptive spec describes.
+func NewAdaptive(spec Spec) (*Adaptive, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != KindAdaptive {
+		return nil, fmt.Errorf("tokenizer: NewAdaptive given %q spec", spec.Kind)
+	}
+	a := &Adaptive{
+		base:   grid.NewHex(spec.EdgeM),
+		fine:   grid.NewHex(spec.EdgeM / 2),
+		coarse: grid.NewHex(spec.EdgeM * 2),
+		split:  make(map[grid.Cell]struct{}, len(spec.Split)),
+		merge:  make(map[grid.Cell]struct{}, len(spec.Merge)),
+	}
+	for _, c := range spec.Split {
+		if tag := tagOf(Token(c)); tag == tagFine || tag == tagCoarse {
+			return nil, fmt.Errorf("tokenizer: split set entry %#x is not a base cell", c)
+		}
+		a.split[grid.Cell(c)] = struct{}{}
+	}
+	for _, c := range spec.Merge {
+		if tag := tagOf(Token(c)); tag == tagFine || tag == tagCoarse {
+			return nil, fmt.Errorf("tokenizer: merge set entry %#x is not a base cell", c)
+		}
+		if _, dup := a.split[grid.Cell(c)]; dup {
+			return nil, fmt.Errorf("tokenizer: cell %#x in both split and merge sets", c)
+		}
+		a.merge[grid.Cell(c)] = struct{}{}
+	}
+	spec.Split = append([]int64(nil), spec.Split...)
+	spec.Merge = append([]int64(nil), spec.Merge...)
+	spec.normalize()
+	a.spec = spec
+	return a, nil
+}
+
+// Kind implements Tokenizer.
+func (a *Adaptive) Kind() string { return KindAdaptive }
+
+// EdgeMeters implements Tokenizer: the base-resolution edge.
+func (a *Adaptive) EdgeMeters() float64 { return a.base.EdgeMeters() }
+
+// StepMeters implements Tokenizer.  With a non-empty merge set, two adjacent
+// coarse tokens sit a coarse step apart, so the clamp floor must admit them;
+// without merges the base step is the worst case (fine tokens are closer).
+func (a *Adaptive) StepMeters() float64 {
+	if len(a.merge) > 0 {
+		return a.coarse.StepMeters()
+	}
+	return a.base.StepMeters()
+}
+
+// SplitCells and MergeCells report the multi-resolution set sizes (stats).
+func (a *Adaptive) SplitCells() int { return len(a.split) }
+func (a *Adaptive) MergeCells() int { return len(a.merge) }
+
+// Tokenize implements Tokenizer: the base cell decides the resolution level,
+// then the point is addressed in that level's tessellation.
+func (a *Adaptive) Tokenize(p geo.XY) Token {
+	c := a.base.CellAt(p)
+	if _, ok := a.split[c]; ok {
+		q, r := grid.Unpack(a.fine.CellAt(p))
+		return packLevel(tagFine, q, r)
+	}
+	if _, ok := a.merge[c]; ok {
+		q, r := grid.Unpack(a.coarse.CellAt(p))
+		return packLevel(tagCoarse, q, r)
+	}
+	return c
+}
+
+// Detokenize implements Tokenizer.
+func (a *Adaptive) Detokenize(t Token) geo.XY {
+	switch tagOf(t) {
+	case tagFine:
+		q, r := unpackLevel(t)
+		return a.fine.Centroid(grid.Pack(q, r))
+	case tagCoarse:
+		q, r := unpackLevel(t)
+		return a.coarse.Centroid(grid.Pack(q, r))
+	default:
+		return a.base.Centroid(t)
+	}
+}
+
+// levelGridCell returns the token's level tessellation and its cell address
+// within it.
+func (a *Adaptive) levelGridCell(t Token) (*grid.Hex, grid.Cell) {
+	switch tagOf(t) {
+	case tagFine:
+		q, r := unpackLevel(t)
+		return a.fine, grid.Pack(q, r)
+	case tagCoarse:
+		q, r := unpackLevel(t)
+		return a.coarse, grid.Pack(q, r)
+	default:
+		return a.base, t
+	}
+}
+
+// Neighbors implements Tokenizer: the six same-level geometric neighbors,
+// re-tokenized (a neighbor across a resolution boundary lands in its own
+// level), deduplicated, with t itself dropped.
+func (a *Adaptive) Neighbors(t Token) []Token {
+	g, c := a.levelGridCell(t)
+	out := make([]Token, 0, 6)
+	for _, n := range g.Neighbors(c) {
+		tok := a.Tokenize(g.Centroid(n))
+		if tok == t {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == tok {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Distance implements Tokenizer.  Same-level base pairs use the exact hex
+// cube distance (identical to the fixed grid); mixed-level pairs count steps
+// along the sampled line.
+func (a *Adaptive) Distance(ta, tb Token) int {
+	if tagOf(ta) != tagFine && tagOf(ta) != tagCoarse &&
+		tagOf(tb) != tagFine && tagOf(tb) != tagCoarse {
+		return a.base.Distance(ta, tb)
+	}
+	return len(a.Line(ta, tb)) - 1
+}
+
+// Line implements Tokenizer.  Base-to-base lines delegate to the exact hex
+// line algorithm; lines touching a split or merge region sample the planar
+// segment at a quarter of the fine edge — dense enough that no crossed token
+// is skipped — and deduplicate consecutive repeats.  Endpoints are pinned:
+// re-tokenizing a centroid near a resolution boundary may land outside the
+// endpoint's own token, so both ends are forced rather than derived.
+func (a *Adaptive) Line(ta, tb Token) []Token {
+	aBase := tagOf(ta) != tagFine && tagOf(ta) != tagCoarse
+	bBase := tagOf(tb) != tagFine && tagOf(tb) != tagCoarse
+	if aBase && bBase && len(a.split) == 0 && len(a.merge) == 0 {
+		return a.base.Line(ta, tb)
+	}
+	if ta == tb {
+		return []Token{ta}
+	}
+	from, to := a.Detokenize(ta), a.Detokenize(tb)
+	dist := from.Dist(to)
+	pitch := a.fine.EdgeMeters() / 4
+	n := int(math.Ceil(dist/pitch)) + 1
+	out := []Token{ta}
+	for i := 1; i < n; i++ {
+		f := float64(i) / float64(n)
+		tok := a.Tokenize(geo.XY{X: from.X + (to.X-from.X)*f, Y: from.Y + (to.Y-from.Y)*f})
+		if tok != out[len(out)-1] && tok != tb {
+			out = append(out, tok)
+		}
+	}
+	return append(out, tb)
+}
+
+// Spec implements Tokenizer.
+func (a *Adaptive) Spec() Spec { return a.spec }

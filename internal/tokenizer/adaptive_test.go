@@ -1,0 +1,272 @@
+package tokenizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// TestAdaptiveLevelBitsNoCollision is the satellite property test for the
+// token encoding: fine/coarse tokens (level tag in bits 63..58) can never
+// equal a fixed-grid cell for any realistic axial coordinate, and the tagged
+// packing round-trips negative coordinates exactly.
+func TestAdaptiveLevelBitsNoCollision(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const coordSpan = 1 << 25 // |q| < 2^25 ≈ thousands of km at any sane edge
+	for i := 0; i < 200000; i++ {
+		q := int32(rng.Intn(2*coordSpan)) - coordSpan
+		r := int32(rng.Intn(2*coordSpan)) - coordSpan
+
+		// A fixed-grid cell's tag bits are q's sign extension: never a tag.
+		cell := grid.Pack(q, r)
+		if tag := tagOf(cell); tag != 0 && tag != levelMask {
+			t.Fatalf("fixed cell (%d,%d) has tag bits %#x", q, r, tag)
+		}
+
+		// Tagged tokens carry the fine/coarse patterns, so they collide with
+		// no fixed cell; and both fields round-trip, sign included.
+		for _, tag := range []uint64{tagFine, tagCoarse} {
+			tok := packLevel(tag, q, r)
+			if got := tagOf(tok); got != tag {
+				t.Fatalf("packLevel(%#x,%d,%d) read back tag %#x", tag, q, r, got)
+			}
+			gq, gr := unpackLevel(tok)
+			if gq != q || gr != r {
+				t.Fatalf("packLevel(%#x,%d,%d) round-tripped to (%d,%d)", tag, q, r, gq, gr)
+			}
+			if tok == Token(cell) {
+				t.Fatalf("tagged token collides with fixed cell at (%d,%d)", q, r)
+			}
+		}
+	}
+	if tagFine == tagCoarse {
+		t.Fatal("fine and coarse tags must differ")
+	}
+}
+
+// TestAdaptiveEmptySetsMatchFixed proves an adaptive tokenizer with no split
+// or merge cells is behaviourally the fixed hex tokenizer: identical tokens,
+// centroids, lines, and step.
+func TestAdaptiveEmptySetsMatchFixed(t *testing.T) {
+	a := mustAdaptive(t, Spec{Kind: KindAdaptive, Grid: "hex", EdgeM: 75})
+	f := NewFixed(grid.NewHex(75))
+	if a.StepMeters() != f.StepMeters() {
+		t.Errorf("step %v != fixed %v", a.StepMeters(), f.StepMeters())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		p := geo.XY{X: rng.Float64()*10000 - 5000, Y: rng.Float64()*10000 - 5000}
+		ta, tf := a.Tokenize(p), f.Tokenize(p)
+		if ta != tf {
+			t.Fatalf("Tokenize(%v): adaptive %v != fixed %v", p, ta, tf)
+		}
+		if a.Detokenize(ta) != f.Detokenize(tf) {
+			t.Fatalf("Detokenize(%v) differs", ta)
+		}
+		b := a.Tokenize(geo.XY{X: p.X + 500, Y: p.Y - 300})
+		la, lf := a.Line(ta, b), f.Line(tf, b)
+		if len(la) != len(lf) {
+			t.Fatalf("Line length %d != %d", len(la), len(lf))
+		}
+		for j := range la {
+			if la[j] != lf[j] {
+				t.Fatalf("Line[%d] differs", j)
+			}
+		}
+	}
+}
+
+// adaptiveFixture builds a tokenizer with one split cell at the origin and a
+// ring of merge cells a few steps east.
+func adaptiveFixture(t *testing.T) (*Adaptive, grid.Cell, grid.Cell) {
+	t.Helper()
+	base := grid.NewHex(75)
+	splitCell := base.CellAt(geo.XY{})
+	mergeCell := base.CellAt(geo.XY{X: 1200, Y: 0})
+	a := mustAdaptive(t, Spec{Kind: KindAdaptive, Grid: "hex", EdgeM: 75,
+		Split: []int64{int64(splitCell)},
+		Merge: []int64{int64(mergeCell)}})
+	return a, splitCell, mergeCell
+}
+
+// TestAdaptiveLevels proves points tokenize at the level their base cell
+// dictates, and that detokenization stays near the point (the centroid of
+// the token's own resolution).
+func TestAdaptiveLevels(t *testing.T) {
+	a, splitCell, mergeCell := adaptiveFixture(t)
+	base := grid.NewHex(75)
+	rng := rand.New(rand.NewSource(11))
+	var sawFine, sawCoarse, sawBase int
+	for i := 0; i < 5000; i++ {
+		p := geo.XY{X: rng.Float64()*3000 - 600, Y: rng.Float64()*1200 - 600}
+		tok := a.Tokenize(p)
+		switch base.CellAt(p) {
+		case splitCell:
+			if tagOf(tok) != tagFine {
+				t.Fatalf("point %v in split cell got tag %#x", p, tagOf(tok))
+			}
+			sawFine++
+			if d := a.Detokenize(tok).Dist(p); d > 75 {
+				t.Fatalf("fine token centroid %.1fm from point", d)
+			}
+		case mergeCell:
+			if tagOf(tok) != tagCoarse {
+				t.Fatalf("point %v in merge cell got tag %#x", p, tagOf(tok))
+			}
+			sawCoarse++
+			if d := a.Detokenize(tok).Dist(p); d > 4*75 {
+				t.Fatalf("coarse token centroid %.1fm from point", d)
+			}
+		default:
+			if tok != base.CellAt(p) {
+				t.Fatalf("point %v outside both sets retokenized to %v", p, tok)
+			}
+			sawBase++
+		}
+	}
+	if sawFine == 0 || sawCoarse == 0 || sawBase == 0 {
+		t.Fatalf("sweep did not cover all levels: fine=%d coarse=%d base=%d",
+			sawFine, sawCoarse, sawBase)
+	}
+	if a.SplitCells() != 1 || a.MergeCells() != 1 {
+		t.Errorf("set sizes: split=%d merge=%d", a.SplitCells(), a.MergeCells())
+	}
+}
+
+// TestAdaptiveLine proves lines through mixed-resolution space are pinned at
+// both endpoints, never repeat consecutively, and keep consecutive tokens
+// within a coarse step of each other — the contract the imputation fallback
+// and gap detection rely on.
+func TestAdaptiveLine(t *testing.T) {
+	a, _, _ := adaptiveFixture(t)
+	rng := rand.New(rand.NewSource(17))
+	maxStep := a.StepMeters() * 1.05
+	for i := 0; i < 500; i++ {
+		pa := geo.XY{X: rng.Float64()*3000 - 600, Y: rng.Float64()*1200 - 600}
+		pb := geo.XY{X: rng.Float64()*3000 - 600, Y: rng.Float64()*1200 - 600}
+		ta, tb := a.Tokenize(pa), a.Tokenize(pb)
+		line := a.Line(ta, tb)
+		if len(line) == 0 || line[0] != ta || line[len(line)-1] != tb {
+			t.Fatalf("line endpoints not pinned: %v .. %v for (%v,%v)",
+				line[0], line[len(line)-1], ta, tb)
+		}
+		for j := 1; j < len(line); j++ {
+			if line[j] == line[j-1] {
+				t.Fatalf("consecutive duplicate at %d", j)
+			}
+			if d := CentroidDistance(a, line[j-1], line[j]); d > maxStep {
+				t.Fatalf("line step %d spans %.1fm > %.1fm", j, d, maxStep)
+			}
+		}
+		if a.Distance(ta, tb) != len(line)-1 && tagOf(ta)+tagOf(tb) != 0 {
+			// Mixed-level distance is defined as line steps.
+			if tagOf(ta) == tagFine || tagOf(ta) == tagCoarse ||
+				tagOf(tb) == tagFine || tagOf(tb) == tagCoarse {
+				t.Fatalf("Distance != len(Line)-1 for tagged pair")
+			}
+		}
+	}
+}
+
+// TestAdaptiveNeighbors proves neighbor expansion crosses resolution
+// boundaries: neighbors are distinct, exclude the token itself, and sit
+// within a coarse step.
+func TestAdaptiveNeighbors(t *testing.T) {
+	a, splitCell, mergeCell := adaptiveFixture(t)
+	base := grid.NewHex(75)
+	seeds := []Token{
+		a.Tokenize(base.Centroid(splitCell)),                     // fine
+		a.Tokenize(base.Centroid(mergeCell)),                     // coarse
+		a.Tokenize(base.Centroid(splitCell).Add(geo.XY{X: 300})), // base near boundary
+	}
+	for _, tok := range seeds {
+		ns := a.Neighbors(tok)
+		if len(ns) == 0 {
+			t.Fatalf("token %v has no neighbors", tok)
+		}
+		seen := map[Token]bool{}
+		for _, n := range ns {
+			if n == tok {
+				t.Fatalf("token %v is its own neighbor", tok)
+			}
+			if seen[n] {
+				t.Fatalf("duplicate neighbor %v", n)
+			}
+			seen[n] = true
+			if d := CentroidDistance(a, tok, n); d > a.StepMeters()*1.5 {
+				t.Fatalf("neighbor %.1fm away exceeds plausible step", d)
+			}
+		}
+	}
+}
+
+// TestBuildAdaptive pins the spec derivation: deterministic across map
+// orders, hot cells split (bounded), sparse cells merged, disjoint sets.
+func TestBuildAdaptive(t *testing.T) {
+	counts := map[grid.Cell]uint64{}
+	base := grid.NewHex(75)
+	rng := rand.New(rand.NewSource(5))
+	hot := base.CellAt(geo.XY{})
+	counts[hot] = 10000
+	for i := 0; i < 400; i++ {
+		c := base.CellAt(geo.XY{X: rng.Float64() * 8000, Y: rng.Float64() * 8000})
+		counts[c] += uint64(1 + rng.Intn(40))
+	}
+	spec := BuildAdaptive(75, counts, BuildOptions{})
+	if len(spec.Split) == 0 {
+		t.Fatal("hot cell not split")
+	}
+	foundHot := false
+	for _, c := range spec.Split {
+		if grid.Cell(c) == hot {
+			foundHot = true
+		}
+	}
+	if !foundHot {
+		t.Fatal("hottest cell missing from split set")
+	}
+	if len(spec.Merge) == 0 {
+		t.Fatal("no sparse cells merged")
+	}
+	inSplit := map[int64]bool{}
+	for _, c := range spec.Split {
+		inSplit[c] = true
+	}
+	for _, c := range spec.Merge {
+		if inSplit[c] {
+			t.Fatalf("cell %#x in both sets", c)
+		}
+	}
+
+	// Determinism: rebuilding from a freshly-populated map (different
+	// iteration order) yields the identical spec hash.
+	counts2 := make(map[grid.Cell]uint64, len(counts))
+	for c, n := range counts {
+		counts2[c] = n
+	}
+	if got := BuildAdaptive(75, counts2, BuildOptions{}); got.Hash() != spec.Hash() {
+		t.Fatal("BuildAdaptive is order-sensitive")
+	}
+
+	// MaxSplit bounds the split set; the hottest cell still wins a slot.
+	bounded := BuildAdaptive(75, counts, BuildOptions{SplitMin: 1, MaxSplit: 3})
+	if len(bounded.Split) != 3 {
+		t.Fatalf("MaxSplit=3 produced %d split cells", len(bounded.Split))
+	}
+	foundHot = false
+	for _, c := range bounded.Split {
+		if grid.Cell(c) == hot {
+			foundHot = true
+		}
+	}
+	if !foundHot {
+		t.Fatal("hottest cell lost its split slot under MaxSplit")
+	}
+
+	// The derived spec constructs.
+	if _, err := NewAdaptive(spec); err != nil {
+		t.Fatalf("derived spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package tokenizer
+
+import (
+	"sort"
+
+	"kamel/internal/grid"
+)
+
+// BuildOptions tunes the adaptive spec derivation.  Zero values select
+// data-driven defaults.
+type BuildOptions struct {
+	// SplitMin is the training-occurrence count at or above which a base
+	// cell is split into fine sub-cells.  0 = automatic: 4× the mean count
+	// per occupied cell.
+	SplitMin int
+	// MergeMax is the count at or below which a base cell merges into its
+	// coarse super-cell.  0 = automatic: a quarter of the mean (at least 1).
+	// Negative disables merging.
+	MergeMax int
+	// MaxSplit bounds the split set, keeping the multi-resolution token set
+	// bounded no matter how skewed the data; the hottest cells win.
+	// 0 = default 256.
+	MaxSplit int
+}
+
+// BuildAdaptive derives an adaptive spec from base-cell occurrence counts of
+// a training corpus.  The derivation is deterministic: thresholds are pure
+// functions of the counts, and ties order by cell ID — the same corpus
+// always freezes the same spec (replicas fan the same batches out, so every
+// replica derives the same hash).
+func BuildAdaptive(edgeM float64, counts map[grid.Cell]uint64, opts BuildOptions) Spec {
+	spec := Spec{Kind: KindAdaptive, Grid: "hex", EdgeM: edgeM}
+	if len(counts) == 0 {
+		return spec
+	}
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	mean := float64(total) / float64(len(counts))
+
+	splitMin := float64(opts.SplitMin)
+	if opts.SplitMin <= 0 {
+		splitMin = 4 * mean
+	}
+	mergeMax := float64(opts.MergeMax)
+	if opts.MergeMax == 0 {
+		mergeMax = mean / 4
+		if mergeMax < 1 {
+			mergeMax = 1
+		}
+	}
+	maxSplit := opts.MaxSplit
+	if maxSplit <= 0 {
+		maxSplit = 256
+	}
+
+	type cc struct {
+		cell  grid.Cell
+		count uint64
+	}
+	hot := make([]cc, 0, len(counts))
+	for c, n := range counts {
+		if float64(n) >= splitMin {
+			hot = append(hot, cc{c, n})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].count != hot[j].count {
+			return hot[i].count > hot[j].count
+		}
+		return hot[i].cell < hot[j].cell
+	})
+	if len(hot) > maxSplit {
+		hot = hot[:maxSplit]
+	}
+	inSplit := make(map[grid.Cell]struct{}, len(hot))
+	for _, h := range hot {
+		spec.Split = append(spec.Split, int64(h.cell))
+		inSplit[h.cell] = struct{}{}
+	}
+	// A cell can qualify for both sets under pathological explicit
+	// thresholds; splitting wins so the sets stay disjoint.
+	for c, n := range counts {
+		if _, split := inSplit[c]; split {
+			continue
+		}
+		if opts.MergeMax >= 0 && float64(n) <= mergeMax {
+			spec.Merge = append(spec.Merge, int64(c))
+		}
+	}
+	spec.normalize()
+	return spec
+}

@@ -1,0 +1,144 @@
+package tokenizer
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"kamel/internal/fsx"
+	"kamel/internal/grid"
+)
+
+// Tokenizer kinds.
+const (
+	KindFixed    = "fixed"
+	KindAdaptive = "adaptive"
+)
+
+// Spec is the complete serializable description of a tokenizer.  It is the
+// unit of persistence and of replica compatibility: two processes holding
+// specs with equal Hash produce identical token mappings, so their models,
+// vocabularies, and stored token sequences are interchangeable.  A spec is
+// written once (when the tokenizer is frozen at first training) and never
+// mutated afterwards.
+type Spec struct {
+	// Kind is KindFixed or KindAdaptive.
+	Kind string `json:"kind"`
+	// Grid is the base tessellation ("hex" or "square"; adaptive requires
+	// "hex").
+	Grid string `json:"grid"`
+	// EdgeM is the base-resolution cell edge length in meters.
+	EdgeM float64 `json:"edge_m"`
+
+	// Adaptive-only fields.  Split lists the base cells whose points
+	// tokenize at the fine resolution (edge EdgeM/2); Merge lists the base
+	// cells whose points tokenize at the coarse resolution (edge 2×EdgeM).
+	// Both are sorted ascending, making the JSON encoding canonical.
+	Split []int64 `json:"split,omitempty"`
+	Merge []int64 `json:"merge,omitempty"`
+}
+
+// normalize sorts the cell sets so that equal mappings encode to equal
+// bytes (and therefore equal hashes) regardless of construction order.
+func (s *Spec) normalize() {
+	sort.Slice(s.Split, func(i, j int) bool { return s.Split[i] < s.Split[j] })
+	sort.Slice(s.Merge, func(i, j int) bool { return s.Merge[i] < s.Merge[j] })
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindFixed:
+		if s.Grid != "hex" && s.Grid != "square" {
+			return fmt.Errorf("tokenizer: fixed spec has unknown grid %q", s.Grid)
+		}
+	case KindAdaptive:
+		if s.Grid != "hex" {
+			return fmt.Errorf("tokenizer: adaptive spec requires a hex base grid, got %q", s.Grid)
+		}
+	default:
+		return fmt.Errorf("tokenizer: unknown kind %q", s.Kind)
+	}
+	if s.EdgeM <= 0 {
+		return fmt.Errorf("tokenizer: spec edge %v must be positive", s.EdgeM)
+	}
+	if s.Kind == KindFixed && (len(s.Split) > 0 || len(s.Merge) > 0) {
+		return fmt.Errorf("tokenizer: fixed spec carries split/merge sets")
+	}
+	return nil
+}
+
+// canonical returns the canonical JSON encoding of the spec: fixed field
+// order (Go struct order) with sorted cell sets.
+func (s Spec) canonical() []byte {
+	s.Split = append([]int64(nil), s.Split...)
+	s.Merge = append([]int64(nil), s.Merge...)
+	s.normalize()
+	buf, err := json.Marshal(s)
+	if err != nil {
+		// Spec holds only numbers and strings; Marshal cannot fail.
+		panic(fmt.Sprintf("tokenizer: encoding spec: %v", err))
+	}
+	return buf
+}
+
+// Hash returns the spec's compatibility fingerprint: the hex SHA-256 of its
+// canonical encoding.  Anti-entropy refuses to adopt models from a peer
+// whose spec hash differs — token IDs trained under a different tokenization
+// are meaningless locally.
+func (s Spec) Hash() string {
+	sum := sha256.Sum256(s.canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// New constructs the tokenizer a spec describes.  The construction is a pure
+// function of the spec: the same spec always yields the same token mapping.
+func New(spec Spec) (Tokenizer, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case KindFixed:
+		if spec.Grid == "square" {
+			return NewFixed(grid.NewSquare(spec.EdgeM)), nil
+		}
+		return NewFixed(grid.NewHex(spec.EdgeM)), nil
+	default:
+		return NewAdaptive(spec)
+	}
+}
+
+// SpecFile is the filename a tokenizer spec persists under, next to the
+// model manifest in the models directory: the spec and the models it
+// interprets commit to the same directory, through the same atomic-rename
+// fsx machinery.
+const SpecFile = "tokenizer.spec"
+
+// SaveSpec atomically writes the spec in a CRC-framed file.  Saving is
+// idempotent — the spec is immutable after freeze, so rewriting it on every
+// model commit is safe and keeps the pair atomic under crashes: either the
+// old spec+manifest generation is visible or the new one, never a mix.
+func SaveSpec(fsys fsx.FS, path string, spec Spec) error {
+	return fsx.WriteFramed(fsys, path, spec.canonical())
+}
+
+// LoadSpec reads a spec written by SaveSpec.  Corruption (torn write, bit
+// rot) surfaces as an error wrapping fsx.ErrCorrupt, which callers turn into
+// quarantine-and-refuse: serving token IDs under the wrong tokenization
+// would silently misplace every imputed point.
+func LoadSpec(fsys fsx.FS, path string) (Spec, error) {
+	payload, err := fsx.ReadFramed(fsys, path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		return Spec{}, fmt.Errorf("%w: %s: parsing spec: %v", fsx.ErrCorrupt, path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("%w: %s: %v", fsx.ErrCorrupt, path, err)
+	}
+	return spec, nil
+}

@@ -1,0 +1,148 @@
+package tokenizer
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kamel/internal/fsx"
+	"kamel/internal/grid"
+)
+
+func adaptiveSpec() Spec {
+	return Spec{Kind: KindAdaptive, Grid: "hex", EdgeM: 75,
+		Split: []int64{int64(grid.Pack(3, -2)), int64(grid.Pack(-1, 5))},
+		Merge: []int64{int64(grid.Pack(9, 9)), int64(grid.Pack(-4, -4))}}
+}
+
+// TestSpecHashCanonical proves the hash is order-insensitive over the cell
+// sets (equal mappings hash equal) and content-sensitive (different mappings
+// hash differently).
+func TestSpecHashCanonical(t *testing.T) {
+	a := adaptiveSpec()
+	b := adaptiveSpec()
+	b.Split[0], b.Split[1] = b.Split[1], b.Split[0]
+	b.Merge[0], b.Merge[1] = b.Merge[1], b.Merge[0]
+	if a.Hash() != b.Hash() {
+		t.Fatal("permuting cell sets changed the hash")
+	}
+	c := adaptiveSpec()
+	c.EdgeM = 80
+	if c.Hash() == a.Hash() {
+		t.Fatal("different edge, same hash")
+	}
+	d := adaptiveSpec()
+	d.Merge = d.Merge[:1]
+	if d.Hash() == a.Hash() {
+		t.Fatal("different merge set, same hash")
+	}
+	fixedHex := NewFixed(grid.NewHex(75)).Spec()
+	fixedSq := NewFixed(grid.NewSquare(75)).Spec()
+	if fixedHex.Hash() == fixedSq.Hash() {
+		t.Fatal("hex and square fixed specs hash equal")
+	}
+	if fixedHex.Hash() == a.Hash() {
+		t.Fatal("fixed and adaptive specs hash equal")
+	}
+}
+
+// TestSpecSaveLoadRoundTrip proves persistence reproduces the exact spec.
+func TestSpecSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SpecFile)
+	want := adaptiveSpec()
+	if err := SaveSpec(fsx.OS(), path, want); err != nil {
+		t.Fatalf("SaveSpec: %v", err)
+	}
+	got, err := LoadSpec(fsx.OS(), path)
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if got.Hash() != want.Hash() {
+		t.Fatalf("round-trip changed hash:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := New(got); err != nil {
+		t.Fatalf("loaded spec rejected by factory: %v", err)
+	}
+}
+
+// TestSpecFaultInjectionSweep is the satellite persistence sweep: fail every
+// mutating filesystem operation of a spec save in turn (including torn
+// writes) and prove the invariant — after any crash point, LoadSpec either
+// returns the previous spec intact or a clean not-exist/corrupt error, never
+// a silently different mapping.
+func TestSpecFaultInjectionSweep(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, SpecFile)
+		old := NewFixed(grid.NewHex(75)).Spec()
+		if err := SaveSpec(fsx.OS(), path, old); err != nil {
+			t.Fatal(err)
+		}
+		next := adaptiveSpec()
+		for failAt := 1; ; failAt++ {
+			ff := fsx.NewFault(fsx.OS())
+			ff.FailAt = failAt
+			ff.Torn = torn
+			err := SaveSpec(ff, path, next)
+			if ff.Ops() < failAt {
+				// The sweep walked past the last operation: the save
+				// succeeded untouched.
+				if err != nil {
+					t.Fatalf("torn=%v failAt=%d: unexpected error %v", torn, failAt, err)
+				}
+				got, err := LoadSpec(fsx.OS(), path)
+				if err != nil || got.Hash() != next.Hash() {
+					t.Fatalf("torn=%v: final save not durable: %v", torn, err)
+				}
+				break
+			}
+			if err == nil {
+				t.Fatalf("torn=%v failAt=%d: injected fault not surfaced", torn, failAt)
+			}
+			got, err := LoadSpec(fsx.OS(), path)
+			if err != nil {
+				t.Fatalf("torn=%v failAt=%d: crashed save corrupted the live spec: %v",
+					torn, failAt, err)
+			}
+			// Atomicity: the visible spec is the complete old one or (when
+			// the fault hit after the rename) the complete new one — never
+			// a torn mix, which LoadSpec would reject above.
+			if h := got.Hash(); h != old.Hash() && h != next.Hash() {
+				t.Fatalf("torn=%v failAt=%d: crashed save left a third spec", torn, failAt)
+			}
+		}
+	}
+}
+
+// TestSpecBitFlipQuarantines proves read-side corruption (bit rot) surfaces
+// as fsx.ErrCorrupt, the signal core turns into quarantine-and-refuse.
+func TestSpecBitFlipQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SpecFile)
+	if err := SaveSpec(fsx.OS(), path, adaptiveSpec()); err != nil {
+		t.Fatal(err)
+	}
+	ff := fsx.NewFault(fsx.OS())
+	ff.FlipBitIn = SpecFile
+	_, err := LoadSpec(ff, path)
+	if !errors.Is(err, fsx.ErrCorrupt) {
+		t.Fatalf("bit-flipped spec load: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSpecGarbageRejected proves a syntactically framed but semantically
+// invalid spec (valid CRC over garbage JSON) is still refused.
+func TestSpecGarbageRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SpecFile)
+	if err := fsx.WriteFramed(fsx.OS(), path, []byte(`{"kind":"mystery"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(fsx.OS(), path); !errors.Is(err, fsx.ErrCorrupt) {
+		t.Fatalf("garbage spec: got %v, want ErrCorrupt", err)
+	}
+	if _, err := LoadSpec(fsx.OS(), filepath.Join(t.TempDir(), "absent")); err == nil || errors.Is(err, fsx.ErrCorrupt) {
+		t.Fatalf("missing spec should be a plain I/O error, got %v", err)
+	}
+	_ = os.Remove(path)
+}

@@ -1,0 +1,76 @@
+// Package tokenizer decouples KAMEL's spatial tokenization (paper §3) from
+// the rest of the system.  The paper's Tokenization module exists to raise
+// the training-data factor — the average number of training occurrences per
+// token — and a fixed-edge tessellation is only one way to do that.  This
+// package puts the token mapping behind an interface with a serializable
+// spec, so the vocabulary, imputation search, constraints, detokenization,
+// and persistence layers all speak "tokens" without knowing how points
+// became tokens.
+//
+// Two implementations exist:
+//
+//   - Fixed wraps the hex/square grids of internal/grid unchanged — it is
+//     bit-identical to the pre-interface behaviour and is the parity
+//     baseline (and the default).
+//   - Adaptive is a data-driven multi-resolution hex tokenization in the
+//     TrajTok spirit: hot base cells split into finer sub-cells, sparse
+//     base cells merge into coarser super-cells, with the resolution level
+//     packed into spare bits of the existing 64-bit cell encoding.
+//
+// Cluster routing (internal/cluster) keeps its own coarse hex shard keys
+// built directly on internal/grid; it is deliberately NOT behind this
+// interface, so retokenizing a deployment never moves shard boundaries.
+package tokenizer
+
+import (
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// Token is a spatial token: what trajectories tokenize into and what BERT
+// vocabularies key on.  It is an alias (not a defined type) for grid.Cell,
+// so every persisted format — the trajectory store, vocabularies, model
+// bundles — keeps its exact binary layout, and fixed-tokenizer tokens are
+// the very same values the raw grids produce.
+type Token = grid.Cell
+
+// Tokenizer maps planar points to spatial tokens and back, and exposes the
+// token-space geometry the imputation search and the constraints module
+// need.  Implementations are immutable after construction and safe for
+// concurrent use.
+type Tokenizer interface {
+	// Kind identifies the tokenization scheme ("fixed" or "adaptive").
+	Kind() string
+	// EdgeMeters returns the base-resolution cell edge length, the scale
+	// used for constraint slack.
+	EdgeMeters() float64
+	// StepMeters returns the maximum centroid distance between two tokens
+	// at token distance 1.  Consumers clamp meter-valued gap thresholds to
+	// at least this, since no two distinct adjacent tokens can be closer
+	// (the paper's Figure 6 measures max_gap in token steps for the same
+	// reason).
+	StepMeters() float64
+	// Tokenize returns the token containing the planar point p.
+	Tokenize(p geo.XY) Token
+	// Detokenize returns the token's centroid in the planar frame — the
+	// geometric fallback position; internal/detok refines it with learned
+	// clusters.
+	Detokenize(t Token) geo.XY
+	// Neighbors returns the tokens adjacent to t, in a fixed order.
+	Neighbors(t Token) []Token
+	// Distance returns the minimum number of neighbor steps between a and b.
+	Distance(a, b Token) int
+	// Line returns the tokens crossed by the straight segment from a to b,
+	// inclusive of both endpoints, in order.
+	Line(a, b Token) []Token
+	// Spec returns the serializable description of this tokenizer.
+	// Constructing a tokenizer from the returned spec (New) reproduces the
+	// exact token mapping; its Hash is the compatibility fingerprint
+	// replicas compare before adopting each other's models.
+	Spec() Spec
+}
+
+// CentroidDistance returns the planar distance between two token centroids.
+func CentroidDistance(tk Tokenizer, a, b Token) float64 {
+	return tk.Detokenize(a).Dist(tk.Detokenize(b))
+}

@@ -1,0 +1,120 @@
+package tokenizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"kamel/internal/geo"
+	"kamel/internal/grid"
+)
+
+// TestFixedParityWithGrid proves Fixed is a transparent wrapper: every
+// interface method agrees exactly with the wrapped grid over a random point
+// and cell sweep, for both tessellations.  This is the foundation of the
+// refactor's parity guarantee — with identical tokens and token geometry,
+// the downstream pipeline cannot diverge.
+func TestFixedParityWithGrid(t *testing.T) {
+	grids := []grid.Grid{grid.NewHex(75), grid.NewSquare(100)}
+	rng := rand.New(rand.NewSource(42))
+	for _, g := range grids {
+		f := NewFixed(g)
+		if f.Kind() != KindFixed {
+			t.Errorf("%s: Kind = %q", g.Kind(), f.Kind())
+		}
+		if f.EdgeMeters() != g.EdgeMeters() || f.StepMeters() != g.StepMeters() {
+			t.Errorf("%s: edge/step mismatch", g.Kind())
+		}
+		for i := 0; i < 2000; i++ {
+			p := geo.XY{X: rng.Float64()*20000 - 10000, Y: rng.Float64()*20000 - 10000}
+			if f.Tokenize(p) != g.CellAt(p) {
+				t.Fatalf("%s: Tokenize(%v) != CellAt", g.Kind(), p)
+			}
+			a, b := g.CellAt(p), g.CellAt(geo.XY{X: p.X + rng.Float64()*1000, Y: p.Y - rng.Float64()*1000})
+			if f.Detokenize(a) != g.Centroid(a) {
+				t.Fatalf("%s: Detokenize(%v) != Centroid", g.Kind(), a)
+			}
+			if f.Distance(a, b) != g.Distance(a, b) {
+				t.Fatalf("%s: Distance mismatch", g.Kind())
+			}
+			la, lb := f.Line(a, b), g.Line(a, b)
+			if len(la) != len(lb) {
+				t.Fatalf("%s: Line length mismatch", g.Kind())
+			}
+			for j := range la {
+				if la[j] != lb[j] {
+					t.Fatalf("%s: Line[%d] mismatch", g.Kind(), j)
+				}
+			}
+			na, nb := f.Neighbors(a), g.Neighbors(a)
+			if len(na) != len(nb) {
+				t.Fatalf("%s: Neighbors length mismatch", g.Kind())
+			}
+			for j := range na {
+				if na[j] != nb[j] {
+					t.Fatalf("%s: Neighbors[%d] mismatch", g.Kind(), j)
+				}
+			}
+		}
+	}
+}
+
+// TestNewFromSpec proves the factory reproduces each tokenizer from its own
+// spec: same kind, same hash, same token mapping.
+func TestNewFromSpec(t *testing.T) {
+	base := []Tokenizer{
+		NewFixed(grid.NewHex(75)),
+		NewFixed(grid.NewSquare(120)),
+		mustAdaptive(t, Spec{Kind: KindAdaptive, Grid: "hex", EdgeM: 75,
+			Split: []int64{int64(grid.Pack(2, -1))}, Merge: []int64{int64(grid.Pack(-3, 4))}}),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tk := range base {
+		rebuilt, err := New(tk.Spec())
+		if err != nil {
+			t.Fatalf("New(%+v): %v", tk.Spec(), err)
+		}
+		if rebuilt.Kind() != tk.Kind() {
+			t.Errorf("kind %q != %q", rebuilt.Kind(), tk.Kind())
+		}
+		if rebuilt.Spec().Hash() != tk.Spec().Hash() {
+			t.Errorf("%s: hash changed across factory round-trip", tk.Kind())
+		}
+		for i := 0; i < 500; i++ {
+			p := geo.XY{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+			if rebuilt.Tokenize(p) != tk.Tokenize(p) {
+				t.Fatalf("%s: rebuilt tokenizer maps %v differently", tk.Kind(), p)
+			}
+		}
+	}
+}
+
+func mustAdaptive(t *testing.T, spec Spec) *Adaptive {
+	t.Helper()
+	a, err := NewAdaptive(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestNewRejectsInvalidSpecs pins the validation surface.
+func TestNewRejectsInvalidSpecs(t *testing.T) {
+	bad := []Spec{
+		{Kind: "mystery", Grid: "hex", EdgeM: 75},
+		{Kind: KindFixed, Grid: "triangle", EdgeM: 75},
+		{Kind: KindFixed, Grid: "hex", EdgeM: 0},
+		{Kind: KindAdaptive, Grid: "square", EdgeM: 75},
+		{Kind: KindFixed, Grid: "hex", EdgeM: 75, Split: []int64{1}},
+	}
+	for _, spec := range bad {
+		if _, err := New(spec); err == nil {
+			t.Errorf("New(%+v) accepted an invalid spec", spec)
+		}
+	}
+	// Overlapping split/merge sets are rejected at construction.
+	c := int64(grid.Pack(1, 1))
+	if _, err := NewAdaptive(Spec{Kind: KindAdaptive, Grid: "hex", EdgeM: 75,
+		Split: []int64{c}, Merge: []int64{c}}); err == nil {
+		t.Error("overlapping split/merge sets accepted")
+	}
+}

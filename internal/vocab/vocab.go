@@ -1,9 +1,11 @@
-// Package vocab maps grid cells (KAMEL's spatial tokens, paper §3) to the
-// dense integer IDs a BERT model consumes, mirroring the word-piece
-// vocabulary of the original BERT.  It also tracks token frequencies, which
-// quantify the paper's "training data factor" — the average number of times
-// each token appears in the training set — the very statistic Tokenization
-// exists to raise.
+// Package vocab maps spatial tokens (internal/tokenizer; KAMEL's grid-cell
+// tokens of paper §3) to the dense integer IDs a BERT model consumes,
+// mirroring the word-piece vocabulary of the original BERT.  It also tracks
+// token frequencies, which quantify the paper's "training data factor" — the
+// average number of times each token appears in the training set — the very
+// statistic Tokenization exists to raise.  The mapping is tokenizer-agnostic:
+// a token is an opaque 64-bit value, whether it came from a fixed grid or an
+// adaptive multi-resolution tokenizer.
 package vocab
 
 import (
@@ -13,7 +15,7 @@ import (
 	"io"
 	"sort"
 
-	"kamel/internal/grid"
+	"kamel/internal/tokenizer"
 )
 
 // Special token IDs.  They occupy the first slots of every vocabulary, as in
@@ -28,18 +30,19 @@ const (
 	NumSpecial = 5
 )
 
-// Vocab is a bidirectional mapping between grid cells and token IDs plus
+// Vocab is a bidirectional mapping between spatial tokens and token IDs plus
 // per-token training-frequency counts.  It is not safe for concurrent
 // mutation; build it single-threaded, then share it read-only.
 type Vocab struct {
-	idOf   map[grid.Cell]int
-	cellOf []grid.Cell // index = id - NumSpecial
-	counts []uint64    // parallel to cellOf
+	idOf   map[tokenizer.Token]int
+	cellOf []tokenizer.Token // index = id - NumSpecial
+	counts []uint64          // parallel to cellOf
+	total  uint64            // running sum of counts, so TotalCount is O(1)
 }
 
 // New returns an empty vocabulary containing only the special tokens.
 func New() *Vocab {
-	return &Vocab{idOf: make(map[grid.Cell]int)}
+	return &Vocab{idOf: make(map[tokenizer.Token]int)}
 }
 
 // Size returns the total number of token IDs, including the specials.
@@ -50,15 +53,15 @@ func (v *Vocab) Size() int { return NumSpecial + len(v.cellOf) }
 // bytes — Go map bucket plus key/value).  Used by the model cache to charge
 // a loaded model bundle against its byte budget.
 func (v *Vocab) SizeBytes() int64 {
-	const cellBytes = 8                         // grid.Cell is an int64
+	const cellBytes = 8                         // a token is an int64
 	n := int64(len(v.cellOf)) * (cellBytes + 8) // cellOf + counts
 	n += int64(len(v.idOf)) * (cellBytes + 8 + 48)
 	return n
 }
 
-// Add registers an occurrence of the cell, creating an ID on first sight,
-// and returns the cell's token ID.
-func (v *Vocab) Add(c grid.Cell) int {
+// Add registers an occurrence of the token, creating an ID on first sight,
+// and returns the token's ID.
+func (v *Vocab) Add(c tokenizer.Token) int {
 	id, ok := v.idOf[c]
 	if !ok {
 		id = NumSpecial + len(v.cellOf)
@@ -67,20 +70,22 @@ func (v *Vocab) Add(c grid.Cell) int {
 		v.counts = append(v.counts, 0)
 	}
 	v.counts[id-NumSpecial]++
+	v.total++
 	return id
 }
 
-// ID returns the token ID for the cell, or UNK if the cell was never added.
-func (v *Vocab) ID(c grid.Cell) int {
+// ID returns the token ID for the token, or UNK if it was never added.
+func (v *Vocab) ID(c tokenizer.Token) int {
 	if id, ok := v.idOf[c]; ok {
 		return id
 	}
 	return UNK
 }
 
-// Cell returns the cell for a token ID.  The second result is false for
-// special tokens and out-of-range IDs, which do not correspond to any cell.
-func (v *Vocab) Cell(id int) (grid.Cell, bool) {
+// Cell returns the spatial token for a token ID.  The second result is false
+// for special tokens and out-of-range IDs, which do not correspond to any
+// place.
+func (v *Vocab) Cell(id int) (tokenizer.Token, bool) {
 	i := id - NumSpecial
 	if i < 0 || i >= len(v.cellOf) {
 		return 0, false
@@ -88,8 +93,8 @@ func (v *Vocab) Cell(id int) (grid.Cell, bool) {
 	return v.cellOf[i], true
 }
 
-// Count returns how many times the cell behind the token ID occurred in
-// training data, or 0 for specials/unknown IDs.
+// Count returns how many times the token behind the ID occurred in training
+// data, or 0 for specials/unknown IDs.
 func (v *Vocab) Count(id int) uint64 {
 	i := id - NumSpecial
 	if i < 0 || i >= len(v.counts) {
@@ -98,14 +103,10 @@ func (v *Vocab) Count(id int) uint64 {
 	return v.counts[i]
 }
 
-// TotalCount returns the total number of token occurrences added.
-func (v *Vocab) TotalCount() uint64 {
-	var sum uint64
-	for _, c := range v.counts {
-		sum += c
-	}
-	return sum
-}
+// TotalCount returns the total number of token occurrences added.  It is
+// O(1): Add and ReadFrom maintain the running sum, so stats surfaces can
+// poll it per scrape without scanning every count.
+func (v *Vocab) TotalCount() uint64 { return v.total }
 
 // TrainingDataFactor returns the average number of occurrences per distinct
 // token — the paper's challenge-2 statistic (§1).  Zero for an empty
@@ -178,20 +179,22 @@ func (v *Vocab) ReadFrom(r io.Reader) (int64, error) {
 		return 0, fmt.Errorf("vocab: unsupported version %d", ver)
 	}
 	num := binary.LittleEndian.Uint64(head[8:16])
-	v.idOf = make(map[grid.Cell]int, num)
-	v.cellOf = make([]grid.Cell, 0, num)
+	v.idOf = make(map[tokenizer.Token]int, num)
+	v.cellOf = make([]tokenizer.Token, 0, num)
 	v.counts = make([]uint64, 0, num)
+	v.total = 0
 	rec := make([]byte, 16)
 	for i := uint64(0); i < num; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return 0, fmt.Errorf("vocab: reading record %d: %w", i, err)
 		}
-		c := grid.Cell(binary.LittleEndian.Uint64(rec[:8]))
+		c := tokenizer.Token(binary.LittleEndian.Uint64(rec[:8]))
 		cnt := binary.LittleEndian.Uint64(rec[8:16])
 		id := NumSpecial + len(v.cellOf)
 		v.idOf[c] = id
 		v.cellOf = append(v.cellOf, c)
 		v.counts = append(v.counts, cnt)
+		v.total += cnt
 	}
 	return int64(16 + 16*num), nil
 }

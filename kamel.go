@@ -68,6 +68,15 @@ const (
 	StrategyIterative = core.StrategyIterative // greedy iterative BERT calling
 )
 
+// Available spatial tokenizers (Config.Tokenizer).  The fixed tokenizer is
+// the paper's uniform grid; the adaptive one derives a density-adaptive
+// multi-resolution token space from the first training batch and freezes it
+// (see DESIGN.md "Adaptive tokenization").
+const (
+	TokenizerFixed    = core.TokenizerFixed    // uniform base tessellation (default)
+	TokenizerAdaptive = core.TokenizerAdaptive // density-adaptive multi-resolution
+)
+
 // Config mirrors the full system configuration; see core.Config for field
 // documentation.  Zero fields are filled with the paper's defaults.
 type Config = core.Config

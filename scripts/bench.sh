@@ -19,9 +19,17 @@
 # entry additionally records the realized coalescing stats — avg_batch and
 # queue_wait_p99_ms — emitted by the benchmark via b.ReportMetric.
 #
+# The tokenizer A/B (kamel-bench -tokenizer-ab) trains fixed-grid and
+# density-adaptive systems on both canonical datasets and records each token
+# space's vocab_size and training_data_factor (plus model count, accuracy,
+# and median imputation latency) under "tokenizer_ab" — the shape statistics
+# the adaptive tokenizer exists to improve, tracked across commits.
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=... overrides the per-benchmark budget (default 10x; use e.g.
 #   2s for more stable numbers on a quiet machine).
+#   TOKAB_SCALE/TOKAB_TESTS/TOKAB_STEPS resize the tokenizer A/B workload
+#   (defaults 0.5/4/300: a reduced but stable comparison).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -29,7 +37,8 @@ out=${1:-BENCH_impute.json}
 benchtime=${BENCHTIME:-10x}
 raw=$(mktemp)
 stages=$(mktemp)
-trap 'rm -f "$raw" "$stages"' EXIT
+tokab=$(mktemp)
+trap 'rm -f "$raw" "$stages" "$tokab"' EXIT
 
 go test -run '^$' -bench 'BenchmarkPredictor|BenchmarkModelLookup|BenchmarkImpute' \
 	-benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
@@ -44,6 +53,9 @@ go test -run '^$' -bench 'BenchmarkCluster' \
 	-benchmem -benchtime "${CLUSTER_BENCHTIME:-5x}" ./cmd/kamel/ | tee -a "$raw"
 
 go run ./cmd/kamel-bench -stage-latency "$stages"
+
+go run ./cmd/kamel-bench -tokenizer-ab "$tokab" \
+	-scale "${TOKAB_SCALE:-0.5}" -tests "${TOKAB_TESTS:-4}" -steps "${TOKAB_STEPS:-300}"
 
 {
 	printf '{\n'
@@ -68,6 +80,10 @@ go run ./cmd/kamel-bench -stage-latency "$stages"
 	printf '  ],\n'
 	printf '  "stage_latency": '
 	sed '1!s/^/  /' "$stages"
+	# sed above ends without a trailing comma inside the document; splice one
+	# in before the tokenizer_ab key.
+	printf '  ,\n  "tokenizer_ab": '
+	sed '1!s/^/  /' "$tokab"
 	printf '}\n'
 } >"$out"
 echo "bench: wrote $out"
