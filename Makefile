@@ -1,4 +1,4 @@
-.PHONY: verify test test-short fault bench lint cluster-test replica-test tok-test
+.PHONY: verify test test-short fault bench lint cluster-test replica-test tok-test trace-test
 
 verify: ## gofmt + vet + build + full race-enabled test suite
 	./scripts/verify.sh
@@ -11,6 +11,9 @@ cluster-test: ## the sharding integration suite, race-enabled, same as CI's clus
 
 replica-test: ## replication: rendezvous groups, failover, anti-entropy, parallel rebuild (race-enabled, same as CI's replication job)
 	go test -race -run 'Replica|AntiEntropy|TrainFanout|Rendezvous|BatchAccounting|ForwardAny|ForwardWrite|ForwardBusy|IngestParallel' ./cmd/kamel/ ./internal/cluster/... ./internal/pyramid/
+
+trace-test: ## distributed tracing + SLO suite, race-enabled, same as CI's tracing job: traceparent propagation, trace store, exemplars, federation, SLO burn triggers, and the 3-node stitching acceptance test
+	go test -race -run 'Trace|Traceparent|Exemplar|Federated|SLO' ./internal/obs/ ./internal/cluster/ ./cmd/kamel/
 
 tok-test: ## tokenizer suite: pack/unpack properties, adaptive level bits, spec persistence + fault injection, anti-entropy hash gate (race-enabled), then the training-heavy golden-parity and adaptive lifecycle tests (no race: they train BERT models; core's concurrency is raced in `make verify`)
 	go test -race ./internal/tokenizer/ ./internal/vocab/

@@ -32,6 +32,8 @@ func main() {
 		err = runTune(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "trace":
+		err = runTraceCmd(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -54,6 +56,7 @@ commands:
   impute    impute sparse trajectories with trained models
   tune      auto-tune the tokenization cell size (paper §3.2)
   serve     run the demonstration HTTP API
+  trace     list or inspect retained request traces on a running server
 
 run "kamel <command> -h" for command flags
 `)

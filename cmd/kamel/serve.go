@@ -75,6 +75,13 @@ type apiServer struct {
 	// steady state avoids a registry registration per request.
 	histMu sync.RWMutex
 	hists  map[string]*obs.Histogram
+
+	// traces is this node's bounded trace store: head-sampled plus
+	// tail-retained (error/slow) request traces, served by /v1/traces.
+	traces *obs.TraceStore
+	// slo, when non-nil, receives every request outcome for burn-rate
+	// monitoring.
+	slo *obs.SLOMonitor
 }
 
 // logger returns the configured structured logger, or the process default.
@@ -114,6 +121,20 @@ type serveOptions struct {
 	// syncer, when non-nil, is this node's anti-entropy reconciler; the
 	// /v1/cluster endpoints report it and trigger sweeps through it.
 	syncer *cluster.Syncer
+	// traceSample is the head-sampling probability in [0,1]: the fraction of
+	// root traces retained without a tail trigger.  1 keeps everything.
+	traceSample float64
+	// traceSlow is the tail-retention latency threshold: any request at or
+	// above it is retained regardless of the head decision.  0 falls back to
+	// slowRequest.
+	traceSlow time.Duration
+	// traceStore overrides the node's trace store (tests); nil has
+	// newAPIHandler build one of traceRetained capacity.
+	traceStore *obs.TraceStore
+	// traceRetained caps the retained trace ring (0: the store default).
+	traceRetained int
+	// slo, when non-nil, is the node's SLO burn-rate monitor.
+	slo *obs.SLOMonitor
 }
 
 func defaultServeOptions() serveOptions {
@@ -122,8 +143,13 @@ func defaultServeOptions() serveOptions {
 		maxBodyBytes:   8 << 20,
 		maxInflight:    64,
 		slowRequest:    time.Second,
+		traceSample:    1,
 	}
 }
+
+// version identifies the build in kamel_build_info; stamped by
+// -ldflags "-X main.version=..." at release time.
+var version = "dev"
 
 // newAPIHandler builds the HTTP routing table wrapped in the hardening
 // middleware (outermost first: panic recovery → load shedding → per-request
@@ -139,11 +165,29 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 			"Handler panics recovered into 500 responses."),
 		timeouts: reg.Counter("kamel_http_timeouts_total",
 			"Requests whose per-request deadline expired while handling."),
-		hists: make(map[string]*obs.Histogram),
+		hists:  make(map[string]*obs.Histogram),
+		traces: opts.traceStore,
+		slo:    opts.slo,
+	}
+	if s.traces == nil {
+		s.traces = obs.NewTraceStore(opts.traceRetained, 0, reg)
 	}
 	if opts.maxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.maxInflight)
 	}
+	// Build identity for federated scrapes: which binary, token space, and
+	// replication factor this node runs.  Value is constant 1; the labels are
+	// the payload.
+	replicas := 0
+	if opts.router != nil {
+		replicas = opts.router.Map().ReplicaCount()
+	}
+	reg.GaugeFunc("kamel_build_info",
+		"Build and deployment identity; value is always 1.",
+		func() float64 { return 1 },
+		obs.L("version", version),
+		obs.L("tokenizer", sys.Config().Tokenizer),
+		obs.L("replicas", itoa(replicas)))
 	mux := http.NewServeMux()
 	mux.Handle("/v1/train", s.endpoint(http.MethodPost, s.handleTrain))
 	mux.Handle("/v1/impute", s.endpoint(http.MethodPost, s.handleImpute))
@@ -154,6 +198,9 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 	mux.Handle("/v1/cluster/model", s.endpoint(http.MethodGet, s.handleClusterModel))
 	mux.Handle("/v1/cluster/antientropy", s.endpoint(http.MethodPost, s.handleClusterAntiEntropy))
 	mux.Handle("/v1/cluster/reload", s.endpoint(http.MethodPost, s.handleClusterReload))
+	mux.Handle("/v1/cluster/metrics", s.endpoint(http.MethodGet, s.handleClusterMetrics))
+	mux.Handle("/v1/traces", s.endpoint(http.MethodGet, s.handleTraces))
+	mux.Handle("/v1/traces/", s.endpoint(http.MethodGet, s.handleTraceDetail))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -189,7 +236,7 @@ func (s *apiServer) recoverPanics(next http.Handler) http.Handler {
 					"request_id", obs.RequestIDFrom(r.Context()), "panic", fmt.Sprint(rec))
 				// Best effort: if the handler already started the response
 				// this write is a no-op on the status line.
-				writeError(w, http.StatusInternalServerError, codeInternal, "internal server error")
+				writeErrorTraced(w, r, http.StatusInternalServerError, codeInternal, "internal server error")
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -219,7 +266,7 @@ func (s *apiServer) shedLoad(next http.Handler) http.Handler {
 		default:
 			s.shed.Inc()
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, codeOverloaded,
+			writeErrorTraced(w, r, http.StatusTooManyRequests, codeOverloaded,
 				fmt.Sprintf("server at capacity (%d in-flight requests)", cap(s.inflight)))
 		}
 	})
@@ -370,7 +417,7 @@ func (s *apiServer) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return // replicated deployment: fanned out to each replica group
 	}
 	if err := s.sys.TrainContext(r.Context(), fromWire(trajs)); err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		writeErrorTraced(w, r, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	writeJSON(w, s.sys.SystemStats())
@@ -401,11 +448,16 @@ func admissionContext(w http.ResponseWriter, r *http.Request, deadlineMS int64, 
 }
 
 // writeImputeError maps an engine error onto the wire, adding Retry-After on
-// overload so shed clients back off like limiter-shed ones do.
-func writeImputeError(w http.ResponseWriter, err error) {
+// overload so shed clients back off like limiter-shed ones do, and the trace
+// ID on the statuses whose retained trace is worth pulling.
+func writeImputeError(w http.ResponseWriter, r *http.Request, err error) {
 	status, code := imputeErrStatus(err)
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
+	}
+	if status == http.StatusTooManyRequests || status >= 500 {
+		writeErrorTraced(w, r, status, code, err.Error())
+		return
 	}
 	writeError(w, status, code, err.Error())
 }
@@ -426,7 +478,7 @@ func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
 	}
 	dense, stats, err := s.sys.ImputeContext(ctx, fromWire([]wireTraj{req.wireTraj})[0])
 	if err != nil {
-		writeImputeError(w, err)
+		writeImputeError(w, r, err)
 		return
 	}
 	out := wireImputeResult{
@@ -457,7 +509,7 @@ func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.sys.ImputeBatch(ctx, fromWire(req.Trajectories))
 	if err != nil {
-		writeImputeError(w, err)
+		writeImputeError(w, r, err)
 		return
 	}
 	doc := wireBatchResponse{Results: wireResults(results)}
@@ -570,6 +622,17 @@ func runServe(args []string) error {
 	replicas := fs.Int("replicas", 0, "replica-group size override: each shard cell is served by this many shards (0 keeps the map's value; requires -cluster-config)")
 	antiEntropy := fs.Duration("anti-entropy-interval", 30*time.Second, "background anti-entropy sweep period reconciling model versions across replicas (0 disables the loop; requires -cluster-config)")
 	rebuildWorkers := fs.Int("rebuild-workers", 0, "concurrent per-cell model trainings per maintenance round (0 sizes from CPUs, 1 is serial)")
+	traceSample := fs.Float64("trace-sample", def.traceSample, "head-sampling probability for request traces in [0,1]; errored or slow requests are retained regardless")
+	traceSlow := fs.Duration("trace-slow", 0, "tail-retention latency threshold: requests at least this slow are always retained (0 uses -slow-request)")
+	traceRetained := fs.Int("trace-retained", 0, "retained-trace ring capacity per node (0 uses the default)")
+	sloWindow := fs.Duration("slo-window", time.Minute, "SLO burn-rate rolling window")
+	sloErrBudget := fs.Float64("slo-error-budget", 0.01, "tolerated error-rate fraction within the SLO window")
+	sloLatTarget := fs.Duration("slo-latency-target", 500*time.Millisecond, "requests at least this slow burn the latency budget")
+	sloLatBudget := fs.Float64("slo-latency-budget", 0.05, "tolerated slow-request fraction within the SLO window")
+	sloBurn := fs.Float64("slo-burn-threshold", 1.0, "burn rate at or above which an evaluation counts as burning")
+	sloProfileDir := fs.String("slo-profile-dir", "", "directory for CPU profiles captured on sustained SLO burn (empty disables capturing)")
+	sloProfileEvery := fs.Duration("slo-profile-every", 10*time.Minute, "minimum interval between SLO-triggered CPU captures")
+	sloProfilesMax := fs.Int("slo-profiles-max", 8, "maximum CPU profiles kept on disk; oldest pruned first")
 	registerTokenizerFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -683,6 +746,20 @@ func runServe(args []string) error {
 			"replicas", m.ReplicaCount(), "anti_entropy", antiEntropy.String())
 	}
 
+	// The SLO monitor watches every request outcome for budget burn and, on
+	// sustained burn, captures a CPU profile of this very process.
+	slo := obs.NewSLOMonitor(obs.SLOConfig{
+		Window:        *sloWindow,
+		ErrorBudget:   *sloErrBudget,
+		LatencyTarget: *sloLatTarget,
+		LatencyBudget: *sloLatBudget,
+		BurnThreshold: *sloBurn,
+		ProfileDir:    *sloProfileDir,
+		ProfileEvery:  *sloProfileEvery,
+		MaxProfiles:   *sloProfilesMax,
+	}, sys.Obs(), logger)
+	go slo.Run(ctx)
+
 	opts := serveOptions{
 		requestTimeout:  *reqTimeout,
 		maxBodyBytes:    *maxBody,
@@ -693,6 +770,10 @@ func runServe(args []string) error {
 		clusterPath:     *clusterConfig,
 		replicaOverride: *replicas,
 		syncer:          syncer,
+		traceSample:     *traceSample,
+		traceSlow:       *traceSlow,
+		traceRetained:   *traceRetained,
+		slo:             slo,
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -780,10 +861,13 @@ func (b *wireBatchRequest) UnmarshalJSON(data []byte) error {
 }
 
 // wireError is the structured error shared by top-level responses and
-// per-element batch failures: {"code": "...", "message": "..."}.
+// per-element batch failures: {"code": "...", "message": "..."}.  TraceID is
+// set on the failure classes whose retained trace an operator will want to
+// pull afterwards (429/500/503), joining the response to /v1/traces/{id}.
 type wireError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // wireErrorOf classifies err through the same table the top-level status
@@ -841,9 +925,28 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 // writeError emits the structured JSON error envelope shared by every
 // endpoint: {"error": {"code": "...", "message": "..."}}.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorID(w, status, code, msg, "")
+}
+
+// writeErrorTraced is writeError carrying the request's trace ID, for the
+// failure classes (shed, panic, shard-down, engine failure) whose retained
+// trace the client will want to look up afterwards.
+func writeErrorTraced(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeErrorID(w, status, code, msg, requestTraceID(r))
+}
+
+// requestTraceID returns the distributed trace ID bound to the request, or "".
+func requestTraceID(r *http.Request) string {
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		return tr.TraceID
+	}
+	return ""
+}
+
+func writeErrorID(w http.ResponseWriter, status int, code, msg, traceID string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	doc := map[string]wireError{"error": {Code: code, Message: msg}}
+	doc := map[string]wireError{"error": {Code: code, Message: msg, TraceID: traceID}}
 	if err := json.NewEncoder(w).Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", err)
 	}

@@ -103,10 +103,10 @@ func remainingDeadlineMS(ctx context.Context, orig int64) int64 {
 // projection to even draw a straight line with.  elements is how many
 // trajectory elements hit this final rung (counted once each, so /v1/stats
 // and /metrics surface per-element totals).
-func (s *apiServer) clusterUnavailable(w http.ResponseWriter, shard string, elements int64) {
+func (s *apiServer) clusterUnavailable(w http.ResponseWriter, r *http.Request, shard string, elements int64) {
 	s.opts.router.CountUnavailable(elements)
 	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusServiceUnavailable, codeShardDown,
+	writeErrorTraced(w, r, http.StatusServiceUnavailable, codeShardDown,
 		"every replica of shard "+shard+" unreachable and no local fallback available")
 }
 
@@ -147,7 +147,7 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 	req.DeadlineMS = remainingDeadlineMS(r.Context(), req.DeadlineMS)
 	body, err := json.Marshal(req)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, "encoding forwarded request: "+err.Error())
+		writeErrorTraced(w, r, http.StatusInternalServerError, codeInternal, "encoding forwarded request: "+err.Error())
 		return true
 	}
 	sp := obs.StartSpan(r.Context(), "cluster.forward")
@@ -163,7 +163,7 @@ func (s *apiServer) routeSingle(w http.ResponseWriter, r *http.Request, req wire
 		// linear baseline.
 		item, ok := s.linearItem(tr)
 		if !ok {
-			s.clusterUnavailable(w, group[0], 1)
+			s.clusterUnavailable(w, r, group[0], 1)
 			return true
 		}
 		rt.CountDegraded(1)
@@ -367,7 +367,7 @@ func (s *apiServer) routeBatch(w http.ResponseWriter, r *http.Request, req wireB
 		// Every element's whole replica group unreachable and not even a
 		// linear fallback: 503 + Retry-After, not a generic 500.  The
 		// elements are counted inside clusterUnavailable, once each.
-		s.clusterUnavailable(w, outs[0].label, unavailable)
+		s.clusterUnavailable(w, r, outs[0].label, unavailable)
 		return true
 	}
 	if degraded > 0 {
@@ -475,7 +475,7 @@ func (s *apiServer) routeTrain(w http.ResponseWriter, r *http.Request, trajs []w
 	// refuse to exchange models across the divergent token spaces forever.
 	var offeredSpec *tokenizer.Spec
 	if err := s.sys.EnsureTokenizer(fromWire(trajs)); err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, "freezing tokenizer for fan-out: "+err.Error())
+		writeErrorTraced(w, r, http.StatusInternalServerError, codeInternal, "freezing tokenizer for fan-out: "+err.Error())
 		return true
 	}
 	if tk := s.sys.Tokenizer(); tk != nil {
@@ -522,7 +522,7 @@ func (s *apiServer) routeTrain(w http.ResponseWriter, r *http.Request, trajs []w
 		}
 		body, err := json.Marshal(wireTrainRequest{Trajectories: sub, TokenizerSpec: offeredSpec})
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, codeInternal, "encoding train fan-out: "+err.Error())
+			writeErrorTraced(w, r, http.StatusInternalServerError, codeInternal, "encoding train fan-out: "+err.Error())
 			return true
 		}
 		for _, m := range g.members {
@@ -568,14 +568,14 @@ func (s *apiServer) routeTrain(w http.ResponseWriter, r *http.Request, trajs []w
 	rt.CountWrites(peerAcks, peerFails, quorumMisses)
 
 	if localErr != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, localErr.Error())
+		writeErrorTraced(w, r, http.StatusInternalServerError, codeInternal, localErr.Error())
 		return true
 	}
 	if lost != "" {
 		// No replica of some group took the sub-batch: the write would be
 		// silently lost, so the whole call fails retriably.
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, codeShardDown,
+		writeErrorTraced(w, r, http.StatusServiceUnavailable, codeShardDown,
 			"training batch for replica group of "+lost+" not applied anywhere")
 		return true
 	}

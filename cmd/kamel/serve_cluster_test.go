@@ -138,7 +138,10 @@ func newClusterFixture(tb testing.TB, n int) *clusterFixture {
 	return newReplicaFixture(tb, n, 0)
 }
 
-func newReplicaFixture(tb testing.TB, n, replicas int) *clusterFixture {
+// The optional tweaks run against every node's serveOptions after the
+// fixture's defaults are applied (the tracing tests use them to pin the
+// sampling and slow-retention knobs).
+func newReplicaFixture(tb testing.TB, n, replicas int, tweaks ...func(*serveOptions)) *clusterFixture {
 	tb.Helper()
 	base := tb.TempDir()
 	seed := filepath.Join(base, "seed")
@@ -239,6 +242,9 @@ func newReplicaFixture(tb testing.TB, n, replicas int) *clusterFixture {
 			opts.syncer = cluster.NewSyncer(rt, replicaStore{fx.syss[i]}, cluster.SyncerOptions{
 				Logger: quietLogger(),
 			})
+			for _, tweak := range tweaks {
+				tweak(&opts)
+			}
 			rec := &forwardRecorder{next: newAPIHandler(fx.syss[i], opts)}
 			fx.recs[i] = rec
 			return rec, nil

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"math/rand/v2"
 	"net/http"
+	"strings"
 	"time"
 
 	"kamel/internal/obs"
@@ -22,14 +24,19 @@ func isOps(path string) bool { return isProbe(path) || path == "/metrics" }
 // matter what paths clients probe.
 var apiRoutes = map[string]bool{
 	"/v1/train": true, "/v1/impute": true, "/v1/impute/batch": true,
-	"/v1/stats": true, "/v1/cluster/reload": true, "/": true,
+	"/v1/stats": true, "/v1/cluster/reload": true, "/v1/traces": true,
+	"/v1/cluster/metrics": true, "/": true,
 }
 
 // normalizeRoute maps a request path to its histogram label: a known route
-// keeps its path, everything else collapses into "other".
+// keeps its path, trace lookups collapse their ID into a placeholder, and
+// everything else collapses into "other".
 func normalizeRoute(path string) string {
 	if apiRoutes[path] {
 		return path
+	}
+	if strings.HasPrefix(path, "/v1/traces/") {
+		return "/v1/traces/{id}"
 	}
 	return "other"
 }
@@ -76,13 +83,47 @@ func (s *apiServer) requestHist(route, status string) *obs.Histogram {
 	return h
 }
 
+// sampleTrace is the head-sampling coin flip for a new root trace.
+func (s *apiServer) sampleTrace() bool {
+	p := s.opts.traceSample
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return rand.Float64() < p
+}
+
+// traceSlowAt is the tail-retention latency threshold: -trace-slow when set,
+// else the slow-request log threshold (0 disables slow retention).
+func (s *apiServer) traceSlowAt() time.Duration {
+	if s.opts.traceSlow > 0 {
+		return s.opts.traceSlow
+	}
+	return s.opts.slowRequest
+}
+
+// node names this hop in trace records: the shard id on a clustered node,
+// "local" otherwise.
+func (s *apiServer) node() string {
+	if rt := s.opts.router; rt != nil {
+		return rt.Self()
+	}
+	return "local"
+}
+
 // observe is the outermost middleware: it assigns the request ID (honoring a
-// client-sent X-Request-ID and echoing the effective one back), attaches a
-// span trace and the system registry to the context, captures the response
-// status, and on completion feeds the per-route histogram and emits one
-// structured log line — at warn level with the per-stage breakdown when the
-// request exceeded the slow-request threshold.  Operator surfaces (probes,
-// /metrics) pass through untouched.
+// client-sent X-Request-ID and echoing the effective one back), establishes
+// the request's distributed trace — adopting an incoming Traceparent from an
+// upstream hop, or minting a fresh root identity under head sampling — and
+// binds it with the system registry to the context.  On completion it feeds
+// the per-route histogram (with the trace ID as the bucket's exemplar), the
+// SLO monitor, and the trace store: head-sampled traces are retained, and any
+// request that errored (5xx/429) or ran slow is retained regardless of the
+// head decision.  One structured log line is emitted — at warn level with the
+// per-stage breakdown when the request exceeded the slow-request threshold.
+// Operator surfaces (probes, /metrics) pass through untouched.
 func (s *apiServer) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if isOps(r.URL.Path) {
@@ -93,8 +134,14 @@ func (s *apiServer) observe(next http.Handler) http.Handler {
 		if reqID == "" {
 			reqID = obs.NewRequestID()
 		}
+		var tr *obs.Trace
+		if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.HeaderTraceparent)); ok {
+			tr = obs.NewChildTrace(tc)
+		} else {
+			tr = obs.NewRootTrace(s.sampleTrace())
+		}
 		w.Header().Set("X-Request-ID", reqID)
-		tr := obs.NewTrace()
+		w.Header().Set("X-Kamel-Trace-ID", tr.TraceID)
 		ctx := obs.ContextWithRequestID(r.Context(), reqID)
 		ctx = obs.With(ctx, tr, s.sys.Obs())
 		sw := &statusWriter{ResponseWriter: w}
@@ -107,12 +154,41 @@ func (s *apiServer) observe(next http.Handler) http.Handler {
 			status = http.StatusOK // handler wrote nothing: net/http sends 200
 		}
 		route := normalizeRoute(r.URL.Path)
-		s.requestHist(route, itoa(status)).ObserveDuration(dur)
+		s.requestHist(route, itoa(status)).ObserveExemplar(dur.Seconds(), tr.TraceID)
+		s.slo.Observe(status, dur)
+
+		slowAt := s.traceSlowAt()
+		slow := slowAt > 0 && dur >= slowAt
+		// Tail retention trumps the head decision — the reason label records
+		// what actually kept the trace.
+		reason := ""
+		switch {
+		case status >= 500 || status == http.StatusTooManyRequests:
+			reason = obs.RetainError
+		case slow:
+			reason = obs.RetainSlow
+		case tr.Sampled:
+			reason = obs.RetainHead
+		}
+		s.traces.Add(obs.TraceRecord{
+			TraceID:      tr.TraceID,
+			SpanID:       tr.SpanID,
+			ParentSpanID: tr.ParentSpanID,
+			Node:         s.node(),
+			Route:        route,
+			Status:       status,
+			Start:        tr.Start(),
+			Duration:     dur,
+			Spans:        tr.Records(),
+			Dropped:      tr.Dropped(),
+			Retained:     reason,
+		})
 
 		log := s.logger()
 		attrs := []any{
 			"component", "serve",
 			"request_id", reqID,
+			"trace_id", tr.TraceID,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", status,

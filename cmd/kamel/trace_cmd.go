@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// kamel trace: the operator CLI over the tracing plane.  Without -id it lists
+// a server's retained traces (filterable the same way /v1/traces is) plus the
+// latency-histogram exemplars; with -id it fetches the stitched cross-node
+// span tree from /v1/traces/{id} and renders it with per-stage timings.
+
+func runTraceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of a kamel serve instance")
+	id := fs.String("id", "", "trace ID to inspect (empty: list retained traces)")
+	route := fs.String("route", "", "list filter: route label (e.g. /v1/impute)")
+	status := fs.Int("status", 0, "list filter: exact HTTP status (0: any)")
+	minDur := fs.Duration("min-duration", 0, "list filter: minimum request duration")
+	limit := fs.Int("limit", 20, "maximum traces listed")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP client timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+	// A bare positional argument is the trace ID: `kamel trace <id>` and
+	// `kamel trace -id <id>` are equivalent.
+	if *id == "" && fs.NArg() > 0 {
+		*id = fs.Arg(0)
+	}
+	if fs.NArg() > 1 || (*id != "" && fs.NArg() == 1 && fs.Arg(0) != *id) {
+		return fmt.Errorf("trace: unexpected arguments %q", fs.Args())
+	}
+	if *id != "" {
+		return traceDetail(client, *addr, *id, os.Stdout)
+	}
+	return traceList(client, *addr, *route, *status, *minDur, *limit, os.Stdout)
+}
+
+// traceGet fetches one tracing-plane URL and decodes its JSON document.
+func traceGet(client *http.Client, rawURL string, v interface{}) error {
+	resp, err := client.Get(rawURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var doc map[string]wireError
+		if json.Unmarshal(body, &doc) == nil && doc["error"].Message != "" {
+			return fmt.Errorf("trace: server answered %d: %s", resp.StatusCode, doc["error"].Message)
+		}
+		return fmt.Errorf("trace: server answered %d", resp.StatusCode)
+	}
+	return json.Unmarshal(body, v)
+}
+
+func traceList(client *http.Client, addr, route string, status int, minDur time.Duration, limit int, w io.Writer) error {
+	q := url.Values{}
+	if route != "" {
+		q.Set("route", route)
+	}
+	if status != 0 {
+		q.Set("status", fmt.Sprint(status))
+	}
+	if minDur > 0 {
+		q.Set("min-duration", minDur.String())
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	u := strings.TrimRight(addr, "/") + "/v1/traces"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var resp wireTracesResponse
+	if err := traceGet(client, u, &resp); err != nil {
+		return err
+	}
+	if len(resp.Traces) == 0 {
+		fmt.Fprintln(w, "no retained traces match")
+	} else {
+		fmt.Fprintf(w, "%-32s  %-8s  %-20s  %6s  %10s  %-6s  %5s\n",
+			"TRACE ID", "NODE", "ROUTE", "STATUS", "DURATION", "KEPT", "SPANS")
+		for _, t := range resp.Traces {
+			fmt.Fprintf(w, "%-32s  %-8s  %-20s  %6d  %9.1fms  %-6s  %5d\n",
+				t.TraceID, t.Node, t.Route, t.Status, t.DurationMS, t.Retained, t.Spans)
+		}
+	}
+	if len(resp.Exemplars) > 0 {
+		fmt.Fprintln(w, "\nexemplars (latency bucket -> recent trace):")
+		for _, ex := range resp.Exemplars {
+			var labels []string
+			for k, v := range ex.Labels {
+				labels = append(labels, k+"="+v)
+			}
+			sort.Strings(labels)
+			fmt.Fprintf(w, "  %s{%s} le=%s value=%.6f trace=%s\n",
+				ex.Metric, strings.Join(labels, ","), ex.LE, ex.Value, ex.TraceID)
+		}
+	}
+	return nil
+}
+
+func traceDetail(client *http.Client, addr, id string, w io.Writer) error {
+	u := strings.TrimRight(addr, "/") + "/v1/traces/" + url.PathEscape(id)
+	var doc wireTraceDoc
+	if err := traceGet(client, u, &doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace %s (%d hops)\n", doc.TraceID, len(doc.Hops))
+	// Hops form a tree by parent-span links; hops whose parent is absent
+	// (e.g. an expired intermediate) render at the root level rather than
+	// being dropped.
+	byParent := make(map[string][]wireTraceHop)
+	present := make(map[string]bool, len(doc.Hops))
+	for _, hop := range doc.Hops {
+		present[hop.SpanID] = true
+	}
+	var roots []wireTraceHop
+	for _, hop := range doc.Hops {
+		if hop.ParentSpanID != "" && present[hop.ParentSpanID] {
+			byParent[hop.ParentSpanID] = append(byParent[hop.ParentSpanID], hop)
+		} else {
+			roots = append(roots, hop)
+		}
+	}
+	var render func(hop wireTraceHop, indent string)
+	render = func(hop wireTraceHop, indent string) {
+		kept := ""
+		if hop.Retained != "" {
+			kept = " [" + hop.Retained + "]"
+		}
+		fmt.Fprintf(w, "%s● node=%s %s %d %.1fms span=%s%s\n",
+			indent, hop.Node, hop.Route, hop.Status, hop.DurationMS, hop.SpanID, kept)
+		for _, sp := range hop.Spans {
+			attrs := ""
+			for _, a := range sp.Attrs {
+				attrs += " " + a.Key + "=" + a.Value
+			}
+			fmt.Fprintf(w, "%s  %-28s @%8.1fms %8.1fms%s\n",
+				indent, sp.Name, sp.StartMS, sp.DurMS, attrs)
+		}
+		if hop.Dropped > 0 {
+			fmt.Fprintf(w, "%s  (+%d spans dropped at the per-trace cap)\n", indent, hop.Dropped)
+		}
+		for _, child := range byParent[hop.SpanID] {
+			render(child, indent+"    ")
+		}
+	}
+	for _, hop := range roots {
+		render(hop, "")
+	}
+	return nil
+}

@@ -180,6 +180,7 @@ type Batcher struct {
 
 	batchSize *obs.Histogram
 	queueWait *obs.Histogram
+	dispatch  *obs.Histogram
 	batches   *obs.Counter
 	items     *obs.Counter
 	overflows *obs.Counter
@@ -200,6 +201,7 @@ func New(opts Options) *Batcher {
 			"Time a query spent queued before its engine call started.",
 			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.002, 0.004, 0.008,
 				0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1}),
+		dispatch: reg.Stage("batcher.dispatch"),
 		batches: reg.Counter("kamel_batcher_batches_total",
 			"Coalesced engine calls dispatched."),
 		items: reg.Counter("kamel_batcher_items_total",
@@ -441,7 +443,9 @@ func (b *Batcher) run(d *dispatcher) {
 		for i, it := range batch {
 			queries[i] = it.q
 		}
+		dispStart := time.Now()
 		results, err := d.eng.PredictMaskedBatch(queries)
+		b.dispatch.ObserveDuration(time.Since(dispStart))
 		if err != nil {
 			for _, it := range batch {
 				it.fut.fail(it.idx, err)

@@ -194,6 +194,17 @@ func (s *Syncer) SweepOnce(ctx context.Context) SweepStats {
 		s.mu.Unlock()
 	}()
 
+	// Give the sweep's GETs a request ID and trace identity so background sync
+	// traffic is attributable in peer logs and trace stores — otherwise a
+	// manifest read shows up at the peer as anonymous traffic.  Sweeps follow
+	// head sampling only (they are never slow/error-retained at this end).
+	if obs.RequestIDFrom(ctx) == "" {
+		ctx = obs.ContextWithRequestID(ctx, "sync-"+obs.NewRequestID())
+	}
+	if _, ok := obs.TraceFrom(ctx).Context(); !ok {
+		ctx = obs.With(ctx, obs.NewRootTrace(false), s.opts.Registry)
+	}
+
 	local, ok := s.store.ManifestDoc()
 	if !ok {
 		// Nothing local to reconcile against: a node bootstraps its region

@@ -477,7 +477,18 @@ func (r *Router) ForwardAny(ctx context.Context, group []string, path string, bo
 			r.failovers.Inc()
 		}
 		tried++
+		sp := obs.StartSpan(ctx, "cluster.attempt")
+		sp.SetAttr("peer", member)
 		res, err := r.Forward(ctx, member, path, body)
+		switch {
+		case err == nil:
+			sp.SetAttr("outcome", "ok")
+		case errors.Is(err, ErrPeerBusy):
+			sp.SetAttr("outcome", "busy")
+		default:
+			sp.SetAttr("outcome", "retriable")
+		}
+		sp.End()
 		if err == nil {
 			return res, member, nil
 		}
@@ -509,6 +520,12 @@ func (r *Router) Get(ctx context.Context, shardID, path string) (ForwardResult, 
 		return ForwardResult{}, err
 	}
 	req.Header.Set(HeaderForwarded, r.opts.Self)
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	if tc, ok := obs.TraceFrom(ctx).Context(); ok {
+		req.Header.Set(obs.HeaderTraceparent, obs.FormatTraceparent(tc))
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return ForwardResult{}, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, shardID, err)
@@ -585,6 +602,9 @@ func (r *Router) send(ctx context.Context, p *peer, path string, body []byte) (F
 	req.Header.Set(HeaderForwarded, r.opts.Self)
 	if id := obs.RequestIDFrom(ctx); id != "" {
 		req.Header.Set("X-Request-ID", id)
+	}
+	if tc, ok := obs.TraceFrom(ctx).Context(); ok {
+		req.Header.Set(obs.HeaderTraceparent, obs.FormatTraceparent(tc))
 	}
 	start := time.Now()
 	resp, err := r.client.Do(req)

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"kamel/internal/geo"
 	"kamel/internal/grid"
 	"kamel/internal/impute"
 	"kamel/internal/ngram"
+	"kamel/internal/obs"
 	"kamel/internal/roadnet"
 	"kamel/internal/store"
 	"kamel/internal/trajgen"
@@ -98,6 +101,40 @@ func BenchmarkImputeNoObs(b *testing.B) {
 			if _, _, err := sys.Impute(tr); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkImputeTraced is BenchmarkImpute under the always-on tracing plane:
+// every request runs with a sampled root trace bound to the context alongside
+// the registry sink (spans carry exemplars) and completes into a trace store,
+// as the serving layer does.  Compared against BenchmarkImpute it is the cost
+// of distributed tracing on top of plain observability; the combined delta
+// against BenchmarkImputeNoObs must stay within the same 5% acceptance bound.
+func BenchmarkImputeTraced(b *testing.B) {
+	sys, tests := benchFixture(b)
+	in := sparseTests(tests[:4], 800)
+	traces := obs.NewTraceStore(512, 256, sys.Obs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range in {
+			root := obs.NewRootTrace(true)
+			ctx := obs.With(context.Background(), root, sys.Obs())
+			start := time.Now()
+			if _, _, err := sys.ImputeContext(ctx, tr); err != nil {
+				b.Fatal(err)
+			}
+			traces.Add(obs.TraceRecord{
+				TraceID:  root.TraceID,
+				SpanID:   root.SpanID,
+				Node:     "bench",
+				Route:    "/v1/impute",
+				Status:   200,
+				Start:    root.Start(),
+				Duration: time.Since(start),
+				Spans:    root.Records(),
+				Retained: obs.RetainHead,
+			})
 		}
 	}
 }

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metrics federation: /v1/cluster/metrics merges every node's Prometheus
+// exposition into one document with a `node` label injected on each sample,
+// so one scrape sees the whole replica group.  The merge is textual — each
+// node renders its own registry with WritePrometheus and the gateway splices
+// the streams — which keeps the federated surface honest: it can never
+// disagree with what the node itself exposes on /metrics.
+
+// FederatedSource is one node's exposition text as gathered by the gateway.
+type FederatedSource struct {
+	Node string
+	Text []byte
+	// Up records whether the node's exposition was fetched; a down node
+	// contributes only its kamel_federation_up 0 sample.
+	Up bool
+}
+
+// family collects one metric family's header and samples across sources.
+type family struct {
+	help    string
+	typ     string
+	samples []string
+}
+
+// WriteFederated merges the sources into one exposition document.  Per
+// family, the first source's HELP/TYPE header wins (identical binaries render
+// identical headers; a mixed-version cluster surfaces the older wording,
+// which is harmless); samples from every source follow with the node label
+// injected first.  Exemplar and other comment lines are dropped — they are
+// per-node detail, available on each node's own /metrics.  A synthetic
+// kamel_federation_up gauge reports per-node scrape success.
+func WriteFederated(w io.Writer, sources []FederatedSource) error {
+	fams := make(map[string]*family)
+	var order []string
+	fam := func(name string) *family {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &family{}
+		fams[name] = f
+		order = append(order, name)
+		return f
+	}
+	// _bucket/_sum/_count samples belong to their base histogram family; the
+	// base name is registered by its TYPE line before any sample appears, so
+	// membership resolves by lookup.
+	baseOf := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok {
+				if _, exists := fams[base]; exists {
+					return base
+				}
+			}
+		}
+		return name
+	}
+
+	for _, src := range sources {
+		if !src.Up {
+			continue
+		}
+		for _, line := range strings.Split(string(src.Text), "\n") {
+			switch {
+			case line == "":
+			case strings.HasPrefix(line, "# HELP "):
+				rest := line[len("# HELP "):]
+				name, help, _ := strings.Cut(rest, " ")
+				if f := fam(name); f.help == "" {
+					f.help = help
+				}
+			case strings.HasPrefix(line, "# TYPE "):
+				rest := line[len("# TYPE "):]
+				name, typ, _ := strings.Cut(rest, " ")
+				if f := fam(name); f.typ == "" {
+					f.typ = typ
+				}
+			case strings.HasPrefix(line, "#"):
+				// Exemplars and free comments: per-node detail, dropped.
+			default:
+				name := line
+				if i := strings.IndexAny(line, "{ "); i >= 0 {
+					name = line[:i]
+				}
+				f := fams[baseOf(name)]
+				if f == nil {
+					f = fam(name)
+				}
+				f.samples = append(f.samples, injectNodeLabel(line, src.Node))
+			}
+		}
+	}
+	up := fam("kamel_federation_up")
+	up.help = "Whether the node's exposition was fetched for this federated scrape."
+	up.typ = "gauge"
+	for _, src := range sources {
+		v := 0
+		if src.Up {
+			v = 1
+		}
+		up.samples = append(up.samples,
+			fmt.Sprintf("kamel_federation_up{node=%q} %d", src.Node, v))
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if len(f.samples) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, f.help); err != nil {
+				return err
+			}
+		}
+		typ := f.typ
+		if typ == "" {
+			typ = "untyped"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if _, err := io.WriteString(w, s+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// injectNodeLabel rewrites one sample line so node=... is its first label.
+func injectNodeLabel(line, node string) string {
+	if i := strings.IndexByte(line, '{'); i >= 0 && i < strings.IndexByte(line, ' ') {
+		rest := line[i+1:]
+		if strings.HasPrefix(rest, "}") {
+			return line[:i] + fmt.Sprintf("{node=%q", node) + rest
+		}
+		return line[:i] + fmt.Sprintf("{node=%q,", node) + rest
+	}
+	name, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return line
+	}
+	return fmt.Sprintf("%s{node=%q} %s", name, node, rest)
+}

@@ -202,7 +202,7 @@ func TestEnsureSink(t *testing.T) {
 func TestTraceSpanCap(t *testing.T) {
 	tr := NewTrace()
 	for i := 0; i < maxTraceSpans+10; i++ {
-		tr.add("s", time.Now(), time.Microsecond)
+		tr.add("s", time.Now(), time.Microsecond, nil)
 	}
 	if got := len(tr.Records()); got != maxTraceSpans {
 		t.Errorf("recorded %d spans, want cap %d", got, maxTraceSpans)

@@ -179,6 +179,13 @@ func (r *Registry) ObserveSpan(name string, d time.Duration) {
 	r.Stage(name).Observe(d.Seconds())
 }
 
+// ObserveSpanExemplar implements SpanExemplarSink: the duration aggregates
+// into the stage histogram and the trace ID becomes the bucket's exemplar, so
+// a p99 stage bucket points at an inspectable trace.
+func (r *Registry) ObserveSpanExemplar(name string, d time.Duration, traceID string) {
+	r.Stage(name).ObserveExemplar(d.Seconds(), traceID)
+}
+
 // Counter is a monotonically increasing atomic counter.  All methods are
 // nil-safe no-ops, so un-instrumented components cost nothing.
 type Counter struct {
@@ -209,12 +216,22 @@ func (c *Counter) Value() int64 {
 
 // Histogram is a fixed-bucket latency histogram: per-bucket atomic counts
 // plus a running sum.  Observe is allocation-free: a linear scan over the
-// bucket bounds (≤ ~20) and two atomic adds.
+// bucket bounds (≤ ~20) and two atomic adds.  ObserveExemplar additionally
+// remembers the trace ID of a recent bucket occupant.
 type Histogram struct {
-	bounds []float64      // ascending upper bounds; +Inf implicit
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	bounds    []float64      // ascending upper bounds; +Inf implicit
+	counts    []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count     atomic.Int64
+	sum       atomic.Uint64 // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a recent trace that landed in it.
+type Exemplar struct {
+	Value   float64   // the observed value
+	TraceID string    // identity of the trace that produced it
+	Time    time.Time // when it was observed
+	LE      float64   // the bucket's upper bound (+Inf for the last)
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -227,8 +244,9 @@ func newHistogram(buckets []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: buckets,
-		counts: make([]atomic.Int64, len(buckets)+1),
+		bounds:    buckets,
+		counts:    make([]atomic.Int64, len(buckets)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(buckets)+1),
 	}
 }
 
@@ -237,6 +255,11 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.observe(v)
+}
+
+// observe records v and returns its bucket index.
+func (h *Histogram) observe(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
@@ -246,9 +269,42 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sum.Load()
 		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
+			return i
 		}
 	}
+}
+
+// ObserveExemplar is Observe plus exemplar capture: the bucket the value
+// lands in remembers traceID as its most recent occupant (one atomic pointer
+// swap; the previous occupant is simply replaced).  Nil-safe; an empty
+// traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	if traceID == "" {
+		return
+	}
+	le := math.Inf(1)
+	if i < len(h.bounds) {
+		le = h.bounds[i]
+	}
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now(), LE: le})
+}
+
+// Exemplars returns the current per-bucket exemplars, skipping empty buckets.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			out = append(out, *ex)
+		}
+	}
+	return out
 }
 
 // ObserveDuration records a duration in seconds.  Nil-safe.
@@ -326,6 +382,24 @@ func (r *Registry) EachHistogram(fn func(name string, labels []Label, snap Histo
 	}
 }
 
+// EachExemplar visits every histogram bucket exemplar currently held, in
+// registration order — the /v1/traces exemplar listing reads trace IDs here.
+func (r *Registry) EachExemplar(fn func(name string, labels []Label, ex Exemplar)) {
+	r.mu.Lock()
+	hists := make([]*metric, 0, len(r.order))
+	for _, m := range r.order {
+		if m.hist != nil {
+			hists = append(hists, m)
+		}
+	}
+	r.mu.Unlock()
+	for _, m := range hists {
+		for _, ex := range m.hist.Exemplars() {
+			fn(m.name, m.labels, ex)
+		}
+	}
+}
+
 // WritePrometheus renders every registered series in Prometheus text
 // exposition format (version 0.0.4), grouped by family with one HELP/TYPE
 // header each.
@@ -398,6 +472,16 @@ func writeSeries(w io.Writer, m *metric) error {
 		inf := append(append([]Label{}, m.labels...), L("le", "+Inf"))
 		if _, err := fmt.Fprintf(w, "%s %d\n", seriesID(m.name+"_bucket", inf), cum); err != nil {
 			return err
+		}
+		// Exemplars ride as comment lines (the 0.0.4 text format has no
+		// exemplar syntax; comments keep every parser happy), linking a bucket
+		// to the trace ID of a recent occupant.
+		for _, ex := range m.hist.Exemplars() {
+			le := append(append([]Label{}, m.labels...), L("le", formatFloat(ex.LE)))
+			if _, err := fmt.Fprintf(w, "# exemplar %s trace_id=%s value=%s ts=%d\n",
+				seriesID(m.name+"_bucket", le), ex.TraceID, formatFloat(ex.Value), ex.Time.Unix()); err != nil {
+				return err
+			}
 		}
 		if _, err := fmt.Fprintf(w, "%s %s\n", seriesID(m.name+"_sum", m.labels), formatFloat(s.Sum)); err != nil {
 			return err

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLO burn-rate monitoring: the serving layer feeds every request's status
+// and latency into an SLOMonitor, which maintains rolling-window burn-rate
+// gauges for two budgets — error rate and latency — and, when a budget burns
+// hot for long enough, captures a CPU profile of the very process that is
+// burning it.  The capture is rate-limited and the profiles directory is
+// bounded, so the trigger is safe to leave armed in production.
+
+// SLOConfig bounds the monitor.  Zero values select the defaults noted.
+type SLOConfig struct {
+	// Window is the rolling window burn rates are computed over (60s).
+	Window time.Duration
+	// ErrorBudget is the tolerated fraction of failed (5xx/429) requests
+	// within the window (0.01).  Burn rate = observed rate / budget.
+	ErrorBudget float64
+	// LatencyTarget classifies a request as slow (500ms).
+	LatencyTarget time.Duration
+	// LatencyBudget is the tolerated fraction of slow requests (0.05).
+	LatencyBudget float64
+	// BurnThreshold is the burn rate at or above which an evaluation counts
+	// as burning (1.0: consuming budget exactly as fast as allowed).
+	BurnThreshold float64
+	// Sustain is how many consecutive burning evaluations arm the profile
+	// trigger (3) — one bad second must not cost a capture.
+	Sustain int
+	// MinRequests is the window floor below which burn rates read 0 (10);
+	// a single failed request on an idle node is noise, not an incident.
+	MinRequests int64
+	// ProfileDir receives CPU captures; empty disables capturing (the burn
+	// gauges still run).
+	ProfileDir string
+	// ProfileEvery rate-limits captures (10m).
+	ProfileEvery time.Duration
+	// ProfileDuration is the CPU capture length (5s).
+	ProfileDuration time.Duration
+	// MaxProfiles bounds the on-disk captures; oldest pruned first (8).
+	MaxProfiles int
+}
+
+func (c *SLOConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 60 * time.Second
+	}
+	if c.ErrorBudget <= 0 {
+		c.ErrorBudget = 0.01
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = 500 * time.Millisecond
+	}
+	if c.LatencyBudget <= 0 {
+		c.LatencyBudget = 0.05
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 1.0
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = 3
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 10
+	}
+	if c.ProfileEvery <= 0 {
+		c.ProfileEvery = 10 * time.Minute
+	}
+	if c.ProfileDuration <= 0 {
+		c.ProfileDuration = 5 * time.Second
+	}
+	if c.MaxProfiles <= 0 {
+		c.MaxProfiles = 8
+	}
+}
+
+// sloBucket accumulates one second of request outcomes.
+type sloBucket struct {
+	sec        int64 // unix second this bucket currently represents
+	reqs, errs int64
+	slow       int64
+}
+
+// SLOMonitor tracks rolling error-rate and latency-budget burn and triggers
+// rate-limited CPU profile captures on sustained burn.  Observe is cheap
+// (one short mutex hold); evaluation runs once per second from Run.
+type SLOMonitor struct {
+	cfg SLOConfig
+
+	// test seams: the clock and the capture implementation.
+	now     func() time.Time
+	profile func(path string) error
+
+	log *slog.Logger
+
+	mu          sync.Mutex
+	buckets     []sloBucket // ring indexed by unix-second modulo window size
+	streak      int
+	lastCapture time.Time
+	capturing   bool
+
+	errBurn  atomic.Uint64 // float64 bits, read by the gauge funcs
+	latBurn  atomic.Uint64
+	captures *Counter
+}
+
+// NewSLOMonitor builds a monitor and registers its burn gauges and capture
+// counter on reg (nil reg skips registration; the monitor still works).
+func NewSLOMonitor(cfg SLOConfig, reg *Registry, log *slog.Logger) *SLOMonitor {
+	cfg.defaults()
+	if log == nil {
+		log = slog.Default()
+	}
+	m := &SLOMonitor{
+		cfg: cfg,
+		now: time.Now,
+		log: log,
+		// One bucket per window second plus slack so the second being
+		// overwritten is always outside the evaluated window.
+		buckets: make([]sloBucket, int(cfg.Window/time.Second)+2),
+	}
+	m.profile = m.captureCPUProfile
+	if reg != nil {
+		reg.GaugeFunc("kamel_slo_error_burn_rate",
+			"Rolling-window error-rate burn: observed error fraction over the error budget.",
+			func() float64 { return math.Float64frombits(m.errBurn.Load()) })
+		reg.GaugeFunc("kamel_slo_latency_burn_rate",
+			"Rolling-window latency burn: observed slow-request fraction over the latency budget.",
+			func() float64 { return math.Float64frombits(m.latBurn.Load()) })
+		m.captures = reg.Counter("kamel_slo_profile_captures_total",
+			"CPU profiles captured by the SLO burn trigger.")
+	}
+	return m
+}
+
+// Observe records one finished request.  Failed means status ≥ 500 or 429
+// (the shed signal); slow means duration ≥ LatencyTarget.
+func (m *SLOMonitor) Observe(status int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	sec := m.now().Unix()
+	m.mu.Lock()
+	b := &m.buckets[int(sec%int64(len(m.buckets)))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.reqs++
+	if status >= 500 || status == 429 {
+		b.errs++
+	}
+	if d >= m.cfg.LatencyTarget {
+		b.slow++
+	}
+	m.mu.Unlock()
+}
+
+// EvalOnce recomputes the burn gauges over the trailing window and fires the
+// profile trigger when burn has been sustained.  It returns the burn rates
+// and whether a capture was started, for tests and Run's logging.
+func (m *SLOMonitor) EvalOnce() (errBurn, latBurn float64, captured bool) {
+	now := m.now()
+	oldest := now.Unix() - int64(m.cfg.Window/time.Second) + 1
+
+	m.mu.Lock()
+	var reqs, errs, slow int64
+	for i := range m.buckets {
+		if b := &m.buckets[i]; b.sec >= oldest && b.sec <= now.Unix() {
+			reqs += b.reqs
+			errs += b.errs
+			slow += b.slow
+		}
+	}
+	if reqs >= m.cfg.MinRequests {
+		errBurn = (float64(errs) / float64(reqs)) / m.cfg.ErrorBudget
+		latBurn = (float64(slow) / float64(reqs)) / m.cfg.LatencyBudget
+	}
+	m.errBurn.Store(math.Float64bits(errBurn))
+	m.latBurn.Store(math.Float64bits(latBurn))
+
+	burning := errBurn >= m.cfg.BurnThreshold || latBurn >= m.cfg.BurnThreshold
+	if burning {
+		m.streak++
+	} else {
+		m.streak = 0
+	}
+	fire := burning && m.streak >= m.cfg.Sustain &&
+		m.cfg.ProfileDir != "" && !m.capturing &&
+		(m.lastCapture.IsZero() || now.Sub(m.lastCapture) >= m.cfg.ProfileEvery)
+	if fire {
+		m.capturing = true
+		m.lastCapture = now
+	}
+	m.mu.Unlock()
+
+	if fire {
+		path := filepath.Join(m.cfg.ProfileDir,
+			fmt.Sprintf("cpu-%s.pprof", now.UTC().Format("20060102T150405.000")))
+		m.log.Warn("slo burn sustained; capturing CPU profile",
+			"error_burn", errBurn, "latency_burn", latBurn,
+			"streak", m.streak, "path", path)
+		go m.runCapture(path)
+	}
+	return errBurn, latBurn, fire
+}
+
+// runCapture performs one capture and prunes the profiles directory.
+func (m *SLOMonitor) runCapture(path string) {
+	defer func() {
+		m.mu.Lock()
+		m.capturing = false
+		m.mu.Unlock()
+	}()
+	if err := os.MkdirAll(m.cfg.ProfileDir, 0o755); err != nil {
+		m.log.Error("slo profile dir", "err", err)
+		return
+	}
+	if err := m.profile(path); err != nil {
+		m.log.Error("slo profile capture", "err", err, "path", path)
+		return
+	}
+	m.captures.Inc()
+	m.prune()
+}
+
+// captureCPUProfile is the production profile implementation: a CPU profile
+// of ProfileDuration written to path.
+func (m *SLOMonitor) captureCPUProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	time.Sleep(m.cfg.ProfileDuration)
+	pprof.StopCPUProfile()
+	return nil
+}
+
+// prune removes the oldest captures beyond MaxProfiles.  Capture filenames
+// embed a UTC timestamp, so lexicographic order is age order.
+func (m *SLOMonitor) prune() {
+	entries, err := os.ReadDir(m.cfg.ProfileDir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".pprof" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for len(names) > m.cfg.MaxProfiles {
+		os.Remove(filepath.Join(m.cfg.ProfileDir, names[0]))
+		names = names[1:]
+	}
+}
+
+// Run evaluates once per second until ctx is done.
+func (m *SLOMonitor) Run(ctx context.Context) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.EvalOnce()
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"strings"
 	"sync"
 	"time"
 )
@@ -13,6 +14,14 @@ import (
 // for concurrent use.
 type SpanSink interface {
 	ObserveSpan(name string, d time.Duration)
+}
+
+// SpanExemplarSink is optionally implemented by a SpanSink that can attach a
+// trace-ID exemplar to the stage observation.  Span.End uses it only when the
+// bound trace carries a trace ID, so library calls without trace identity pay
+// the plain ObserveSpan path.
+type SpanExemplarSink interface {
+	ObserveSpanExemplar(name string, d time.Duration, traceID string)
 }
 
 // binding is what a context carries: an optional per-request trace and an
@@ -52,37 +61,69 @@ func TraceFrom(ctx context.Context) *Trace {
 }
 
 // Span is one in-flight timed region.  The zero Span (from an unbound
-// context) is valid and End is a no-op, so instrumented code needs no
+// context) is valid and End/SetAttr are no-ops, so instrumented code needs no
 // branches.
 type Span struct {
 	name  string
 	start time.Time
 	b     binding
+	attrs []Attr
+}
+
+// Attr is one span attribute: a small key/value annotation (e.g. the peer a
+// failover attempt targeted and how it answered).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // StartSpan begins a span named name (e.g. "impute.predict").  When ctx
 // carries no trace and no sink the returned Span does nothing.
-func StartSpan(ctx context.Context, name string) Span {
+func StartSpan(ctx context.Context, name string) *Span {
 	b, _ := ctx.Value(bindingKey{}).(binding)
 	if b.tr == nil && b.sink == nil {
-		return Span{}
+		return &Span{}
 	}
-	return Span{name: name, start: time.Now(), b: b}
+	return &Span{name: name, start: time.Now(), b: b}
+}
+
+// SetAttr annotates the span.  Attributes ride into the trace's SpanRecord;
+// the aggregated stage histograms ignore them (unbounded cardinality).
+func (s *Span) SetAttr(key, value string) {
+	if s.name == "" {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 }
 
 // End finishes the span: its duration is aggregated into the sink's stage
 // histogram and appended to the request trace, when either is present.
-func (s Span) End() {
+func (s *Span) End() {
 	if s.name == "" {
 		return
 	}
 	d := time.Since(s.start)
 	if s.b.sink != nil {
-		s.b.sink.ObserveSpan(s.name, d)
+		if tid := s.traceID(); tid != "" {
+			if es, ok := s.b.sink.(SpanExemplarSink); ok {
+				es.ObserveSpanExemplar(s.name, d, tid)
+			} else {
+				s.b.sink.ObserveSpan(s.name, d)
+			}
+		} else {
+			s.b.sink.ObserveSpan(s.name, d)
+		}
 	}
 	if s.b.tr != nil {
-		s.b.tr.add(s.name, s.start, d)
+		s.b.tr.add(s.name, s.start, d, s.attrs)
 	}
+}
+
+func (s *Span) traceID() string {
+	if s.b.tr == nil {
+		return ""
+	}
+	return s.b.tr.TraceID
 }
 
 // Observer returns a callback recording (stage, duration) observations
@@ -96,10 +137,18 @@ func Observer(ctx context.Context) func(stage string, d time.Duration) {
 	}
 	return func(stage string, d time.Duration) {
 		if b.sink != nil {
-			b.sink.ObserveSpan(stage, d)
+			if b.tr != nil && b.tr.TraceID != "" {
+				if es, ok := b.sink.(SpanExemplarSink); ok {
+					es.ObserveSpanExemplar(stage, d, b.tr.TraceID)
+				} else {
+					b.sink.ObserveSpan(stage, d)
+				}
+			} else {
+				b.sink.ObserveSpan(stage, d)
+			}
 		}
 		if b.tr != nil {
-			b.tr.add(stage, time.Now().Add(-d), d)
+			b.tr.add(stage, time.Now().Add(-d), d, nil)
 		}
 	}
 }
@@ -113,6 +162,7 @@ type SpanRecord struct {
 	Name  string
 	Start time.Duration // offset from trace start
 	Dur   time.Duration
+	Attrs []Attr // optional annotations (failover attempts, outcomes, ...)
 }
 
 // StageSummary aggregates every span of one name within a trace.
@@ -122,9 +172,24 @@ type StageSummary struct {
 	Total time.Duration
 }
 
-// Trace records the spans of one request.  It is safe for concurrent use
-// (a batch request's items may be traced in sequence or parallel).
+// Trace records the spans of one request and carries its distributed
+// identity.  It is safe for concurrent use (a batch request's items may be
+// traced in sequence or parallel).  The ID fields are set at construction and
+// never mutated afterwards, so they are readable without the lock.
 type Trace struct {
+	// TraceID is the 32-hex request identity shared by every hop of one
+	// distributed request; empty on identity-less traces (NewTrace), which
+	// only feed the inline ?debug=1 breakdown.
+	TraceID string
+	// SpanID is this hop's own 16-hex identity, the ParentSpanID of any hop
+	// this node forwards to.
+	SpanID string
+	// ParentSpanID is the upstream hop's SpanID, empty at the trace root.
+	ParentSpanID string
+	// Sampled is the head-sampling decision, inherited across hops via the
+	// traceparent flags so one decision governs the whole distributed trace.
+	Sampled bool
+
 	start   time.Time
 	mu      sync.Mutex
 	spans   []SpanRecord
@@ -133,16 +198,40 @@ type Trace struct {
 	order   []string
 }
 
-// NewTrace starts an empty trace clocked from now.
+// NewTrace starts an empty identity-less trace clocked from now — the
+// ?debug=1 and bench-harness recorder.  Serving paths use NewRootTrace /
+// NewChildTrace so the trace participates in distributed retention.
 func NewTrace() *Trace {
 	return &Trace{start: time.Now(), totals: make(map[string]*StageSummary)}
 }
 
-func (t *Trace) add(name string, start time.Time, d time.Duration) {
+// NewRootTrace starts a trace with fresh distributed identity; sampled is the
+// head-sampling decision to propagate downstream.
+func NewRootTrace(sampled bool) *Trace {
+	t := NewTrace()
+	t.TraceID = NewTraceID()
+	t.SpanID = NewSpanID()
+	t.Sampled = sampled
+	return t
+}
+
+// NewChildTrace starts this hop's trace under an upstream hop's identity: the
+// trace ID and sampling decision are adopted, the upstream span becomes the
+// parent, and the hop gets its own span ID.
+func NewChildTrace(tc TraceContext) *Trace {
+	t := NewTrace()
+	t.TraceID = tc.TraceID
+	t.ParentSpanID = tc.SpanID
+	t.SpanID = NewSpanID()
+	t.Sampled = tc.Sampled
+	return t
+}
+
+func (t *Trace) add(name string, start time.Time, d time.Duration, attrs []Attr) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.spans) < maxTraceSpans {
-		t.spans = append(t.spans, SpanRecord{Name: name, Start: start.Sub(t.start), Dur: d})
+		t.spans = append(t.spans, SpanRecord{Name: name, Start: start.Sub(t.start), Dur: d, Attrs: attrs})
 	} else {
 		t.dropped++
 	}
@@ -186,6 +275,88 @@ func (t *Trace) Stages() []StageSummary {
 
 // Elapsed is the time since the trace started.
 func (t *Trace) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Start is the trace's start time.
+func (t *Trace) Start() time.Time { return t.start }
+
+// HeaderTraceparent is the cross-hop trace propagation header.  The value is
+// the W3C traceparent shape: "00-<32 hex trace id>-<16 hex span id>-<flags>",
+// flags bit 0 carrying the head-sampling decision.
+const HeaderTraceparent = "Traceparent"
+
+// TraceContext is a parsed traceparent header: the identity one hop hands the
+// next.
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+	Sampled bool
+}
+
+// Context returns the identity this trace would propagate downstream: its
+// trace ID, its own span ID as the downstream parent, and the sampling bit.
+// ok is false for identity-less traces, which must not propagate.
+func (t *Trace) Context() (TraceContext, bool) {
+	if t == nil || t.TraceID == "" {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: t.TraceID, SpanID: t.SpanID, Sampled: t.Sampled}, true
+}
+
+// FormatTraceparent renders a TraceContext as a traceparent header value.
+func FormatTraceparent(tc TraceContext) string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value.  ok is false for
+// malformed values (wrong field count, wrong lengths, non-hex IDs, or the
+// all-zero identities the spec reserves for "no trace").
+func ParseTraceparent(v string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return TraceContext{}, false
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return TraceContext{}, false
+	}
+	if parts[1] == strings.Repeat("0", 32) || parts[2] == strings.Repeat("0", 16) {
+		return TraceContext{}, false
+	}
+	flags, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: parts[1], SpanID: parts[2], Sampled: flags[0]&1 == 1}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTraceID returns a 32-hex-char random trace identifier.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a 16-hex-char random span identifier.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed ID keeps
+		// the serving path alive (matching NewRequestID's posture).
+		return strings.Repeat("42", n)
+	}
+	return hex.EncodeToString(b)
+}
 
 // NewRequestID returns a 16-hex-char random request identifier for the
 // X-Request-ID header and log correlation.

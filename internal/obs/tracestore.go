@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace retention reasons, recorded on TraceRecord.Retained.
+const (
+	// RetainHead: the head-sampling coin flip (or an inherited sampled flag)
+	// kept the trace.
+	RetainHead = "head"
+	// RetainError: the request finished with a retained status (5xx or 429),
+	// kept regardless of the head decision — tail-based retention.
+	RetainError = "error"
+	// RetainSlow: the request exceeded the latency threshold, kept regardless
+	// of the head decision — tail-based retention.
+	RetainSlow = "slow"
+)
+
+// TraceRecord is one hop's completed trace as stored for after-the-fact
+// retrieval: the distributed identity (for cross-node stitching), the
+// request-level outcome, and the full span list.
+type TraceRecord struct {
+	TraceID      string
+	SpanID       string
+	ParentSpanID string
+	Node         string // shard id (or "local") of the hop that recorded it
+	Route        string
+	Status       int
+	Start        time.Time
+	Duration     time.Duration
+	Spans        []SpanRecord
+	Dropped      int
+	// Retained is the retention reason ("head", "error", "slow"), or empty
+	// for records held only in the short recent ring.
+	Retained string
+}
+
+// TraceStore is a bounded per-node trace buffer with two rings:
+//
+//   - the retained ring holds traces that passed head sampling or tripped
+//     tail retention (error / slow) — the /v1/traces listing surface;
+//   - the recent ring briefly holds every completed trace regardless of the
+//     sampling decision, so a gateway stitching a freshly retained trace can
+//     still fetch the remote hops even when those hops' own head decision
+//     said no and their tail rules did not fire.
+//
+// Both rings are fixed-size circular buffers behind one mutex; Add is a few
+// copies under a short critical section (lock-light, never allocating beyond
+// the record itself), so it sits on the request completion path without
+// contending with the handlers.
+type TraceStore struct {
+	mu       sync.Mutex
+	retained ring
+	recent   ring
+
+	added        *Counter
+	retainedCtrs map[string]*Counter
+}
+
+// ring is a fixed-capacity circular buffer of trace records.
+type ring struct {
+	buf  []TraceRecord
+	n    int // records stored (≤ cap)
+	next int // slot the next Add overwrites
+}
+
+func (r *ring) add(rec TraceRecord) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// each visits records newest-first.
+func (r *ring) each(fn func(rec *TraceRecord) bool) {
+	for i := 1; i <= r.n; i++ {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		if !fn(&r.buf[idx]) {
+			return
+		}
+	}
+}
+
+// NewTraceStore builds a store with the given ring capacities (zeros choose
+// 512 retained / 256 recent).  reg, when non-nil, receives the store's
+// accounting series.
+func NewTraceStore(retainedCap, recentCap int, reg *Registry) *TraceStore {
+	if retainedCap <= 0 {
+		retainedCap = 512
+	}
+	if recentCap <= 0 {
+		recentCap = 256
+	}
+	s := &TraceStore{
+		retained:     ring{buf: make([]TraceRecord, retainedCap)},
+		recent:       ring{buf: make([]TraceRecord, recentCap)},
+		retainedCtrs: make(map[string]*Counter, 3),
+	}
+	if reg != nil {
+		s.added = reg.Counter("kamel_traces_total",
+			"Completed request traces recorded (retained or recent).")
+		for _, reason := range []string{RetainHead, RetainError, RetainSlow} {
+			s.retainedCtrs[reason] = reg.Counter("kamel_traces_retained_total",
+				"Traces kept in the retained ring, by retention reason.",
+				L("reason", reason))
+		}
+		reg.GaugeFunc("kamel_trace_store_retained",
+			"Traces currently held in the retained ring.", func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(s.retained.n)
+			})
+	}
+	return s
+}
+
+// Add records one completed hop.  A record with a Retained reason lands in
+// the retained ring (and is counted); every record additionally passes
+// through the recent ring so cross-node stitching finds unretained hops.
+func (s *TraceStore) Add(rec TraceRecord) {
+	if s == nil || rec.TraceID == "" {
+		return
+	}
+	s.added.Inc()
+	if rec.Retained != "" {
+		s.retainedCtrs[rec.Retained].Inc()
+	}
+	s.mu.Lock()
+	if rec.Retained != "" {
+		s.retained.add(rec)
+	}
+	s.recent.add(rec)
+	s.mu.Unlock()
+}
+
+// Find returns every stored record of one trace (a node records one hop per
+// trace in the common case; a self-forwarded batch may record several),
+// searching the retained ring first, then the recent ring.  Duplicate span
+// IDs across the two rings are returned once.
+func (s *TraceStore) Find(traceID string) []TraceRecord {
+	if s == nil || traceID == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TraceRecord
+	seen := make(map[string]bool, 2)
+	collect := func(rec *TraceRecord) bool {
+		if rec.TraceID == traceID && !seen[rec.SpanID] {
+			seen[rec.SpanID] = true
+			out = append(out, *rec)
+		}
+		return true
+	}
+	s.retained.each(collect)
+	s.recent.each(collect)
+	return out
+}
+
+// TraceFilter narrows a List call; zero values match everything.
+type TraceFilter struct {
+	Route       string
+	Status      int
+	MinDuration time.Duration
+	Limit       int // maximum records returned (0: 100)
+}
+
+// List returns retained traces newest-first, filtered.
+func (s *TraceStore) List(f TraceFilter) []TraceRecord {
+	if s == nil {
+		return nil
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 100
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TraceRecord
+	s.retained.each(func(rec *TraceRecord) bool {
+		if f.Route != "" && rec.Route != f.Route {
+			return true
+		}
+		if f.Status != 0 && rec.Status != f.Status {
+			return true
+		}
+		if f.MinDuration > 0 && rec.Duration < f.MinDuration {
+			return true
+		}
+		out = append(out, *rec)
+		return len(out) < limit
+	})
+	return out
+}

@@ -12,6 +12,9 @@
 #
 # The BenchmarkImpute vs BenchmarkImputeNoObs delta is the observability
 # layer's hot-path overhead; the acceptance bound is within 5%.
+# BenchmarkImputeTraced adds the always-on tracing plane (sampled root trace,
+# span exemplars, trace-store completion) on top; the "tracing_overhead"
+# block records both deltas so the 5% combined bound is tracked per commit.
 #
 # The BenchmarkImputeConcurrent{Sequential,Frontier,Admission} trio measures
 # the >=8-stream hot path in three regimes (one engine call per query; per-
@@ -78,6 +81,22 @@ go run ./cmd/kamel-bench -tokenizer-ab "$tokab" \
 		END { printf "\n" }
 	' "$raw"
 	printf '  ],\n'
+	# Tracing overhead: ns/op of the plain, no-obs, and traced impute paths
+	# plus the derived percentage deltas (obs over no-obs; tracing over plain
+	# obs).  Missing benchmarks leave the block empty rather than failing.
+	printf '  "tracing_overhead": '
+	awk '
+		/^BenchmarkImpute(-| )/        { plain = $3 }
+		/^BenchmarkImputeNoObs/        { noobs = $3 }
+		/^BenchmarkImputeTraced/       { traced = $3 }
+		END {
+			if (plain > 0 && noobs > 0 && traced > 0)
+				printf "{\"impute_ns_op\": %s, \"impute_noobs_ns_op\": %s, \"impute_traced_ns_op\": %s, \"obs_overhead_pct\": %.2f, \"tracing_overhead_pct\": %.2f},\n", \
+					plain, noobs, traced, (plain - noobs) * 100.0 / noobs, (traced - plain) * 100.0 / plain
+			else
+				printf "{},\n"
+		}
+	' "$raw"
 	printf '  "stage_latency": '
 	sed '1!s/^/  /' "$stages"
 	# sed above ends without a trailing comma inside the document; splice one
