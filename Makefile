@@ -1,4 +1,4 @@
-.PHONY: verify test test-short fault bench lint cluster-test replica-test tok-test trace-test
+.PHONY: verify test test-short fault bench lint cluster-test replica-test tok-test trace-test load-test load-bench
 
 verify: ## gofmt + vet + build + full race-enabled test suite
 	./scripts/verify.sh
@@ -33,3 +33,9 @@ fault: ## fault-injection suite: kill-points, corruption, overload
 
 bench: ## imputation + model-lookup benchmarks + per-stage latencies -> BENCH_impute.json
 	./scripts/bench.sh
+
+load-test: ## CI's loadgen smoke: a short open-loop sweep against an in-process node, failing on any internal error
+	go test -race -run 'TestLoadgenSmoke' -v ./cmd/kamel/
+
+load-bench: ## record the capacity curves (1-node adaptive, 1-node fixed A/B, 3-node cluster) without the rest of the bench suite
+	KAMEL_CAPACITY_OUT=$${KAMEL_CAPACITY_OUT:-CAPACITY.json} go test -run 'TestCapacityRecord' -v -timeout 30m ./cmd/kamel/

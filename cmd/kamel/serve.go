@@ -62,8 +62,14 @@ type apiServer struct {
 	sys  *core.System
 	opts serveOptions
 
-	inflight chan struct{} // concurrency limiter slots
+	inflight chan struct{} // fixed-mode concurrency limiter slots
 	warmed   atomic.Bool   // root model proven loadable (readyz warming gate)
+
+	// admission, when non-nil, replaces the fixed inflight bucket with the
+	// adaptive queue-delay controller (-admission adaptive, the default):
+	// limit tracks the batcher's observed queue wait, per-client fair-share
+	// quotas bound each tenant, and bulk work is shed ahead of interactive.
+	admission *batcher.Admission
 
 	// Resilience counters live in the system's metrics registry, so /metrics
 	// and /v1/stats read the same values.
@@ -135,6 +141,24 @@ type serveOptions struct {
 	traceRetained int
 	// slo, when non-nil, is the node's SLO burn-rate monitor.
 	slo *obs.SLOMonitor
+	// admissionMode selects the overload regime: "adaptive" (default; the
+	// queue-delay-tracking controller with per-client quotas) or "fixed"
+	// (the original token bucket, kept for A/B comparison).
+	admissionMode string
+	// admissionTarget is the queue-delay bound the adaptive controller
+	// converges on (0 uses the controller default, 25ms).
+	admissionTarget time.Duration
+	// admissionMin floors the adaptive concurrency limit (0: default 1).
+	admissionMin int
+	// admissionInterval is the controller evaluation period (0: default 100ms).
+	admissionInterval time.Duration
+	// quotaBurst scales the per-client fair share (0: default 2).
+	quotaBurst float64
+	// quotaClients bounds the per-client LRU table (0: default 1024).
+	quotaClients int
+	// bulkHeadroom is the fraction of the limit beyond which bulk work is
+	// shed (0: default 0.75).
+	bulkHeadroom float64
 }
 
 func defaultServeOptions() serveOptions {
@@ -144,6 +168,7 @@ func defaultServeOptions() serveOptions {
 		maxInflight:    64,
 		slowRequest:    time.Second,
 		traceSample:    1,
+		admissionMode:  "adaptive",
 	}
 }
 
@@ -173,7 +198,26 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 		s.traces = obs.NewTraceStore(opts.traceRetained, 0, reg)
 	}
 	if opts.maxInflight > 0 {
-		s.inflight = make(chan struct{}, opts.maxInflight)
+		if opts.admissionMode == "fixed" {
+			s.inflight = make(chan struct{}, opts.maxInflight)
+		} else {
+			s.admission = batcher.NewAdmission(batcher.AdmissionOptions{
+				Target:       opts.admissionTarget,
+				MaxLimit:     opts.maxInflight,
+				MinLimit:     opts.admissionMin,
+				Interval:     opts.admissionInterval,
+				QuotaBurst:   opts.quotaBurst,
+				QuotaClients: opts.quotaClients,
+				BulkHeadroom: opts.bulkHeadroom,
+				Registry:     reg,
+			})
+			// The controller's congestion signal is the batcher's per-item
+			// queue wait; absent the batcher (admission batching disabled)
+			// the limit simply stays at MaxLimit — fixed-bucket behaviour.
+			if b := sys.Batcher(); b != nil {
+				b.SetQueueWaitObserver(s.admission.ObserveQueueDelay)
+			}
+		}
 	}
 	// Build identity for federated scrapes: which binary, token space, and
 	// replication factor this node runs.  Value is constant 1; the labels are
@@ -218,7 +262,7 @@ func newAPIHandler(sys *core.System, opts serveOptions) http.Handler {
 	var h http.Handler = mux
 	h = s.limitBody(h)
 	h = s.withRequestTimeout(h)
-	h = s.shedLoad(h)
+	h = s.admitLoad(h)
 	h = s.recoverPanics(h)
 	h = s.observe(h)
 	return h
@@ -246,6 +290,56 @@ func (s *apiServer) recoverPanics(next http.Handler) http.Handler {
 // isProbe reports whether the path is a health probe, which must stay
 // responsive under overload and never be shed or timed out.
 func isProbe(path string) bool { return path == "/healthz" || path == "/readyz" }
+
+// headerPriority resolves a request's admission priority before its body is
+// readable: the X-Kamel-Priority header (set by clients and by cluster
+// forwards) wins; otherwise the endpoint's nature decides — the batch and
+// train endpoints default to bulk, everything else to interactive.  The JSON
+// body's priority field remains the authority for the dispatch lane; a body
+// that contradicts the header only affects which lane the work runs in, not
+// the (already made) admission decision.
+func headerPriority(r *http.Request) batcher.Priority {
+	def := batcher.Interactive
+	if r.URL.Path == "/v1/impute/batch" || r.URL.Path == "/v1/train" {
+		def = batcher.Bulk
+	}
+	pri, _ := batcher.ParsePriority(r.Header.Get(obs.HeaderPriority), def)
+	return pri
+}
+
+// admitLoad is the overload-protection middleware: the adaptive queue-delay
+// controller when enabled (-admission adaptive, the default), the fixed
+// token bucket otherwise.  Either way a request is admitted immediately or
+// shed with 429 + Retry-After — shedding, not queueing, keeps latency
+// bounded when offered load exceeds capacity.
+func (s *apiServer) admitLoad(next http.Handler) http.Handler {
+	if s.admission == nil {
+		return s.shedLoad(next)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isOps(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		client := r.Header.Get(obs.HeaderClient)
+		pri := headerPriority(r)
+		// Bind the admission baggage so cluster forwards carry the true
+		// tenant and priority to the owning peer's controller.
+		ctx := obs.ContextWithClientID(r.Context(), client)
+		ctx = obs.ContextWithPriorityLabel(ctx, pri.String())
+		release, shed := s.admission.Admit(client, pri)
+		if shed != nil {
+			s.shed.Inc()
+			w.Header().Set("Retry-After", itoa(shed.RetryAfter))
+			writeErrorTraced(w, r, http.StatusTooManyRequests, codeOverloaded,
+				fmt.Sprintf("admission shed (%s): concurrency limit %d, queue delay ~%.1fms",
+					shed.Reason, shed.Limit, shed.QueueDelayMS))
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
 
 // shedLoad is a token-bucket concurrency limiter: a request either takes a
 // slot immediately or is shed with 429 + Retry-After.  Shedding, not
@@ -440,6 +534,9 @@ func admissionContext(w http.ResponseWriter, r *http.Request, deadlineMS int64, 
 		return nil, nil, false
 	}
 	ctx := core.WithPriority(r.Context(), pri)
+	// The body's priority is authoritative; rebind the forward-propagation
+	// baggage in case it contradicts the admission header.
+	ctx = obs.ContextWithPriorityLabel(ctx, pri.String())
 	cancel := context.CancelFunc(func() {})
 	if deadlineMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
@@ -449,17 +546,26 @@ func admissionContext(w http.ResponseWriter, r *http.Request, deadlineMS int64, 
 
 // writeImputeError maps an engine error onto the wire, adding Retry-After on
 // overload so shed clients back off like limiter-shed ones do, and the trace
-// ID on the statuses whose retained trace is worth pulling.
-func writeImputeError(w http.ResponseWriter, r *http.Request, err error) {
+// ID on the statuses whose retained trace is worth pulling.  Under adaptive
+// admission the backoff and the queue-delay estimate in the message come from
+// the live controller state instead of a fixed constant.
+func (s *apiServer) writeImputeError(w http.ResponseWriter, r *http.Request, err error) {
 	status, code := imputeErrStatus(err)
+	msg := err.Error()
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		retry := 1
+		if s.admission != nil {
+			var delayMS float64
+			retry, delayMS = s.admission.RetryAfterHint()
+			msg = fmt.Sprintf("%s (queue delay ~%.1fms)", msg, delayMS)
+		}
+		w.Header().Set("Retry-After", itoa(retry))
 	}
 	if status == http.StatusTooManyRequests || status >= 500 {
-		writeErrorTraced(w, r, status, code, err.Error())
+		writeErrorTraced(w, r, status, code, msg)
 		return
 	}
-	writeError(w, status, code, err.Error())
+	writeError(w, status, code, msg)
 }
 
 func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
@@ -478,7 +584,7 @@ func (s *apiServer) handleImpute(w http.ResponseWriter, r *http.Request) {
 	}
 	dense, stats, err := s.sys.ImputeContext(ctx, fromWire([]wireTraj{req.wireTraj})[0])
 	if err != nil {
-		writeImputeError(w, r, err)
+		s.writeImputeError(w, r, err)
 		return
 	}
 	out := wireImputeResult{
@@ -509,7 +615,7 @@ func (s *apiServer) handleImputeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.sys.ImputeBatch(ctx, fromWire(req.Trajectories))
 	if err != nil {
-		writeImputeError(w, r, err)
+		s.writeImputeError(w, r, err)
 		return
 	}
 	doc := wireBatchResponse{Results: wireResults(results)}
@@ -545,6 +651,9 @@ type wireStats struct {
 	SheddedRequests int64 `json:"shedded_requests"`
 	PanicsRecovered int64 `json:"panics_recovered"`
 	RequestTimeouts int64 `json:"request_timeouts"`
+	// Admission is the adaptive controller's live state (current limit,
+	// observed queue delay, quota sheds); absent in fixed mode.
+	Admission *batcher.AdmissionStats `json:"admission,omitempty"`
 	// Cluster is present only on sharded deployments: this node's routing
 	// state and forwarding/degradation counters (includes the requests
 	// answered 503 because every owning peer was unreachable).
@@ -559,6 +668,10 @@ func (s *apiServer) statsDoc() wireStats {
 		SheddedRequests: s.shed.Value(),
 		PanicsRecovered: s.panics.Value(),
 		RequestTimeouts: s.timeouts.Value(),
+	}
+	if s.admission != nil {
+		as := s.admission.Stats()
+		doc.Admission = &as
 	}
 	if rt := s.opts.router; rt != nil {
 		cs := rt.ClusterStats()
@@ -605,6 +718,13 @@ func runServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", def.requestTimeout, "per-request handling timeout (0 disables)")
 	maxBody := fs.Int64("max-body-bytes", def.maxBodyBytes, "maximum request body size in bytes (0 disables)")
 	maxInflight := fs.Int("max-inflight", def.maxInflight, "maximum concurrently handled requests before shedding with 429 (0 disables)")
+	admissionMode := fs.String("admission", def.admissionMode, "overload protection: adaptive (queue-delay controller with per-client quotas) or fixed (token bucket)")
+	admissionTarget := fs.Duration("admission-target", 0, "adaptive admission: queue-delay bound the concurrency limit converges on (0 uses the default, 25ms)")
+	admissionMin := fs.Int("admission-min", 0, "adaptive admission: concurrency-limit floor (0 uses the default, 1)")
+	admissionInterval := fs.Duration("admission-interval", 0, "adaptive admission: controller evaluation period (0 uses the default, 100ms)")
+	quotaBurst := fs.Float64("quota-burst", 0, "adaptive admission: per-client fair-share multiplier — each active client may hold up to limit*burst/clients slots (0 uses the default, 2)")
+	quotaClients := fs.Int("quota-clients", 0, "adaptive admission: LRU-bounded client-table capacity (0 uses the default, 1024)")
+	bulkHeadroom := fs.Float64("bulk-headroom", 0, "adaptive admission: fraction of the limit beyond which bulk-priority work is shed, reserving the rest for interactive (0 uses the default, 0.75)")
 	slowReq := fs.Duration("slow-request", def.slowRequest, "log requests at warn level with a per-stage breakdown when they take at least this long (0 disables)")
 	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn, error")
 	cacheBytes := fs.Int64("model-cache-bytes", 0, "model cache budget in bytes (0 sizes from available memory, <0 unbounded)")
@@ -760,20 +880,30 @@ func runServe(args []string) error {
 	}, sys.Obs(), logger)
 	go slo.Run(ctx)
 
+	if *admissionMode != "adaptive" && *admissionMode != "fixed" {
+		return fmt.Errorf("serve: -admission must be adaptive or fixed, got %q", *admissionMode)
+	}
 	opts := serveOptions{
-		requestTimeout:  *reqTimeout,
-		maxBodyBytes:    *maxBody,
-		maxInflight:     *maxInflight,
-		slowRequest:     *slowReq,
-		logger:          logger,
-		router:          router,
-		clusterPath:     *clusterConfig,
-		replicaOverride: *replicas,
-		syncer:          syncer,
-		traceSample:     *traceSample,
-		traceSlow:       *traceSlow,
-		traceRetained:   *traceRetained,
-		slo:             slo,
+		requestTimeout:    *reqTimeout,
+		maxBodyBytes:      *maxBody,
+		maxInflight:       *maxInflight,
+		slowRequest:       *slowReq,
+		admissionMode:     *admissionMode,
+		admissionTarget:   *admissionTarget,
+		admissionMin:      *admissionMin,
+		admissionInterval: *admissionInterval,
+		quotaBurst:        *quotaBurst,
+		quotaClients:      *quotaClients,
+		bulkHeadroom:      *bulkHeadroom,
+		logger:            logger,
+		router:            router,
+		clusterPath:       *clusterConfig,
+		replicaOverride:   *replicas,
+		syncer:            syncer,
+		traceSample:       *traceSample,
+		traceSlow:         *traceSlow,
+		traceRetained:     *traceRetained,
+		slo:               slo,
 	}
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,503 @@
+package batcher
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+
+	"kamel/internal/obs"
+)
+
+// Admission is the serve path's adaptive concurrency controller: the
+// replacement for the fixed token-bucket shed (ROADMAP item 2).  It keeps a
+// concurrency limit that tracks observed queue delay instead of a hand-tuned
+// constant, in the CoDel tradition: the congestion signal is the *minimum*
+// queue delay seen over an evaluation interval — if even the luckiest request
+// of the interval waited longer than the target, the system is genuinely
+// backed up, not just absorbing a burst.  The limit moves by AIMD: a
+// multiplicative cut while the minimum delay exceeds the target, an additive
+// raise (with a faster idle catch-up) while it does not, bounded to
+// [MinLimit, MaxLimit].
+//
+// On top of the global limit it enforces two fairness properties the fixed
+// bucket could not:
+//
+//   - Per-client fair share: each client (identified by the X-Kamel-Client
+//     header, tracked in an LRU-bounded table) may hold at most
+//     ceil(limit·QuotaBurst/activeClients) slots.  A flooding tenant hits its
+//     own ceiling and is shed with reason "quota" while well-behaved clients
+//     keep admitting — the quota check runs *before* the global limit check
+//     precisely so a flood is bounded in held slots below the full limit.
+//   - Bulk headroom: bulk-priority work is shed once in-flight reaches
+//     BulkHeadroom·limit, reserving the top slice of capacity for
+//     interactive traffic, mirroring the dispatcher's priority lanes at the
+//     door instead of in the queue.
+//
+// The controller has no goroutine: evaluation is lazy, triggered from Admit
+// and ObserveQueueDelay when the interval has elapsed on the injected clock.
+// That keeps it deterministic under a simulated clock in tests and free when
+// idle.
+type Admission struct {
+	opts AdmissionOptions
+
+	mu       sync.Mutex
+	limit    int
+	inflight int
+
+	// Interval accumulator (CoDel window): the minimum and last queue delay
+	// observed since lastEval.  sampled reports whether any delay arrived.
+	minDelay  time.Duration
+	lastDelay time.Duration
+	sampled   bool
+	lastEval  time.Time
+	// observed is the congestion signal of the *previous* interval — the
+	// value Retry-After and stats are derived from, stable between evals.
+	observed time.Duration
+
+	// clients is the LRU-bounded per-client table: front = most recent.
+	clients map[string]*clientEntry
+	lru     *list.List
+	active  int // clients seen within ActivityWindow as of the last eval (+ fresh arrivals since)
+
+	admitted  *obs.Counter
+	shedLimit *obs.Counter
+	shedQuota *obs.Counter
+	shedBulk  *obs.Counter
+	increases *obs.Counter
+	decreases *obs.Counter
+	evictions *obs.Counter
+}
+
+type clientEntry struct {
+	id   string
+	held int   // admission slots currently held
+	shed int64 // lifetime sheds charged to this client
+	seen time.Time
+	elem *list.Element
+}
+
+// AdmissionOptions configure an Admission controller.  Zero values take the
+// defaults noted per field.
+type AdmissionOptions struct {
+	// Target is the queue-delay bound the controller converges on: while the
+	// interval's minimum observed queue delay exceeds it, the limit shrinks
+	// (default 25ms).
+	Target time.Duration
+	// MaxLimit caps the concurrency limit and is the starting value, so an
+	// uncongested server behaves exactly like the fixed limiter it replaces
+	// (default 64).
+	MaxLimit int
+	// MinLimit floors the limit so overload can never wedge the server shut
+	// (default 1).
+	MinLimit int
+	// Interval is the evaluation period: how often the limit adjusts and the
+	// delay window resets (default 100ms).
+	Interval time.Duration
+	// QuotaBurst scales the per-client fair share: each active client may
+	// hold up to ceil(limit·QuotaBurst/activeClients) slots, so QuotaBurst=2
+	// lets a lone-but-bursty client use twice its equal share while still
+	// bounding a flood (default 2; values below 1 are raised to 1).
+	QuotaBurst float64
+	// QuotaClients bounds the LRU client table (default 1024).
+	QuotaClients int
+	// BulkHeadroom is the fraction of the limit beyond which bulk-priority
+	// admissions are shed, reserving the rest for interactive traffic
+	// (default 0.75; 1 disables the reservation).
+	BulkHeadroom float64
+	// ActivityWindow is how recently a client must have been seen to count
+	// toward the fair-share divisor (default 1s).
+	ActivityWindow time.Duration
+	// Now is the clock; nil uses time.Now.  Tests inject a simulated clock.
+	Now func() time.Time
+	// Registry receives the controller's metrics; nil uses a private one.
+	Registry *obs.Registry
+}
+
+func (o *AdmissionOptions) normalize() {
+	if o.Target <= 0 {
+		o.Target = 25 * time.Millisecond
+	}
+	if o.MaxLimit <= 0 {
+		o.MaxLimit = 64
+	}
+	if o.MinLimit <= 0 {
+		o.MinLimit = 1
+	}
+	if o.MinLimit > o.MaxLimit {
+		o.MinLimit = o.MaxLimit
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.QuotaBurst < 1 {
+		if o.QuotaBurst != 0 {
+			o.QuotaBurst = 1
+		} else {
+			o.QuotaBurst = 2
+		}
+	}
+	if o.QuotaClients <= 0 {
+		o.QuotaClients = 1024
+	}
+	if o.BulkHeadroom <= 0 || o.BulkHeadroom > 1 {
+		o.BulkHeadroom = 0.75
+	}
+	if o.ActivityWindow <= 0 {
+		o.ActivityWindow = time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+}
+
+// Shed reports one refused admission: why, and what to tell the client.
+type Shed struct {
+	// Reason is "limit" (global concurrency), "quota" (per-client fair
+	// share), or "bulk" (bulk headroom exhausted).
+	Reason string
+	// RetryAfter is the whole-second backoff derived from how far the
+	// observed queue delay overshoots the target, clamped to [1, 30].
+	RetryAfter int
+	// Limit is the concurrency limit at shed time.
+	Limit int
+	// QueueDelayMS is the controller's current queue-delay estimate, for the
+	// error envelope.
+	QueueDelayMS float64
+}
+
+// NewAdmission builds the controller and registers its metric series.  The
+// limit starts at MaxLimit, so behaviour is identical to the fixed limiter
+// until congestion is actually observed.
+func NewAdmission(opts AdmissionOptions) *Admission {
+	opts.normalize()
+	reg := opts.Registry
+	a := &Admission{
+		opts:     opts,
+		limit:    opts.MaxLimit,
+		lastEval: opts.Now(),
+		clients:  make(map[string]*clientEntry),
+		lru:      list.New(),
+		admitted: reg.Counter("kamel_admission_admitted_total",
+			"Requests admitted by the adaptive controller."),
+		shedLimit: reg.Counter("kamel_admission_shed_total",
+			"Requests shed by the adaptive controller.", obs.L("reason", "limit")),
+		shedQuota: reg.Counter("kamel_admission_shed_total",
+			"Requests shed by the adaptive controller.", obs.L("reason", "quota")),
+		shedBulk: reg.Counter("kamel_admission_shed_total",
+			"Requests shed by the adaptive controller.", obs.L("reason", "bulk")),
+		increases: reg.Counter("kamel_admission_limit_increases_total",
+			"Additive limit raises (queue delay at or under target)."),
+		decreases: reg.Counter("kamel_admission_limit_decreases_total",
+			"Multiplicative limit cuts (queue delay over target)."),
+		evictions: reg.Counter("kamel_admission_client_evictions_total",
+			"Client-table entries evicted by the LRU bound."),
+	}
+	reg.GaugeFunc("kamel_admission_limit",
+		"Current adaptive concurrency limit.", func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(a.limit)
+		})
+	reg.GaugeFunc("kamel_admission_inflight",
+		"Requests currently holding an admission slot.", func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(a.inflight)
+		})
+	reg.GaugeFunc("kamel_admission_queue_delay_seconds",
+		"Minimum queue delay observed over the last evaluation interval.", func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return a.observed.Seconds()
+		})
+	reg.GaugeFunc("kamel_admission_active_clients",
+		"Clients seen within the activity window (fair-share divisor).", func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(a.active)
+		})
+	return a
+}
+
+// Admit asks for one slot on behalf of clientID at the given priority.  On
+// success it returns a non-nil release closure (call exactly once) and a nil
+// Shed; on refusal the release is nil and Shed says why.  An empty clientID
+// is attributed to the shared "anonymous" client rather than bypassing
+// quotas.
+func (a *Admission) Admit(clientID string, pri Priority) (func(), *Shed) {
+	if clientID == "" {
+		clientID = "anonymous"
+	}
+	now := a.opts.Now()
+
+	a.mu.Lock()
+	a.maybeEvalLocked(now)
+	c := a.touchClientLocked(clientID, now)
+
+	// Fair-share quota first: a flooding client must be bounded *below* the
+	// global limit, so innocents still find free slots behind it.
+	if c.held >= a.clientCapLocked() {
+		c.shed++
+		shed := a.shedLocked("quota")
+		a.mu.Unlock()
+		a.shedQuota.Inc()
+		return nil, shed
+	}
+	if pri == Bulk && float64(a.inflight) >= a.opts.BulkHeadroom*float64(a.limit) {
+		c.shed++
+		shed := a.shedLocked("bulk")
+		a.mu.Unlock()
+		a.shedBulk.Inc()
+		return nil, shed
+	}
+	if a.inflight >= a.limit {
+		c.shed++
+		shed := a.shedLocked("limit")
+		a.mu.Unlock()
+		a.shedLimit.Inc()
+		return nil, shed
+	}
+	a.inflight++
+	c.held++
+	a.mu.Unlock()
+	a.admitted.Inc()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight--
+			c.held--
+			a.mu.Unlock()
+		})
+	}, nil
+}
+
+// ObserveQueueDelay feeds one queue-delay sample (the batcher's queue wait,
+// or any other congestion-indicating delay) into the current interval.
+func (a *Admission) ObserveQueueDelay(d time.Duration) {
+	now := a.opts.Now()
+	a.mu.Lock()
+	if !a.sampled || d < a.minDelay {
+		a.minDelay = d
+	}
+	a.lastDelay = d
+	a.sampled = true
+	a.maybeEvalLocked(now)
+	a.mu.Unlock()
+}
+
+// clientCapLocked is the per-client slot ceiling under the current limit and
+// active-client population.
+func (a *Admission) clientCapLocked() int {
+	n := a.active
+	if n < 1 {
+		n = 1
+	}
+	cap := int(math.Ceil(float64(a.limit) * a.opts.QuotaBurst / float64(n)))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// shedLocked builds the refusal document from controller state.
+func (a *Admission) shedLocked(reason string) *Shed {
+	retry := 1
+	if a.observed > a.opts.Target {
+		retry = int(math.Ceil(float64(a.observed) / float64(a.opts.Target)))
+		if retry > 30 {
+			retry = 30
+		}
+	}
+	return &Shed{
+		Reason:       reason,
+		RetryAfter:   retry,
+		Limit:        a.limit,
+		QueueDelayMS: float64(a.observed) / float64(time.Millisecond),
+	}
+}
+
+// touchClientLocked finds or creates the client entry, moves it to the LRU
+// front, and keeps the active-client divisor honest: a client not seen within
+// the activity window counts as newly active immediately (shrinking everyone's
+// fair share without waiting for the next eval), while going inactive is only
+// settled at eval time.
+func (a *Admission) touchClientLocked(id string, now time.Time) *clientEntry {
+	c := a.clients[id]
+	if c == nil {
+		c = &clientEntry{id: id, seen: now}
+		c.elem = a.lru.PushFront(c)
+		a.clients[id] = c
+		a.active++
+		a.evictLocked()
+		return c
+	}
+	if now.Sub(c.seen) > a.opts.ActivityWindow {
+		a.active++ // was idle, is active again
+	}
+	c.seen = now
+	a.lru.MoveToFront(c.elem)
+	return c
+}
+
+// evictLocked enforces the LRU bound, preferring entries holding no slots.
+// An entry holding slots may still be evicted when everything does — its
+// release closure keeps a direct pointer, so accounting stays correct; only
+// its quota history is forgotten.
+func (a *Admission) evictLocked() {
+	for len(a.clients) > a.opts.QuotaClients {
+		victim := a.lru.Back()
+		for e := victim; e != nil; e = e.Prev() {
+			if e.Value.(*clientEntry).held == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c := victim.Value.(*clientEntry)
+		a.lru.Remove(victim)
+		delete(a.clients, c.id)
+		a.evictions.Inc()
+	}
+}
+
+// maybeEvalLocked runs the AIMD adjustment once per interval: a 10%
+// multiplicative cut while the interval's minimum queue delay exceeded the
+// target, an additive +1 raise otherwise — with an idle catch-up (quarter of
+// the remaining headroom) when the interval saw no samples and nothing is in
+// flight, so a server recovers to full capacity in a few intervals instead of
+// one step per interval.  It also recounts active clients and resets the
+// delay window.  Multiple elapsed intervals collapse into one adjustment:
+// with lazy evaluation there is no traffic (hence no congestion evidence)
+// during the gap.
+func (a *Admission) maybeEvalLocked(now time.Time) {
+	if now.Sub(a.lastEval) < a.opts.Interval {
+		return
+	}
+	a.lastEval = now
+	if a.sampled {
+		a.observed = a.minDelay
+		if a.minDelay > a.opts.Target {
+			next := a.limit * 9 / 10
+			if next >= a.limit {
+				next = a.limit - 1
+			}
+			if next < a.opts.MinLimit {
+				next = a.opts.MinLimit
+			}
+			if next != a.limit {
+				a.limit = next
+				a.decreases.Inc()
+			}
+		} else if a.limit < a.opts.MaxLimit {
+			a.limit++
+			a.increases.Inc()
+		}
+	} else {
+		// No queue-delay evidence this interval.  If the server is idle,
+		// recover fast; if requests are in flight but none queued long
+		// enough to sample, creep up additively.
+		if a.limit < a.opts.MaxLimit {
+			step := 1
+			if a.inflight == 0 {
+				if h := (a.opts.MaxLimit - a.limit) / 4; h > step {
+					step = h
+				}
+			}
+			a.limit += step
+			if a.limit > a.opts.MaxLimit {
+				a.limit = a.opts.MaxLimit
+			}
+			a.increases.Inc()
+		}
+		a.observed = 0
+	}
+	a.sampled = false
+	a.minDelay = 0
+	a.lastDelay = 0
+
+	// Settle the active-client divisor: count entries seen within the
+	// window, dropping idle tail entries beyond a grace of one window so the
+	// table tracks live tenants, not history.  The scan is bounded by
+	// QuotaClients.
+	active := 0
+	var idle []*list.Element
+	for e := a.lru.Front(); e != nil; e = e.Next() {
+		c := e.Value.(*clientEntry)
+		if now.Sub(c.seen) <= a.opts.ActivityWindow {
+			active++
+		} else if c.held == 0 && now.Sub(c.seen) > 2*a.opts.ActivityWindow {
+			idle = append(idle, e)
+		}
+	}
+	a.active = active
+	for _, e := range idle {
+		delete(a.clients, e.Value.(*clientEntry).id)
+		a.lru.Remove(e)
+	}
+}
+
+// AdmissionStats is the controller's point-in-time state, surfaced under
+// "admission" in /v1/stats.
+type AdmissionStats struct {
+	Limit          int     `json:"limit"`
+	MaxLimit       int     `json:"max_limit"`
+	Inflight       int     `json:"inflight"`
+	TargetMS       float64 `json:"target_ms"`
+	QueueDelayMS   float64 `json:"queue_delay_ms"`
+	ActiveClients  int     `json:"active_clients"`
+	TrackedClients int     `json:"tracked_clients"`
+	Admitted       int64   `json:"admitted"`
+	ShedLimit      int64   `json:"shed_limit"`
+	ShedQuota      int64   `json:"shed_quota"`
+	ShedBulk       int64   `json:"shed_bulk"`
+	LimitIncreases int64   `json:"limit_increases"`
+	LimitDecreases int64   `json:"limit_decreases"`
+}
+
+// Stats reads the controller's current state.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	st := AdmissionStats{
+		Limit:          a.limit,
+		MaxLimit:       a.opts.MaxLimit,
+		Inflight:       a.inflight,
+		TargetMS:       float64(a.opts.Target) / float64(time.Millisecond),
+		QueueDelayMS:   float64(a.observed) / float64(time.Millisecond),
+		ActiveClients:  a.active,
+		TrackedClients: len(a.clients),
+	}
+	a.mu.Unlock()
+	st.Admitted = a.admitted.Value()
+	st.ShedLimit = a.shedLimit.Value()
+	st.ShedQuota = a.shedQuota.Value()
+	st.ShedBulk = a.shedBulk.Value()
+	st.LimitIncreases = a.increases.Value()
+	st.LimitDecreases = a.decreases.Value()
+	return st
+}
+
+// RetryAfterHint derives the backoff advice for a 429 produced elsewhere in
+// the stack (e.g. the batcher's queue-full shed) from the controller's
+// current congestion estimate: the same seconds/queue-delay pair a Shed would
+// carry.
+func (a *Admission) RetryAfterHint() (seconds int, queueDelayMS float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.shedLocked("")
+	return s.RetryAfter, s.QueueDelayMS
+}
+
+// Limit reports the current concurrency limit (tests and stats).
+func (a *Admission) Limit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}

@@ -178,6 +178,10 @@ type Batcher struct {
 
 	streams atomic.Int64 // active imputation streams (windowing gate)
 
+	// waitObs, when set, receives every item's queue wait as it dispatches —
+	// the adaptive admission controller's congestion signal (see admission.go).
+	waitObs atomic.Pointer[func(time.Duration)]
+
 	batchSize *obs.Histogram
 	queueWait *obs.Histogram
 	dispatch  *obs.Histogram
@@ -232,6 +236,18 @@ func New(opts Options) *Batcher {
 			return float64(b.streams.Load())
 		})
 	return b
+}
+
+// SetQueueWaitObserver registers fn to receive every dispatched item's queue
+// wait alongside the queue-wait histogram.  One observer is supported; nil
+// unregisters.  The callback runs on the dispatcher goroutine, so it must be
+// cheap and must not call back into the Batcher.
+func (b *Batcher) SetQueueWaitObserver(fn func(time.Duration)) {
+	if fn == nil {
+		b.waitObs.Store(nil)
+		return
+	}
+	b.waitObs.Store(&fn)
 }
 
 // StreamEnter marks one imputation stream active.  While more than one
@@ -432,8 +448,13 @@ func (b *Batcher) run(d *dispatcher) {
 			continue
 		}
 		now := time.Now()
+		obsFn := b.waitObs.Load()
 		for _, it := range batch {
-			b.queueWait.Observe(now.Sub(it.enq).Seconds())
+			wait := now.Sub(it.enq)
+			b.queueWait.Observe(wait.Seconds())
+			if obsFn != nil {
+				(*obsFn)(wait)
+			}
 		}
 		b.batches.Inc()
 		b.items.Add(int64(len(batch)))

@@ -526,6 +526,7 @@ func (r *Router) Get(ctx context.Context, shardID, path string) (ForwardResult, 
 	if tc, ok := obs.TraceFrom(ctx).Context(); ok {
 		req.Header.Set(obs.HeaderTraceparent, obs.FormatTraceparent(tc))
 	}
+	setAdmissionHeaders(req, ctx)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return ForwardResult{}, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, shardID, err)
@@ -592,6 +593,20 @@ func (r *Router) attempt(ctx context.Context, p *peer, path string, body []byte,
 	}
 }
 
+// setAdmissionHeaders propagates the originating request's admission baggage
+// (client identity and priority) to a forwarded hop, so the receiving node's
+// adaptive admission controller bills the work to the true tenant — not to
+// the gateway peer — and applies the right priority lane before decoding the
+// body.
+func setAdmissionHeaders(req *http.Request, ctx context.Context) {
+	if id := obs.ClientIDFrom(ctx); id != "" {
+		req.Header.Set(obs.HeaderClient, id)
+	}
+	if pri := obs.PriorityLabelFrom(ctx); pri != "" {
+		req.Header.Set(obs.HeaderPriority, pri)
+	}
+}
+
 // send issues one HTTP request to a peer and reads the full response.
 func (r *Router) send(ctx context.Context, p *peer, path string, body []byte) (ForwardResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.shard.Addr+path, bytes.NewReader(body))
@@ -606,6 +621,7 @@ func (r *Router) send(ctx context.Context, p *peer, path string, body []byte) (F
 	if tc, ok := obs.TraceFrom(ctx).Context(); ok {
 		req.Header.Set(obs.HeaderTraceparent, obs.FormatTraceparent(tc))
 	}
+	setAdmissionHeaders(req, ctx)
 	start := time.Now()
 	resp, err := r.client.Do(req)
 	r.peerHist(p.shard.ID).ObserveDuration(time.Since(start))

@@ -1,0 +1,227 @@
+// Package loadgen is KAMEL's open-loop load harness (ROADMAP item 2): a
+// Poisson-arrival workload generator that measures goodput and latency
+// against offered load instead of request count.  Open loop is the point —
+// a closed-loop client (fixed worker pool) slows down exactly when the
+// server does, hiding overload behind self-throttling; Poisson arrivals
+// fire on schedule regardless of how many requests are still in flight, so
+// queueing delay and shed rate become observable the way they are for real
+// user populations.
+//
+// The workload itself reuses internal/trajgen's porto-like and jakarta-like
+// datasets: requests are pre-rendered JSON bodies (sparse trajectories for
+// the impute endpoints, dense ones for train), spatially skewed by a Zipf
+// distribution over origin cells so hot shards exist, attributed to a pool
+// of client identities, and mixed across the impute/batch/train operations.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"kamel/internal/geo"
+	"kamel/internal/trajgen"
+)
+
+// Op is one of the workload's operation kinds.
+type Op string
+
+const (
+	OpImpute Op = "impute"
+	OpBatch  Op = "batch"
+	OpTrain  Op = "train"
+)
+
+// Mix weighs the operation kinds; weights need not sum to 1 (they are
+// normalized).  A zero Mix defaults to 90% single imputes, 10% batches.
+type Mix struct {
+	Impute float64 `json:"impute"`
+	Batch  float64 `json:"batch"`
+	Train  float64 `json:"train"`
+}
+
+func (m Mix) normalized() Mix {
+	total := m.Impute + m.Batch + m.Train
+	if total <= 0 {
+		return Mix{Impute: 0.9, Batch: 0.1}
+	}
+	return Mix{Impute: m.Impute / total, Batch: m.Batch / total, Train: m.Train / total}
+}
+
+// WorkloadOptions shape the pre-rendered request pools.
+type WorkloadOptions struct {
+	// SparsifyMeters is the gap distance the impute inputs are thinned to —
+	// the imputation workload's difficulty knob (default 500).
+	SparsifyMeters float64
+	// CellMeters is the hotspot-grid cell size origins are quantized into
+	// for the Zipf skew (default 500).
+	CellMeters float64
+	// BatchSize is trajectories per /v1/impute/batch body (default 4).
+	BatchSize int
+	// TrainSize is trajectories per /v1/train body (default 2).
+	TrainSize int
+	// TrainFrac splits each profile's trajectories into train (dense, for
+	// /v1/train bodies and TrainBodies) and test (sparsified, for the
+	// impute pools) sets (default 0.8).
+	TrainFrac float64
+}
+
+func (o *WorkloadOptions) normalize() {
+	if o.SparsifyMeters <= 0 {
+		o.SparsifyMeters = 500
+	}
+	if o.CellMeters <= 0 {
+		o.CellMeters = 500
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4
+	}
+	if o.TrainSize <= 0 {
+		o.TrainSize = 2
+	}
+	if o.TrainFrac <= 0 || o.TrainFrac >= 1 {
+		o.TrainFrac = 0.8
+	}
+}
+
+// wireTraj mirrors the server's trajectory wire form.
+type wireTraj struct {
+	ID     string       `json:"id"`
+	Points [][3]float64 `json:"points"`
+}
+
+func toWire(tr geo.Trajectory) wireTraj {
+	out := wireTraj{ID: tr.ID}
+	for _, p := range tr.Points {
+		out.Points = append(out.Points, [3]float64{p.Lat, p.Lng, p.T})
+	}
+	return out
+}
+
+// Workload is the immutable pre-rendered request pool one or more Generators
+// draw from.  Rendering bodies ahead of time keeps the arrival loop's
+// per-request work down to a slice index, so the generator can sustain high
+// offered rates without measuring its own JSON encoding.
+type Workload struct {
+	impute [][]byte
+	batch  [][]byte
+	train  [][]byte
+
+	// groups are impute-pool indices bucketed by origin cell, ordered most
+	// to least populous: Zipf rank r draws uniformly within groups[r].
+	groups [][]int
+
+	// trainBodies are the full per-profile training splits, for seeding a
+	// target server before a run (one POST /v1/train each).
+	trainBodies [][]byte
+}
+
+// BuildWorkload renders the request pools for the given dataset profiles.
+// Trajectory generation is deterministic per profile, so two processes
+// building the same profiles measure the same workload.
+func BuildWorkload(profiles []trajgen.Profile, opts WorkloadOptions) (*Workload, error) {
+	opts.normalize()
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("loadgen: no dataset profiles")
+	}
+	w := &Workload{}
+	cells := make(map[[2]int][]int)
+
+	for _, prof := range profiles {
+		_, proj, trajs, err := prof.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %s: %w", prof.Name, err)
+		}
+		train, test := trajgen.SplitTrainTest(trajs, opts.TrainFrac, prof.Traffic.Seed)
+		if len(train) == 0 || len(test) == 0 {
+			return nil, fmt.Errorf("loadgen: %s: %d trajectories split to empty train/test", prof.Name, len(trajs))
+		}
+
+		// The full training split, as one body per profile (seed phase).
+		seedBody, err := json.Marshal(map[string]any{"trajectories": wireAll(train)})
+		if err != nil {
+			return nil, err
+		}
+		w.trainBodies = append(w.trainBodies, seedBody)
+
+		// Impute pool: each test trajectory sparsified, plus its origin cell
+		// for the Zipf grouping.
+		var sparse []wireTraj
+		for _, tr := range test {
+			sp := tr.Sparsify(opts.SparsifyMeters)
+			if len(sp.Points) < 2 {
+				continue
+			}
+			body, err := json.Marshal(toWire(sp))
+			if err != nil {
+				return nil, err
+			}
+			idx := len(w.impute)
+			w.impute = append(w.impute, body)
+			sparse = append(sparse, toWire(sp))
+			o := proj.ToXY(tr.Points[0])
+			key := [2]int{int(math.Floor(o.X / opts.CellMeters)), int(math.Floor(o.Y / opts.CellMeters))}
+			cells[key] = append(cells[key], idx)
+		}
+
+		// Batch pool: consecutive sparse trajectories, bulk priority in the
+		// body (the authoritative dispatch-lane field).
+		for i := 0; i+opts.BatchSize <= len(sparse); i += opts.BatchSize {
+			body, err := json.Marshal(map[string]any{
+				"trajectories": sparse[i : i+opts.BatchSize],
+				"priority":     "bulk",
+			})
+			if err != nil {
+				return nil, err
+			}
+			w.batch = append(w.batch, body)
+		}
+
+		// Train pool: small dense batches for the mixed-operation profile.
+		for i := 0; i+opts.TrainSize <= len(train); i += opts.TrainSize {
+			body, err := json.Marshal(map[string]any{"trajectories": wireAll(train[i : i+opts.TrainSize])})
+			if err != nil {
+				return nil, err
+			}
+			w.train = append(w.train, body)
+		}
+	}
+	if len(w.impute) == 0 {
+		return nil, fmt.Errorf("loadgen: sparsification left no usable impute bodies")
+	}
+	if len(w.batch) == 0 {
+		w.batch = w.impute // degenerate but safe: tiny datasets
+	}
+
+	for _, idxs := range cells {
+		w.groups = append(w.groups, idxs)
+	}
+	sort.Slice(w.groups, func(i, j int) bool {
+		if len(w.groups[i]) != len(w.groups[j]) {
+			return len(w.groups[i]) > len(w.groups[j])
+		}
+		return w.groups[i][0] < w.groups[j][0] // deterministic tie-break
+	})
+	return w, nil
+}
+
+func wireAll(trajs []geo.Trajectory) []wireTraj {
+	out := make([]wireTraj, len(trajs))
+	for i, tr := range trajs {
+		out[i] = toWire(tr)
+	}
+	return out
+}
+
+// Sizes reports the pool sizes (impute bodies, batch bodies, train bodies,
+// hotspot cells) for logging.
+func (w *Workload) Sizes() (impute, batch, train, cells int) {
+	return len(w.impute), len(w.batch), len(w.train), len(w.groups)
+}
+
+// TrainBodies returns the per-profile full training splits, one POST
+// /v1/train body each — the seed phase for an untrained target.
+func (w *Workload) TrainBodies() [][]byte {
+	return w.trainBodies
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "context"
+
+// Admission baggage: the client identity and admission priority of a request,
+// carried on the context so the cluster transport can propagate them on every
+// forwarded hop (one-hop forwards, scatter-gather legs, replica-failover
+// walks, train fan-out).  Like the request ID and traceparent, these are
+// request *metadata*, not tracing state — they live here because obs is the
+// one substrate every layer (serve, cluster, batcher) already shares.
+//
+// The serving layer's admission controller attributes each request to the
+// client named by HeaderClient and enforces per-client fair-share quotas on
+// it; without propagation, a gateway's forwards would all be billed to the
+// gateway peer instead of the originating tenant, letting one bulk client
+// launder its traffic through the cluster topology.
+
+// HeaderClient carries the client identity (tenant) of a request.  Set by
+// clients; propagated verbatim on cluster forwards.
+const HeaderClient = "X-Kamel-Client"
+
+// HeaderPriority carries the admission priority ("interactive" or "bulk") so
+// the receiving node's admission controller can apply its bulk headroom
+// before reading the body.  The JSON body's priority field remains the
+// authority for the batcher's dispatch lane; this header exists for the
+// admission decision, which happens in middleware ahead of body decoding.
+const HeaderPriority = "X-Kamel-Priority"
+
+type clientIDKey struct{}
+type priorityKey struct{}
+
+// ContextWithClientID attaches the admission client identity to ctx.
+func ContextWithClientID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, clientIDKey{}, id)
+}
+
+// ClientIDFrom returns the admission client identity bound to ctx, or "".
+func ClientIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(clientIDKey{}).(string)
+	return id
+}
+
+// ContextWithPriorityLabel attaches the admission priority's wire form
+// ("interactive" or "bulk") for forward propagation.
+func ContextWithPriorityLabel(ctx context.Context, pri string) context.Context {
+	if pri == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, priorityKey{}, pri)
+}
+
+// PriorityLabelFrom returns the admission priority label bound to ctx, or "".
+func PriorityLabelFrom(ctx context.Context) string {
+	p, _ := ctx.Value(priorityKey{}).(string)
+	return p
+}
